@@ -1,0 +1,192 @@
+//! Criterion benchmarks of the framework's computational kernels, including
+//! the ablations called out in DESIGN.md (pre-filters on/off, faulty vs
+//! fault-free timing simulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use delayavf::{prepare_golden, Injector};
+use delayavf_netlist::{EdgeId, Topology};
+use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{settle, CycleSim, EventSim, FaultSpec};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+struct Fix {
+    core: delayavf_rvcore::Core,
+    topo: Topology,
+    timing: TimingModel,
+    program: delayavf_isa::Program,
+}
+
+fn fix() -> Fix {
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+    let program = Kernel::Libstrstr
+        .build(Scale::Tiny)
+        .assemble()
+        .expect("assembles");
+    Fix {
+        core,
+        topo,
+        timing,
+        program,
+    }
+}
+
+fn bench_build_and_sta(c: &mut Criterion) {
+    c.bench_function("build_core", |b| {
+        b.iter(|| build_core(CoreConfig::default()))
+    });
+    let core = build_core(CoreConfig::default());
+    c.bench_function("topology", |b| b.iter(|| Topology::new(&core.circuit)));
+    let topo = Topology::new(&core.circuit);
+    let lib = TechLibrary::nangate45_like();
+    c.bench_function("sta_analyze", |b| {
+        b.iter(|| TimingModel::analyze(&core.circuit, &topo, &lib))
+    });
+}
+
+fn bench_cycle_sim(c: &mut Criterion) {
+    let f = fix();
+    c.bench_function("cycle_sim_100_cycles", |b| {
+        b.iter_batched(
+            || {
+                (
+                    CycleSim::new(&f.core.circuit, &f.topo),
+                    MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program),
+                )
+            },
+            |(mut sim, mut env)| sim.run(&mut env, 100),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let f = fix();
+    let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
+    let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 4);
+    let cycle = golden.sampled_cycles[1];
+    let nd = f.core.circuit.num_dffs();
+    let prev_state = golden.trace.state_bits_at(cycle - 1, nd);
+    let prev_values = settle(
+        &f.core.circuit,
+        &f.topo,
+        &prev_state,
+        golden.trace.inputs_at(cycle - 1),
+    );
+    let new_state = golden.trace.state_bits_at(cycle, nd);
+    let inputs = golden.trace.inputs_at(cycle).to_vec();
+    let edge = f.topo.structure_edges(&f.core.circuit, "alu").unwrap()[0];
+    let mut sim = EventSim::new(&f.core.circuit, &f.topo, &f.timing);
+    let extra = f.timing.clock_period() / 2;
+    c.bench_function("event_sim_faulty_cycle", |b| {
+        b.iter(|| {
+            sim.latch_cycle(&prev_values, &new_state, &inputs, Some(FaultSpec { edge, extra }))
+        })
+    });
+    c.bench_function("event_sim_fault_free_cycle", |b| {
+        b.iter(|| sim.latch_cycle(&prev_values, &new_state, &inputs, None))
+    });
+}
+
+fn bench_static_reach(c: &mut Criterion) {
+    let f = fix();
+    let edges = f.topo.structure_edges(&f.core.circuit, "alu").unwrap();
+    let extra = f.timing.clock_period() / 2;
+    c.bench_function("statically_reachable_per_edge", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let e = edges[i % edges.len()];
+            i += 1;
+            f.timing
+                .statically_reachable(&f.core.circuit, &f.topo, e, extra)
+        })
+    });
+    // Ablation: the O(1) pre-filter that makes low-d sweeps cheap.
+    c.bench_function("path_through_edge_prefilter", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let e = edges[i % edges.len()];
+            i += 1;
+            f.timing.path_through_edge(&f.core.circuit, &f.topo, e)
+        })
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let f = fix();
+    let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
+    let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 6);
+    let edges: Vec<EdgeId> = f
+        .topo
+        .structure_edges(&f.core.circuit, "alu")
+        .unwrap()
+        .into_iter()
+        .take(16)
+        .collect();
+    let cycle = golden.sampled_cycles[2];
+    // Ablation: a small delay exercises only the static pre-filter; a large
+    // one runs the full two-step pipeline (event sim + GroupACE replay).
+    for (label, frac) in [("d10", 0.1), ("d90", 0.9)] {
+        let extra = (f.timing.clock_period() as f64 * frac) as u64;
+        c.bench_function(&format!("inject_16_alu_edges_{label}"), |b| {
+            b.iter_batched(
+                || Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500),
+                |mut inj| {
+                    for &e in &edges {
+                        let _ = inj.inject(cycle, e, extra);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_early_exit_ablation(c: &mut Criterion) {
+    // Ablation: the convergence early-exit in the GroupACE replay. With it
+    // disabled every replay runs the whole remaining program; results are
+    // identical, only the cost changes.
+    let f = fix();
+    let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
+    let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 6);
+    let cycle = golden.sampled_cycles[2];
+    let dffs: Vec<_> = f
+        .core
+        .circuit
+        .structure("lsu")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(8)
+        .collect();
+    for (label, early) in [("early_exit_on", true), ("early_exit_off", false)] {
+        c.bench_function(&format!("groupace_8_strikes_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut inj =
+                        Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    inj.set_early_exit(early);
+                    inj
+                },
+                |mut inj| {
+                    for &d in &dffs {
+                        let _ = inj.bit_ace(cycle, d);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build_and_sta, bench_cycle_sim, bench_event_sim, bench_static_reach,
+        bench_injection, bench_early_exit_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion wrappers around the table/figure generators: one benchmark per
+//! experiment of the paper's evaluation, at smoke-test sampling so `cargo
+//! bench` completes quickly. The full-resolution reports come from the
+//! `repro` binary (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delayavf_bench::{experiments, Harness, Opts};
+
+fn quick_opts() -> Opts {
+    Opts::quick()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("experiment_table1", |b| {
+        let mut h = Harness::build();
+        b.iter(|| experiments::table1(&mut h))
+    });
+    c.bench_function("experiment_table2", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::table2(&mut h, &opts))
+    });
+    c.bench_function("experiment_table3", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::table3(&mut h, &opts))
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("experiment_fig6", |b| {
+        let mut h = Harness::build();
+        b.iter(|| experiments::fig6(&mut h))
+    });
+    c.bench_function("experiment_fig7", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::fig7(&mut h, &opts))
+    });
+    c.bench_function("experiment_fig8", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::fig8(&mut h, &opts))
+    });
+    c.bench_function("experiment_fig9", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::fig9(&mut h, &opts))
+    });
+    c.bench_function("experiment_fig10", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::fig10(&mut h, &opts))
+    });
+    c.bench_function("experiment_multibit", |b| {
+        let mut h = Harness::build();
+        let opts = quick_opts();
+        b.iter(|| experiments::multibit(&mut h, &opts))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_figures
+}
+criterion_main!(benches);

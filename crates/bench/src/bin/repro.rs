@@ -1,0 +1,143 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
+//!       [--tiny] [--due-slack N]
+//!
+//! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
+//!              guardband fastadder variance all (or --config <file>)
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use delayavf_bench::{experiments, ExperimentSpec, Harness, Opts};
+use delayavf_workloads::Scale;
+
+const USAGE: &str = "usage: repro <experiment>... [options]
+
+experiments:
+  table1    structure sizes (# injected wires)
+  table2    cycles per benchmark
+  fig6      path length distributions
+  fig7      normalized geomean DelayAVF per structure
+  fig8      static/dynamic/GroupACE component breakdown
+  fig9      per-benchmark DelayAVF of the ALU
+  fig10     sAVF vs DelayAVF for stateful structures
+  table3    ACE interference/compounding, OrDelayAVF error (d=90%)
+  multibit  multi-bit error statistics
+  guardband clock-guardband mitigation ablation (extension)
+  fastadder ripple vs Kogge-Stone ALU adder ablation (extension)
+  variance  sampling-seed variance with confidence bounds (extension)
+  all       everything above
+
+options:
+  --cycles N      injection cycles per benchmark (default 24)
+  --edges N       injected edges per structure (default 240)
+  --dffs N        struck flip-flops per structure (default 72)
+  --seed N        sampling seed (default 7)
+  --due-slack N   DUE cycle budget (default 2000)
+  --tiny          use tiny workloads (smoke test)
+  --config FILE   run an artifact-style configuration file instead
+                  (see configs/*.cfg; other options are ignored)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |label: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{label} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{label}: {e}"))
+        };
+        match arg.as_str() {
+            "--cycles" => match num("--cycles") {
+                Ok(v) => opts.cycles = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--edges" => match num("--edges") {
+                Ok(v) => opts.edge_limit = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--dffs" => match num("--dffs") {
+                Ok(v) => opts.dff_limit = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match num("--seed") {
+                Ok(v) => opts.seed = v,
+                Err(e) => return fail(&e),
+            },
+            "--due-slack" => match num("--due-slack") {
+                Ok(v) => opts.due_slack = v,
+                Err(e) => return fail(&e),
+            },
+            "--tiny" => opts.scale = Scale::Tiny,
+            "--config" => {
+                let Some(path) = it.next() else {
+                    return fail("--config needs a path");
+                };
+                return match ExperimentSpec::load(path) {
+                    Ok(spec) => {
+                        println!("{}", spec.run());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&e),
+                };
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown option `{other}`"));
+            }
+            exp => wanted.push(exp.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "multibit", "guardband", "fastadder", "variance"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    eprintln!("building cores and timing models ...");
+    let t0 = Instant::now();
+    let mut h = Harness::build();
+    eprintln!("ready in {:?}\n", t0.elapsed());
+
+    for id in &wanted {
+        let t = Instant::now();
+        let exp = match id.as_str() {
+            "table1" => experiments::table1(&mut h),
+            "table2" => experiments::table2(&mut h, &opts),
+            "fig6" => experiments::fig6(&mut h),
+            "fig7" => experiments::fig7(&mut h, &opts),
+            "fig8" => experiments::fig8(&mut h, &opts),
+            "fig9" => experiments::fig9(&mut h, &opts),
+            "fig10" => experiments::fig10(&mut h, &opts),
+            "table3" => experiments::table3(&mut h, &opts),
+            "multibit" => experiments::multibit(&mut h, &opts),
+            "guardband" => experiments::guardband(&mut h, &opts),
+            "fastadder" => experiments::fastadder(&mut h, &opts),
+            "variance" => experiments::variance(&mut h, &opts),
+            other => return fail(&format!("unknown experiment `{other}`")),
+        };
+        println!("{exp}");
+        eprintln!("[{id} took {:?}]\n", t.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

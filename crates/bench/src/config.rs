@@ -1,0 +1,312 @@
+//! Artifact-style configuration files.
+//!
+//! The paper's artifact drives each experiment through a configuration file
+//! (`./run_all.sh configs/beeps/md5_alu.dict`). This module provides the
+//! same workflow: a plain-text `key = value` format (no external parser
+//! dependencies) describing one (structure, benchmark, delay-range)
+//! experiment, runnable via `repro --config <file>`. Sample configurations
+//! live in the repository's `configs/` directory.
+//!
+//! Recognized keys (see [`ExperimentSpec`] for semantics and defaults):
+//!
+//! ```text
+//! benchmark = md5                      # md5|bubblesort|libstrstr|libfibcall|matmult|crc32|qsort
+//! structure = alu                      # alu|decoder|regfile|lsu|prefetch|control
+//! ecc = false                          # single-error-correcting register file
+//! fast_adder = false                   # Kogge-Stone ALU adder
+//! scale = paper                        # paper|tiny
+//! delay_range = 0.1:0.9:9              # lo:hi:steps, fractions of the clock
+//! percent_sampled_cycles_delay = 2.0   # temporal sampling rate
+//! edge_limit = 240                     # spatial sampling cap
+//! seed = 7
+//! due_slack = 2000
+//! orace = false                        # also compute OrDelayAVF
+//! ```
+
+use delayavf::{
+    delay_avf_campaign, prepare_golden_percent, sample_edges, CampaignConfig,
+};
+use delayavf_netlist::Topology;
+use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+/// A parsed experiment configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSpec {
+    /// Benchmark kernel.
+    pub benchmark: Kernel,
+    /// Analyzed structure name.
+    pub structure: String,
+    /// ECC-protected register file.
+    pub ecc: bool,
+    /// Kogge–Stone ALU adder.
+    pub fast_adder: bool,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Swept delay fractions.
+    pub delay_fractions: Vec<f64>,
+    /// Percentage of cycles to inject into.
+    pub percent_cycles: f64,
+    /// Maximum injected edges.
+    pub edge_limit: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// DUE cycle budget.
+    pub due_slack: u64,
+    /// Compute the ORACE approximation.
+    pub orace: bool,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            benchmark: Kernel::Md5,
+            structure: "alu".to_owned(),
+            ecc: false,
+            fast_adder: false,
+            scale: Scale::Paper,
+            delay_fractions: (1..=9).map(|k| k as f64 / 10.0).collect(),
+            percent_cycles: 2.0,
+            edge_limit: 240,
+            seed: 7,
+            due_slack: 2_000,
+            orace: false,
+        }
+    }
+}
+
+fn parse_delay_range(text: &str) -> Result<Vec<f64>, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("delay_range needs `lo:hi:steps`, got `{text}`"));
+    }
+    let lo: f64 = parts[0].trim().parse().map_err(|e| format!("delay_range lo: {e}"))?;
+    let hi: f64 = parts[1].trim().parse().map_err(|e| format!("delay_range hi: {e}"))?;
+    let steps: usize = parts[2].trim().parse().map_err(|e| format!("delay_range steps: {e}"))?;
+    if steps == 0 || !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || hi < lo {
+        return Err(format!("delay_range out of order or out of [0,1]: `{text}`"));
+    }
+    if steps == 1 {
+        return Ok(vec![lo]);
+    }
+    Ok((0..steps)
+        .map(|k| lo + (hi - lo) * k as f64 / (steps - 1) as f64)
+        .collect())
+}
+
+impl ExperimentSpec {
+    /// Parses a configuration file's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for unknown keys,
+    /// malformed values or out-of-range parameters.
+    pub fn parse(text: &str) -> Result<ExperimentSpec, String> {
+        let mut spec = ExperimentSpec::default();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", no + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |e: String| format!("line {}: {e}", no + 1);
+            match key {
+                "benchmark" => {
+                    spec.benchmark = Kernel::parse(value)
+                        .ok_or_else(|| bad(format!("unknown benchmark `{value}`")))?;
+                }
+                "structure" => spec.structure = value.to_owned(),
+                "ecc" => spec.ecc = parse_bool(value).map_err(bad)?,
+                "fast_adder" => spec.fast_adder = parse_bool(value).map_err(bad)?,
+                "scale" => {
+                    spec.scale = match value {
+                        "paper" => Scale::Paper,
+                        "tiny" => Scale::Tiny,
+                        other => return Err(bad(format!("unknown scale `{other}`"))),
+                    }
+                }
+                "delay_range" => spec.delay_fractions = parse_delay_range(value).map_err(bad)?,
+                "percent_sampled_cycles_delay" => {
+                    spec.percent_cycles = value
+                        .parse()
+                        .map_err(|e| bad(format!("percent_sampled_cycles_delay: {e}")))?;
+                }
+                "edge_limit" => {
+                    spec.edge_limit =
+                        value.parse().map_err(|e| bad(format!("edge_limit: {e}")))?;
+                }
+                "seed" => spec.seed = value.parse().map_err(|e| bad(format!("seed: {e}")))?,
+                "due_slack" => {
+                    spec.due_slack = value.parse().map_err(|e| bad(format!("due_slack: {e}")))?;
+                }
+                "orace" => spec.orace = parse_bool(value).map_err(bad)?,
+                other => return Err(bad(format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Loads and parses a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O problems and parse errors as messages.
+    pub fn load(path: &str) -> Result<ExperimentSpec, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        ExperimentSpec::parse(&text)
+    }
+
+    /// Runs the configured experiment and renders a report (one row per
+    /// delay fraction, with Wilson confidence bounds).
+    pub fn run(&self) -> String {
+        let core = build_core(CoreConfig {
+            ecc_regfile: self.ecc,
+            fast_adder: self.fast_adder,
+        });
+        let topo = Topology::new(&core.circuit);
+        let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+        let workload = self.benchmark.build(self.scale);
+        let program = workload.assemble().expect("workload assembles");
+        let env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &program);
+        let golden = prepare_golden_percent(
+            &core.circuit,
+            &topo,
+            &env,
+            workload.max_cycles,
+            self.percent_cycles,
+            self.seed,
+        );
+        let edges = sample_edges(
+            &topo
+                .structure_edges(&core.circuit, &self.structure)
+                .expect("structure exists"),
+            self.edge_limit,
+            self.seed,
+        );
+        let config = CampaignConfig {
+            delay_fractions: self.delay_fractions.clone(),
+            compute_orace: self.orace,
+            due_slack: self.due_slack,
+        };
+        let rows = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config);
+
+        let mut table = Vec::new();
+        for r in &rows {
+            let (lo, hi) = r.delay_avf_interval();
+            let mut row = vec![
+                format!("{:.0}%", 100.0 * r.delay_fraction),
+                format!("{:.2}%", 100.0 * r.static_fraction()),
+                format!("{:.3}%", 100.0 * r.dynamic_fraction()),
+                format!("{:.5}", r.delay_avf()),
+                format!("[{lo:.5}, {hi:.5}]"),
+                format!("{}/{}", r.sdc_hits, r.due_hits),
+            ];
+            if self.orace {
+                row.push(format!("{:.5}", r.or_delay_avf().unwrap_or(0.0)));
+            }
+            table.push(row);
+        }
+        let mut headers = vec!["d", "static", "dynamic", "DelayAVF", "95% CI", "SDC/DUE"];
+        if self.orace {
+            headers.push("OrDelayAVF");
+        }
+        format!(
+            "{} / {} (ecc={}, N sampled at {}%, {} edges, {} cycles sampled)\n{}",
+            self.structure,
+            self.benchmark,
+            self.ecc,
+            self.percent_cycles,
+            edges.len(),
+            golden.sampled_cycles.len(),
+            delayavf::render_table(&headers, &table)
+        )
+    }
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v {
+        "true" | "on" | "1" => Ok(true),
+        "false" | "off" | "0" => Ok(false),
+        other => Err(format!("expected a boolean, got `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_config() {
+        let spec = ExperimentSpec::parse(
+            r#"
+            # Figure 9, md5 group
+            benchmark = md5
+            structure = alu
+            ecc = false
+            delay_range = 0.1:0.9:9
+            percent_sampled_cycles_delay = 4.0
+            edge_limit = 100
+            seed = 42
+            orace = true
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.benchmark, Kernel::Md5);
+        assert_eq!(spec.structure, "alu");
+        assert_eq!(spec.delay_fractions.len(), 9);
+        assert!((spec.delay_fractions[0] - 0.1).abs() < 1e-12);
+        assert!((spec.delay_fractions[8] - 0.9).abs() < 1e-12);
+        assert!((spec.percent_cycles - 4.0).abs() < 1e-12);
+        assert_eq!(spec.edge_limit, 100);
+        assert_eq!(spec.seed, 42);
+        assert!(spec.orace);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(ExperimentSpec::parse("frobnicate = 1\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(ExperimentSpec::parse("benchmark = doom\n")
+            .unwrap_err()
+            .contains("unknown benchmark"));
+        assert!(ExperimentSpec::parse("delay_range = 0.9:0.1:5\n")
+            .unwrap_err()
+            .contains("out of order"));
+        assert!(ExperimentSpec::parse("ecc = maybe\n")
+            .unwrap_err()
+            .contains("boolean"));
+        assert!(ExperimentSpec::parse("just a line\n")
+            .unwrap_err()
+            .contains("key = value"));
+    }
+
+    #[test]
+    fn single_step_range_is_one_fraction() {
+        let spec = ExperimentSpec::parse("delay_range = 0.5:0.9:1\n").unwrap();
+        assert_eq!(spec.delay_fractions, vec![0.5]);
+    }
+
+    #[test]
+    fn tiny_config_runs_end_to_end() {
+        let spec = ExperimentSpec::parse(
+            r#"
+            benchmark = libstrstr
+            structure = alu
+            scale = tiny
+            delay_range = 0.9:0.9:1
+            percent_sampled_cycles_delay = 2.0
+            edge_limit = 30
+            "#,
+        )
+        .unwrap();
+        let report = spec.run();
+        assert!(report.contains("DelayAVF"), "{report}");
+        assert!(report.contains("95% CI"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared harness: cores, timing models, golden runs and sampling options.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use delayavf::{prepare_golden_seeded, sample_edges, GoldenRun};
+use delayavf_netlist::{DffId, EdgeId, Topology};
+use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+/// Sampling and scale options for an experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Number of stratified-random injection cycles per benchmark.
+    pub cycles: usize,
+    /// Maximum number of injected edges per structure.
+    pub edge_limit: usize,
+    /// Maximum number of struck flip-flops per structure (sAVF).
+    pub dff_limit: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Workload scale.
+    pub scale: Scale,
+    /// DUE budget: extra cycles past the golden length before declaring a
+    /// detected unrecoverable error.
+    pub due_slack: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            cycles: 24,
+            edge_limit: 240,
+            dff_limit: 72,
+            seed: 7,
+            scale: Scale::Paper,
+            due_slack: 2_000,
+        }
+    }
+}
+
+impl Opts {
+    /// A much smaller configuration for smoke tests and Criterion benches.
+    pub fn quick() -> Self {
+        Opts {
+            cycles: 6,
+            edge_limit: 40,
+            dff_limit: 16,
+            scale: Scale::Tiny,
+            ..Opts::default()
+        }
+    }
+}
+
+/// Which core variant a structure lives on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StructureSel {
+    /// A structure of the baseline core.
+    Plain(&'static str),
+    /// A structure of the ECC-register-file core.
+    Ecc(&'static str),
+    /// A structure of the Kogge–Stone-adder core.
+    Fast(&'static str),
+}
+
+impl StructureSel {
+    /// Display label (matches the paper's row names).
+    pub fn label(self) -> String {
+        match self {
+            StructureSel::Plain(s) => s.to_owned(),
+            StructureSel::Ecc(s) => format!("{s} (ECC)"),
+            StructureSel::Fast(s) => format!("{s} (fast adder)"),
+        }
+    }
+
+    /// The underlying structure name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureSel::Plain(s) | StructureSel::Ecc(s) | StructureSel::Fast(s) => s,
+        }
+    }
+}
+
+/// One analyzed core variant: circuit, topology, timing.
+pub struct Variant {
+    /// The built core.
+    pub core: Core,
+    /// Its topology.
+    pub topo: Topology,
+    /// Its timing model.
+    pub timing: TimingModel,
+    goldens: HashMap<(Kernel, u64), Arc<GoldenRun<MemEnv>>>,
+}
+
+impl Variant {
+    fn new(config: CoreConfig) -> Self {
+        let core = delayavf_rvcore::build_core(config);
+        let topo = Topology::new(&core.circuit);
+        let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+        Variant {
+            core,
+            topo,
+            timing,
+            goldens: HashMap::new(),
+        }
+    }
+
+    /// The golden run for a kernel (recorded once, then cached).
+    pub fn golden(&mut self, kernel: Kernel, opts: &Opts) -> Arc<GoldenRun<MemEnv>> {
+        let key = (kernel, opts.seed ^ ((opts.cycles as u64) << 32));
+        if !self.goldens.contains_key(&key) {
+            let w = kernel.build(opts.scale);
+            let p = w.assemble().expect("workload assembles");
+            let env = MemEnv::new(&self.core.circuit, DEFAULT_RAM_BYTES, &p);
+            let golden = prepare_golden_seeded(
+                &self.core.circuit,
+                &self.topo,
+                &env,
+                w.max_cycles,
+                opts.cycles,
+                opts.seed,
+            );
+            assert!(
+                golden.trace.halted(),
+                "{kernel} must halt on the gate-level core"
+            );
+            self.goldens.insert(key, Arc::new(golden));
+        }
+        Arc::clone(&self.goldens[&key])
+    }
+
+    /// Sampled injectable edges of a structure.
+    pub fn edges(&self, structure: &str, opts: &Opts) -> Vec<EdgeId> {
+        let all = self
+            .topo
+            .structure_edges(&self.core.circuit, structure)
+            .expect("structure exists");
+        sample_edges(&all, opts.edge_limit, opts.seed)
+    }
+
+    /// Sampled flip-flops of a structure (for sAVF strikes).
+    pub fn dffs(&self, structure: &str, opts: &Opts) -> Vec<DffId> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let s = self
+            .core
+            .circuit
+            .structure(structure)
+            .expect("structure exists");
+        let all = s.dffs();
+        if all.len() <= opts.dff_limit {
+            return all.to_vec();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+        let mut picked: Vec<DffId> = all
+            .choose_multiple(&mut rng, opts.dff_limit)
+            .copied()
+            .collect();
+        picked.sort_unstable();
+        picked
+    }
+}
+
+/// Both core variants (plain and ECC register file), built once.
+pub struct Harness {
+    /// Baseline core.
+    pub plain: Variant,
+    /// Core with the ECC-protected register file.
+    pub ecc: Variant,
+    /// Core with the Kogge–Stone ALU adder.
+    pub fast: Variant,
+}
+
+impl Harness {
+    /// Builds both cores and their timing models.
+    pub fn build() -> Self {
+        Harness {
+            plain: Variant::new(CoreConfig::default()),
+            ecc: Variant::new(CoreConfig {
+                ecc_regfile: true,
+                ..CoreConfig::default()
+            }),
+            fast: Variant::new(CoreConfig {
+                fast_adder: true,
+                ..CoreConfig::default()
+            }),
+        }
+    }
+
+    /// Selects the variant a structure row lives on.
+    pub fn variant_mut(&mut self, sel: StructureSel) -> &mut Variant {
+        match sel {
+            StructureSel::Plain(_) => &mut self.plain,
+            StructureSel::Ecc(_) => &mut self.ecc,
+            StructureSel::Fast(_) => &mut self.fast,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_selectors_label_and_name() {
+        assert_eq!(StructureSel::Plain("alu").label(), "alu");
+        assert_eq!(StructureSel::Ecc("regfile").label(), "regfile (ECC)");
+        assert_eq!(StructureSel::Fast("alu").label(), "alu (fast adder)");
+        assert_eq!(StructureSel::Ecc("regfile").name(), "regfile");
+    }
+
+    #[test]
+    fn harness_builds_three_distinct_variants() {
+        let mut h = Harness::build();
+        let plain_dffs = h.plain.core.circuit.num_dffs();
+        let ecc_dffs = h.ecc.core.circuit.num_dffs();
+        assert!(ecc_dffs > plain_dffs, "ECC storage is wider");
+        assert!(
+            h.fast.timing.clock_period() < h.plain.timing.clock_period(),
+            "the prefix adder shortens the critical path"
+        );
+        // variant_mut routes by selector kind.
+        let e = h.variant_mut(StructureSel::Ecc("regfile"));
+        assert_eq!(e.core.circuit.num_dffs(), ecc_dffs);
+    }
+
+    #[test]
+    fn edge_and_dff_sampling_respect_limits() {
+        let h = Harness::build();
+        let opts = Opts {
+            edge_limit: 10,
+            dff_limit: 5,
+            ..Opts::quick()
+        };
+        assert_eq!(h.plain.edges("alu", &opts).len(), 10);
+        assert_eq!(h.plain.dffs("regfile", &opts).len(), 5);
+        // Limits above the population return everything.
+        let all = Opts {
+            dff_limit: usize::MAX,
+            ..opts
+        };
+        assert_eq!(h.plain.dffs("control", &all).len(), 6);
+    }
+
+    #[test]
+    fn goldens_are_cached_per_kernel_and_sampling() {
+        let mut h = Harness::build();
+        let opts = Opts::quick();
+        let a = h.plain.golden(Kernel::Libfibcall, &opts);
+        let b = h.plain.golden(Kernel::Libfibcall, &opts);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
+        let other = h.plain.golden(
+            Kernel::Libfibcall,
+            &Opts {
+                seed: opts.seed + 1,
+                ..opts
+            },
+        );
+        assert!(!Arc::ptr_eq(&a, &other), "different seed, different run");
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Tables I–III, Figures 6–10, and the multi-bit error
+//! statistics) on the gate-level core.
+//!
+//! Each `table_*`/`fig_*` function returns both structured data and a
+//! rendered plain-text report; the `repro` binary is a thin CLI over them.
+//! Sampling is configurable through [`Opts`] — the defaults are tuned to
+//! finish in minutes on a single CPU while preserving the paper's
+//! qualitative shapes. `EXPERIMENTS.md` records reference outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::{
+    fastadder, fig10, fig6, fig7, fig8, fig9, guardband, multibit, table1, table2, table3, variance, Experiment,
+};
+pub use config::ExperimentSpec;
+pub use harness::{Harness, Opts, StructureSel};

@@ -1,0 +1,363 @@
+//! Fault-injection campaigns: DelayAVF sweeps and particle-strike sAVF.
+
+use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
+use delayavf_sim::Environment;
+use delayavf_timing::{Picos, TimingModel};
+
+use crate::golden::GoldenRun;
+use crate::injector::Injector;
+use crate::razor::InjectionRecord;
+use crate::result::{DelayAvfResult, OraceStats, SavfResult};
+
+/// Configuration of a DelayAVF campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Delay durations to sweep, as fractions of the clock period (the
+    /// paper sweeps 10%–90%).
+    pub delay_fractions: Vec<f64>,
+    /// Also evaluate the ORACE approximation per injection (needed for
+    /// Table III; costs one replay per distinct (cycle, bit)).
+    pub compute_orace: bool,
+    /// Extra cycles past the golden program length before a non-halting
+    /// faulty run is declared a DUE.
+    pub due_slack: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            delay_fractions: (1..=9).map(|k| k as f64 / 10.0).collect(),
+            compute_orace: false,
+            due_slack: 2_000,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A configuration sweeping a single delay fraction.
+    pub fn single_delay(fraction: f64) -> Self {
+        CampaignConfig {
+            delay_fractions: vec![fraction],
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// Runs a DelayAVF sweep: every sampled cycle × every given edge × every
+/// delay fraction. Returns one [`DelayAvfResult`] per delay fraction, in
+/// the configured order.
+///
+/// The denominator of each result counts all (edge, cycle) injections, so
+/// `DelayAvfResult::delay_avf` directly instantiates Equation 3 over the
+/// sample.
+pub fn delay_avf_campaign<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+) -> Vec<DelayAvfResult> {
+    let mut injector = Injector::new(circuit, topo, timing, golden, config.due_slack);
+    let cycles: Vec<u64> = golden
+        .sampled_cycles
+        .iter()
+        .copied()
+        .filter(|&c| c >= 1 && c < golden.trace.num_cycles())
+        .collect();
+
+    let mut results = Vec::with_capacity(config.delay_fractions.len());
+    for &fraction in &config.delay_fractions {
+        let extra = fraction_to_picos(timing, fraction);
+        let mut row = DelayAvfResult {
+            delay_fraction: fraction,
+            ..DelayAvfResult::default()
+        };
+        let mut orace = OraceStats::default();
+        for &cycle in &cycles {
+            for &edge in edges {
+                let outcome = injector.inject(cycle, edge, extra);
+                row.injections += 1;
+                if outcome.statically_reachable > 0 {
+                    row.static_hits += 1;
+                }
+                if !outcome.dynamic_set.is_empty() {
+                    row.dynamic_hits += 1;
+                    if outcome.is_multi_bit() {
+                        row.multi_bit_hits += 1;
+                    }
+                    if config.compute_orace {
+                        let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);
+                        if or {
+                            orace.or_hits += 1;
+                        }
+                        if or && !outcome.visible {
+                            orace.interference += 1;
+                        }
+                        if !or && outcome.visible {
+                            orace.compounding += 1;
+                        }
+                    }
+                }
+                if outcome.visible {
+                    row.delay_ace_hits += 1;
+                    match outcome.class {
+                        crate::injector::FailureClass::Sdc => row.sdc_hits += 1,
+                        crate::injector::FailureClass::Due => row.due_hits += 1,
+                        crate::injector::FailureClass::Masked => unreachable!("visible"),
+                    }
+                }
+            }
+        }
+        if config.compute_orace {
+            row.orace = Some(orace);
+        }
+        results.push(row);
+    }
+    results
+}
+
+/// Runs a particle-strike campaign: a single bit flip in each of `dffs` at
+/// every sampled cycle, classic single-bit ACE analysis (Equation 1).
+pub fn savf_campaign<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    due_slack: u64,
+) -> SavfResult {
+    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+    let mut result = SavfResult::default();
+    for &cycle in &golden.sampled_cycles {
+        for &dff in dffs {
+            result.injections += 1;
+            if injector.bit_ace(cycle, dff) {
+                result.ace_hits += 1;
+            }
+        }
+    }
+    result
+}
+
+/// Like [`delay_avf_campaign`] for a **single** delay fraction, but also
+/// returning every injection's record (cycle, edge, dynamic set,
+/// visibility) for downstream analyses such as Razor protection planning
+/// ([`crate::razor`]).
+pub fn delay_avf_campaign_records<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    fraction: f64,
+    due_slack: u64,
+) -> (DelayAvfResult, Vec<InjectionRecord>) {
+    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+    let extra = fraction_to_picos(timing, fraction);
+    let mut row = DelayAvfResult {
+        delay_fraction: fraction,
+        ..DelayAvfResult::default()
+    };
+    let mut records = Vec::new();
+    for &cycle in &golden.sampled_cycles {
+        if cycle == 0 || cycle + 1 > golden.trace.num_cycles() {
+            continue;
+        }
+        for &edge in edges {
+            let outcome = injector.inject(cycle, edge, extra);
+            row.injections += 1;
+            if outcome.statically_reachable > 0 {
+                row.static_hits += 1;
+            }
+            if !outcome.dynamic_set.is_empty() {
+                row.dynamic_hits += 1;
+                if outcome.is_multi_bit() {
+                    row.multi_bit_hits += 1;
+                }
+            }
+            if outcome.visible {
+                row.delay_ace_hits += 1;
+                match outcome.class {
+                    crate::injector::FailureClass::Sdc => row.sdc_hits += 1,
+                    crate::injector::FailureClass::Due => row.due_hits += 1,
+                    crate::injector::FailureClass::Masked => unreachable!("visible"),
+                }
+            }
+            records.push(InjectionRecord {
+                cycle,
+                edge,
+                outcome,
+            });
+        }
+    }
+    (row, records)
+}
+
+/// Per-bit sAVF: like [`savf_campaign`] but reporting each flip-flop's
+/// individual ACE fraction, so designers can locate a structure's
+/// vulnerability *hotspots* (the bits worth hardening first).
+pub fn savf_per_bit_campaign<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    due_slack: u64,
+) -> Vec<(DffId, SavfResult)> {
+    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+    dffs.iter()
+        .map(|&dff| {
+            let mut r = SavfResult::default();
+            for &cycle in &golden.sampled_cycles {
+                r.injections += 1;
+                if injector.bit_ace(cycle, dff) {
+                    r.ace_hits += 1;
+                }
+            }
+            (dff, r)
+        })
+        .collect()
+}
+
+/// Runs a **spatial double-bit** particle-strike campaign: simultaneous
+/// flips of physically adjacent bit pairs, the multi-bit transient-fault
+/// model of Wilkening et al. that the paper contrasts DelayAVF against
+/// (§VIII). `dffs` must list a structure's bits in physical order;
+/// consecutive entries form the struck pairs.
+///
+/// Unlike an SDF's dynamically reachable set, these pairs are fixed a
+/// priori by layout adjacency — comparing the two campaigns quantifies how
+/// much of delay-fault vulnerability spatial models can(not) capture.
+pub fn spatial_double_strike_campaign<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    due_slack: u64,
+) -> SavfResult {
+    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+    let mut result = SavfResult::default();
+    for &cycle in &golden.sampled_cycles {
+        for pair in dffs.windows(2) {
+            result.injections += 1;
+            if injector.group_ace(cycle, pair) {
+                result.ace_hits += 1;
+            }
+        }
+    }
+    result
+}
+
+fn fraction_to_picos(timing: &TimingModel, fraction: f64) -> Picos {
+    (timing.clock_period() as f64 * fraction).round() as Picos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::prepare_golden;
+    use delayavf_netlist::CircuitBuilder;
+    use delayavf_sim::ConstEnvironment;
+    use delayavf_timing::TechLibrary;
+
+    /// Accumulator fixture: errors persist forever, so dynamic reach implies
+    /// visibility under the never-halting environment.
+    fn fixture() -> (delayavf_netlist::Circuit, Topology, TimingModel) {
+        let mut b = CircuitBuilder::new();
+        let step = b.input_word("step", 4);
+        let acc = b.reg_word("acc", 4, 0);
+        let next = b.in_structure("adder", |b| b.add(&acc.q(), &step));
+        b.drive_word(&acc, &next);
+        b.output_word("acc", &acc.q());
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+        (c, topo, timing)
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_static_reach() {
+        let (c, topo, timing) = fixture();
+        let env = ConstEnvironment::new(vec![5]);
+        let golden = prepare_golden(&c, &topo, &env, 24, 6);
+        let edges = topo.structure_edges(&c, "adder").unwrap();
+        let config = CampaignConfig {
+            delay_fractions: vec![0.1, 0.5, 1.0],
+            compute_orace: false,
+            due_slack: 30,
+        };
+        let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
+        assert_eq!(rows.len(), 3);
+        // Static reachability can only grow with the delay duration.
+        assert!(rows[0].static_fraction() <= rows[1].static_fraction());
+        assert!(rows[1].static_fraction() <= rows[2].static_fraction());
+        // Every injection is counted.
+        for r in &rows {
+            assert_eq!(r.injections, edges.len() * golden.sampled_cycles.len());
+            assert!(r.dynamic_hits <= r.static_hits);
+            assert!(r.delay_ace_hits <= r.dynamic_hits);
+        }
+    }
+
+    #[test]
+    fn orace_on_an_accumulator_has_no_interference() {
+        // Every accumulator bit error is individually ACE and group errors
+        // never cancel (distinct bits), so interference = compounding = 0
+        // and OrDelayAVF == DelayAVF.
+        let (c, topo, timing) = fixture();
+        let env = ConstEnvironment::new(vec![5]);
+        let golden = prepare_golden(&c, &topo, &env, 24, 4);
+        let edges = topo.structure_edges(&c, "adder").unwrap();
+        let config = CampaignConfig {
+            delay_fractions: vec![0.9],
+            compute_orace: true,
+            due_slack: 30,
+        };
+        let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
+        let r = &rows[0];
+        let o = r.orace.unwrap();
+        assert_eq!(o.interference, 0);
+        assert_eq!(o.compounding, 0);
+        assert_eq!(r.or_delay_avf().unwrap(), r.delay_avf());
+        assert_eq!(r.or_relative_change_pct(), Some(0.0));
+    }
+
+    #[test]
+    fn per_bit_savf_sums_to_the_aggregate() {
+        let (c, topo, timing) = fixture();
+        let env = crate::testenv::ObservingEnv::new(5, 20);
+        let golden = prepare_golden(&c, &topo, &env, 100, 4);
+        let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
+        let agg = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30);
+        let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30);
+        assert_eq!(per_bit.len(), dffs.len());
+        let hits: usize = per_bit.iter().map(|(_, r)| r.ace_hits).sum();
+        let trials: usize = per_bit.iter().map(|(_, r)| r.injections).sum();
+        assert_eq!(hits, agg.ace_hits);
+        assert_eq!(trials, agg.injections);
+    }
+
+    #[test]
+    fn savf_of_an_accumulator_is_one() {
+        let (c, topo, timing) = fixture();
+        let env = crate::testenv::ObservingEnv::new(5, 20);
+        let golden = prepare_golden(&c, &topo, &env, 100, 4);
+        let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
+        let r = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30);
+        assert_eq!(r.injections, dffs.len() * golden.sampled_cycles.len());
+        // Flips in the final executed cycle are never observed by the
+        // environment (their outputs are past the last observation) — the
+        // classic "un-ACE at end of program" effect. Everything else is ACE
+        // in an accumulator.
+        let n = golden.trace.num_cycles();
+        let invisible_cycles = golden
+            .sampled_cycles
+            .iter()
+            .filter(|&&cy| cy >= n - 1)
+            .count();
+        assert_eq!(r.ace_hits, r.injections - dffs.len() * invisible_cycles);
+        assert!(r.savf() > 0.7);
+    }
+}

@@ -1,0 +1,95 @@
+//! Failure-rate estimation: turning DelayAVF into FIT.
+//!
+//! "Analogous to AVF, to estimate the failure rate of a structure, DelayAVF
+//! can be multiplied with the rate at which a given structure experiences a
+//! small delay fault" (paper §III-B). This module provides that last
+//! multiplication: given a raw per-wire SDF rate (from field data or defect
+//! models), it folds structure sizes and DelayAVF values into per-structure
+//! and whole-design failure rates.
+
+use std::fmt;
+
+/// Failures-in-time: expected failures per 10⁹ device-hours.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Fit(pub f64);
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 != 0.0 && self.0.abs() < 0.01 {
+            write!(f, "{:.2e} FIT", self.0)
+        } else {
+            write!(f, "{:.3} FIT", self.0)
+        }
+    }
+}
+
+/// Per-structure failure-rate estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructureFit {
+    /// Structure name.
+    pub structure: String,
+    /// Number of injectable wires (fanout edges) in the structure.
+    pub wires: usize,
+    /// The structure's DelayAVF.
+    pub delay_avf: f64,
+    /// Estimated failure rate.
+    pub fit: Fit,
+}
+
+/// Estimates the failure rate of a structure.
+///
+/// `raw_fit_per_wire` is the raw rate at which one wire experiences a small
+/// delay fault, in FIT. The structure's failure rate is then
+/// `raw_rate × #wires × DelayAVF` — the derating by DelayAVF is exactly the
+/// role AVF plays for particle strikes.
+pub fn structure_fit(
+    structure: impl Into<String>,
+    wires: usize,
+    delay_avf: f64,
+    raw_fit_per_wire: f64,
+) -> StructureFit {
+    assert!((0.0..=1.0).contains(&delay_avf), "DelayAVF is a probability");
+    assert!(raw_fit_per_wire >= 0.0, "rates are non-negative");
+    StructureFit {
+        structure: structure.into(),
+        wires,
+        delay_avf,
+        fit: Fit(raw_fit_per_wire * wires as f64 * delay_avf),
+    }
+}
+
+/// Sums per-structure estimates into a design-level failure rate.
+pub fn total_fit(structures: &[StructureFit]) -> Fit {
+    Fit(structures.iter().map(|s| s.fit.0).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_scales_with_size_and_vulnerability() {
+        let a = structure_fit("alu", 2000, 0.02, 1e-4);
+        let b = structure_fit("regfile", 4000, 0.01, 1e-4);
+        assert!((a.fit.0 - 2000.0 * 0.02 * 1e-4).abs() < 1e-12);
+        assert_eq!(a.fit, b.fit, "half the AVF on twice the wires is a wash");
+        let t = total_fit(&[a.clone(), b]);
+        assert!((t.0 - 2.0 * a.fit.0).abs() < 1e-12);
+        assert!(a.fit.to_string().contains("FIT"));
+        // Small rates render in scientific notation instead of rounding to 0.
+        assert_eq!(Fit(4.0e-4).to_string(), "4.00e-4 FIT");
+        assert_eq!(Fit(0.0).to_string(), "0.000 FIT");
+    }
+
+    #[test]
+    fn zero_avf_means_zero_fit() {
+        let s = structure_fit("decoder", 1000, 0.0, 5.0);
+        assert_eq!(s.fit, Fit(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn avf_above_one_is_rejected() {
+        let _ = structure_fit("x", 1, 1.5, 1.0);
+    }
+}

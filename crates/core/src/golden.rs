@@ -1,0 +1,121 @@
+//! Golden-run preparation: reference trace, checkpoints at the sampled
+//! injection cycles.
+
+use std::collections::BTreeMap;
+
+use delayavf_netlist::{Circuit, Topology};
+use delayavf_sim::{Checkpoint, Environment, GoldenTrace};
+
+use crate::sampling::{percent_to_count, stratified_cycles};
+
+/// A prepared fault-free reference execution: the golden trace plus
+/// checkpoints at every sampled injection cycle. Shared by all structures
+/// and delay durations for one (core, benchmark) pair.
+#[derive(Clone, Debug)]
+pub struct GoldenRun<E> {
+    /// The recorded reference execution.
+    pub trace: GoldenTrace,
+    /// Checkpoints keyed by cycle.
+    pub checkpoints: BTreeMap<u64, Checkpoint<E>>,
+    /// The sampled injection cycles (each has a checkpoint).
+    pub sampled_cycles: Vec<u64>,
+}
+
+/// Records the golden execution of `env` and checkpoints `cycle_samples`
+/// stratified-random injection cycles (seeded, deterministic).
+///
+/// Runs the program twice: once to learn its length, once to capture the
+/// trace and checkpoints.
+///
+/// # Panics
+///
+/// Panics if the program executes no cycles.
+pub fn prepare_golden<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    env: &E,
+    max_cycles: u64,
+    cycle_samples: usize,
+) -> GoldenRun<E> {
+    prepare_golden_seeded(circuit, topo, env, max_cycles, cycle_samples, 0x5eed)
+}
+
+/// [`prepare_golden`] sampling a *percentage* of the program's cycles, as
+/// the paper's artifact configures it (`percent_sampled_cycles_delay`).
+///
+/// # Panics
+///
+/// Panics if the program executes no cycles.
+pub fn prepare_golden_percent<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    env: &E,
+    max_cycles: u64,
+    percent: f64,
+    seed: u64,
+) -> GoldenRun<E> {
+    let mut probe = env.clone();
+    let (pre, _) = GoldenTrace::record(circuit, topo, &mut probe, max_cycles, &[]);
+    let count = percent_to_count(pre.num_cycles(), percent);
+    prepare_golden_seeded(circuit, topo, env, max_cycles, count, seed)
+}
+
+/// [`prepare_golden`] with an explicit sampling seed.
+///
+/// # Panics
+///
+/// Panics if the program executes no cycles.
+pub fn prepare_golden_seeded<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    env: &E,
+    max_cycles: u64,
+    cycle_samples: usize,
+    seed: u64,
+) -> GoldenRun<E> {
+    // Pass 1: learn N.
+    let mut probe = env.clone();
+    let (pre, _) = GoldenTrace::record(circuit, topo, &mut probe, max_cycles, &[]);
+    let n = pre.num_cycles();
+    assert!(n > 0, "program executed no cycles");
+
+    // Pass 2: record with checkpoints at the sampled cycles.
+    let sampled_cycles = stratified_cycles(n, cycle_samples, seed);
+    let mut env2 = env.clone();
+    let (trace, cps) = GoldenTrace::record(circuit, topo, &mut env2, max_cycles, &sampled_cycles);
+    let checkpoints: BTreeMap<u64, Checkpoint<E>> =
+        cps.into_iter().map(|cp| (cp.cycle, cp)).collect();
+    debug_assert!(sampled_cycles.iter().all(|c| checkpoints.contains_key(c)));
+    GoldenRun {
+        trace,
+        checkpoints,
+        sampled_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_netlist::CircuitBuilder;
+    use delayavf_sim::ConstEnvironment;
+
+    #[test]
+    fn prepares_checkpoints_for_all_samples() {
+        let mut b = CircuitBuilder::new();
+        let step = b.input_word("step", 4);
+        let count = b.reg_word("count", 4, 0);
+        let next = b.add(&count.q(), &step);
+        b.drive_word(&count, &next);
+        b.output_word("count", &count.q());
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let env = ConstEnvironment::new(vec![1]);
+        let g = prepare_golden(&c, &topo, &env, 50, 5);
+        assert_eq!(g.trace.num_cycles(), 50);
+        assert_eq!(g.sampled_cycles.len(), 5);
+        for cyc in &g.sampled_cycles {
+            let cp = &g.checkpoints[cyc];
+            assert_eq!(cp.cycle, *cyc);
+        }
+    }
+}

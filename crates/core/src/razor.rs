@@ -1,0 +1,178 @@
+//! Targeted protection planning: Razor-style error-detection coverage.
+//!
+//! The paper motivates DelayAVF as the metric that lets designers "identify
+//! structures which are particularly vulnerable to SDFs, helping to guide
+//! targeted protections" (§I), naming Razor shadow latches as the spatial-
+//! redundancy mitigation (§II-D). This module closes that loop: given the
+//! per-injection records of a campaign, it evaluates how many
+//! program-visible delay faults a set of shadow-latched flip-flops would
+//! *detect* (a Razor latch flags any wrong value captured by its flip-flop),
+//! and greedily selects the flip-flops with the best coverage per latch.
+
+use std::collections::HashSet;
+
+use delayavf_netlist::{DffId, EdgeId};
+
+use crate::injector::InjectionOutcome;
+
+/// One recorded injection: where, when and what happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Faulted edge.
+    pub edge: EdgeId,
+    /// Two-step outcome.
+    pub outcome: InjectionOutcome,
+}
+
+/// Detection coverage of a protected flip-flop set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Program-visible injections whose dynamic set touches a protected
+    /// flip-flop (Razor would raise an error).
+    pub detected: usize,
+    /// All program-visible injections.
+    pub visible: usize,
+}
+
+impl Coverage {
+    /// Fraction of program-visible delay faults detected.
+    pub fn fraction(&self) -> f64 {
+        if self.visible == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.visible as f64
+        }
+    }
+}
+
+/// Evaluates Razor detection coverage: a visible injection counts as
+/// detected iff at least one erring flip-flop carries a shadow latch.
+pub fn detection_coverage(records: &[InjectionRecord], protected: &HashSet<DffId>) -> Coverage {
+    let mut cov = Coverage::default();
+    for r in records {
+        if !r.outcome.visible {
+            continue;
+        }
+        cov.visible += 1;
+        if r.outcome.dynamic_set.iter().any(|d| protected.contains(d)) {
+            cov.detected += 1;
+        }
+    }
+    cov
+}
+
+/// Greedy shadow-latch placement: repeatedly picks the flip-flop that
+/// detects the most still-undetected program-visible injections, up to
+/// `budget` latches. Returns the chosen flip-flops in selection order
+/// (classic greedy set cover, within `1 - 1/e` of optimal coverage).
+pub fn greedy_protection(records: &[InjectionRecord], budget: usize) -> Vec<DffId> {
+    let visible: Vec<&InjectionRecord> = records.iter().filter(|r| r.outcome.visible).collect();
+    let mut uncovered: Vec<bool> = vec![true; visible.len()];
+    let mut chosen = Vec::new();
+    for _ in 0..budget {
+        // Count per-dff coverage over still-uncovered injections.
+        let mut counts: std::collections::HashMap<DffId, usize> = std::collections::HashMap::new();
+        for (i, r) in visible.iter().enumerate() {
+            if !uncovered[i] {
+                continue;
+            }
+            for &d in &r.outcome.dynamic_set {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+        }
+        // Deterministic tie-break on the dff id.
+        let Some((&best, _)) = counts
+            .iter()
+            .max_by_key(|(d, &n)| (n, std::cmp::Reverse(**d)))
+        else {
+            break; // everything covered (or nothing visible)
+        };
+        if counts[&best] == 0 {
+            break;
+        }
+        for (i, r) in visible.iter().enumerate() {
+            if uncovered[i] && r.outcome.dynamic_set.contains(&best) {
+                uncovered[i] = false;
+            }
+        }
+        chosen.push(best);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::FailureClass;
+
+    fn rec(edge: usize, set: &[usize], visible: bool) -> InjectionRecord {
+        InjectionRecord {
+            cycle: 1,
+            edge: EdgeId::from_index(edge),
+            outcome: InjectionOutcome {
+                statically_reachable: set.len(),
+                dynamic_set: set.iter().map(|&i| DffId::from_index(i)).collect(),
+                visible,
+                class: if visible {
+                    FailureClass::Sdc
+                } else {
+                    FailureClass::Masked
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn coverage_counts_only_visible_injections() {
+        let records = vec![
+            rec(0, &[1, 2], true),
+            rec(1, &[3], true),
+            rec(2, &[1], false), // masked: irrelevant
+            rec(3, &[], false),
+        ];
+        let protected: HashSet<DffId> = [DffId::from_index(1)].into_iter().collect();
+        let cov = detection_coverage(&records, &protected);
+        assert_eq!(cov.visible, 2);
+        assert_eq!(cov.detected, 1);
+        assert!((cov.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero_coverage() {
+        let cov = detection_coverage(&[], &HashSet::new());
+        assert_eq!(cov.fraction(), 0.0);
+    }
+
+    #[test]
+    fn greedy_prefers_high_coverage_bits() {
+        // dff 7 covers three visible injections, dff 1 and 2 one each.
+        let records = vec![
+            rec(0, &[7, 1], true),
+            rec(1, &[7], true),
+            rec(2, &[7, 2], true),
+            rec(3, &[2], true),
+        ];
+        let chosen = greedy_protection(&records, 2);
+        assert_eq!(chosen[0], DffId::from_index(7));
+        assert_eq!(chosen[1], DffId::from_index(2), "second pick covers the leftover");
+        let protected: HashSet<DffId> = chosen.into_iter().collect();
+        assert_eq!(detection_coverage(&records, &protected).fraction(), 1.0);
+    }
+
+    #[test]
+    fn greedy_stops_when_everything_is_covered() {
+        let records = vec![rec(0, &[5], true)];
+        let chosen = greedy_protection(&records, 10);
+        assert_eq!(chosen.len(), 1);
+    }
+
+    #[test]
+    fn greedy_is_deterministic_under_ties() {
+        let records = vec![rec(0, &[4], true), rec(1, &[9], true)];
+        let a = greedy_protection(&records, 2);
+        let b = greedy_protection(&records, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-text rendering helpers for the experiment harness.
+
+/// Renders a simple aligned table.
+///
+/// # Panics
+///
+/// Panics if a row has a different arity than the header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row arity matches header");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats one fraction row as a percentage with two decimals.
+pub fn format_fraction_row(value: f64) -> String {
+    format!("{:.2}%", 100.0 * value)
+}
+
+/// A data series normalized to its maximum, as the paper normalizes its
+/// DelayAVF figures "to facilitate comparison between structures".
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalizedSeries {
+    /// Series label (structure or benchmark name).
+    pub label: String,
+    /// Raw values in sweep order.
+    pub raw: Vec<f64>,
+}
+
+impl NormalizedSeries {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, raw: Vec<f64>) -> Self {
+        NormalizedSeries {
+            label: label.into(),
+            raw,
+        }
+    }
+
+    /// The values normalized by `max` (usually the maximum across all
+    /// series of a figure). A zero `max` yields zeros.
+    pub fn normalized_by(&self, max: f64) -> Vec<f64> {
+        if max <= 0.0 {
+            return vec![0.0; self.raw.len()];
+        }
+        self.raw.iter().map(|v| v / max).collect()
+    }
+
+    /// The maximum raw value of several series (the figure-wide
+    /// normalization constant).
+    pub fn global_max(series: &[NormalizedSeries]) -> f64 {
+        series
+            .iter()
+            .flat_map(|s| s.raw.iter().copied())
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// Geometric mean over values, flooring zeros at a tiny epsilon (the paper
+/// reports geometric means across benchmarks).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    geometric_mean_floored(values, 1e-9)
+}
+
+/// Geometric mean with an explicit floor.
+///
+/// For *sampled rates*, pass the sampling resolution (e.g. half a hit,
+/// `0.5 / injections`): cells where no failure was observed then contribute
+/// "below resolution" instead of collapsing the product toward zero.
+pub fn geometric_mean_floored(values: &[f64], floor: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let floor = floor.max(f64::MIN_POSITIVE);
+    let log_sum: f64 = values.iter().map(|&v| v.max(floor).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// 95% Wilson score interval for a sampled proportion (`hits` out of
+/// `trials`). Statistical fault injection reports should carry these bounds:
+/// a DelayAVF of 0.002 measured over 500 injections is compatible with
+/// anything from ~0.0004 to ~0.01.
+pub fn wilson_interval(hits: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_985; // 97.5th percentile of the normal distribution
+    let n = trials as f64;
+    let p = hits as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ((center - margin).max(0.0), (center + margin).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["alu".into(), "3668".into()],
+                vec!["decoder".into(), "1007".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alu"));
+        assert!(lines[3].starts_with("decoder"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn normalization() {
+        let s1 = NormalizedSeries::new("a", vec![0.1, 0.4]);
+        let s2 = NormalizedSeries::new("b", vec![0.2, 0.8]);
+        let max = NormalizedSeries::global_max(&[s1.clone(), s2.clone()]);
+        assert_eq!(max, 0.8);
+        assert_eq!(s1.normalized_by(max), vec![0.125, 0.5]);
+        assert_eq!(s2.normalized_by(0.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-9);
+        // Zeros are floored, not fatal.
+        assert!(geometric_mean(&[0.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn fraction_formatting() {
+        assert_eq!(format_fraction_row(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn wilson_interval_behaves() {
+        let (lo, hi) = wilson_interval(0, 0);
+        assert_eq!((lo, hi), (0.0, 1.0), "no data, no knowledge");
+        let (lo, hi) = wilson_interval(0, 100);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05, "zero hits still bounds above 0");
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.21, "narrow at n=100");
+        // More data, tighter interval.
+        let (lo2, hi2) = wilson_interval(500, 1000);
+        assert!(hi2 - lo2 < hi - lo);
+        // Interval is contained in [0, 1].
+        let (lo, hi) = wilson_interval(100, 100);
+        assert!(lo > 0.9 && hi > 0.9999);
+    }
+}

@@ -1,0 +1,229 @@
+//! Result records produced by the campaigns.
+
+use std::fmt;
+
+/// ORACE approximation statistics for one delay duration (Table III
+/// ingredients).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OraceStats {
+    /// Injections whose dynamic set is ORACE (≥1 individually-ACE member).
+    pub or_hits: usize,
+    /// ACE interference events: the set is ORACE but **not** GroupACE
+    /// (individually-ACE errors cancel at the group level).
+    pub interference: usize,
+    /// ACE compounding events: the set is GroupACE but **not** ORACE
+    /// (no member is individually ACE, together they fail).
+    pub compounding: usize,
+}
+
+/// One row of a DelayAVF sweep: all counters for a (structure, benchmark,
+/// delay duration) cell.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DelayAvfResult {
+    /// The delay duration as a fraction of the clock period (the paper's
+    /// *d*).
+    pub delay_fraction: f64,
+    /// Total (edge, cycle) injections evaluated.
+    pub injections: usize,
+    /// Injections with ≥1 statically reachable state element ("Static
+    /// Reach" in Fig. 8).
+    pub static_hits: usize,
+    /// Injections with ≥1 state-element error ("Dynamic Reach" in Fig. 8).
+    pub dynamic_hits: usize,
+    /// Injections that are DelayACE ("GroupACE" in Fig. 8; the DelayAVF
+    /// numerator; always `sdc_hits + due_hits`).
+    pub delay_ace_hits: usize,
+    /// DelayACE injections classified as silent data corruption.
+    pub sdc_hits: usize,
+    /// DelayACE injections classified as detected unrecoverable errors
+    /// (crash, trap or hang).
+    pub due_hits: usize,
+    /// Injections whose dynamic set holds ≥2 simultaneous errors.
+    pub multi_bit_hits: usize,
+    /// ORACE statistics, when the campaign computed them.
+    pub orace: Option<OraceStats>,
+}
+
+impl DelayAvfResult {
+    /// DelayAVF (Equation 3): DelayACE hits over injections.
+    pub fn delay_avf(&self) -> f64 {
+        ratio(self.delay_ace_hits, self.injections)
+    }
+
+    /// 95% Wilson confidence interval for the sampled DelayAVF.
+    pub fn delay_avf_interval(&self) -> (f64, f64) {
+        crate::report::wilson_interval(self.delay_ace_hits, self.injections)
+    }
+
+    /// Fraction of injections with at least one statically reachable state
+    /// element.
+    pub fn static_fraction(&self) -> f64 {
+        ratio(self.static_hits, self.injections)
+    }
+
+    /// Fraction of injections with at least one state-element error.
+    pub fn dynamic_fraction(&self) -> f64 {
+        ratio(self.dynamic_hits, self.injections)
+    }
+
+    /// Fraction of error-producing injections whose error is multi-bit.
+    pub fn multi_bit_fraction(&self) -> f64 {
+        ratio(self.multi_bit_hits, self.dynamic_hits)
+    }
+
+    /// OrDelayAVF (Definition 6): the ORACE-based approximation of
+    /// DelayAVF. `None` when ORACE was not computed.
+    pub fn or_delay_avf(&self) -> Option<f64> {
+        self.orace.map(|o| ratio(o.or_hits, self.injections))
+    }
+
+    /// Relative change between DelayAVF and OrDelayAVF (Table III's last
+    /// columns), in percent.
+    pub fn or_relative_change_pct(&self) -> Option<f64> {
+        let or = self.or_delay_avf()?;
+        let davf = self.delay_avf();
+        if davf == 0.0 {
+            return Some(if or == 0.0 { 0.0 } else { 100.0 });
+        }
+        Some(100.0 * (or - davf).abs() / davf)
+    }
+
+    /// ACE interference rate as a percentage of dynamically reachable sets.
+    pub fn interference_pct(&self) -> Option<f64> {
+        self.orace
+            .map(|o| 100.0 * ratio(o.interference, self.dynamic_hits))
+    }
+
+    /// ACE compounding rate as a percentage of dynamically reachable sets.
+    pub fn compounding_pct(&self) -> Option<f64> {
+        self.orace
+            .map(|o| 100.0 * ratio(o.compounding, self.dynamic_hits))
+    }
+}
+
+impl fmt::Display for DelayAvfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d={:.0}%: DelayAVF={:.4} (static {:.2}, dynamic {:.3}, {} injections)",
+            100.0 * self.delay_fraction,
+            self.delay_avf(),
+            self.static_fraction(),
+            self.dynamic_fraction(),
+            self.injections
+        )
+    }
+}
+
+/// Result of a particle-strike (sAVF) campaign over a structure's bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SavfResult {
+    /// Total (bit, cycle) strikes evaluated.
+    pub injections: usize,
+    /// Strikes that were ACE (program-visible).
+    pub ace_hits: usize,
+}
+
+impl SavfResult {
+    /// The structure's particle-strike AVF (Equation 1 over the sampled
+    /// cycles).
+    pub fn savf(&self) -> f64 {
+        ratio(self.ace_hits, self.injections)
+    }
+
+    /// 95% Wilson confidence interval for the sampled sAVF.
+    pub fn savf_interval(&self) -> (f64, f64) {
+        crate::report::wilson_interval(self.ace_hits, self.injections)
+    }
+}
+
+impl fmt::Display for SavfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sAVF={:.4} ({}/{} strikes)",
+            self.savf(),
+            self.ace_hits,
+            self.injections
+        )
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_against_empty_denominators() {
+        let r = DelayAvfResult::default();
+        assert_eq!(r.delay_avf(), 0.0);
+        assert_eq!(r.multi_bit_fraction(), 0.0);
+        assert_eq!(SavfResult::default().savf(), 0.0);
+    }
+
+    #[test]
+    fn orace_derivations() {
+        let r = DelayAvfResult {
+            delay_fraction: 0.9,
+            injections: 100,
+            static_hits: 80,
+            dynamic_hits: 40,
+            delay_ace_hits: 20,
+            sdc_hits: 15,
+            due_hits: 5,
+            multi_bit_hits: 10,
+            orace: Some(OraceStats {
+                or_hits: 25,
+                interference: 8,
+                compounding: 3,
+            }),
+        };
+        assert!((r.delay_avf() - 0.2).abs() < 1e-12);
+        assert!((r.or_delay_avf().unwrap() - 0.25).abs() < 1e-12);
+        assert!((r.or_relative_change_pct().unwrap() - 25.0).abs() < 1e-9);
+        assert!((r.interference_pct().unwrap() - 20.0).abs() < 1e-9);
+        assert!((r.compounding_pct().unwrap() - 7.5).abs() < 1e-9);
+        assert!((r.multi_bit_fraction() - 0.25).abs() < 1e-12);
+        assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn intervals_bracket_the_point_estimate() {
+        let r = DelayAvfResult {
+            injections: 200,
+            delay_ace_hits: 10,
+            ..DelayAvfResult::default()
+        };
+        let (lo, hi) = r.delay_avf_interval();
+        assert!(lo < r.delay_avf() && r.delay_avf() < hi);
+        let s = SavfResult {
+            injections: 200,
+            ace_hits: 100,
+        };
+        let (lo, hi) = s.savf_interval();
+        assert!(lo < 0.5 && 0.5 < hi);
+    }
+
+    #[test]
+    fn zero_davf_relative_change() {
+        let mut r = DelayAvfResult {
+            injections: 10,
+            orace: Some(OraceStats::default()),
+            ..DelayAvfResult::default()
+        };
+        assert_eq!(r.or_relative_change_pct(), Some(0.0));
+        r.orace = Some(OraceStats {
+            or_hits: 1,
+            ..OraceStats::default()
+        });
+        assert_eq!(r.or_relative_change_pct(), Some(100.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Temporal and spatial sampling (§V-C "the simplest way to reduce the
+//! total number of simulations is to employ temporal sampling").
+
+use delayavf_netlist::EdgeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Picks `count` injection cycles equally spaced through `1..num_cycles`
+/// (cycle 0 is skipped: there is no previous settled cycle to launch the
+/// timing-aware simulation from). This mirrors the paper's "injection
+/// points chosen to be equally spaced out throughout the whole program
+/// execution".
+///
+/// Returns fewer cycles when the program is shorter than `count`.
+pub fn spaced_cycles(num_cycles: u64, count: usize) -> Vec<u64> {
+    if num_cycles < 2 || count == 0 {
+        return Vec::new();
+    }
+    let lo = 1u64;
+    let hi = num_cycles - 1; // last cycle with a next-cycle boundary
+    let span = hi - lo;
+    let count = count.min(span as usize + 1);
+    if count == 1 {
+        return vec![lo];
+    }
+    let mut out: Vec<u64> = (0..count)
+        .map(|k| lo + (span * k as u64) / (count as u64 - 1))
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Picks `count` injection cycles with **stratified random** sampling: the
+/// run is divided into `count` equal strata and one cycle is drawn uniformly
+/// from each. This keeps the even temporal coverage of the paper's
+/// equally-spaced injection points while avoiding aliasing with the core's
+/// periodic fetch/execute cadence (a fixed stride can systematically land on
+/// the same pipeline state).
+pub fn stratified_cycles(num_cycles: u64, count: usize, seed: u64) -> Vec<u64> {
+    use rand::Rng;
+    if num_cycles < 2 || count == 0 {
+        return Vec::new();
+    }
+    let lo = 1u64;
+    let hi = num_cycles - 1;
+    let span = hi - lo + 1;
+    let count = count.min(span as usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count as u64 {
+        let s_lo = lo + span * k / count as u64;
+        let s_hi = lo + span * (k + 1) / count as u64;
+        out.push(rng.gen_range(s_lo..s_hi.max(s_lo + 1)));
+    }
+    out.dedup();
+    out
+}
+
+/// Derives the sample count from a sampling percentage, as the paper
+/// configures it (`percent_sampled_cycles_delay`).
+pub fn percent_to_count(num_cycles: u64, percent: f64) -> usize {
+    ((num_cycles as f64) * percent / 100.0).ceil().max(1.0) as usize
+}
+
+/// Uniformly samples at most `limit` edges (deterministic under `seed`).
+/// With `limit >= edges.len()` this is the identity (every wire injected,
+/// as in the paper).
+pub fn sample_edges(edges: &[EdgeId], limit: usize, seed: u64) -> Vec<EdgeId> {
+    if edges.len() <= limit {
+        return edges.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: Vec<EdgeId> = edges
+        .choose_multiple(&mut rng, limit)
+        .copied()
+        .collect();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaced_cycles_cover_the_run() {
+        let s = spaced_cycles(1000, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 1);
+        assert_eq!(*s.last().unwrap(), 999);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn spaced_cycles_clamp_to_short_programs() {
+        assert_eq!(spaced_cycles(3, 10), vec![1, 2]);
+        assert_eq!(spaced_cycles(2, 10), vec![1]);
+        let s = spaced_cycles(100, 1);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn percent_conversion_matches_paper_configs() {
+        // 4% of 8903 cycles (matmult in Table II) ≈ 357 injection cycles.
+        assert_eq!(percent_to_count(8903, 4.0), 357);
+        assert_eq!(percent_to_count(10, 0.01), 1, "at least one cycle");
+    }
+
+    #[test]
+    fn edge_sampling_is_deterministic_and_bounded() {
+        let edges: Vec<EdgeId> = (0..100).map(EdgeId::from_index).collect();
+        let a = sample_edges(&edges, 10, 7);
+        let b = sample_edges(&edges, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_ne!(a, sample_edges(&edges, 10, 8));
+        assert_eq!(sample_edges(&edges, 1000, 7), edges);
+    }
+}

@@ -1,0 +1,843 @@
+//! A two-pass RV32E assembler.
+//!
+//! Syntax follows the GNU assembler conventions for the supported subset:
+//! one statement per line, `label:` definitions, `#` comments, standard
+//! mnemonics plus the common pseudo instructions, and the data directives
+//! `.word`, `.half`, `.byte`, `.space`, `.align`, `.asciz` and `.equ`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, BranchKind, Inst, LoadKind, StoreKind};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// One statement after label extraction.
+#[derive(Debug)]
+struct Stmt<'a> {
+    line: usize,
+    /// Address assigned in pass 1.
+    addr: u32,
+    mnemonic: &'a str,
+    operands: &'a str,
+}
+
+/// Assembles RV32E source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending line for syntax errors,
+/// unknown mnemonics or registers, undefined or duplicate symbols, and
+/// out-of-range immediates or branch targets.
+///
+/// # Example
+///
+/// ```
+/// let p = delayavf_isa::assemble("loop: addi a0, a0, -1\n bnez a0, loop\n")?;
+/// assert_eq!(p.len(), 8);
+/// assert_eq!(p.symbol("loop"), Some(0));
+/// # Ok::<(), delayavf_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut stmts: Vec<Stmt<'_>> = Vec::new();
+
+    // Pass 1: addresses and symbols.
+    let mut pc: u32 = 0;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut rest = strip_comment(raw).trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = rest.find(':') {
+            let candidate = rest[..colon].trim();
+            if candidate.is_empty() || !is_symbol(candidate) {
+                break;
+            }
+            define_symbol(&mut symbols, candidate, pc, line)?;
+            rest = rest[colon + 1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, operands) = split_mnemonic(rest);
+        let size = statement_size(mnemonic, operands, pc, &symbols, line)?;
+        if let Some(aligned) = directive_align(mnemonic, operands, pc, line)? {
+            pc = aligned;
+            continue;
+        }
+        if mnemonic == ".equ" {
+            let (name, value) = parse_equ(operands, &symbols, line)?;
+            define_symbol(&mut symbols, name, value, line)?;
+            continue;
+        }
+        stmts.push(Stmt {
+            line,
+            addr: pc,
+            mnemonic,
+            operands,
+        });
+        pc = pc
+            .checked_add(size)
+            .ok_or_else(|| AsmError::new(line, "image exceeds the 32-bit address space"))?;
+    }
+
+    // Pass 2: emission.
+    let mut bytes = vec![0u8; pc as usize];
+    for stmt in &stmts {
+        emit(stmt, &symbols, &mut bytes)?;
+    }
+    Ok(Program { bytes, symbols })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_symbol(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn define_symbol(
+    symbols: &mut BTreeMap<String, u32>,
+    name: &str,
+    value: u32,
+    line: usize,
+) -> Result<(), AsmError> {
+    if symbols.insert(name.to_owned(), value).is_some() {
+        return Err(AsmError::new(line, format!("symbol `{name}` redefined")));
+    }
+    Ok(())
+}
+
+fn split_mnemonic(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    }
+}
+
+fn parse_equ<'a>(
+    operands: &'a str,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<(&'a str, u32), AsmError> {
+    let (name, value) = operands
+        .split_once(',')
+        .ok_or_else(|| AsmError::new(line, ".equ needs `name, value`"))?;
+    let name = name.trim();
+    if !is_symbol(name) {
+        return Err(AsmError::new(line, format!("bad symbol name `{name}`")));
+    }
+    let value = eval(value.trim(), symbols, line)?;
+    Ok((name, value as u32))
+}
+
+fn directive_align(
+    mnemonic: &str,
+    operands: &str,
+    pc: u32,
+    line: usize,
+) -> Result<Option<u32>, AsmError> {
+    if mnemonic != ".align" {
+        return Ok(None);
+    }
+    let k: u32 = operands
+        .trim()
+        .parse()
+        .map_err(|_| AsmError::new(line, ".align needs a small integer"))?;
+    if k > 12 {
+        return Err(AsmError::new(line, ".align exponent too large"));
+    }
+    let mask = (1u32 << k) - 1;
+    Ok(Some((pc + mask) & !mask))
+}
+
+/// Size in bytes a statement will occupy (directives included).
+fn statement_size(
+    mnemonic: &str,
+    operands: &str,
+    _pc: u32,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        ".align" | ".equ" => 0,
+        ".word" => 4 * count_operands(operands),
+        ".half" => 2 * count_operands(operands),
+        ".byte" => count_operands(operands),
+        ".space" => eval(operands.trim(), symbols, line)? as u32,
+        ".asciz" => {
+            let s = parse_string(operands, line)?;
+            s.len() as u32 + 1
+        }
+        "li" => {
+            let (_, imm_text) = operands
+                .split_once(',')
+                .ok_or_else(|| AsmError::new(line, "li needs `rd, imm`"))?;
+            let imm = eval(imm_text.trim(), symbols, line).map_err(|_| {
+                AsmError::new(
+                    line,
+                    "li needs a literal or previously defined .equ (use `la` for labels)",
+                )
+            })?;
+            if (-2048..=2047).contains(&imm) {
+                4
+            } else {
+                8
+            }
+        }
+        "la" => 8,
+        _ => 4,
+    })
+}
+
+fn count_operands(operands: &str) -> u32 {
+    if operands.trim().is_empty() {
+        0
+    } else {
+        operands.split(',').count() as u32
+    }
+}
+
+fn parse_string(operands: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let t = operands.trim();
+    let inner = t
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(line, "expected a double-quoted string"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => {
+                    return Err(AsmError::new(
+                        line,
+                        format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                    ))
+                }
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates `term` or `term+term` / `term-term` where terms are integers,
+/// character literals or defined symbols.
+fn eval(expr: &str, symbols: &BTreeMap<String, u32>, line: usize) -> Result<i64, AsmError> {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return Err(AsmError::new(line, "empty expression"));
+    }
+    // Split on the last top-level +/-, skipping a leading sign.
+    for (i, c) in expr.char_indices().rev() {
+        if (c == '+' || c == '-') && i > 0 {
+            let lhs = expr[..i].trim();
+            let rhs = expr[i + 1..].trim();
+            // Avoid splitting literals like `-5` or `0x-`? A trailing
+            // operator means malformed input; let term parsing report it.
+            if !lhs.is_empty() && !rhs.is_empty() && !lhs.ends_with(['+', '-', 'x', 'b']) {
+                let l = eval(lhs, symbols, line)?;
+                let r = term(rhs, symbols, line)?;
+                return Ok(if c == '+' { l + r } else { l - r });
+            }
+        }
+    }
+    term(expr, symbols, line)
+}
+
+fn term(t: &str, symbols: &BTreeMap<String, u32>, line: usize) -> Result<i64, AsmError> {
+    let t = t.trim();
+    if let Some(rest) = t.strip_prefix('-') {
+        return Ok(-term(rest, symbols, line)?);
+    }
+    // Standard RISC-V relocation functions: %hi(x) pairs with %lo(x) such
+    // that (%hi(x) << 12) + sext(%lo(x)) == x.
+    if let Some(inner) = t.strip_prefix("%hi(").and_then(|r| r.strip_suffix(')')) {
+        let v = eval(inner, symbols, line)? as u32;
+        return Ok(i64::from(v.wrapping_add(0x800) >> 12));
+    }
+    if let Some(inner) = t.strip_prefix("%lo(").and_then(|r| r.strip_suffix(')')) {
+        let v = eval(inner, symbols, line)? as u32;
+        return Ok(i64::from(((v & 0xfff) as i32) << 20 >> 20));
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return i64::from_str_radix(&hex.replace('_', ""), 16)
+            .map_err(|_| AsmError::new(line, format!("bad hex literal `{t}`")));
+    }
+    if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        return i64::from_str_radix(&bin.replace('_', ""), 2)
+            .map_err(|_| AsmError::new(line, format!("bad binary literal `{t}`")));
+    }
+    if t.starts_with('\'') && t.ends_with('\'') && t.len() == 3 {
+        return Ok(t.as_bytes()[1] as i64);
+    }
+    if t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return t
+            .replace('_', "")
+            .parse::<i64>()
+            .map_err(|_| AsmError::new(line, format!("bad integer literal `{t}`")));
+    }
+    symbols
+        .get(t)
+        .map(|&v| i64::from(v))
+        .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{t}`")))
+}
+
+fn parse_reg(t: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(t.trim()).ok_or_else(|| AsmError::new(line, format!("unknown register `{t}`")))
+}
+
+/// Parses `offset(base)` with an optional offset expression.
+fn parse_mem(
+    t: &str,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<(i32, Reg), AsmError> {
+    let t = t.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected `offset(base)`, got `{t}`")))?;
+    let close = t
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| AsmError::new(line, "missing `)` in memory operand"))?;
+    let off_text = t[..open].trim();
+    let off = if off_text.is_empty() {
+        0
+    } else {
+        check_i12(eval(off_text, symbols, line)?, line)?
+    };
+    let base = parse_reg(&t[open + 1..close], line)?;
+    Ok((off, base))
+}
+
+fn check_i12(v: i64, line: usize) -> Result<i32, AsmError> {
+    if (-2048..=2047).contains(&v) {
+        Ok(v as i32)
+    } else {
+        Err(AsmError::new(line, format!("immediate {v} does not fit 12 bits")))
+    }
+}
+
+fn split_ops(operands: &str) -> Vec<&str> {
+    if operands.trim().is_empty() {
+        Vec::new()
+    } else {
+        operands.split(',').map(str::trim).collect()
+    }
+}
+
+fn branch_offset(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
+    let off = target - i64::from(pc);
+    if off % 2 != 0 || !(-(1 << 12)..(1 << 12)).contains(&off) {
+        return Err(AsmError::new(line, format!("branch target out of range ({off} bytes)")));
+    }
+    Ok(off as i32)
+}
+
+fn jump_offset(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
+    let off = target - i64::from(pc);
+    if off % 2 != 0 || !(-(1 << 20)..(1 << 20)).contains(&off) {
+        return Err(AsmError::new(line, format!("jump target out of range ({off} bytes)")));
+    }
+    Ok(off as i32)
+}
+
+/// Splits a 32-bit constant into `(hi20 << 12, lo12)` such that
+/// `hi + sext(lo) == value`.
+fn hi_lo(value: u32) -> (u32, i32) {
+    let lo = ((value & 0xfff) as i32) << 20 >> 20; // sign-extend 12 bits
+    let hi = value.wrapping_sub(lo as u32);
+    (hi, lo)
+}
+
+fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> Result<(), AsmError> {
+    let line = stmt.line;
+    let ops = split_ops(stmt.operands);
+    let nops = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                line,
+                format!("`{}` expects {n} operands, got {}", stmt.mnemonic, ops.len()),
+            ))
+        }
+    };
+    let val = |t: &str| eval(t, symbols, line);
+    let reg = |t: &str| parse_reg(t, line);
+
+    let mut out: Vec<u32> = Vec::with_capacity(2);
+    let mut raw_bytes: Option<Vec<u8>> = None;
+
+    let alu_r = |k: AluOp, ops: &[&str]| -> Result<Inst, AsmError> {
+        Ok(Inst::Op {
+            kind: k,
+            rd: parse_reg(ops[0], line)?,
+            rs1: parse_reg(ops[1], line)?,
+            rs2: parse_reg(ops[2], line)?,
+        })
+    };
+    let alu_i = |k: AluOp, ops: &[&str]| -> Result<Inst, AsmError> {
+        let imm = check_i12(eval(ops[2], symbols, line)?, line)?;
+        Ok(Inst::OpImm {
+            kind: k,
+            rd: parse_reg(ops[0], line)?,
+            rs1: parse_reg(ops[1], line)?,
+            imm,
+        })
+    };
+    let shift_i = |k: AluOp, ops: &[&str]| -> Result<Inst, AsmError> {
+        let imm = eval(ops[2], symbols, line)?;
+        if !(0..32).contains(&imm) {
+            return Err(AsmError::new(line, format!("shift amount {imm} out of range")));
+        }
+        Ok(Inst::OpImm {
+            kind: k,
+            rd: parse_reg(ops[0], line)?,
+            rs1: parse_reg(ops[1], line)?,
+            imm: imm as i32,
+        })
+    };
+    let branch = |k: BranchKind, a: &str, b: &str, t: &str| -> Result<Inst, AsmError> {
+        Ok(Inst::Branch {
+            kind: k,
+            rs1: parse_reg(a, line)?,
+            rs2: parse_reg(b, line)?,
+            offset: branch_offset(eval(t, symbols, line)?, stmt.addr, line)?,
+        })
+    };
+    let load = |k: LoadKind, ops: &[&str]| -> Result<Inst, AsmError> {
+        let (offset, rs1) = parse_mem(ops[1], symbols, line)?;
+        Ok(Inst::Load {
+            kind: k,
+            rd: parse_reg(ops[0], line)?,
+            rs1,
+            offset,
+        })
+    };
+    let store = |k: StoreKind, ops: &[&str]| -> Result<Inst, AsmError> {
+        let (offset, rs1) = parse_mem(ops[1], symbols, line)?;
+        Ok(Inst::Store {
+            kind: k,
+            rs2: parse_reg(ops[0], line)?,
+            rs1,
+            offset,
+        })
+    };
+
+    match stmt.mnemonic {
+        // Data directives.
+        ".word" => {
+            raw_bytes = Some(
+                ops.iter()
+                    .map(|t| val(t).map(|v| (v as u32).to_le_bytes()))
+                    .collect::<Result<Vec<_>, _>>()?
+                    .concat(),
+            );
+        }
+        ".half" => {
+            raw_bytes = Some(
+                ops.iter()
+                    .map(|t| val(t).map(|v| (v as u16).to_le_bytes()))
+                    .collect::<Result<Vec<_>, _>>()?
+                    .concat(),
+            );
+        }
+        ".byte" => {
+            raw_bytes = Some(
+                ops.iter()
+                    .map(|t| val(t).map(|v| v as u8))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+        }
+        ".space" => {
+            let n = val(stmt.operands)? as usize;
+            raw_bytes = Some(vec![0u8; n]);
+        }
+        ".asciz" => {
+            let mut s = parse_string(stmt.operands, line)?;
+            s.push(0);
+            raw_bytes = Some(s);
+        }
+
+        // R-type ALU.
+        "add" => { nops(3)?; out.push(alu_r(AluOp::Add, &ops)?.encode()); }
+        "sub" => { nops(3)?; out.push(alu_r(AluOp::Sub, &ops)?.encode()); }
+        "sll" => { nops(3)?; out.push(alu_r(AluOp::Sll, &ops)?.encode()); }
+        "slt" => { nops(3)?; out.push(alu_r(AluOp::Slt, &ops)?.encode()); }
+        "sltu" => { nops(3)?; out.push(alu_r(AluOp::Sltu, &ops)?.encode()); }
+        "xor" => { nops(3)?; out.push(alu_r(AluOp::Xor, &ops)?.encode()); }
+        "srl" => { nops(3)?; out.push(alu_r(AluOp::Srl, &ops)?.encode()); }
+        "sra" => { nops(3)?; out.push(alu_r(AluOp::Sra, &ops)?.encode()); }
+        "or" => { nops(3)?; out.push(alu_r(AluOp::Or, &ops)?.encode()); }
+        "and" => { nops(3)?; out.push(alu_r(AluOp::And, &ops)?.encode()); }
+
+        // I-type ALU.
+        "addi" => { nops(3)?; out.push(alu_i(AluOp::Add, &ops)?.encode()); }
+        "slti" => { nops(3)?; out.push(alu_i(AluOp::Slt, &ops)?.encode()); }
+        "sltiu" => { nops(3)?; out.push(alu_i(AluOp::Sltu, &ops)?.encode()); }
+        "xori" => { nops(3)?; out.push(alu_i(AluOp::Xor, &ops)?.encode()); }
+        "ori" => { nops(3)?; out.push(alu_i(AluOp::Or, &ops)?.encode()); }
+        "andi" => { nops(3)?; out.push(alu_i(AluOp::And, &ops)?.encode()); }
+        "slli" => { nops(3)?; out.push(shift_i(AluOp::Sll, &ops)?.encode()); }
+        "srli" => { nops(3)?; out.push(shift_i(AluOp::Srl, &ops)?.encode()); }
+        "srai" => { nops(3)?; out.push(shift_i(AluOp::Sra, &ops)?.encode()); }
+
+        // Upper immediates.
+        "lui" | "auipc" => {
+            nops(2)?;
+            let v = val(ops[1])?;
+            if !(0..(1 << 20)).contains(&v) {
+                return Err(AsmError::new(line, format!("upper immediate {v} out of range")));
+            }
+            let rd = reg(ops[0])?;
+            let imm = (v as u32) << 12;
+            out.push(
+                if stmt.mnemonic == "lui" {
+                    Inst::Lui { rd, imm }
+                } else {
+                    Inst::Auipc { rd, imm }
+                }
+                .encode(),
+            );
+        }
+
+        // Loads / stores.
+        "lb" => { nops(2)?; out.push(load(LoadKind::Lb, &ops)?.encode()); }
+        "lh" => { nops(2)?; out.push(load(LoadKind::Lh, &ops)?.encode()); }
+        "lw" => { nops(2)?; out.push(load(LoadKind::Lw, &ops)?.encode()); }
+        "lbu" => { nops(2)?; out.push(load(LoadKind::Lbu, &ops)?.encode()); }
+        "lhu" => { nops(2)?; out.push(load(LoadKind::Lhu, &ops)?.encode()); }
+        "sb" => { nops(2)?; out.push(store(StoreKind::Sb, &ops)?.encode()); }
+        "sh" => { nops(2)?; out.push(store(StoreKind::Sh, &ops)?.encode()); }
+        "sw" => { nops(2)?; out.push(store(StoreKind::Sw, &ops)?.encode()); }
+
+        // Branches.
+        "beq" => { nops(3)?; out.push(branch(BranchKind::Eq, ops[0], ops[1], ops[2])?.encode()); }
+        "bne" => { nops(3)?; out.push(branch(BranchKind::Ne, ops[0], ops[1], ops[2])?.encode()); }
+        "blt" => { nops(3)?; out.push(branch(BranchKind::Lt, ops[0], ops[1], ops[2])?.encode()); }
+        "bge" => { nops(3)?; out.push(branch(BranchKind::Ge, ops[0], ops[1], ops[2])?.encode()); }
+        "bltu" => { nops(3)?; out.push(branch(BranchKind::Ltu, ops[0], ops[1], ops[2])?.encode()); }
+        "bgeu" => { nops(3)?; out.push(branch(BranchKind::Geu, ops[0], ops[1], ops[2])?.encode()); }
+        // Swapped-operand pseudo branches.
+        "bgt" => { nops(3)?; out.push(branch(BranchKind::Lt, ops[1], ops[0], ops[2])?.encode()); }
+        "ble" => { nops(3)?; out.push(branch(BranchKind::Ge, ops[1], ops[0], ops[2])?.encode()); }
+        "bgtu" => { nops(3)?; out.push(branch(BranchKind::Ltu, ops[1], ops[0], ops[2])?.encode()); }
+        "bleu" => { nops(3)?; out.push(branch(BranchKind::Geu, ops[1], ops[0], ops[2])?.encode()); }
+        // Compare-to-zero pseudo branches.
+        "beqz" => { nops(2)?; out.push(branch(BranchKind::Eq, ops[0], "zero", ops[1])?.encode()); }
+        "bnez" => { nops(2)?; out.push(branch(BranchKind::Ne, ops[0], "zero", ops[1])?.encode()); }
+        "bltz" => { nops(2)?; out.push(branch(BranchKind::Lt, ops[0], "zero", ops[1])?.encode()); }
+        "bgez" => { nops(2)?; out.push(branch(BranchKind::Ge, ops[0], "zero", ops[1])?.encode()); }
+        "blez" => { nops(2)?; out.push(branch(BranchKind::Ge, "zero", ops[0], ops[1])?.encode()); }
+        "bgtz" => { nops(2)?; out.push(branch(BranchKind::Lt, "zero", ops[0], ops[1])?.encode()); }
+
+        // Jumps.
+        "jal" => {
+            let (rd, target) = match ops.len() {
+                1 => (Reg::RA, ops[0]),
+                2 => (reg(ops[0])?, ops[1]),
+                n => return Err(AsmError::new(line, format!("jal expects 1 or 2 operands, got {n}"))),
+            };
+            let offset = jump_offset(val(target)?, stmt.addr, line)?;
+            out.push(Inst::Jal { rd, offset }.encode());
+        }
+        "j" => {
+            nops(1)?;
+            let offset = jump_offset(val(ops[0])?, stmt.addr, line)?;
+            out.push(Inst::Jal { rd: Reg::ZERO, offset }.encode());
+        }
+        "call" => {
+            nops(1)?;
+            let offset = jump_offset(val(ops[0])?, stmt.addr, line)?;
+            out.push(Inst::Jal { rd: Reg::RA, offset }.encode());
+        }
+        "jalr" => {
+            let (rd, rs1, offset) = match ops.len() {
+                1 => (Reg::RA, reg(ops[0])?, 0),
+                2 => {
+                    let (offset, rs1) = parse_mem(ops[1], symbols, line)?;
+                    (reg(ops[0])?, rs1, offset)
+                }
+                n => return Err(AsmError::new(line, format!("jalr expects 1 or 2 operands, got {n}"))),
+            };
+            out.push(Inst::Jalr { rd, rs1, offset }.encode());
+        }
+        "jr" => {
+            nops(1)?;
+            out.push(Inst::Jalr { rd: Reg::ZERO, rs1: reg(ops[0])?, offset: 0 }.encode());
+        }
+        "ret" => {
+            nops(0)?;
+            out.push(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }.encode());
+        }
+
+        // Other pseudo instructions.
+        "nop" => { nops(0)?; out.push(Inst::OpImm { kind: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }.encode()); }
+        "mv" => {
+            nops(2)?;
+            out.push(Inst::OpImm { kind: AluOp::Add, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 }.encode());
+        }
+        "not" => {
+            nops(2)?;
+            out.push(Inst::OpImm { kind: AluOp::Xor, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: -1 }.encode());
+        }
+        "neg" => {
+            nops(2)?;
+            out.push(Inst::Op { kind: AluOp::Sub, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? }.encode());
+        }
+        "seqz" => {
+            nops(2)?;
+            out.push(Inst::OpImm { kind: AluOp::Sltu, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 1 }.encode());
+        }
+        "snez" => {
+            nops(2)?;
+            out.push(Inst::Op { kind: AluOp::Sltu, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? }.encode());
+        }
+        "li" => {
+            nops(2)?;
+            let rd = reg(ops[0])?;
+            // The small/large decision must mirror pass 1's size estimate,
+            // which works on the raw i64 value.
+            let v64 = val(ops[1])?;
+            if (-2048..=2047).contains(&v64) {
+                out.push(Inst::OpImm { kind: AluOp::Add, rd, rs1: Reg::ZERO, imm: v64 as i32 }.encode());
+            } else {
+                let (hi, lo) = hi_lo(v64 as u32);
+                out.push(Inst::Lui { rd, imm: hi }.encode());
+                out.push(Inst::OpImm { kind: AluOp::Add, rd, rs1: rd, imm: lo }.encode());
+            }
+        }
+        "la" => {
+            nops(2)?;
+            let rd = reg(ops[0])?;
+            let v = val(ops[1])? as u32;
+            let (hi, lo) = hi_lo(v);
+            out.push(Inst::Lui { rd, imm: hi }.encode());
+            out.push(Inst::OpImm { kind: AluOp::Add, rd, rs1: rd, imm: lo }.encode());
+        }
+
+        "ecall" => { nops(0)?; out.push(Inst::Ecall.encode()); }
+        "ebreak" => { nops(0)?; out.push(Inst::Ebreak.encode()); }
+
+        other => return Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    }
+
+    let start = stmt.addr as usize;
+    if let Some(raw) = raw_bytes {
+        bytes[start..start + raw.len()].copy_from_slice(&raw);
+    } else {
+        if !start.is_multiple_of(4) {
+            return Err(AsmError::new(
+                line,
+                "instruction is not 4-byte aligned (insert `.align 2` after data)",
+            ));
+        }
+        for (i, w) in out.iter().enumerate() {
+            bytes[start + 4 * i..start + 4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn words(src: &str) -> Vec<u32> {
+        assemble(src).unwrap().words()
+    }
+
+    #[test]
+    fn simple_instructions_assemble() {
+        let w = words("add a0, a1, a2\naddi a0, a0, -1\nlw t0, 8(sp)\nsw t0, -4(s0)\n");
+        assert_eq!(w.len(), 4);
+        assert_eq!(Inst::decode(w[0]).unwrap().to_string(), "add a0, a1, a2");
+        assert_eq!(Inst::decode(w[1]).unwrap().to_string(), "addi a0, a0, -1");
+        assert_eq!(Inst::decode(w[2]).unwrap().to_string(), "lw t0, 8(sp)");
+        assert_eq!(Inst::decode(w[3]).unwrap().to_string(), "sw t0, -4(s0)");
+    }
+
+    #[test]
+    fn labels_and_branches_resolve_both_directions() {
+        let w = words(
+            "start: addi a0, a0, 1\n beq a0, a1, done\n j start\n done: ret\n",
+        );
+        match Inst::decode(w[1]).unwrap() {
+            Inst::Branch { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected branch, got {other}"),
+        }
+        match Inst::decode(w[2]).unwrap() {
+            Inst::Jal { offset, .. } => assert_eq!(offset, -8),
+            other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let w = words("li a0, 42\nli a1, 0x12345678\nli a2, -1\nli a3, 0xffff8000\n");
+        assert_eq!(w.len(), 6, "4B + 8B + 4B + 8B");
+        // li a0, 42 -> addi a0, zero, 42
+        assert_eq!(Inst::decode(w[0]).unwrap().to_string(), "addi a0, zero, 42");
+        // li a1, 0x12345678 -> lui 0x12345/0x12346? hi_lo: lo = 0x678, hi = 0x12345000.
+        match Inst::decode(w[1]).unwrap() {
+            Inst::Lui { imm, .. } => assert_eq!(imm, 0x1234_5000),
+            other => panic!("expected lui, got {other}"),
+        }
+        match Inst::decode(w[2]).unwrap() {
+            Inst::OpImm { imm, .. } => assert_eq!(imm, 0x678),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn hi_lo_round_trips_all_boundary_values() {
+        for v in [0u32, 1, 0x7ff, 0x800, 0xfff, 0x1000, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0xffff_f800] {
+            let (hi, lo) = hi_lo(v);
+            assert_eq!(hi & 0xfff, 0, "hi has low bits clear for {v:#x}");
+            assert_eq!(hi.wrapping_add(lo as u32), v, "hi+lo reconstructs {v:#x}");
+            assert!((-2048..=2047).contains(&lo));
+        }
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let p = assemble(
+            ".equ MAGIC, 0x10\n data: .word 1, MAGIC\n .byte 1, 2, 3\n .align 2\n .half 0xbeef\n .space 2\n tail: .asciz \"ab\"\n",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("data"), Some(0));
+        assert_eq!(p.symbol("tail"), Some(16));
+        assert_eq!(&p.bytes()[0..8], &[1, 0, 0, 0, 0x10, 0, 0, 0]);
+        assert_eq!(&p.bytes()[8..11], &[1, 2, 3]);
+        assert_eq!(&p.bytes()[12..14], &[0xef, 0xbe]);
+        assert_eq!(&p.bytes()[16..19], b"ab\0");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\n frobnicate a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+
+        let e = assemble("beq a0, a1, faraway\n").unwrap_err();
+        assert!(e.message.contains("undefined symbol"));
+
+        let e = assemble("x: nop\n x: nop\n").unwrap_err();
+        assert!(e.message.contains("redefined"));
+
+        let e = assemble("addi a0, a0, 5000\n").unwrap_err();
+        assert!(e.message.contains("12 bits"));
+    }
+
+    #[test]
+    fn la_points_at_labels() {
+        let p = assemble("la a0, buf\n ret\n buf: .word 7\n").unwrap();
+        let w = p.words();
+        assert_eq!(p.symbol("buf"), Some(12));
+        match Inst::decode(w[0]).unwrap() {
+            Inst::Lui { imm, .. } => assert_eq!(imm, 0),
+            other => panic!("{other}"),
+        }
+        match Inst::decode(w[1]).unwrap() {
+            Inst::OpImm { imm, .. } => assert_eq!(imm, 12),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn expressions_with_offsets() {
+        let p = assemble("base: .space 8\n lw a0, base+4(zero)\n").unwrap();
+        // The load sits at address 8 (after the 8-byte .space)... but loads
+        // must be 4-aligned: 8 is aligned, fine.
+        let w = p.words()[2];
+        match Inst::decode(w).unwrap() {
+            Inst::Load { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_instructions_are_rejected() {
+        let e = assemble(".byte 1\n nop\n").unwrap_err();
+        assert!(e.message.contains("aligned"));
+    }
+
+    #[test]
+    fn hi_lo_relocations_pair_up() {
+        // `lui+addi` with %hi/%lo must equal `la`'s expansion.
+        let p = assemble(
+            "lui a0, %hi(buf)\n addi a0, a0, %lo(buf)\n la a1, buf\n .space 2048\n buf: .word 1\n",
+        )
+        .unwrap();
+        let w = p.words();
+        assert_eq!(w[0] & 0xffff_f000, w[2] & 0xffff_f000, "lui halves match");
+        // The addi immediates match too (la targets a1 instead of a0).
+        assert_eq!(w[1] >> 20, w[3] >> 20, "addi immediates match");
+        // And the pair reconstructs the address even when %lo is negative.
+        let addr = p.symbol("buf").unwrap();
+        match Inst::decode(w[0]).unwrap() {
+            Inst::Lui { imm, .. } => match Inst::decode(w[1]).unwrap() {
+                Inst::OpImm { imm: lo, .. } => {
+                    assert_eq!(imm.wrapping_add(lo as u32), addr);
+                }
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn pseudo_instructions_expand_correctly() {
+        let w = words("mv a0, a1\nnot a1, a2\nneg a2, a3\nseqz a3, a4\nsnez a4, a5\nnop\n");
+        assert_eq!(Inst::decode(w[0]).unwrap().to_string(), "addi a0, a1, 0");
+        assert_eq!(Inst::decode(w[1]).unwrap().to_string(), "xori a1, a2, -1");
+        assert_eq!(Inst::decode(w[2]).unwrap().to_string(), "sub a2, zero, a3");
+        assert_eq!(Inst::decode(w[3]).unwrap().to_string(), "sltiu a3, a4, 1");
+        assert_eq!(Inst::decode(w[4]).unwrap().to_string(), "sltu a4, zero, a5");
+        assert_eq!(Inst::decode(w[5]).unwrap().to_string(), "addi zero, zero, 0");
+    }
+}

@@ -1,0 +1,793 @@
+//! Instruction forms and standard RV32 encodings.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// ALU operations shared by register-register and register-immediate forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`; no immediate form).
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+}
+
+impl AluOp {
+    /// The funct3 field for this operation.
+    pub fn funct3(self) -> u32 {
+        match self {
+            AluOp::Add | AluOp::Sub => 0b000,
+            AluOp::Sll => 0b001,
+            AluOp::Slt => 0b010,
+            AluOp::Sltu => 0b011,
+            AluOp::Xor => 0b100,
+            AluOp::Srl | AluOp::Sra => 0b101,
+            AluOp::Or => 0b110,
+            AluOp::And => 0b111,
+        }
+    }
+
+    fn funct7(self) -> u32 {
+        match self {
+            AluOp::Sub | AluOp::Sra => 0b0100000,
+            _ => 0,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+}
+
+/// Conditional branch comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchKind {
+    /// The funct3 field for this comparison.
+    pub fn funct3(self) -> u32 {
+        match self {
+            BranchKind::Eq => 0b000,
+            BranchKind::Ne => 0b001,
+            BranchKind::Lt => 0b100,
+            BranchKind::Ge => 0b101,
+            BranchKind::Ltu => 0b110,
+            BranchKind::Geu => 0b111,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::Eq => "beq",
+            BranchKind::Ne => "bne",
+            BranchKind::Lt => "blt",
+            BranchKind::Ge => "bge",
+            BranchKind::Ltu => "bltu",
+            BranchKind::Geu => "bgeu",
+        }
+    }
+}
+
+/// Load widths and extensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// Sign-extended byte.
+    Lb,
+    /// Sign-extended halfword.
+    Lh,
+    /// Word.
+    Lw,
+    /// Zero-extended byte.
+    Lbu,
+    /// Zero-extended halfword.
+    Lhu,
+}
+
+impl LoadKind {
+    /// The funct3 field for this load.
+    pub fn funct3(self) -> u32 {
+        match self {
+            LoadKind::Lb => 0b000,
+            LoadKind::Lh => 0b001,
+            LoadKind::Lw => 0b010,
+            LoadKind::Lbu => 0b100,
+            LoadKind::Lhu => 0b101,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::Lb => "lb",
+            LoadKind::Lh => "lh",
+            LoadKind::Lw => "lw",
+            LoadKind::Lbu => "lbu",
+            LoadKind::Lhu => "lhu",
+        }
+    }
+}
+
+/// Store widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Byte.
+    Sb,
+    /// Halfword.
+    Sh,
+    /// Word.
+    Sw,
+}
+
+impl StoreKind {
+    /// The funct3 field for this store.
+    pub fn funct3(self) -> u32 {
+        match self {
+            StoreKind::Sb => 0b000,
+            StoreKind::Sh => 0b001,
+            StoreKind::Sw => 0b010,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::Sb => "sb",
+            StoreKind::Sh => "sh",
+            StoreKind::Sw => "sw",
+        }
+    }
+}
+
+/// A decoded RV32E-subset instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Load upper immediate; `imm` is the already-shifted 32-bit value with
+    /// its low 12 bits zero.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper immediate (low 12 bits zero).
+        imm: u32,
+    },
+    /// Add upper immediate to PC.
+    Auipc {
+        /// Destination.
+        rd: Reg,
+        /// Upper immediate (low 12 bits zero).
+        imm: u32,
+    },
+    /// Jump and link.
+    Jal {
+        /// Destination for the return address.
+        rd: Reg,
+        /// PC-relative byte offset (even, ±1 MiB).
+        offset: i32,
+    },
+    /// Indirect jump and link.
+    Jalr {
+        /// Destination for the return address.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset (±2 KiB).
+        offset: i32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison kind.
+        kind: BranchKind,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+        /// PC-relative byte offset (even, ±4 KiB).
+        offset: i32,
+    },
+    /// Memory load.
+    Load {
+        /// Width/extension.
+        kind: LoadKind,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset (±2 KiB).
+        offset: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Width.
+        kind: StoreKind,
+        /// Value register.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset (±2 KiB).
+        offset: i32,
+    },
+    /// ALU with immediate operand (`Sub` is not encodable in this form).
+    OpImm {
+        /// Operation.
+        kind: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Immediate (±2 KiB for arithmetic, 0..32 for shifts).
+        imm: i32,
+    },
+    /// ALU with two register operands.
+    Op {
+        /// Operation.
+        kind: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+    },
+    /// Environment call (halts the studied core).
+    Ecall,
+    /// Breakpoint (halts the studied core).
+    Ebreak,
+}
+
+/// Errors from [`Inst::decode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The word does not encode a supported instruction.
+    Illegal {
+        /// The offending word.
+        word: u32,
+    },
+    /// The encoding addresses a register outside RV32E's x0..x15.
+    RegisterOutOfRange {
+        /// The offending word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal { word } => write!(f, "illegal instruction {word:#010x}"),
+            DecodeError::RegisterOutOfRange { word } => {
+                write!(f, "register above x15 in rv32e instruction {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_SYSTEM: u32 = 0b1110011;
+
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn reg_field(word: u32, lo: u32) -> Result<Reg, DecodeError> {
+    let n = field(word, lo, 5);
+    Reg::try_new(n as u8).ok_or(DecodeError::RegisterOutOfRange { word })
+}
+
+fn enc_b_imm(offset: i32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 12) & 1) << 31
+        | ((imm >> 5) & 0x3f) << 25
+        | ((imm >> 1) & 0xf) << 8
+        | ((imm >> 11) & 1) << 7
+}
+
+fn dec_b_imm(word: u32) -> i32 {
+    let imm = (field(word, 31, 1) << 12)
+        | (field(word, 7, 1) << 11)
+        | (field(word, 25, 6) << 5)
+        | (field(word, 8, 4) << 1);
+    sext(imm, 13)
+}
+
+fn enc_j_imm(offset: i32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3ff) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xff) << 12
+}
+
+fn dec_j_imm(word: u32) -> i32 {
+    let imm = (field(word, 31, 1) << 20)
+        | (field(word, 12, 8) << 12)
+        | (field(word, 20, 1) << 11)
+        | (field(word, 21, 10) << 1);
+    sext(imm, 21)
+}
+
+impl Inst {
+    /// Encodes the instruction into its 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an immediate does not fit its field (the assembler
+    /// validates ranges before constructing instructions; constructing an
+    /// `Inst` with an oversized immediate is a programming error).
+    pub fn encode(self) -> u32 {
+        let rd = |r: Reg| u32::from(r.num()) << 7;
+        let rs1 = |r: Reg| u32::from(r.num()) << 15;
+        let rs2 = |r: Reg| u32::from(r.num()) << 20;
+        let f3 = |v: u32| v << 12;
+        let i_imm = |imm: i32| {
+            assert!((-2048..=2047).contains(&imm), "i-type immediate {imm} out of range");
+            ((imm as u32) & 0xfff) << 20
+        };
+        match self {
+            Inst::Lui { rd: d, imm } => {
+                assert_eq!(imm & 0xfff, 0, "lui immediate must have low 12 bits clear");
+                imm | rd(d) | OPC_LUI
+            }
+            Inst::Auipc { rd: d, imm } => {
+                assert_eq!(imm & 0xfff, 0, "auipc immediate must have low 12 bits clear");
+                imm | rd(d) | OPC_AUIPC
+            }
+            Inst::Jal { rd: d, offset } => {
+                assert!(
+                    offset % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&offset),
+                    "jal offset {offset} out of range"
+                );
+                enc_j_imm(offset) | rd(d) | OPC_JAL
+            }
+            Inst::Jalr { rd: d, rs1: s1, offset } => {
+                i_imm(offset) | rs1(s1) | f3(0) | rd(d) | OPC_JALR
+            }
+            Inst::Branch {
+                kind,
+                rs1: s1,
+                rs2: s2,
+                offset,
+            } => {
+                assert!(
+                    offset % 2 == 0 && (-(1 << 12)..(1 << 12)).contains(&offset),
+                    "branch offset {offset} out of range"
+                );
+                enc_b_imm(offset) | rs2(s2) | rs1(s1) | f3(kind.funct3()) | OPC_BRANCH
+            }
+            Inst::Load {
+                kind,
+                rd: d,
+                rs1: s1,
+                offset,
+            } => i_imm(offset) | rs1(s1) | f3(kind.funct3()) | rd(d) | OPC_LOAD,
+            Inst::Store {
+                kind,
+                rs2: s2,
+                rs1: s1,
+                offset,
+            } => {
+                assert!(
+                    (-2048..=2047).contains(&offset),
+                    "store offset {offset} out of range"
+                );
+                let imm = offset as u32;
+                ((imm >> 5) & 0x7f) << 25
+                    | rs2(s2)
+                    | rs1(s1)
+                    | f3(kind.funct3())
+                    | (imm & 0x1f) << 7
+                    | OPC_STORE
+            }
+            Inst::OpImm {
+                kind,
+                rd: d,
+                rs1: s1,
+                imm,
+            } => {
+                assert_ne!(kind, AluOp::Sub, "subi does not exist; use addi with -imm");
+                match kind {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                        assert!((0..32).contains(&imm), "shift amount {imm} out of range");
+                        (kind.funct7() << 25)
+                            | ((imm as u32) << 20)
+                            | rs1(s1)
+                            | f3(kind.funct3())
+                            | rd(d)
+                            | OPC_OP_IMM
+                    }
+                    _ => i_imm(imm) | rs1(s1) | f3(kind.funct3()) | rd(d) | OPC_OP_IMM,
+                }
+            }
+            Inst::Op {
+                kind,
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+            } => (kind.funct7() << 25) | rs2(s2) | rs1(s1) | f3(kind.funct3()) | rd(d) | OPC_OP,
+            Inst::Ecall => OPC_SYSTEM,
+            Inst::Ebreak => (1 << 20) | OPC_SYSTEM,
+        }
+    }
+
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Illegal`] for unsupported encodings and
+    /// [`DecodeError::RegisterOutOfRange`] when a register field addresses
+    /// x16..x31 (not part of RV32E).
+    pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+        let opcode = field(word, 0, 7);
+        let funct3 = field(word, 12, 3);
+        let funct7 = field(word, 25, 7);
+        let illegal = DecodeError::Illegal { word };
+        match opcode {
+            OPC_LUI => Ok(Inst::Lui {
+                rd: reg_field(word, 7)?,
+                imm: word & 0xffff_f000,
+            }),
+            OPC_AUIPC => Ok(Inst::Auipc {
+                rd: reg_field(word, 7)?,
+                imm: word & 0xffff_f000,
+            }),
+            OPC_JAL => Ok(Inst::Jal {
+                rd: reg_field(word, 7)?,
+                offset: dec_j_imm(word),
+            }),
+            OPC_JALR if funct3 == 0 => Ok(Inst::Jalr {
+                rd: reg_field(word, 7)?,
+                rs1: reg_field(word, 15)?,
+                offset: sext(field(word, 20, 12), 12),
+            }),
+            OPC_BRANCH => {
+                let kind = match funct3 {
+                    0b000 => BranchKind::Eq,
+                    0b001 => BranchKind::Ne,
+                    0b100 => BranchKind::Lt,
+                    0b101 => BranchKind::Ge,
+                    0b110 => BranchKind::Ltu,
+                    0b111 => BranchKind::Geu,
+                    _ => return Err(illegal),
+                };
+                Ok(Inst::Branch {
+                    kind,
+                    rs1: reg_field(word, 15)?,
+                    rs2: reg_field(word, 20)?,
+                    offset: dec_b_imm(word),
+                })
+            }
+            OPC_LOAD => {
+                let kind = match funct3 {
+                    0b000 => LoadKind::Lb,
+                    0b001 => LoadKind::Lh,
+                    0b010 => LoadKind::Lw,
+                    0b100 => LoadKind::Lbu,
+                    0b101 => LoadKind::Lhu,
+                    _ => return Err(illegal),
+                };
+                Ok(Inst::Load {
+                    kind,
+                    rd: reg_field(word, 7)?,
+                    rs1: reg_field(word, 15)?,
+                    offset: sext(field(word, 20, 12), 12),
+                })
+            }
+            OPC_STORE => {
+                let kind = match funct3 {
+                    0b000 => StoreKind::Sb,
+                    0b001 => StoreKind::Sh,
+                    0b010 => StoreKind::Sw,
+                    _ => return Err(illegal),
+                };
+                let imm = (field(word, 25, 7) << 5) | field(word, 7, 5);
+                Ok(Inst::Store {
+                    kind,
+                    rs2: reg_field(word, 20)?,
+                    rs1: reg_field(word, 15)?,
+                    offset: sext(imm, 12),
+                })
+            }
+            OPC_OP_IMM => {
+                let kind = match funct3 {
+                    0b000 => AluOp::Add,
+                    0b001 if funct7 == 0 => AluOp::Sll,
+                    0b010 => AluOp::Slt,
+                    0b011 => AluOp::Sltu,
+                    0b100 => AluOp::Xor,
+                    0b101 if funct7 == 0 => AluOp::Srl,
+                    0b101 if funct7 == 0b0100000 => AluOp::Sra,
+                    0b110 => AluOp::Or,
+                    0b111 => AluOp::And,
+                    _ => return Err(illegal),
+                };
+                let imm = match kind {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => field(word, 20, 5) as i32,
+                    _ => sext(field(word, 20, 12), 12),
+                };
+                Ok(Inst::OpImm {
+                    kind,
+                    rd: reg_field(word, 7)?,
+                    rs1: reg_field(word, 15)?,
+                    imm,
+                })
+            }
+            OPC_OP => {
+                let kind = match (funct3, funct7) {
+                    (0b000, 0) => AluOp::Add,
+                    (0b000, 0b0100000) => AluOp::Sub,
+                    (0b001, 0) => AluOp::Sll,
+                    (0b010, 0) => AluOp::Slt,
+                    (0b011, 0) => AluOp::Sltu,
+                    (0b100, 0) => AluOp::Xor,
+                    (0b101, 0) => AluOp::Srl,
+                    (0b101, 0b0100000) => AluOp::Sra,
+                    (0b110, 0) => AluOp::Or,
+                    (0b111, 0) => AluOp::And,
+                    _ => return Err(illegal),
+                };
+                Ok(Inst::Op {
+                    kind,
+                    rd: reg_field(word, 7)?,
+                    rs1: reg_field(word, 15)?,
+                    rs2: reg_field(word, 20)?,
+                })
+            }
+            OPC_SYSTEM if word == OPC_SYSTEM => Ok(Inst::Ecall),
+            OPC_SYSTEM if word == (1 << 20) | OPC_SYSTEM => Ok(Inst::Ebreak),
+            _ => Err(illegal),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Disassembles the instruction in standard syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", imm >> 12),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", imm >> 12),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", kind.mnemonic()),
+            Inst::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", kind.mnemonic()),
+            Inst::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", kind.mnemonic()),
+            Inst::OpImm { kind, rd, rs1, imm } => {
+                // `sltiu` places the `i` before the `u`, unlike every other
+                // immediate mnemonic.
+                let m = match kind {
+                    AluOp::Sltu => "sltiu".to_owned(),
+                    k => format!("{}i", k.mnemonic()),
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Inst::Op { kind, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", kind.mnemonic())
+            }
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Inst) {
+        let w = i.encode();
+        assert_eq!(Inst::decode(w), Ok(i), "word {w:#010x}");
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = Reg::new;
+        roundtrip(Inst::Lui { rd: r(5), imm: 0xdead_b000 });
+        roundtrip(Inst::Auipc { rd: r(1), imm: 0x1000 });
+        roundtrip(Inst::Jal { rd: r(1), offset: -2048 });
+        roundtrip(Inst::Jal { rd: r(0), offset: 1048574 });
+        roundtrip(Inst::Jalr { rd: r(0), rs1: r(1), offset: -4 });
+        for kind in [
+            BranchKind::Eq,
+            BranchKind::Ne,
+            BranchKind::Lt,
+            BranchKind::Ge,
+            BranchKind::Ltu,
+            BranchKind::Geu,
+        ] {
+            roundtrip(Inst::Branch { kind, rs1: r(3), rs2: r(9), offset: -4096 });
+            roundtrip(Inst::Branch { kind, rs1: r(15), rs2: r(0), offset: 4094 });
+        }
+        for kind in [LoadKind::Lb, LoadKind::Lh, LoadKind::Lw, LoadKind::Lbu, LoadKind::Lhu] {
+            roundtrip(Inst::Load { kind, rd: r(4), rs1: r(2), offset: -2048 });
+        }
+        for kind in [StoreKind::Sb, StoreKind::Sh, StoreKind::Sw] {
+            roundtrip(Inst::Store { kind, rs2: r(7), rs1: r(2), offset: 2047 });
+        }
+        for kind in [
+            AluOp::Add,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Or,
+            AluOp::And,
+        ] {
+            roundtrip(Inst::OpImm { kind, rd: r(6), rs1: r(7), imm: -7 });
+        }
+        for kind in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            roundtrip(Inst::OpImm { kind, rd: r(6), rs1: r(7), imm: 31 });
+        }
+        for kind in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+        ] {
+            roundtrip(Inst::Op { kind, rd: r(1), rs1: r(2), rs2: r(3) });
+        }
+        roundtrip(Inst::Ecall);
+        roundtrip(Inst::Ebreak);
+    }
+
+    #[test]
+    fn known_golden_encodings() {
+        // Cross-checked against the RISC-V specification examples.
+        // addi a0, a0, 1  ->  0x00150513
+        let w = Inst::OpImm {
+            kind: AluOp::Add,
+            rd: Reg::new(10),
+            rs1: Reg::new(10),
+            imm: 1,
+        }
+        .encode();
+        assert_eq!(w, 0x0015_0513);
+        // sub a0, a1, a2 -> 0x40c58533
+        let w = Inst::Op {
+            kind: AluOp::Sub,
+            rd: Reg::new(10),
+            rs1: Reg::new(11),
+            rs2: Reg::new(12),
+        }
+        .encode();
+        assert_eq!(w, 0x40c5_8533);
+        // lw a0, 4(sp) -> 0x00412503
+        let w = Inst::Load {
+            kind: LoadKind::Lw,
+            rd: Reg::new(10),
+            rs1: Reg::SP,
+            offset: 4,
+        }
+        .encode();
+        assert_eq!(w, 0x0041_2503);
+        // beq a0, a1, +8 -> 0x00b50463
+        let w = Inst::Branch {
+            kind: BranchKind::Eq,
+            rs1: Reg::new(10),
+            rs2: Reg::new(11),
+            offset: 8,
+        }
+        .encode();
+        assert_eq!(w, 0x00b5_0463);
+        // jal ra, +16 -> 0x010000ef
+        let w = Inst::Jal {
+            rd: Reg::RA,
+            offset: 16,
+        }
+        .encode();
+        assert_eq!(w, 0x0100_00ef);
+    }
+
+    #[test]
+    fn rv32e_rejects_high_registers() {
+        // addi x16, x0, 0 is valid RV32I but not RV32E.
+        let word = 0x0000_0813;
+        assert_eq!(
+            Inst::decode(word),
+            Err(DecodeError::RegisterOutOfRange { word })
+        );
+    }
+
+    #[test]
+    fn illegal_words_are_rejected() {
+        assert!(Inst::decode(0).is_err());
+        assert!(Inst::decode(0xffff_ffff).is_err());
+        // FENCE (0001111) is unsupported.
+        assert!(Inst::decode(0x0000_000f).is_err());
+    }
+
+    #[test]
+    fn display_disassembles() {
+        let i = Inst::Load {
+            kind: LoadKind::Lw,
+            rd: Reg::new(10),
+            rs1: Reg::SP,
+            offset: 4,
+        };
+        assert_eq!(i.to_string(), "lw a0, 4(sp)");
+        assert_eq!(Inst::Ebreak.to_string(), "ebreak");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_immediate_panics_on_encode() {
+        let _ = Inst::OpImm {
+            kind: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 4096,
+        }
+        .encode();
+    }
+}

@@ -1,0 +1,514 @@
+//! Instruction-set simulator: the golden reference model.
+
+use std::fmt;
+
+use crate::inst::{AluOp, BranchKind, Inst, LoadKind, StoreKind};
+use crate::mmio;
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// An execution fault detected by the ISS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Trap {
+    /// Misaligned data access or jump target.
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// Access outside RAM and MMIO.
+    OutOfRange {
+        /// Faulting address.
+        addr: u32,
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// Unsupported or malformed instruction word.
+    Illegal {
+        /// The fetched word.
+        word: u32,
+        /// PC of the fetch.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Misaligned { addr, pc } => {
+                write!(f, "misaligned access to {addr:#x} at pc {pc:#x}")
+            }
+            Trap::OutOfRange { addr, pc } => {
+                write!(f, "out-of-range access to {addr:#x} at pc {pc:#x}")
+            }
+            Trap::Illegal { word, pc } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+/// Why an execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StopCause {
+    /// The program wrote its exit code to [`mmio::EXIT`].
+    Exit(u32),
+    /// An `ebreak`/`ecall` was executed.
+    Break,
+    /// A trap occurred.
+    Trap(Trap),
+    /// The step budget ran out before the program finished.
+    OutOfTime,
+}
+
+impl StopCause {
+    /// Serializes a (console, termination) pair into the canonical
+    /// program-output byte string used for program-visible-failure
+    /// comparisons across the ISS, the gate-level core's environment, and
+    /// the DelayAVF campaigns.
+    pub fn encode_output(self, console: &[u8]) -> Vec<u8> {
+        let mut out = console.to_vec();
+        out.push(0);
+        match self {
+            StopCause::Exit(code) => {
+                out.push(b'E');
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+            StopCause::Break => out.push(b'B'),
+            StopCause::Trap(_) => out.push(b'T'),
+            StopCause::OutOfTime => out.push(b'O'),
+        }
+        out
+    }
+}
+
+/// The golden instruction-set simulator.
+///
+/// Executes the RV32E subset one instruction per [`Iss::step`], with RAM at
+/// address 0 and the MMIO console/exit registers of [`mmio`]. Used to
+/// validate the gate-level core and to produce reference program outputs.
+#[derive(Clone, Debug)]
+pub struct Iss {
+    regs: [u32; 16],
+    pc: u32,
+    mem: Vec<u8>,
+    console: Vec<u8>,
+    retired: u64,
+}
+
+impl Iss {
+    /// Creates a simulator with `mem_size` bytes of RAM (rounded up to a
+    /// multiple of 4), all registers zero, PC at 0.
+    pub fn new(mem_size: usize) -> Self {
+        Iss {
+            regs: [0; 16],
+            pc: 0,
+            mem: vec![0; mem_size.next_multiple_of(4)],
+            console: Vec::new(),
+            retired: 0,
+        }
+    }
+
+    /// Copies a program image into RAM at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in RAM.
+    pub fn load(&mut self, program: &Program) {
+        assert!(
+            program.len() <= self.mem.len(),
+            "program ({} bytes) exceeds RAM ({} bytes)",
+            program.len(),
+            self.mem.len()
+        );
+        self.mem[..program.len()].copy_from_slice(program.bytes());
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads a register (x0 reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[usize::from(r.num())]
+    }
+
+    /// Writes a register (writes to x0 are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r.num() != 0 {
+            self.regs[usize::from(r.num())] = value;
+        }
+    }
+
+    /// Bytes written to the MMIO console so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Number of retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads a word from RAM (test/debug helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is misaligned or out of range.
+    pub fn peek_word(&self, addr: u32) -> u32 {
+        assert_eq!(addr % 4, 0, "peek_word requires alignment");
+        let a = addr as usize;
+        u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range"))
+    }
+
+    fn load_mem(&mut self, addr: u32, size: u32, pc: u32) -> Result<u32, Trap> {
+        if !addr.is_multiple_of(size) {
+            return Err(Trap::Misaligned { addr, pc });
+        }
+        if addr == mmio::CONSOLE || addr == mmio::EXIT {
+            return Ok(0);
+        }
+        let end = addr as usize + size as usize;
+        if end > self.mem.len() {
+            return Err(Trap::OutOfRange { addr, pc });
+        }
+        let a = addr as usize;
+        Ok(match size {
+            1 => u32::from(self.mem[a]),
+            2 => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+            _ => u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range")),
+        })
+    }
+
+    fn store_mem(&mut self, addr: u32, size: u32, value: u32, pc: u32) -> Result<Option<StopCause>, Trap> {
+        if !addr.is_multiple_of(size) {
+            return Err(Trap::Misaligned { addr, pc });
+        }
+        if addr == mmio::CONSOLE {
+            self.console.push(value as u8);
+            return Ok(None);
+        }
+        if addr == mmio::EXIT {
+            return Ok(Some(StopCause::Exit(value)));
+        }
+        let end = addr as usize + size as usize;
+        if end > self.mem.len() {
+            return Err(Trap::OutOfRange { addr, pc });
+        }
+        let a = addr as usize;
+        match size {
+            1 => self.mem[a] = value as u8,
+            2 => self.mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            _ => self.mem[a..a + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+        Ok(None)
+    }
+
+    fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `None` while the program keeps running, or the cause once it
+    /// stops. Calling `step` after a stop repeats the stopped state.
+    pub fn step(&mut self) -> Option<StopCause> {
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Some(StopCause::Trap(Trap::Misaligned { addr: pc, pc }));
+        }
+        if pc as usize + 4 > self.mem.len() {
+            return Some(StopCause::Trap(Trap::OutOfRange { addr: pc, pc }));
+        }
+        let word = u32::from_le_bytes(
+            self.mem[pc as usize..pc as usize + 4]
+                .try_into()
+                .expect("in range"),
+        );
+        let inst = match Inst::decode(word) {
+            Ok(i) => i,
+            Err(_) => return Some(StopCause::Trap(Trap::Illegal { word, pc })),
+        };
+        let mut next_pc = pc.wrapping_add(4);
+        let mut stop = None;
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm)),
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match kind {
+                    BranchKind::Eq => a == b,
+                    BranchKind::Ne => a != b,
+                    BranchKind::Lt => (a as i32) < (b as i32),
+                    BranchKind::Ge => (a as i32) >= (b as i32),
+                    BranchKind::Ltu => a < b,
+                    BranchKind::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Inst::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let size = match kind {
+                    LoadKind::Lb | LoadKind::Lbu => 1,
+                    LoadKind::Lh | LoadKind::Lhu => 2,
+                    LoadKind::Lw => 4,
+                };
+                match self.load_mem(addr, size, pc) {
+                    Ok(raw) => {
+                        let v = match kind {
+                            LoadKind::Lb => raw as u8 as i8 as i32 as u32,
+                            LoadKind::Lh => raw as u16 as i16 as i32 as u32,
+                            LoadKind::Lw | LoadKind::Lbu | LoadKind::Lhu => raw,
+                        };
+                        self.set_reg(rd, v);
+                    }
+                    Err(t) => stop = Some(StopCause::Trap(t)),
+                }
+            }
+            Inst::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let size = match kind {
+                    StoreKind::Sb => 1,
+                    StoreKind::Sh => 2,
+                    StoreKind::Sw => 4,
+                };
+                match self.store_mem(addr, size, self.reg(rs2), pc) {
+                    Ok(s) => stop = s,
+                    Err(t) => stop = Some(StopCause::Trap(t)),
+                }
+            }
+            Inst::OpImm { kind, rd, rs1, imm } => {
+                let v = Self::alu(kind, self.reg(rs1), imm as u32);
+                self.set_reg(rd, v);
+            }
+            Inst::Op { kind, rd, rs1, rs2 } => {
+                let v = Self::alu(kind, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Inst::Ecall | Inst::Ebreak => stop = Some(StopCause::Break),
+        }
+        if stop.is_none() {
+            self.pc = next_pc;
+            self.retired += 1;
+            if !next_pc.is_multiple_of(4) {
+                stop = Some(StopCause::Trap(Trap::Misaligned {
+                    addr: next_pc,
+                    pc,
+                }));
+            }
+        }
+        stop
+    }
+
+    /// Runs until the program stops or `max_steps` instructions retire.
+    pub fn run(&mut self, max_steps: u64) -> StopCause {
+        for _ in 0..max_steps {
+            if let Some(cause) = self.step() {
+                return cause;
+            }
+        }
+        StopCause::OutOfTime
+    }
+
+    /// The canonical program output: console bytes plus a termination tag.
+    pub fn program_output(&self, cause: StopCause) -> Vec<u8> {
+        cause.encode_output(&self.console)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> (Iss, StopCause) {
+        let p = assemble(src).expect("assembles");
+        let mut iss = Iss::new(64 * 1024);
+        iss.load(&p);
+        let cause = iss.run(100_000);
+        (iss, cause)
+    }
+
+    #[test]
+    fn arithmetic_and_exit() {
+        let (iss, cause) = run(
+            "li a0, 100\n li a1, -30\n add a2, a0, a1\n li t0, 0x10004\n sw a2, 0(t0)\n",
+        );
+        assert_eq!(cause, StopCause::Exit(70));
+        // Retired: li, li, add, li-large (2 insts); the exiting sw does not
+        // retire.
+        assert_eq!(iss.retired(), 5);
+    }
+
+    #[test]
+    fn console_collects_bytes() {
+        let (iss, cause) = run(
+            "li t0, 0x10000\n li a0, 'h'\n sw a0, 0(t0)\n li a0, 'i'\n sw a0, 0(t0)\n ebreak\n",
+        );
+        assert_eq!(cause, StopCause::Break);
+        assert_eq!(iss.console(), b"hi");
+        let out = iss.program_output(cause);
+        assert_eq!(out, b"hi\0B");
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10 into a0.
+        let (iss, cause) = run(
+            r#"
+            li a0, 0
+            li a1, 10
+        loop:
+            add a0, a0, a1
+            addi a1, a1, -1
+            bnez a1, loop
+            li t0, 0x10004
+            sw a0, 0(t0)
+            "#,
+        );
+        assert_eq!(cause, StopCause::Exit(55));
+        assert!(iss.retired() > 30);
+    }
+
+    #[test]
+    fn memory_round_trips_all_widths() {
+        let (iss, cause) = run(
+            r#"
+            li   t0, 0x100
+            li   a0, 0x80
+            sb   a0, 0(t0)        # store 0x80
+            lb   a1, 0(t0)        # sign-extends to 0xffffff80
+            lbu  a2, 0(t0)        # zero-extends to 0x80
+            li   a0, 0x8000
+            sh   a0, 4(t0)
+            lh   a3, 4(t0)
+            lhu  a4, 4(t0)
+            add  a5, a1, a2       # 0xffffff80 + 0x80 = 0 (wraps)
+            add  a5, a5, a3       # + 0xffff8000
+            add  a5, a5, a4       # + 0x8000 -> 0
+            li   t1, 0x10004
+            sw   a5, 0(t1)
+            "#,
+        );
+        assert_eq!(cause, StopCause::Exit(0));
+        assert_eq!(iss.reg(Reg::parse("a1").unwrap()), 0xffff_ff80);
+        assert_eq!(iss.reg(Reg::parse("a3").unwrap()), 0xffff_8000);
+        assert_eq!(iss.reg(Reg::parse("a4").unwrap()), 0x8000);
+    }
+
+    #[test]
+    fn function_calls_work() {
+        let (_, cause) = run(
+            r#"
+            li   sp, 0x10000
+            li   a0, 21
+            call double
+            li   t0, 0x10004
+            sw   a0, 0(t0)
+        double:
+            add  a0, a0, a0
+            ret
+            "#,
+        );
+        assert_eq!(cause, StopCause::Exit(42));
+    }
+
+    #[test]
+    fn traps_are_reported() {
+        let (_, cause) = run("li t0, 0x100002\n lw a0, 0(t0)\n");
+        assert!(matches!(cause, StopCause::Trap(Trap::Misaligned { .. })));
+
+        let (_, cause) = run("li t0, 0x200000\n lw a0, 0(t0)\n");
+        assert!(matches!(cause, StopCause::Trap(Trap::OutOfRange { .. })));
+
+        let (_, cause) = run(".word 0xffffffff\n");
+        assert!(matches!(cause, StopCause::Trap(Trap::Illegal { .. })));
+    }
+
+    #[test]
+    fn running_off_the_end_is_out_of_range() {
+        let p = assemble("nop\n").unwrap();
+        let mut iss = Iss::new(4);
+        iss.load(&p);
+        let cause = iss.run(10);
+        assert!(matches!(cause, StopCause::Trap(Trap::OutOfRange { .. })));
+        // With zero-filled RAM beyond the program, the fetch decodes as an
+        // illegal all-zero word instead.
+        let mut iss = Iss::new(8);
+        iss.load(&p);
+        let cause = iss.run(10);
+        assert!(matches!(cause, StopCause::Trap(Trap::Illegal { .. })));
+    }
+
+    #[test]
+    fn out_of_time_when_budget_exhausted() {
+        let (_, cause) = run("loop: j loop\n");
+        assert_eq!(cause, StopCause::OutOfTime);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let (iss, _) = run("li a0, 5\n add zero, a0, a0\n ebreak\n");
+        assert_eq!(iss.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn shift_ops_match_rust_semantics() {
+        let (iss, cause) = run(
+            r#"
+            li   a0, 0x80000000
+            srai a1, a0, 4        # 0xf8000000
+            srli a2, a0, 4        # 0x08000000
+            li   a3, 1
+            slli a3, a3, 31       # 0x80000000
+            xor  a4, a1, a2       # 0xf0000000
+            xor  a4, a4, a3       # 0x70000000
+            srli a4, a4, 28       # 7
+            li   t0, 0x10004
+            sw   a4, 0(t0)
+            "#,
+        );
+        assert_eq!(cause, StopCause::Exit(7));
+        let _ = iss;
+    }
+}

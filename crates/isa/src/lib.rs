@@ -1,0 +1,65 @@
+//! RV32E-subset ISA support: encodings, assembler, disassembler and a golden
+//! instruction-set simulator (ISS).
+//!
+//! The studied core (`delayavf-rvcore`) executes the RV32E base integer
+//! instruction set (16 registers, no M/C extensions) with standard RISC-V
+//! encodings. This crate provides everything needed to program and validate
+//! it:
+//!
+//! * [`Inst`] — decoded instruction form with exact [`Inst::encode`] /
+//!   [`Inst::decode`] round-trips through the standard RV32 formats
+//!   (R/I/S/B/U/J),
+//! * [`assemble`] — a two-pass assembler with labels, common pseudo
+//!   instructions (`li`, `la`, `mv`, `j`, `call`, `ret`, `beqz`, ...) and
+//!   data directives (`.word`, `.byte`, `.space`, `.align`, `.equ`),
+//! * [`Iss`] — a golden reference simulator used both to validate the
+//!   gate-level core instruction-by-instruction and to produce reference
+//!   program outputs,
+//! * [`mmio`] — the memory-mapped I/O convention shared by the ISS and the
+//!   gate-level core's environment (console byte output and exit).
+//!
+//! # Example
+//!
+//! ```
+//! use delayavf_isa::{assemble, Iss, StopCause};
+//!
+//! let program = assemble(
+//!     r#"
+//!     li   a0, 6
+//!     li   a1, 7
+//!     add  a0, a0, a1     # a0 = 13
+//!     li   t0, 0x10004    # EXIT MMIO
+//!     sw   a0, 0(t0)      # exit with code 13
+//!     "#,
+//! )?;
+//! let mut iss = Iss::new(64 * 1024);
+//! iss.load(&program);
+//! let stop = iss.run(1_000);
+//! assert_eq!(stop, StopCause::Exit(13));
+//! # Ok::<(), delayavf_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod inst;
+mod iss;
+mod program;
+mod reg;
+
+pub use asm::{assemble, AsmError};
+pub use inst::{AluOp, BranchKind, DecodeError, Inst, LoadKind, StoreKind};
+pub use iss::{Iss, StopCause, Trap};
+pub use program::Program;
+pub use reg::Reg;
+
+/// Memory-mapped I/O conventions shared by the ISS and the gate-level core's
+/// environment.
+pub mod mmio {
+    /// Writing a byte here appends it to the program's console output.
+    pub const CONSOLE: u32 = 0x0001_0000;
+    /// Writing here terminates the program; the stored value is the exit
+    /// code.
+    pub const EXIT: u32 = 0x0001_0004;
+}

@@ -1,0 +1,130 @@
+//! Assembled program images.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::inst::Inst;
+
+/// An assembled program: a little-endian byte image based at address 0 plus
+/// the symbol table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// The raw image (little-endian, based at address 0).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Image length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The image as 32-bit words (zero-padded to a word boundary).
+    pub fn words(&self) -> Vec<u32> {
+        self.bytes
+            .chunks(4)
+            .map(|c| {
+                let mut w = [0u8; 4];
+                w[..c.len()].copy_from_slice(c);
+                u32::from_le_bytes(w)
+            })
+            .collect()
+    }
+
+    /// Looks up a label or `.equ` symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// An objdump-style listing: one line per word with address, raw
+    /// encoding, label annotations and the disassembled instruction (or
+    /// `.word` for data that does not decode).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = delayavf_isa::assemble("main: addi a0, a0, 1\n ret\n")?;
+    /// let listing = p.listing();
+    /// assert!(listing.contains("main:"));
+    /// assert!(listing.contains("addi a0, a0, 1"));
+    /// # Ok::<(), delayavf_isa::AsmError>(())
+    /// ```
+    pub fn listing(&self) -> String {
+        // Invert the symbol table: address -> names.
+        let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, addr) in &self.symbols {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, word) in self.words().iter().enumerate() {
+            let addr = (i * 4) as u32;
+            for name in by_addr.get(&addr).into_iter().flatten() {
+                let _ = writeln!(out, "{name}:");
+            }
+            match Inst::decode(*word) {
+                Ok(inst) => {
+                    let _ = writeln!(out, "  {addr:#06x}:  {word:08x}  {inst}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "  {addr:#06x}:  {word:08x}  .word {word:#x}");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program: {} bytes, {} symbols", self.len(), self.symbols.len())?;
+        for (name, addr) in &self.symbols {
+            writeln!(f, "  {addr:#06x} {name}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_little_endian_and_padded() {
+        let p = Program {
+            bytes: vec![0x13, 0x05, 0x15, 0x00, 0xaa],
+            symbols: BTreeMap::new(),
+        };
+        assert_eq!(p.words(), vec![0x0015_0513, 0x0000_00aa]);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_lists_symbols() {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("main".to_owned(), 0);
+        let p = Program {
+            bytes: vec![],
+            symbols,
+        };
+        assert!(p.to_string().contains("main"));
+        assert_eq!(p.symbol("main"), Some(0));
+        assert_eq!(p.symbol("nope"), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! RV32E architectural registers.
+
+use std::fmt;
+
+/// One of the sixteen RV32E integer registers.
+///
+/// `x0` is hard-wired to zero. Registers parse from both numeric (`x7`) and
+/// ABI (`t2`) names and display as ABI names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// ABI names of the sixteen RV32E registers, indexed by register number.
+const ABI_NAMES: [&str; 16] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5",
+];
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address register `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16` (RV32E has sixteen registers).
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 16, "rv32e register index {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` when out of
+    /// range.
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (n < 16).then_some(Reg(n))
+    }
+
+    /// The register number (0..16).
+    #[inline]
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Parses either an `xN` or ABI name.
+    pub fn parse(s: &str) -> Option<Reg> {
+        if let Some(rest) = s.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        // `fp` is an alias for `s0`.
+        if s == "fp" {
+            return Some(Reg(8));
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&n| n == s)
+            .map(|i| Reg(i as u8))
+    }
+
+    /// The register's ABI name (e.g. `a0`).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[usize::from(self.0)]
+    }
+
+    /// All sixteen registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}({})", self.0, self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_numeric_and_abi_names() {
+        assert_eq!(Reg::parse("x0"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("a5"), Some(Reg::new(15)));
+        assert_eq!(Reg::parse("fp"), Some(Reg::new(8)));
+        assert_eq!(Reg::parse("x16"), None, "rv32e stops at x15");
+        assert_eq!(Reg::parse("t6"), None, "t6 is rv32i-only");
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::new(10).to_string(), "a0");
+        assert_eq!(format!("{:?}", Reg::new(10)), "x10(a0)");
+    }
+
+    #[test]
+    fn all_yields_sixteen() {
+        assert_eq!(Reg::all().count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_large_indices() {
+        let _ = Reg::new(16);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests: instruction encode/decode round-trips, decoder
+//! robustness, and assembler/disassembler agreement.
+
+use delayavf_isa::{assemble, AluOp, BranchKind, Inst, LoadKind, Reg, StoreKind};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (reg_strategy(), 0u32..(1 << 20)).prop_map(|(rd, hi)| Inst::Lui { rd, imm: hi << 12 }),
+        (reg_strategy(), 0u32..(1 << 20)).prop_map(|(rd, hi)| Inst::Auipc { rd, imm: hi << 12 }),
+        (reg_strategy(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, o)| Inst::Jal {
+            rd,
+            offset: o * 2,
+        }),
+        (reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(|(rd, rs1, offset)| {
+            Inst::Jalr { rd, rs1, offset }
+        }),
+        (
+            prop_oneof![
+                Just(BranchKind::Eq),
+                Just(BranchKind::Ne),
+                Just(BranchKind::Lt),
+                Just(BranchKind::Ge),
+                Just(BranchKind::Ltu),
+                Just(BranchKind::Geu)
+            ],
+            reg_strategy(),
+            reg_strategy(),
+            -(1i32 << 11)..(1 << 11)
+        )
+            .prop_map(|(kind, rs1, rs2, o)| Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset: o * 2,
+            }),
+        (
+            prop_oneof![
+                Just(LoadKind::Lb),
+                Just(LoadKind::Lh),
+                Just(LoadKind::Lw),
+                Just(LoadKind::Lbu),
+                Just(LoadKind::Lhu)
+            ],
+            reg_strategy(),
+            reg_strategy(),
+            -2048i32..2048
+        )
+            .prop_map(|(kind, rd, rs1, offset)| Inst::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            }),
+        (
+            prop_oneof![Just(StoreKind::Sb), Just(StoreKind::Sh), Just(StoreKind::Sw)],
+            reg_strategy(),
+            reg_strategy(),
+            -2048i32..2048
+        )
+            .prop_map(|(kind, rs2, rs1, offset)| Inst::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            }),
+        (alu_op(), reg_strategy(), reg_strategy(), -2048i32..2048).prop_filter_map(
+            "imm ops exclude sub; shifts need 0..32",
+            |(kind, rd, rs1, imm)| {
+                if kind == AluOp::Sub {
+                    return None;
+                }
+                let imm = match kind {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(32),
+                    _ => imm,
+                };
+                Some(Inst::OpImm { kind, rd, rs1, imm })
+            }
+        ),
+        (alu_op(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(kind, rd, rs1, rs2)| Inst::Op { kind, rd, rs1, rs2 }
+        ),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(inst in inst_strategy()) {
+        let word = inst.encode();
+        prop_assert_eq!(Inst::decode(word), Ok(inst));
+    }
+
+    #[test]
+    fn decode_never_panics(word: u32) {
+        let _ = Inst::decode(word);
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_valid_words(word: u32) {
+        if let Ok(inst) = Inst::decode(word) {
+            // Re-encoding a decoded instruction reproduces a word that
+            // decodes to the same instruction (the encoding may differ only
+            // in don't-care bits, which our encoder never sets).
+            prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn disassembly_reassembles_to_the_same_word(inst in inst_strategy()) {
+        // Branch/jump offsets disassemble as absolute byte offsets which the
+        // assembler interprets relative to the instruction at address 0 —
+        // identical semantics for a single instruction at address 0.
+        let text = inst.to_string();
+        let program = assemble(&text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        prop_assert_eq!(program.words()[0], inst.encode(), "{}", text);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_straightline_programs_assemble_and_run(
+        seeds in prop::collection::vec(any::<i32>(), 1..8),
+        exit_reg in 1u8..16,
+    ) {
+        use delayavf_isa::{Iss, StopCause};
+        // Straight-line register setup followed by a clean exit: the
+        // assembler, encoder, and ISS must agree end to end.
+        let mut src = String::new();
+        for (i, v) in seeds.iter().enumerate() {
+            src.push_str(&format!("li x{}, {}\n", (i % 15) + 1, v));
+        }
+        src.push_str(&format!("li t0, 0x10004\nsw x{exit_reg}, 0(t0)\nebreak\n"));
+        let p = delayavf_isa::assemble(&src).expect("assembles");
+        let mut iss = Iss::new(64 * 1024);
+        iss.load(&p);
+        let cause = iss.run(10_000);
+        prop_assert!(matches!(cause, StopCause::Exit(_)), "{cause:?}");
+    }
+
+    #[test]
+    fn listing_round_trips_through_the_assembler(inst in inst_strategy()) {
+        // A single-instruction program's listing contains its own
+        // disassembly, and that disassembly reassembles to the same word.
+        let word = inst.encode();
+        let src = format!(".word {word:#x}\n");
+        let p = delayavf_isa::assemble(&src).unwrap();
+        let listing = p.listing();
+        prop_assert!(listing.contains(&format!("{word:08x}")), "{listing}");
+        prop_assert!(listing.contains(&inst.to_string()), "{listing}");
+    }
+}

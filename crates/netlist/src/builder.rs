@@ -1,0 +1,572 @@
+//! Incremental construction of [`Circuit`]s with hierarchical naming and
+//! structure tagging.
+
+use std::collections::BTreeMap;
+
+use crate::circuit::{Circuit, Dff, Driver, Net, Port, Structure};
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateKind};
+use crate::ids::{DffId, GateId, NetId};
+use crate::word::Word;
+
+/// Handle to a single-bit register created by [`CircuitBuilder::reg`].
+///
+/// The register's Q output is available immediately (so feedback paths can be
+/// described naturally); its D input must be driven exactly once with
+/// [`CircuitBuilder::drive`] before [`CircuitBuilder::finish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg {
+    pub(crate) dff: DffId,
+    pub(crate) q: NetId,
+}
+
+impl Reg {
+    /// The flip-flop backing this register.
+    #[inline]
+    pub fn dff(self) -> DffId {
+        self.dff
+    }
+
+    /// The register's Q output net.
+    #[inline]
+    pub fn q(self) -> NetId {
+        self.q
+    }
+}
+
+/// Handle to a multi-bit register created by [`CircuitBuilder::reg_word`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RegWord {
+    pub(crate) regs: Vec<Reg>,
+}
+
+impl RegWord {
+    /// The register's Q outputs as a word (LSB first).
+    pub fn q(&self) -> Word {
+        Word::from_bits(self.regs.iter().map(|r| r.q).collect())
+    }
+
+    /// Per-bit register handles, LSB first.
+    pub fn regs(&self) -> &[Reg] {
+        &self.regs
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+/// Builder for [`Circuit`]s.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    dffs: Vec<DffBuild>,
+    input_ports: Vec<Port>,
+    output_ports: Vec<Port>,
+    input_nets: Vec<NetId>,
+    structures: BTreeMap<String, Structure>,
+    scope: Vec<String>,
+    /// Stack of (structure name, gate watermark, dff watermark).
+    struct_stack: Vec<(String, usize, usize)>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+#[derive(Debug)]
+struct DffBuild {
+    d: Option<NetId>,
+    q: NetId,
+    init: bool,
+    name: Box<str>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_net(&mut self, driver: Driver) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net { driver, name: None });
+        id
+    }
+
+    fn scoped_name(&self, leaf: &str) -> String {
+        if self.scope.is_empty() {
+            leaf.to_owned()
+        } else {
+            let mut s = self.scope.join("/");
+            s.push('/');
+            s.push_str(leaf);
+            s
+        }
+    }
+
+    /// Attaches a debug name to a net (scoped by the current hierarchy).
+    pub fn name_net(&mut self, net: NetId, name: &str) {
+        let full = self.scoped_name(name);
+        self.nets[net.index()].name = Some(full.into_boxed_str());
+    }
+
+    /// Runs `f` inside a hierarchical naming scope called `name`.
+    pub fn in_scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.scope.push(name.to_owned());
+        let out = f(self);
+        self.scope.pop();
+        out
+    }
+
+    /// Runs `f` while tagging every gate and flip-flop created inside into
+    /// the structure `name` (also opens a naming scope of the same name).
+    ///
+    /// Nested calls tag into every active structure, so a sub-block can be
+    /// both part of its own structure and of an enclosing one.
+    pub fn in_structure<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let gate_mark = self.gates.len();
+        let dff_mark = self.dffs.len();
+        self.struct_stack
+            .push((name.to_owned(), gate_mark, dff_mark));
+        let out = self.in_scope(name, f);
+        let (name, gate_mark, dff_mark) = self.struct_stack.pop().expect("pushed above");
+        let entry = self.structures.entry(name).or_default();
+        entry
+            .gates
+            .extend((gate_mark..self.gates.len()).map(GateId::from_index));
+        entry
+            .dffs
+            .extend((dff_mark..self.dffs.len()).map(DffId::from_index));
+        out
+    }
+
+    /// Declares a 1-bit primary input.
+    pub fn input(&mut self, name: &str) -> NetId {
+        self.input_word(name, 1).bit(0)
+    }
+
+    /// Declares a multi-bit primary input port (LSB first).
+    pub fn input_word(&mut self, name: &str, width: usize) -> Word {
+        let mut nets = Vec::with_capacity(width);
+        for i in 0..width {
+            let idx = u32::try_from(self.input_nets.len()).expect("too many inputs");
+            let net = self.fresh_net(Driver::Input(idx));
+            self.nets[net.index()].name =
+                Some(self.scoped_name(&format!("{name}[{i}]")).into_boxed_str());
+            self.input_nets.push(net);
+            nets.push(net);
+        }
+        self.input_ports.push(Port {
+            name: self.scoped_name(name).into_boxed_str(),
+            nets: nets.clone(),
+        });
+        Word::from_bits(nets)
+    }
+
+    /// Declares a 1-bit primary output driven by `net`.
+    pub fn output(&mut self, name: &str, net: NetId) {
+        self.output_ports.push(Port {
+            name: self.scoped_name(name).into_boxed_str(),
+            nets: vec![net],
+        });
+    }
+
+    /// Declares a multi-bit primary output port.
+    pub fn output_word(&mut self, name: &str, word: &Word) {
+        self.output_ports.push(Port {
+            name: self.scoped_name(name).into_boxed_str(),
+            nets: word.bits().to_vec(),
+        });
+    }
+
+    /// The constant-0 net (created on first use).
+    pub fn const0(&mut self) -> NetId {
+        match self.const0 {
+            Some(n) => n,
+            None => {
+                let n = self.fresh_net(Driver::Const(false));
+                self.const0 = Some(n);
+                n
+            }
+        }
+    }
+
+    /// The constant-1 net (created on first use).
+    pub fn const1(&mut self) -> NetId {
+        match self.const1 {
+            Some(n) => n,
+            None => {
+                let n = self.fresh_net(Driver::Const(true));
+                self.const1 = Some(n);
+                n
+            }
+        }
+    }
+
+    /// The constant net for `value`.
+    pub fn const_bit(&mut self, value: bool) -> NetId {
+        if value {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    /// Instantiates a gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match `kind.arity()`.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "gate {kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        let gate_id = GateId::from_index(self.gates.len());
+        let output = self.fresh_net(Driver::Gate(gate_id));
+        let mut ins = [NetId(u32::MAX); 3];
+        ins[..inputs.len()].copy_from_slice(inputs);
+        self.gates.push(Gate {
+            kind,
+            inputs: ins,
+            output,
+        });
+        output
+    }
+
+    /// `!a`
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Not, &[a])
+    }
+
+    /// `a & b`
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::And2, &[a, b])
+    }
+
+    /// `a | b`
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Or2, &[a, b])
+    }
+
+    /// `a ^ b`
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xor2, &[a, b])
+    }
+
+    /// `!(a & b)`
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nand2, &[a, b])
+    }
+
+    /// `!(a | b)`
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nor2, &[a, b])
+    }
+
+    /// `!(a ^ b)`
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xnor2, &[a, b])
+    }
+
+    /// `a & !b`
+    pub fn and_not(&mut self, a: NetId, b: NetId) -> NetId {
+        let nb = self.not(b);
+        self.and(a, nb)
+    }
+
+    /// Two-way mux: `if s { b } else { a }`.
+    pub fn mux(&mut self, s: NetId, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Mux2, &[s, a, b])
+    }
+
+    /// Creates a 1-bit register with power-on value `init`.
+    ///
+    /// The D input must later be driven exactly once with
+    /// [`CircuitBuilder::drive`].
+    pub fn reg(&mut self, name: &str, init: bool) -> Reg {
+        let dff_id = DffId::from_index(self.dffs.len());
+        let q = self.fresh_net(Driver::Dff(dff_id));
+        let full = self.scoped_name(name);
+        self.nets[q.index()].name = Some(format!("{full}.q").into_boxed_str());
+        self.dffs.push(DffBuild {
+            d: None,
+            q,
+            init,
+            name: full.into_boxed_str(),
+        });
+        Reg { dff: dff_id, q }
+    }
+
+    /// Creates a multi-bit register with power-on value `init` (LSB first).
+    pub fn reg_word(&mut self, name: &str, width: usize, init: u64) -> RegWord {
+        let regs = (0..width)
+            .map(|i| self.reg(&format!("{name}[{i}]"), (init >> i) & 1 == 1))
+            .collect();
+        RegWord { regs }
+    }
+
+    /// Drives the D input of `reg` with `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is already driven (the condition is also
+    /// re-checked fallibly in [`CircuitBuilder::finish`]).
+    pub fn drive(&mut self, reg: Reg, d: NetId) {
+        let slot = &mut self.dffs[reg.dff.index()];
+        assert!(
+            slot.d.is_none(),
+            "register `{}` driven more than once",
+            slot.name
+        );
+        slot.d = Some(d);
+    }
+
+    /// Drives a multi-bit register with `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or if any bit is already driven.
+    pub fn drive_word(&mut self, reg: &RegWord, d: &Word) {
+        assert_eq!(
+            reg.width(),
+            d.width(),
+            "drive_word: register is {} bits, value is {} bits",
+            reg.width(),
+            d.width()
+        );
+        for (r, bit) in reg.regs.iter().zip(d.bits()) {
+            self.drive(*r, *bit);
+        }
+    }
+
+    /// Drives a multi-bit register that only updates when `en` is high
+    /// (lowered to a per-bit hold mux).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or if any bit is already driven.
+    pub fn drive_word_en(&mut self, reg: &RegWord, en: NetId, d: &Word) {
+        let held = self.mux_word(en, &reg.q(), d);
+        self.drive_word(reg, &held);
+    }
+
+    /// Drives a 1-bit register that only updates when `en` is high.
+    pub fn drive_en(&mut self, reg: Reg, en: NetId, d: NetId) {
+        let held = self.mux(en, reg.q(), d);
+        self.drive(reg, held);
+    }
+
+    /// Number of gates created so far (useful for size accounting in tests).
+    pub fn gates_so_far(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Validates the construction and produces an immutable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UndrivenRegister`] if a register's D pin was never
+    ///   driven.
+    /// * [`NetlistError::DuplicatePort`] if two ports of the same direction
+    ///   share a name.
+    /// * [`NetlistError::CombinationalLoop`] if the gate graph is cyclic.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        let mut dffs = Vec::with_capacity(self.dffs.len());
+        for d in &self.dffs {
+            let Some(din) = d.d else {
+                return Err(NetlistError::UndrivenRegister {
+                    name: d.name.to_string(),
+                });
+            };
+            dffs.push(Dff {
+                d: din,
+                q: d.q,
+                init: d.init,
+                name: d.name.clone(),
+            });
+        }
+        for ports in [&self.input_ports, &self.output_ports] {
+            let mut names: Vec<&str> = ports.iter().map(|p| p.name()).collect();
+            names.sort_unstable();
+            if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+                return Err(NetlistError::DuplicatePort {
+                    name: w[0].to_owned(),
+                });
+            }
+        }
+        let circuit = Circuit {
+            nets: self.nets,
+            gates: self.gates,
+            dffs,
+            input_ports: self.input_ports,
+            output_ports: self.output_ports,
+            input_nets: self.input_nets,
+            structures: self.structures,
+        };
+        check_acyclic(&circuit)?;
+        Ok(circuit)
+    }
+}
+
+/// Kahn's algorithm over the gate graph; errors with a representative net if
+/// a combinational cycle exists.
+fn check_acyclic(c: &Circuit) -> Result<(), NetlistError> {
+    let mut indeg = vec![0u32; c.gates.len()];
+    for (i, g) in c.gates.iter().enumerate() {
+        let mut n = 0;
+        for &inp in g.inputs() {
+            if matches!(c.net(inp).driver(), Driver::Gate(_)) {
+                n += 1;
+            }
+        }
+        indeg[i] = n;
+    }
+    // net -> consuming gates adjacency restricted to gate-driven nets.
+    let mut ready: Vec<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &d)| (d == 0).then_some(i))
+        .collect();
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); c.nets.len()];
+    for (i, g) in c.gates.iter().enumerate() {
+        for &inp in g.inputs() {
+            if matches!(c.net(inp).driver(), Driver::Gate(_)) {
+                consumers[inp.index()].push(u32::try_from(i).expect("gate count fits u32"));
+            }
+        }
+    }
+    let mut processed = 0usize;
+    while let Some(g) = ready.pop() {
+        processed += 1;
+        let out = c.gates[g].output();
+        for &cons in &consumers[out.index()] {
+            let cons = cons as usize;
+            indeg[cons] -= 1;
+            if indeg[cons] == 0 {
+                ready.push(cons);
+            }
+        }
+    }
+    if processed != c.gates.len() {
+        let stuck = indeg.iter().position(|&d| d > 0).expect("some gate stuck");
+        let net = c.gates[stuck].output();
+        let label = c
+            .net(net)
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| net.to_string());
+        return Err(NetlistError::CombinationalLoop { net: label });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_names_join_with_slash() {
+        let mut b = CircuitBuilder::new();
+        let r = b.in_scope("top", |b| b.in_scope("alu", |b| b.reg("acc", false)));
+        b.drive(r, r.q());
+        let c = b.finish().unwrap();
+        assert_eq!(c.dff(r.dff()).name(), "top/alu/acc");
+    }
+
+    #[test]
+    fn undriven_register_is_rejected() {
+        let mut b = CircuitBuilder::new();
+        let _ = b.reg("lonely", false);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::UndrivenRegister { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "driven more than once")]
+    fn double_drive_panics() {
+        let mut b = CircuitBuilder::new();
+        let r = b.reg("r", false);
+        let q = r.q();
+        b.drive(r, q);
+        b.drive(r, q);
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        // The safe builder API always drives gates from existing nets, so a
+        // cycle is assembled by patching a gate input after the fact.
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let tmp = b.and(x, x);
+        let fed = b.or(tmp, x);
+        b.gates[0].inputs[1] = fed; // make the AND read the OR: a 2-gate cycle
+        b.output("y", fed);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn duplicate_output_port_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        b.output("o", a);
+        b.output("o", a);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicatePort { .. })
+        ));
+    }
+
+    #[test]
+    fn consts_are_memoized() {
+        let mut b = CircuitBuilder::new();
+        assert_eq!(b.const0(), b.const0());
+        assert_eq!(b.const1(), b.const1());
+        assert_ne!(b.const0(), b.const1());
+    }
+
+    #[test]
+    fn structure_tagging_captures_nested_elements() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        b.in_structure("alu", |b| {
+            let n = b.not(a);
+            b.in_structure("alu_adder", |b| {
+                let r = b.reg("acc", false);
+                let d = b.xor(n, r.q());
+                b.drive(r, d);
+            });
+        });
+        let c = b.finish().unwrap();
+        let alu = c.structure("alu").unwrap();
+        let adder = c.structure("alu_adder").unwrap();
+        assert_eq!(alu.gates().len(), 2, "outer structure sees nested gates");
+        assert_eq!(alu.dffs().len(), 1);
+        assert_eq!(adder.gates().len(), 1);
+        assert_eq!(adder.dffs().len(), 1);
+    }
+
+    #[test]
+    fn enable_registers_hold_value() {
+        let mut b = CircuitBuilder::new();
+        let en = b.input("en");
+        let d = b.input_word("d", 4);
+        let r = b.reg_word("r", 4, 0b1010);
+        b.drive_word_en(&r, en, &d);
+        let c = b.finish().unwrap();
+        // One hold mux per bit.
+        assert_eq!(c.num_gates(), 4);
+        assert_eq!(
+            c.initial_state(),
+            vec![false, true, false, true],
+            "init pattern is LSB-first"
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! The flat circuit graph: nets, gates, flip-flops, ports and structures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateKind};
+use crate::ids::{DffId, GateId, NetId};
+
+/// What drives a net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// Driven by the environment each cycle; the payload is the index into
+    /// the flattened primary-input list ([`Circuit::input_nets`]).
+    Input(u32),
+    /// Constant logic value.
+    Const(bool),
+    /// Output of a logic gate.
+    Gate(GateId),
+    /// Q output of a flip-flop.
+    Dff(DffId),
+}
+
+/// A net: a single-driver signal carrier.
+#[derive(Clone, Debug)]
+pub struct Net {
+    pub(crate) driver: Driver,
+    pub(crate) name: Option<Box<str>>,
+}
+
+impl Net {
+    /// The element driving this net.
+    #[inline]
+    pub fn driver(&self) -> Driver {
+        self.driver
+    }
+
+    /// Hierarchical debug name, when one was recorded.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// A positive-edge D flip-flop.
+///
+/// All flip-flops share one implicit clock. Enables and synchronous resets
+/// are lowered to multiplexers in front of the D pin by the builder.
+#[derive(Clone, Debug)]
+pub struct Dff {
+    pub(crate) d: NetId,
+    pub(crate) q: NetId,
+    pub(crate) init: bool,
+    pub(crate) name: Box<str>,
+}
+
+impl Dff {
+    /// The net sampled at the clock edge.
+    #[inline]
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The net carrying the stored value.
+    #[inline]
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+
+    /// Power-on value of the flip-flop.
+    #[inline]
+    pub fn init(&self) -> bool {
+        self.init
+    }
+
+    /// Hierarchical instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A named multi-bit primary input or output port (LSB first).
+#[derive(Clone, Debug)]
+pub struct Port {
+    pub(crate) name: Box<str>,
+    pub(crate) nets: Vec<NetId>,
+}
+
+impl Port {
+    /// Port name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The port's nets, least-significant bit first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Number of bits in the port.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+/// The gates and flip-flops associated with one named microarchitectural
+/// structure (the set *H* of the paper).
+#[derive(Clone, Debug, Default)]
+pub struct Structure {
+    pub(crate) gates: Vec<GateId>,
+    pub(crate) dffs: Vec<DffId>,
+}
+
+impl Structure {
+    /// Gates tagged into this structure.
+    pub fn gates(&self) -> &[GateId] {
+        &self.gates
+    }
+
+    /// Flip-flops tagged into this structure (the structure's "bits" for
+    /// particle-strike AVF).
+    pub fn dffs(&self) -> &[DffId] {
+        &self.dffs
+    }
+
+    /// True when the structure contains no gates and no flip-flops.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty() && self.dffs.is_empty()
+    }
+}
+
+/// An immutable gate-level circuit.
+///
+/// Produced by [`crate::CircuitBuilder::finish`], which guarantees the
+/// invariants the analyses rely on: every net has exactly one driver, every
+/// flip-flop D pin is connected, and the combinational graph is acyclic.
+#[derive(Clone)]
+pub struct Circuit {
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) input_ports: Vec<Port>,
+    pub(crate) output_ports: Vec<Port>,
+    /// Flattened primary-input nets; `Driver::Input(i)` indexes this list.
+    pub(crate) input_nets: Vec<NetId>,
+    pub(crate) structures: BTreeMap<String, Structure>,
+}
+
+impl Circuit {
+    /// Number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of logic gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    #[inline]
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of primary-input bits.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.input_nets.len()
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Looks up a flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[inline]
+    pub fn dff(&self, id: DffId) -> &Dff {
+        &self.dffs[id.index()]
+    }
+
+    /// Iterates over all gates with their ids.
+    pub fn gates(&self) -> impl ExactSizeIterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId::from_index(i), g))
+    }
+
+    /// Iterates over all flip-flops with their ids.
+    pub fn dffs(&self) -> impl ExactSizeIterator<Item = (DffId, &Dff)> {
+        self.dffs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DffId::from_index(i), d))
+    }
+
+    /// Iterates over all nets with their ids.
+    pub fn nets(&self) -> impl ExactSizeIterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId::from_index(i), n))
+    }
+
+    /// Flattened primary-input nets, in `Driver::Input` index order.
+    pub fn input_nets(&self) -> &[NetId] {
+        &self.input_nets
+    }
+
+    /// Primary-input ports in declaration order.
+    pub fn input_ports(&self) -> &[Port] {
+        &self.input_ports
+    }
+
+    /// Primary-output ports in declaration order.
+    pub fn output_ports(&self) -> &[Port] {
+        &self.output_ports
+    }
+
+    /// Finds an input port by name.
+    pub fn input_port(&self, name: &str) -> Option<&Port> {
+        self.input_ports.iter().find(|p| &*p.name == name)
+    }
+
+    /// Finds an output port by name.
+    pub fn output_port(&self, name: &str) -> Option<&Port> {
+        self.output_ports.iter().find(|p| &*p.name == name)
+    }
+
+    /// Names of all tagged structures, in sorted order.
+    pub fn structure_names(&self) -> impl Iterator<Item = &str> {
+        self.structures.keys().map(String::as_str)
+    }
+
+    /// Looks up a structure by name.
+    pub fn structure(&self, name: &str) -> Option<&Structure> {
+        self.structures.get(name)
+    }
+
+    /// Returns the structure by name or an error suitable for user-facing
+    /// configuration validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownStructure`] when no structure with this
+    /// name was tagged during construction.
+    pub fn require_structure(&self, name: &str) -> Result<&Structure, NetlistError> {
+        self.structure(name)
+            .ok_or_else(|| NetlistError::UnknownStructure {
+                name: name.to_owned(),
+                available: self.structure_names().map(str::to_owned).collect(),
+            })
+    }
+
+    /// The power-on state of all flip-flops, indexed by raw [`DffId`].
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.dffs.iter().map(|d| d.init).collect()
+    }
+
+    /// Counts gates of each kind, in [`GateKind::ALL`] order.
+    pub fn gate_kind_histogram(&self) -> [(GateKind, usize); 9] {
+        let mut hist = GateKind::ALL.map(|k| (k, 0usize));
+        for g in &self.gates {
+            let slot = GateKind::ALL
+                .iter()
+                .position(|k| *k == g.kind)
+                .expect("kind in ALL");
+            hist[slot].1 += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Circuit")
+            .field("nets", &self.nets.len())
+            .field("gates", &self.gates.len())
+            .field("dffs", &self.dffs.len())
+            .field("inputs", &self.input_nets.len())
+            .field(
+                "outputs",
+                &self.output_ports.iter().map(|p| p.width()).sum::<usize>(),
+            )
+            .field(
+                "structures",
+                &self.structures.keys().collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CircuitBuilder;
+    use crate::gate::GateKind;
+
+    fn tiny() -> crate::Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let o = b.gate(GateKind::And2, &[a, bb]);
+        b.output("o", o);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let c = tiny();
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_dffs(), 0);
+        let (gid, gate) = c.gates().next().unwrap();
+        assert_eq!(c.gate(gid).output(), gate.output());
+        assert_eq!(gate.kind(), GateKind::And2);
+    }
+
+    #[test]
+    fn ports_are_discoverable_by_name() {
+        let c = tiny();
+        assert_eq!(c.input_port("a").unwrap().width(), 1);
+        assert_eq!(c.output_port("o").unwrap().width(), 1);
+        assert!(c.input_port("missing").is_none());
+    }
+
+    #[test]
+    fn unknown_structure_error_lists_alternatives() {
+        let c = tiny();
+        let err = c.require_structure("alu").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("alu"), "{msg}");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let c = tiny();
+        assert!(!format!("{c:?}").is_empty());
+    }
+
+    #[test]
+    fn gate_histogram_counts() {
+        let c = tiny();
+        let hist = c.gate_kind_histogram();
+        let and2 = hist.iter().find(|(k, _)| *k == GateKind::And2).unwrap();
+        assert_eq!(and2.1, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while building or validating a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A register created with [`crate::CircuitBuilder::reg`] was never
+    /// driven before [`crate::CircuitBuilder::finish`].
+    UndrivenRegister {
+        /// Hierarchical name of the register bit.
+        name: String,
+    },
+    /// A register was driven more than once.
+    DoublyDrivenRegister {
+        /// Hierarchical name of the register bit.
+        name: String,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalLoop {
+        /// Debug name (or id rendering) of one net on the loop.
+        net: String,
+    },
+    /// Two ports of the same direction share a name.
+    DuplicatePort {
+        /// The conflicting port name.
+        name: String,
+    },
+    /// A structure name was requested that was never tagged.
+    UnknownStructure {
+        /// The requested name.
+        name: String,
+        /// The names that do exist.
+        available: Vec<String>,
+    },
+    /// Word operands of mismatched widths were combined.
+    WidthMismatch {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// Width of the left operand.
+        lhs: usize,
+        /// Width of the right operand.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndrivenRegister { name } => {
+                write!(f, "register `{name}` was never driven")
+            }
+            NetlistError::DoublyDrivenRegister { name } => {
+                write!(f, "register `{name}` was driven more than once")
+            }
+            NetlistError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            NetlistError::DuplicatePort { name } => {
+                write!(f, "duplicate port name `{name}`")
+            }
+            NetlistError::UnknownStructure { name, available } => write!(
+                f,
+                "unknown structure `{name}` (available: {})",
+                available.join(", ")
+            ),
+            NetlistError::WidthMismatch { op, lhs, rhs } => {
+                write!(f, "width mismatch in `{op}`: {lhs} vs {rhs} bits")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = NetlistError::WidthMismatch {
+            op: "add",
+            lhs: 32,
+            rhs: 16,
+        };
+        assert_eq!(e.to_string(), "width mismatch in `add`: 32 vs 16 bits");
+        let e = NetlistError::UnknownStructure {
+            name: "alu".into(),
+            available: vec!["decoder".into(), "lsu".into()],
+        };
+        assert!(e.to_string().contains("decoder, lsu"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<NetlistError>();
+    }
+}

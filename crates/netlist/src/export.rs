@@ -1,0 +1,186 @@
+//! Graphviz (DOT) export for circuit inspection.
+
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, Driver};
+use crate::ids::{DffId, GateId};
+
+/// Maximum number of elements [`to_dot`] will render before refusing;
+/// beyond this Graphviz output stops being useful.
+pub const DOT_ELEMENT_LIMIT: usize = 4_000;
+
+/// Renders the circuit as a Graphviz `digraph`.
+///
+/// Gates become ellipses labeled with their cell name, flip-flops become
+/// boxes labeled with their instance name, primary inputs/outputs become
+/// diamonds. Elements belonging to the named structure (if any) are
+/// highlighted.
+///
+/// # Errors
+///
+/// Returns `Err` with a message when the circuit exceeds
+/// [`DOT_ELEMENT_LIMIT`] elements (render a sub-structure instead).
+pub fn to_dot(c: &Circuit, highlight: Option<&str>) -> Result<String, String> {
+    let elements = c.num_gates() + c.num_dffs() + c.num_inputs();
+    if elements > DOT_ELEMENT_LIMIT {
+        return Err(format!(
+            "circuit has {elements} elements; DOT export is capped at {DOT_ELEMENT_LIMIT}"
+        ));
+    }
+    let (hl_gates, hl_dffs): (Vec<GateId>, Vec<DffId>) = match highlight {
+        Some(name) => {
+            let s = c
+                .structure(name)
+                .ok_or_else(|| format!("unknown structure `{name}`"))?;
+            (s.gates().to_vec(), s.dffs().to_vec())
+        }
+        None => (Vec::new(), Vec::new()),
+    };
+
+    let mut out = String::from("digraph circuit {\n  rankdir=LR;\n");
+    for (pi, port) in c.input_ports().iter().enumerate() {
+        let _ = writeln!(out, "  in{pi} [shape=diamond, label=\"{}\"];", port.name());
+    }
+    for (po, port) in c.output_ports().iter().enumerate() {
+        let _ = writeln!(out, "  out{po} [shape=diamond, label=\"{}\"];", port.name());
+    }
+    for (gid, g) in c.gates() {
+        let style = if hl_gates.contains(&gid) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  g{} [shape=ellipse, label=\"{}\"{style}];",
+            gid.index(),
+            g.kind()
+        );
+    }
+    for (did, d) in c.dffs() {
+        let style = if hl_dffs.contains(&did) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  ff{} [shape=box, label=\"{}\"{}];",
+            did.index(),
+            d.name(),
+            style
+        );
+    }
+
+    // One arrow per consumed net, from its driver.
+    let src_of = |net| match c.net(net).driver() {
+        Driver::Gate(g) => format!("g{}", g.index()),
+        Driver::Dff(d) => format!("ff{}", d.index()),
+        Driver::Input(i) => {
+            // Map the flat input index back to its port.
+            let mut idx = i as usize;
+            let mut port = 0usize;
+            for (pi, p) in c.input_ports().iter().enumerate() {
+                if idx < p.width() {
+                    port = pi;
+                    break;
+                }
+                idx -= p.width();
+            }
+            format!("in{port}")
+        }
+        Driver::Const(v) => format!("const{}", u8::from(v)),
+    };
+    let mut used_consts = [false; 2];
+    for (_, g) in c.gates() {
+        for &inp in g.inputs() {
+            if let Driver::Const(v) = c.net(inp).driver() {
+                used_consts[usize::from(v)] = true;
+            }
+            let _ = writeln!(
+                out,
+                "  {} -> g{};",
+                src_of(inp),
+                match c.net(g.output()).driver() {
+                    Driver::Gate(id) => id.index(),
+                    _ => unreachable!("gate outputs are gate-driven"),
+                }
+            );
+        }
+    }
+    for (did, d) in c.dffs() {
+        if let Driver::Const(v) = c.net(d.d()).driver() {
+            used_consts[usize::from(v)] = true;
+        }
+        let _ = writeln!(out, "  {} -> ff{};", src_of(d.d()), did.index());
+    }
+    for (po, port) in c.output_ports().iter().enumerate() {
+        for &net in port.nets() {
+            if let Driver::Const(v) = c.net(net).driver() {
+                used_consts[usize::from(v)] = true;
+            }
+            let _ = writeln!(out, "  {} -> out{po};", src_of(net));
+        }
+    }
+    for (v, used) in used_consts.iter().enumerate() {
+        if *used {
+            let _ = writeln!(out, "  const{v} [shape=plaintext, label=\"{v}\"];");
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn tiny() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.in_structure("blk", |b| {
+            let n = b.not(a);
+            let r = b.reg("state", false);
+            let d = b.xor(n, r.q());
+            b.drive(r, d);
+            r.q()
+        });
+        b.output("o", x);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_elements_and_arrows() {
+        let c = tiny();
+        let dot = to_dot(&c, None).unwrap();
+        assert!(dot.starts_with("digraph circuit {"));
+        assert!(dot.contains("INV"));
+        assert!(dot.contains("XOR2"));
+        assert!(dot.contains("blk/state"));
+        // Arrows: in->INV, INV->XOR, ff->XOR, XOR->ff, ff->out = 5.
+        assert_eq!(dot.matches(" -> ").count(), 5, "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlight_requires_known_structure() {
+        let c = tiny();
+        let dot = to_dot(&c, Some("blk")).unwrap();
+        assert!(dot.contains("lightblue"));
+        assert!(to_dot(&c, Some("nope")).is_err());
+    }
+
+    #[test]
+    fn oversized_circuits_are_refused() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let mut x = a;
+        for _ in 0..DOT_ELEMENT_LIMIT + 1 {
+            x = b.not(x);
+        }
+        b.output("o", x);
+        let c = b.finish().unwrap();
+        assert!(to_dot(&c, None).is_err());
+    }
+}

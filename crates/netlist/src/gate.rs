@@ -1,0 +1,206 @@
+//! Logic-gate primitives.
+
+use std::fmt;
+
+use crate::ids::NetId;
+
+/// The primitive cell set out of which every circuit in this workspace is
+/// built.
+///
+/// The set intentionally mirrors a small standard-cell library: two-input
+/// gates, an inverter/buffer pair, and a two-way multiplexer. Wider operators
+/// are lowered to trees of these primitives by [`crate::CircuitBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Identity buffer: `out = a`.
+    Buf,
+    /// Inverter: `out = !a`.
+    Not,
+    /// Two-input AND: `out = a & b`.
+    And2,
+    /// Two-input OR: `out = a | b`.
+    Or2,
+    /// Two-input NAND: `out = !(a & b)`.
+    Nand2,
+    /// Two-input NOR: `out = !(a | b)`.
+    Nor2,
+    /// Two-input XOR: `out = a ^ b`.
+    Xor2,
+    /// Two-input XNOR: `out = !(a ^ b)`.
+    Xnor2,
+    /// Two-way multiplexer with inputs `[s, a, b]`: `out = if s { b } else { a }`.
+    Mux2,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order.
+    pub const ALL: [GateKind; 9] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+    ];
+
+    /// Number of input pins this gate kind has.
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::Mux2 => 3,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the boolean function of this gate kind.
+    ///
+    /// `ins` must hold at least [`GateKind::arity`] values; extra entries are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` is shorter than the gate's arity.
+    #[inline]
+    pub fn eval(self, ins: &[bool]) -> bool {
+        match self {
+            GateKind::Buf => ins[0],
+            GateKind::Not => !ins[0],
+            GateKind::And2 => ins[0] & ins[1],
+            GateKind::Or2 => ins[0] | ins[1],
+            GateKind::Nand2 => !(ins[0] & ins[1]),
+            GateKind::Nor2 => !(ins[0] | ins[1]),
+            GateKind::Xor2 => ins[0] ^ ins[1],
+            GateKind::Xnor2 => !(ins[0] ^ ins[1]),
+            GateKind::Mux2 => {
+                if ins[0] {
+                    ins[2]
+                } else {
+                    ins[1]
+                }
+            }
+        }
+    }
+
+    /// Short standard-cell-style name (e.g. `NAND2`).
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "INV",
+            GateKind::And2 => "AND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nor2 => "NOR2",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Xnor2 => "XNOR2",
+            GateKind::Mux2 => "MUX2",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cell_name())
+    }
+}
+
+/// A logic gate instance: a [`GateKind`] applied to input nets, driving one
+/// output net.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Gate {
+    pub(crate) kind: GateKind,
+    /// Input pins; only the first `kind.arity()` entries are meaningful.
+    pub(crate) inputs: [NetId; 3],
+    pub(crate) output: NetId,
+}
+
+impl Gate {
+    /// The logic function of this gate.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The input nets, in pin order (`[s, a, b]` for `Mux2`).
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs[..self.kind.arity()]
+    }
+
+    /// The net driven by this gate.
+    #[inline]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Evaluates the gate given a full net-value table indexed by raw net id.
+    #[inline]
+    pub fn eval_in(&self, values: &[bool]) -> bool {
+        let ins = self.inputs();
+        match self.kind {
+            GateKind::Buf => values[ins[0].index()],
+            GateKind::Not => !values[ins[0].index()],
+            GateKind::And2 => values[ins[0].index()] & values[ins[1].index()],
+            GateKind::Or2 => values[ins[0].index()] | values[ins[1].index()],
+            GateKind::Nand2 => !(values[ins[0].index()] & values[ins[1].index()]),
+            GateKind::Nor2 => !(values[ins[0].index()] | values[ins[1].index()]),
+            GateKind::Xor2 => values[ins[0].index()] ^ values[ins[1].index()],
+            GateKind::Xnor2 => !(values[ins[0].index()] ^ values[ins[1].index()]),
+            GateKind::Mux2 => {
+                if values[ins[0].index()] {
+                    values[ins[2].index()]
+                } else {
+                    values[ins[1].index()]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_function() {
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::And2.arity(), 2);
+        assert_eq!(GateKind::Mux2.arity(), 3);
+    }
+
+    #[test]
+    fn truth_tables() {
+        let t = true;
+        let f = false;
+        assert_eq!(GateKind::Buf.eval(&[t]), t);
+        assert_eq!(GateKind::Not.eval(&[t]), f);
+        for (a, b) in [(f, f), (f, t), (t, f), (t, t)] {
+            assert_eq!(GateKind::And2.eval(&[a, b]), a & b);
+            assert_eq!(GateKind::Or2.eval(&[a, b]), a | b);
+            assert_eq!(GateKind::Nand2.eval(&[a, b]), !(a & b));
+            assert_eq!(GateKind::Nor2.eval(&[a, b]), !(a | b));
+            assert_eq!(GateKind::Xor2.eval(&[a, b]), a ^ b);
+            assert_eq!(GateKind::Xnor2.eval(&[a, b]), !(a ^ b));
+        }
+        // Mux2: out = s ? b : a with pin order [s, a, b].
+        assert_eq!(GateKind::Mux2.eval(&[f, t, f]), t);
+        assert_eq!(GateKind::Mux2.eval(&[t, t, f]), f);
+    }
+
+    #[test]
+    fn display_uses_cell_names() {
+        assert_eq!(GateKind::Nand2.to_string(), "NAND2");
+        assert_eq!(GateKind::Mux2.to_string(), "MUX2");
+    }
+
+    #[test]
+    fn all_kinds_listed_once() {
+        let mut names: Vec<_> = GateKind::ALL.iter().map(|k| k.cell_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GateKind::ALL.len());
+    }
+}

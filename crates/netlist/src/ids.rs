@@ -1,0 +1,88 @@
+//! Typed index handles into a [`crate::Circuit`].
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw index of this id within its circuit arena.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw arena index.
+            ///
+            /// Ids are only meaningful for the circuit that produced them;
+            /// constructing one from an arbitrary index is allowed but using
+            /// it against the wrong circuit may panic on out-of-bounds access.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32 range"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a net (a single-driver signal carrier).
+    NetId,
+    "n"
+);
+define_id!(
+    /// Identifier of a logic gate.
+    GateId,
+    "g"
+);
+define_id!(
+    /// Identifier of a D flip-flop state element.
+    DffId,
+    "ff"
+);
+define_id!(
+    /// Identifier of a fanout edge (one driver-to-sink connection), the unit
+    /// at which small delay faults are injected.
+    EdgeId,
+    "e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_preserves_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(GateId::from_index(1) < GateId::from_index(2));
+        assert_eq!(DffId::from_index(7), DffId::from_index(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn oversized_index_panics() {
+        let _ = EdgeId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

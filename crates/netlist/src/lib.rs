@@ -1,0 +1,74 @@
+//! Gate-level netlist substrate for the DelayAVF reproduction.
+//!
+//! This crate provides the circuit representation that every other layer of the
+//! workspace operates on: the timing analyses of `delayavf-timing`, the
+//! timing-aware and timing-agnostic simulators of `delayavf-sim`, and the
+//! DelayAVF/sAVF computations of `delayavf` all consume a [`Circuit`].
+//!
+//! A [`Circuit`] is a flat graph of:
+//!
+//! * **nets** ([`NetId`]) — single-driver signal carriers,
+//! * **gates** ([`Gate`]) — two-input logic primitives plus `BUF`/`NOT`/`MUX2`,
+//! * **state elements** ([`Dff`]) — positive-edge D flip-flops on one implicit clock,
+//! * **ports** — primary inputs driven by the environment each cycle and primary
+//!   outputs sampled by the environment at the end of each cycle.
+//!
+//! Circuits are constructed through [`CircuitBuilder`], which adds hierarchical
+//! naming scopes, multi-bit [`Word`] operators (adders, barrel shifters,
+//! comparators, muxes) and **structure tagging**: the association of gates and
+//! flip-flops with a named microarchitectural structure (ALU, decoder, register
+//! file, ...). Structures are the unit at which the DelayAVF paper defines
+//! vulnerability (the set of wires *E* of a structure *H*).
+//!
+//! Fault-injection sites are **fanout edges** ([`Edge`]): individual
+//! driver-to-sink connections, enumerated by [`Topology`]. A small delay fault
+//! on an edge delays the signal seen by exactly one sink, which generalizes the
+//! paper's wire- and gate-output-level delay faults (§IV-A of the paper).
+//!
+//! # Example
+//!
+//! Build a 1-bit full adder and inspect it:
+//!
+//! ```
+//! use delayavf_netlist::{CircuitBuilder, GateKind};
+//!
+//! let mut b = CircuitBuilder::new();
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let cin = b.input("cin");
+//! let (sum, cout) = b.in_scope("fa", |b| {
+//!     let axb = b.gate(GateKind::Xor2, &[a, c]);
+//!     let sum = b.gate(GateKind::Xor2, &[axb, cin]);
+//!     let g = b.gate(GateKind::And2, &[a, c]);
+//!     let p = b.gate(GateKind::And2, &[axb, cin]);
+//!     let cout = b.gate(GateKind::Or2, &[g, p]);
+//!     (sum, cout)
+//! });
+//! b.output("sum", sum);
+//! b.output("cout", cout);
+//! let circuit = b.finish().expect("valid circuit");
+//! assert_eq!(circuit.num_gates(), 5);
+//! assert_eq!(circuit.num_inputs(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod circuit;
+mod error;
+pub mod export;
+mod gate;
+mod ids;
+mod stats;
+mod topo;
+mod word;
+
+pub use builder::{CircuitBuilder, Reg, RegWord};
+pub use circuit::{Circuit, Dff, Driver, Net};
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind};
+pub use ids::{DffId, EdgeId, GateId, NetId};
+pub use stats::{CircuitStats, StructureStats};
+pub use topo::{Consumer, Edge, Topology};
+pub use word::Word;

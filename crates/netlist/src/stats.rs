@@ -1,0 +1,126 @@
+//! Size statistics for circuits and structures (source of the paper's
+//! Table I).
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+use crate::topo::Topology;
+
+/// Whole-circuit size statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total nets.
+    pub nets: usize,
+    /// Total logic gates.
+    pub gates: usize,
+    /// Total flip-flops.
+    pub dffs: usize,
+    /// Primary-input bits.
+    pub inputs: usize,
+    /// Primary-output bits.
+    pub outputs: usize,
+    /// Fanout edges (SDF injection sites).
+    pub edges: usize,
+}
+
+impl CircuitStats {
+    /// Gathers statistics for a circuit.
+    pub fn collect(c: &Circuit, topo: &Topology) -> Self {
+        CircuitStats {
+            nets: c.num_nets(),
+            gates: c.num_gates(),
+            dffs: c.num_dffs(),
+            inputs: c.num_inputs(),
+            outputs: c.output_ports().iter().map(|p| p.width()).sum(),
+            edges: topo.edges().len(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates, {} dffs, {} nets, {} edges, {} in / {} out bits",
+            self.gates, self.dffs, self.nets, self.edges, self.inputs, self.outputs
+        )
+    }
+}
+
+/// Size statistics for one tagged structure (one row of Table I).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructureStats {
+    /// Structure name.
+    pub name: String,
+    /// Gates tagged into the structure.
+    pub gates: usize,
+    /// Flip-flops tagged into the structure (its particle-strike "bits").
+    pub dffs: usize,
+    /// Injectable fanout edges sourced within the structure — the paper's
+    /// "# injected wires (E)".
+    pub edges: usize,
+}
+
+impl StructureStats {
+    /// Gathers statistics for a named structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownStructure`] for unknown names.
+    pub fn collect(c: &Circuit, topo: &Topology, name: &str) -> Result<Self, NetlistError> {
+        let s = c.require_structure(name)?;
+        let edges = topo.structure_edges(c, name)?;
+        Ok(StructureStats {
+            name: name.to_owned(),
+            gates: s.gates().len(),
+            dffs: s.dffs().len(),
+            edges: edges.len(),
+        })
+    }
+}
+
+impl fmt::Display for StructureStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, {} dffs, {} injectable edges",
+            self.name, self.gates, self.dffs, self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn stats_reflect_structure_contents() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        b.in_structure("alu", |b| {
+            let n = b.not(a);
+            let r = b.reg("acc", false);
+            let d = b.xor(n, r.q());
+            b.drive(r, d);
+            b.output("o", r.q());
+        });
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let cs = CircuitStats::collect(&c, &topo);
+        assert_eq!(cs.gates, 2);
+        assert_eq!(cs.dffs, 1);
+        assert_eq!(cs.edges, topo.edges().len());
+        assert!(!cs.to_string().is_empty());
+
+        let ss = StructureStats::collect(&c, &topo, "alu").unwrap();
+        assert_eq!(ss.gates, 2);
+        assert_eq!(ss.dffs, 1);
+        // Edges sourced in the structure: NOT output -> XOR pin, XOR output
+        // -> DFF d, DFF q -> XOR pin, DFF q -> output bit.
+        assert_eq!(ss.edges, 4);
+        assert!(ss.to_string().contains("alu"));
+        assert!(StructureStats::collect(&c, &topo, "nope").is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! Topological views of a circuit: evaluation order, fanout edges, and
+//! fan-in/fan-out cones.
+//!
+//! The [`Topology`] is computed once per circuit and shared by the timing
+//! analysis, both simulators, and the fault-injection campaign code. Its most
+//! important product is the list of [`Edge`]s — individual driver-to-sink
+//! connections — which are the injection sites for small delay faults.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::circuit::{Circuit, Driver};
+use crate::error::NetlistError;
+use crate::ids::{DffId, EdgeId, GateId, NetId};
+
+/// A sink consuming a net's value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Consumer {
+    /// Input pin `pin` of gate `gate`.
+    GatePin {
+        /// The consuming gate.
+        gate: GateId,
+        /// The pin index within [`crate::Gate::inputs`].
+        pin: u8,
+    },
+    /// The D input of a flip-flop.
+    DffD(DffId),
+    /// A primary-output bit (`port` indexes [`Circuit::output_ports`]).
+    OutputBit {
+        /// Index of the output port.
+        port: u16,
+        /// Bit within the port (LSB first).
+        bit: u16,
+    },
+}
+
+/// One fanout edge: the connection from a source net to a single sink.
+///
+/// Edges are the unit of small-delay-fault injection (paper §IV-A): an SDF on
+/// an edge delays the value seen by exactly that sink. The set of edges whose
+/// source element belongs to a structure *H* is the paper's wire set *E*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// The driving net.
+    pub source: NetId,
+    /// The consuming sink.
+    pub consumer: Consumer,
+}
+
+/// Precomputed topological data for a [`Circuit`].
+#[derive(Clone, Debug)]
+pub struct Topology {
+    eval_order: Vec<GateId>,
+    edges: Vec<Edge>,
+    /// CSR offsets into `edges`, indexed by raw net id (length `nets + 1`).
+    edge_start: Vec<u32>,
+    /// Per gate: the edge feeding each input pin (`u32::MAX` for unused pins).
+    gate_in_edges: Vec<[u32; 3]>,
+    /// Per flip-flop: the edge feeding its D pin.
+    dff_in_edge: Vec<u32>,
+}
+
+impl Topology {
+    /// Builds the topology of a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's combinational graph is cyclic, which
+    /// [`crate::CircuitBuilder::finish`] rules out.
+    pub fn new(c: &Circuit) -> Self {
+        let edges = collect_edges(c);
+        let mut edge_start = vec![0u32; c.num_nets() + 1];
+        for e in &edges {
+            edge_start[e.source.index() + 1] += 1;
+        }
+        for i in 0..c.num_nets() {
+            edge_start[i + 1] += edge_start[i];
+        }
+        let eval_order = topo_order(c, &edges, &edge_start);
+        let mut gate_in_edges = vec![[u32::MAX; 3]; c.num_gates()];
+        let mut dff_in_edge = vec![u32::MAX; c.num_dffs()];
+        for (i, e) in edges.iter().enumerate() {
+            let i = u32::try_from(i).expect("edge count fits u32");
+            match e.consumer {
+                Consumer::GatePin { gate, pin } => {
+                    gate_in_edges[gate.index()][usize::from(pin)] = i;
+                }
+                Consumer::DffD(d) => dff_in_edge[d.index()] = i,
+                Consumer::OutputBit { .. } => {}
+            }
+        }
+        Topology {
+            eval_order,
+            edges,
+            edge_start,
+            gate_in_edges,
+            dff_in_edge,
+        }
+    }
+
+    /// The edges feeding each input pin of `gate`, in pin order.
+    pub fn gate_in_edges(&self, gate: GateId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.gate_in_edges[gate.index()]
+            .iter()
+            .take_while(|&&e| e != u32::MAX)
+            .map(|&e| EdgeId::from_index(e as usize))
+    }
+
+    /// The edge feeding the D pin of `dff`.
+    pub fn dff_in_edge(&self, dff: DffId) -> EdgeId {
+        EdgeId::from_index(self.dff_in_edge[dff.index()] as usize)
+    }
+
+    /// Gates in a valid topological evaluation order.
+    pub fn eval_order(&self) -> &[GateId] {
+        &self.eval_order
+    }
+
+    /// All fanout edges, grouped by source net.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Looks up an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// The fanout edges of a net.
+    pub fn fanouts(&self, net: NetId) -> &[Edge] {
+        let lo = self.edge_start[net.index()] as usize;
+        let hi = self.edge_start[net.index() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Ids of the fanout edges of a net.
+    pub fn fanout_ids(&self, net: NetId) -> impl Iterator<Item = EdgeId> {
+        let lo = self.edge_start[net.index()] as usize;
+        let hi = self.edge_start[net.index() + 1] as usize;
+        (lo..hi).map(EdgeId::from_index)
+    }
+
+    /// The injectable edges of a named structure: all edges whose source net
+    /// is driven by a gate or flip-flop tagged into that structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownStructure`] for unknown names.
+    pub fn structure_edges(
+        &self,
+        c: &Circuit,
+        structure: &str,
+    ) -> Result<Vec<EdgeId>, NetlistError> {
+        let s = c.require_structure(structure)?;
+        let gate_set: HashSet<GateId> = s.gates().iter().copied().collect();
+        let dff_set: HashSet<DffId> = s.dffs().iter().copied().collect();
+        let mut out = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            let in_structure = match c.net(e.source).driver() {
+                Driver::Gate(g) => gate_set.contains(&g),
+                Driver::Dff(d) => dff_set.contains(&d),
+                Driver::Input(_) | Driver::Const(_) => false,
+            };
+            if in_structure {
+                out.push(EdgeId::from_index(i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The flip-flops whose D input is topologically reachable from `net`
+    /// through combinational logic (ignoring timing).
+    pub fn downstream_dffs(&self, c: &Circuit, net: NetId) -> Vec<DffId> {
+        let mut seen_nets = HashSet::new();
+        let mut dffs = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(net);
+        seen_nets.insert(net);
+        while let Some(n) = queue.pop_front() {
+            for e in self.fanouts(n) {
+                match e.consumer {
+                    Consumer::GatePin { gate, .. } => {
+                        let out = c.gate(gate).output();
+                        if seen_nets.insert(out) {
+                            queue.push_back(out);
+                        }
+                    }
+                    Consumer::DffD(d) => {
+                        dffs.insert(d);
+                    }
+                    Consumer::OutputBit { .. } => {}
+                }
+            }
+        }
+        let mut v: Vec<DffId> = dffs.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The set of source elements (flip-flop Q outputs and primary-input
+    /// bits) whose value can combinationally influence any net in `nets`.
+    ///
+    /// Returns `(dff_sources, input_net_sources)`, both sorted.
+    pub fn fanin_sources(&self, c: &Circuit, nets: &[NetId]) -> (Vec<DffId>, Vec<NetId>) {
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<NetId> = VecDeque::new();
+        for &n in nets {
+            if seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+        let mut dffs = HashSet::new();
+        let mut inputs = HashSet::new();
+        while let Some(n) = queue.pop_front() {
+            match c.net(n).driver() {
+                Driver::Gate(g) => {
+                    for &i in c.gate(g).inputs() {
+                        if seen.insert(i) {
+                            queue.push_back(i);
+                        }
+                    }
+                }
+                Driver::Dff(d) => {
+                    dffs.insert(d);
+                }
+                Driver::Input(_) => {
+                    inputs.insert(n);
+                }
+                Driver::Const(_) => {}
+            }
+        }
+        let mut dv: Vec<DffId> = dffs.into_iter().collect();
+        dv.sort_unstable();
+        let mut iv: Vec<NetId> = inputs.into_iter().collect();
+        iv.sort_unstable();
+        (dv, iv)
+    }
+}
+
+fn collect_edges(c: &Circuit) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for (gid, g) in c.gates() {
+        for (pin, &src) in g.inputs().iter().enumerate() {
+            edges.push(Edge {
+                source: src,
+                consumer: Consumer::GatePin {
+                    gate: gid,
+                    pin: u8::try_from(pin).expect("pin fits u8"),
+                },
+            });
+        }
+    }
+    for (did, d) in c.dffs() {
+        edges.push(Edge {
+            source: d.d(),
+            consumer: Consumer::DffD(did),
+        });
+    }
+    for (pi, port) in c.output_ports().iter().enumerate() {
+        for (bi, &src) in port.nets().iter().enumerate() {
+            edges.push(Edge {
+                source: src,
+                consumer: Consumer::OutputBit {
+                    port: u16::try_from(pi).expect("port index fits u16"),
+                    bit: u16::try_from(bi).expect("bit index fits u16"),
+                },
+            });
+        }
+    }
+    edges.sort_by_key(|e| e.source);
+    edges
+}
+
+fn topo_order(c: &Circuit, edges: &[Edge], edge_start: &[u32]) -> Vec<GateId> {
+    let mut indeg = vec![0u32; c.num_gates()];
+    for (i, g) in c.gates() {
+        let mut n = 0;
+        for &inp in g.inputs() {
+            if matches!(c.net(inp).driver(), Driver::Gate(_)) {
+                n += 1;
+            }
+        }
+        indeg[i.index()] = n;
+    }
+    let mut ready: VecDeque<GateId> = indeg
+        .iter()
+        .enumerate()
+        .filter(|&(_i, &d)| d == 0).map(|(i, &_d)| GateId::from_index(i))
+        .collect();
+    let mut order = Vec::with_capacity(c.num_gates());
+    while let Some(g) = ready.pop_front() {
+        order.push(g);
+        let out = c.gate(g).output();
+        let lo = edge_start[out.index()] as usize;
+        let hi = edge_start[out.index() + 1] as usize;
+        for e in &edges[lo..hi] {
+            if let Consumer::GatePin { gate, .. } = e.consumer {
+                indeg[gate.index()] -= 1;
+                if indeg[gate.index()] == 0 {
+                    ready.push_back(gate);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        c.num_gates(),
+        "circuit contains a combinational loop; CircuitBuilder::finish should have rejected it"
+    );
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    /// a --AND--> x --NOT--> y -> DFF -> q (feedback to AND)
+    fn loop_through_dff() -> (Circuit, NetId) {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let r = b.reg("state", false);
+        let x = b.and(a, r.q());
+        let y = b.not(x);
+        b.drive(r, y);
+        b.output("q", r.q());
+        let x_net = x;
+        (b.finish().unwrap(), x_net)
+    }
+
+    #[test]
+    fn edges_cover_all_pins() {
+        let (c, _) = loop_through_dff();
+        let t = Topology::new(&c);
+        // AND has 2 pins, NOT 1 pin, DFF d 1, output bit 1 = 5 edges.
+        assert_eq!(t.edges().len(), 5);
+        // Every edge is retrievable through its source's fanout list.
+        for (i, e) in t.edges().iter().enumerate() {
+            let id = EdgeId::from_index(i);
+            assert_eq!(t.edge(id), *e);
+            assert!(t.fanouts(e.source).contains(e));
+        }
+    }
+
+    #[test]
+    fn eval_order_is_topological() {
+        let (c, _) = loop_through_dff();
+        let t = Topology::new(&c);
+        assert_eq!(t.eval_order().len(), c.num_gates());
+        let mut pos = vec![usize::MAX; c.num_gates()];
+        for (i, &g) in t.eval_order().iter().enumerate() {
+            pos[g.index()] = i;
+        }
+        for (gid, g) in c.gates() {
+            for &inp in g.inputs() {
+                if let Driver::Gate(src) = c.net(inp).driver() {
+                    assert!(pos[src.index()] < pos[gid.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downstream_dffs_follow_combinational_paths() {
+        let (c, x) = loop_through_dff();
+        let t = Topology::new(&c);
+        let dffs = t.downstream_dffs(&c, x);
+        assert_eq!(dffs.len(), 1, "the AND output reaches the state DFF");
+        // The DFF's own Q net also reaches the DFF (through AND and NOT).
+        let q = c.dff(dffs[0]).q();
+        assert_eq!(t.downstream_dffs(&c, q), dffs);
+    }
+
+    #[test]
+    fn fanin_sources_find_dffs_and_inputs() {
+        let (c, x) = loop_through_dff();
+        let t = Topology::new(&c);
+        let (dffs, inputs) = t.fanin_sources(&c, &[x]);
+        assert_eq!(dffs.len(), 1);
+        assert_eq!(inputs.len(), 1);
+    }
+
+    #[test]
+    fn pin_edge_indices_are_inverse_of_edges() {
+        let (c, _) = loop_through_dff();
+        let t = Topology::new(&c);
+        for (gid, g) in c.gates() {
+            let pins: Vec<EdgeId> = t.gate_in_edges(gid).collect();
+            assert_eq!(pins.len(), g.kind().arity());
+            for (pin, &e) in pins.iter().enumerate() {
+                assert_eq!(
+                    t.edge(e).consumer,
+                    Consumer::GatePin {
+                        gate: gid,
+                        pin: pin as u8
+                    }
+                );
+                assert_eq!(t.edge(e).source, g.inputs()[pin]);
+            }
+        }
+        for (did, d) in c.dffs() {
+            let e = t.dff_in_edge(did);
+            assert_eq!(t.edge(e).consumer, Consumer::DffD(did));
+            assert_eq!(t.edge(e).source, d.d());
+        }
+    }
+
+    #[test]
+    fn structure_edges_select_by_source_membership() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let inner = b.in_structure("blk", |b| b.not(a));
+        let outer = b.not(inner);
+        b.output("o", outer);
+        let c = b.finish().unwrap();
+        let t = Topology::new(&c);
+        let edges = t.structure_edges(&c, "blk").unwrap();
+        // Only the edge sourced at the tagged NOT's output qualifies; the
+        // input-to-NOT edge is sourced outside the structure.
+        assert_eq!(edges.len(), 1);
+        assert_eq!(t.edge(edges[0]).source, inner);
+        assert!(t.structure_edges(&c, "nope").is_err());
+    }
+}

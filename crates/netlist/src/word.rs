@@ -1,0 +1,832 @@
+//! Multi-bit words and word-level combinational operators.
+//!
+//! A [`Word`] is an ordered list of nets, least-significant bit first. The
+//! operators on [`crate::CircuitBuilder`] lower word arithmetic to the gate
+//! primitives of [`crate::GateKind`]: ripple-carry adders, barrel shifters,
+//! balanced reduction trees and mux trees. The resulting path-depth profile
+//! (long carry chains in arithmetic, shallow muxes in selection logic) is what
+//! gives the studied core a realistic path-length distribution (paper Fig. 6).
+
+use crate::builder::CircuitBuilder;
+use crate::error::NetlistError;
+use crate::ids::NetId;
+
+/// A multi-bit signal: nets ordered least-significant bit first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Word {
+    bits: Vec<NetId>,
+}
+
+impl Word {
+    /// Builds a word from nets (LSB first).
+    pub fn from_bits(bits: Vec<NetId>) -> Self {
+        Word { bits }
+    }
+
+    /// The nets of this word, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The net for bit `i` (bit 0 is least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.bits[i]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    pub fn msb(&self) -> NetId {
+        *self.bits.last().expect("msb of empty word")
+    }
+
+    /// A sub-word `[lo, hi)` of this word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        Word::from_bits(self.bits[lo..hi].to_vec())
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Word::from_bits(bits)
+    }
+}
+
+impl FromIterator<NetId> for Word {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Word::from_bits(iter.into_iter().collect())
+    }
+}
+
+fn check_widths(op: &'static str, a: &Word, b: &Word) {
+    if a.width() != b.width() {
+        panic!(
+            "{}",
+            NetlistError::WidthMismatch {
+                op,
+                lhs: a.width(),
+                rhs: b.width(),
+            }
+        );
+    }
+}
+
+impl CircuitBuilder {
+    /// A constant word of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn const_word(&mut self, value: u64, width: usize) -> Word {
+        assert!(width <= 64, "const_word supports at most 64 bits");
+        (0..width)
+            .map(|i| self.const_bit((value >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Bitwise NOT of a word.
+    pub fn w_not(&mut self, a: &Word) -> Word {
+        a.bits().iter().map(|&b| self.not(b)).collect::<Vec<_>>().into_iter().collect()
+    }
+
+    /// Bitwise AND of two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn w_and(&mut self, a: &Word, b: &Word) -> Word {
+        check_widths("w_and", a, b);
+        a.bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.and(x, y))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Bitwise OR of two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn w_or(&mut self, a: &Word, b: &Word) -> Word {
+        check_widths("w_or", a, b);
+        a.bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.or(x, y))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Bitwise XOR of two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn w_xor(&mut self, a: &Word, b: &Word) -> Word {
+        check_widths("w_xor", a, b);
+        a.bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.xor(x, y))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// ANDs every bit of `a` with the single control bit `en` (gating).
+    pub fn w_gate(&mut self, a: &Word, en: NetId) -> Word {
+        a.bits()
+            .iter()
+            .map(|&x| self.and(x, en))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Word-level two-way mux: `if s { b } else { a }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux_word(&mut self, s: NetId, a: &Word, b: &Word) -> Word {
+        check_widths("mux_word", a, b);
+        a.bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.mux(s, x, y))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Selects `items[sel]` with a balanced mux tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != 2^sel.width()`, if `items` is empty, or if
+    /// item widths differ.
+    pub fn mux_tree(&mut self, sel: &Word, items: &[Word]) -> Word {
+        assert!(!items.is_empty(), "mux_tree requires at least one item");
+        assert_eq!(
+            items.len(),
+            1usize << sel.width(),
+            "mux_tree: {} items need a {}-bit selector, got {} bits",
+            items.len(),
+            items.len().trailing_zeros(),
+            sel.width()
+        );
+        let mut layer: Vec<Word> = items.to_vec();
+        for i in 0..sel.width() {
+            let s = sel.bit(i);
+            layer = layer
+                .chunks(2)
+                .map(|pair| self.mux_word(s, &pair[0], &pair[1]))
+                .collect();
+        }
+        layer.pop().expect("mux_tree reduces to one word")
+    }
+
+    /// Ripple-carry addition with explicit carry-in; returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_with_carry(&mut self, a: &Word, b: &Word, cin: NetId) -> (Word, NetId) {
+        check_widths("add", a, b);
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits().iter().zip(b.bits()) {
+            let p = self.xor(x, y);
+            let s = self.xor(p, carry);
+            let g = self.and(x, y);
+            let t = self.and(p, carry);
+            carry = self.or(g, t);
+            sum.push(s);
+        }
+        (Word::from_bits(sum), carry)
+    }
+
+    /// Ripple-carry addition, discarding the carry-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        let zero = self.const0();
+        self.add_with_carry(a, b, zero).0
+    }
+
+    /// Kogge–Stone parallel-prefix addition with explicit carry-in; returns
+    /// `(sum, carry_out)`.
+    ///
+    /// Functionally identical to [`CircuitBuilder::add_with_carry`] but with
+    /// `O(log n)` logic depth instead of `O(n)` — at the cost of roughly
+    /// `n·log n` gates. Used to study how a core's path-length distribution
+    /// (and hence its DelayAVF profile) shifts when the carry chain stops
+    /// dominating the critical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_fast_with_carry(&mut self, a: &Word, b: &Word, cin: NetId) -> (Word, NetId) {
+        check_widths("add_fast", a, b);
+        let w = a.width();
+        if w == 0 {
+            return (Word::from_bits(Vec::new()), cin);
+        }
+        // Bitwise generate/propagate.
+        let p: Vec<NetId> = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.xor(x, y))
+            .collect();
+        let g: Vec<NetId> = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.and(x, y))
+            .collect();
+        // Parallel-prefix combine: after the scan, gk[i]/pk[i] describe the
+        // group (0..=i).
+        let mut gk = g;
+        let mut pk = p.clone();
+        let mut dist = 1;
+        while dist < w {
+            let mut next_g = gk.clone();
+            let mut next_p = pk.clone();
+            for i in dist..w {
+                let t = self.and(pk[i], gk[i - dist]);
+                next_g[i] = self.or(gk[i], t);
+                next_p[i] = self.and(pk[i], pk[i - dist]);
+            }
+            gk = next_g;
+            pk = next_p;
+            dist *= 2;
+        }
+        // carry into bit i = G(0..=i-1) | P(0..=i-1) & cin.
+        let mut sum = Vec::with_capacity(w);
+        sum.push(self.xor(p[0], cin));
+        for i in 1..w {
+            let pc = self.and(pk[i - 1], cin);
+            let carry = self.or(gk[i - 1], pc);
+            sum.push(self.xor(p[i], carry));
+        }
+        let pc = self.and(pk[w - 1], cin);
+        let cout = self.or(gk[w - 1], pc);
+        (Word::from_bits(sum), cout)
+    }
+
+    /// Kogge–Stone addition, discarding the carry-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_fast(&mut self, a: &Word, b: &Word) -> Word {
+        let zero = self.const0();
+        self.add_fast_with_carry(a, b, zero).0
+    }
+
+    /// Subtraction `a - b` (two's complement); returns `(difference, carry_out)`.
+    ///
+    /// The carry-out is 1 exactly when no borrow occurred, i.e. `a >= b`
+    /// unsigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub_with_carry(&mut self, a: &Word, b: &Word) -> (Word, NetId) {
+        check_widths("sub", a, b);
+        let nb = self.w_not(b);
+        let one = self.const1();
+        self.add_with_carry(a, &nb, one)
+    }
+
+    /// Subtraction `a - b`, discarding the carry-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        self.sub_with_carry(a, b).0
+    }
+
+    /// Equality comparison: 1 when `a == b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn eq_word(&mut self, a: &Word, b: &Word) -> NetId {
+        check_widths("eq", a, b);
+        let xnors: Word = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.xnor(x, y))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        self.reduce_and(&xnors)
+    }
+
+    /// Compares a word against a constant: 1 when `a == value`.
+    pub fn eq_const(&mut self, a: &Word, value: u64) -> NetId {
+        let lits: Word = a
+            .bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if (value >> i) & 1 == 1 {
+                    x
+                } else {
+                    self.not(x)
+                }
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        self.reduce_and(&lits)
+    }
+
+    /// Unsigned less-than: 1 when `a < b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn lt_u(&mut self, a: &Word, b: &Word) -> NetId {
+        let (_, carry) = self.sub_with_carry(a, b);
+        self.not(carry)
+    }
+
+    /// Signed less-than: 1 when `a < b` interpreted as two's complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn lt_s(&mut self, a: &Word, b: &Word) -> NetId {
+        let ltu = self.lt_u(a, b);
+        let sign_differs = self.xor(a.msb(), b.msb());
+        // If signs differ, a < b iff a is the negative one.
+        self.mux(sign_differs, ltu, a.msb())
+    }
+
+    /// Zero-extends (or truncates) `a` to `width` bits.
+    pub fn zext(&mut self, a: &Word, width: usize) -> Word {
+        let mut bits = a.bits().to_vec();
+        bits.truncate(width);
+        while bits.len() < width {
+            bits.push(self.const0());
+        }
+        Word::from_bits(bits)
+    }
+
+    /// Sign-extends (or truncates) `a` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty.
+    pub fn sext(&mut self, a: &Word, width: usize) -> Word {
+        let msb = a.msb();
+        let mut bits = a.bits().to_vec();
+        bits.truncate(width);
+        while bits.len() < width {
+            bits.push(msb);
+        }
+        Word::from_bits(bits)
+    }
+
+    /// Logical left shift by a variable amount (barrel shifter).
+    ///
+    /// Shift amounts at or above the word width produce zero.
+    pub fn shl(&mut self, a: &Word, amount: &Word) -> Word {
+        let mut cur = a.clone();
+        for stage in 0..amount.width() {
+            let dist = 1usize << stage;
+            let s = amount.bit(stage);
+            let shifted: Word = (0..cur.width())
+                .map(|i| {
+                    if i >= dist {
+                        cur.bit(i - dist)
+                    } else {
+                        self.const0()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect();
+            cur = self.mux_word(s, &cur, &shifted);
+        }
+        cur
+    }
+
+    /// Logical right shift by a variable amount (barrel shifter, zero fill).
+    pub fn shr_l(&mut self, a: &Word, amount: &Word) -> Word {
+        let zero = self.const0();
+        self.shr_fill(a, amount, zero)
+    }
+
+    /// Arithmetic right shift by a variable amount (sign fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty.
+    pub fn shr_a(&mut self, a: &Word, amount: &Word) -> Word {
+        self.shr_fill(a, amount, a.msb())
+    }
+
+    /// Right shift by a variable amount with an explicit fill bit (used to
+    /// share one barrel shifter between logical and arithmetic shifts: pass
+    /// `fill = arith & msb`).
+    pub fn shr_with_fill(&mut self, a: &Word, amount: &Word, fill: NetId) -> Word {
+        self.shr_fill(a, amount, fill)
+    }
+
+    fn shr_fill(&mut self, a: &Word, amount: &Word, fill: NetId) -> Word {
+        let width = a.width();
+        let mut cur = a.clone();
+        for stage in 0..amount.width() {
+            let dist = 1usize << stage;
+            let s = amount.bit(stage);
+            let shifted: Word = (0..width)
+                .map(|i| if i + dist < width { cur.bit(i + dist) } else { fill })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect();
+            cur = self.mux_word(s, &cur, &shifted);
+        }
+        cur
+    }
+
+    /// OR of all bits (balanced tree). An empty word reduces to constant 0.
+    pub fn reduce_or(&mut self, a: &Word) -> NetId {
+        self.reduce(a, |b, x, y| b.or(x, y), false)
+    }
+
+    /// AND of all bits (balanced tree). An empty word reduces to constant 1.
+    pub fn reduce_and(&mut self, a: &Word) -> NetId {
+        self.reduce(a, |b, x, y| b.and(x, y), true)
+    }
+
+    /// XOR of all bits (balanced tree). An empty word reduces to constant 0.
+    pub fn reduce_xor(&mut self, a: &Word) -> NetId {
+        self.reduce(a, |b, x, y| b.xor(x, y), false)
+    }
+
+    fn reduce(
+        &mut self,
+        a: &Word,
+        op: impl Fn(&mut Self, NetId, NetId) -> NetId,
+        empty: bool,
+    ) -> NetId {
+        if a.width() == 0 {
+            return self.const_bit(empty);
+        }
+        let mut layer: Vec<NetId> = a.bits().to_vec();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        op(self, pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        layer[0]
+    }
+
+    /// 1 when every bit of `a` is zero.
+    pub fn is_zero(&mut self, a: &Word) -> NetId {
+        let any = self.reduce_or(a);
+        self.not(any)
+    }
+
+    /// Decodes an `n`-bit selector into a one-hot word of width `2^n`
+    /// (`out[i] == 1` iff `sel == i`).
+    pub fn decode_onehot(&mut self, sel: &Word) -> Word {
+        let mut layer: Vec<NetId> = vec![self.const1()];
+        for i in (0..sel.width()).rev() {
+            let b = sel.bit(i);
+            let nb = self.not(b);
+            let mut next = Vec::with_capacity(layer.len() * 2);
+            for &prefix in &layer {
+                next.push(self.and(prefix, nb));
+                next.push(self.and(prefix, b));
+            }
+            layer = next;
+        }
+        // `layer` is indexed MSB-first across decode levels: after processing
+        // bits from MSB down to LSB, entry k corresponds to sel == k.
+        Word::from_bits(layer)
+    }
+
+    /// Replicates a single bit into a word.
+    pub fn repeat(&mut self, bit: NetId, width: usize) -> Word {
+        Word::from_bits(vec![bit; width])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, Driver};
+
+    /// Evaluates a register-free circuit on the given input assignment.
+    ///
+    /// Gate creation order is a valid topological order for circuits built
+    /// through the public API, so a single in-order pass suffices.
+    fn eval(c: &Circuit, inputs: &[(&str, u64)]) -> Vec<u64> {
+        let mut values = vec![false; c.num_nets()];
+        for (id, net) in c.nets() {
+            if let Driver::Const(v) = net.driver() {
+                values[id.index()] = v;
+            }
+        }
+        for (name, val) in inputs {
+            let port = c.input_port(name).expect("input port");
+            for (i, &n) in port.nets().iter().enumerate() {
+                values[n.index()] = (val >> i) & 1 == 1;
+            }
+        }
+        for (_, g) in c.gates() {
+            let v = g.eval_in(&values);
+            values[g.output().index()] = v;
+        }
+        c.output_ports()
+            .iter()
+            .map(|p| {
+                p.nets()
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &n)| acc | (u64::from(values[n.index()]) << i))
+            })
+            .collect()
+    }
+
+    fn build2(
+        width: usize,
+        f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> Word,
+    ) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word("a", width);
+        let bb = b.input_word("b", width);
+        let out = f(&mut b, &a, &bb);
+        b.output_word("out", &out);
+        b.finish().unwrap()
+    }
+
+    fn build2_bit(
+        width: usize,
+        f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> NetId,
+    ) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word("a", width);
+        let bb = b.input_word("b", width);
+        let out = f(&mut b, &a, &bb);
+        b.output("out", out);
+        b.finish().unwrap()
+    }
+
+    const SAMPLES: [u64; 8] = [0, 1, 2, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0xdead_beef, 42];
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        let c = build2(32, |b, a, x| b.add(a, x));
+        for &a in &SAMPLES {
+            for &x in &SAMPLES {
+                let got = eval(&c, &[("a", a), ("b", x)])[0];
+                assert_eq!(got, (a as u32).wrapping_add(x as u32) as u64, "{a}+{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_adder_matches_ripple_adder() {
+        let cfast = build2(32, |b, a, x| b.add_fast(a, x));
+        for &a in &SAMPLES {
+            for &x in &SAMPLES {
+                let got = eval(&cfast, &[("a", a), ("b", x)])[0];
+                assert_eq!(got, (a as u32).wrapping_add(x as u32) as u64, "{a}+{x}");
+            }
+        }
+        // Carry-in and carry-out agree with the ripple implementation.
+        let mk = |fast: bool| {
+            let mut b = CircuitBuilder::new();
+            let a = b.input_word("a", 16);
+            let x = b.input_word("b", 16);
+            let cin = b.input("cin");
+            let (sum, cout) = if fast {
+                b.add_fast_with_carry(&a, &x, cin)
+            } else {
+                b.add_with_carry(&a, &x, cin)
+            };
+            b.output_word("sum", &sum);
+            b.output("cout", cout);
+            b.finish().unwrap()
+        };
+        let (cf, cr) = (mk(true), mk(false));
+        for &a in &SAMPLES {
+            for &x in &SAMPLES {
+                for cin in 0..2u64 {
+                    let ins = [("a", a & 0xffff), ("b", x & 0xffff), ("cin", cin)];
+                    assert_eq!(eval(&cf, &ins), eval(&cr, &ins));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_adder_is_shallower_but_larger() {
+        let ripple = build2(32, |b, a, x| b.add(a, x));
+        let fast = build2(32, |b, a, x| b.add_fast(a, x));
+        assert!(fast.num_gates() > ripple.num_gates(), "prefix tree costs area");
+        // Depth comparison via longest gate chain (creation order is
+        // topological; compute per-net depth).
+        let depth = |c: &Circuit| -> usize {
+            let mut d = vec![0usize; c.num_nets()];
+            let mut max = 0;
+            for (_, g) in c.gates() {
+                let dd = 1 + g.inputs().iter().map(|i| d[i.index()]).max().unwrap();
+                d[g.output().index()] = dd;
+                max = max.max(dd);
+            }
+            max
+        };
+        assert!(
+            depth(&fast) * 3 < depth(&ripple),
+            "log-depth {} vs linear-depth {}",
+            depth(&fast),
+            depth(&ripple)
+        );
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        let c = build2(32, |b, a, x| b.sub(a, x));
+        for &a in &SAMPLES {
+            for &x in &SAMPLES {
+                let got = eval(&c, &[("a", a), ("b", x)])[0];
+                assert_eq!(got, (a as u32).wrapping_sub(x as u32) as u64, "{a}-{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_match_reference() {
+        let ceq = build2_bit(32, |b, a, x| b.eq_word(a, x));
+        let cltu = build2_bit(32, |b, a, x| b.lt_u(a, x));
+        let clts = build2_bit(32, |b, a, x| b.lt_s(a, x));
+        for &a in &SAMPLES {
+            for &x in &SAMPLES {
+                let ins = [("a", a), ("b", x)];
+                assert_eq!(eval(&ceq, &ins)[0] == 1, a as u32 == x as u32);
+                assert_eq!(eval(&cltu, &ins)[0] == 1, (a as u32) < (x as u32));
+                assert_eq!(eval(&clts, &ins)[0] == 1, (a as u32 as i32) < (x as u32 as i32));
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_match_reference() {
+        // 5-bit shift amount over 32-bit data, as in RV32.
+        let mk = |which: u8| {
+            let mut b = CircuitBuilder::new();
+            let a = b.input_word("a", 32);
+            let amt = b.input_word("b", 5);
+            let out = match which {
+                0 => b.shl(&a, &amt),
+                1 => b.shr_l(&a, &amt),
+                _ => b.shr_a(&a, &amt),
+            };
+            b.output_word("out", &out);
+            b.finish().unwrap()
+        };
+        let (cl, crl, cra) = (mk(0), mk(1), mk(2));
+        for &a in &SAMPLES {
+            for sh in [0u64, 1, 5, 16, 31] {
+                let ins = [("a", a), ("b", sh)];
+                assert_eq!(eval(&cl, &ins)[0], ((a as u32) << sh) as u64);
+                assert_eq!(eval(&crl, &ins)[0], ((a as u32) >> sh) as u64);
+                assert_eq!(eval(&cra, &ins)[0], ((a as u32 as i32) >> sh) as u32 as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_ops_match_reference() {
+        let cand = build2(16, |b, a, x| b.w_and(a, x));
+        let cor = build2(16, |b, a, x| b.w_or(a, x));
+        let cxor = build2(16, |b, a, x| b.w_xor(a, x));
+        for &a in &SAMPLES {
+            for &x in &SAMPLES {
+                let (a16, x16) = (a & 0xffff, x & 0xffff);
+                let ins = [("a", a16), ("b", x16)];
+                assert_eq!(eval(&cand, &ins)[0], a16 & x16);
+                assert_eq!(eval(&cor, &ins)[0], a16 | x16);
+                assert_eq!(eval(&cxor, &ins)[0], a16 ^ x16);
+            }
+        }
+    }
+
+    #[test]
+    fn onehot_decoder_is_exact() {
+        let mut b = CircuitBuilder::new();
+        let sel = b.input_word("a", 4);
+        let out = b.decode_onehot(&sel);
+        b.output_word("out", &out);
+        let c = b.finish().unwrap();
+        for v in 0..16u64 {
+            assert_eq!(eval(&c, &[("a", v)])[0], 1 << v, "sel={v}");
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects_items() {
+        let mut b = CircuitBuilder::new();
+        let sel = b.input_word("a", 2);
+        let items: Vec<Word> = (0..4).map(|i| b.const_word(10 + i, 8)).collect();
+        let out = b.mux_tree(&sel, &items);
+        b.output_word("out", &out);
+        let c = b.finish().unwrap();
+        for v in 0..4u64 {
+            assert_eq!(eval(&c, &[("a", v)])[0], 10 + v);
+        }
+    }
+
+    #[test]
+    fn reductions_and_eq_const() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word("a", 8);
+        let ro = b.reduce_or(&a);
+        let ra = b.reduce_and(&a);
+        let rx = b.reduce_xor(&a);
+        let zz = b.is_zero(&a);
+        let ec = b.eq_const(&a, 0xa5);
+        b.output("or", ro);
+        b.output("and", ra);
+        b.output("xor", rx);
+        b.output("zero", zz);
+        b.output("eq", ec);
+        let c = b.finish().unwrap();
+        for v in [0u64, 1, 0xa5, 0xff, 0x80] {
+            let out = eval(&c, &[("a", v)]);
+            assert_eq!(out[0] == 1, v != 0);
+            assert_eq!(out[1] == 1, v == 0xff);
+            assert_eq!(out[2] == 1, (v.count_ones() % 2) == 1);
+            assert_eq!(out[3] == 1, v == 0);
+            assert_eq!(out[4] == 1, v == 0xa5);
+        }
+    }
+
+    #[test]
+    fn extension_and_slicing() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word("a", 8);
+        let z = b.zext(&a, 12);
+        let s = b.sext(&a, 12);
+        let lo = a.slice(0, 4);
+        b.output_word("z", &z);
+        b.output_word("s", &s);
+        b.output_word("lo", &lo);
+        let c = b.finish().unwrap();
+        let out = eval(&c, &[("a", 0x80)]);
+        assert_eq!(out[0], 0x080);
+        assert_eq!(out[1], 0xf80);
+        assert_eq!(out[2], 0x0);
+        let out = eval(&c, &[("a", 0x7e)]);
+        assert_eq!(out[0], 0x7e);
+        assert_eq!(out[1], 0x7e);
+        assert_eq!(out[2], 0xe);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word("a", 8);
+        let x = b.input_word("b", 4);
+        let _ = b.add(&a, &x);
+    }
+}

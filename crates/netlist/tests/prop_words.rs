@@ -1,0 +1,177 @@
+//! Property tests: every word-level operator lowered to gates agrees with
+//! the corresponding `u64` arithmetic on arbitrary operands and widths.
+
+use delayavf_netlist::{Circuit, CircuitBuilder, Driver, Word};
+use proptest::prelude::*;
+
+/// Evaluates a register-free circuit (gate creation order is topological
+/// for builder-produced circuits).
+fn eval(c: &Circuit, inputs: &[(&str, u64)]) -> Vec<u64> {
+    let mut values = vec![false; c.num_nets()];
+    for (id, net) in c.nets() {
+        if let Driver::Const(v) = net.driver() {
+            values[id.index()] = v;
+        }
+    }
+    for (name, val) in inputs {
+        for (i, &n) in c.input_port(name).expect("port").nets().iter().enumerate() {
+            values[n.index()] = (val >> i) & 1 == 1;
+        }
+    }
+    for (_, g) in c.gates() {
+        values[g.output().index()] = g.eval_in(&values);
+    }
+    c.output_ports()
+        .iter()
+        .map(|p| {
+            p.nets()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &n)| acc | (u64::from(values[n.index()]) << i))
+        })
+        .collect()
+}
+
+fn binop_circuit(width: usize, f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> Word) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let x = b.input_word("x", width);
+    let y = b.input_word("y", width);
+    let out = f(&mut b, &x, &y);
+    b.output_word("out", &out);
+    b.finish().expect("valid circuit")
+}
+
+fn mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_wrapping_add(width in 1usize..33, x: u64, y: u64) {
+        let m = mask(width);
+        let c = binop_circuit(width, |b, a, bb| b.add(a, bb));
+        let got = eval(&c, &[("x", x & m), ("y", y & m)])[0];
+        prop_assert_eq!(got, (x & m).wrapping_add(y & m) & m);
+    }
+
+    #[test]
+    fn sub_matches_wrapping_sub(width in 1usize..33, x: u64, y: u64) {
+        let m = mask(width);
+        let c = binop_circuit(width, |b, a, bb| b.sub(a, bb));
+        let got = eval(&c, &[("x", x & m), ("y", y & m)])[0];
+        prop_assert_eq!(got, (x & m).wrapping_sub(y & m) & m);
+    }
+
+    #[test]
+    fn comparisons_match_reference(width in 1usize..33, x: u64, y: u64) {
+        let m = mask(width);
+        let (x, y) = (x & m, y & m);
+        let mut b = CircuitBuilder::new();
+        let xa = b.input_word("x", width);
+        let ya = b.input_word("y", width);
+        let eq = b.eq_word(&xa, &ya);
+        let ltu = b.lt_u(&xa, &ya);
+        let lts = b.lt_s(&xa, &ya);
+        b.output("eq", eq);
+        b.output("ltu", ltu);
+        b.output("lts", lts);
+        let c = b.finish().unwrap();
+        let out = eval(&c, &[("x", x), ("y", y)]);
+        prop_assert_eq!(out[0] == 1, x == y);
+        prop_assert_eq!(out[1] == 1, x < y);
+        // Sign-extend both to i64 for the signed reference.
+        let sx = ((x << (64 - width)) as i64) >> (64 - width);
+        let sy = ((y << (64 - width)) as i64) >> (64 - width);
+        prop_assert_eq!(out[2] == 1, sx < sy);
+    }
+
+    #[test]
+    fn shifts_match_reference(x: u64, sh in 0u64..32) {
+        let x = x & mask(32);
+        let mut b = CircuitBuilder::new();
+        let xa = b.input_word("x", 32);
+        let sa = b.input_word("s", 5);
+        let l = b.shl(&xa, &sa);
+        let rl = b.shr_l(&xa, &sa);
+        let ra = b.shr_a(&xa, &sa);
+        b.output_word("l", &l);
+        b.output_word("rl", &rl);
+        b.output_word("ra", &ra);
+        let c = b.finish().unwrap();
+        let out = eval(&c, &[("x", x), ("s", sh)]);
+        prop_assert_eq!(out[0], ((x as u32) << sh) as u64);
+        prop_assert_eq!(out[1], ((x as u32) >> sh) as u64);
+        prop_assert_eq!(out[2], ((x as u32 as i32) >> sh) as u32 as u64);
+    }
+
+    #[test]
+    fn bitwise_and_reductions(width in 1usize..49, x: u64, y: u64) {
+        let m = mask(width);
+        let (x, y) = (x & m, y & m);
+        let mut b = CircuitBuilder::new();
+        let xa = b.input_word("x", width);
+        let ya = b.input_word("y", width);
+        let and = b.w_and(&xa, &ya);
+        let or = b.w_or(&xa, &ya);
+        let xor = b.w_xor(&xa, &ya);
+        let not = b.w_not(&xa);
+        let ro = b.reduce_or(&xa);
+        let ra = b.reduce_and(&xa);
+        let rx = b.reduce_xor(&xa);
+        b.output_word("and", &and);
+        b.output_word("or", &or);
+        b.output_word("xor", &xor);
+        b.output_word("not", &not);
+        b.output("ro", ro);
+        b.output("ra", ra);
+        b.output("rx", rx);
+        let c = b.finish().unwrap();
+        let out = eval(&c, &[("x", x), ("y", y)]);
+        prop_assert_eq!(out[0], x & y);
+        prop_assert_eq!(out[1], x | y);
+        prop_assert_eq!(out[2], x ^ y);
+        prop_assert_eq!(out[3], !x & m);
+        prop_assert_eq!(out[4] == 1, x != 0);
+        prop_assert_eq!(out[5] == 1, x == m);
+        prop_assert_eq!(out[6] == 1, (x.count_ones() % 2) == 1);
+    }
+
+    #[test]
+    fn mux_tree_and_onehot(selw in 1usize..5, sel: u64, items_seed: u64) {
+        let n = 1usize << selw;
+        let sel = sel & mask(selw);
+        let items: Vec<u64> = (0..n as u64).map(|i| items_seed.rotate_left(7 * i as u32) & 0xff).collect();
+        let mut b = CircuitBuilder::new();
+        let sa = b.input_word("s", selw);
+        let words: Vec<Word> = items.iter().map(|&v| b.const_word(v, 8)).collect();
+        let out = b.mux_tree(&sa, &words);
+        let oh = b.decode_onehot(&sa);
+        b.output_word("out", &out);
+        b.output_word("oh", &oh);
+        let c = b.finish().unwrap();
+        let got = eval(&c, &[("s", sel)]);
+        prop_assert_eq!(got[0], items[sel as usize]);
+        prop_assert_eq!(got[1], 1u64 << sel);
+    }
+
+    #[test]
+    fn sext_zext_agree_with_reference(width in 1usize..17, target in 17usize..33, x: u64) {
+        let m = mask(width);
+        let x = x & m;
+        let mut b = CircuitBuilder::new();
+        let xa = b.input_word("x", width);
+        let z = b.zext(&xa, target);
+        let s = b.sext(&xa, target);
+        b.output_word("z", &z);
+        b.output_word("s", &s);
+        let c = b.finish().unwrap();
+        let out = eval(&c, &[("x", x)]);
+        prop_assert_eq!(out[0], x);
+        let sx = (((x << (64 - width)) as i64) >> (64 - width)) as u64 & mask(target);
+        prop_assert_eq!(out[1], sx);
+    }
+}

@@ -1,0 +1,286 @@
+//! The arithmetic/logic unit: one shared adder/subtractor, a shared barrel
+//! shifter, bitwise logic, comparators and the result select tree.
+
+use delayavf_netlist::{CircuitBuilder, NetId, Word};
+
+/// ALU outputs.
+#[derive(Clone, Debug)]
+pub struct AluOut {
+    /// The selected result (respects `force_add`).
+    pub result: Word,
+    /// The raw adder output (address generation, JALR target).
+    pub add_result: Word,
+    /// `op_a == op_b` (valid when the adder subtracts).
+    pub eq: NetId,
+    /// Signed `op_a < op_b` (valid when the adder subtracts).
+    pub lt_s: NetId,
+    /// Unsigned `op_a < op_b` (valid when the adder subtracts).
+    pub lt_u: NetId,
+}
+
+/// Builds the ALU. The caller wraps this in `in_structure("alu", ..)`.
+///
+/// * `op_a`/`op_b` — 32-bit operands (already selected: rs1/PC/zero and
+///   rs2/immediate),
+/// * `funct3` — operation select in standard RV32 encoding,
+/// * `adder_sub` — subtract instead of add (SUB, branches, SLT/SLTU),
+/// * `shift_arith` — right shifts replicate the sign bit,
+/// * `force_add` — bypass the funct3 mux and output the adder result,
+/// * `fast_adder` — use a Kogge–Stone parallel-prefix adder instead of the
+///   ripple-carry chain (shallower paths, more gates; shifts the
+///   structure's path-length distribution and therefore its DelayAVF
+///   profile).
+#[allow(clippy::too_many_arguments)] // hardware port lists are naturally wide
+pub fn build_alu(
+    b: &mut CircuitBuilder,
+    op_a: &Word,
+    op_b: &Word,
+    funct3: &Word,
+    adder_sub: NetId,
+    shift_arith: NetId,
+    force_add: NetId,
+    fast_adder: bool,
+) -> AluOut {
+    assert_eq!(op_a.width(), 32);
+    assert_eq!(op_b.width(), 32);
+    assert_eq!(funct3.width(), 3);
+
+    // Shared adder: a + (b ^ sub) + sub.
+    let sub_mask = b.repeat(adder_sub, 32);
+    let b_eff = b.w_xor(op_b, &sub_mask);
+    let (sum, carry) = if fast_adder {
+        b.add_fast_with_carry(op_a, &b_eff, adder_sub)
+    } else {
+        b.add_with_carry(op_a, &b_eff, adder_sub)
+    };
+
+    // Comparisons from the subtraction.
+    let eq = b.is_zero(&sum);
+    let lt_u = b.not(carry);
+    let sign_diff = b.xor(op_a.msb(), op_b.msb());
+    let lt_s = b.mux(sign_diff, sum.msb(), op_a.msb());
+
+    // Shifter: shared right-shift barrel with selectable fill; separate
+    // left barrel.
+    let amount = op_b.slice(0, 5);
+    let sll = b.shl(op_a, &amount);
+    let fill = b.and(shift_arith, op_a.msb());
+    let srx = b.shr_with_fill(op_a, &amount, fill);
+
+    // Bitwise logic.
+    let xor_w = b.w_xor(op_a, op_b);
+    let or_w = b.w_or(op_a, op_b);
+    let and_w = b.w_and(op_a, op_b);
+
+    // Flag results.
+    let slt_w = {
+        let w = Word::from_bits(vec![lt_s]);
+        b.zext(&w, 32)
+    };
+    let sltu_w = {
+        let w = Word::from_bits(vec![lt_u]);
+        b.zext(&w, 32)
+    };
+
+    let selected = b.mux_tree(
+        funct3,
+        &[
+            sum.clone(),
+            sll,
+            slt_w,
+            sltu_w,
+            xor_w,
+            srx,
+            or_w,
+            and_w,
+        ],
+    );
+    let result = b.mux_word(force_add, &selected, &sum);
+
+    AluOut {
+        result,
+        add_result: sum,
+        eq,
+        lt_s,
+        lt_u,
+    }
+}
+
+/// Builds the branch-taken signal from the comparator outputs and funct3.
+pub fn build_branch_taken(
+    b: &mut CircuitBuilder,
+    funct3: &Word,
+    eq: NetId,
+    lt_s: NetId,
+    lt_u: NetId,
+) -> NetId {
+    let ne = b.not(eq);
+    let ge_s = b.not(lt_s);
+    let ge_u = b.not(lt_u);
+    let zero = b.const0();
+    let items: Vec<Word> = [eq, ne, zero, zero, lt_s, ge_s, lt_u, ge_u]
+        .into_iter()
+        .map(|n| Word::from_bits(vec![n]))
+        .collect();
+    b.mux_tree(funct3, &items).bit(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_isa::AluOp;
+    use delayavf_netlist::{Circuit, Topology};
+    use delayavf_sim::settle;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    struct Harness {
+        c: Circuit,
+        topo: Topology,
+    }
+
+    fn harness() -> Harness {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word("a", 32);
+        let bb = b.input_word("b", 32);
+        let f3 = b.input_word("f3", 3);
+        let sub = b.input("sub");
+        let arith = b.input("arith");
+        let force = b.input("force");
+        let alu = b.in_structure("alu", |b| build_alu(b, &a, &bb, &f3, sub, arith, force, false));
+        let taken = build_branch_taken(&mut b, &f3, alu.eq, alu.lt_s, alu.lt_u);
+        b.output_word("result", &alu.result);
+        b.output_word("add", &alu.add_result);
+        b.output("eq", alu.eq);
+        b.output("lt_s", alu.lt_s);
+        b.output("lt_u", alu.lt_u);
+        b.output("taken", taken);
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        Harness { c, topo }
+    }
+
+    fn eval(h: &Harness, a: u32, b: u32, f3: u64, sub: u64, arith: u64, force: u64) -> Vec<u64> {
+        let v = settle(
+            &h.c,
+            &h.topo,
+            &[],
+            &[u64::from(a), u64::from(b), f3, sub, arith, force],
+        );
+        h.c.output_ports()
+            .iter()
+            .map(|p| {
+                p.nets()
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &n)| acc | (u64::from(v[n.index()]) << i))
+            })
+            .collect()
+    }
+
+    /// (f3, sub, arith) control encoding for each RV32 ALU op.
+    fn controls(op: AluOp) -> (u64, u64, u64) {
+        match op {
+            AluOp::Add => (0, 0, 0),
+            AluOp::Sub => (0, 1, 0),
+            AluOp::Sll => (1, 0, 0),
+            AluOp::Slt => (2, 1, 0),
+            AluOp::Sltu => (3, 1, 0),
+            AluOp::Xor => (4, 0, 0),
+            AluOp::Srl => (5, 0, 0),
+            AluOp::Sra => (5, 0, 1),
+            AluOp::Or => (6, 0, 0),
+            AluOp::And => (7, 0, 0),
+        }
+    }
+
+    fn reference(op: AluOp, a: u32, b: u32) -> u32 {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+
+    #[test]
+    fn all_operations_match_reference_on_corpus() {
+        let h = harness();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut corpus: Vec<(u32, u32)> = vec![
+            (0, 0),
+            (1, 1),
+            (0xffff_ffff, 1),
+            (0x8000_0000, 0xffff_ffff),
+            (0x7fff_ffff, 1),
+            (5, 31),
+        ];
+        for _ in 0..40 {
+            corpus.push((rng.gen(), rng.gen()));
+        }
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+        ] {
+            let (f3, sub, arith) = controls(op);
+            for &(a, b) in &corpus {
+                let out = eval(&h, a, b, f3, sub, arith, 0);
+                assert_eq!(out[0] as u32, reference(op, a, b), "{op:?} {a:#x} {b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_flags_and_branch_taken() {
+        let h = harness();
+        let cases = [
+            (5u32, 5u32),
+            (3, 9),
+            (9, 3),
+            (0xffff_fff6, 10),
+            (10, 0xffff_fff6),
+            (0x8000_0000, 0x7fff_ffff),
+        ];
+        for (a, b) in cases {
+            // Branch comparisons subtract.
+            for (f3, expect) in [
+                (0u64, a == b),
+                (1, a != b),
+                (4, (a as i32) < (b as i32)),
+                (5, (a as i32) >= (b as i32)),
+                (6, a < b),
+                (7, a >= b),
+            ] {
+                let out = eval(&h, a, b, f3, 1, 0, 0);
+                assert_eq!(out[5] == 1, expect, "f3={f3} a={a:#x} b={b:#x}");
+            }
+            let out = eval(&h, a, b, 0, 1, 0, 0);
+            assert_eq!(out[2] == 1, a == b);
+            assert_eq!(out[3] == 1, (a as i32) < (b as i32));
+            assert_eq!(out[4] == 1, a < b);
+        }
+    }
+
+    #[test]
+    fn force_add_bypasses_funct3() {
+        let h = harness();
+        // f3 = 7 (AND) but force=1: result must be the sum.
+        let out = eval(&h, 100, 23, 7, 0, 0, 1);
+        assert_eq!(out[0], 123);
+        assert_eq!(out[1], 123, "add_result matches");
+    }
+}

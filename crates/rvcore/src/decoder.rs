@@ -1,0 +1,463 @@
+//! The instruction decoder: a purely combinational structure producing
+//! control signals, register indices and the selected immediate.
+
+use delayavf_netlist::{CircuitBuilder, NetId, Word};
+
+/// Decoded control signals for one instruction word.
+#[derive(Clone, Debug)]
+pub struct Decode {
+    /// Destination register index (4 bits, RV32E).
+    pub rd: Word,
+    /// Source register 1 index.
+    pub rs1: Word,
+    /// Source register 2 index.
+    pub rs2: Word,
+    /// funct3 field.
+    pub funct3: Word,
+    /// The immediate selected by the instruction format, sign-extended to 32
+    /// bits.
+    pub imm: Word,
+    /// Opcode class flags.
+    pub is_lui: NetId,
+    /// AUIPC.
+    pub is_auipc: NetId,
+    /// JAL.
+    pub is_jal: NetId,
+    /// JALR.
+    pub is_jalr: NetId,
+    /// Conditional branch.
+    pub is_branch: NetId,
+    /// Memory load.
+    pub is_load: NetId,
+    /// Memory store.
+    pub is_store: NetId,
+    /// ALU with immediate.
+    pub is_opimm: NetId,
+    /// ALU register-register.
+    pub is_op: NetId,
+    /// JAL or JALR (writes the link value).
+    pub is_jump: NetId,
+    /// Instruction writes `rd` during execute (everything but loads,
+    /// branches and stores).
+    pub reg_write: NetId,
+    /// The ALU adder must subtract (SUB, branches, SLT/SLTU).
+    pub adder_sub: NetId,
+    /// Right shifts are arithmetic (instr bit 30).
+    pub shift_arith: NetId,
+    /// The ALU result is forced to the adder output regardless of funct3
+    /// (address generation, LUI/AUIPC/JALR).
+    pub force_add: NetId,
+    /// The instruction is a (legal) ECALL/EBREAK: halt the core.
+    pub halt: NetId,
+    /// The word does not decode to a supported RV32E instruction.
+    pub illegal: NetId,
+}
+
+/// Builds the decoder for `instr` (32 bits). The caller wraps this in
+/// `in_structure("decoder", ..)`.
+pub fn build_decoder(b: &mut CircuitBuilder, instr: &Word) -> Decode {
+    assert_eq!(instr.width(), 32);
+    let opcode = instr.slice(0, 7);
+    let rd = instr.slice(7, 11);
+    let funct3 = instr.slice(12, 15);
+    let rs1 = instr.slice(15, 19);
+    let rs2 = instr.slice(20, 24);
+    let bit30 = instr.bit(30);
+
+    // Opcode classes.
+    let is_lui = b.eq_const(&opcode, 0b0110111);
+    let is_auipc = b.eq_const(&opcode, 0b0010111);
+    let is_jal = b.eq_const(&opcode, 0b1101111);
+    let is_jalr = b.eq_const(&opcode, 0b1100111);
+    let is_branch = b.eq_const(&opcode, 0b1100011);
+    let is_load = b.eq_const(&opcode, 0b0000011);
+    let is_store = b.eq_const(&opcode, 0b0100011);
+    let is_opimm = b.eq_const(&opcode, 0b0010011);
+    let is_op = b.eq_const(&opcode, 0b0110011);
+    let is_system = b.eq_const(&opcode, 0b1110011);
+
+    // Immediates per format.
+    let sign = instr.bit(31);
+    let imm_i = b.sext(&instr.slice(20, 32), 32);
+    let imm_s = {
+        let lo = instr.slice(7, 12);
+        let hi = instr.slice(25, 32);
+        b.sext(&lo.concat(&hi), 32)
+    };
+    let imm_b = {
+        let zero = b.const0();
+        let mut bits = vec![zero];
+        bits.extend_from_slice(instr.slice(8, 12).bits()); // imm[4:1]
+        bits.extend_from_slice(instr.slice(25, 31).bits()); // imm[10:5]
+        bits.push(instr.bit(7)); // imm[11]
+        bits.push(sign); // imm[12]
+        b.sext(&Word::from_bits(bits), 32)
+    };
+    let imm_u = {
+        let zeros = b.const_word(0, 12);
+        zeros.concat(&instr.slice(12, 32))
+    };
+    let imm_j = {
+        let zero = b.const0();
+        let mut bits = vec![zero];
+        bits.extend_from_slice(instr.slice(21, 31).bits()); // imm[10:1]
+        bits.push(instr.bit(20)); // imm[11]
+        bits.extend_from_slice(instr.slice(12, 20).bits()); // imm[19:12]
+        bits.push(sign); // imm[20]
+        b.sext(&Word::from_bits(bits), 32)
+    };
+    // Format-driven selection, defaulting to the I immediate.
+    let is_u = b.or(is_lui, is_auipc);
+    let mut imm = imm_i;
+    imm = b.mux_word(is_store, &imm, &imm_s);
+    imm = b.mux_word(is_branch, &imm, &imm_b);
+    imm = b.mux_word(is_u, &imm, &imm_u);
+    imm = b.mux_word(is_jal, &imm, &imm_j);
+
+    // ALU control.
+    let is_jump = b.or(is_jal, is_jalr);
+    let anyop = b.or(is_op, is_opimm);
+    let f3_is_0 = b.eq_const(&funct3, 0);
+    let f3_is_1 = b.eq_const(&funct3, 1);
+    let f3_is_2 = b.eq_const(&funct3, 2);
+    let f3_is_3 = b.eq_const(&funct3, 3);
+    let f3_is_5 = b.eq_const(&funct3, 5);
+    let is_slt_family = {
+        let t = b.or(f3_is_2, f3_is_3);
+        b.and(anyop, t)
+    };
+    let is_sub = {
+        let t = b.and(is_op, bit30);
+        b.and(t, f3_is_0)
+    };
+    let adder_sub = {
+        let t = b.or(is_sub, is_branch);
+        b.or(t, is_slt_family)
+    };
+    let force_add = {
+        let mem = b.or(is_load, is_store);
+        let upper = b.or(is_lui, is_auipc);
+        let t = b.or(mem, upper);
+        b.or(t, is_jalr)
+    };
+
+    // Writes rd during execute: LUI/AUIPC/JAL/JALR/OP-IMM/OP.
+    let reg_write = {
+        let upper = b.or(is_lui, is_auipc);
+        let t = b.or(upper, is_jump);
+        b.or(t, anyop)
+    };
+
+    // Legality checks.
+    let funct7 = instr.slice(25, 32);
+    let f7_zero = b.eq_const(&funct7, 0);
+    let f7_alt = b.eq_const(&funct7, 0b0100000);
+    let f7_shift_ok = b.or(f7_zero, f7_alt);
+    let legal_branch = {
+        let bad = b.or(f3_is_2, f3_is_3);
+        b.not(bad)
+    };
+    let legal_load = {
+        // f3 in {0,1,2,4,5}: exclude 3, 6, 7.
+        let b3 = b.eq_const(&funct3, 3);
+        let b6 = b.eq_const(&funct3, 6);
+        let b7 = b.eq_const(&funct3, 7);
+        let t = b.or(b3, b6);
+        let bad = b.or(t, b7);
+        b.not(bad)
+    };
+    let legal_store = {
+        // f3 in {0,1,2}.
+        let le1 = b.eq_const(&funct3.slice(1, 3), 0); // f3 < 2
+        let is2 = b.eq_const(&funct3, 2);
+        b.or(le1, is2)
+    };
+    let legal_opimm = {
+        // Shifts constrain funct7.
+        let sll_bad = {
+            let nz = b.not(f7_zero);
+            b.and(f3_is_1, nz)
+        };
+        let sr_bad = {
+            let nok = b.not(f7_shift_ok);
+            b.and(f3_is_5, nok)
+        };
+        let bad = b.or(sll_bad, sr_bad);
+        b.not(bad)
+    };
+    let legal_op = {
+        // funct7 zero everywhere; 0b0100000 only for ADD->SUB and SRL->SRA.
+        let alt_ok = {
+            let t = b.or(f3_is_0, f3_is_5);
+            b.and(f7_alt, t)
+        };
+        b.or(f7_zero, alt_ok)
+    };
+    // ECALL (0x00000073) / EBREAK (0x00100073): all of instr[31:21] and
+    // instr[19:7] must be zero (bit 20 selects EBREAK).
+    let legal_system = {
+        let hi = instr.slice(21, 32);
+        let mid = instr.slice(7, 20);
+        let hi_z = b.is_zero(&hi);
+        let mid_z = b.is_zero(&mid);
+        b.and(hi_z, mid_z)
+    };
+
+    let known = [
+        is_lui, is_auipc, is_jal, is_jalr, is_branch, is_load, is_store, is_opimm, is_op,
+        is_system,
+    ]
+    .into_iter()
+    .fold(b.const0(), |acc, x| b.or(acc, x));
+
+    let jalr_f3_bad = {
+        let nz = b.not(f3_is_0);
+        b.and(is_jalr, nz)
+    };
+    let mut format_bad = jalr_f3_bad;
+    for (flag, legal) in [
+        (is_branch, legal_branch),
+        (is_load, legal_load),
+        (is_store, legal_store),
+        (is_opimm, legal_opimm),
+        (is_op, legal_op),
+        (is_system, legal_system),
+    ] {
+        let nl = b.not(legal);
+        let bad = b.and(flag, nl);
+        format_bad = b.or(format_bad, bad);
+    }
+
+    // RV32E: bit 4 of any *used* register field must be zero.
+    let uses_rs1 = {
+        let t = b.or(is_branch, is_load);
+        let t = b.or(t, is_store);
+        let t = b.or(t, anyop);
+        b.or(t, is_jalr)
+    };
+    let uses_rs2 = {
+        let t = b.or(is_branch, is_store);
+        b.or(t, is_op)
+    };
+    let uses_rd = {
+        b.or(reg_write, is_load)
+    };
+    let rv32e_bad = {
+        let rd_bad = b.and(uses_rd, instr.bit(11));
+        let rs1_bad = b.and(uses_rs1, instr.bit(19));
+        let rs2_bad = b.and(uses_rs2, instr.bit(24));
+        let t = b.or(rd_bad, rs1_bad);
+        b.or(t, rs2_bad)
+    };
+
+    let illegal = {
+        let unknown = b.not(known);
+        let t = b.or(unknown, format_bad);
+        b.or(t, rv32e_bad)
+    };
+    let halt = {
+        let ok = b.not(illegal);
+        b.and(is_system, ok)
+    };
+
+    Decode {
+        rd,
+        rs1,
+        rs2,
+        funct3,
+        imm,
+        is_lui,
+        is_auipc,
+        is_jal,
+        is_jalr,
+        is_branch,
+        is_load,
+        is_store,
+        is_opimm,
+        is_op,
+        is_jump,
+        reg_write,
+        adder_sub,
+        shift_arith: bit30,
+        force_add,
+        halt,
+        illegal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_isa::{AluOp, BranchKind, Inst, LoadKind, Reg, StoreKind};
+    use delayavf_netlist::{Circuit, Topology};
+    use delayavf_sim::settle;
+
+    struct Harness {
+        c: Circuit,
+        topo: Topology,
+    }
+
+    fn harness() -> Harness {
+        let mut b = CircuitBuilder::new();
+        let instr = b.input_word("instr", 32);
+        let d = b.in_structure("decoder", |b| build_decoder(b, &instr));
+        b.output_word("rd", &d.rd);
+        b.output_word("rs1", &d.rs1);
+        b.output_word("rs2", &d.rs2);
+        b.output_word("imm", &d.imm);
+        for (name, net) in [
+            ("is_lui", d.is_lui),
+            ("is_auipc", d.is_auipc),
+            ("is_jal", d.is_jal),
+            ("is_jalr", d.is_jalr),
+            ("is_branch", d.is_branch),
+            ("is_load", d.is_load),
+            ("is_store", d.is_store),
+            ("is_opimm", d.is_opimm),
+            ("is_op", d.is_op),
+            ("reg_write", d.reg_write),
+            ("halt", d.halt),
+            ("illegal", d.illegal),
+        ] {
+            b.output(name, net);
+        }
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        Harness { c, topo }
+    }
+
+    fn decode(h: &Harness, word: u32) -> std::collections::HashMap<&'static str, u64> {
+        let v = settle(&h.c, &h.topo, &[], &[u64::from(word)]);
+        let mut out = std::collections::HashMap::new();
+        for (name, port) in [
+            "rd", "rs1", "rs2", "imm", "is_lui", "is_auipc", "is_jal", "is_jalr", "is_branch",
+            "is_load", "is_store", "is_opimm", "is_op", "reg_write", "halt", "illegal",
+        ]
+        .iter()
+        .map(|&n| (n, h.c.output_port(n).unwrap()))
+        {
+            let val = port
+                .nets()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &n)| acc | (u64::from(v[n.index()]) << i));
+            out.insert(name, val);
+        }
+        out
+    }
+
+    #[test]
+    fn decodes_every_instruction_class() {
+        let h = harness();
+        let r = Reg::new;
+
+        let cases: Vec<(Inst, &str, u64)> = vec![
+            (Inst::Lui { rd: r(5), imm: 0xabcd_e000 }, "is_lui", 0xabcd_e000),
+            (Inst::Auipc { rd: r(3), imm: 0x1000 }, "is_auipc", 0x1000),
+            (Inst::Jal { rd: r(1), offset: -16 }, "is_jal", (-16i64) as u64 & 0xffff_ffff),
+            (Inst::Jalr { rd: r(1), rs1: r(2), offset: 12 }, "is_jalr", 12),
+            (
+                Inst::Branch { kind: BranchKind::Ltu, rs1: r(4), rs2: r(9), offset: -64 },
+                "is_branch",
+                (-64i64) as u64 & 0xffff_ffff,
+            ),
+            (
+                Inst::Load { kind: LoadKind::Lhu, rd: r(6), rs1: r(7), offset: -3 },
+                "is_load",
+                (-3i64) as u64 & 0xffff_ffff,
+            ),
+            (
+                Inst::Store { kind: StoreKind::Sh, rs2: r(8), rs1: r(9), offset: 2047 },
+                "is_store",
+                2047,
+            ),
+            (
+                Inst::OpImm { kind: AluOp::Xor, rd: r(10), rs1: r(11), imm: -1 },
+                "is_opimm",
+                0xffff_ffff,
+            ),
+        ];
+        for (inst, flag, imm) in cases {
+            let out = decode(&h, inst.encode());
+            assert_eq!(out[flag], 1, "{inst}");
+            assert_eq!(out["illegal"], 0, "{inst}");
+            assert_eq!(out["imm"], imm, "imm of {inst}");
+            // Exactly one class flag fires.
+            let ones: u64 = [
+                "is_lui", "is_auipc", "is_jal", "is_jalr", "is_branch", "is_load", "is_store",
+                "is_opimm", "is_op",
+            ]
+            .iter()
+            .map(|f| out[f])
+            .sum();
+            assert_eq!(ones, 1, "{inst}");
+        }
+
+        let out = decode(
+            &h,
+            Inst::Op { kind: AluOp::Sub, rd: r(1), rs1: r(2), rs2: r(3) }.encode(),
+        );
+        assert_eq!(out["is_op"], 1);
+        assert_eq!((out["rd"], out["rs1"], out["rs2"]), (1, 2, 3));
+        assert_eq!(out["reg_write"], 1);
+    }
+
+    #[test]
+    fn system_instructions_halt() {
+        let h = harness();
+        for inst in [Inst::Ecall, Inst::Ebreak] {
+            let out = decode(&h, inst.encode());
+            assert_eq!(out["halt"], 1, "{inst}");
+            assert_eq!(out["illegal"], 0, "{inst}");
+        }
+        // A system word with junk in rs1 is illegal, not a halt.
+        let out = decode(&h, (1 << 15) | 0b1110011);
+        assert_eq!(out["halt"], 0);
+        assert_eq!(out["illegal"], 1);
+    }
+
+    #[test]
+    fn gate_decoder_agrees_with_software_decoder() {
+        // Sweep a structured corpus of words: every word the software
+        // decoder accepts must decode cleanly, every word it rejects must
+        // raise `illegal`.
+        let h = harness();
+        let mut checked_legal = 0u32;
+        let mut checked_illegal = 0u32;
+        let mut probe = |word: u32| {
+            let out = decode(&h, word);
+            match Inst::decode(word) {
+                Ok(_) => {
+                    assert_eq!(out["illegal"], 0, "{word:#010x} should be legal");
+                    checked_legal += 1;
+                }
+                Err(_) => {
+                    assert_eq!(out["illegal"], 1, "{word:#010x} should be illegal");
+                    checked_illegal += 1;
+                }
+            }
+        };
+        // All opcodes x funct3 x two funct7 values, registers in range.
+        for opcode in 0..128u32 {
+            for f3 in 0..8u32 {
+                for f7 in [0u32, 0b0100000, 0b1000000] {
+                    let word = (f7 << 25) | (3 << 20) | (2 << 15) | (f3 << 12) | (1 << 7) | opcode;
+                    probe(word);
+                }
+            }
+        }
+        // RV32E violations.
+        for shift in [7u32, 15, 20] {
+            let base = Inst::Op {
+                kind: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                rs2: Reg::new(3),
+            }
+            .encode();
+            probe(base | (0x10 << shift));
+        }
+        assert!(checked_legal > 100, "corpus covers many legal words");
+        assert!(checked_illegal > 1000);
+    }
+}

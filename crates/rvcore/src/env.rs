@@ -1,0 +1,269 @@
+//! The core's execution environment: RAM, MMIO console/exit, and trap
+//! accounting. Implements [`delayavf_sim::Environment`].
+
+use delayavf_isa::{mmio, Program, StopCause, Trap};
+use delayavf_netlist::Circuit;
+use delayavf_sim::Environment;
+
+/// Index positions of the core's ports, resolved once by name.
+#[derive(Clone, Copy, Debug)]
+struct PortMap {
+    // Inputs.
+    imem_rdata: usize,
+    dmem_rdata: usize,
+    // Outputs.
+    imem_req: usize,
+    imem_addr: usize,
+    dmem_req: usize,
+    dmem_we: usize,
+    dmem_addr: usize,
+    dmem_wdata: usize,
+    dmem_be: usize,
+    halt: usize,
+    trap: usize,
+}
+
+impl PortMap {
+    fn resolve(circuit: &Circuit) -> PortMap {
+        let in_idx = |name: &str| {
+            circuit
+                .input_ports()
+                .iter()
+                .position(|p| p.name() == name)
+                .unwrap_or_else(|| panic!("core has input port `{name}`"))
+        };
+        let out_idx = |name: &str| {
+            circuit
+                .output_ports()
+                .iter()
+                .position(|p| p.name() == name)
+                .unwrap_or_else(|| panic!("core has output port `{name}`"))
+        };
+        PortMap {
+            imem_rdata: in_idx("imem_rdata"),
+            dmem_rdata: in_idx("dmem_rdata"),
+            imem_req: out_idx("imem_req"),
+            imem_addr: out_idx("imem_addr"),
+            dmem_req: out_idx("dmem_req"),
+            dmem_we: out_idx("dmem_we"),
+            dmem_addr: out_idx("dmem_addr"),
+            dmem_wdata: out_idx("dmem_wdata"),
+            dmem_be: out_idx("dmem_be"),
+            halt: out_idx("halt"),
+            trap: out_idx("trap"),
+        }
+    }
+}
+
+/// RAM + MMIO environment for the gate-level core.
+///
+/// The memory interface is word-based with byte enables and one cycle of
+/// latency (requests sampled at a clock edge are answered during the next
+/// cycle). Write side effects fold into an order-sensitive
+/// [`Environment::fingerprint`] used by fault campaigns for convergence
+/// detection.
+///
+/// Program-visible termination mirrors the ISS conventions: a store to
+/// [`mmio::EXIT`] ends the program with an exit code, the core's `halt`
+/// output (ECALL/EBREAK) maps to [`StopCause::Break`], and the core's `trap`
+/// output or an invalid memory request maps to a trap.
+#[derive(Clone, Debug)]
+pub struct MemEnv {
+    mem: Vec<u8>,
+    console: Vec<u8>,
+    exit: Option<u32>,
+    break_hit: bool,
+    trapped: bool,
+    fp: u64,
+    ports: PortMap,
+}
+
+impl MemEnv {
+    /// Creates an environment with `mem_size` bytes of RAM (must not reach
+    /// into the MMIO window at [`mmio::CONSOLE`]) and the program image
+    /// loaded at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit lacks the core's ports, if RAM overlaps MMIO,
+    /// or if the program does not fit.
+    pub fn new(circuit: &Circuit, mem_size: usize, program: &Program) -> MemEnv {
+        assert!(
+            mem_size as u64 <= u64::from(mmio::CONSOLE),
+            "RAM would overlap the MMIO window"
+        );
+        assert!(program.len() <= mem_size, "program does not fit in RAM");
+        let mut mem = vec![0u8; mem_size.next_multiple_of(4)];
+        mem[..program.len()].copy_from_slice(program.bytes());
+        MemEnv {
+            mem,
+            console: Vec::new(),
+            exit: None,
+            break_hit: false,
+            trapped: false,
+            fp: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            ports: PortMap::resolve(circuit),
+        }
+    }
+
+    /// Console bytes written so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Exit code, once the program wrote one.
+    pub fn exit_code(&self) -> Option<u32> {
+        self.exit
+    }
+
+    /// How the program terminated so far; [`StopCause::OutOfTime`] while it
+    /// is still running.
+    pub fn termination(&self) -> StopCause {
+        if let Some(code) = self.exit {
+            StopCause::Exit(code)
+        } else if self.trapped {
+            // The environment has no architectural trap details; any trap
+            // value carries the same program-visible tag.
+            StopCause::Trap(Trap::Illegal { word: 0, pc: 0 })
+        } else if self.break_hit {
+            StopCause::Break
+        } else {
+            StopCause::OutOfTime
+        }
+    }
+
+    /// Reads a word of RAM (test/debug helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is misaligned or out of range.
+    pub fn peek_word(&self, addr: u32) -> u32 {
+        assert_eq!(addr % 4, 0);
+        let a = addr as usize;
+        u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range"))
+    }
+
+    fn mix(&mut self, value: u64) {
+        self.fp = (self.fp ^ value).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+impl Environment for MemEnv {
+    fn step(&mut self, _cycle: u64, prev_outputs: &[u64], inputs: &mut [u64]) {
+        let p = self.ports;
+        if prev_outputs.is_empty() {
+            return; // first call before any outputs exist is a no-op
+        }
+        if prev_outputs[p.halt] != 0 && !self.break_hit {
+            self.break_hit = true;
+            self.mix(0xb0);
+        }
+        if prev_outputs[p.trap] != 0 && !self.trapped {
+            self.trapped = true;
+            self.mix(0x7a);
+        }
+
+        // Data memory first, so an EXIT write is honored before any
+        // fetch-side trap from the same cycle.
+        if prev_outputs[p.dmem_req] != 0 {
+            let addr = prev_outputs[p.dmem_addr] as u32;
+            if prev_outputs[p.dmem_we] != 0 {
+                let wdata = prev_outputs[p.dmem_wdata] as u32;
+                let be = prev_outputs[p.dmem_be] as u32 & 0xf;
+                self.mix(0xd0 ^ (u64::from(addr) << 8) ^ (u64::from(wdata) << 16) ^ u64::from(be));
+                if addr == mmio::CONSOLE {
+                    self.console.push(wdata as u8);
+                } else if addr == mmio::EXIT {
+                    self.exit = Some(wdata);
+                } else if (addr as usize) + 4 <= self.mem.len() {
+                    for lane in 0..4 {
+                        if be & (1 << lane) != 0 {
+                            self.mem[addr as usize + lane] = (wdata >> (8 * lane)) as u8;
+                        }
+                    }
+                } else if !self.halted() {
+                    self.trapped = true;
+                    self.mix(0x7b);
+                }
+            } else {
+                let rdata = if addr == mmio::CONSOLE || addr == mmio::EXIT {
+                    0
+                } else if (addr as usize) + 4 <= self.mem.len() {
+                    u32::from_le_bytes(
+                        self.mem[addr as usize..addr as usize + 4]
+                            .try_into()
+                            .expect("in range"),
+                    )
+                } else {
+                    if !self.halted() {
+                        self.trapped = true;
+                        self.mix(0x7c);
+                    }
+                    0
+                };
+                inputs[p.dmem_rdata] = u64::from(rdata);
+            }
+        }
+
+        // Instruction fetch.
+        if prev_outputs[p.imem_req] != 0 {
+            let addr = prev_outputs[p.imem_addr] as u32;
+            if addr.is_multiple_of(4) && (addr as usize) + 4 <= self.mem.len() {
+                inputs[p.imem_rdata] = u64::from(u32::from_le_bytes(
+                    self.mem[addr as usize..addr as usize + 4]
+                        .try_into()
+                        .expect("in range"),
+                ));
+            } else {
+                if !self.halted() {
+                    self.trapped = true;
+                    self.mix(0x7d);
+                }
+                inputs[p.imem_rdata] = 0;
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.exit.is_some() || self.trapped || self.break_hit
+    }
+
+    fn failed_abnormally(&self) -> bool {
+        self.exit.is_none() && (self.trapped || self.break_hit)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    fn program_output(&self) -> Vec<u8> {
+        self.termination().encode_output(&self.console)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{build_core, CoreConfig};
+    use delayavf_isa::assemble;
+
+    #[test]
+    fn port_map_resolves_on_the_real_core() {
+        let core = build_core(CoreConfig::default());
+        let p = assemble("nop\n").unwrap();
+        let env = MemEnv::new(&core.circuit, 4096, &p);
+        assert!(!env.halted());
+        assert_eq!(env.termination(), StopCause::OutOfTime);
+        assert_eq!(env.peek_word(0), p.words()[0]);
+    }
+
+    #[test]
+    fn ram_overlapping_mmio_is_rejected() {
+        let core = build_core(CoreConfig::default());
+        let p = assemble("nop\n").unwrap();
+        let result = std::panic::catch_unwind(|| {
+            MemEnv::new(&core.circuit, (mmio::CONSOLE as usize) + 4, &p)
+        });
+        assert!(result.is_err());
+    }
+}

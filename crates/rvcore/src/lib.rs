@@ -1,0 +1,52 @@
+//! The studied design: a gate-level RV32E core ("Ibexa") standing in for
+//! the paper's Ibex case study, plus its memory environment.
+//!
+//! Unlike an RTL core that would need synthesis, this core is *constructed
+//! directly as a gate-level netlist* using `delayavf-netlist`'s builder, so
+//! the DelayAVF analyses (static timing, timing-aware fault injection,
+//! architectural correctness checks) can consume it without any EDA
+//! tooling. See [`core`] for the microarchitecture and
+//! [`build_core`] for entry.
+//!
+//! The five analysis structures from the paper's Ibex study are tagged on
+//! the netlist: `alu`, `decoder`, `regfile` (optionally ECC-protected),
+//! `lsu` and `prefetch` (plus the `control` FSM). Use
+//! [`Core::structure_names`] to enumerate them.
+//!
+//! # Example
+//!
+//! Run a program to completion on the gate-level core:
+//!
+//! ```
+//! use delayavf_rvcore::{build_core, CoreConfig, MemEnv};
+//! use delayavf_isa::assemble;
+//! use delayavf_netlist::Topology;
+//! use delayavf_sim::{CycleSim, Environment};
+//!
+//! let program = assemble("li a0, 7\nli t0, 0x10004\nsw a0, 0(t0)\nebreak\n")?;
+//! let core = build_core(CoreConfig::default());
+//! let topo = Topology::new(&core.circuit);
+//! let mut env = MemEnv::new(&core.circuit, 4096, &program);
+//! let mut sim = CycleSim::new(&core.circuit, &topo);
+//! sim.run(&mut env, 100);
+//! assert_eq!(env.exit_code(), Some(7));
+//! # Ok::<(), delayavf_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alu;
+pub mod core;
+pub mod decoder;
+pub mod ecc;
+mod env;
+pub mod lsu;
+pub mod regfile;
+
+pub use crate::core::{build_core, Core, CoreConfig, CoreHandle, CoreState};
+pub use env::MemEnv;
+
+/// Default RAM size used by examples, tests and campaigns: the full 64 KiB
+/// below the MMIO window.
+pub const DEFAULT_RAM_BYTES: usize = 0x1_0000;

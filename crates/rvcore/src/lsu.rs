@@ -1,0 +1,231 @@
+//! Load/store unit data paths: store-data lane alignment, byte-enable
+//! generation, load-data extraction/extension and misalignment detection.
+//!
+//! The memory interface is word-based: the core sends a word-aligned address
+//! plus byte enables; for loads the environment returns the full word at the
+//! aligned address and the LSU extracts the addressed byte/halfword.
+
+use delayavf_netlist::{CircuitBuilder, NetId, Word};
+
+/// Outputs of the store-alignment path.
+#[derive(Clone, Debug)]
+pub struct StoreAlign {
+    /// Write data shifted into its byte lane.
+    pub wdata: Word,
+    /// Byte enables (bit *i* covers byte *i* of the word).
+    pub be: Word,
+}
+
+/// Decoded access size flags from funct3.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeFlags {
+    /// Byte access.
+    pub is_byte: NetId,
+    /// Halfword access.
+    pub is_half: NetId,
+    /// Word access.
+    pub is_word: NetId,
+}
+
+/// Decodes funct3's size field (low two bits).
+pub fn build_size_flags(b: &mut CircuitBuilder, funct3: &Word) -> SizeFlags {
+    let size = funct3.slice(0, 2);
+    SizeFlags {
+        is_byte: b.eq_const(&size, 0),
+        is_half: b.eq_const(&size, 1),
+        is_word: b.eq_const(&size, 2),
+    }
+}
+
+/// Misalignment check: word accesses need `addr_lo == 0`, halfword accesses
+/// need `addr_lo[0] == 0`.
+pub fn build_misaligned(b: &mut CircuitBuilder, size: SizeFlags, addr_lo: &Word) -> NetId {
+    assert_eq!(addr_lo.width(), 2);
+    let any_lo = b.or(addr_lo.bit(0), addr_lo.bit(1));
+    let w_bad = b.and(size.is_word, any_lo);
+    let h_bad = b.and(size.is_half, addr_lo.bit(0));
+    b.or(w_bad, h_bad)
+}
+
+/// Builds the store-data alignment path.
+pub fn build_store_align(
+    b: &mut CircuitBuilder,
+    value: &Word,
+    addr_lo: &Word,
+    size: SizeFlags,
+) -> StoreAlign {
+    assert_eq!(value.width(), 32);
+    assert_eq!(addr_lo.width(), 2);
+
+    // Shift the value into its lane: by 8 if addr_lo[0], by 16 if addr_lo[1].
+    let zero = b.const0();
+    let by8: Word = (0..32)
+        .map(|i| if i >= 8 { value.bit(i - 8) } else { zero })
+        .collect();
+    let s1 = b.mux_word(addr_lo.bit(0), value, &by8);
+    let by16: Word = (0..32)
+        .map(|i| if i >= 16 { s1.bit(i - 16) } else { zero })
+        .collect();
+    let wdata = b.mux_word(addr_lo.bit(1), &s1, &by16);
+
+    // Byte enables.
+    let byte_oh = b.decode_onehot(addr_lo); // one-hot over the 4 lanes
+    let half_be = {
+        let lo = b.not(addr_lo.bit(1));
+        let hi = addr_lo.bit(1);
+        Word::from_bits(vec![lo, lo, hi, hi])
+    };
+    let word_be = b.const_word(0xf, 4);
+    let mut be = b.w_gate(&byte_oh, size.is_byte);
+    let half_sel = b.w_gate(&half_be, size.is_half);
+    let word_sel = b.w_gate(&word_be, size.is_word);
+    be = b.w_or(&be, &half_sel);
+    be = b.w_or(&be, &word_sel);
+
+    StoreAlign { wdata, be }
+}
+
+/// Builds the load-data extraction/extension path.
+///
+/// `funct3` is the load's full funct3 (bit 2 selects zero extension).
+pub fn build_load_extract(
+    b: &mut CircuitBuilder,
+    rdata: &Word,
+    addr_lo: &Word,
+    funct3: &Word,
+    size: SizeFlags,
+) -> Word {
+    assert_eq!(rdata.width(), 32);
+    assert_eq!(addr_lo.width(), 2);
+
+    // Shift the addressed lane down to bit 0.
+    let zero = b.const0();
+    let by8: Word = (0..32)
+        .map(|i| if i + 8 < 32 { rdata.bit(i + 8) } else { zero })
+        .collect();
+    let s1 = b.mux_word(addr_lo.bit(0), rdata, &by8);
+    let by16: Word = (0..32)
+        .map(|i| if i + 16 < 32 { s1.bit(i + 16) } else { zero })
+        .collect();
+    let shifted = b.mux_word(addr_lo.bit(1), &s1, &by16);
+
+    let unsigned = funct3.bit(2);
+    let signed = b.not(unsigned);
+
+    let byte_sign = b.and(signed, shifted.bit(7));
+    let byte_v = {
+        let lo = shifted.slice(0, 8);
+        let ext = b.repeat(byte_sign, 24);
+        lo.concat(&ext)
+    };
+    let half_sign = b.and(signed, shifted.bit(15));
+    let half_v = {
+        let lo = shifted.slice(0, 16);
+        let ext = b.repeat(half_sign, 16);
+        lo.concat(&ext)
+    };
+
+    let mut value = b.w_gate(&byte_v, size.is_byte);
+    let half_sel = b.w_gate(&half_v, size.is_half);
+    let word_sel = b.w_gate(rdata, size.is_word);
+    value = b.w_or(&value, &half_sel);
+    b.w_or(&value, &word_sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_netlist::{Circuit, Topology};
+    use delayavf_sim::settle;
+
+    fn harness() -> (Circuit, Topology) {
+        let mut b = CircuitBuilder::new();
+        let value = b.input_word("value", 32);
+        let rdata = b.input_word("rdata", 32);
+        let addr_lo = b.input_word("addr_lo", 2);
+        let funct3 = b.input_word("funct3", 3);
+        let (store, load, mis) = b.in_structure("lsu", |b| {
+            let size = build_size_flags(b, &funct3);
+            let store = build_store_align(b, &value, &addr_lo, size);
+            let load = build_load_extract(b, &rdata, &addr_lo, &funct3, size);
+            let mis = build_misaligned(b, size, &addr_lo);
+            (store, load, mis)
+        });
+        b.output_word("wdata", &store.wdata);
+        b.output_word("be", &store.be);
+        b.output_word("load", &load);
+        b.output("mis", mis);
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        (c, topo)
+    }
+
+    fn eval(c: &Circuit, topo: &Topology, inputs: &[u64; 4]) -> (u64, u64, u64, u64) {
+        let v = settle(c, topo, &[], inputs);
+        let read = |name: &str| {
+            c.output_port(name)
+                .unwrap()
+                .nets()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &n)| acc | (u64::from(v[n.index()]) << i))
+        };
+        (read("wdata"), read("be"), read("load"), read("mis"))
+    }
+
+    #[test]
+    fn store_alignment_places_lanes() {
+        let (c, topo) = harness();
+        // sb to lane 3: value byte replicated into bits 24..32, be = 1000.
+        let (wdata, be, _, mis) = eval(&c, &topo, &[0xab, 0, 3, 0b000]);
+        assert_eq!(wdata, 0xab00_0000);
+        assert_eq!(be, 0b1000);
+        assert_eq!(mis, 0);
+        // sh to upper half.
+        let (wdata, be, _, mis) = eval(&c, &topo, &[0xbeef, 0, 2, 0b001]);
+        assert_eq!(wdata, 0xbeef_0000);
+        assert_eq!(be, 0b1100);
+        assert_eq!(mis, 0);
+        // sw aligned.
+        let (wdata, be, _, mis) = eval(&c, &topo, &[0x1234_5678, 0, 0, 0b010]);
+        assert_eq!(wdata, 0x1234_5678);
+        assert_eq!(be, 0b1111);
+        assert_eq!(mis, 0);
+    }
+
+    #[test]
+    fn misalignment_is_flagged() {
+        let (c, topo) = harness();
+        for (lo, f3, bad) in [
+            (1u64, 0b010u64, true),  // sw at +1
+            (2, 0b010, true),        // sw at +2
+            (1, 0b001, true),        // sh at +1
+            (2, 0b001, false),       // sh at +2 is fine
+            (3, 0b000, false),       // sb anywhere is fine
+        ] {
+            let (_, _, _, mis) = eval(&c, &topo, &[0, 0, lo, f3]);
+            assert_eq!(mis == 1, bad, "lo={lo} f3={f3:#b}");
+        }
+    }
+
+    #[test]
+    fn load_extraction_matches_iss_semantics() {
+        let (c, topo) = harness();
+        let word: u64 = 0x8182_0384;
+        // lb lane 0: 0x84 sign-extends.
+        let (_, _, v, _) = eval(&c, &topo, &[0, word, 0, 0b000]);
+        assert_eq!(v, 0xffff_ff84);
+        // lbu lane 3: 0x81 zero-extends.
+        let (_, _, v, _) = eval(&c, &topo, &[0, word, 3, 0b100]);
+        assert_eq!(v, 0x81);
+        // lh lane 2: 0x8182 sign-extends.
+        let (_, _, v, _) = eval(&c, &topo, &[0, word, 2, 0b001]);
+        assert_eq!(v, 0xffff_8182);
+        // lhu lane 0.
+        let (_, _, v, _) = eval(&c, &topo, &[0, word, 0, 0b101]);
+        assert_eq!(v, 0x0384);
+        // lw.
+        let (_, _, v, _) = eval(&c, &topo, &[0, word, 0, 0b010]);
+        assert_eq!(v, word);
+    }
+}

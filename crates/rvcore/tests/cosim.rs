@@ -1,0 +1,431 @@
+//! Co-simulation: the gate-level core against the golden ISS.
+//!
+//! Every program runs on both models; program output (console + termination
+//! tag) and the final architectural register file must agree. Programs end
+//! with an `ebreak` after the exit store so the core cannot retire anything
+//! past the ISS's stopping point.
+
+use delayavf_isa::{assemble, Iss, Reg, StopCause};
+use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{CycleSim, Environment, StopReason};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct CosimResult {
+    cause: StopCause,
+    cycles: u64,
+}
+
+fn cosim_with_config(src: &str, max_cycles: u64, config: CoreConfig) -> CosimResult {
+    let program = assemble(src).expect("program assembles");
+
+    let mut iss = Iss::new(DEFAULT_RAM_BYTES);
+    iss.load(&program);
+    let cause = iss.run(max_cycles);
+    let iss_output = iss.program_output(cause);
+
+    let (core, topo) = Core::with_topology(config);
+    let mut env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &program);
+    let mut sim = CycleSim::new(&core.circuit, &topo);
+    let summary = sim.run(&mut env, max_cycles);
+
+    assert_eq!(
+        summary.reason,
+        StopReason::Halted,
+        "core halts within {max_cycles} cycles (ISS: {cause:?})"
+    );
+    assert_eq!(
+        env.program_output(),
+        iss_output,
+        "program output matches ISS (console={:?}, termination={:?})",
+        String::from_utf8_lossy(env.console()),
+        env.termination()
+    );
+    for i in 1..16 {
+        assert_eq!(
+            core.handle.read_reg(sim.state(), i),
+            iss.reg(Reg::new(i as u8)),
+            "x{i} matches after halt"
+        );
+    }
+    CosimResult {
+        cause,
+        cycles: summary.end_cycle,
+    }
+}
+
+fn cosim(src: &str, max_cycles: u64) -> CosimResult {
+    cosim_with_config(src, max_cycles, CoreConfig::default())
+}
+
+#[test]
+fn exit_with_alu_arithmetic() {
+    let r = cosim(
+        r#"
+        li   a0, 100
+        li   a1, -30
+        add  a2, a0, a1
+        sub  a3, a2, a1       # 100
+        xor  a4, a3, a2       # 100 ^ 70
+        li   t0, 0x10004
+        sw   a4, 0(t0)
+        ebreak
+        "#,
+        200,
+    );
+    assert_eq!(r.cause, StopCause::Exit(100 ^ 70));
+}
+
+#[test]
+fn every_alu_op_once() {
+    let r = cosim(
+        r#"
+        li   a0, 0x1234
+        li   a1, 9
+        add  s0, a0, a1
+        sub  s0, s0, a1
+        sll  s1, a0, a1
+        srl  t0, s1, a1
+        sra  t1, s1, a1
+        and  t2, a0, a1
+        or   a2, a0, a1
+        xor  a3, a0, a1
+        slt  a4, a1, a0
+        sltu a5, a0, a1
+        slti  gp, a0, -5
+        sltiu tp, a0, 0x7ff
+        andi  ra, a0, 0xff
+        ori   sp, a0, 0x700
+        xori  a1, a0, -1
+        li   t0, 0x10004
+        sw   s0, 0(t0)
+        ebreak
+        "#,
+        300,
+    );
+    assert_eq!(r.cause, StopCause::Exit(0x1234));
+}
+
+#[test]
+fn branches_in_both_directions() {
+    let r = cosim(
+        r#"
+            li   a0, 0
+            li   a1, 10
+        loop:
+            add  a0, a0, a1
+            addi a1, a1, -1
+            bnez a1, loop
+            blt  a0, zero, bad
+            bge  a0, zero, good
+        bad:
+            li   a0, 999
+        good:
+            li   t0, 0x10004
+            sw   a0, 0(t0)
+            ebreak
+        "#,
+        500,
+    );
+    assert_eq!(r.cause, StopCause::Exit(55));
+}
+
+#[test]
+fn all_branch_kinds() {
+    let r = cosim(
+        r#"
+            li   s0, 0          # score
+            li   a0, -3
+            li   a1, 5
+            beq  a0, a0, c1
+            j    done
+        c1: addi s0, s0, 1
+            bne  a0, a1, c2
+            j    done
+        c2: addi s0, s0, 1
+            blt  a0, a1, c3     # -3 < 5 signed
+            j    done
+        c3: addi s0, s0, 1
+            bge  a1, a0, c4
+            j    done
+        c4: addi s0, s0, 1
+            bltu a1, a0, c5     # 5 < 0xfffffffd unsigned
+            j    done
+        c5: addi s0, s0, 1
+            bgeu a0, a1, c6
+            j    done
+        c6: addi s0, s0, 1
+        done:
+            li   t0, 0x10004
+            sw   s0, 0(t0)
+            ebreak
+        "#,
+        300,
+    );
+    assert_eq!(r.cause, StopCause::Exit(6));
+}
+
+#[test]
+fn loads_and_stores_all_widths() {
+    let r = cosim(
+        r#"
+            li   t0, 0x2000
+            li   a0, 0xdeadbeef
+            sw   a0, 0(t0)
+            lw   a1, 0(t0)
+            lb   a2, 0(t0)       # 0xffffffef
+            lbu  a3, 1(t0)       # 0xbe
+            lh   a4, 2(t0)       # 0xffffdead
+            lhu  a5, 2(t0)       # 0xdead
+            sb   a3, 4(t0)
+            sh   a5, 6(t0)
+            lw   s0, 4(t0)       # 0xdead00be
+            add  s1, a1, a2
+            li   t0, 0x10004
+            sw   s0, 0(t0)
+            ebreak
+        "#,
+        300,
+    );
+    assert_eq!(r.cause, StopCause::Exit(0xdead_00be));
+}
+
+#[test]
+fn function_calls_and_memory_stack() {
+    let r = cosim(
+        r#"
+            li   sp, 0x8000
+            li   a0, 10
+            call fib
+            li   t0, 0x10004
+            sw   a0, 0(t0)
+            ebreak
+        # iterative fibonacci
+        fib:
+            li   t0, 0
+            li   t1, 1
+        fib_loop:
+            beqz a0, fib_done
+            add  t2, t0, t1
+            mv   t0, t1
+            mv   t1, t2
+            addi a0, a0, -1
+            j    fib_loop
+        fib_done:
+            mv   a0, t0
+            ret
+        "#,
+        2000,
+    );
+    assert_eq!(r.cause, StopCause::Exit(55));
+}
+
+#[test]
+fn console_output_matches() {
+    let r = cosim(
+        r#"
+            la   a1, msg
+            li   t0, 0x10000
+        put:
+            lbu  a0, 0(a1)
+            beqz a0, fin
+            sw   a0, 0(t0)
+            addi a1, a1, 1
+            j    put
+        fin:
+            li   t0, 0x10004
+            sw   zero, 0(t0)
+            ebreak
+        msg:
+            .asciz "hello, gates"
+        "#,
+        2000,
+    );
+    assert_eq!(r.cause, StopCause::Exit(0));
+}
+
+#[test]
+fn lui_auipc_jalr() {
+    let r = cosim(
+        r#"
+            lui   a0, 0xabcde
+            srli  a0, a0, 12     # 0xabcde
+            auipc a1, 0          # pc of this instruction (8)
+            la    a2, target
+            jalr  ra, 0(a2)
+        after:
+            li    t0, 0x10004
+            sw    s0, 0(t0)
+            ebreak
+        target:
+            add   s0, a0, a1
+            ret
+        "#,
+        300,
+    );
+    assert_eq!(r.cause, StopCause::Exit(0xabcde + 8));
+}
+
+#[test]
+fn ebreak_terminates_without_exit() {
+    let r = cosim("li a0, 1\nebreak\n", 100);
+    assert_eq!(r.cause, StopCause::Break);
+}
+
+#[test]
+fn cycle_count_is_reasonable() {
+    // 1 boot cycle + ~1 cycle per ALU instruction + 2 per load.
+    let r = cosim(
+        r#"
+        li   t0, 0x2000
+        sw   t0, 0(t0)
+        lw   a0, 0(t0)
+        lw   a1, 0(t0)
+        li   t1, 0x10004
+        sw   a0, 0(t1)
+        ebreak
+        "#,
+        100,
+    );
+    // boot+wait (2) + 2 cycles per ALU/store instruction (li 0x2000 and
+    // li 0x10004 are two instructions each), 3 per load, plus the two-cycle
+    // lag until the environment observes the exit write: 2 + 2*(2+1+2+1)
+    // + 3*2 + lag = 21.
+    assert_eq!(r.cycles, 21, "cycles = {}", r.cycles);
+}
+
+#[test]
+fn ecc_core_runs_identically() {
+    let src = r#"
+        li   a0, 0
+        li   a1, 20
+    loop:
+        add  a0, a0, a1
+        addi a1, a1, -1
+        bnez a1, loop
+        li   t0, 0x10004
+        sw   a0, 0(t0)
+        ebreak
+    "#;
+    let plain = cosim_with_config(src, 500, CoreConfig { ecc_regfile: false, ..CoreConfig::default() });
+    let ecc = cosim_with_config(src, 500, CoreConfig { ecc_regfile: true, ..CoreConfig::default() });
+    assert_eq!(plain.cause, StopCause::Exit(210));
+    assert_eq!(ecc.cause, StopCause::Exit(210));
+    assert_eq!(plain.cycles, ecc.cycles, "ECC is timing-transparent");
+}
+
+#[test]
+fn fast_adder_core_runs_identically() {
+    let src = r#"
+        li   a0, 0x7fffffff
+        li   a1, 1
+        add  a2, a0, a1      # overflow wrap
+        sltu a3, a2, a0
+        sub  a4, a2, a0
+        li   t0, 0x10004
+        sw   a4, 0(t0)
+        ebreak
+    "#;
+    let plain = cosim_with_config(src, 200, CoreConfig::default());
+    let fast = cosim_with_config(
+        src,
+        200,
+        CoreConfig {
+            fast_adder: true,
+            ..CoreConfig::default()
+        },
+    );
+    assert_eq!(plain.cause, fast.cause);
+    assert_eq!(plain.cycles, fast.cycles, "adder choice is timing-transparent at the ISA level");
+}
+
+#[test]
+fn random_alu_programs_agree_with_iss() {
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    for trial in 0..10 {
+        let mut src = String::new();
+        // Seed registers with random values.
+        for i in 1..16 {
+            src.push_str(&format!("li x{i}, {}\n", rng.gen::<i32>()));
+        }
+        // Random straight-line ALU ops (avoid x0 as destination half the
+        // time to keep values flowing).
+        let ops3 = ["add", "sub", "sll", "srl", "sra", "and", "or", "xor", "slt", "sltu"];
+        let opsi = ["addi", "andi", "ori", "xori", "slti", "sltiu"];
+        for _ in 0..60 {
+            if rng.gen_bool(0.7) {
+                let op = ops3[rng.gen_range(0..ops3.len())];
+                src.push_str(&format!(
+                    "{op} x{}, x{}, x{}\n",
+                    rng.gen_range(1..16),
+                    rng.gen_range(0..16),
+                    rng.gen_range(0..16)
+                ));
+            } else if rng.gen_bool(0.5) {
+                let op = opsi[rng.gen_range(0..opsi.len())];
+                src.push_str(&format!(
+                    "{op} x{}, x{}, {}\n",
+                    rng.gen_range(1..16),
+                    rng.gen_range(0..16),
+                    rng.gen_range(-2048i32..2048)
+                ));
+            } else {
+                let op = ["slli", "srli", "srai"][rng.gen_range(0..3)];
+                src.push_str(&format!(
+                    "{op} x{}, x{}, {}\n",
+                    rng.gen_range(1..16),
+                    rng.gen_range(0..16),
+                    rng.gen_range(0..32)
+                ));
+            }
+        }
+        // Fold everything into an exit code.
+        src.push_str("xor x5, x5, x6\nxor x5, x5, x7\n");
+        src.push_str("li x6, 0x10004\nsw x5, 0(x6)\nebreak\n");
+        let r = cosim(&src, 1000);
+        assert!(matches!(r.cause, StopCause::Exit(_)), "trial {trial}");
+    }
+}
+
+#[test]
+fn random_memory_programs_agree_with_iss() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for _trial in 0..6 {
+        let mut src = String::new();
+        src.push_str("li s0, 0x3000\n"); // scratch base
+        for i in 1..8 {
+            src.push_str(&format!("li x{i}, {}\n", rng.gen::<i32>()));
+        }
+        for _ in 0..40 {
+            let offset = rng.gen_range(0..32) * 4;
+            match rng.gen_range(0..6) {
+                0 => src.push_str(&format!("sw x{}, {offset}(s0)\n", rng.gen_range(1..8))),
+                1 => src.push_str(&format!(
+                    "sh x{}, {}(s0)\n",
+                    rng.gen_range(1..8),
+                    offset + 2 * rng.gen_range(0..2)
+                )),
+                2 => src.push_str(&format!(
+                    "sb x{}, {}(s0)\n",
+                    rng.gen_range(1..8),
+                    offset + rng.gen_range(0..4)
+                )),
+                3 => src.push_str(&format!("lw x{}, {offset}(s0)\n", rng.gen_range(1..8))),
+                4 => src.push_str(&format!(
+                    "lh x{}, {}(s0)\n",
+                    rng.gen_range(1..8),
+                    offset + 2 * rng.gen_range(0..2)
+                )),
+                _ => src.push_str(&format!(
+                    "lbu x{}, {}(s0)\n",
+                    rng.gen_range(1..8),
+                    offset + rng.gen_range(0..4)
+                )),
+            }
+        }
+        src.push_str("xor a0, x1, x2\nxor a0, a0, x3\n");
+        src.push_str("li t0, 0x10004\nsw a0, 0(t0)\nebreak\n");
+        let r = cosim(&src, 2000);
+        assert!(matches!(r.cause, StopCause::Exit(_)));
+    }
+}

@@ -1,0 +1,400 @@
+//! The timing-aware event-driven simulator (the paper's "timing-aware
+//! stage", step 1 of the two-step DelayACE computation).
+//!
+//! [`EventSim`] simulates exactly **one clock cycle** with per-edge transport
+//! delays taken from a [`TimingModel`]. The cycle starts at the clock edge:
+//! flip-flop outputs and primary inputs change at *t = 0*, waves propagate
+//! through the gates (glitches included — transport delays are not
+//! inertially filtered), and every flip-flop latches the value present at
+//! its D pin at *t = clock − setup*.
+//!
+//! A [`FaultSpec`] injects a small delay fault: one fanout edge carries an
+//! additional delay for this one cycle (the paper's single-cycle marginal
+//! defect model, §IV-B). Comparing the latched values against the fault-free
+//! next state yields the **dynamically reachable set** (Definition 3).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use delayavf_netlist::{Circuit, Consumer, EdgeId, Topology};
+use delayavf_timing::{Picos, TimingModel};
+
+use crate::cycle::write_input_nets;
+
+/// A small delay fault: `extra` picoseconds added to one fanout edge for a
+/// single cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// The faulted edge.
+    pub edge: EdgeId,
+    /// The additional delay (the paper's *d*).
+    pub extra: Picos,
+}
+
+/// Reusable timing-aware single-cycle simulator.
+///
+/// The struct owns its scratch buffers, so a fault campaign can reuse one
+/// instance per worker thread across many injections.
+#[derive(Clone, Debug)]
+pub struct EventSim<'a> {
+    circuit: &'a Circuit,
+    topo: &'a Topology,
+    timing: &'a TimingModel,
+    /// Current value at each net origin.
+    net_val: Vec<bool>,
+    /// Current value seen at each fanout-edge sink.
+    pin_val: Vec<bool>,
+    /// Event queue: (time, sequence, edge, value) with min-heap ordering.
+    heap: BinaryHeap<Reverse<(Picos, u64, u32, bool)>>,
+    seq: u64,
+    input_bits: Vec<bool>,
+}
+
+impl<'a> EventSim<'a> {
+    /// Creates a simulator bound to one circuit and timing model.
+    pub fn new(circuit: &'a Circuit, topo: &'a Topology, timing: &'a TimingModel) -> Self {
+        EventSim {
+            circuit,
+            topo,
+            timing,
+            net_val: vec![false; circuit.num_nets()],
+            pin_val: vec![false; topo.edges().len()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            input_bits: vec![false; circuit.num_nets()],
+        }
+    }
+
+    /// Simulates one cycle with full timing and returns the values latched
+    /// by every flip-flop (indexed by raw `DffId`).
+    ///
+    /// * `prev_values` — settled net values of the previous cycle (from
+    ///   [`crate::settle`] or [`crate::CycleSim::net_values`]); these are the
+    ///   signal values everywhere at the instant of the clock edge.
+    /// * `new_state` — the flip-flop values for this cycle (latched at the
+    ///   edge).
+    /// * `new_inputs` — this cycle's input port words.
+    /// * `fault` — an optional small delay fault active during this cycle.
+    ///
+    /// Without a fault, the result equals the zero-delay next state whenever
+    /// the design meets timing (which it does by construction, since the
+    /// clock period is the critical path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the circuit.
+    pub fn latch_cycle(
+        &mut self,
+        prev_values: &[bool],
+        new_state: &[bool],
+        new_inputs: &[u64],
+        fault: Option<FaultSpec>,
+    ) -> Vec<bool> {
+        assert_eq!(prev_values.len(), self.circuit.num_nets());
+        assert_eq!(new_state.len(), self.circuit.num_dffs());
+        let deadline = self
+            .timing
+            .clock_period()
+            .saturating_sub(self.timing.setup());
+
+        // Initial condition: every net and pin holds its settled value from
+        // the previous cycle.
+        self.net_val.copy_from_slice(prev_values);
+        for (i, e) in self.topo.edges().iter().enumerate() {
+            self.pin_val[i] = prev_values[e.source.index()];
+        }
+        self.heap.clear();
+        self.seq = 0;
+
+        // At t = 0 the clock edge updates flip-flop outputs and the
+        // environment presents new inputs.
+        for (id, dff) in self.circuit.dffs() {
+            let q = dff.q();
+            let v = new_state[id.index()];
+            if self.net_val[q.index()] != v {
+                self.net_val[q.index()] = v;
+                self.schedule_fanouts(q, 0, v, fault);
+            }
+        }
+        self.input_bits.copy_from_slice(prev_values);
+        write_input_nets(self.circuit, new_inputs, &mut self.input_bits);
+        for &net in self.circuit.input_nets() {
+            let v = self.input_bits[net.index()];
+            if self.net_val[net.index()] != v {
+                self.net_val[net.index()] = v;
+                self.schedule_fanouts(net, 0, v, fault);
+            }
+        }
+
+        // Propagate events until the latch deadline.
+        while let Some(&Reverse((t, _, edge_idx, value))) = self.heap.peek() {
+            if t > deadline {
+                break;
+            }
+            self.heap.pop();
+            let edge = self.topo.edge(EdgeId::from_index(edge_idx as usize));
+            let idx = edge_idx as usize;
+            if self.pin_val[idx] == value {
+                continue;
+            }
+            self.pin_val[idx] = value;
+            if let Consumer::GatePin { gate, .. } = edge.consumer {
+                let g = self.circuit.gate(gate);
+                let mut ins = [false; 3];
+                for (slot, e) in ins.iter_mut().zip(self.topo.gate_in_edges(gate)) {
+                    *slot = self.pin_val[e.index()];
+                }
+                let out = g.kind().eval(&ins[..g.kind().arity()]);
+                let out_net = g.output();
+                if self.net_val[out_net.index()] != out {
+                    self.net_val[out_net.index()] = out;
+                    self.schedule_fanouts(out_net, t, out, fault);
+                }
+            }
+        }
+        self.heap.clear();
+
+        // Latch: every flip-flop samples its D pin at the deadline.
+        self.circuit
+            .dffs()
+            .map(|(id, _)| self.pin_val[self.topo.dff_in_edge(id).index()])
+            .collect()
+    }
+
+    fn schedule_fanouts(
+        &mut self,
+        net: delayavf_netlist::NetId,
+        t: Picos,
+        value: bool,
+        fault: Option<FaultSpec>,
+    ) {
+        let delay = self.timing.net_delay(net);
+        for eid in self.topo.fanout_ids(net) {
+            let extra = match fault {
+                Some(f) if f.edge == eid => f.extra,
+                _ => 0,
+            };
+            self.seq += 1;
+            self.heap.push(Reverse((
+                t + delay + extra,
+                self.seq,
+                u32::try_from(eid.index()).expect("edge id fits u32"),
+                value,
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::settle;
+    use delayavf_netlist::{CircuitBuilder, NetId};
+    use delayavf_timing::TechLibrary;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    struct Fixture {
+        c: Circuit,
+        topo: Topology,
+        timing: TimingModel,
+    }
+
+    fn fixture(c: Circuit) -> Fixture {
+        let topo = Topology::new(&c);
+        let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+        Fixture { c, topo, timing }
+    }
+
+    /// Figure-2-style circuit: x and y feed an AND whose output lands in
+    /// register A; x also lands directly in register B.
+    fn figure2() -> (Fixture, NetId) {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.and(x, y);
+        let ra = b.reg("A", false);
+        b.drive(ra, z);
+        let rb = b.reg("B", false);
+        b.drive(rb, x);
+        b.output("a", ra.q());
+        b.output("b", rb.q());
+        let c = b.finish().unwrap();
+        (fixture(c), x)
+    }
+
+    fn edge_from(f: &Fixture, source: NetId, to_gate: bool) -> EdgeId {
+        (0..f.topo.edges().len())
+            .map(EdgeId::from_index)
+            .find(|&e| {
+                let edge = f.topo.edge(e);
+                edge.source == source
+                    && matches!(edge.consumer, Consumer::GatePin { .. }) == to_gate
+            })
+            .unwrap()
+    }
+
+    /// Runs one cycle where inputs change from `prev` to `next`.
+    fn latch_transition(
+        f: &Fixture,
+        prev_inputs: &[u64],
+        next_inputs: &[u64],
+        fault: Option<FaultSpec>,
+    ) -> Vec<bool> {
+        let state = f.c.initial_state();
+        let prev_values = settle(&f.c, &f.topo, &state, prev_inputs);
+        let mut sim = EventSim::new(&f.c, &f.topo, &f.timing);
+        sim.latch_cycle(&prev_values, &state, next_inputs, fault)
+    }
+
+    #[test]
+    fn fault_free_cycle_matches_zero_delay_semantics() {
+        let (f, _) = figure2();
+        // x: 0 -> 1, y stays 1: AND output becomes 1, so A latches 1, B
+        // latches 1.
+        let latched = latch_transition(&f, &[0, 1], &[1, 1], None);
+        assert_eq!(latched, vec![true, true]);
+    }
+
+    #[test]
+    fn small_delay_is_absorbed_by_slack() {
+        // Figure 2a: a small added delay still arrives before the clock.
+        // The direct x -> B edge has positive slack; a delay up to the slack
+        // is harmless, one picosecond more corrupts B.
+        let (f, x) = figure2();
+        let e = edge_from(&f, x, false);
+        let slack = f.timing.clock_period() - f.timing.path_through_edge(&f.c, &f.topo, e);
+        assert!(slack > 0, "the direct path must be shorter than the clock");
+        let run = |extra| {
+            latch_transition(&f, &[0, 1], &[1, 1], Some(FaultSpec { edge: e, extra }))
+        };
+        assert_eq!(run(slack), vec![true, true], "delay within slack is harmless");
+        assert_eq!(run(slack + 1), vec![true, false], "one ps past slack fails B");
+    }
+
+    #[test]
+    fn large_delay_causes_stale_latch() {
+        // Figure 2b: a large delay on x -> AND makes A miss the new value.
+        let (f, x) = figure2();
+        let e = edge_from(&f, x, true);
+        let latched = latch_transition(
+            &f,
+            &[0, 1],
+            &[1, 1],
+            Some(FaultSpec {
+                edge: e,
+                extra: f.timing.clock_period(),
+            }),
+        );
+        assert_eq!(
+            latched,
+            vec![false, true],
+            "A latches the stale AND output; B is unaffected by the x->AND edge fault"
+        );
+    }
+
+    #[test]
+    fn logical_masking_prevents_the_error() {
+        // Figure 2c: y = 0 masks the delayed x; the AND output never
+        // changes, so A latches the correct 0.
+        let (f, x) = figure2();
+        let e = edge_from(&f, x, true);
+        let latched = latch_transition(
+            &f,
+            &[0, 0],
+            &[1, 0],
+            Some(FaultSpec {
+                edge: e,
+                extra: f.timing.clock_period(),
+            }),
+        );
+        assert_eq!(latched, vec![false, true]);
+    }
+
+    #[test]
+    fn non_toggling_wire_is_immune() {
+        // Figure 2d: x does not change, so a delay on it has no effect.
+        let (f, x) = figure2();
+        let e = edge_from(&f, x, true);
+        let latched = latch_transition(
+            &f,
+            &[1, 0],
+            &[1, 1],
+            Some(FaultSpec {
+                edge: e,
+                extra: f.timing.clock_period(),
+            }),
+        );
+        assert_eq!(latched, vec![true, true]);
+    }
+
+    #[test]
+    fn one_fault_can_cause_multiple_errors() {
+        // A single edge fault on a net feeding two registers through a
+        // shared buffer corrupts both (the paper's multi-bit case, §III-A).
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let buf = b.gate(delayavf_netlist::GateKind::Buf, &[x]);
+        let r1 = b.reg("r1", false);
+        let r2 = b.reg("r2", false);
+        b.drive(r1, buf);
+        b.drive(r2, buf);
+        b.output("o1", r1.q());
+        b.output("o2", r2.q());
+        let f = fixture(b.finish().unwrap());
+        let e = edge_from(&f, x, true);
+        let latched = latch_transition(
+            &f,
+            &[0],
+            &[1],
+            Some(FaultSpec {
+                edge: e,
+                extra: f.timing.clock_period(),
+            }),
+        );
+        assert_eq!(latched, vec![false, false], "both registers err at once");
+    }
+
+    #[test]
+    fn random_circuits_agree_with_cycle_sim_when_fault_free() {
+        // Property: without a fault, timed latching equals zero-delay next
+        // state (the design meets timing at its self-derived clock).
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut b = CircuitBuilder::new();
+            let inputs = b.input_word("in", 8);
+            let regs = b.reg_word("r", 8, 0);
+            let mut nets: Vec<NetId> = inputs.bits().to_vec();
+            nets.extend_from_slice(regs.q().bits());
+            for _ in 0..60 {
+                use delayavf_netlist::GateKind::*;
+                let kind = [And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2, Not, Buf]
+                    [rng.gen_range(0..9)];
+                let pick = |rng: &mut StdRng, nets: &[NetId]| nets[rng.gen_range(0..nets.len())];
+                let ins: Vec<NetId> = (0..kind.arity()).map(|_| pick(&mut rng, &nets)).collect();
+                let out = b.gate(kind, &ins);
+                nets.push(out);
+            }
+            let d: delayavf_netlist::Word =
+                (0..8).map(|i| nets[nets.len() - 1 - i]).collect();
+            b.drive_word(&regs, &d);
+            b.output_word("o", &regs.q());
+            let f = fixture(b.finish().unwrap());
+
+            let prev_in = rng.gen_range(0..256u64);
+            let next_in = rng.gen_range(0..256u64);
+            let state: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+            let prev_values = settle(&f.c, &f.topo, &state, &[prev_in]);
+            // Zero-delay reference for the next cycle.
+            let next_values = settle(&f.c, &f.topo, &state, &[next_in]);
+            let expect: Vec<bool> = f
+                .c
+                .dffs()
+                .map(|(_, dff)| next_values[dff.d().index()])
+                .collect();
+            let mut sim = EventSim::new(&f.c, &f.topo, &f.timing);
+            let latched = sim.latch_cycle(&prev_values, &state, &[next_in], None);
+            assert_eq!(latched, expect);
+        }
+    }
+}

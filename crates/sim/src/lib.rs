@@ -1,0 +1,43 @@
+//! Simulators for [`delayavf_netlist`] circuits.
+//!
+//! Two complementary engines implement the paper's two-step methodology
+//! (§V-B):
+//!
+//! * [`CycleSim`] — a **timing-agnostic**, cycle-accurate simulator
+//!   (the role Verilator plays in the paper's artifact). It settles the
+//!   combinational logic once per cycle in topological order, supports
+//!   state-element error injection at cycle boundaries, per-cycle state
+//!   hashing for early convergence detection, and checkpoint/restore.
+//!   This engine determines whether a set of state-element errors is
+//!   *GroupACE* and also serves as the particle-strike (sAVF) injection
+//!   engine.
+//! * [`EventSim`] — a **timing-aware**, event-driven simulator for a single
+//!   clock cycle with per-edge transport delays from a
+//!   [`delayavf_timing::TimingModel`]. A small delay fault is injected as an
+//!   extra delay on one fanout edge; the values latched at the clock edge
+//!   (honoring setup time) determine the *dynamically reachable set*.
+//!
+//! Circuits interact with the outside world through an [`Environment`]
+//! (memories, MMIO consoles, ...). The environment exchanges whole port
+//! words with the simulator once per cycle; within a cycle the circuit is
+//! closed, which is what makes the paper's decomposition exact for cores
+//! whose outputs are registered.
+//!
+//! [`GoldenTrace`] records a fault-free reference execution: per-cycle
+//! packed architectural state, port activity, and environment fingerprints.
+//! Fault campaigns replay from [`Checkpoint`]s against this trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod env;
+mod event;
+mod trace;
+mod vcd;
+
+pub use cycle::{settle, CycleSim, RunSummary, StopReason};
+pub use env::{ConstEnvironment, Environment};
+pub use event::{EventSim, FaultSpec};
+pub use trace::{pack_bits, Checkpoint, GoldenTrace};
+pub use vcd::VcdWriter;

@@ -1,0 +1,265 @@
+//! VCD (Value Change Dump) waveform export.
+//!
+//! Dumps cycle-accurate waveforms of a [`crate::CycleSim`] execution for
+//! inspection in GTKWave or any other VCD viewer: all primary input and
+//! output ports plus every flip-flop, with same-named bits (`pc[0]`,
+//! `pc[1]`, ...) merged into buses.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use delayavf_netlist::{Circuit, DffId};
+
+use crate::cycle::CycleSim;
+
+/// One dumped signal: a VCD identifier plus the bit sources.
+struct Signal {
+    id: String,
+    name: String,
+    bits: Vec<Source>,
+    last: Option<Vec<bool>>,
+}
+
+/// Where a signal bit's value comes from.
+enum Source {
+    InputPortBit(usize, usize),
+    OutputPortBit(usize, usize),
+    Dff(DffId),
+}
+
+/// Streams a [`CycleSim`] execution into VCD.
+///
+/// # Example
+///
+/// ```
+/// use delayavf_netlist::{CircuitBuilder, Topology};
+/// use delayavf_sim::{ConstEnvironment, CycleSim, VcdWriter};
+///
+/// let mut b = CircuitBuilder::new();
+/// let step = b.input_word("step", 4);
+/// let count = b.reg_word("count", 4, 0);
+/// let next = b.add(&count.q(), &step);
+/// b.drive_word(&count, &next);
+/// b.output_word("count", &count.q());
+/// let circuit = b.finish()?;
+/// let topo = Topology::new(&circuit);
+///
+/// let mut out = Vec::new();
+/// let mut vcd = VcdWriter::new(&mut out, &circuit)?;
+/// let mut sim = CycleSim::new(&circuit, &topo);
+/// let mut env = ConstEnvironment::new(vec![1]);
+/// for _ in 0..8 {
+///     sim.step(&mut env);
+///     vcd.sample(&sim)?;
+/// }
+/// vcd.finish()?;
+/// assert!(String::from_utf8_lossy(&out).contains("$var"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct VcdWriter<'c, W: Write> {
+    sink: W,
+    circuit: &'c Circuit,
+    signals: Vec<Signal>,
+}
+
+fn ident(mut n: usize) -> String {
+    // Printable VCD identifier characters: '!'..='~'.
+    let mut s = String::new();
+    loop {
+        s.push(char::from(b'!' + (n % 94) as u8));
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Splits `pc[3]` into (`pc`, 3); returns `None` for unindexed names.
+fn split_indexed(name: &str) -> Option<(&str, usize)> {
+    let open = name.rfind('[')?;
+    let close = name.rfind(']')?;
+    if close != name.len() - 1 || open + 1 >= close {
+        return None;
+    }
+    let idx = name[open + 1..close].parse().ok()?;
+    Some((&name[..open], idx))
+}
+
+impl<'c, W: Write> VcdWriter<'c, W> {
+    /// Writes the VCD header for `circuit` and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W, circuit: &'c Circuit) -> io::Result<Self> {
+        let mut signals: Vec<Signal> = Vec::new();
+        for (pi, port) in circuit.input_ports().iter().enumerate() {
+            signals.push(Signal {
+                id: String::new(),
+                name: port.name().replace('/', "."),
+                bits: (0..port.width()).map(|b| Source::InputPortBit(pi, b)).collect(),
+                last: None,
+            });
+        }
+        for (pi, port) in circuit.output_ports().iter().enumerate() {
+            signals.push(Signal {
+                id: String::new(),
+                name: port.name().replace('/', "."),
+                bits: (0..port.width())
+                    .map(|b| Source::OutputPortBit(pi, b))
+                    .collect(),
+                last: None,
+            });
+        }
+        // Group flip-flops into buses by their indexed names.
+        let mut buses: BTreeMap<String, Vec<(usize, DffId)>> = BTreeMap::new();
+        for (id, dff) in circuit.dffs() {
+            match split_indexed(dff.name()) {
+                Some((base, idx)) => buses.entry(base.to_owned()).or_default().push((idx, id)),
+                None => buses.entry(dff.name().to_owned()).or_default().push((0, id)),
+            }
+        }
+        for (base, mut bits) in buses {
+            bits.sort_unstable_by_key(|&(idx, _)| idx);
+            signals.push(Signal {
+                id: String::new(),
+                name: base.replace('/', "."),
+                bits: bits.into_iter().map(|(_, d)| Source::Dff(d)).collect(),
+                last: None,
+            });
+        }
+        for (n, sig) in signals.iter_mut().enumerate() {
+            sig.id = ident(n);
+        }
+
+        writeln!(sink, "$timescale 1ns $end")?;
+        writeln!(sink, "$scope module design $end")?;
+        for sig in &signals {
+            writeln!(sink, "$var wire {} {} {} $end", sig.bits.len(), sig.id, sig.name)?;
+        }
+        writeln!(sink, "$upscope $end")?;
+        writeln!(sink, "$enddefinitions $end")?;
+        Ok(VcdWriter {
+            sink,
+            circuit,
+            signals,
+        })
+    }
+
+    /// Records the simulator's current cycle (call once after each
+    /// [`CycleSim::step`]; only changed signals are emitted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn sample(&mut self, sim: &CycleSim<'_>) -> io::Result<()> {
+        let circuit = self.circuit;
+        writeln!(self.sink, "#{}", sim.cycle())?;
+        for sig in &mut self.signals {
+            let values: Vec<bool> = sig
+                .bits
+                .iter()
+                .map(|src| match *src {
+                    Source::InputPortBit(p, b) => (sim.last_inputs()[p] >> b) & 1 == 1,
+                    Source::OutputPortBit(p, b) => (sim.last_outputs()[p] >> b) & 1 == 1,
+                    Source::Dff(d) => {
+                        let net = circuit.dff(d).q();
+                        sim.net_values()[net.index()]
+                    }
+                })
+                .collect();
+            if sig.last.as_ref() == Some(&values) {
+                continue;
+            }
+            if values.len() == 1 {
+                writeln!(self.sink, "{}{}", u8::from(values[0]), sig.id)?;
+            } else {
+                let bits: String = values.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                writeln!(self.sink, "b{} {}", bits, sig.id)?;
+            }
+            sig.last = Some(values);
+        }
+        Ok(())
+    }
+
+    /// Flushes the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ConstEnvironment;
+    use delayavf_netlist::{CircuitBuilder, Topology};
+
+    fn counter() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let step = b.input_word("step", 4);
+        let count = b.reg_word("count", 4, 0);
+        let next = b.add(&count.q(), &step);
+        b.drive_word(&count, &next);
+        b.output_word("count", &count.q());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn header_declares_buses() {
+        let c = counter();
+        let mut out = Vec::new();
+        let vcd = VcdWriter::new(&mut out, &c).unwrap();
+        vcd.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$var wire 4"), "{text}");
+        assert!(text.contains("count"), "{text}");
+        assert!(text.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn samples_emit_only_changes() {
+        let c = counter();
+        let topo = Topology::new(&c);
+        let mut out = Vec::new();
+        let mut vcd = VcdWriter::new(&mut out, &c).unwrap();
+        let mut sim = CycleSim::new(&c, &topo);
+        let mut env = ConstEnvironment::new(vec![1]);
+        for _ in 0..4 {
+            sim.step(&mut env);
+            vcd.sample(&sim).unwrap();
+        }
+        vcd.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Four timestamps, counter changes each cycle.
+        for t in 1..=4 {
+            assert!(text.contains(&format!("#{t}")), "{text}");
+        }
+        // The constant `step` input appears once (first sample) and is then
+        // suppressed.
+        let step_changes = text.lines().filter(|l| l.starts_with("b1000 ") || l.contains("b0001")).count();
+        assert!(step_changes >= 1);
+    }
+
+    #[test]
+    fn identifiers_are_printable_and_unique() {
+        let ids: Vec<String> = (0..300).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.iter().all(|i| i.bytes().all(|b| (b'!'..=b'~').contains(&b))));
+    }
+
+    #[test]
+    fn indexed_names_split() {
+        assert_eq!(split_indexed("pc[3]"), Some(("pc", 3)));
+        assert_eq!(split_indexed("top/alu/acc[12]"), Some(("top/alu/acc", 12)));
+        assert_eq!(split_indexed("halt_flag"), None);
+        assert_eq!(split_indexed("weird]"), None);
+    }
+}

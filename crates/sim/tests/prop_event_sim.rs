@@ -1,0 +1,163 @@
+//! Property tests for the timing-aware event simulator on randomly
+//! generated circuits:
+//!
+//! 1. fault-free timed latching equals zero-delay settling (the design
+//!    meets timing at its self-derived clock period),
+//! 2. a fault with zero extra delay changes nothing,
+//! 3. a fault larger than the clock period equals "frozen edge" semantics
+//!    computed by an independent zero-delay oracle.
+
+use delayavf_netlist::{
+    Circuit, CircuitBuilder, Consumer, Driver, EdgeId, GateKind, NetId, Topology, Word,
+};
+use delayavf_sim::{settle, EventSim, FaultSpec};
+use delayavf_timing::{TechLibrary, TimingModel};
+use proptest::prelude::*;
+
+/// Specification of one random gate: kind index plus input selectors.
+type GateSpec = (u8, u16, u16, u16);
+
+fn random_circuit(n_inputs: usize, n_regs: usize, gates: &[GateSpec]) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let inputs = b.input_word("in", n_inputs);
+    let regs = b.reg_word("r", n_regs, 0);
+    let mut nets: Vec<NetId> = inputs.bits().to_vec();
+    nets.extend_from_slice(regs.q().bits());
+    for &(kind, i0, i1, i2) in gates {
+        let kinds = [
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+        ];
+        let k = kinds[usize::from(kind) % kinds.len()];
+        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
+        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
+        nets.push(b.gate(k, &ins));
+    }
+    // Feed registers from the most recently created nets.
+    let d: Word = (0..n_regs).map(|i| nets[nets.len() - 1 - i]).collect();
+    b.drive_word(&regs, &d);
+    b.output_word("o", &regs.q());
+    b.finish().expect("acyclic by construction")
+}
+
+/// Zero-delay latch with one edge frozen to `frozen_val`.
+fn frozen_latch(
+    c: &Circuit,
+    topo: &Topology,
+    state: &[bool],
+    inputs: &[u64],
+    edge: EdgeId,
+    frozen_val: bool,
+) -> Vec<bool> {
+    let frozen = topo.edge(edge);
+    let mut vals = vec![false; c.num_nets()];
+    for (id, net) in c.nets() {
+        if let Driver::Const(v) = net.driver() {
+            vals[id.index()] = v;
+        }
+    }
+    for (port, &word) in c.input_ports().iter().zip(inputs) {
+        for (bit, &net) in port.nets().iter().enumerate() {
+            vals[net.index()] = (word >> bit) & 1 == 1;
+        }
+    }
+    for (id, dff) in c.dffs() {
+        vals[dff.q().index()] = state[id.index()];
+    }
+    for &g in topo.eval_order() {
+        let gate = c.gate(g);
+        let mut ins = [false; 3];
+        for (k, &inp) in gate.inputs().iter().enumerate() {
+            let frozen_pin = matches!(
+                frozen.consumer,
+                Consumer::GatePin { gate: fg, pin } if fg == g && usize::from(pin) == k
+            );
+            ins[k] = if frozen_pin { frozen_val } else { vals[inp.index()] };
+        }
+        vals[gate.output().index()] = gate.kind().eval(&ins[..gate.kind().arity()]);
+    }
+    c.dffs()
+        .map(|(id, dff)| {
+            if matches!(frozen.consumer, Consumer::DffD(f) if f == id) {
+                frozen_val
+            } else {
+                vals[dff.d().index()]
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fault_free_event_sim_equals_zero_delay_semantics(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..60),
+        prev_in: u64,
+        new_in: u64,
+        state_bits: u8,
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+        let state: Vec<bool> = (0..8).map(|i| (state_bits >> i) & 1 == 1).collect();
+        let prev = settle(&c, &topo, &state, &[prev_in & 0xff]);
+        let next = settle(&c, &topo, &state, &[new_in & 0xff]);
+        let expect: Vec<bool> = c.dffs().map(|(_, d)| next[d.d().index()]).collect();
+        let mut ev = EventSim::new(&c, &topo, &timing);
+        let latched = ev.latch_cycle(&prev, &state, &[new_in & 0xff], None);
+        prop_assert_eq!(latched, expect);
+    }
+
+    #[test]
+    fn zero_extra_delay_is_harmless(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..40),
+        new_in: u64,
+        edge_sel: u16,
+        state_bits: u8,
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+        let state: Vec<bool> = (0..8).map(|i| (state_bits >> i) & 1 == 1).collect();
+        let prev = settle(&c, &topo, &state, &[0]);
+        let edge = EdgeId::from_index(usize::from(edge_sel) % topo.edges().len());
+        let mut ev = EventSim::new(&c, &topo, &timing);
+        let clean = ev.latch_cycle(&prev, &state, &[new_in & 0xff], None);
+        let faulty = ev.latch_cycle(&prev, &state, &[new_in & 0xff], Some(FaultSpec { edge, extra: 0 }));
+        prop_assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn huge_delay_equals_frozen_edge_oracle(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..60),
+        prev_in: u64,
+        new_in: u64,
+        edge_sel: u16,
+        state_bits: u8,
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+        let state: Vec<bool> = (0..8).map(|i| (state_bits >> i) & 1 == 1).collect();
+        let prev = settle(&c, &topo, &state, &[prev_in & 0xff]);
+        let edge = EdgeId::from_index(usize::from(edge_sel) % topo.edges().len());
+        let frozen_val = prev[topo.edge(edge).source.index()];
+        let oracle = frozen_latch(&c, &topo, &state, &[new_in & 0xff], edge, frozen_val);
+        let mut ev = EventSim::new(&c, &topo, &timing);
+        let latched = ev.latch_cycle(
+            &prev,
+            &state,
+            &[new_in & 0xff],
+            Some(FaultSpec { edge, extra: timing.clock_period() * 4 }),
+        );
+        prop_assert_eq!(latched, oracle);
+    }
+}

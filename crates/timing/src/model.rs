@@ -1,0 +1,460 @@
+//! Static timing analysis over a circuit.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use delayavf_netlist::{Circuit, Consumer, DffId, Driver, EdgeId, NetId, Topology};
+
+use crate::techlib::TechLibrary;
+use crate::Picos;
+
+/// The result of static timing analysis: per-edge delays, arrival times,
+/// downstream max-path times, and the derived clock period.
+///
+/// The clock period is set to the design's critical path (the longest
+/// register-to-register or register-to-output path, including flip-flop
+/// setup), mirroring the paper's experimental setup ("the clock period of
+/// the Ibex core is set to equal the length of the longest path in the
+/// entire design", §VI-A).
+#[derive(Clone, Debug)]
+pub struct TimingModel {
+    /// Per-net propagation delay of each of the net's fanout edges
+    /// (driver cell delay under the net's fanout load, plus wire delay).
+    net_delay: Vec<Picos>,
+    /// Per-net latest arrival time at the net's origin, with flip-flop
+    /// outputs and primary inputs launching at t = 0.
+    arrival: Vec<Picos>,
+    /// Per-net longest continuation from the net's origin to any timing
+    /// endpoint (flip-flop D pin including setup, or primary output).
+    maxdown: Vec<Picos>,
+    /// Per-net topological index (producers strictly before consumers).
+    topo_index: Vec<u32>,
+    clock_period: Picos,
+    setup: Picos,
+}
+
+impl TimingModel {
+    /// Runs static timing analysis.
+    ///
+    /// Cost is linear in the number of edges.
+    pub fn analyze(c: &Circuit, topo: &Topology, lib: &TechLibrary) -> Self {
+        let n = c.num_nets();
+        let mut net_delay = vec![0 as Picos; n];
+        for (id, _) in c.nets() {
+            let fanout = topo.fanouts(id).len();
+            net_delay[id.index()] = lib.edge_delay(c, id, fanout);
+        }
+
+        // Topological index: sources at 0, gate outputs in eval order.
+        let mut topo_index = vec![0u32; n];
+        for (i, &g) in topo.eval_order().iter().enumerate() {
+            topo_index[c.gate(g).output().index()] =
+                u32::try_from(i + 1).expect("gate count fits u32");
+        }
+
+        // Forward pass: latest arrival at each net origin.
+        let mut arrival = vec![0 as Picos; n];
+        for &g in topo.eval_order() {
+            let gate = c.gate(g);
+            let t = gate
+                .inputs()
+                .iter()
+                .map(|&inp| arrival[inp.index()] + net_delay[inp.index()])
+                .max()
+                .expect("gates have at least one input");
+            arrival[gate.output().index()] = t;
+        }
+
+        // Backward pass: longest continuation to an endpoint.
+        let setup = lib.setup();
+        let mut maxdown = vec![0 as Picos; n];
+        let continuation = |maxdown: &[Picos], consumer: Consumer| -> Picos {
+            match consumer {
+                Consumer::GatePin { gate, .. } => maxdown[c.gate(gate).output().index()],
+                Consumer::DffD(_) => setup,
+                Consumer::OutputBit { .. } => 0,
+            }
+        };
+        for &g in topo.eval_order().iter().rev() {
+            let out = c.gate(g).output();
+            let m = topo
+                .fanouts(out)
+                .iter()
+                .map(|e| net_delay[out.index()] + continuation(&maxdown, e.consumer))
+                .max()
+                .unwrap_or(0);
+            maxdown[out.index()] = m;
+        }
+        for (id, net) in c.nets() {
+            if !matches!(net.driver(), Driver::Gate(_)) {
+                let m = topo
+                    .fanouts(id)
+                    .iter()
+                    .map(|e| net_delay[id.index()] + continuation(&maxdown, e.consumer))
+                    .max()
+                    .unwrap_or(0);
+                maxdown[id.index()] = m;
+            }
+        }
+
+        let clock_period = (0..n)
+            .map(|i| arrival[i] + maxdown[i])
+            .max()
+            .unwrap_or(0)
+            .max(1);
+
+        TimingModel {
+            net_delay,
+            arrival,
+            maxdown,
+            topo_index,
+            clock_period,
+            setup,
+        }
+    }
+
+    /// The derived clock period (the design's critical path length, plus
+    /// any guardband applied with [`TimingModel::with_guardband`]).
+    #[inline]
+    pub fn clock_period(&self) -> Picos {
+        self.clock_period
+    }
+
+    /// Returns a copy of this model with the clock period stretched by
+    /// `percent` beyond the critical path — a **timing guardband**, the
+    /// circuit-level mitigation knob for small delay faults: extra slack
+    /// absorbs larger `d` before any path misses the latch deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is negative (clocking faster than the critical
+    /// path would break the fault-free design).
+    pub fn with_guardband(&self, percent: f64) -> Self {
+        assert!(percent >= 0.0, "guardband must not shrink the clock");
+        let mut out = self.clone();
+        out.clock_period = (self.clock_period as f64 * (1.0 + percent / 100.0)).round() as Picos;
+        out
+    }
+
+    /// The flip-flop setup time of the library used for analysis.
+    #[inline]
+    pub fn setup(&self) -> Picos {
+        self.setup
+    }
+
+    /// The propagation delay of every fanout edge of `net`.
+    #[inline]
+    pub fn net_delay(&self, net: NetId) -> Picos {
+        self.net_delay[net.index()]
+    }
+
+    /// The propagation delay of a specific edge.
+    #[inline]
+    pub fn edge_delay(&self, topo: &Topology, edge: EdgeId) -> Picos {
+        self.net_delay[topo.edge(edge).source.index()]
+    }
+
+    /// Latest arrival time at the origin of `net` (0 for sources).
+    #[inline]
+    pub fn arrival(&self, net: NetId) -> Picos {
+        self.arrival[net.index()]
+    }
+
+    /// Length of the longest complete source-to-endpoint path that traverses
+    /// `edge` (including endpoint setup when it ends at a flip-flop).
+    ///
+    /// A small delay fault of duration `d` on `edge` can statically reach at
+    /// least one state element iff `path_through_edge(..) + d` exceeds the
+    /// clock period; this is the cheap pre-filter used before the per-DFF
+    /// query.
+    pub fn path_through_edge(&self, c: &Circuit, topo: &Topology, edge: EdgeId) -> Picos {
+        let e = topo.edge(edge);
+        let pin = self.arrival[e.source.index()] + self.net_delay[e.source.index()];
+        let cont = match e.consumer {
+            Consumer::GatePin { gate, .. } => self.maxdown[c.gate(gate).output().index()],
+            Consumer::DffD(_) => self.setup,
+            Consumer::OutputBit { .. } => 0,
+        };
+        pin + cont
+    }
+
+    /// Extracts one critical path: the sequence of nets along a longest
+    /// source-to-endpoint path (sources first), each with its arrival time.
+    ///
+    /// Useful for understanding what sets the clock period — on the studied
+    /// core this is typically the chain through the register-file read mux,
+    /// the ALU carry chain and the write-back mux.
+    pub fn critical_path(&self, c: &Circuit, topo: &Topology) -> Vec<(NetId, Picos)> {
+        // Find the endpoint edge achieving the critical path.
+        let mut best: Option<(NetId, Picos)> = None;
+        for i in 0..topo.edges().len() {
+            let e = topo.edge(delayavf_netlist::EdgeId::from_index(i));
+            let endpoint_cont = match e.consumer {
+                Consumer::DffD(_) => self.setup,
+                Consumer::OutputBit { .. } => 0,
+                Consumer::GatePin { .. } => continue,
+            };
+            let len = self.arrival[e.source.index()] + self.net_delay[e.source.index()] + endpoint_cont;
+            if best.is_none_or(|(_, b)| len > b) {
+                best = Some((e.source, len));
+            }
+        }
+        let Some((mut net, _)) = best else {
+            return Vec::new();
+        };
+        // Walk backward through gates, always taking an input whose arrival
+        // plus edge delay equals this net's arrival.
+        let mut path = vec![(net, self.arrival[net.index()])];
+        while let Driver::Gate(g) = c.net(net).driver() {
+            let gate = c.gate(g);
+            let target = self.arrival[net.index()];
+            let pred = gate
+                .inputs()
+                .iter()
+                .copied()
+                .find(|&i| self.arrival[i.index()] + self.net_delay[i.index()] == target)
+                .expect("some input achieves the arrival time");
+            net = pred;
+            path.push((net, self.arrival[net.index()]));
+        }
+        path.reverse();
+        path
+    }
+
+    /// The **statically reachable set** (paper Definition 2): the flip-flops
+    /// that terminate at least one path through `edge` whose length exceeds
+    /// the clock period once an additional delay of `extra` is inserted at
+    /// the edge.
+    ///
+    /// Runs a longest-path relaxation over the fanout cone of the edge's
+    /// sink, so cost is proportional to the affected cone, not the circuit.
+    pub fn statically_reachable(
+        &self,
+        c: &Circuit,
+        topo: &Topology,
+        edge: EdgeId,
+        extra: Picos,
+    ) -> Vec<DffId> {
+        let e = topo.edge(edge);
+        let pin_time = self.arrival[e.source.index()] + self.net_delay[e.source.index()] + extra;
+        let mut reachable = Vec::new();
+        // Latest fault-affected arrival per net origin.
+        let mut fault_time: HashMap<NetId, Picos> = HashMap::new();
+        let mut heap: BinaryHeap<(Reverse<u32>, NetId)> = BinaryHeap::new();
+
+        let visit = |consumer: Consumer,
+                         time: Picos,
+                         fault_time: &mut HashMap<NetId, Picos>,
+                         heap: &mut BinaryHeap<(Reverse<u32>, NetId)>,
+                         reachable: &mut Vec<DffId>| {
+            match consumer {
+                Consumer::DffD(f) => {
+                    if time + self.setup > self.clock_period {
+                        reachable.push(f);
+                    }
+                }
+                Consumer::GatePin { gate, .. } => {
+                    let out = c.gate(gate).output();
+                    match fault_time.entry(out) {
+                        Entry::Vacant(v) => {
+                            v.insert(time);
+                            heap.push((Reverse(self.topo_index[out.index()]), out));
+                        }
+                        Entry::Occupied(mut o) => {
+                            if *o.get() < time {
+                                o.insert(time);
+                            }
+                        }
+                    }
+                }
+                // Primary outputs are registered in the studied designs; a
+                // late output is not a state-element error by itself.
+                Consumer::OutputBit { .. } => {}
+            }
+        };
+
+        visit(
+            e.consumer,
+            pin_time,
+            &mut fault_time,
+            &mut heap,
+            &mut reachable,
+        );
+        while let Some((_, net)) = heap.pop() {
+            let depart = fault_time[&net] + self.net_delay[net.index()];
+            for eo in topo.fanouts(net) {
+                visit(
+                    eo.consumer,
+                    depart,
+                    &mut fault_time,
+                    &mut heap,
+                    &mut reachable,
+                );
+            }
+        }
+        reachable.sort_unstable();
+        reachable.dedup();
+        reachable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_netlist::CircuitBuilder;
+
+    /// Chain: in -> NOT -> NOT -> NOT -> DFF, plus a short side path
+    /// in -> DFF2. Unit library: every gate 1000 ps.
+    fn chain() -> (Circuit, Topology, TimingModel, Vec<EdgeId>) {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        let r = b.reg("deep", false);
+        b.drive(r, n3);
+        let r2 = b.reg("shallow", false);
+        b.drive(r2, a);
+        b.output("q", r.q());
+        b.output("q2", r2.q());
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let tm = TimingModel::analyze(&c, &topo, &TechLibrary::unit());
+        let all_edges: Vec<EdgeId> = (0..topo.edges().len()).map(EdgeId::from_index).collect();
+        (c, topo, tm, all_edges)
+    }
+
+    #[test]
+    fn clock_period_is_longest_path() {
+        let (_, _, tm, _) = chain();
+        // Longest path: NOT -> NOT -> NOT each contributing 1000 ps on their
+        // output edges; input and DFF-q edges are free under the unit lib
+        // only for inputs (DFFs cost 1000). Critical: a->n1 (0) + n1 (1000)
+        // + n2 (1000) + n3 (1000) = 3000.
+        assert_eq!(tm.clock_period(), 3000);
+    }
+
+    #[test]
+    fn arrival_times_accumulate_along_chain() {
+        let (c, _, tm, _) = chain();
+        // Gate outputs in creation order: n1, n2, n3.
+        let mut arrivals: Vec<Picos> = c.gates().map(|(_, g)| tm.arrival(g.output())).collect();
+        arrivals.sort_unstable();
+        assert_eq!(arrivals, vec![0, 1000, 2000]);
+    }
+
+    #[test]
+    fn path_through_edge_spans_full_paths() {
+        let (c, topo, tm, edges) = chain();
+        let deep = c.dffs().find(|(_, d)| d.name() == "deep").unwrap().0;
+        // The edge into the deep DFF's D pin lies on the 3000 ps path.
+        let e_into_deep = edges
+            .iter()
+            .copied()
+            .find(|&e| matches!(topo.edge(e).consumer, Consumer::DffD(f) if f == deep))
+            .unwrap();
+        assert_eq!(tm.path_through_edge(&c, &topo, e_into_deep), 3000);
+    }
+
+    #[test]
+    fn statically_reachable_depends_on_slack() {
+        let (c, topo, tm, edges) = chain();
+        let deep = c.dffs().find(|(_, d)| d.name() == "deep").unwrap().0;
+        let shallow = c.dffs().find(|(_, d)| d.name() == "shallow").unwrap().0;
+        // Edge from input `a` to the first NOT: full path 3000 = clock, so
+        // zero slack; any positive extra delay makes `deep` reachable.
+        let first = edges
+            .iter()
+            .copied()
+            .find(|&e| {
+                topo.edge(e).source == c.input_nets()[0]
+                    && matches!(topo.edge(e).consumer, Consumer::GatePin { .. })
+            })
+            .unwrap();
+        assert_eq!(tm.statically_reachable(&c, &topo, first, 0), vec![]);
+        assert_eq!(tm.statically_reachable(&c, &topo, first, 1), vec![deep]);
+        // Edge from input `a` directly to the shallow DFF has 3000 ps of
+        // slack: small delays reach nothing, a delay > 3000 reaches it.
+        let direct = edges
+            .iter()
+            .copied()
+            .find(|&e| matches!(topo.edge(e).consumer, Consumer::DffD(f) if f == shallow))
+            .unwrap();
+        assert_eq!(tm.statically_reachable(&c, &topo, direct, 2999), vec![]);
+        assert_eq!(
+            tm.statically_reachable(&c, &topo, direct, 3001),
+            vec![shallow]
+        );
+    }
+
+    #[test]
+    fn critical_path_walks_the_longest_chain() {
+        let (c, topo, tm, _) = chain();
+        let path = tm.critical_path(&c, &topo);
+        // in -> n1 -> n2 -> n3: four nets, arrivals 0, 0, 1000, 2000.
+        assert_eq!(path.len(), 4);
+        let arrivals: Vec<_> = path.iter().map(|&(_, t)| t).collect();
+        assert_eq!(arrivals, vec![0, 0, 1000, 2000]);
+        // The path ends at a net whose full length equals the clock.
+        let (last, t) = *path.last().unwrap();
+        assert_eq!(t + tm.net_delay(last) + tm.setup(), tm.clock_period());
+        // Sources first: the first net is not gate-driven.
+        assert!(!matches!(c.net(path[0].0).driver(), Driver::Gate(_)));
+    }
+
+    #[test]
+    fn guardband_stretches_the_clock_and_shrinks_reach() {
+        let (c, topo, tm, edges) = chain();
+        let relaxed = tm.with_guardband(50.0);
+        assert_eq!(relaxed.clock_period(), 4500);
+        // An extra delay that reaches a DFF at the tight clock is absorbed
+        // by the guardband.
+        let first = edges
+            .iter()
+            .copied()
+            .find(|&e| {
+                topo.edge(e).source == c.input_nets()[0]
+                    && matches!(topo.edge(e).consumer, Consumer::GatePin { .. })
+            })
+            .unwrap();
+        assert_eq!(tm.statically_reachable(&c, &topo, first, 100).len(), 1);
+        assert!(relaxed.statically_reachable(&c, &topo, first, 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "guardband")]
+    fn negative_guardband_panics() {
+        let (_, _, tm, _) = chain();
+        let _ = tm.with_guardband(-5.0);
+    }
+
+    #[test]
+    fn fanout_reconvergence_reaches_both_dffs() {
+        // a -> x (XOR with itself is silly; use two sinks): x drives two
+        // separate chains of different depth ending in two DFFs.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.not(a);
+        let long1 = b.not(x);
+        let long2 = b.not(long1);
+        let r_long = b.reg("long", false);
+        b.drive(r_long, long2);
+        let r_short = b.reg("short", false);
+        b.drive(r_short, x);
+        b.output("o1", r_long.q());
+        b.output("o2", r_short.q());
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let tm = TimingModel::analyze(&c, &topo, &TechLibrary::unit());
+        assert_eq!(tm.clock_period(), 3000);
+        // The a->NOT edge feeds both DFFs; with a large extra delay both
+        // become statically reachable through the same single fault.
+        let e = (0..topo.edges().len())
+            .map(EdgeId::from_index)
+            .find(|&e| topo.edge(e).source == c.input_nets()[0])
+            .unwrap();
+        let reach = tm.statically_reachable(&c, &topo, e, 2500);
+        assert_eq!(reach.len(), 2, "one SDF can statically reach many DFFs");
+    }
+}

@@ -1,0 +1,164 @@
+//! Path-length distributions (the paper's Figure 6).
+//!
+//! For every injectable edge of a structure we record the length of the
+//! longest complete path traversing that edge, normalized to the clock
+//! period. This is the quantity that governs static reachability (a fault of
+//! duration *d* on edge *e* reaches a state element iff the longest path
+//! through *e* plus *d* exceeds the clock), so the histogram plays exactly
+//! the role of the paper's per-structure path distributions.
+
+use std::fmt;
+
+use delayavf_netlist::{Circuit, EdgeId, Topology};
+
+use crate::model::TimingModel;
+use crate::Picos;
+
+/// A histogram of longest-path-through-edge lengths, as a fraction of the
+/// clock period.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathHistogram {
+    counts: Vec<usize>,
+    clock_period: Picos,
+}
+
+impl PathHistogram {
+    /// Builds the histogram for the given edges with `bins` equal-width
+    /// buckets spanning `[0, clock_period]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn from_edges(
+        c: &Circuit,
+        topo: &Topology,
+        model: &TimingModel,
+        edges: &[EdgeId],
+        bins: usize,
+    ) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let clock = model.clock_period();
+        let mut counts = vec![0usize; bins];
+        for &e in edges {
+            let len = model.path_through_edge(c, topo, e).min(clock);
+            // Bin index in [0, bins): paths at exactly the clock land in the
+            // last bin.
+            let idx = ((len as u128 * bins as u128) / (clock as u128 + 1)) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        PathHistogram {
+            counts,
+            clock_period: clock,
+        }
+    }
+
+    /// Per-bin counts, lowest path lengths first.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of edges recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The clock period the lengths are normalized against.
+    pub fn clock_period(&self) -> Picos {
+        self.clock_period
+    }
+
+    /// Fraction of edges whose longest path is at least `frac` of the clock
+    /// period (`frac` in `[0, 1]`). These are the edges a fault of duration
+    /// `d = (1 - frac) * clock` can statically reach something through.
+    pub fn fraction_at_least(&self, frac: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let bins = self.counts.len();
+        let first = ((frac * bins as f64).floor() as usize).min(bins.saturating_sub(1));
+        let hits: usize = self.counts[first..].iter().sum();
+        hits as f64 / total as f64
+    }
+
+    /// The per-bin fractions (counts normalized by the total).
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+impl fmt::Display for PathHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        let bins = self.counts.len();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = 100 * i / bins;
+            let hi = 100 * (i + 1) / bins;
+            let pct = 100.0 * c as f64 / total as f64;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            writeln!(f, "{lo:3}-{hi:3}% of clock | {pct:6.2}% {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::techlib::TechLibrary;
+    use delayavf_netlist::CircuitBuilder;
+
+    fn chain_histogram(bins: usize) -> PathHistogram {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        let r = b.reg("r", false);
+        b.drive(r, n2);
+        b.output("q", r.q());
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let model = TimingModel::analyze(&c, &topo, &TechLibrary::unit());
+        let edges: Vec<EdgeId> = (0..topo.edges().len()).map(EdgeId::from_index).collect();
+        PathHistogram::from_edges(&c, &topo, &model, &edges, bins)
+    }
+
+    #[test]
+    fn histogram_covers_all_edges() {
+        let h = chain_histogram(10);
+        // Edges: a->n1, n1->n2, n2->dff.d, q->output = 4.
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.clock_period(), 2000);
+    }
+
+    #[test]
+    fn chain_edges_sit_on_critical_path() {
+        let h = chain_histogram(10);
+        // The three edges on the a->n1->n2->dff path all see the full
+        // 2000 ps path; the q->output edge sees 1000 (dff clk-to-q).
+        assert_eq!(h.counts()[9], 3);
+        assert_eq!(h.counts()[4], 1);
+        assert!((h.fraction_at_least(0.9) - 0.75).abs() < 1e-9);
+        assert!((h.fraction_at_least(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let h = chain_histogram(7);
+        let sum: f64 = h.normalized().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_one_line_per_bin() {
+        let h = chain_histogram(5);
+        assert_eq!(h.to_string().lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = chain_histogram(0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Technology libraries: per-cell delay parameters.
+
+use delayavf_netlist::{Circuit, Driver, GateKind, NetId};
+
+use crate::Picos;
+
+/// Delay parameters of one combinational cell.
+///
+/// An edge driven by this cell has delay `intrinsic + per_load * fanout`,
+/// where `fanout` is the number of sinks on the driven net — the standard
+/// pre-layout load model the paper adopts (§VI-A "Modeling Delays": driver
+/// strength plus downstream capacitive load, no interconnect RC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellTiming {
+    /// Fixed propagation delay of the cell.
+    pub intrinsic: Picos,
+    /// Additional delay per sink driven.
+    pub per_load: Picos,
+}
+
+impl CellTiming {
+    /// Delay of this cell when driving `fanout` sinks.
+    #[inline]
+    pub fn delay(self, fanout: usize) -> Picos {
+        self.intrinsic + self.per_load * fanout as Picos
+    }
+}
+
+/// A technology library: delays for each [`GateKind`], flip-flop timing,
+/// and a fixed per-connection wire delay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TechLibrary {
+    name: String,
+    cells: [CellTiming; 9],
+    dff_clk_to_q: CellTiming,
+    setup: Picos,
+    wire: Picos,
+}
+
+impl TechLibrary {
+    /// Builds a library from explicit parameters.
+    ///
+    /// `cells` is indexed in [`GateKind::ALL`] order.
+    pub fn new(
+        name: impl Into<String>,
+        cells: [CellTiming; 9],
+        dff_clk_to_q: CellTiming,
+        setup: Picos,
+        wire: Picos,
+    ) -> Self {
+        TechLibrary {
+            name: name.into(),
+            cells,
+            dff_clk_to_q,
+            setup,
+            wire,
+        }
+    }
+
+    /// A library whose delay ratios model the NanGate 45nm open cell
+    /// library's typical corner: inverting stacks (NAND/NOR) are fastest,
+    /// XOR/XNOR and MUX cost roughly two stages, and flip-flops have a
+    /// substantial clock-to-Q.
+    ///
+    /// Absolute values are representative, not extracted: the DelayAVF
+    /// methodology only depends on delays *relative* to the self-derived
+    /// clock period.
+    pub fn nangate45_like() -> Self {
+        use GateKind::*;
+        let mut cells = [CellTiming {
+            intrinsic: 0,
+            per_load: 0,
+        }; 9];
+        let spec: [(GateKind, u64, u64); 9] = [
+            (Buf, 18, 3),
+            (Not, 10, 3),
+            (And2, 22, 4),
+            (Or2, 24, 4),
+            (Nand2, 14, 4),
+            (Nor2, 16, 5),
+            (Xor2, 32, 6),
+            (Xnor2, 32, 6),
+            (Mux2, 36, 6),
+        ];
+        for (kind, intrinsic, per_load) in spec {
+            cells[Self::slot(kind)] = CellTiming {
+                intrinsic,
+                per_load,
+            };
+        }
+        TechLibrary {
+            name: "nangate45-like".to_owned(),
+            cells,
+            dff_clk_to_q: CellTiming {
+                intrinsic: 55,
+                per_load: 4,
+            },
+            setup: 35,
+            wire: 2,
+        }
+    }
+
+    /// A copy of this library with every delay scaled by `num / den`
+    /// (setup and wire delays included). Useful for modeling process
+    /// corners: e.g. `lib.scaled(13, 10)` for a slow corner, `lib.scaled(3,
+    /// 4)` for a fast one. The DelayAVF methodology can then be re-applied
+    /// per corner, as the paper suggests for varying operating conditions
+    /// (§IV-A).
+    pub fn scaled(&self, num: u64, den: u64) -> Self {
+        assert!(den > 0, "scale denominator must be positive");
+        let scale = |t: Picos| t * num / den;
+        let scale_cell = |c: CellTiming| CellTiming {
+            intrinsic: scale(c.intrinsic),
+            per_load: scale(c.per_load),
+        };
+        TechLibrary {
+            name: format!("{}-scaled-{num}/{den}", self.name),
+            cells: self.cells.map(scale_cell),
+            dff_clk_to_q: scale_cell(self.dff_clk_to_q),
+            setup: scale(self.setup),
+            wire: scale(self.wire),
+        }
+    }
+
+    /// A degenerate library where every cell takes exactly 1000 ps and loads
+    /// and wires are free. Useful for unit tests, where path delays then
+    /// equal 1000 × logic depth.
+    pub fn unit() -> Self {
+        let unit_cell = CellTiming {
+            intrinsic: 1000,
+            per_load: 0,
+        };
+        TechLibrary {
+            name: "unit".to_owned(),
+            cells: [unit_cell; 9],
+            dff_clk_to_q: unit_cell,
+            setup: 0,
+            wire: 0,
+        }
+    }
+
+    fn slot(kind: GateKind) -> usize {
+        GateKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind present in ALL")
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Delay parameters of a combinational cell.
+    pub fn cell(&self, kind: GateKind) -> CellTiming {
+        self.cells[Self::slot(kind)]
+    }
+
+    /// Clock-to-Q delay parameters of the flip-flop cell.
+    pub fn dff_clk_to_q(&self) -> CellTiming {
+        self.dff_clk_to_q
+    }
+
+    /// Flip-flop setup time.
+    pub fn setup(&self) -> Picos {
+        self.setup
+    }
+
+    /// Fixed wire delay added to every fanout edge.
+    pub fn wire(&self) -> Picos {
+        self.wire
+    }
+
+    /// The propagation delay of every fanout edge of `net`: the driver's
+    /// cell delay under the net's fanout load, plus the wire delay.
+    ///
+    /// Primary inputs and constants are modeled as ideal (wire delay only):
+    /// the environment presents inputs at the clock edge.
+    pub fn edge_delay(&self, circuit: &Circuit, net: NetId, fanout: usize) -> Picos {
+        let driver_delay = match circuit.net(net).driver() {
+            Driver::Gate(g) => self.cell(circuit.gate(g).kind()).delay(fanout),
+            Driver::Dff(_) => self.dff_clk_to_q.delay(fanout),
+            Driver::Input(_) | Driver::Const(_) => 0,
+        };
+        driver_delay + self.wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_netlist::CircuitBuilder;
+
+    #[test]
+    fn cell_delay_scales_with_load() {
+        let t = CellTiming {
+            intrinsic: 10,
+            per_load: 3,
+        };
+        assert_eq!(t.delay(0), 10);
+        assert_eq!(t.delay(4), 22);
+    }
+
+    #[test]
+    fn nangate_preset_orders_cells_realistically() {
+        let lib = TechLibrary::nangate45_like();
+        assert!(lib.cell(GateKind::Nand2).intrinsic < lib.cell(GateKind::And2).intrinsic);
+        assert!(lib.cell(GateKind::And2).intrinsic < lib.cell(GateKind::Xor2).intrinsic);
+        assert!(lib.setup() > 0);
+        assert_eq!(lib.name(), "nangate45-like");
+    }
+
+    #[test]
+    fn edge_delay_depends_on_driver_kind() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let r = b.reg("r", false);
+        let x = b.xor(a, r.q());
+        b.drive(r, x);
+        b.output("o", x);
+        let c = b.finish().unwrap();
+        let lib = TechLibrary::nangate45_like();
+        // `x` drives 2 sinks (DFF d and output bit).
+        let xor_edge = lib.edge_delay(&c, x, 2);
+        assert_eq!(xor_edge, 32 + 6 * 2 + 2);
+        // Input-driven edges cost only wire delay.
+        assert_eq!(lib.edge_delay(&c, a, 1), 2);
+        // DFF-driven edges use clock-to-Q.
+        let q = r.q();
+        assert_eq!(lib.edge_delay(&c, q, 1), 55 + 4 + 2);
+    }
+
+    #[test]
+    fn scaling_multiplies_every_delay() {
+        let lib = TechLibrary::nangate45_like();
+        let slow = lib.scaled(13, 10);
+        assert_eq!(slow.cell(GateKind::Not).intrinsic, 13);
+        assert_eq!(slow.setup(), lib.setup() * 13 / 10);
+        assert!(slow.name().contains("scaled"));
+        // Identity scale preserves the library's numbers.
+        let same = lib.scaled(1, 1);
+        for k in GateKind::ALL {
+            assert_eq!(same.cell(k), lib.cell(k));
+        }
+    }
+
+    #[test]
+    fn unit_library_is_uniform() {
+        let lib = TechLibrary::unit();
+        for k in GateKind::ALL {
+            assert_eq!(lib.cell(k).delay(10), 1000);
+        }
+        assert_eq!(lib.wire(), 0);
+        assert_eq!(lib.setup(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for static timing analysis on random DAG circuits.
+
+use delayavf_netlist::{CircuitBuilder, Consumer, EdgeId, GateKind, NetId, Topology, Word};
+use delayavf_timing::{TechLibrary, TimingModel};
+use proptest::prelude::*;
+
+type GateSpec = (u8, u16, u16, u16);
+
+fn random_fixture(
+    gates: &[GateSpec],
+) -> (delayavf_netlist::Circuit, Topology, TimingModel) {
+    let mut b = CircuitBuilder::new();
+    let inputs = b.input_word("in", 6);
+    let regs = b.reg_word("r", 6, 0);
+    let mut nets: Vec<NetId> = inputs.bits().to_vec();
+    nets.extend_from_slice(regs.q().bits());
+    for &(kind, i0, i1, i2) in gates {
+        let kinds = [
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+        ];
+        let k = kinds[usize::from(kind) % kinds.len()];
+        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
+        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
+        nets.push(b.gate(k, &ins));
+    }
+    let d: Word = (0..6).map(|i| nets[nets.len() - 1 - i]).collect();
+    b.drive_word(&regs, &d);
+    b.output_word("o", &regs.q());
+    let c = b.finish().expect("acyclic");
+    let topo = Topology::new(&c);
+    let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+    (c, topo, timing)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_path_fits_the_self_derived_clock(
+        gates in prop::collection::vec(any::<GateSpec>(), 5..50),
+    ) {
+        let (c, topo, timing) = random_fixture(&gates);
+        for i in 0..topo.edges().len() {
+            let e = EdgeId::from_index(i);
+            prop_assert!(
+                timing.path_through_edge(&c, &topo, e) <= timing.clock_period(),
+                "edge {e} exceeds the critical-path clock"
+            );
+        }
+        // The critical path is actually achieved by some edge.
+        let max = (0..topo.edges().len())
+            .map(|i| timing.path_through_edge(&c, &topo, EdgeId::from_index(i)))
+            .max()
+            .unwrap();
+        prop_assert_eq!(max, timing.clock_period());
+    }
+
+    #[test]
+    fn static_reach_is_monotone_in_delay(
+        gates in prop::collection::vec(any::<GateSpec>(), 5..40),
+        edge_sel: u16,
+    ) {
+        let (c, topo, timing) = random_fixture(&gates);
+        let e = EdgeId::from_index(usize::from(edge_sel) % topo.edges().len());
+        let clock = timing.clock_period();
+        let mut prev: Vec<_> = Vec::new();
+        for frac in [0u64, 1, 2, 4, 8] {
+            let d = clock * frac / 8;
+            let cur = timing.statically_reachable(&c, &topo, e, d);
+            // Monotonicity: a longer delay can only add reachable elements.
+            prop_assert!(
+                prev.iter().all(|x| cur.contains(x)),
+                "reach shrank between delays"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_delay_reaches_nothing(
+        gates in prop::collection::vec(any::<GateSpec>(), 5..40),
+        edge_sel: u16,
+    ) {
+        let (c, topo, timing) = random_fixture(&gates);
+        let e = EdgeId::from_index(usize::from(edge_sel) % topo.edges().len());
+        prop_assert!(timing.statically_reachable(&c, &topo, e, 0).is_empty());
+    }
+
+    #[test]
+    fn above_clock_delay_reaches_every_downstream_dff(
+        gates in prop::collection::vec(any::<GateSpec>(), 5..40),
+        edge_sel: u16,
+    ) {
+        let (c, topo, timing) = random_fixture(&gates);
+        let e = EdgeId::from_index(usize::from(edge_sel) % topo.edges().len());
+        let reach = timing.statically_reachable(&c, &topo, e, timing.clock_period() + 1);
+        // With d > clock, every DFF topologically downstream of the edge's
+        // sink is statically reachable.
+        let edge = topo.edge(e);
+        let expect = match edge.consumer {
+            Consumer::DffD(f) => vec![f],
+            Consumer::GatePin { gate, .. } => {
+                topo.downstream_dffs(&c, c.gate(gate).output())
+                    .into_iter()
+                    .chain(std::iter::empty())
+                    .collect()
+            }
+            Consumer::OutputBit { .. } => vec![],
+        };
+        let mut expect = expect;
+        // A gate-pin fault also reaches DFFs fed directly by that gate's
+        // output; downstream_dffs already covers those. For a DffD fault
+        // only that DFF is affected.
+        expect.sort_unstable();
+        prop_assert_eq!(reach, expect);
+    }
+}

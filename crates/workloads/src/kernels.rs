@@ -1,0 +1,650 @@
+//! Generators for the five kernels.
+//!
+//! Each generator emits complete RV32E assembly with embedded input data and
+//! computes the expected exit code with a Rust reference implementation of
+//! the same algorithm. Sizes are chosen so the `Paper` scale lands in the
+//! cycle range of the paper's Table II (roughly 1k–10k cycles on the
+//! gate-level core).
+
+use std::fmt::Write as _;
+
+use crate::md5ref;
+use crate::{checksum_step, lcg_data, Kernel, Scale, Workload};
+
+const EXIT_SEQ: &str = "    li   t0, 0x10004\n    sw   a0, 0(t0)\n    ebreak\n";
+
+fn words_directive(data: &[u32]) -> String {
+    let mut out = String::new();
+    for chunk in data.chunks(8) {
+        let row: Vec<String> = chunk.iter().map(|w| format!("{w:#x}")).collect();
+        let _ = writeln!(out, "    .word {}", row.join(", "));
+    }
+    out
+}
+
+fn bytes_directive(data: &[u32]) -> String {
+    let mut out = String::new();
+    for chunk in data.chunks(16) {
+        let row: Vec<String> = chunk.iter().map(|w| w.to_string()).collect();
+        let _ = writeln!(out, "    .byte {}", row.join(", "));
+    }
+    out
+}
+
+/// Bubble sort over `n` pseudo-random words, exiting with an
+/// order-sensitive checksum of the sorted array.
+pub fn bubblesort(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Paper => 20,
+        Scale::Tiny => 6,
+    };
+    let data = lcg_data(42, n, 10_000);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let expected = sorted.iter().fold(0u32, |h, &x| checksum_step(h, x));
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    la   s0, data
+    li   s1, {n}
+    addi t0, s1, -1      # passes remaining
+outer:
+    beqz t0, sorted
+    li   t1, 0           # position within pass
+    mv   a4, s0
+inner:
+    lw   a0, 0(a4)
+    lw   a1, 4(a4)
+    ble  a0, a1, noswap
+    sw   a1, 0(a4)
+    sw   a0, 4(a4)
+noswap:
+    addi a4, a4, 4
+    addi t1, t1, 1
+    blt  t1, t0, inner
+    addi t0, t0, -1
+    j    outer
+sorted:
+    li   a0, 0
+    mv   a4, s0
+    li   t1, 0
+ck:
+    lw   a1, 0(a4)
+    slli a2, a0, 1
+    srli a0, a0, 31
+    or   a0, a0, a2
+    xor  a0, a0, a1
+    addi a4, a4, 4
+    addi t1, t1, 1
+    blt  t1, s1, ck
+{EXIT_SEQ}
+data:
+{data_words}"#,
+        data_words = words_directive(&data),
+    );
+    Workload {
+        kernel: Kernel::Bubblesort,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 200_000,
+    }
+}
+
+/// Substring search, exiting with the index of the first match (or
+/// 0xffffffff).
+pub fn libstrstr(scale: Scale) -> Workload {
+    let (haystack, needle) = match scale {
+        Scale::Paper => {
+            // Regular, repetitive text as in the paper's characterization,
+            // with the needle close to the end.
+            let mut h = "the quick brown fox jumps over the lazy dog ".to_string();
+            h.push_str("pack my box with five dozen liquor jugs");
+            (h, "dozen".to_owned())
+        }
+        Scale::Tiny => ("abababac".to_owned(), "bac".to_owned()),
+    };
+    let expected = haystack
+        .find(&needle)
+        .map(|i| i as u32)
+        .unwrap_or(u32::MAX);
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    la   s0, hay
+    la   s1, nee
+    li   t0, 0           # candidate index
+outer:
+    add  a4, s0, t0
+    lbu  a0, 0(a4)
+    beqz a0, notfound
+    mv   a5, s1
+    mv   a3, a4
+inner:
+    lbu  a1, 0(a5)
+    beqz a1, found
+    lbu  a2, 0(a3)
+    bne  a1, a2, next
+    addi a5, a5, 1
+    addi a3, a3, 1
+    j    inner
+next:
+    addi t0, t0, 1
+    j    outer
+found:
+    mv   a0, t0
+    j    fin
+notfound:
+    li   a0, -1
+fin:
+{EXIT_SEQ}
+hay:
+    .asciz "{haystack}"
+nee:
+    .asciz "{needle}"
+"#
+    );
+    Workload {
+        kernel: Kernel::Libstrstr,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 50_000,
+    }
+}
+
+/// Recursive Fibonacci (call/return and stack traffic), exiting with
+/// `fib(n)`.
+pub fn libfibcall(scale: Scale) -> Workload {
+    let n: u32 = match scale {
+        Scale::Paper => 8,
+        Scale::Tiny => 4,
+    };
+    fn fib(n: u32) -> u32 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    let expected = fib(n);
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    li   sp, 0xff00
+    li   a0, {n}
+    call fib
+{EXIT_SEQ}
+fib:
+    li   t0, 2
+    blt  a0, t0, fib_base
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+    addi a0, a0, -1
+    call fib
+    sw   a0, 8(sp)
+    addi a0, s0, -2
+    call fib
+    lw   a1, 8(sp)
+    add  a0, a0, a1
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 12
+    ret
+fib_base:
+    ret
+"#
+    );
+    Workload {
+        kernel: Kernel::Libfibcall,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 100_000,
+    }
+}
+
+/// `n × n` integer matrix multiply with a software shift-add multiplier,
+/// exiting with an order-sensitive checksum of the product.
+pub fn matmult(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Paper => 5,
+        Scale::Tiny => 2,
+    };
+    let a = lcg_data(7, n * n, 16);
+    let b = lcg_data(13, n * n, 16);
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    let expected = c.iter().fold(0u32, |h, &x| checksum_step(h, x));
+    let row_bytes = 4 * n;
+    let nn = n * n;
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    la   s0, mat_a       # current A row
+    la   gp, mat_c       # C write pointer
+    li   t0, 0           # i
+i_loop:
+    li   t1, 0           # j
+j_loop:
+    li   a3, 0           # acc
+    mv   a4, s0
+    la   s1, mat_b
+    slli a5, t1, 2
+    add  s1, s1, a5      # &B[0][j]
+    li   t2, 0           # k
+k_loop:
+    lw   a0, 0(a4)
+    lw   a1, 0(s1)
+    call mul
+    add  a3, a3, a0
+    addi a4, a4, 4
+    addi s1, s1, {row_bytes}
+    addi t2, t2, 1
+    li   a5, {n}
+    blt  t2, a5, k_loop
+    sw   a3, 0(gp)
+    addi gp, gp, 4
+    addi t1, t1, 1
+    li   a5, {n}
+    blt  t1, a5, j_loop
+    addi s0, s0, {row_bytes}
+    addi t0, t0, 1
+    li   a5, {n}
+    blt  t0, a5, i_loop
+    # checksum over C
+    la   a4, mat_c
+    li   a0, 0
+    li   t1, 0
+ck:
+    lw   a1, 0(a4)
+    slli a2, a0, 1
+    srli a0, a0, 31
+    or   a0, a0, a2
+    xor  a0, a0, a1
+    addi a4, a4, 4
+    addi t1, t1, 1
+    li   a5, {nn}
+    blt  t1, a5, ck
+{EXIT_SEQ}
+mul:                     # a0 = a0 * a1 (shift-add); clobbers a1, a5, tp
+    mv   tp, a0
+    li   a0, 0
+mul_loop:
+    beqz a1, mul_done
+    andi a5, a1, 1
+    beqz a5, mul_skip
+    add  a0, a0, tp
+mul_skip:
+    slli tp, tp, 1
+    srli a1, a1, 1
+    j    mul_loop
+mul_done:
+    ret
+mat_a:
+{a_words}mat_b:
+{b_words}mat_c:
+    .space {c_bytes}
+"#,
+        a_words = words_directive(&a),
+        b_words = words_directive(&b),
+        c_bytes = 4 * nn,
+    );
+    Workload {
+        kernel: Kernel::Matmult,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 200_000,
+    }
+}
+
+/// MD5 compression, exiting with the first digest word.
+///
+/// At `Scale::Tiny` only the first 16 rounds run (a structurally identical
+/// reduced-round variant, matched by the Rust reference) to keep test
+/// runtimes low; `Scale::Paper` computes real single-block MD5.
+pub fn md5(scale: Scale) -> Workload {
+    let (message, rounds): (&[u8], u32) = match scale {
+        Scale::Paper => (b"The DelayAVF reproduction hashes this.", 64),
+        Scale::Tiny => (b"tiny", 16),
+    };
+    let expected = md5_like(message, rounds)[0];
+
+    let padded = md5ref::pad(message);
+    assert_eq!(padded.len(), 64, "single-block messages only");
+    let msg_words: Vec<u32> = padded
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let k: Vec<u32> = md5ref::k_table().to_vec();
+    let s: Vec<u32> = md5ref::s_table().to_vec();
+    let g: Vec<u32> = md5ref::g_table().to_vec();
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    li   a0, 0x67452301
+    li   a1, 0xefcdab89
+    li   a2, 0x98badcfe
+    li   a3, 0x10325476
+    la   s1, msg
+    la   tp, saved
+    sw   a0, 0(tp)
+    sw   a1, 4(tp)
+    sw   a2, 8(tp)
+    sw   a3, 12(tp)
+    li   t0, 0           # round counter
+round_loop:
+    li   t1, 16
+    blt  t0, t1, r0
+    li   t1, 32
+    blt  t0, t1, r1
+    li   t1, 48
+    blt  t0, t1, r2
+    not  a4, a3          # round 48..64: f = C ^ (B | ~D)
+    or   a4, a4, a1
+    xor  a4, a4, a2
+    j    have_f
+r0:                      # f = (B & C) | (~B & D)
+    and  a4, a1, a2
+    not  a5, a1
+    and  a5, a5, a3
+    or   a4, a4, a5
+    j    have_f
+r1:                      # f = (D & B) | (~D & C)
+    and  a4, a3, a1
+    not  a5, a3
+    and  a5, a5, a2
+    or   a4, a4, a5
+    j    have_f
+r2:                      # f = B ^ C ^ D
+    xor  a4, a1, a2
+    xor  a4, a4, a3
+have_f:
+    add  a4, a4, a0      # + A
+    la   a5, ktab
+    slli t2, t0, 2
+    add  a5, a5, t2
+    lw   a5, 0(a5)
+    add  a4, a4, a5      # + K[t]
+    la   a5, gtab
+    add  a5, a5, t0
+    lbu  a5, 0(a5)
+    slli a5, a5, 2
+    add  a5, a5, s1
+    lw   a5, 0(a5)
+    add  a4, a4, a5      # + M[g[t]]
+    la   a5, stab
+    add  a5, a5, t0
+    lbu  a5, 0(a5)
+    sll  t1, a4, a5      # rotate left by s[t] (1 <= s <= 23)
+    li   t2, 32
+    sub  t2, t2, a5
+    srl  a4, a4, t2
+    or   a4, a4, t1
+    mv   t1, a3          # (A,B,C,D) <- (D, B + rot, B, C)
+    mv   a3, a2
+    mv   a2, a1
+    add  a1, a1, a4
+    mv   a0, t1
+    addi t0, t0, 1
+    li   t1, {rounds}
+    blt  t0, t1, round_loop
+    la   tp, saved
+    lw   t1, 0(tp)
+    add  a0, a0, t1
+    lw   t1, 4(tp)
+    add  a1, a1, t1
+    lw   t1, 8(tp)
+    add  a2, a2, t1
+    lw   t1, 12(tp)
+    add  a3, a3, t1
+{EXIT_SEQ}
+saved:
+    .space 16
+ktab:
+{k_words}stab:
+{s_bytes}gtab:
+{g_bytes}    .align 2
+msg:
+{m_words}"#,
+        k_words = words_directive(&k),
+        s_bytes = bytes_directive(&s),
+        g_bytes = bytes_directive(&g),
+        m_words = words_directive(&msg_words),
+    );
+    Workload {
+        kernel: Kernel::Md5,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 100_000,
+    }
+}
+
+/// Bit-serial reflected CRC-32 (extension kernel beyond the paper's five):
+/// xor-heavy data-dependent bit loops, exiting with the checksum.
+pub fn crc32(scale: Scale) -> Workload {
+    let len = match scale {
+        Scale::Paper => 36,
+        Scale::Tiny => 5,
+    };
+    let data: Vec<u32> = lcg_data(99, len, 256);
+    let bytes: Vec<u8> = data.iter().map(|&w| w as u8).collect();
+    let mut crc = u32::MAX;
+    for &b in &bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb == 1 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    let expected = !crc;
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    la   s0, data
+    li   s1, {len}
+    li   a0, -1
+    li   t2, 0xEDB88320
+byte_loop:
+    beqz s1, crc_done
+    lbu  a1, 0(s0)
+    xor  a0, a0, a1
+    li   t0, 8
+bit_loop:
+    andi t1, a0, 1
+    srli a0, a0, 1
+    beqz t1, no_poly
+    xor  a0, a0, t2
+no_poly:
+    addi t0, t0, -1
+    bnez t0, bit_loop
+    addi s0, s0, 1
+    addi s1, s1, -1
+    j    byte_loop
+crc_done:
+    not  a0, a0
+{EXIT_SEQ}
+data:
+{data_bytes}"#,
+        data_bytes = bytes_directive(&data),
+    );
+    Workload {
+        kernel: Kernel::Crc32,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 100_000,
+    }
+}
+
+/// Recursive quicksort (extension kernel beyond the paper's five): deep
+/// call stacks and heavy pointer loads/stores, exiting with an
+/// order-sensitive checksum of the sorted array.
+pub fn qsort(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Paper => 14,
+        Scale::Tiny => 5,
+    };
+    let data = lcg_data(1234, n, 100_000);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let expected = sorted.iter().fold(0u32, |h, &x| checksum_step(h, x));
+    let last_off = 4 * (n - 1);
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        r#"
+    li   sp, 0xff00
+    la   a0, data
+    la   a1, data
+    addi a1, a1, {last_off}
+    call qsort
+    la   a4, data
+    li   a0, 0
+    li   t1, 0
+ck:
+    lw   a1, 0(a4)
+    slli a2, a0, 1
+    srli a0, a0, 31
+    or   a0, a0, a2
+    xor  a0, a0, a1
+    addi a4, a4, 4
+    addi t1, t1, 1
+    li   a5, {n}
+    blt  t1, a5, ck
+{EXIT_SEQ}
+# qsort(lo = a0, hi = a1): pointers to first/last element, inclusive.
+qsort:
+    bgeu a0, a1, qs_ret
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    sw   gp, 12(sp)
+    mv   s0, a0          # lo
+    mv   s1, a1          # hi
+    lw   t0, 0(s1)       # pivot = *hi (Lomuto)
+    mv   gp, s0          # i: store position
+    mv   t2, s0          # j
+qs_part:
+    bgeu t2, s1, qs_pdone
+    lw   a2, 0(t2)
+    bgtu a2, t0, qs_noswap
+    lw   a3, 0(gp)
+    sw   a2, 0(gp)
+    sw   a3, 0(t2)
+    addi gp, gp, 4
+qs_noswap:
+    addi t2, t2, 4
+    j    qs_part
+qs_pdone:
+    lw   a2, 0(gp)
+    lw   a3, 0(s1)
+    sw   a3, 0(gp)
+    sw   a2, 0(s1)
+    mv   a0, s0          # left half: [lo, i-4]
+    addi a1, gp, -4
+    call qsort
+    addi a0, gp, 4       # right half: [i+4, hi]
+    mv   a1, s1
+    call qsort
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    lw   gp, 12(sp)
+    addi sp, sp, 16
+qs_ret:
+    ret
+data:
+{data_words}"#,
+        data_words = words_directive(&data),
+    );
+    Workload {
+        kernel: Kernel::Qsort,
+        source: src,
+        expected_exit: expected,
+        max_cycles: 200_000,
+    }
+}
+
+/// Reference for the (possibly round-reduced) MD5 variant the workload
+/// executes. `rounds = 64` is real single-block MD5.
+fn md5_like(message: &[u8], rounds: u32) -> [u32; 4] {
+    let k = md5ref::k_table();
+    let g = md5ref::g_table();
+    let s = md5ref::s_table();
+    let padded = md5ref::pad(message);
+    assert_eq!(padded.len(), 64);
+    let m: Vec<u32> = padded
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let state: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+    let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+    for i in 0..rounds as usize {
+        let f = match i / 16 {
+            0 => (b & c) | (!b & d),
+            1 => (d & b) | (!d & c),
+            2 => b ^ c ^ d,
+            _ => c ^ (b | !d),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(k[i])
+                .wrapping_add(m[g[i] as usize])
+                .rotate_left(s[i]),
+        );
+        a = tmp;
+    }
+    [
+        state[0].wrapping_add(a),
+        state[1].wrapping_add(b),
+        state[2].wrapping_add(c),
+        state[3].wrapping_add(d),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_like_with_64_rounds_is_md5() {
+        let msg = b"The DelayAVF reproduction hashes this.";
+        assert_eq!(md5_like(msg, 64), crate::md5_digest(msg));
+    }
+
+    #[test]
+    fn generators_embed_data() {
+        let w = matmult(Scale::Paper);
+        assert!(w.source.contains("mat_a"));
+        assert!(w.source.contains(".space 100"), "5x5 result matrix");
+        let w = md5(Scale::Paper);
+        assert!(w.source.contains("ktab"));
+    }
+}

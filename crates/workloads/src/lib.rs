@@ -1,0 +1,251 @@
+//! The benchmark workloads: five Beebs-like kernels in RV32E assembly.
+//!
+//! The paper evaluates DelayAVF over five applications from the Beebs
+//! embedded suite: *md5*, *bubblesort*, *libstrstr*, *libfibcall* and
+//! *matmult*. This crate provides the same five kernels, hand-written in
+//! RV32E assembly (the studied core has no compiler toolchain), each with:
+//!
+//! * a **generator** that emits the assembly source with embedded input
+//!   data at a chosen [`Scale`],
+//! * a Rust **reference implementation** that computes the expected exit
+//!   code, so the golden run is verified end to end,
+//! * a generous cycle budget for simulation.
+//!
+//! Every kernel terminates by storing its result to the exit MMIO register
+//! and then executing `ebreak`, the convention shared by the ISS and the
+//! gate-level core.
+//!
+//! # Example
+//!
+//! ```
+//! use delayavf_workloads::{Kernel, Scale};
+//! use delayavf_isa::{Iss, StopCause};
+//!
+//! let w = Kernel::Bubblesort.build(Scale::Tiny);
+//! let mut iss = Iss::new(64 * 1024);
+//! iss.load(&w.assemble()?);
+//! assert_eq!(iss.run(w.max_cycles), StopCause::Exit(w.expected_exit));
+//! # Ok::<(), delayavf_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernels;
+mod md5ref;
+
+pub use md5ref::md5_digest;
+
+use delayavf_isa::{assemble, AsmError, Program};
+
+/// Which of the five Beebs-like kernels to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// MD5 compression over a padded message (hash-random data, high toggle
+    /// rates — the paper's high-DelayAVF ALU workload).
+    Md5,
+    /// Bubble sort over an integer array.
+    Bubblesort,
+    /// Substring search over regular text (the paper's low-toggle-rate
+    /// workload).
+    Libstrstr,
+    /// Recursive Fibonacci with real call/return traffic.
+    Libfibcall,
+    /// Integer matrix multiply (software shift-add multiplier).
+    Matmult,
+    /// Bit-serial CRC-32 (extension kernel, not part of the paper's suite).
+    Crc32,
+    /// Recursive quicksort (extension kernel, not part of the paper's
+    /// suite).
+    Qsort,
+}
+
+impl Kernel {
+    /// The paper's five kernels, in the paper's order.
+    pub const ALL: [Kernel; 5] = [
+        Kernel::Md5,
+        Kernel::Bubblesort,
+        Kernel::Libstrstr,
+        Kernel::Libfibcall,
+        Kernel::Matmult,
+    ];
+
+    /// The paper's five kernels plus the extension kernels.
+    pub const EXTENDED: [Kernel; 7] = [
+        Kernel::Md5,
+        Kernel::Bubblesort,
+        Kernel::Libstrstr,
+        Kernel::Libfibcall,
+        Kernel::Matmult,
+        Kernel::Crc32,
+        Kernel::Qsort,
+    ];
+
+    /// The kernel's Beebs-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Md5 => "md5",
+            Kernel::Bubblesort => "bubblesort",
+            Kernel::Libstrstr => "libstrstr",
+            Kernel::Libfibcall => "libfibcall",
+            Kernel::Matmult => "matmult",
+            Kernel::Crc32 => "crc32",
+            Kernel::Qsort => "qsort",
+        }
+    }
+
+    /// Parses a kernel name as printed by [`Kernel::name`].
+    pub fn parse(name: &str) -> Option<Kernel> {
+        Kernel::EXTENDED.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Builds the workload at the given scale.
+    pub fn build(self, scale: Scale) -> Workload {
+        match self {
+            Kernel::Md5 => kernels::md5(scale),
+            Kernel::Bubblesort => kernels::bubblesort(scale),
+            Kernel::Libstrstr => kernels::libstrstr(scale),
+            Kernel::Libfibcall => kernels::libfibcall(scale),
+            Kernel::Matmult => kernels::matmult(scale),
+            Kernel::Crc32 => kernels::crc32(scale),
+            Kernel::Qsort => kernels::qsort(scale),
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Input size selection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Sizes chosen so gate-level executions land in the paper's Table II
+    /// range (roughly one to ten thousand cycles).
+    #[default]
+    Paper,
+    /// Much smaller inputs for fast unit tests.
+    Tiny,
+}
+
+/// A generated workload: assembly source plus its expected behaviour.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Kernel identity.
+    pub kernel: Kernel,
+    /// Complete assembly source.
+    pub source: String,
+    /// Expected exit code (computed by a Rust reference implementation).
+    pub expected_exit: u32,
+    /// Generous cycle budget for gate-level execution.
+    pub max_cycles: u64,
+}
+
+impl Workload {
+    /// Assembles the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error — which would indicate a bug in the
+    /// generator — with source line information.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        assemble(&self.source)
+    }
+}
+
+/// Builds the paper's five workloads at one scale, in the paper's order.
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    Kernel::ALL.iter().map(|k| k.build(scale)).collect()
+}
+
+/// Builds every workload (the paper's five plus the extension kernels).
+pub fn suite_extended(scale: Scale) -> Vec<Workload> {
+    Kernel::EXTENDED.iter().map(|k| k.build(scale)).collect()
+}
+
+/// The order-sensitive checksum shared by the kernels and their reference
+/// implementations: `h' = rotl(h, 1) ^ x`.
+pub fn checksum_step(h: u32, x: u32) -> u32 {
+    h.rotate_left(1) ^ x
+}
+
+/// Deterministic pseudo-random data generator used to embed input arrays
+/// (a simple LCG; the point is reproducibility, not quality).
+pub fn lcg_data(seed: u32, len: usize, modulus: u32) -> Vec<u32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) % modulus
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayavf_isa::{Iss, StopCause};
+
+    fn run_on_iss(w: &Workload) -> (StopCause, u64) {
+        let p = w.assemble().expect("workload assembles");
+        let mut iss = Iss::new(64 * 1024);
+        iss.load(&p);
+        let cause = iss.run(w.max_cycles);
+        (cause, iss.retired())
+    }
+
+    #[test]
+    fn every_workload_matches_its_reference_tiny() {
+        for w in suite_extended(Scale::Tiny) {
+            let (cause, retired) = run_on_iss(&w);
+            assert_eq!(
+                cause,
+                StopCause::Exit(w.expected_exit),
+                "{} (tiny) exits with the reference value",
+                w.kernel
+            );
+            assert!(retired > 20, "{} does real work", w.kernel);
+        }
+    }
+
+    #[test]
+    fn every_workload_matches_its_reference_paper() {
+        for w in suite_extended(Scale::Paper) {
+            let (cause, _) = run_on_iss(&w);
+            assert_eq!(
+                cause,
+                StopCause::Exit(w.expected_exit),
+                "{} (paper) exits with the reference value",
+                w.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in Kernel::EXTENDED {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::parse("nope"), None);
+    }
+
+    #[test]
+    fn scales_differ_in_work() {
+        let tiny = Kernel::Bubblesort.build(Scale::Tiny);
+        let paper = Kernel::Bubblesort.build(Scale::Paper);
+        let (_, r_tiny) = run_on_iss(&tiny);
+        let (_, r_paper) = run_on_iss(&paper);
+        assert!(r_paper > 4 * r_tiny, "paper scale is substantially larger");
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_bounded() {
+        let a = lcg_data(7, 32, 100);
+        let b = lcg_data(7, 32, 100);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 100));
+        assert_ne!(a, lcg_data(8, 32, 100));
+    }
+}

@@ -1,0 +1,125 @@
+//! Reference MD5 implementation (used to compute the expected digest for
+//! the `md5` workload, and nothing else).
+
+/// Per-round left-rotation amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Round constants: `floor(2^32 * |sin(i + 1)|)`.
+pub(crate) fn k_table() -> [u32; 64] {
+    let mut k = [0u32; 64];
+    for (i, slot) in k.iter_mut().enumerate() {
+        *slot = (((i as f64 + 1.0).sin().abs()) * 4294967296.0) as u32;
+    }
+    k
+}
+
+/// Message-word index per round.
+pub(crate) fn g_table() -> [u32; 64] {
+    let mut g = [0u32; 64];
+    for (i, slot) in g.iter_mut().enumerate() {
+        *slot = match i / 16 {
+            0 => i as u32,
+            1 => (5 * i as u32 + 1) % 16,
+            2 => (3 * i as u32 + 5) % 16,
+            _ => (7 * i as u32) % 16,
+        };
+    }
+    g
+}
+
+/// Shift table accessor for the workload generator.
+pub(crate) fn s_table() -> [u32; 64] {
+    S
+}
+
+/// Pads a message to MD5 block format (length-terminated, 64-byte blocks).
+pub(crate) fn pad(message: &[u8]) -> Vec<u8> {
+    let mut m = message.to_vec();
+    let bit_len = (message.len() as u64) * 8;
+    m.push(0x80);
+    while m.len() % 64 != 56 {
+        m.push(0);
+    }
+    m.extend_from_slice(&bit_len.to_le_bytes());
+    m
+}
+
+/// Computes the MD5 digest of `message`, returned as the four little-endian
+/// state words `(a, b, c, d)`.
+pub fn md5_digest(message: &[u8]) -> [u32; 4] {
+    let k = k_table();
+    let g = g_table();
+    let padded = pad(message);
+    let mut state: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+    for block in padded.chunks_exact(64) {
+        let m: Vec<u32> = block
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+        for i in 0..64 {
+            let f = match i / 16 {
+                0 => (b & c) | (!b & d),
+                1 => (d & b) | (!d & c),
+                2 => b ^ c ^ d,
+                _ => c ^ (b | !d),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(k[i])
+                    .wrapping_add(m[g[i] as usize])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_digest(message: &[u8]) -> String {
+        md5_digest(message)
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .map(|b| format!("{b:02x}"))
+            .collect()
+    }
+
+    #[test]
+    fn rfc1321_test_vectors() {
+        assert_eq!(hex_digest(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex_digest(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex_digest(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            hex_digest(b"message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            hex_digest(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+    }
+
+    #[test]
+    fn padding_is_block_aligned() {
+        for len in [0usize, 1, 55, 56, 63, 64, 100] {
+            let p = pad(&vec![0xaa; len]);
+            assert_eq!(p.len() % 64, 0, "len {len}");
+        }
+    }
+}

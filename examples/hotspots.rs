@@ -1,0 +1,71 @@
+//! Vulnerability hotspots: which individual flip-flops of a structure are
+//! most likely to turn a particle strike into a program-visible failure —
+//! the per-bit view a designer uses to place selective hardening (parity,
+//! DICE cells, duplication) where it pays.
+//!
+//! Usage: `cargo run --release --example hotspots [structure] [kernel]`
+//! (defaults: `lsu`, `libstrstr`).
+
+use delayavf::{prepare_golden, savf_per_bit_campaign};
+use delayavf_netlist::Topology;
+use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+fn main() {
+    let structure = std::env::args().nth(1).unwrap_or_else(|| "lsu".into());
+    let kernel_name = std::env::args().nth(2).unwrap_or_else(|| "libstrstr".into());
+    let Some(kernel) = Kernel::parse(&kernel_name) else {
+        eprintln!("unknown kernel `{kernel_name}`");
+        std::process::exit(2);
+    };
+
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+    let Some(s) = core.circuit.structure(&structure) else {
+        eprintln!(
+            "unknown structure `{structure}`; available: {}",
+            core.circuit.structure_names().collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    };
+    if s.dffs().is_empty() {
+        eprintln!("`{structure}` holds no state (try lsu, prefetch, control, regfile)");
+        std::process::exit(2);
+    }
+
+    let workload = kernel.build(Scale::Paper);
+    let program = workload.assemble().expect("assembles");
+    let env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &program);
+    eprintln!("recording golden run of {kernel} ...");
+    let golden = prepare_golden(&core.circuit, &topo, &env, workload.max_cycles, 20);
+
+    eprintln!("striking {} bits of `{structure}` ...", s.dffs().len());
+    let mut per_bit = savf_per_bit_campaign(
+        &core.circuit,
+        &topo,
+        &timing,
+        &golden,
+        s.dffs(),
+        2_000,
+    );
+    per_bit.sort_by(|a, b| b.1.savf().total_cmp(&a.1.savf()));
+
+    println!("\ntop vulnerability hotspots in `{structure}` under {kernel}:");
+    println!("{:<28} {:>8} {:>12}", "flip-flop", "sAVF", "95% CI");
+    for (dff, r) in per_bit.iter().take(12) {
+        let (lo, hi) = r.savf_interval();
+        println!(
+            "{:<28} {:>8.3} [{lo:.2}, {hi:.2}]",
+            core.circuit.dff(*dff).name(),
+            r.savf()
+        );
+    }
+    let dead = per_bit.iter().filter(|(_, r)| r.ace_hits == 0).count();
+    println!(
+        "\n{dead}/{} bits showed no ACE strike at this sampling — selective\n\
+         hardening of the top bits covers most of the structure's exposure.",
+        per_bit.len()
+    );
+}

@@ -1,0 +1,49 @@
+//! Developer tooling tour: disassemble a workload and dump a VCD waveform
+//! of its first cycles on the gate-level core.
+//!
+//! Usage: `cargo run --release --example inspect_workload [kernel] [cycles]`
+//! (defaults: `libfibcall`, 200 cycles). The waveform lands in
+//! `<kernel>.vcd`, viewable with GTKWave.
+
+use delayavf_netlist::Topology;
+use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{CycleSim, Environment, VcdWriter};
+use delayavf_workloads::{Kernel, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "libfibcall".into());
+    let cycles: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let Some(kernel) = Kernel::parse(&name) else {
+        eprintln!("unknown kernel `{name}`");
+        std::process::exit(2);
+    };
+    let workload = kernel.build(Scale::Tiny);
+    let program = workload.assemble()?;
+
+    println!("== disassembly of {kernel} (tiny) ==");
+    print!("{}", program.listing());
+
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    let mut env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &program);
+    let mut sim = CycleSim::new(&core.circuit, &topo);
+
+    let path = format!("{kernel}.vcd");
+    let file = std::fs::File::create(&path)?;
+    let mut vcd = VcdWriter::new(std::io::BufWriter::new(file), &core.circuit)?;
+    while sim.cycle() < cycles && !env.halted() {
+        sim.step(&mut env);
+        vcd.sample(&sim)?;
+    }
+    vcd.finish()?;
+    println!(
+        "\nwrote {} cycles of waveform to {path} (halted: {}, exit: {:?})",
+        sim.cycle(),
+        env.halted(),
+        env.exit_code()
+    );
+    Ok(())
+}

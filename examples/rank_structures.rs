@@ -1,0 +1,62 @@
+//! A designer's workflow: rank the core's microarchitectural structures by
+//! their vulnerability to small delay faults to decide where protection
+//! pays off (the use case motivating the paper's Observation 4).
+//!
+//! Usage: `cargo run --release --example rank_structures [kernel] [d%]`
+//! (defaults: `libstrstr` at d = 60% of the clock period).
+
+use delayavf::{delay_avf_campaign, prepare_golden, sample_edges, CampaignConfig};
+use delayavf_netlist::Topology;
+use delayavf_rvcore::{build_core, Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+fn main() {
+    let kernel_name = std::env::args().nth(1).unwrap_or_else(|| "libstrstr".into());
+    let d_pct: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60.0);
+    let Some(kernel) = Kernel::parse(&kernel_name) else {
+        eprintln!("unknown kernel `{kernel_name}`");
+        std::process::exit(2);
+    };
+
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+
+    let workload = kernel.build(Scale::Paper);
+    let program = workload.assemble().expect("assembles");
+    let env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &program);
+    eprintln!("recording golden run of {kernel} ...");
+    let golden = prepare_golden(&core.circuit, &topo, &env, workload.max_cycles, 16);
+
+    let config = CampaignConfig::single_delay(d_pct / 100.0);
+    println!(
+        "\nDelayAVF ranking for {kernel} at d = {d_pct:.0}% of the clock ({} ps):\n",
+        timing.clock_period()
+    );
+    let mut rows = Vec::new();
+    for structure in Core::structure_names() {
+        let all = topo
+            .structure_edges(&core.circuit, structure)
+            .expect("tagged structure");
+        let edges = sample_edges(&all, 200, 1);
+        let r = &delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config)[0];
+        rows.push((structure, r.delay_avf(), r.static_fraction(), r.dynamic_fraction()));
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "{:<10} {:>10} {:>14} {:>15}",
+        "structure", "DelayAVF", "static reach", "dynamic reach"
+    );
+    for (name, davf, stat, dynr) in rows {
+        println!(
+            "{name:<10} {davf:>10.5} {:>13.1}% {:>14.2}%",
+            100.0 * stat,
+            100.0 * dynr
+        );
+    }
+    println!("\nHigher DelayAVF = better candidate for targeted delay-fault protection.");
+}

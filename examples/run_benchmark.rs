@@ -1,0 +1,71 @@
+//! Run a Beebs-like benchmark on the gate-level core and report
+//! architectural statistics — the substrate the DelayAVF campaigns stand
+//! on.
+//!
+//! Usage: `cargo run --release --example run_benchmark [kernel]`
+//! where `kernel` is one of `md5`, `bubblesort`, `libstrstr`, `libfibcall`,
+//! `matmult` (default: `bubblesort`).
+
+use delayavf_isa::{Iss, StopCause};
+use delayavf_netlist::{CircuitStats, Topology};
+use delayavf_rvcore::{build_core, CoreConfig, CoreState, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{CycleSim, Environment};
+use delayavf_workloads::{Kernel, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bubblesort".into());
+    let Some(kernel) = Kernel::parse(&name) else {
+        eprintln!("unknown kernel `{name}`; expected one of md5, bubblesort, libstrstr, libfibcall, matmult");
+        std::process::exit(2);
+    };
+    let workload = kernel.build(Scale::Paper);
+    let program = workload.assemble().expect("workload assembles");
+    println!(
+        "kernel {kernel}: {} bytes of code+data, expected exit {:#x}",
+        program.len(),
+        workload.expected_exit
+    );
+
+    // Golden reference on the instruction-set simulator.
+    let mut iss = Iss::new(DEFAULT_RAM_BYTES);
+    iss.load(&program);
+    let cause = iss.run(workload.max_cycles);
+    assert_eq!(cause, StopCause::Exit(workload.expected_exit));
+    println!("ISS: {} instructions retired", iss.retired());
+
+    // The same program on the gate-level core.
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    println!("core: {}", CircuitStats::collect(&core.circuit, &topo));
+    let mut env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &program);
+    let mut sim = CycleSim::new(&core.circuit, &topo);
+    let mut state_histogram = [0u64; 6];
+    while sim.cycle() < workload.max_cycles && !env.halted() {
+        sim.step(&mut env);
+        let s = core.handle.read_state(sim.state());
+        state_histogram[s as usize] += 1;
+    }
+    assert_eq!(env.exit_code(), Some(workload.expected_exit));
+    println!(
+        "gate-level core: {} cycles ({:.2} cycles/instruction)",
+        sim.cycle(),
+        sim.cycle() as f64 / iss.retired() as f64
+    );
+    for (i, label) in [
+        CoreState::Boot,
+        CoreState::FetchWait,
+        CoreState::Execute,
+        CoreState::MemWait,
+        CoreState::LoadWait,
+        CoreState::Halted,
+    ]
+    .iter()
+    .enumerate()
+    {
+        println!("  {:>10?}: {:>6} cycles", label, state_histogram[i]);
+    }
+    if !env.console().is_empty() {
+        println!("console: {}", String::from_utf8_lossy(env.console()));
+    }
+    println!("exit code: {:#x}", env.exit_code().expect("halted"));
+}

@@ -1,0 +1,60 @@
+//! Timing report for the studied core: clock period across technology
+//! corners, the critical path, and per-structure path distributions — the
+//! static-timing inputs that Figure 6 and the statically-reachable-set
+//! computation build on.
+//!
+//! Run with: `cargo run --release --example timing_report`
+
+use delayavf_netlist::Topology;
+use delayavf_rvcore::{build_core, Core, CoreConfig};
+use delayavf_timing::{PathHistogram, TechLibrary, TimingModel};
+
+fn main() {
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+
+    // Clock period per process corner.
+    let typical = TechLibrary::nangate45_like();
+    println!("clock period by corner:");
+    for (label, lib) in [
+        ("fast (0.75x)", typical.scaled(3, 4)),
+        ("typical", typical.clone()),
+        ("slow (1.3x)", typical.scaled(13, 10)),
+    ] {
+        let tm = TimingModel::analyze(&core.circuit, &topo, &lib);
+        println!("  {label:<12} {:>6} ps", tm.clock_period());
+    }
+
+    // The critical path at the typical corner, with net names where known.
+    let tm = TimingModel::analyze(&core.circuit, &topo, &typical);
+    let path = tm.critical_path(&core.circuit, &topo);
+    println!(
+        "\ncritical path ({} nets, {} ps clock):",
+        path.len(),
+        tm.clock_period()
+    );
+    for (net, arrival) in path.iter().take(3) {
+        describe(&core.circuit, *net, *arrival);
+    }
+    if path.len() > 6 {
+        println!("    ... {} intermediate nets ...", path.len() - 6);
+    }
+    for (net, arrival) in path.iter().rev().take(3).rev() {
+        describe(&core.circuit, *net, *arrival);
+    }
+
+    // Per-structure path profiles (Figure 6's data).
+    println!("\npath-length distribution (fraction of edges ≥ 75% of clock):");
+    for s in Core::structure_names() {
+        let edges = topo.structure_edges(&core.circuit, s).expect("tagged");
+        let hist = PathHistogram::from_edges(&core.circuit, &topo, &tm, &edges, 20);
+        println!("  {s:<10} {:>5.1}%", 100.0 * hist.fraction_at_least(0.75));
+    }
+}
+
+fn describe(c: &delayavf_netlist::Circuit, net: delayavf_netlist::NetId, arrival: u64) {
+    match c.net(net).name() {
+        Some(name) => println!("  {arrival:>5} ps  {name}"),
+        None => println!("  {arrival:>5} ps  {net} (internal)"),
+    }
+}

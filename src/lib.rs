@@ -1,0 +1,14 @@
+//! Umbrella crate for the DelayAVF reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can depend on a single package. Library users should
+//! normally depend on the individual crates instead (most importantly
+//! [`delayavf`], the analysis core).
+
+pub use delayavf;
+pub use delayavf_isa as isa;
+pub use delayavf_netlist as netlist;
+pub use delayavf_rvcore as rvcore;
+pub use delayavf_sim as sim;
+pub use delayavf_timing as timing;
+pub use delayavf_workloads as workloads;

@@ -1,0 +1,115 @@
+//! Differential test of the timing-aware simulator against an independent
+//! oracle.
+//!
+//! With a delay far larger than the clock period, a faulted fanout edge can
+//! never deliver an event before the latch deadline, so the cycle behaves
+//! exactly as if that edge were frozen at its previous settled value. That
+//! frozen-edge semantics is easy to compute with a plain zero-delay settle
+//! — giving an implementation-independent oracle for the event-driven
+//! simulator's fault handling.
+
+use delayavf::prepare_golden_seeded;
+use delayavf_netlist::{Circuit, Consumer, EdgeId, GateId, Topology};
+use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{settle, EventSim, FaultSpec};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+/// Zero-delay settle with one gate input pin (or flip-flop D pin) frozen to
+/// `frozen_val`; returns the latched flip-flop values.
+fn frozen_edge_latch(
+    c: &Circuit,
+    topo: &Topology,
+    state: &[bool],
+    inputs: &[u64],
+    edge: EdgeId,
+    frozen_val: bool,
+) -> Vec<bool> {
+    let frozen = topo.edge(edge);
+    let mut vals = vec![false; c.num_nets()];
+    for (id, net) in c.nets() {
+        if let delayavf_netlist::Driver::Const(v) = net.driver() {
+            vals[id.index()] = v;
+        }
+    }
+    for (port, &word) in c.input_ports().iter().zip(inputs) {
+        for (bit, &net) in port.nets().iter().enumerate() {
+            vals[net.index()] = (word >> bit) & 1 == 1;
+        }
+    }
+    for (id, dff) in c.dffs() {
+        vals[dff.q().index()] = state[id.index()];
+    }
+    let pin_is_frozen = |g: GateId, k: usize| {
+        matches!(frozen.consumer, Consumer::GatePin { gate, pin } if gate == g && usize::from(pin) == k)
+    };
+    for &g in topo.eval_order() {
+        let gate = c.gate(g);
+        let mut ins = [false; 3];
+        for (k, &inp) in gate.inputs().iter().enumerate() {
+            ins[k] = if pin_is_frozen(g, k) {
+                frozen_val
+            } else {
+                vals[inp.index()]
+            };
+        }
+        let out = gate.kind().eval(&ins[..gate.kind().arity()]);
+        vals[gate.output().index()] = out;
+    }
+    c.dffs()
+        .map(|(id, dff)| {
+            if matches!(frozen.consumer, Consumer::DffD(f) if f == id) {
+                frozen_val
+            } else {
+                vals[dff.d().index()]
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn event_sim_matches_frozen_edge_oracle_at_huge_delay() {
+    let core = build_core(CoreConfig::default());
+    let c = &core.circuit;
+    let topo = Topology::new(c);
+    let timing = TimingModel::analyze(c, &topo, &TechLibrary::nangate45_like());
+    let w = Kernel::Libstrstr.build(Scale::Tiny);
+    let p = w.assemble().unwrap();
+    let env = MemEnv::new(c, DEFAULT_RAM_BYTES, &p);
+    let golden = prepare_golden_seeded(c, &topo, &env, w.max_cycles, 4, 9);
+    let d = timing.clock_period() * 10;
+
+    let mut checked = 0usize;
+    let mut erring = 0usize;
+    let mut ev = EventSim::new(c, &topo, &timing);
+    for &cycle in &golden.sampled_cycles {
+        if cycle + 1 >= golden.trace.num_cycles() {
+            continue;
+        }
+        let nd = c.num_dffs();
+        let prev_state = golden.trace.state_bits_at(cycle - 1, nd);
+        let prev_values = settle(c, &topo, &prev_state, golden.trace.inputs_at(cycle - 1));
+        let new_state = golden.trace.state_bits_at(cycle, nd);
+        let next_state = golden.trace.state_bits_at(cycle + 1, nd);
+        let inputs = golden.trace.inputs_at(cycle);
+        // Every 37th edge across the entire core (structure-independent).
+        for i in (0..topo.edges().len()).step_by(37) {
+            let e = EdgeId::from_index(i);
+            let frozen_val = prev_values[topo.edge(e).source.index()];
+            let oracle = frozen_edge_latch(c, &topo, &new_state, inputs, e, frozen_val);
+            let latched = ev.latch_cycle(
+                &prev_values,
+                &new_state,
+                inputs,
+                Some(FaultSpec { edge: e, extra: d }),
+            );
+            assert_eq!(latched, oracle, "edge {e} at cycle {cycle}");
+            checked += 1;
+            if latched != next_state {
+                erring += 1;
+            }
+        }
+    }
+    assert!(checked > 300, "covered a real sample ({checked})");
+    assert!(erring > 0, "some frozen edges corrupt state ({erring})");
+}

@@ -1,0 +1,42 @@
+//! Every workload (the paper's five plus the extension kernels) runs on the
+//! gate-level core and produces its reference exit code.
+
+use delayavf_netlist::Topology;
+use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{CycleSim, StopReason};
+use delayavf_workloads::{suite_extended, Scale};
+
+#[test]
+fn all_tiny_workloads_run_on_the_gate_level_core() {
+    let core = build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    for w in suite_extended(Scale::Tiny) {
+        let p = w.assemble().expect("assembles");
+        let mut env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &p);
+        let mut sim = CycleSim::new(&core.circuit, &topo);
+        let summary = sim.run(&mut env, w.max_cycles);
+        assert_eq!(summary.reason, StopReason::Halted, "{} halts", w.kernel);
+        assert_eq!(
+            env.exit_code(),
+            Some(w.expected_exit),
+            "{} exits with its reference value",
+            w.kernel
+        );
+    }
+}
+
+#[test]
+fn fast_adder_core_reproduces_every_tiny_workload() {
+    let core = build_core(CoreConfig {
+        fast_adder: true,
+        ..CoreConfig::default()
+    });
+    let topo = Topology::new(&core.circuit);
+    for w in suite_extended(Scale::Tiny) {
+        let p = w.assemble().expect("assembles");
+        let mut env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &p);
+        let mut sim = CycleSim::new(&core.circuit, &topo);
+        sim.run(&mut env, w.max_cycles);
+        assert_eq!(env.exit_code(), Some(w.expected_exit), "{}", w.kernel);
+    }
+}
