@@ -83,7 +83,12 @@ fn bench_event_sim(c: &mut Criterion) {
     let extra = f.timing.clock_period() / 2;
     c.bench_function("event_sim_faulty_cycle", |b| {
         b.iter(|| {
-            sim.latch_cycle(&prev_values, &new_state, &inputs, Some(FaultSpec { edge, extra }))
+            sim.latch_cycle(
+                &prev_values,
+                &new_state,
+                &inputs,
+                Some(FaultSpec { edge, extra }),
+            )
         })
     });
     c.bench_function("event_sim_fault_free_cycle", |b| {
@@ -167,8 +172,7 @@ fn bench_early_exit_ablation(c: &mut Criterion) {
         c.bench_function(&format!("groupace_8_strikes_{label}"), |b| {
             b.iter_batched(
                 || {
-                    let mut inj =
-                        Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
                     inj.set_early_exit(early);
                     inj
                 },

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
-//!       [--tiny] [--due-slack N]
+//!       [--tiny] [--due-slack N] [--threads N]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
@@ -37,6 +37,8 @@ options:
   --dffs N        struck flip-flops per structure (default 72)
   --seed N        sampling seed (default 7)
   --due-slack N   DUE cycle budget (default 2000)
+  --threads N     campaign worker threads; results are identical for
+  (or -j N)       every N (default: one per available core)
   --tiny          use tiny workloads (smoke test)
   --config FILE   run an artifact-style configuration file instead
                   (see configs/*.cfg; other options are ignored)
@@ -75,6 +77,10 @@ fn main() -> ExitCode {
                 Ok(v) => opts.due_slack = v,
                 Err(e) => return fail(&e),
             },
+            "--threads" | "-j" => match num("--threads") {
+                Ok(v) => opts.threads = v as usize,
+                Err(e) => return fail(&e),
+            },
             "--tiny" => opts.scale = Scale::Tiny,
             "--config" => {
                 let Some(path) = it.next() else {
@@ -103,10 +109,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if wanted.iter().any(|w| w == "all") {
-        wanted = ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "multibit", "guardband", "fastadder", "variance"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        wanted = [
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table3",
+            "multibit",
+            "guardband",
+            "fastadder",
+            "variance",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     eprintln!("building cores and timing models ...");

@@ -21,11 +21,10 @@
 //! seed = 7
 //! due_slack = 2000
 //! orace = false                        # also compute OrDelayAVF
+//! threads = 0                          # campaign workers, 0 = one per core
 //! ```
 
-use delayavf::{
-    delay_avf_campaign, prepare_golden_percent, sample_edges, CampaignConfig,
-};
+use delayavf::{delay_avf_campaign, prepare_golden_percent, sample_edges, CampaignConfig};
 use delayavf_netlist::Topology;
 use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
 use delayavf_timing::{TechLibrary, TimingModel};
@@ -56,6 +55,8 @@ pub struct ExperimentSpec {
     pub due_slack: u64,
     /// Compute the ORACE approximation.
     pub orace: bool,
+    /// Campaign worker threads (`0` = one per available core).
+    pub threads: usize,
 }
 
 impl Default for ExperimentSpec {
@@ -72,6 +73,7 @@ impl Default for ExperimentSpec {
             seed: 7,
             due_slack: 2_000,
             orace: false,
+            threads: 0,
         }
     }
 }
@@ -81,11 +83,22 @@ fn parse_delay_range(text: &str) -> Result<Vec<f64>, String> {
     if parts.len() != 3 {
         return Err(format!("delay_range needs `lo:hi:steps`, got `{text}`"));
     }
-    let lo: f64 = parts[0].trim().parse().map_err(|e| format!("delay_range lo: {e}"))?;
-    let hi: f64 = parts[1].trim().parse().map_err(|e| format!("delay_range hi: {e}"))?;
-    let steps: usize = parts[2].trim().parse().map_err(|e| format!("delay_range steps: {e}"))?;
+    let lo: f64 = parts[0]
+        .trim()
+        .parse()
+        .map_err(|e| format!("delay_range lo: {e}"))?;
+    let hi: f64 = parts[1]
+        .trim()
+        .parse()
+        .map_err(|e| format!("delay_range hi: {e}"))?;
+    let steps: usize = parts[2]
+        .trim()
+        .parse()
+        .map_err(|e| format!("delay_range steps: {e}"))?;
     if steps == 0 || !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || hi < lo {
-        return Err(format!("delay_range out of order or out of [0,1]: `{text}`"));
+        return Err(format!(
+            "delay_range out of order or out of [0,1]: `{text}`"
+        ));
     }
     if steps == 1 {
         return Ok(vec![lo]);
@@ -136,14 +149,16 @@ impl ExperimentSpec {
                         .map_err(|e| bad(format!("percent_sampled_cycles_delay: {e}")))?;
                 }
                 "edge_limit" => {
-                    spec.edge_limit =
-                        value.parse().map_err(|e| bad(format!("edge_limit: {e}")))?;
+                    spec.edge_limit = value.parse().map_err(|e| bad(format!("edge_limit: {e}")))?;
                 }
                 "seed" => spec.seed = value.parse().map_err(|e| bad(format!("seed: {e}")))?,
                 "due_slack" => {
                     spec.due_slack = value.parse().map_err(|e| bad(format!("due_slack: {e}")))?;
                 }
                 "orace" => spec.orace = parse_bool(value).map_err(bad)?,
+                "threads" => {
+                    spec.threads = value.parse().map_err(|e| bad(format!("threads: {e}")))?;
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -192,6 +207,7 @@ impl ExperimentSpec {
             delay_fractions: self.delay_fractions.clone(),
             compute_orace: self.orace,
             due_slack: self.due_slack,
+            threads: self.threads,
         };
         let rows = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config);
 
@@ -253,6 +269,7 @@ mod tests {
             edge_limit = 100
             seed = 42
             orace = true
+            threads = 3
             "#,
         )
         .unwrap();
@@ -265,6 +282,7 @@ mod tests {
         assert_eq!(spec.edge_limit, 100);
         assert_eq!(spec.seed, 42);
         assert!(spec.orace);
+        assert_eq!(spec.threads, 3);
     }
 
     #[test]

@@ -62,6 +62,7 @@ fn sweep(
         delay_fractions: fractions.to_vec(),
         compute_orace: orace,
         due_slack: opts.due_slack,
+        threads: opts.threads,
     };
     delay_avf_campaign(
         &variant.core.circuit,
@@ -102,7 +103,13 @@ pub fn table1(h: &mut Harness) -> Experiment {
         id: "table1",
         title: "statistics about the examined structures".into(),
         report: render_table(
-            &["structure", "# injected wires (E)", "gates", "dffs", "paper (Ibex)"],
+            &[
+                "structure",
+                "# injected wires (E)",
+                "gates",
+                "dffs",
+                "paper (Ibex)",
+            ],
             &rows,
         ),
     }
@@ -155,7 +162,12 @@ pub fn fig6(h: &mut Harness) -> Experiment {
             format!("{:.1}%", 100.0 * hist.fraction_at_least(0.75)),
             format!("{:.1}%", 100.0 * hist.fraction_at_least(0.9)),
         ]);
-        let _ = writeln!(report, "\n[{}] clock = {} ps", sel.label(), hist.clock_period());
+        let _ = writeln!(
+            report,
+            "\n[{}] clock = {} ps",
+            sel.label(),
+            hist.clock_period()
+        );
         report.push_str(&hist.to_string());
     }
     let summary = render_table(
@@ -191,10 +203,7 @@ pub fn fig7(h: &mut Harness, opts: &Opts) -> Experiment {
         }
         let geo: Vec<f64> = (0..DELAY_FRACTIONS.len())
             .map(|i| {
-                geometric_mean_floored(
-                    &per_kernel.iter().map(|k| k[i]).collect::<Vec<_>>(),
-                    floor,
-                )
+                geometric_mean_floored(&per_kernel.iter().map(|k| k[i]).collect::<Vec<_>>(), floor)
             })
             .collect();
         series.push(NormalizedSeries::new(sel.label(), geo));
@@ -289,6 +298,7 @@ pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
                 &golden,
                 &dffs,
                 opts.due_slack,
+                opts.threads,
             )
             .savf();
             savfs.push(savf);
@@ -317,7 +327,13 @@ pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
         id: "fig10",
         title: "geomean sAVF vs DelayAVF for stateful structures".into(),
         report: render_table(
-            &["structure", "sAVF", "sAVF (norm)", "DelayAVF@90%", "DelayAVF (norm)"],
+            &[
+                "structure",
+                "sAVF",
+                "sAVF (norm)",
+                "DelayAVF@90%",
+                "DelayAVF (norm)",
+            ],
             &rows,
         ),
     }
@@ -420,7 +436,10 @@ pub fn multibit(h: &mut Harness, opts: &Opts) -> Experiment {
     Experiment {
         id: "multibit",
         title: "fraction of state-element errors that are multi-bit".into(),
-        report: render_table(&["d", "error-producing SDFs", "multi-bit", "% multi-bit"], &rows),
+        report: render_table(
+            &["d", "error-producing SDFs", "multi-bit", "% multi-bit"],
+            &rows,
+        ),
     }
 }
 
@@ -441,7 +460,13 @@ pub fn guardband(h: &mut Harness, opts: &Opts) -> Experiment {
     let mut rows = Vec::new();
     for margin in [0.0, 10.0, 20.0, 30.0, 50.0] {
         let timing = variant.timing.with_guardband(margin);
-        let mut inj = Injector::new(&variant.core.circuit, &variant.topo, &timing, &golden, opts.due_slack);
+        let mut inj = Injector::new(
+            &variant.core.circuit,
+            &variant.topo,
+            &timing,
+            &golden,
+            opts.due_slack,
+        );
         let (mut injections, mut dynamic, mut ace) = (0usize, 0usize, 0usize);
         for &cycle in &golden.sampled_cycles {
             if cycle + 1 >= golden.trace.num_cycles() {
@@ -490,8 +515,7 @@ pub fn fastadder(h: &mut Harness, opts: &Opts) -> Experiment {
                 .topo
                 .structure_edges(&v.core.circuit, "alu")
                 .expect("alu tagged");
-            let hist =
-                PathHistogram::from_edges(&v.core.circuit, &v.topo, &v.timing, &edges, 10);
+            let hist = PathHistogram::from_edges(&v.core.circuit, &v.topo, &v.timing, &edges, 10);
             (v.timing.clock_period(), hist.fraction_at_least(0.75))
         };
         let sweep_rows = sweep(h, sel, kernel, opts, false, &fractions);
@@ -553,6 +577,7 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
                 delay_fractions: vec![0.8],
                 compute_orace: false,
                 due_slack: seeded.due_slack,
+                threads: seeded.threads,
             },
         )[0];
         let (lo, hi) = r.delay_avf_interval();

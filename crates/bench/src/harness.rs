@@ -25,6 +25,9 @@ pub struct Opts {
     /// DUE budget: extra cycles past the golden length before declaring a
     /// detected unrecoverable error.
     pub due_slack: u64,
+    /// Campaign worker threads (`0` = one per available core). Results are
+    /// identical for every value — see the determinism tests.
+    pub threads: usize,
 }
 
 impl Default for Opts {
@@ -36,6 +39,7 @@ impl Default for Opts {
             seed: 7,
             scale: Scale::Paper,
             due_slack: 2_000,
+            threads: 0,
         }
     }
 }

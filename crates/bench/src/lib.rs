@@ -15,8 +15,9 @@ pub mod config;
 pub mod experiments;
 pub mod harness;
 
-pub use experiments::{
-    fastadder, fig10, fig6, fig7, fig8, fig9, guardband, multibit, table1, table2, table3, variance, Experiment,
-};
 pub use config::ExperimentSpec;
+pub use experiments::{
+    fastadder, fig10, fig6, fig7, fig8, fig9, guardband, multibit, table1, table2, table3,
+    variance, Experiment,
+};
 pub use harness::{Harness, Opts, StructureSel};

@@ -1,11 +1,45 @@
 //! Fault-injection campaigns: DelayAVF sweeps and particle-strike sAVF.
+//!
+//! # Sharded parallel engine
+//!
+//! Every injection is independent given the golden trace, so each campaign
+//! partitions its outermost sampling axis (cycles, or bits for the per-bit
+//! campaign) into contiguous shards and runs one worker per shard on
+//! [`std::thread::scope`] threads. Workers share the circuit, topology,
+//! timing model and golden run read-only (hence the `Send + Sync`
+//! supertrait on [`Environment`]) and each owns a private [`Injector`],
+//! whose fan-in/replay caches and cycle reconstruction are per-run mutable
+//! state.
+//!
+//! **Determinism:** parallel results are bit-for-bit identical to serial
+//! for any thread count. All counters are integers merged by addition in
+//! shard order, records are concatenated in shard order, and sharding by
+//! whole cycles keeps every cache-shareable replay (keys are scoped to one
+//! latch boundary) inside a single worker, so even the [`InjectorStats`]
+//! cache-hit counters are partition-independent.
+//!
+//! # Latch-boundary conventions
+//!
+//! The two fault models classify at different boundaries **by design**:
+//!
+//! * A small delay fault in cycle `c` corrupts the values *latched at the
+//!   end* of `c`, so [`delay_avf_campaign`] (via [`Injector::inject`])
+//!   classifies the error group at boundary `c + 1`.
+//! * A particle strike at cycle `c` corrupts *already-stored* state, so the
+//!   sAVF campaigns ([`savf_campaign`], [`savf_per_bit_campaign`],
+//!   [`spatial_double_strike_campaign`]) classify at boundary `c` itself.
+//!
+//! Both conventions draw `c` from [`valid_cycles`], which keeps every
+//! boundary inside the golden trace.
+
+use std::thread;
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
 use delayavf_sim::Environment;
 use delayavf_timing::{Picos, TimingModel};
 
 use crate::golden::GoldenRun;
-use crate::injector::Injector;
+use crate::injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 use crate::razor::InjectionRecord;
 use crate::result::{DelayAvfResult, OraceStats, SavfResult};
 
@@ -21,6 +55,10 @@ pub struct CampaignConfig {
     /// Extra cycles past the golden program length before a non-halting
     /// faulty run is declared a DUE.
     pub due_slack: u64,
+    /// Worker threads for the sharded engine. `0` (the default) resolves
+    /// to [`std::thread::available_parallelism`]. Results are identical
+    /// for every value; only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -29,6 +67,7 @@ impl Default for CampaignConfig {
             delay_fractions: (1..=9).map(|k| k as f64 / 10.0).collect(),
             compute_orace: false,
             due_slack: 2_000,
+            threads: 0,
         }
     }
 }
@@ -41,6 +80,142 @@ impl CampaignConfig {
             ..CampaignConfig::default()
         }
     }
+
+    /// Builder-style override of the worker-thread count (`0` = one per
+    /// available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// The sampled cycles on which injection is well-defined: cycle 0 has no
+/// preceding settled state to simulate from, and the final trace cycle has
+/// no successor boundary to classify at. Every campaign filters through
+/// this one helper so the conventions cannot drift apart.
+pub fn valid_cycles<E: Environment + Clone>(golden: &GoldenRun<E>) -> Vec<u64> {
+    golden
+        .sampled_cycles
+        .iter()
+        .copied()
+        .filter(|&c| c >= 1 && c < golden.trace.num_cycles())
+        .collect()
+}
+
+/// Resolves a requested thread count: `0` means one per available core,
+/// and no campaign spawns more workers than it has shardable items.
+fn resolve_threads(requested: usize, items: usize) -> usize {
+    let t = if requested == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.clamp(1, items.max(1))
+}
+
+/// Runs `work` over contiguous shards of `items` on scoped threads and
+/// returns the per-shard results **in shard order** (which is what makes
+/// order-sensitive merges — record concatenation — deterministic).
+fn run_sharded<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return vec![work(items)];
+    }
+    let shard_len = items.len().div_ceil(threads);
+    thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = items
+            .chunks(shard_len)
+            .map(|shard| scope.spawn(move || work(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    })
+}
+
+/// Folds one injection outcome into a result row (shared by the sweep and
+/// the record-keeping campaign so their accounting cannot diverge).
+fn tally(row: &mut DelayAvfResult, outcome: &InjectionOutcome) {
+    row.injections += 1;
+    if outcome.statically_reachable > 0 {
+        row.static_hits += 1;
+    }
+    if !outcome.dynamic_set.is_empty() {
+        row.dynamic_hits += 1;
+        if outcome.is_multi_bit() {
+            row.multi_bit_hits += 1;
+        }
+    }
+    if outcome.visible {
+        row.delay_ace_hits += 1;
+        match outcome.class {
+            FailureClass::Sdc => row.sdc_hits += 1,
+            FailureClass::Due => row.due_hits += 1,
+            FailureClass::Masked => unreachable!("visible"),
+        }
+    }
+}
+
+/// One empty result row per configured delay fraction.
+fn empty_rows(config: &CampaignConfig) -> Vec<DelayAvfResult> {
+    config
+        .delay_fractions
+        .iter()
+        .map(|&fraction| DelayAvfResult {
+            delay_fraction: fraction,
+            orace: config.compute_orace.then(OraceStats::default),
+            ..DelayAvfResult::default()
+        })
+        .collect()
+}
+
+/// Worker body of [`delay_avf_campaign`]: the full sweep restricted to one
+/// shard of cycles, with a private injector.
+fn delay_sweep_shard<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+    cycles: &[u64],
+) -> (Vec<DelayAvfResult>, InjectorStats) {
+    let mut injector = Injector::new(circuit, topo, timing, golden, config.due_slack);
+    let mut rows = empty_rows(config);
+    for (fi, &fraction) in config.delay_fractions.iter().enumerate() {
+        let extra = fraction_to_picos(timing, fraction);
+        let mut orace = OraceStats::default();
+        for &cycle in cycles {
+            for &edge in edges {
+                let outcome = injector.inject(cycle, edge, extra);
+                tally(&mut rows[fi], &outcome);
+                if config.compute_orace && !outcome.dynamic_set.is_empty() {
+                    let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);
+                    if or {
+                        orace.or_hits += 1;
+                    }
+                    if or && !outcome.visible {
+                        orace.interference += 1;
+                    }
+                    if !or && outcome.visible {
+                        orace.compounding += 1;
+                    }
+                }
+            }
+        }
+        if config.compute_orace {
+            rows[fi].orace = Some(orace);
+        }
+    }
+    (rows, injector.stats)
 }
 
 /// Runs a DelayAVF sweep: every sampled cycle × every given edge × every
@@ -58,67 +233,39 @@ pub fn delay_avf_campaign<E: Environment + Clone>(
     edges: &[EdgeId],
     config: &CampaignConfig,
 ) -> Vec<DelayAvfResult> {
-    let mut injector = Injector::new(circuit, topo, timing, golden, config.due_slack);
-    let cycles: Vec<u64> = golden
-        .sampled_cycles
-        .iter()
-        .copied()
-        .filter(|&c| c >= 1 && c < golden.trace.num_cycles())
-        .collect();
+    delay_avf_campaign_with_stats(circuit, topo, timing, golden, edges, config).0
+}
 
-    let mut results = Vec::with_capacity(config.delay_fractions.len());
-    for &fraction in &config.delay_fractions {
-        let extra = fraction_to_picos(timing, fraction);
-        let mut row = DelayAvfResult {
-            delay_fraction: fraction,
-            ..DelayAvfResult::default()
-        };
-        let mut orace = OraceStats::default();
-        for &cycle in &cycles {
-            for &edge in edges {
-                let outcome = injector.inject(cycle, edge, extra);
-                row.injections += 1;
-                if outcome.statically_reachable > 0 {
-                    row.static_hits += 1;
-                }
-                if !outcome.dynamic_set.is_empty() {
-                    row.dynamic_hits += 1;
-                    if outcome.is_multi_bit() {
-                        row.multi_bit_hits += 1;
-                    }
-                    if config.compute_orace {
-                        let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);
-                        if or {
-                            orace.or_hits += 1;
-                        }
-                        if or && !outcome.visible {
-                            orace.interference += 1;
-                        }
-                        if !or && outcome.visible {
-                            orace.compounding += 1;
-                        }
-                    }
-                }
-                if outcome.visible {
-                    row.delay_ace_hits += 1;
-                    match outcome.class {
-                        crate::injector::FailureClass::Sdc => row.sdc_hits += 1,
-                        crate::injector::FailureClass::Due => row.due_hits += 1,
-                        crate::injector::FailureClass::Masked => unreachable!("visible"),
-                    }
-                }
-            }
+/// Like [`delay_avf_campaign`], also returning the merged engine counters
+/// of all workers (used for §V-C prefilter reporting and by the
+/// determinism tests; identical for every thread count).
+pub fn delay_avf_campaign_with_stats<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+) -> (Vec<DelayAvfResult>, InjectorStats) {
+    let cycles = valid_cycles(golden);
+    let threads = resolve_threads(config.threads, cycles.len());
+    let shards = run_sharded(threads, &cycles, |shard| {
+        delay_sweep_shard(circuit, topo, timing, golden, edges, config, shard)
+    });
+    let mut rows = empty_rows(config);
+    let mut stats = InjectorStats::default();
+    for (shard_rows, shard_stats) in shards {
+        for (row, part) in rows.iter_mut().zip(&shard_rows) {
+            row.merge(part);
         }
-        if config.compute_orace {
-            row.orace = Some(orace);
-        }
-        results.push(row);
+        stats.merge(&shard_stats);
     }
-    results
+    (rows, stats)
 }
 
 /// Runs a particle-strike campaign: a single bit flip in each of `dffs` at
 /// every sampled cycle, classic single-bit ACE analysis (Equation 1).
+/// `threads = 0` uses one worker per available core.
 pub fn savf_campaign<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
@@ -126,24 +273,51 @@ pub fn savf_campaign<E: Environment + Clone>(
     golden: &GoldenRun<E>,
     dffs: &[DffId],
     due_slack: u64,
+    threads: usize,
 ) -> SavfResult {
-    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
-    let mut result = SavfResult::default();
-    for &cycle in &golden.sampled_cycles {
-        for &dff in dffs {
-            result.injections += 1;
-            if injector.bit_ace(cycle, dff) {
-                result.ace_hits += 1;
+    savf_campaign_with_stats(circuit, topo, timing, golden, dffs, due_slack, threads).0
+}
+
+/// Like [`savf_campaign`], also returning the merged engine counters.
+pub fn savf_campaign_with_stats<E: Environment + Clone>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    due_slack: u64,
+    threads: usize,
+) -> (SavfResult, InjectorStats) {
+    let cycles = valid_cycles(golden);
+    let threads = resolve_threads(threads, cycles.len());
+    let shards = run_sharded(threads, &cycles, |shard| {
+        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut r = SavfResult::default();
+        for &cycle in shard {
+            for &dff in dffs {
+                r.injections += 1;
+                if injector.bit_ace(cycle, dff) {
+                    r.ace_hits += 1;
+                }
             }
         }
+        (r, injector.stats)
+    });
+    let mut result = SavfResult::default();
+    let mut stats = InjectorStats::default();
+    for (shard_result, shard_stats) in shards {
+        result.merge(&shard_result);
+        stats.merge(&shard_stats);
     }
-    result
+    (result, stats)
 }
 
 /// Like [`delay_avf_campaign`] for a **single** delay fraction, but also
 /// returning every injection's record (cycle, edge, dynamic set,
 /// visibility) for downstream analyses such as Razor protection planning
-/// ([`crate::razor`]).
+/// ([`crate::razor`]). Records come back in (cycle, edge) sampling order
+/// regardless of `threads`.
+#[allow(clippy::too_many_arguments)]
 pub fn delay_avf_campaign_records<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
@@ -152,51 +326,47 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
     edges: &[EdgeId],
     fraction: f64,
     due_slack: u64,
+    threads: usize,
 ) -> (DelayAvfResult, Vec<InjectionRecord>) {
-    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+    let cycles = valid_cycles(golden);
+    let threads = resolve_threads(threads, cycles.len());
     let extra = fraction_to_picos(timing, fraction);
+    let shards = run_sharded(threads, &cycles, |shard| {
+        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut row = DelayAvfResult {
+            delay_fraction: fraction,
+            ..DelayAvfResult::default()
+        };
+        let mut records = Vec::with_capacity(shard.len() * edges.len());
+        for &cycle in shard {
+            for &edge in edges {
+                let outcome = injector.inject(cycle, edge, extra);
+                tally(&mut row, &outcome);
+                records.push(InjectionRecord {
+                    cycle,
+                    edge,
+                    outcome,
+                });
+            }
+        }
+        (row, records)
+    });
     let mut row = DelayAvfResult {
         delay_fraction: fraction,
         ..DelayAvfResult::default()
     };
     let mut records = Vec::new();
-    for &cycle in &golden.sampled_cycles {
-        if cycle == 0 || cycle + 1 > golden.trace.num_cycles() {
-            continue;
-        }
-        for &edge in edges {
-            let outcome = injector.inject(cycle, edge, extra);
-            row.injections += 1;
-            if outcome.statically_reachable > 0 {
-                row.static_hits += 1;
-            }
-            if !outcome.dynamic_set.is_empty() {
-                row.dynamic_hits += 1;
-                if outcome.is_multi_bit() {
-                    row.multi_bit_hits += 1;
-                }
-            }
-            if outcome.visible {
-                row.delay_ace_hits += 1;
-                match outcome.class {
-                    crate::injector::FailureClass::Sdc => row.sdc_hits += 1,
-                    crate::injector::FailureClass::Due => row.due_hits += 1,
-                    crate::injector::FailureClass::Masked => unreachable!("visible"),
-                }
-            }
-            records.push(InjectionRecord {
-                cycle,
-                edge,
-                outcome,
-            });
-        }
+    for (shard_row, shard_records) in shards {
+        row.merge(&shard_row);
+        records.extend(shard_records);
     }
     (row, records)
 }
 
 /// Per-bit sAVF: like [`savf_campaign`] but reporting each flip-flop's
 /// individual ACE fraction, so designers can locate a structure's
-/// vulnerability *hotspots* (the bits worth hardening first).
+/// vulnerability *hotspots* (the bits worth hardening first). Sharded over
+/// bits; the returned order follows `dffs` regardless of `threads`.
 pub fn savf_per_bit_campaign<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
@@ -204,20 +374,27 @@ pub fn savf_per_bit_campaign<E: Environment + Clone>(
     golden: &GoldenRun<E>,
     dffs: &[DffId],
     due_slack: u64,
+    threads: usize,
 ) -> Vec<(DffId, SavfResult)> {
-    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
-    dffs.iter()
-        .map(|&dff| {
-            let mut r = SavfResult::default();
-            for &cycle in &golden.sampled_cycles {
-                r.injections += 1;
-                if injector.bit_ace(cycle, dff) {
-                    r.ace_hits += 1;
+    let cycles = valid_cycles(golden);
+    let threads = resolve_threads(threads, dffs.len());
+    let shards = run_sharded(threads, dffs, |shard| {
+        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        shard
+            .iter()
+            .map(|&dff| {
+                let mut r = SavfResult::default();
+                for &cycle in &cycles {
+                    r.injections += 1;
+                    if injector.bit_ace(cycle, dff) {
+                        r.ace_hits += 1;
+                    }
                 }
-            }
-            (dff, r)
-        })
-        .collect()
+                (dff, r)
+            })
+            .collect::<Vec<_>>()
+    });
+    shards.into_iter().flatten().collect()
 }
 
 /// Runs a **spatial double-bit** particle-strike campaign: simultaneous
@@ -229,6 +406,11 @@ pub fn savf_per_bit_campaign<E: Environment + Clone>(
 /// Unlike an SDF's dynamically reachable set, these pairs are fixed a
 /// priori by layout adjacency — comparing the two campaigns quantifies how
 /// much of delay-fault vulnerability spatial models can(not) capture.
+///
+/// Classification happens at boundary `cycle` (not `cycle + 1` as for
+/// SDFs): a strike corrupts state that is already latched, whereas an SDF
+/// corrupts the values being latched at the end of the faulty cycle — see
+/// the module docs on latch-boundary conventions.
 pub fn spatial_double_strike_campaign<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
@@ -236,16 +418,26 @@ pub fn spatial_double_strike_campaign<E: Environment + Clone>(
     golden: &GoldenRun<E>,
     dffs: &[DffId],
     due_slack: u64,
+    threads: usize,
 ) -> SavfResult {
-    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
-    let mut result = SavfResult::default();
-    for &cycle in &golden.sampled_cycles {
-        for pair in dffs.windows(2) {
-            result.injections += 1;
-            if injector.group_ace(cycle, pair) {
-                result.ace_hits += 1;
+    let cycles = valid_cycles(golden);
+    let threads = resolve_threads(threads, cycles.len());
+    let shards = run_sharded(threads, &cycles, |shard| {
+        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut r = SavfResult::default();
+        for &cycle in shard {
+            for pair in dffs.windows(2) {
+                r.injections += 1;
+                if injector.group_ace(cycle, pair) {
+                    r.ace_hits += 1;
+                }
             }
         }
+        r
+    });
+    let mut result = SavfResult::default();
+    for shard_result in shards {
+        result.merge(&shard_result);
     }
     result
 }
@@ -287,6 +479,7 @@ mod tests {
             delay_fractions: vec![0.1, 0.5, 1.0],
             compute_orace: false,
             due_slack: 30,
+            threads: 1,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         assert_eq!(rows.len(), 3);
@@ -314,6 +507,7 @@ mod tests {
             delay_fractions: vec![0.9],
             compute_orace: true,
             due_slack: 30,
+            threads: 1,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         let r = &rows[0];
@@ -330,8 +524,8 @@ mod tests {
         let env = crate::testenv::ObservingEnv::new(5, 20);
         let golden = prepare_golden(&c, &topo, &env, 100, 4);
         let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
-        let agg = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30);
-        let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30);
+        let agg = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
+        let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
         assert_eq!(per_bit.len(), dffs.len());
         let hits: usize = per_bit.iter().map(|(_, r)| r.ace_hits).sum();
         let trials: usize = per_bit.iter().map(|(_, r)| r.injections).sum();
@@ -345,7 +539,7 @@ mod tests {
         let env = crate::testenv::ObservingEnv::new(5, 20);
         let golden = prepare_golden(&c, &topo, &env, 100, 4);
         let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
-        let r = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30);
+        let r = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
         assert_eq!(r.injections, dffs.len() * golden.sampled_cycles.len());
         // Flips in the final executed cycle are never observed by the
         // environment (their outputs are past the last observation) — the
@@ -359,5 +553,86 @@ mod tests {
             .count();
         assert_eq!(r.ace_hits, r.injections - dffs.len() * invisible_cycles);
         assert!(r.savf() > 0.7);
+    }
+
+    /// The tentpole invariant: every campaign entry point returns exactly
+    /// the serial answer for every thread count — including the ORACE
+    /// statistics and the merged injector counters.
+    #[test]
+    fn parallel_campaigns_match_serial_bit_for_bit() {
+        let (c, topo, timing) = fixture();
+        let env = crate::testenv::ObservingEnv::new(5, 20);
+        let golden = prepare_golden(&c, &topo, &env, 100, 8);
+        let edges = topo.structure_edges(&c, "adder").unwrap();
+        let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
+
+        let config = CampaignConfig {
+            delay_fractions: vec![0.2, 0.6, 1.0],
+            compute_orace: true,
+            due_slack: 30,
+            threads: 1,
+        };
+        let (serial_rows, serial_stats) =
+            delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &config);
+        let (serial_savf, serial_savf_stats) =
+            savf_campaign_with_stats(&c, &topo, &timing, &golden, &dffs, 30, 1);
+        let (serial_rec_row, serial_records) =
+            delay_avf_campaign_records(&c, &topo, &timing, &golden, &edges, 0.9, 30, 1);
+        let serial_per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
+        let serial_spatial =
+            spatial_double_strike_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
+
+        for threads in [2, 4] {
+            let cfg = config.clone().with_threads(threads);
+            let (rows, stats) =
+                delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &cfg);
+            assert_eq!(rows, serial_rows, "sweep rows, {threads} threads");
+            assert_eq!(stats, serial_stats, "sweep stats, {threads} threads");
+
+            let (savf, savf_stats) =
+                savf_campaign_with_stats(&c, &topo, &timing, &golden, &dffs, 30, threads);
+            assert_eq!(savf, serial_savf, "savf, {threads} threads");
+            assert_eq!(
+                savf_stats, serial_savf_stats,
+                "savf stats, {threads} threads"
+            );
+
+            let (rec_row, records) =
+                delay_avf_campaign_records(&c, &topo, &timing, &golden, &edges, 0.9, 30, threads);
+            assert_eq!(rec_row, serial_rec_row, "records row, {threads} threads");
+            assert_eq!(records, serial_records, "records order, {threads} threads");
+
+            let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30, threads);
+            assert_eq!(per_bit, serial_per_bit, "per-bit, {threads} threads");
+
+            let spatial =
+                spatial_double_strike_campaign(&c, &topo, &timing, &golden, &dffs, 30, threads);
+            assert_eq!(spatial, serial_spatial, "spatial, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn valid_cycles_drops_only_out_of_range_samples() {
+        let (c, topo, timing) = fixture();
+        let _ = &timing;
+        let env = ConstEnvironment::new(vec![5]);
+        let mut golden = prepare_golden(&c, &topo, &env, 24, 6);
+        let n = golden.trace.num_cycles();
+        // Poison the sample set with out-of-range cycles; campaigns must
+        // skip them instead of panicking in the injector.
+        golden.sampled_cycles.insert(0, 0);
+        golden.sampled_cycles.push(n);
+        golden.sampled_cycles.push(n + 7);
+        let filtered = valid_cycles(&golden);
+        assert!(filtered.iter().all(|&cy| cy >= 1 && cy < n));
+        assert_eq!(filtered.len(), golden.sampled_cycles.len() - 3);
+    }
+
+    #[test]
+    fn thread_resolution_clamps_to_work_items() {
+        assert_eq!(resolve_threads(3, 100), 3);
+        assert_eq!(resolve_threads(8, 2), 2);
+        assert_eq!(resolve_threads(1, 0), 1);
+        assert!(resolve_threads(0, 1_000_000) >= 1);
     }
 }

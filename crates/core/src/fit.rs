@@ -48,7 +48,10 @@ pub fn structure_fit(
     delay_avf: f64,
     raw_fit_per_wire: f64,
 ) -> StructureFit {
-    assert!((0.0..=1.0).contains(&delay_avf), "DelayAVF is a probability");
+    assert!(
+        (0.0..=1.0).contains(&delay_avf),
+        "DelayAVF is a probability"
+    );
     assert!(raw_fit_per_wire >= 0.0, "rates are non-negative");
     StructureFit {
         structure: structure.into(),

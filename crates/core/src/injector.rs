@@ -124,6 +124,22 @@ pub struct InjectorStats {
     pub replay_cache_hits: u64,
 }
 
+impl InjectorStats {
+    /// Adds another worker's counters into this one.
+    ///
+    /// The sharded campaign engine partitions work by whole cycles and every
+    /// cache key is scoped to a single latch boundary, so cache hit/miss
+    /// counts are partition-independent: the merged totals are identical to
+    /// a serial run's for any thread count.
+    pub fn merge(&mut self, other: &InjectorStats) {
+        self.static_filtered += other.static_filtered;
+        self.toggle_filtered += other.toggle_filtered;
+        self.event_sims += other.event_sims;
+        self.replays += other.replays;
+        self.replay_cache_hits += other.replay_cache_hits;
+    }
+}
+
 impl<'a, E: Environment + Clone> Injector<'a, E> {
     /// Creates an engine bound to one analyzed circuit and golden run.
     ///
@@ -179,6 +195,13 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
 
     /// Full two-step evaluation: is edge `edge` DelayACE in `cycle` under an
     /// extra delay of `extra` picoseconds?
+    ///
+    /// The resulting error group is classified at boundary `cycle + 1`: a
+    /// delay fault in `cycle` corrupts the values *latched at the end* of
+    /// that cycle, which are the state at the start of `cycle + 1`. This is
+    /// deliberately one boundary later than the strike-model entry points
+    /// ([`Injector::bit_ace`], [`Injector::group_ace`]), which flip state
+    /// that is *already* latched at their `boundary` argument.
     ///
     /// # Panics
     ///
@@ -255,6 +278,11 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
 
     /// Step 2 (timing-agnostic): is a simultaneous error in `set` at the
     /// start of `boundary` a program-visible failure (Definition 4)?
+    ///
+    /// `boundary` names the latch boundary whose *stored* state is
+    /// corrupted. Strike-model campaigns pass the struck cycle itself;
+    /// [`Injector::inject`] passes `cycle + 1` for the delay-fault model —
+    /// see its docs for why the conventions differ.
     pub fn group_ace(&mut self, boundary: u64, set: &[DffId]) -> bool {
         self.group_failure(boundary, set).is_visible()
     }
@@ -396,11 +424,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
     }
 
     fn ensure_cycle_data(&mut self, cycle: u64) {
-        if self
-            .cycle_data
-            .as_ref()
-            .is_some_and(|d| d.cycle == cycle)
-        {
+        if self.cycle_data.as_ref().is_some_and(|d| d.cycle == cycle) {
             return;
         }
         let trace = &self.golden.trace;
@@ -433,11 +457,7 @@ mod tests {
     /// A 4-bit accumulator with a parity check: the parity register is a
     /// "detector" — flipping accumulator bits changes outputs (visible),
     /// but the circuit has no feedback correction.
-    fn fixture() -> (
-        delayavf_netlist::Circuit,
-        Topology,
-        TimingModel,
-    ) {
+    fn fixture() -> (delayavf_netlist::Circuit, Topology, TimingModel) {
         let mut b = CircuitBuilder::new();
         let step = b.input_word("step", 4);
         let acc = b.reg_word("acc", 4, 0);
@@ -556,6 +576,9 @@ mod tests {
         // (the pipeline flushes), and the pair reconverges too. What cannot
         // be masked is a flip in a loop-free pipeline: verify reconvergence.
         assert!(!inj.group_ace(cycle, &dffs), "pipeline flushes both errors");
-        assert!(!inj.bit_ace(cycle, dffs[0]), "pipeline flushes single error");
+        assert!(
+            !inj.bit_ace(cycle, dffs[0]),
+            "pipeline flushes single error"
+        );
     }
 }

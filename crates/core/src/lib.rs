@@ -42,9 +42,9 @@
 
 mod campaign;
 pub mod fit;
-pub mod razor;
 mod golden;
 mod injector;
+pub mod razor;
 mod report;
 mod result;
 mod sampling;
@@ -52,11 +52,12 @@ mod sampling;
 mod testenv;
 
 pub use campaign::{
-    delay_avf_campaign, delay_avf_campaign_records, savf_campaign, savf_per_bit_campaign,
-    spatial_double_strike_campaign, CampaignConfig,
+    delay_avf_campaign, delay_avf_campaign_records, delay_avf_campaign_with_stats, savf_campaign,
+    savf_campaign_with_stats, savf_per_bit_campaign, spatial_double_strike_campaign, valid_cycles,
+    CampaignConfig,
 };
 pub use golden::{prepare_golden, prepare_golden_percent, prepare_golden_seeded, GoldenRun};
-pub use injector::{FailureClass, InjectionOutcome, Injector};
+pub use injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 pub use report::{
     format_fraction_row, geometric_mean, geometric_mean_floored, render_table, wilson_interval,
     NormalizedSeries,

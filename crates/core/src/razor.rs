@@ -156,7 +156,11 @@ mod tests {
         ];
         let chosen = greedy_protection(&records, 2);
         assert_eq!(chosen[0], DffId::from_index(7));
-        assert_eq!(chosen[1], DffId::from_index(2), "second pick covers the leftover");
+        assert_eq!(
+            chosen[1],
+            DffId::from_index(2),
+            "second pick covers the leftover"
+        );
         let protected: HashSet<DffId> = chosen.into_iter().collect();
         assert_eq!(detection_coverage(&records, &protected).fraction(), 1.0);
     }

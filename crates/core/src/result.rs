@@ -16,6 +16,16 @@ pub struct OraceStats {
     pub compounding: usize,
 }
 
+impl OraceStats {
+    /// Adds another shard's counters into this one (the sharded campaign
+    /// engine's deterministic merge — pure integer addition).
+    pub fn merge(&mut self, other: &OraceStats) {
+        self.or_hits += other.or_hits;
+        self.interference += other.interference;
+        self.compounding += other.compounding;
+    }
+}
+
 /// One row of a DelayAVF sweep: all counters for a (structure, benchmark,
 /// delay duration) cell.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -45,6 +55,25 @@ pub struct DelayAvfResult {
 }
 
 impl DelayAvfResult {
+    /// Adds another shard's counters into this one. Both rows must describe
+    /// the same delay fraction and agree on whether ORACE was computed —
+    /// the sharded campaign engine guarantees both by construction.
+    pub fn merge(&mut self, other: &DelayAvfResult) {
+        debug_assert_eq!(self.delay_fraction, other.delay_fraction);
+        self.injections += other.injections;
+        self.static_hits += other.static_hits;
+        self.dynamic_hits += other.dynamic_hits;
+        self.delay_ace_hits += other.delay_ace_hits;
+        self.sdc_hits += other.sdc_hits;
+        self.due_hits += other.due_hits;
+        self.multi_bit_hits += other.multi_bit_hits;
+        match (&mut self.orace, &other.orace) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, None) => {}
+            _ => panic!("cannot merge DelayAvfResult rows with mismatched ORACE presence"),
+        }
+    }
+
     /// DelayAVF (Equation 3): DelayACE hits over injections.
     pub fn delay_avf(&self) -> f64 {
         ratio(self.delay_ace_hits, self.injections)
@@ -125,6 +154,12 @@ pub struct SavfResult {
 }
 
 impl SavfResult {
+    /// Adds another shard's counters into this one.
+    pub fn merge(&mut self, other: &SavfResult) {
+        self.injections += other.injections;
+        self.ace_hits += other.ace_hits;
+    }
+
     /// The structure's particle-strike AVF (Equation 1 over the sampled
     /// cycles).
     pub fn savf(&self) -> f64 {
@@ -210,6 +245,82 @@ mod tests {
         };
         let (lo, hi) = s.savf_interval();
         assert!(lo < 0.5 && 0.5 < hi);
+    }
+
+    #[test]
+    fn merge_is_plain_counter_addition() {
+        let mut a = DelayAvfResult {
+            delay_fraction: 0.5,
+            injections: 10,
+            static_hits: 8,
+            dynamic_hits: 6,
+            delay_ace_hits: 4,
+            sdc_hits: 3,
+            due_hits: 1,
+            multi_bit_hits: 2,
+            orace: Some(OraceStats {
+                or_hits: 5,
+                interference: 1,
+                compounding: 0,
+            }),
+        };
+        let b = DelayAvfResult {
+            delay_fraction: 0.5,
+            injections: 7,
+            static_hits: 5,
+            dynamic_hits: 4,
+            delay_ace_hits: 2,
+            sdc_hits: 1,
+            due_hits: 1,
+            multi_bit_hits: 1,
+            orace: Some(OraceStats {
+                or_hits: 2,
+                interference: 0,
+                compounding: 1,
+            }),
+        };
+        a.merge(&b);
+        assert_eq!(a.injections, 17);
+        assert_eq!(a.static_hits, 13);
+        assert_eq!(a.dynamic_hits, 10);
+        assert_eq!(a.delay_ace_hits, 6);
+        assert_eq!(a.sdc_hits, 4);
+        assert_eq!(a.due_hits, 2);
+        assert_eq!(a.multi_bit_hits, 3);
+        assert_eq!(
+            a.orace.unwrap(),
+            OraceStats {
+                or_hits: 7,
+                interference: 1,
+                compounding: 1
+            }
+        );
+
+        let mut s = SavfResult {
+            injections: 4,
+            ace_hits: 2,
+        };
+        s.merge(&SavfResult {
+            injections: 3,
+            ace_hits: 3,
+        });
+        assert_eq!(
+            s,
+            SavfResult {
+                injections: 7,
+                ace_hits: 5
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched ORACE presence")]
+    fn merge_rejects_mismatched_orace() {
+        let mut a = DelayAvfResult {
+            orace: Some(OraceStats::default()),
+            ..DelayAvfResult::default()
+        };
+        a.merge(&DelayAvfResult::default());
     }
 
     #[test]

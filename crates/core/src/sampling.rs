@@ -71,10 +71,7 @@ pub fn sample_edges(edges: &[EdgeId], limit: usize, seed: u64) -> Vec<EdgeId> {
         return edges.to_vec();
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut picked: Vec<EdgeId> = edges
-        .choose_multiple(&mut rng, limit)
-        .copied()
-        .collect();
+    let mut picked: Vec<EdgeId> = edges.choose_multiple(&mut rng, limit).copied().collect();
     picked.sort_unstable();
     picked
 }

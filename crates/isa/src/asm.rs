@@ -356,7 +356,10 @@ fn check_i12(v: i64, line: usize) -> Result<i32, AsmError> {
     if (-2048..=2047).contains(&v) {
         Ok(v as i32)
     } else {
-        Err(AsmError::new(line, format!("immediate {v} does not fit 12 bits")))
+        Err(AsmError::new(
+            line,
+            format!("immediate {v} does not fit 12 bits"),
+        ))
     }
 }
 
@@ -371,7 +374,10 @@ fn split_ops(operands: &str) -> Vec<&str> {
 fn branch_offset(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
     let off = target - i64::from(pc);
     if off % 2 != 0 || !(-(1 << 12)..(1 << 12)).contains(&off) {
-        return Err(AsmError::new(line, format!("branch target out of range ({off} bytes)")));
+        return Err(AsmError::new(
+            line,
+            format!("branch target out of range ({off} bytes)"),
+        ));
     }
     Ok(off as i32)
 }
@@ -379,7 +385,10 @@ fn branch_offset(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
 fn jump_offset(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
     let off = target - i64::from(pc);
     if off % 2 != 0 || !(-(1 << 20)..(1 << 20)).contains(&off) {
-        return Err(AsmError::new(line, format!("jump target out of range ({off} bytes)")));
+        return Err(AsmError::new(
+            line,
+            format!("jump target out of range ({off} bytes)"),
+        ));
     }
     Ok(off as i32)
 }
@@ -392,7 +401,11 @@ fn hi_lo(value: u32) -> (u32, i32) {
     (hi, lo)
 }
 
-fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> Result<(), AsmError> {
+fn emit(
+    stmt: &Stmt<'_>,
+    symbols: &BTreeMap<String, u32>,
+    bytes: &mut [u8],
+) -> Result<(), AsmError> {
     let line = stmt.line;
     let ops = split_ops(stmt.operands);
     let nops = |n: usize| -> Result<(), AsmError> {
@@ -401,7 +414,11 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
         } else {
             Err(AsmError::new(
                 line,
-                format!("`{}` expects {n} operands, got {}", stmt.mnemonic, ops.len()),
+                format!(
+                    "`{}` expects {n} operands, got {}",
+                    stmt.mnemonic,
+                    ops.len()
+                ),
             ))
         }
     };
@@ -431,7 +448,10 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
     let shift_i = |k: AluOp, ops: &[&str]| -> Result<Inst, AsmError> {
         let imm = eval(ops[2], symbols, line)?;
         if !(0..32).contains(&imm) {
-            return Err(AsmError::new(line, format!("shift amount {imm} out of range")));
+            return Err(AsmError::new(
+                line,
+                format!("shift amount {imm} out of range"),
+            ));
         }
         Ok(Inst::OpImm {
             kind: k,
@@ -503,34 +523,94 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
         }
 
         // R-type ALU.
-        "add" => { nops(3)?; out.push(alu_r(AluOp::Add, &ops)?.encode()); }
-        "sub" => { nops(3)?; out.push(alu_r(AluOp::Sub, &ops)?.encode()); }
-        "sll" => { nops(3)?; out.push(alu_r(AluOp::Sll, &ops)?.encode()); }
-        "slt" => { nops(3)?; out.push(alu_r(AluOp::Slt, &ops)?.encode()); }
-        "sltu" => { nops(3)?; out.push(alu_r(AluOp::Sltu, &ops)?.encode()); }
-        "xor" => { nops(3)?; out.push(alu_r(AluOp::Xor, &ops)?.encode()); }
-        "srl" => { nops(3)?; out.push(alu_r(AluOp::Srl, &ops)?.encode()); }
-        "sra" => { nops(3)?; out.push(alu_r(AluOp::Sra, &ops)?.encode()); }
-        "or" => { nops(3)?; out.push(alu_r(AluOp::Or, &ops)?.encode()); }
-        "and" => { nops(3)?; out.push(alu_r(AluOp::And, &ops)?.encode()); }
+        "add" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Add, &ops)?.encode());
+        }
+        "sub" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Sub, &ops)?.encode());
+        }
+        "sll" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Sll, &ops)?.encode());
+        }
+        "slt" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Slt, &ops)?.encode());
+        }
+        "sltu" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Sltu, &ops)?.encode());
+        }
+        "xor" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Xor, &ops)?.encode());
+        }
+        "srl" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Srl, &ops)?.encode());
+        }
+        "sra" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Sra, &ops)?.encode());
+        }
+        "or" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::Or, &ops)?.encode());
+        }
+        "and" => {
+            nops(3)?;
+            out.push(alu_r(AluOp::And, &ops)?.encode());
+        }
 
         // I-type ALU.
-        "addi" => { nops(3)?; out.push(alu_i(AluOp::Add, &ops)?.encode()); }
-        "slti" => { nops(3)?; out.push(alu_i(AluOp::Slt, &ops)?.encode()); }
-        "sltiu" => { nops(3)?; out.push(alu_i(AluOp::Sltu, &ops)?.encode()); }
-        "xori" => { nops(3)?; out.push(alu_i(AluOp::Xor, &ops)?.encode()); }
-        "ori" => { nops(3)?; out.push(alu_i(AluOp::Or, &ops)?.encode()); }
-        "andi" => { nops(3)?; out.push(alu_i(AluOp::And, &ops)?.encode()); }
-        "slli" => { nops(3)?; out.push(shift_i(AluOp::Sll, &ops)?.encode()); }
-        "srli" => { nops(3)?; out.push(shift_i(AluOp::Srl, &ops)?.encode()); }
-        "srai" => { nops(3)?; out.push(shift_i(AluOp::Sra, &ops)?.encode()); }
+        "addi" => {
+            nops(3)?;
+            out.push(alu_i(AluOp::Add, &ops)?.encode());
+        }
+        "slti" => {
+            nops(3)?;
+            out.push(alu_i(AluOp::Slt, &ops)?.encode());
+        }
+        "sltiu" => {
+            nops(3)?;
+            out.push(alu_i(AluOp::Sltu, &ops)?.encode());
+        }
+        "xori" => {
+            nops(3)?;
+            out.push(alu_i(AluOp::Xor, &ops)?.encode());
+        }
+        "ori" => {
+            nops(3)?;
+            out.push(alu_i(AluOp::Or, &ops)?.encode());
+        }
+        "andi" => {
+            nops(3)?;
+            out.push(alu_i(AluOp::And, &ops)?.encode());
+        }
+        "slli" => {
+            nops(3)?;
+            out.push(shift_i(AluOp::Sll, &ops)?.encode());
+        }
+        "srli" => {
+            nops(3)?;
+            out.push(shift_i(AluOp::Srl, &ops)?.encode());
+        }
+        "srai" => {
+            nops(3)?;
+            out.push(shift_i(AluOp::Sra, &ops)?.encode());
+        }
 
         // Upper immediates.
         "lui" | "auipc" => {
             nops(2)?;
             let v = val(ops[1])?;
             if !(0..(1 << 20)).contains(&v) {
-                return Err(AsmError::new(line, format!("upper immediate {v} out of range")));
+                return Err(AsmError::new(
+                    line,
+                    format!("upper immediate {v} out of range"),
+                ));
             }
             let rd = reg(ops[0])?;
             let imm = (v as u32) << 12;
@@ -545,41 +625,118 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
         }
 
         // Loads / stores.
-        "lb" => { nops(2)?; out.push(load(LoadKind::Lb, &ops)?.encode()); }
-        "lh" => { nops(2)?; out.push(load(LoadKind::Lh, &ops)?.encode()); }
-        "lw" => { nops(2)?; out.push(load(LoadKind::Lw, &ops)?.encode()); }
-        "lbu" => { nops(2)?; out.push(load(LoadKind::Lbu, &ops)?.encode()); }
-        "lhu" => { nops(2)?; out.push(load(LoadKind::Lhu, &ops)?.encode()); }
-        "sb" => { nops(2)?; out.push(store(StoreKind::Sb, &ops)?.encode()); }
-        "sh" => { nops(2)?; out.push(store(StoreKind::Sh, &ops)?.encode()); }
-        "sw" => { nops(2)?; out.push(store(StoreKind::Sw, &ops)?.encode()); }
+        "lb" => {
+            nops(2)?;
+            out.push(load(LoadKind::Lb, &ops)?.encode());
+        }
+        "lh" => {
+            nops(2)?;
+            out.push(load(LoadKind::Lh, &ops)?.encode());
+        }
+        "lw" => {
+            nops(2)?;
+            out.push(load(LoadKind::Lw, &ops)?.encode());
+        }
+        "lbu" => {
+            nops(2)?;
+            out.push(load(LoadKind::Lbu, &ops)?.encode());
+        }
+        "lhu" => {
+            nops(2)?;
+            out.push(load(LoadKind::Lhu, &ops)?.encode());
+        }
+        "sb" => {
+            nops(2)?;
+            out.push(store(StoreKind::Sb, &ops)?.encode());
+        }
+        "sh" => {
+            nops(2)?;
+            out.push(store(StoreKind::Sh, &ops)?.encode());
+        }
+        "sw" => {
+            nops(2)?;
+            out.push(store(StoreKind::Sw, &ops)?.encode());
+        }
 
         // Branches.
-        "beq" => { nops(3)?; out.push(branch(BranchKind::Eq, ops[0], ops[1], ops[2])?.encode()); }
-        "bne" => { nops(3)?; out.push(branch(BranchKind::Ne, ops[0], ops[1], ops[2])?.encode()); }
-        "blt" => { nops(3)?; out.push(branch(BranchKind::Lt, ops[0], ops[1], ops[2])?.encode()); }
-        "bge" => { nops(3)?; out.push(branch(BranchKind::Ge, ops[0], ops[1], ops[2])?.encode()); }
-        "bltu" => { nops(3)?; out.push(branch(BranchKind::Ltu, ops[0], ops[1], ops[2])?.encode()); }
-        "bgeu" => { nops(3)?; out.push(branch(BranchKind::Geu, ops[0], ops[1], ops[2])?.encode()); }
+        "beq" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Eq, ops[0], ops[1], ops[2])?.encode());
+        }
+        "bne" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Ne, ops[0], ops[1], ops[2])?.encode());
+        }
+        "blt" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Lt, ops[0], ops[1], ops[2])?.encode());
+        }
+        "bge" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Ge, ops[0], ops[1], ops[2])?.encode());
+        }
+        "bltu" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Ltu, ops[0], ops[1], ops[2])?.encode());
+        }
+        "bgeu" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Geu, ops[0], ops[1], ops[2])?.encode());
+        }
         // Swapped-operand pseudo branches.
-        "bgt" => { nops(3)?; out.push(branch(BranchKind::Lt, ops[1], ops[0], ops[2])?.encode()); }
-        "ble" => { nops(3)?; out.push(branch(BranchKind::Ge, ops[1], ops[0], ops[2])?.encode()); }
-        "bgtu" => { nops(3)?; out.push(branch(BranchKind::Ltu, ops[1], ops[0], ops[2])?.encode()); }
-        "bleu" => { nops(3)?; out.push(branch(BranchKind::Geu, ops[1], ops[0], ops[2])?.encode()); }
+        "bgt" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Lt, ops[1], ops[0], ops[2])?.encode());
+        }
+        "ble" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Ge, ops[1], ops[0], ops[2])?.encode());
+        }
+        "bgtu" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Ltu, ops[1], ops[0], ops[2])?.encode());
+        }
+        "bleu" => {
+            nops(3)?;
+            out.push(branch(BranchKind::Geu, ops[1], ops[0], ops[2])?.encode());
+        }
         // Compare-to-zero pseudo branches.
-        "beqz" => { nops(2)?; out.push(branch(BranchKind::Eq, ops[0], "zero", ops[1])?.encode()); }
-        "bnez" => { nops(2)?; out.push(branch(BranchKind::Ne, ops[0], "zero", ops[1])?.encode()); }
-        "bltz" => { nops(2)?; out.push(branch(BranchKind::Lt, ops[0], "zero", ops[1])?.encode()); }
-        "bgez" => { nops(2)?; out.push(branch(BranchKind::Ge, ops[0], "zero", ops[1])?.encode()); }
-        "blez" => { nops(2)?; out.push(branch(BranchKind::Ge, "zero", ops[0], ops[1])?.encode()); }
-        "bgtz" => { nops(2)?; out.push(branch(BranchKind::Lt, "zero", ops[0], ops[1])?.encode()); }
+        "beqz" => {
+            nops(2)?;
+            out.push(branch(BranchKind::Eq, ops[0], "zero", ops[1])?.encode());
+        }
+        "bnez" => {
+            nops(2)?;
+            out.push(branch(BranchKind::Ne, ops[0], "zero", ops[1])?.encode());
+        }
+        "bltz" => {
+            nops(2)?;
+            out.push(branch(BranchKind::Lt, ops[0], "zero", ops[1])?.encode());
+        }
+        "bgez" => {
+            nops(2)?;
+            out.push(branch(BranchKind::Ge, ops[0], "zero", ops[1])?.encode());
+        }
+        "blez" => {
+            nops(2)?;
+            out.push(branch(BranchKind::Ge, "zero", ops[0], ops[1])?.encode());
+        }
+        "bgtz" => {
+            nops(2)?;
+            out.push(branch(BranchKind::Lt, "zero", ops[0], ops[1])?.encode());
+        }
 
         // Jumps.
         "jal" => {
             let (rd, target) = match ops.len() {
                 1 => (Reg::RA, ops[0]),
                 2 => (reg(ops[0])?, ops[1]),
-                n => return Err(AsmError::new(line, format!("jal expects 1 or 2 operands, got {n}"))),
+                n => {
+                    return Err(AsmError::new(
+                        line,
+                        format!("jal expects 1 or 2 operands, got {n}"),
+                    ))
+                }
             };
             let offset = jump_offset(val(target)?, stmt.addr, line)?;
             out.push(Inst::Jal { rd, offset }.encode());
@@ -587,12 +744,24 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
         "j" => {
             nops(1)?;
             let offset = jump_offset(val(ops[0])?, stmt.addr, line)?;
-            out.push(Inst::Jal { rd: Reg::ZERO, offset }.encode());
+            out.push(
+                Inst::Jal {
+                    rd: Reg::ZERO,
+                    offset,
+                }
+                .encode(),
+            );
         }
         "call" => {
             nops(1)?;
             let offset = jump_offset(val(ops[0])?, stmt.addr, line)?;
-            out.push(Inst::Jal { rd: Reg::RA, offset }.encode());
+            out.push(
+                Inst::Jal {
+                    rd: Reg::RA,
+                    offset,
+                }
+                .encode(),
+            );
         }
         "jalr" => {
             let (rd, rs1, offset) = match ops.len() {
@@ -601,40 +770,110 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
                     let (offset, rs1) = parse_mem(ops[1], symbols, line)?;
                     (reg(ops[0])?, rs1, offset)
                 }
-                n => return Err(AsmError::new(line, format!("jalr expects 1 or 2 operands, got {n}"))),
+                n => {
+                    return Err(AsmError::new(
+                        line,
+                        format!("jalr expects 1 or 2 operands, got {n}"),
+                    ))
+                }
             };
             out.push(Inst::Jalr { rd, rs1, offset }.encode());
         }
         "jr" => {
             nops(1)?;
-            out.push(Inst::Jalr { rd: Reg::ZERO, rs1: reg(ops[0])?, offset: 0 }.encode());
+            out.push(
+                Inst::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: reg(ops[0])?,
+                    offset: 0,
+                }
+                .encode(),
+            );
         }
         "ret" => {
             nops(0)?;
-            out.push(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }.encode());
+            out.push(
+                Inst::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: Reg::RA,
+                    offset: 0,
+                }
+                .encode(),
+            );
         }
 
         // Other pseudo instructions.
-        "nop" => { nops(0)?; out.push(Inst::OpImm { kind: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }.encode()); }
+        "nop" => {
+            nops(0)?;
+            out.push(
+                Inst::OpImm {
+                    kind: AluOp::Add,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    imm: 0,
+                }
+                .encode(),
+            );
+        }
         "mv" => {
             nops(2)?;
-            out.push(Inst::OpImm { kind: AluOp::Add, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 }.encode());
+            out.push(
+                Inst::OpImm {
+                    kind: AluOp::Add,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: 0,
+                }
+                .encode(),
+            );
         }
         "not" => {
             nops(2)?;
-            out.push(Inst::OpImm { kind: AluOp::Xor, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: -1 }.encode());
+            out.push(
+                Inst::OpImm {
+                    kind: AluOp::Xor,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: -1,
+                }
+                .encode(),
+            );
         }
         "neg" => {
             nops(2)?;
-            out.push(Inst::Op { kind: AluOp::Sub, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? }.encode());
+            out.push(
+                Inst::Op {
+                    kind: AluOp::Sub,
+                    rd: reg(ops[0])?,
+                    rs1: Reg::ZERO,
+                    rs2: reg(ops[1])?,
+                }
+                .encode(),
+            );
         }
         "seqz" => {
             nops(2)?;
-            out.push(Inst::OpImm { kind: AluOp::Sltu, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 1 }.encode());
+            out.push(
+                Inst::OpImm {
+                    kind: AluOp::Sltu,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: 1,
+                }
+                .encode(),
+            );
         }
         "snez" => {
             nops(2)?;
-            out.push(Inst::Op { kind: AluOp::Sltu, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? }.encode());
+            out.push(
+                Inst::Op {
+                    kind: AluOp::Sltu,
+                    rd: reg(ops[0])?,
+                    rs1: Reg::ZERO,
+                    rs2: reg(ops[1])?,
+                }
+                .encode(),
+            );
         }
         "li" => {
             nops(2)?;
@@ -643,11 +882,27 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
             // which works on the raw i64 value.
             let v64 = val(ops[1])?;
             if (-2048..=2047).contains(&v64) {
-                out.push(Inst::OpImm { kind: AluOp::Add, rd, rs1: Reg::ZERO, imm: v64 as i32 }.encode());
+                out.push(
+                    Inst::OpImm {
+                        kind: AluOp::Add,
+                        rd,
+                        rs1: Reg::ZERO,
+                        imm: v64 as i32,
+                    }
+                    .encode(),
+                );
             } else {
                 let (hi, lo) = hi_lo(v64 as u32);
                 out.push(Inst::Lui { rd, imm: hi }.encode());
-                out.push(Inst::OpImm { kind: AluOp::Add, rd, rs1: rd, imm: lo }.encode());
+                out.push(
+                    Inst::OpImm {
+                        kind: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    }
+                    .encode(),
+                );
             }
         }
         "la" => {
@@ -656,11 +911,25 @@ fn emit(stmt: &Stmt<'_>, symbols: &BTreeMap<String, u32>, bytes: &mut [u8]) -> R
             let v = val(ops[1])? as u32;
             let (hi, lo) = hi_lo(v);
             out.push(Inst::Lui { rd, imm: hi }.encode());
-            out.push(Inst::OpImm { kind: AluOp::Add, rd, rs1: rd, imm: lo }.encode());
+            out.push(
+                Inst::OpImm {
+                    kind: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                }
+                .encode(),
+            );
         }
 
-        "ecall" => { nops(0)?; out.push(Inst::Ecall.encode()); }
-        "ebreak" => { nops(0)?; out.push(Inst::Ebreak.encode()); }
+        "ecall" => {
+            nops(0)?;
+            out.push(Inst::Ecall.encode());
+        }
+        "ebreak" => {
+            nops(0)?;
+            out.push(Inst::Ebreak.encode());
+        }
 
         other => return Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
     }
@@ -703,9 +972,7 @@ mod tests {
 
     #[test]
     fn labels_and_branches_resolve_both_directions() {
-        let w = words(
-            "start: addi a0, a0, 1\n beq a0, a1, done\n j start\n done: ret\n",
-        );
+        let w = words("start: addi a0, a0, 1\n beq a0, a1, done\n j start\n done: ret\n");
         match Inst::decode(w[1]).unwrap() {
             Inst::Branch { offset, .. } => assert_eq!(offset, 8),
             other => panic!("expected branch, got {other}"),
@@ -735,7 +1002,18 @@ mod tests {
 
     #[test]
     fn hi_lo_round_trips_all_boundary_values() {
-        for v in [0u32, 1, 0x7ff, 0x800, 0xfff, 0x1000, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0xffff_f800] {
+        for v in [
+            0u32,
+            1,
+            0x7ff,
+            0x800,
+            0xfff,
+            0x1000,
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_ffff,
+            0xffff_f800,
+        ] {
             let (hi, lo) = hi_lo(v);
             assert_eq!(hi & 0xfff, 0, "hi has low bits clear for {v:#x}");
             assert_eq!(hi.wrapping_add(lo as u32), v, "hi+lo reconstructs {v:#x}");
@@ -838,6 +1116,9 @@ mod tests {
         assert_eq!(Inst::decode(w[2]).unwrap().to_string(), "sub a2, zero, a3");
         assert_eq!(Inst::decode(w[3]).unwrap().to_string(), "sltiu a3, a4, 1");
         assert_eq!(Inst::decode(w[4]).unwrap().to_string(), "sltu a4, zero, a5");
-        assert_eq!(Inst::decode(w[5]).unwrap().to_string(), "addi zero, zero, 0");
+        assert_eq!(
+            Inst::decode(w[5]).unwrap().to_string(),
+            "addi zero, zero, 0"
+        );
     }
 }

@@ -373,7 +373,10 @@ impl Inst {
         let rs2 = |r: Reg| u32::from(r.num()) << 20;
         let f3 = |v: u32| v << 12;
         let i_imm = |imm: i32| {
-            assert!((-2048..=2047).contains(&imm), "i-type immediate {imm} out of range");
+            assert!(
+                (-2048..=2047).contains(&imm),
+                "i-type immediate {imm} out of range"
+            );
             ((imm as u32) & 0xfff) << 20
         };
         match self {
@@ -382,7 +385,11 @@ impl Inst {
                 imm | rd(d) | OPC_LUI
             }
             Inst::Auipc { rd: d, imm } => {
-                assert_eq!(imm & 0xfff, 0, "auipc immediate must have low 12 bits clear");
+                assert_eq!(
+                    imm & 0xfff,
+                    0,
+                    "auipc immediate must have low 12 bits clear"
+                );
                 imm | rd(d) | OPC_AUIPC
             }
             Inst::Jal { rd: d, offset } => {
@@ -392,9 +399,11 @@ impl Inst {
                 );
                 enc_j_imm(offset) | rd(d) | OPC_JAL
             }
-            Inst::Jalr { rd: d, rs1: s1, offset } => {
-                i_imm(offset) | rs1(s1) | f3(0) | rd(d) | OPC_JALR
-            }
+            Inst::Jalr {
+                rd: d,
+                rs1: s1,
+                offset,
+            } => i_imm(offset) | rs1(s1) | f3(0) | rd(d) | OPC_JALR,
             Inst::Branch {
                 kind,
                 rs1: s1,
@@ -648,11 +657,27 @@ mod tests {
     #[test]
     fn encode_decode_round_trips() {
         let r = Reg::new;
-        roundtrip(Inst::Lui { rd: r(5), imm: 0xdead_b000 });
-        roundtrip(Inst::Auipc { rd: r(1), imm: 0x1000 });
-        roundtrip(Inst::Jal { rd: r(1), offset: -2048 });
-        roundtrip(Inst::Jal { rd: r(0), offset: 1048574 });
-        roundtrip(Inst::Jalr { rd: r(0), rs1: r(1), offset: -4 });
+        roundtrip(Inst::Lui {
+            rd: r(5),
+            imm: 0xdead_b000,
+        });
+        roundtrip(Inst::Auipc {
+            rd: r(1),
+            imm: 0x1000,
+        });
+        roundtrip(Inst::Jal {
+            rd: r(1),
+            offset: -2048,
+        });
+        roundtrip(Inst::Jal {
+            rd: r(0),
+            offset: 1048574,
+        });
+        roundtrip(Inst::Jalr {
+            rd: r(0),
+            rs1: r(1),
+            offset: -4,
+        });
         for kind in [
             BranchKind::Eq,
             BranchKind::Ne,
@@ -661,14 +686,40 @@ mod tests {
             BranchKind::Ltu,
             BranchKind::Geu,
         ] {
-            roundtrip(Inst::Branch { kind, rs1: r(3), rs2: r(9), offset: -4096 });
-            roundtrip(Inst::Branch { kind, rs1: r(15), rs2: r(0), offset: 4094 });
+            roundtrip(Inst::Branch {
+                kind,
+                rs1: r(3),
+                rs2: r(9),
+                offset: -4096,
+            });
+            roundtrip(Inst::Branch {
+                kind,
+                rs1: r(15),
+                rs2: r(0),
+                offset: 4094,
+            });
         }
-        for kind in [LoadKind::Lb, LoadKind::Lh, LoadKind::Lw, LoadKind::Lbu, LoadKind::Lhu] {
-            roundtrip(Inst::Load { kind, rd: r(4), rs1: r(2), offset: -2048 });
+        for kind in [
+            LoadKind::Lb,
+            LoadKind::Lh,
+            LoadKind::Lw,
+            LoadKind::Lbu,
+            LoadKind::Lhu,
+        ] {
+            roundtrip(Inst::Load {
+                kind,
+                rd: r(4),
+                rs1: r(2),
+                offset: -2048,
+            });
         }
         for kind in [StoreKind::Sb, StoreKind::Sh, StoreKind::Sw] {
-            roundtrip(Inst::Store { kind, rs2: r(7), rs1: r(2), offset: 2047 });
+            roundtrip(Inst::Store {
+                kind,
+                rs2: r(7),
+                rs1: r(2),
+                offset: 2047,
+            });
         }
         for kind in [
             AluOp::Add,
@@ -678,10 +729,20 @@ mod tests {
             AluOp::Or,
             AluOp::And,
         ] {
-            roundtrip(Inst::OpImm { kind, rd: r(6), rs1: r(7), imm: -7 });
+            roundtrip(Inst::OpImm {
+                kind,
+                rd: r(6),
+                rs1: r(7),
+                imm: -7,
+            });
         }
         for kind in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
-            roundtrip(Inst::OpImm { kind, rd: r(6), rs1: r(7), imm: 31 });
+            roundtrip(Inst::OpImm {
+                kind,
+                rd: r(6),
+                rs1: r(7),
+                imm: 31,
+            });
         }
         for kind in [
             AluOp::Add,
@@ -695,7 +756,12 @@ mod tests {
             AluOp::Or,
             AluOp::And,
         ] {
-            roundtrip(Inst::Op { kind, rd: r(1), rs1: r(2), rs2: r(3) });
+            roundtrip(Inst::Op {
+                kind,
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            });
         }
         roundtrip(Inst::Ecall);
         roundtrip(Inst::Ebreak);

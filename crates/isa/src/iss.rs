@@ -183,7 +183,13 @@ impl Iss {
         })
     }
 
-    fn store_mem(&mut self, addr: u32, size: u32, value: u32, pc: u32) -> Result<Option<StopCause>, Trap> {
+    fn store_mem(
+        &mut self,
+        addr: u32,
+        size: u32,
+        value: u32,
+        pc: u32,
+    ) -> Result<Option<StopCause>, Trap> {
         if !addr.is_multiple_of(size) {
             return Err(Trap::Misaligned { addr, pc });
         }
@@ -331,10 +337,7 @@ impl Iss {
             self.pc = next_pc;
             self.retired += 1;
             if !next_pc.is_multiple_of(4) {
-                stop = Some(StopCause::Trap(Trap::Misaligned {
-                    addr: next_pc,
-                    pc,
-                }));
+                stop = Some(StopCause::Trap(Trap::Misaligned { addr: next_pc, pc }));
             }
         }
         stop
@@ -371,9 +374,8 @@ mod tests {
 
     #[test]
     fn arithmetic_and_exit() {
-        let (iss, cause) = run(
-            "li a0, 100\n li a1, -30\n add a2, a0, a1\n li t0, 0x10004\n sw a2, 0(t0)\n",
-        );
+        let (iss, cause) =
+            run("li a0, 100\n li a1, -30\n add a2, a0, a1\n li t0, 0x10004\n sw a2, 0(t0)\n");
         assert_eq!(cause, StopCause::Exit(70));
         // Retired: li, li, add, li-large (2 insts); the exiting sw does not
         // retire.
@@ -394,8 +396,7 @@ mod tests {
     #[test]
     fn loops_and_branches() {
         // Sum 1..=10 into a0.
-        let (iss, cause) = run(
-            r#"
+        let (iss, cause) = run(r#"
             li a0, 0
             li a1, 10
         loop:
@@ -404,16 +405,14 @@ mod tests {
             bnez a1, loop
             li t0, 0x10004
             sw a0, 0(t0)
-            "#,
-        );
+            "#);
         assert_eq!(cause, StopCause::Exit(55));
         assert!(iss.retired() > 30);
     }
 
     #[test]
     fn memory_round_trips_all_widths() {
-        let (iss, cause) = run(
-            r#"
+        let (iss, cause) = run(r#"
             li   t0, 0x100
             li   a0, 0x80
             sb   a0, 0(t0)        # store 0x80
@@ -428,8 +427,7 @@ mod tests {
             add  a5, a5, a4       # + 0x8000 -> 0
             li   t1, 0x10004
             sw   a5, 0(t1)
-            "#,
-        );
+            "#);
         assert_eq!(cause, StopCause::Exit(0));
         assert_eq!(iss.reg(Reg::parse("a1").unwrap()), 0xffff_ff80);
         assert_eq!(iss.reg(Reg::parse("a3").unwrap()), 0xffff_8000);
@@ -438,8 +436,7 @@ mod tests {
 
     #[test]
     fn function_calls_work() {
-        let (_, cause) = run(
-            r#"
+        let (_, cause) = run(r#"
             li   sp, 0x10000
             li   a0, 21
             call double
@@ -448,8 +445,7 @@ mod tests {
         double:
             add  a0, a0, a0
             ret
-            "#,
-        );
+            "#);
         assert_eq!(cause, StopCause::Exit(42));
     }
 
@@ -494,8 +490,7 @@ mod tests {
 
     #[test]
     fn shift_ops_match_rust_semantics() {
-        let (iss, cause) = run(
-            r#"
+        let (iss, cause) = run(r#"
             li   a0, 0x80000000
             srai a1, a0, 4        # 0xf8000000
             srli a2, a0, 4        # 0x08000000
@@ -506,8 +501,7 @@ mod tests {
             srli a4, a4, 28       # 7
             li   t0, 0x10004
             sw   a4, 0(t0)
-            "#,
-        );
+            "#);
         assert_eq!(cause, StopCause::Exit(7));
         let _ = iss;
     }

@@ -92,7 +92,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program: {} bytes, {} symbols", self.len(), self.symbols.len())?;
+        writeln!(
+            f,
+            "program: {} bytes, {} symbols",
+            self.len(),
+            self.symbols.len()
+        )?;
         for (name, addr) in &self.symbols {
             writeln!(f, "  {addr:#06x} {name}")?;
         }

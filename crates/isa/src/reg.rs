@@ -56,10 +56,7 @@ impl Reg {
         if s == "fp" {
             return Some(Reg(8));
         }
-        ABI_NAMES
-            .iter()
-            .position(|&n| n == s)
-            .map(|i| Reg(i as u8))
+        ABI_NAMES.iter().position(|&n| n == s).map(|i| Reg(i as u8))
     }
 
     /// The register's ABI name (e.g. `a0`).

@@ -27,13 +27,10 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
     prop_oneof![
         (reg_strategy(), 0u32..(1 << 20)).prop_map(|(rd, hi)| Inst::Lui { rd, imm: hi << 12 }),
         (reg_strategy(), 0u32..(1 << 20)).prop_map(|(rd, hi)| Inst::Auipc { rd, imm: hi << 12 }),
-        (reg_strategy(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, o)| Inst::Jal {
-            rd,
-            offset: o * 2,
-        }),
-        (reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(|(rd, rs1, offset)| {
-            Inst::Jalr { rd, rs1, offset }
-        }),
+        (reg_strategy(), -(1i32 << 19)..(1 << 19))
+            .prop_map(|(rd, o)| Inst::Jal { rd, offset: o * 2 }),
+        (reg_strategy(), reg_strategy(), -2048i32..2048)
+            .prop_map(|(rd, rs1, offset)| { Inst::Jalr { rd, rs1, offset } }),
         (
             prop_oneof![
                 Just(BranchKind::Eq),
@@ -72,7 +69,11 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
                 offset,
             }),
         (
-            prop_oneof![Just(StoreKind::Sb), Just(StoreKind::Sh), Just(StoreKind::Sw)],
+            prop_oneof![
+                Just(StoreKind::Sb),
+                Just(StoreKind::Sh),
+                Just(StoreKind::Sw)
+            ],
             reg_strategy(),
             reg_strategy(),
             -2048i32..2048
@@ -96,9 +97,8 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
                 Some(Inst::OpImm { kind, rd, rs1, imm })
             }
         ),
-        (alu_op(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
-            |(kind, rd, rs1, rs2)| Inst::Op { kind, rd, rs1, rs2 }
-        ),
+        (alu_op(), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(kind, rd, rs1, rs2)| Inst::Op { kind, rd, rs1, rs2 }),
         Just(Inst::Ecall),
         Just(Inst::Ebreak),
     ]

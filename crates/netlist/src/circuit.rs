@@ -304,10 +304,7 @@ impl fmt::Debug for Circuit {
                 "outputs",
                 &self.output_ports.iter().map(|p| p.width()).sum::<usize>(),
             )
-            .field(
-                "structures",
-                &self.structures.keys().collect::<Vec<_>>(),
-            )
+            .field("structures", &self.structures.keys().collect::<Vec<_>>())
             .finish()
     }
 }

@@ -288,7 +288,8 @@ fn topo_order(c: &Circuit, edges: &[Edge], edge_start: &[u32]) -> Vec<GateId> {
     let mut ready: VecDeque<GateId> = indeg
         .iter()
         .enumerate()
-        .filter(|&(_i, &d)| d == 0).map(|(i, &_d)| GateId::from_index(i))
+        .filter(|&(_i, &d)| d == 0)
+        .map(|(i, &_d)| GateId::from_index(i))
         .collect();
     let mut order = Vec::with_capacity(c.num_gates());
     while let Some(g) = ready.pop_front() {

@@ -102,7 +102,12 @@ impl CircuitBuilder {
 
     /// Bitwise NOT of a word.
     pub fn w_not(&mut self, a: &Word) -> Word {
-        a.bits().iter().map(|&b| self.not(b)).collect::<Vec<_>>().into_iter().collect()
+        a.bits()
+            .iter()
+            .map(|&b| self.not(b))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
     }
 
     /// Bitwise AND of two equal-width words.
@@ -468,7 +473,13 @@ impl CircuitBuilder {
             let dist = 1usize << stage;
             let s = amount.bit(stage);
             let shifted: Word = (0..width)
-                .map(|i| if i + dist < width { cur.bit(i + dist) } else { fill })
+                .map(|i| {
+                    if i + dist < width {
+                        cur.bit(i + dist)
+                    } else {
+                        fill
+                    }
+                })
                 .collect::<Vec<_>>()
                 .into_iter()
                 .collect();
@@ -577,18 +588,14 @@ mod tests {
         c.output_ports()
             .iter()
             .map(|p| {
-                p.nets()
-                    .iter()
-                    .enumerate()
-                    .fold(0u64, |acc, (i, &n)| acc | (u64::from(values[n.index()]) << i))
+                p.nets().iter().enumerate().fold(0u64, |acc, (i, &n)| {
+                    acc | (u64::from(values[n.index()]) << i)
+                })
             })
             .collect()
     }
 
-    fn build2(
-        width: usize,
-        f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> Word,
-    ) -> Circuit {
+    fn build2(width: usize, f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> Word) -> Circuit {
         let mut b = CircuitBuilder::new();
         let a = b.input_word("a", width);
         let bb = b.input_word("b", width);
@@ -609,7 +616,16 @@ mod tests {
         b.finish().unwrap()
     }
 
-    const SAMPLES: [u64; 8] = [0, 1, 2, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0xdead_beef, 42];
+    const SAMPLES: [u64; 8] = [
+        0,
+        1,
+        2,
+        0x7fff_ffff,
+        0x8000_0000,
+        0xffff_ffff,
+        0xdead_beef,
+        42,
+    ];
 
     #[test]
     fn adder_matches_wrapping_add() {
@@ -661,7 +677,10 @@ mod tests {
     fn fast_adder_is_shallower_but_larger() {
         let ripple = build2(32, |b, a, x| b.add(a, x));
         let fast = build2(32, |b, a, x| b.add_fast(a, x));
-        assert!(fast.num_gates() > ripple.num_gates(), "prefix tree costs area");
+        assert!(
+            fast.num_gates() > ripple.num_gates(),
+            "prefix tree costs area"
+        );
         // Depth comparison via longest gate chain (creation order is
         // topological; compute per-net depth).
         let depth = |c: &Circuit| -> usize {
@@ -703,7 +722,10 @@ mod tests {
                 let ins = [("a", a), ("b", x)];
                 assert_eq!(eval(&ceq, &ins)[0] == 1, a as u32 == x as u32);
                 assert_eq!(eval(&cltu, &ins)[0] == 1, (a as u32) < (x as u32));
-                assert_eq!(eval(&clts, &ins)[0] == 1, (a as u32 as i32) < (x as u32 as i32));
+                assert_eq!(
+                    eval(&clts, &ins)[0] == 1,
+                    (a as u32 as i32) < (x as u32 as i32)
+                );
             }
         }
     }

@@ -3,9 +3,7 @@
 
 use std::collections::HashSet;
 
-use delayavf_netlist::{
-    CircuitBuilder, Consumer, Driver, EdgeId, GateKind, NetId, Topology, Word,
-};
+use delayavf_netlist::{CircuitBuilder, Consumer, Driver, EdgeId, GateKind, NetId, Topology, Word};
 use proptest::prelude::*;
 
 type GateSpec = (u8, u16, u16, u16);

@@ -24,15 +24,17 @@ fn eval(c: &Circuit, inputs: &[(&str, u64)]) -> Vec<u64> {
     c.output_ports()
         .iter()
         .map(|p| {
-            p.nets()
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, &n)| acc | (u64::from(values[n.index()]) << i))
+            p.nets().iter().enumerate().fold(0u64, |acc, (i, &n)| {
+                acc | (u64::from(values[n.index()]) << i)
+            })
         })
         .collect()
 }
 
-fn binop_circuit(width: usize, f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> Word) -> Circuit {
+fn binop_circuit(
+    width: usize,
+    f: impl FnOnce(&mut CircuitBuilder, &Word, &Word) -> Word,
+) -> Circuit {
     let mut b = CircuitBuilder::new();
     let x = b.input_word("x", width);
     let y = b.input_word("y", width);

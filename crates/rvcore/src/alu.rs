@@ -84,16 +84,7 @@ pub fn build_alu(
 
     let selected = b.mux_tree(
         funct3,
-        &[
-            sum.clone(),
-            sll,
-            slt_w,
-            sltu_w,
-            xor_w,
-            srx,
-            or_w,
-            and_w,
-        ],
+        &[sum.clone(), sll, slt_w, sltu_w, xor_w, srx, or_w, and_w],
     );
     let result = b.mux_word(force_add, &selected, &sum);
 
@@ -147,7 +138,9 @@ mod tests {
         let sub = b.input("sub");
         let arith = b.input("arith");
         let force = b.input("force");
-        let alu = b.in_structure("alu", |b| build_alu(b, &a, &bb, &f3, sub, arith, force, false));
+        let alu = b.in_structure("alu", |b| {
+            build_alu(b, &a, &bb, &f3, sub, arith, force, false)
+        });
         let taken = build_branch_taken(&mut b, &f3, alu.eq, alu.lt_s, alu.lt_u);
         b.output_word("result", &alu.result);
         b.output_word("add", &alu.add_result);

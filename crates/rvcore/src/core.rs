@@ -488,8 +488,14 @@ mod tests {
 
     #[test]
     fn ecc_core_is_larger() {
-        let plain = build_core(CoreConfig { ecc_regfile: false, ..CoreConfig::default() });
-        let ecc = build_core(CoreConfig { ecc_regfile: true, ..CoreConfig::default() });
+        let plain = build_core(CoreConfig {
+            ecc_regfile: false,
+            ..CoreConfig::default()
+        });
+        let ecc = build_core(CoreConfig {
+            ecc_regfile: true,
+            ..CoreConfig::default()
+        });
         assert!(ecc.circuit.num_dffs() > plain.circuit.num_dffs());
         let rf = ecc.circuit.structure("regfile").unwrap();
         assert_eq!(rf.dffs().len(), 15 * 38);

@@ -204,8 +204,7 @@ pub fn build_decoder(b: &mut CircuitBuilder, instr: &Word) -> Decode {
     };
 
     let known = [
-        is_lui, is_auipc, is_jal, is_jalr, is_branch, is_load, is_store, is_opimm, is_op,
-        is_system,
+        is_lui, is_auipc, is_jal, is_jalr, is_branch, is_load, is_store, is_opimm, is_op, is_system,
     ]
     .into_iter()
     .fold(b.const0(), |acc, x| b.or(acc, x));
@@ -239,9 +238,7 @@ pub fn build_decoder(b: &mut CircuitBuilder, instr: &Word) -> Decode {
         let t = b.or(is_branch, is_store);
         b.or(t, is_op)
     };
-    let uses_rd = {
-        b.or(reg_write, is_load)
-    };
+    let uses_rd = { b.or(reg_write, is_load) };
     let rv32e_bad = {
         let rd_bad = b.and(uses_rd, instr.bit(11));
         let rs1_bad = b.and(uses_rs1, instr.bit(19));
@@ -330,8 +327,22 @@ mod tests {
         let v = settle(&h.c, &h.topo, &[], &[u64::from(word)]);
         let mut out = std::collections::HashMap::new();
         for (name, port) in [
-            "rd", "rs1", "rs2", "imm", "is_lui", "is_auipc", "is_jal", "is_jalr", "is_branch",
-            "is_load", "is_store", "is_opimm", "is_op", "reg_write", "halt", "illegal",
+            "rd",
+            "rs1",
+            "rs2",
+            "imm",
+            "is_lui",
+            "is_auipc",
+            "is_jal",
+            "is_jalr",
+            "is_branch",
+            "is_load",
+            "is_store",
+            "is_opimm",
+            "is_op",
+            "reg_write",
+            "halt",
+            "illegal",
         ]
         .iter()
         .map(|&n| (n, h.c.output_port(n).unwrap()))
@@ -352,27 +363,76 @@ mod tests {
         let r = Reg::new;
 
         let cases: Vec<(Inst, &str, u64)> = vec![
-            (Inst::Lui { rd: r(5), imm: 0xabcd_e000 }, "is_lui", 0xabcd_e000),
-            (Inst::Auipc { rd: r(3), imm: 0x1000 }, "is_auipc", 0x1000),
-            (Inst::Jal { rd: r(1), offset: -16 }, "is_jal", (-16i64) as u64 & 0xffff_ffff),
-            (Inst::Jalr { rd: r(1), rs1: r(2), offset: 12 }, "is_jalr", 12),
             (
-                Inst::Branch { kind: BranchKind::Ltu, rs1: r(4), rs2: r(9), offset: -64 },
+                Inst::Lui {
+                    rd: r(5),
+                    imm: 0xabcd_e000,
+                },
+                "is_lui",
+                0xabcd_e000,
+            ),
+            (
+                Inst::Auipc {
+                    rd: r(3),
+                    imm: 0x1000,
+                },
+                "is_auipc",
+                0x1000,
+            ),
+            (
+                Inst::Jal {
+                    rd: r(1),
+                    offset: -16,
+                },
+                "is_jal",
+                (-16i64) as u64 & 0xffff_ffff,
+            ),
+            (
+                Inst::Jalr {
+                    rd: r(1),
+                    rs1: r(2),
+                    offset: 12,
+                },
+                "is_jalr",
+                12,
+            ),
+            (
+                Inst::Branch {
+                    kind: BranchKind::Ltu,
+                    rs1: r(4),
+                    rs2: r(9),
+                    offset: -64,
+                },
                 "is_branch",
                 (-64i64) as u64 & 0xffff_ffff,
             ),
             (
-                Inst::Load { kind: LoadKind::Lhu, rd: r(6), rs1: r(7), offset: -3 },
+                Inst::Load {
+                    kind: LoadKind::Lhu,
+                    rd: r(6),
+                    rs1: r(7),
+                    offset: -3,
+                },
                 "is_load",
                 (-3i64) as u64 & 0xffff_ffff,
             ),
             (
-                Inst::Store { kind: StoreKind::Sh, rs2: r(8), rs1: r(9), offset: 2047 },
+                Inst::Store {
+                    kind: StoreKind::Sh,
+                    rs2: r(8),
+                    rs1: r(9),
+                    offset: 2047,
+                },
                 "is_store",
                 2047,
             ),
             (
-                Inst::OpImm { kind: AluOp::Xor, rd: r(10), rs1: r(11), imm: -1 },
+                Inst::OpImm {
+                    kind: AluOp::Xor,
+                    rd: r(10),
+                    rs1: r(11),
+                    imm: -1,
+                },
                 "is_opimm",
                 0xffff_ffff,
             ),
@@ -384,8 +444,15 @@ mod tests {
             assert_eq!(out["imm"], imm, "imm of {inst}");
             // Exactly one class flag fires.
             let ones: u64 = [
-                "is_lui", "is_auipc", "is_jal", "is_jalr", "is_branch", "is_load", "is_store",
-                "is_opimm", "is_op",
+                "is_lui",
+                "is_auipc",
+                "is_jal",
+                "is_jalr",
+                "is_branch",
+                "is_load",
+                "is_store",
+                "is_opimm",
+                "is_op",
             ]
             .iter()
             .map(|f| out[f])
@@ -395,7 +462,13 @@ mod tests {
 
         let out = decode(
             &h,
-            Inst::Op { kind: AluOp::Sub, rd: r(1), rs1: r(2), rs2: r(3) }.encode(),
+            Inst::Op {
+                kind: AluOp::Sub,
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            }
+            .encode(),
         );
         assert_eq!(out["is_op"], 1);
         assert_eq!((out["rd"], out["rs1"], out["rs2"]), (1, 2, 3));

@@ -73,6 +73,11 @@ pub fn decode(code: u64) -> u32 {
             syndrome |= 1 << j;
         }
     }
+    // A double flip can produce a syndrome pointing past the 38 real code
+    // bits (e.g. flipping the two parity bits at positions 8 and 32 yields
+    // syndrome 40). Such syndromes must not "correct" anything: the guard
+    // below leaves the word alone, and here that is the right answer too —
+    // two flipped parity bits leave every data bit intact.
     let corrected = if syndrome != 0 && syndrome <= CODE_BITS {
         code ^ (1 << (syndrome - 1))
     } else {
@@ -182,6 +187,42 @@ mod tests {
         let code = encode(data);
         let bad = code ^ 0b11; // flip positions 1 and 2
         assert_ne!(decode(bad), data);
+    }
+
+    #[test]
+    fn double_parity_flips_with_out_of_range_syndrome_leave_data_intact() {
+        // Regression pin for the proptest case (data = 0, flips at 0-based
+        // positions 7 and 31). Both are parity bits (1-based positions 8
+        // and 32), so the syndrome is 8 ^ 32 = 40 — past the last real
+        // code-bit position (38). The decoder must not attempt a
+        // "correction" with it (`1 << 39` would corrupt nothing real here,
+        // but a syndrome like 33..=38 reached via other double flips would
+        // hit storage); since only parity bits were hit, the data must come
+        // back untouched. The vendored proptest stand-in has no
+        // regression-file replay, hence this explicit pin.
+        for data in [0u32, 0xdead_beef, u32::MAX] {
+            let code = encode(data);
+            let bad = code ^ (1 << 7) ^ (1 << 31);
+            assert_eq!(decode(bad), data, "data {data:#x}");
+        }
+        // The same case through the gate-level corrector.
+        let mut b = CircuitBuilder::new();
+        let data = b.input_word("data", 32);
+        let noise = b.input_word("noise", 38);
+        let enc = build_encoder(&mut b, &data);
+        let received = b.w_xor(&enc, &noise);
+        let dec = build_corrector(&mut b, &received);
+        b.output_word("dec", &dec);
+        let c = b.finish().unwrap();
+        let topo = Topology::new(&c);
+        let v = settle(&c, &topo, &[], &[0, (1u64 << 7) | (1u64 << 31)]);
+        let p = c.output_port("dec").unwrap();
+        let dec = p
+            .nets()
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &n)| acc | (u64::from(v[n.index()]) << i));
+        assert_eq!(dec as u32, 0, "gate-level corrector agrees");
     }
 
     #[test]

@@ -197,11 +197,11 @@ mod tests {
     fn misalignment_is_flagged() {
         let (c, topo) = harness();
         for (lo, f3, bad) in [
-            (1u64, 0b010u64, true),  // sw at +1
-            (2, 0b010, true),        // sw at +2
-            (1, 0b001, true),        // sh at +1
-            (2, 0b001, false),       // sh at +2 is fine
-            (3, 0b000, false),       // sb anywhere is fine
+            (1u64, 0b010u64, true), // sw at +1
+            (2, 0b010, true),       // sw at +2
+            (1, 0b001, true),       // sh at +1
+            (2, 0b001, false),      // sh at +2 is fine
+            (3, 0b000, false),      // sb anywhere is fine
         ] {
             let (_, _, _, mis) = eval(&c, &topo, &[0, 0, lo, f3]);
             assert_eq!(mis == 1, bad, "lo={lo} f3={f3:#b}");

@@ -307,8 +307,22 @@ fn ecc_core_runs_identically() {
         sw   a0, 0(t0)
         ebreak
     "#;
-    let plain = cosim_with_config(src, 500, CoreConfig { ecc_regfile: false, ..CoreConfig::default() });
-    let ecc = cosim_with_config(src, 500, CoreConfig { ecc_regfile: true, ..CoreConfig::default() });
+    let plain = cosim_with_config(
+        src,
+        500,
+        CoreConfig {
+            ecc_regfile: false,
+            ..CoreConfig::default()
+        },
+    );
+    let ecc = cosim_with_config(
+        src,
+        500,
+        CoreConfig {
+            ecc_regfile: true,
+            ..CoreConfig::default()
+        },
+    );
     assert_eq!(plain.cause, StopCause::Exit(210));
     assert_eq!(ecc.cause, StopCause::Exit(210));
     assert_eq!(plain.cycles, ecc.cycles, "ECC is timing-transparent");
@@ -336,7 +350,10 @@ fn fast_adder_core_runs_identically() {
         },
     );
     assert_eq!(plain.cause, fast.cause);
-    assert_eq!(plain.cycles, fast.cycles, "adder choice is timing-transparent at the ISA level");
+    assert_eq!(
+        plain.cycles, fast.cycles,
+        "adder choice is timing-transparent at the ISA level"
+    );
 }
 
 #[test]
@@ -350,7 +367,9 @@ fn random_alu_programs_agree_with_iss() {
         }
         // Random straight-line ALU ops (avoid x0 as destination half the
         // time to keep values flowing).
-        let ops3 = ["add", "sub", "sll", "srl", "sra", "and", "or", "xor", "slt", "sltu"];
+        let ops3 = [
+            "add", "sub", "sll", "srl", "sra", "and", "or", "xor", "slt", "sltu",
+        ];
         let opsi = ["addi", "andi", "ori", "xori", "slti", "sltiu"];
         for _ in 0..60 {
             if rng.gen_bool(0.7) {

@@ -58,7 +58,12 @@ pub(crate) fn sample_output_ports(circuit: &Circuit, values: &[bool], out: &mut 
 /// # Panics
 ///
 /// Panics if `state` or `input_ports` have the wrong length.
-pub fn settle(circuit: &Circuit, topo: &Topology, state: &[bool], input_ports: &[u64]) -> Vec<bool> {
+pub fn settle(
+    circuit: &Circuit,
+    topo: &Topology,
+    state: &[bool],
+    input_ports: &[u64],
+) -> Vec<bool> {
     assert_eq!(state.len(), circuit.num_dffs(), "state width mismatch");
     assert_eq!(
         input_ports.len(),

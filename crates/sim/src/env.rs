@@ -15,7 +15,11 @@
 /// Implementations must be deterministic: the input sequence may only depend
 /// on the environment's own state and the output values it has observed.
 /// This is what makes checkpoint/replay-based fault injection exact.
-pub trait Environment {
+///
+/// `Send + Sync` is a supertrait so the sharded campaign engine can share a
+/// golden run (which stores environment checkpoints) across worker threads;
+/// each worker clones the checkpointed environment it replays from.
+pub trait Environment: Send + Sync {
     /// Produces the primary-input values for `cycle`.
     ///
     /// `prev_outputs` holds the settled primary-output port values sampled

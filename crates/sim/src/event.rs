@@ -265,11 +265,18 @@ mod tests {
         let e = edge_from(&f, x, false);
         let slack = f.timing.clock_period() - f.timing.path_through_edge(&f.c, &f.topo, e);
         assert!(slack > 0, "the direct path must be shorter than the clock");
-        let run = |extra| {
-            latch_transition(&f, &[0, 1], &[1, 1], Some(FaultSpec { edge: e, extra }))
-        };
-        assert_eq!(run(slack), vec![true, true], "delay within slack is harmless");
-        assert_eq!(run(slack + 1), vec![true, false], "one ps past slack fails B");
+        let run =
+            |extra| latch_transition(&f, &[0, 1], &[1, 1], Some(FaultSpec { edge: e, extra }));
+        assert_eq!(
+            run(slack),
+            vec![true, true],
+            "delay within slack is harmless"
+        );
+        assert_eq!(
+            run(slack + 1),
+            vec![true, false],
+            "one ps past slack fails B"
+        );
     }
 
     #[test]
@@ -368,15 +375,14 @@ mod tests {
             nets.extend_from_slice(regs.q().bits());
             for _ in 0..60 {
                 use delayavf_netlist::GateKind::*;
-                let kind = [And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2, Not, Buf]
-                    [rng.gen_range(0..9)];
+                let kind =
+                    [And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2, Not, Buf][rng.gen_range(0..9)];
                 let pick = |rng: &mut StdRng, nets: &[NetId]| nets[rng.gen_range(0..nets.len())];
                 let ins: Vec<NetId> = (0..kind.arity()).map(|_| pick(&mut rng, &nets)).collect();
                 let out = b.gate(kind, &ins);
                 nets.push(out);
             }
-            let d: delayavf_netlist::Word =
-                (0..8).map(|i| nets[nets.len() - 1 - i]).collect();
+            let d: delayavf_netlist::Word = (0..8).map(|i| nets[nets.len() - 1 - i]).collect();
             b.drive_word(&regs, &d);
             b.output_word("o", &regs.q());
             let f = fixture(b.finish().unwrap());
@@ -387,11 +393,10 @@ mod tests {
             let prev_values = settle(&f.c, &f.topo, &state, &[prev_in]);
             // Zero-delay reference for the next cycle.
             let next_values = settle(&f.c, &f.topo, &state, &[next_in]);
-            let expect: Vec<bool> = f
-                .c
-                .dffs()
-                .map(|(_, dff)| next_values[dff.d().index()])
-                .collect();
+            let expect: Vec<bool> =
+                f.c.dffs()
+                    .map(|(_, dff)| next_values[dff.d().index()])
+                    .collect();
             let mut sim = EventSim::new(&f.c, &f.topo, &f.timing);
             let latched = sim.latch_cycle(&prev_values, &state, &[next_in], None);
             assert_eq!(latched, expect);

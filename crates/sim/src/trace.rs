@@ -233,7 +233,7 @@ mod tests {
         assert_eq!(cps.len(), 2, "checkpoint beyond the run is ignored");
         assert_eq!(cps[0].cycle, 2);
         assert_eq!(cps[0].state, vec![false, true, false, false]); // count=2
-        // Start-of-cycle states count 0,1,2,...,8.
+                                                                   // Start-of-cycle states count 0,1,2,...,8.
         for cycle in 0..=8u64 {
             assert_eq!(trace.state_at(cycle)[0], cycle);
         }
@@ -255,7 +255,10 @@ mod tests {
         assert!(trace.converged_at(2, &good, 0, &outs));
         let bad = vec![good[0] ^ 1];
         assert!(!trace.converged_at(2, &bad, 0, &outs));
-        assert!(!trace.converged_at(2, &good, 7, &outs), "fingerprint must match");
+        assert!(
+            !trace.converged_at(2, &good, 7, &outs),
+            "fingerprint must match"
+        );
         assert!(
             !trace.converged_at(2, &good, 0, &[outs[0] ^ 1]),
             "pending outputs must match too"

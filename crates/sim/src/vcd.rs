@@ -98,7 +98,9 @@ impl<'c, W: Write> VcdWriter<'c, W> {
             signals.push(Signal {
                 id: String::new(),
                 name: port.name().replace('/', "."),
-                bits: (0..port.width()).map(|b| Source::InputPortBit(pi, b)).collect(),
+                bits: (0..port.width())
+                    .map(|b| Source::InputPortBit(pi, b))
+                    .collect(),
                 last: None,
             });
         }
@@ -117,7 +119,10 @@ impl<'c, W: Write> VcdWriter<'c, W> {
         for (id, dff) in circuit.dffs() {
             match split_indexed(dff.name()) {
                 Some((base, idx)) => buses.entry(base.to_owned()).or_default().push((idx, id)),
-                None => buses.entry(dff.name().to_owned()).or_default().push((0, id)),
+                None => buses
+                    .entry(dff.name().to_owned())
+                    .or_default()
+                    .push((0, id)),
             }
         }
         for (base, mut bits) in buses {
@@ -136,7 +141,13 @@ impl<'c, W: Write> VcdWriter<'c, W> {
         writeln!(sink, "$timescale 1ns $end")?;
         writeln!(sink, "$scope module design $end")?;
         for sig in &signals {
-            writeln!(sink, "$var wire {} {} {} $end", sig.bits.len(), sig.id, sig.name)?;
+            writeln!(
+                sink,
+                "$var wire {} {} {} $end",
+                sig.bits.len(),
+                sig.id,
+                sig.name
+            )?;
         }
         writeln!(sink, "$upscope $end")?;
         writeln!(sink, "$enddefinitions $end")?;
@@ -175,7 +186,11 @@ impl<'c, W: Write> VcdWriter<'c, W> {
             if values.len() == 1 {
                 writeln!(self.sink, "{}{}", u8::from(values[0]), sig.id)?;
             } else {
-                let bits: String = values.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                let bits: String = values
+                    .iter()
+                    .rev()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect();
                 writeln!(self.sink, "b{} {}", bits, sig.id)?;
             }
             sig.last = Some(values);
@@ -241,7 +256,10 @@ mod tests {
         }
         // The constant `step` input appears once (first sample) and is then
         // suppressed.
-        let step_changes = text.lines().filter(|l| l.starts_with("b1000 ") || l.contains("b0001")).count();
+        let step_changes = text
+            .lines()
+            .filter(|l| l.starts_with("b1000 ") || l.contains("b0001"))
+            .count();
         assert!(step_changes >= 1);
     }
 
@@ -252,7 +270,9 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
-        assert!(ids.iter().all(|i| i.bytes().all(|b| (b'!'..=b'~').contains(&b))));
+        assert!(ids
+            .iter()
+            .all(|i| i.bytes().all(|b| (b'!'..=b'~').contains(&b))));
     }
 
     #[test]

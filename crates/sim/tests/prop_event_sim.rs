@@ -79,7 +79,11 @@ fn frozen_latch(
                 frozen.consumer,
                 Consumer::GatePin { gate: fg, pin } if fg == g && usize::from(pin) == k
             );
-            ins[k] = if frozen_pin { frozen_val } else { vals[inp.index()] };
+            ins[k] = if frozen_pin {
+                frozen_val
+            } else {
+                vals[inp.index()]
+            };
         }
         vals[gate.output().index()] = gate.kind().eval(&ins[..gate.kind().arity()]);
     }

@@ -195,7 +195,8 @@ impl TimingModel {
                 Consumer::OutputBit { .. } => 0,
                 Consumer::GatePin { .. } => continue,
             };
-            let len = self.arrival[e.source.index()] + self.net_delay[e.source.index()] + endpoint_cont;
+            let len =
+                self.arrival[e.source.index()] + self.net_delay[e.source.index()] + endpoint_cont;
             if best.is_none_or(|(_, b)| len > b) {
                 best = Some((e.source, len));
             }
@@ -244,10 +245,10 @@ impl TimingModel {
         let mut heap: BinaryHeap<(Reverse<u32>, NetId)> = BinaryHeap::new();
 
         let visit = |consumer: Consumer,
-                         time: Picos,
-                         fault_time: &mut HashMap<NetId, Picos>,
-                         heap: &mut BinaryHeap<(Reverse<u32>, NetId)>,
-                         reachable: &mut Vec<DffId>| {
+                     time: Picos,
+                     fault_time: &mut HashMap<NetId, Picos>,
+                     heap: &mut BinaryHeap<(Reverse<u32>, NetId)>,
+                     reachable: &mut Vec<DffId>| {
             match consumer {
                 Consumer::DffD(f) => {
                     if time + self.setup > self.clock_period {
@@ -419,7 +420,9 @@ mod tests {
             })
             .unwrap();
         assert_eq!(tm.statically_reachable(&c, &topo, first, 100).len(), 1);
-        assert!(relaxed.statically_reachable(&c, &topo, first, 100).is_empty());
+        assert!(relaxed
+            .statically_reachable(&c, &topo, first, 100)
+            .is_empty());
     }
 
     #[test]

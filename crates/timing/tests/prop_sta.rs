@@ -6,9 +6,7 @@ use proptest::prelude::*;
 
 type GateSpec = (u8, u16, u16, u16);
 
-fn random_fixture(
-    gates: &[GateSpec],
-) -> (delayavf_netlist::Circuit, Topology, TimingModel) {
+fn random_fixture(gates: &[GateSpec]) -> (delayavf_netlist::Circuit, Topology, TimingModel) {
     let mut b = CircuitBuilder::new();
     let inputs = b.input_word("in", 6);
     let regs = b.reg_word("r", 6, 0);

@@ -105,10 +105,7 @@ pub fn libstrstr(scale: Scale) -> Workload {
         }
         Scale::Tiny => ("abababac".to_owned(), "bac".to_owned()),
     };
-    let expected = haystack
-        .find(&needle)
-        .map(|i| i as u32)
-        .unwrap_or(u32::MAX);
+    let expected = haystack.find(&needle).map(|i| i as u32).unwrap_or(u32::MAX);
 
     let mut src = String::new();
     let _ = write!(

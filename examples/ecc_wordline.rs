@@ -35,7 +35,10 @@ fn main() {
     .expect("assembles");
 
     for ecc in [false, true] {
-        let core = build_core(CoreConfig { ecc_regfile: ecc, ..CoreConfig::default() });
+        let core = build_core(CoreConfig {
+            ecc_regfile: ecc,
+            ..CoreConfig::default()
+        });
         let c = &core.circuit;
         let topo = Topology::new(c);
         let timing = TimingModel::analyze(c, &topo, &TechLibrary::nangate45_like());

@@ -40,19 +40,19 @@ fn main() {
     let golden = prepare_golden(&core.circuit, &topo, &env, workload.max_cycles, 20);
     let config = CampaignConfig::single_delay(d_pct / 100.0);
 
+    println!("\nFIT budget under {kernel} at d = {d_pct:.0}% (raw rate {raw:.1e} FIT/wire):\n");
     println!(
-        "\nFIT budget under {kernel} at d = {d_pct:.0}% (raw rate {raw:.1e} FIT/wire):\n"
+        "{:<10} {:>8} {:>10} {:>12}",
+        "structure", "wires", "DelayAVF", "FIT"
     );
-    println!("{:<10} {:>8} {:>10} {:>12}", "structure", "wires", "DelayAVF", "FIT");
     let mut rows = Vec::new();
     for structure in Core::structure_names() {
         let all = topo
             .structure_edges(&core.circuit, structure)
             .expect("tagged");
         let edges = sample_edges(&all, 200, 1);
-        let davf =
-            delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config)[0]
-                .delay_avf();
+        let davf = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config)[0]
+            .delay_avf();
         let row = structure_fit(structure, all.len(), davf, raw);
         println!(
             "{:<10} {:>8} {:>10.5} {:>12}",

@@ -14,7 +14,9 @@ use delayavf_workloads::{Kernel, Scale};
 
 fn main() {
     let structure = std::env::args().nth(1).unwrap_or_else(|| "lsu".into());
-    let kernel_name = std::env::args().nth(2).unwrap_or_else(|| "libstrstr".into());
+    let kernel_name = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "libstrstr".into());
     let Some(kernel) = Kernel::parse(&kernel_name) else {
         eprintln!("unknown kernel `{kernel_name}`");
         std::process::exit(2);
@@ -26,7 +28,10 @@ fn main() {
     let Some(s) = core.circuit.structure(&structure) else {
         eprintln!(
             "unknown structure `{structure}`; available: {}",
-            core.circuit.structure_names().collect::<Vec<_>>().join(", ")
+            core.circuit
+                .structure_names()
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(2);
     };
@@ -42,14 +47,8 @@ fn main() {
     let golden = prepare_golden(&core.circuit, &topo, &env, workload.max_cycles, 20);
 
     eprintln!("striking {} bits of `{structure}` ...", s.dffs().len());
-    let mut per_bit = savf_per_bit_campaign(
-        &core.circuit,
-        &topo,
-        &timing,
-        &golden,
-        s.dffs(),
-        2_000,
-    );
+    let mut per_bit =
+        savf_per_bit_campaign(&core.circuit, &topo, &timing, &golden, s.dffs(), 2_000, 0);
     per_bit.sort_by(|a, b| b.1.savf().total_cmp(&a.1.savf()));
 
     println!("\ntop vulnerability hotspots in `{structure}` under {kernel}:");

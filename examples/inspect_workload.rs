@@ -11,7 +11,9 @@ use delayavf_sim::{CycleSim, Environment, VcdWriter};
 use delayavf_workloads::{Kernel, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "libfibcall".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "libfibcall".into());
     let cycles: u64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())

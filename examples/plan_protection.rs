@@ -59,6 +59,7 @@ fn main() {
             &edges,
             d_pct / 100.0,
             2_000,
+            0,
         );
         visible_total += row.delay_ace_hits;
         records.extend(recs);
@@ -74,7 +75,10 @@ fn main() {
     );
 
     // Greedy shadow-latch placement at several budgets.
-    println!("\n{:<8} {:>10} {:<}", "budget", "coverage", "latched flip-flops (newly added)");
+    println!(
+        "\n{:<8} {:>10} {:<}",
+        "budget", "coverage", "latched flip-flops (newly added)"
+    );
     let plan = greedy_protection(&records, 12);
     for budget in [1usize, 2, 4, 8, 12] {
         let chosen: Vec<_> = plan.iter().take(budget).copied().collect();

@@ -92,7 +92,10 @@ fn main() {
         &edges,
         &CampaignConfig::default(),
     );
-    println!("\n{:<6} {:>12} {:>14} {:>10}", "d", "static reach", "dynamic reach", "DelayAVF");
+    println!(
+        "\n{:<6} {:>12} {:>14} {:>10}",
+        "d", "static reach", "dynamic reach", "DelayAVF"
+    );
     for r in &rows {
         println!(
             "{:<6} {:>11.1}% {:>13.1}% {:>10.4}",

@@ -12,7 +12,9 @@ use delayavf_timing::{TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
 
 fn main() {
-    let kernel_name = std::env::args().nth(1).unwrap_or_else(|| "libstrstr".into());
+    let kernel_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "libstrstr".into());
     let d_pct: f64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -44,7 +46,12 @@ fn main() {
             .expect("tagged structure");
         let edges = sample_edges(&all, 200, 1);
         let r = &delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config)[0];
-        rows.push((structure, r.delay_avf(), r.static_fraction(), r.dynamic_fraction()));
+        rows.push((
+            structure,
+            r.delay_avf(),
+            r.static_fraction(),
+            r.dynamic_fraction(),
+        ));
     }
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(

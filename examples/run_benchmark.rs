@@ -13,7 +13,9 @@ use delayavf_sim::{CycleSim, Environment};
 use delayavf_workloads::{Kernel, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bubblesort".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bubblesort".into());
     let Some(kernel) = Kernel::parse(&name) else {
         eprintln!("unknown kernel `{name}`; expected one of md5, bubblesort, libstrstr, libfibcall, matmult");
         std::process::exit(2);

@@ -14,7 +14,10 @@ use delayavf_timing::{TechLibrary, TimingModel};
 
 #[test]
 fn delay_fault_on_write_enable_defeats_ecc() {
-    let core = build_core(CoreConfig { ecc_regfile: true, ..CoreConfig::default() });
+    let core = build_core(CoreConfig {
+        ecc_regfile: true,
+        ..CoreConfig::default()
+    });
     let c = &core.circuit;
     let topo = Topology::new(c);
     let timing = TimingModel::analyze(c, &topo, &TechLibrary::nangate45_like());

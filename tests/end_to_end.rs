@@ -46,6 +46,7 @@ fn campaign_invariants_hold_on_the_real_core() {
         delay_fractions: vec![0.1, 0.5, 0.9],
         compute_orace: false,
         due_slack: 500,
+        threads: 0,
     };
     let rows = delay_avf_campaign(
         &s.core.circuit,
@@ -105,6 +106,7 @@ fn savf_on_the_lsu_is_bounded_and_deterministic() {
         &s.golden,
         &dffs,
         500,
+        1,
     );
     assert_eq!(a.injections, dffs.len() * s.golden.sampled_cycles.len());
     assert!(a.savf() <= 1.0);
@@ -115,15 +117,19 @@ fn savf_on_the_lsu_is_bounded_and_deterministic() {
         &s.golden,
         &dffs,
         500,
+        2,
     );
-    assert_eq!(a, b);
+    assert_eq!(a, b, "two workers reproduce the serial result exactly");
 }
 
 #[test]
 fn ecc_register_file_suppresses_single_strike_avf() {
     // Observation 5's baseline: single-bit strikes into ECC-protected
     // storage are corrected on read, so their sAVF is exactly zero.
-    let core = delayavf_rvcore::build_core(CoreConfig { ecc_regfile: true, ..CoreConfig::default() });
+    let core = delayavf_rvcore::build_core(CoreConfig {
+        ecc_regfile: true,
+        ..CoreConfig::default()
+    });
     let topo = Topology::new(&core.circuit);
     let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
     let w = Kernel::Bubblesort.build(Scale::Tiny);
@@ -132,18 +138,21 @@ fn ecc_register_file_suppresses_single_strike_avf() {
     let golden = prepare_golden_seeded(&core.circuit, &topo, &env, w.max_cycles, 6, 2);
     let rf = core.circuit.structure("regfile").unwrap();
     let dffs: Vec<_> = rf.dffs().iter().copied().step_by(9).take(40).collect();
-    let r = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500);
+    let r = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500, 0);
     assert_eq!(r.ace_hits, 0, "SEC ECC corrects every single-bit strike");
 
     // The unprotected register file is *not* immune.
-    let core2 = delayavf_rvcore::build_core(CoreConfig { ecc_regfile: false, ..CoreConfig::default() });
+    let core2 = delayavf_rvcore::build_core(CoreConfig {
+        ecc_regfile: false,
+        ..CoreConfig::default()
+    });
     let topo2 = Topology::new(&core2.circuit);
     let timing2 = TimingModel::analyze(&core2.circuit, &topo2, &TechLibrary::nangate45_like());
     let env2 = MemEnv::new(&core2.circuit, DEFAULT_RAM_BYTES, &p);
     let golden2 = prepare_golden_seeded(&core2.circuit, &topo2, &env2, w.max_cycles, 6, 2);
     let rf2 = core2.circuit.structure("regfile").unwrap();
     let dffs2: Vec<_> = rf2.dffs().to_vec();
-    let r2 = savf_campaign(&core2.circuit, &topo2, &timing2, &golden2, &dffs2, 500);
+    let r2 = savf_campaign(&core2.circuit, &topo2, &timing2, &golden2, &dffs2, 500, 0);
     assert!(
         r2.ace_hits > 0,
         "unprotected register file has non-zero sAVF ({r2})"
@@ -172,8 +181,9 @@ fn adjacent_double_strikes_defeat_ecc_where_single_strikes_cannot() {
     for reg in [10usize, 11, 12, 13, 14] {
         dffs.extend(core.handle.regfile.storage(reg));
     }
-    let single = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500);
-    let double = spatial_double_strike_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500);
+    let single = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500, 0);
+    let double =
+        spatial_double_strike_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500, 0);
     assert_eq!(single.ace_hits, 0, "SEC corrects every single strike");
     assert!(
         double.ace_hits > 0,

@@ -40,9 +40,7 @@ fn frozen_edge_latch(
     for (id, dff) in c.dffs() {
         vals[dff.q().index()] = state[id.index()];
     }
-    let pin_is_frozen = |g: GateId, k: usize| {
-        matches!(frozen.consumer, Consumer::GatePin { gate, pin } if gate == g && usize::from(pin) == k)
-    };
+    let pin_is_frozen = |g: GateId, k: usize| matches!(frozen.consumer, Consumer::GatePin { gate, pin } if gate == g && usize::from(pin) == k);
     for &g in topo.eval_order() {
         let gate = c.gate(g);
         let mut ins = [false; 3];

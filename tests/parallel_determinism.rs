@@ -1,0 +1,181 @@
+//! The sharded campaign engine's headline guarantee, checked on the real
+//! gate-level core: for any worker-thread count the campaigns return
+//! results — including ORACE statistics and the merged injector cache
+//! counters — bit-for-bit identical to a serial run.
+
+use delayavf::{
+    delay_avf_campaign_records, delay_avf_campaign_with_stats, prepare_golden_seeded, sample_edges,
+    savf_campaign_with_stats, savf_per_bit_campaign, spatial_double_strike_campaign,
+    CampaignConfig,
+};
+use delayavf_netlist::{DffId, Topology};
+use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+struct Setup {
+    core: Core,
+    topo: Topology,
+    timing: TimingModel,
+    golden: delayavf::GoldenRun<MemEnv>,
+}
+
+fn setup() -> Setup {
+    let core = delayavf_rvcore::build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+    let w = Kernel::Libfibcall.build(Scale::Tiny);
+    let p = w.assemble().expect("workload assembles");
+    let env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &p);
+    let golden = prepare_golden_seeded(&core.circuit, &topo, &env, w.max_cycles, 8, 17);
+    assert!(golden.trace.halted());
+    Setup {
+        core,
+        topo,
+        timing,
+        golden,
+    }
+}
+
+#[test]
+fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
+    let s = setup();
+    let edges = sample_edges(
+        &s.topo.structure_edges(&s.core.circuit, "alu").unwrap(),
+        30,
+        17,
+    );
+    let dffs: Vec<DffId> = s
+        .core
+        .circuit
+        .structure("lsu")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(12)
+        .collect();
+
+    let config = CampaignConfig {
+        delay_fractions: vec![0.5, 0.9],
+        compute_orace: true,
+        due_slack: 500,
+        threads: 1,
+    };
+    let (serial_rows, serial_stats) = delay_avf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+    );
+    assert!(serial_stats.event_sims > 0, "the sweep did real work");
+    let (serial_savf, serial_savf_stats) = savf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        500,
+        1,
+    );
+    let (serial_row, serial_records) = delay_avf_campaign_records(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        0.9,
+        500,
+        1,
+    );
+    let serial_per_bit = savf_per_bit_campaign(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        500,
+        1,
+    );
+    let serial_spatial = spatial_double_strike_campaign(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        500,
+        1,
+    );
+
+    for threads in [2, 4] {
+        let cfg = config.clone().with_threads(threads);
+        let (rows, stats) = delay_avf_campaign_with_stats(
+            &s.core.circuit,
+            &s.topo,
+            &s.timing,
+            &s.golden,
+            &edges,
+            &cfg,
+        );
+        assert_eq!(rows, serial_rows, "sweep rows with {threads} threads");
+        assert_eq!(
+            stats, serial_stats,
+            "injector counters with {threads} threads"
+        );
+
+        let (savf, savf_stats) = savf_campaign_with_stats(
+            &s.core.circuit,
+            &s.topo,
+            &s.timing,
+            &s.golden,
+            &dffs,
+            500,
+            threads,
+        );
+        assert_eq!(savf, serial_savf, "sAVF with {threads} threads");
+        assert_eq!(
+            savf_stats, serial_savf_stats,
+            "sAVF counters with {threads} threads"
+        );
+
+        let (row, records) = delay_avf_campaign_records(
+            &s.core.circuit,
+            &s.topo,
+            &s.timing,
+            &s.golden,
+            &edges,
+            0.9,
+            500,
+            threads,
+        );
+        assert_eq!(row, serial_row, "records row with {threads} threads");
+        assert_eq!(
+            records, serial_records,
+            "record order with {threads} threads"
+        );
+
+        let per_bit = savf_per_bit_campaign(
+            &s.core.circuit,
+            &s.topo,
+            &s.timing,
+            &s.golden,
+            &dffs,
+            500,
+            threads,
+        );
+        assert_eq!(per_bit, serial_per_bit, "per-bit with {threads} threads");
+
+        let spatial = spatial_double_strike_campaign(
+            &s.core.circuit,
+            &s.topo,
+            &s.timing,
+            &s.golden,
+            &dffs,
+            500,
+            threads,
+        );
+        assert_eq!(spatial, serial_spatial, "spatial with {threads} threads");
+    }
+}

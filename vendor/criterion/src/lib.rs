@@ -1,0 +1,152 @@
+//! Workspace-local, dependency-free stand-in for the subset of the
+//! `criterion` crate this repository uses. The build environment has no
+//! access to a crates.io registry, so the workspace resolves `criterion`
+//! to this crate via a path dependency.
+//!
+//! It is a wall-clock micro-harness, not a statistics engine: each
+//! `bench_function` runs one warm-up pass, then times `sample_size`
+//! batches and prints the per-iteration mean and min. That is enough for
+//! the serial-vs-parallel comparisons the repo's docs quote; it makes no
+//! attempt at outlier rejection or regression tracking.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering (subset of `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How batch setup cost is amortized; the stand-in times each routine call
+/// individually, so the variants only exist to keep call sites compiling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "bench {id:<40} mean {mean:>12.3?}  min {min:>12.3?}  ({iters} iters)",
+            min = b.min,
+            iters = b.iters,
+        );
+        self
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn record(&mut self, elapsed: Duration) {
+        self.total += elapsed;
+        self.min = self.min.min(elapsed);
+        self.iters += 1;
+    }
+
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.record(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

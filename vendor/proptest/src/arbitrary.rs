@@ -1,0 +1,66 @@
+//! `any::<T>()` — canonical full-range strategies for primitive types
+//! and tuples of them.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::{Rng, Standard};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for one primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyValue<T>(PhantomData<T>);
+
+impl<T: Standard + Debug> Strategy for AnyValue<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyValue<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyValue(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! impl_arbitrary_tuple {
+    ($($T:ident),+) => {
+        impl<$($T: Arbitrary),+> Arbitrary for ($($T,)+) {
+            type Strategy = ($($T::Strategy,)+);
+            fn arbitrary() -> Self::Strategy {
+                ($($T::arbitrary(),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+impl_arbitrary_tuple!(A, B, C, D, E);
+impl_arbitrary_tuple!(A, B, C, D, E, F);

@@ -1,0 +1,173 @@
+//! Workspace-local, dependency-free stand-in for the subset of the
+//! `proptest` crate this repository uses. The build environment has no
+//! access to a crates.io registry, so the workspace resolves `proptest`
+//! to this crate via a path dependency.
+//!
+//! Supported surface: the `proptest!` macro (with optional
+//! `#![proptest_config(..)]` header and both `name: Type` and
+//! `name in strategy` parameters), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`/`prop_oneof!`, integer `Range`
+//! strategies, `any::<T>()` for primitives and tuples, `Just`, tuple
+//! strategies, `prop_map`/`prop_filter`/`prop_filter_map`/`boxed`,
+//! `prop::collection::vec`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! original sampled input) and no failure-persistence files (regression
+//! cases worth pinning are written as explicit `#[test]`s instead). Case
+//! generation is fully deterministic: every run samples the same inputs.
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// Canonical prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions that run a body against many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn` item inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse_params!(($cfg) ($($params)*) () () $body);
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Internal: tt-muncher turning the parameter list into (patterns, strategies).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse_params {
+    // Terminal: run the collected strategies against the body.
+    (($cfg:expr) () ($($pat:ident)*) ($(($strat:expr))*) $body:block) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let __strategy = ($($strat,)*);
+        let mut __runner = $crate::test_runner::TestRunner::new(__config);
+        __runner.run(&__strategy, |($($pat,)*)| {
+            let _ = $body;
+            ::core::result::Result::Ok(())
+        });
+    }};
+    // `name: Type` — sampled with any::<Type>().
+    (($cfg:expr) ($name:ident : $ty:ty , $($rest:tt)*) ($($pat:ident)*) ($($strat:tt)*) $body:block) => {
+        $crate::__proptest_parse_params!(
+            ($cfg) ($($rest)*) ($($pat)* $name) ($($strat)* (($crate::arbitrary::any::<$ty>()))) $body)
+    };
+    (($cfg:expr) ($name:ident : $ty:ty) ($($pat:ident)*) ($($strat:tt)*) $body:block) => {
+        $crate::__proptest_parse_params!(
+            ($cfg) () ($($pat)* $name) ($($strat)* (($crate::arbitrary::any::<$ty>()))) $body)
+    };
+    // `name in strategy-expr`.
+    (($cfg:expr) ($name:ident in $s:expr , $($rest:tt)*) ($($pat:ident)*) ($($strat:tt)*) $body:block) => {
+        $crate::__proptest_parse_params!(
+            ($cfg) ($($rest)*) ($($pat)* $name) ($($strat)* (($s))) $body)
+    };
+    (($cfg:expr) ($name:ident in $s:expr) ($($pat:ident)*) ($($strat:tt)*) $body:block) => {
+        $crate::__proptest_parse_params!(
+            ($cfg) () ($($pat)* $name) ($($strat)* (($s))) $body)
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, not the
+/// whole process, so the runner can report the sampled input).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (re-sampled without counting toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}

@@ -1,0 +1,218 @@
+//! Value-generation strategies (sampling only — no shrinking).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// How many times a filtering strategy retries before giving up. Mirrors
+/// upstream's local-reject limit; hitting it means the filter is far too
+/// selective for property testing to be meaningful.
+const MAX_LOCAL_REJECTS: usize = 65_536;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value. Filtering strategies retry internally.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `true`.
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Maps values through `f`, re-sampling whenever it returns `None`.
+    fn prop_filter_map<O, F>(self, reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            source: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Erases the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe sampling, so heterogeneous strategies can share a box.
+trait DynStrategy {
+    type Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among several boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_LOCAL_REJECTS {
+            let v = self.source.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected every sample: {}", self.reason);
+    }
+}
+
+/// Output of [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    source: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_LOCAL_REJECTS {
+            if let Some(v) = (self.f)(self.source.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected every sample: {}", self.reason);
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + Copy + Debug,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);

@@ -1,0 +1,112 @@
+//! Deterministic case runner.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// RNG used for sampling (fixed-seed, so every run is identical).
+pub type TestRng = StdRng;
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed on this input.
+    Fail(String),
+    /// The input did not satisfy a `prop_assume!` and must be re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (assumption-violating) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Runs a property against many sampled inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+/// Upstream's default cap on `prop_assume!` rejections per property.
+const MAX_GLOBAL_REJECTS: u32 = 4096;
+
+impl TestRunner {
+    /// Builds a runner. Sampling is seeded with a fixed constant so failures
+    /// reproduce exactly on every run (this stand-in has no persistence
+    /// files; pin interesting cases as explicit `#[test]`s).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x5eed_cafe_f00d_d00d),
+        }
+    }
+
+    /// Runs `test` against `config.cases` accepted samples of `strategy`,
+    /// panicking with the offending input on the first failure.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            let shown = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= MAX_GLOBAL_REJECTS,
+                        "too many prop_assume! rejections ({MAX_GLOBAL_REJECTS}); \
+                         the assumption is too selective"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(reason))) => {
+                    panic!("proptest case failed: {reason}\n  input: {shown}");
+                }
+                Err(payload) => {
+                    let reason = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!("proptest case panicked: {reason}\n  input: {shown}");
+                }
+            }
+        }
+    }
+}
