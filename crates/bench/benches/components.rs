@@ -187,10 +187,47 @@ fn bench_early_exit_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_incremental_ablation(c: &mut Criterion) {
+    // Ablation: the incremental divergence-cone replay vs the exact
+    // full-replay baseline. Results are bit-for-bit identical; only the
+    // gates evaluated per replay cycle change.
+    let f = fix();
+    let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
+    let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 6);
+    let cycle = golden.sampled_cycles[2];
+    let dffs: Vec<_> = f
+        .core
+        .circuit
+        .structure("lsu")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(8)
+        .collect();
+    for (label, incremental) in [("incremental", true), ("full_replay", false)] {
+        c.bench_function(&format!("groupace_8_strikes_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    inj.set_incremental(incremental);
+                    inj
+                },
+                |mut inj| {
+                    for &d in &dffs {
+                        let _ = inj.bit_ace(cycle, d);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_build_and_sta, bench_cycle_sim, bench_event_sim, bench_static_reach,
-        bench_injection, bench_early_exit_ablation
+        bench_injection, bench_early_exit_ablation, bench_incremental_ablation
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
-//!       [--tiny] [--due-slack N] [--threads N]
+//!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
@@ -39,6 +39,8 @@ options:
   --due-slack N   DUE cycle budget (default 2000)
   --threads N     campaign worker threads; results are identical for
   (or -j N)       every N (default: one per available core)
+  --no-incremental  use the exact full-replay baseline instead of the
+                  incremental divergence-cone engine (identical results)
   --tiny          use tiny workloads (smoke test)
   --config FILE   run an artifact-style configuration file instead
                   (see configs/*.cfg; other options are ignored)
@@ -82,6 +84,7 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--tiny" => opts.scale = Scale::Tiny,
+            "--no-incremental" => opts.incremental = false,
             "--config" => {
                 let Some(path) = it.next() else {
                     return fail("--config needs a path");

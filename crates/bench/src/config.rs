@@ -22,6 +22,7 @@
 //! due_slack = 2000
 //! orace = false                        # also compute OrDelayAVF
 //! threads = 0                          # campaign workers, 0 = one per core
+//! incremental = true                   # divergence-cone replay engine
 //! ```
 
 use delayavf::{delay_avf_campaign, prepare_golden_percent, sample_edges, CampaignConfig};
@@ -57,6 +58,9 @@ pub struct ExperimentSpec {
     pub orace: bool,
     /// Campaign worker threads (`0` = one per available core).
     pub threads: usize,
+    /// Use the incremental divergence-cone replay engine (`false` runs the
+    /// exact full-replay baseline; results are identical either way).
+    pub incremental: bool,
 }
 
 impl Default for ExperimentSpec {
@@ -74,6 +78,7 @@ impl Default for ExperimentSpec {
             due_slack: 2_000,
             orace: false,
             threads: 0,
+            incremental: true,
         }
     }
 }
@@ -159,6 +164,7 @@ impl ExperimentSpec {
                 "threads" => {
                     spec.threads = value.parse().map_err(|e| bad(format!("threads: {e}")))?;
                 }
+                "incremental" => spec.incremental = parse_bool(value).map_err(bad)?,
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -208,6 +214,7 @@ impl ExperimentSpec {
             compute_orace: self.orace,
             due_slack: self.due_slack,
             threads: self.threads,
+            incremental: self.incremental,
         };
         let rows = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config);
 
@@ -270,6 +277,7 @@ mod tests {
             seed = 42
             orace = true
             threads = 3
+            incremental = false
             "#,
         )
         .unwrap();
@@ -283,6 +291,7 @@ mod tests {
         assert_eq!(spec.seed, 42);
         assert!(spec.orace);
         assert_eq!(spec.threads, 3);
+        assert!(!spec.incremental);
     }
 
     #[test]

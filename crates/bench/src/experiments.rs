@@ -63,6 +63,7 @@ fn sweep(
         compute_orace: orace,
         due_slack: opts.due_slack,
         threads: opts.threads,
+        incremental: opts.incremental,
     };
     delay_avf_campaign(
         &variant.core.circuit,
@@ -297,8 +298,7 @@ pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
                 &variant.timing,
                 &golden,
                 &dffs,
-                opts.due_slack,
-                opts.threads,
+                opts.replay_options(),
             )
             .savf();
             savfs.push(savf);
@@ -467,6 +467,7 @@ pub fn guardband(h: &mut Harness, opts: &Opts) -> Experiment {
             &golden,
             opts.due_slack,
         );
+        inj.set_incremental(opts.incremental);
         let (mut injections, mut dynamic, mut ace) = (0usize, 0usize, 0usize);
         for &cycle in &golden.sampled_cycles {
             if cycle + 1 >= golden.trace.num_cycles() {
@@ -578,6 +579,7 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
                 compute_orace: false,
                 due_slack: seeded.due_slack,
                 threads: seeded.threads,
+                incremental: seeded.incremental,
             },
         )[0];
         let (lo, hi) = r.delay_avf_interval();

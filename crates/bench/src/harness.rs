@@ -28,6 +28,10 @@ pub struct Opts {
     /// Campaign worker threads (`0` = one per available core). Results are
     /// identical for every value — see the determinism tests.
     pub threads: usize,
+    /// Use the incremental divergence-cone replay engine (the default).
+    /// Results are bit-for-bit identical either way; `false` runs the exact
+    /// full-replay baseline (the `--no-incremental` escape hatch).
+    pub incremental: bool,
 }
 
 impl Default for Opts {
@@ -40,7 +44,17 @@ impl Default for Opts {
             scale: Scale::Paper,
             due_slack: 2_000,
             threads: 0,
+            incremental: true,
         }
+    }
+}
+
+impl Opts {
+    /// The strike-campaign options corresponding to these experiment
+    /// options.
+    pub fn replay_options(&self) -> delayavf::ReplayOptions {
+        delayavf::ReplayOptions::new(self.due_slack, self.threads)
+            .with_incremental(self.incremental)
     }
 }
 

@@ -43,6 +43,58 @@ use crate::injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 use crate::razor::InjectionRecord;
 use crate::result::{DelayAvfResult, OraceStats, SavfResult};
 
+/// Replay-engine options shared by the particle-strike campaign entry
+/// points (the DelayAVF sweeps carry the same knobs in
+/// [`CampaignConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayOptions {
+    /// Extra cycles past the golden program length before a non-halting
+    /// faulty run is declared a DUE.
+    pub due_slack: u64,
+    /// Worker threads for the sharded engine. `0` (the default) resolves
+    /// to [`std::thread::available_parallelism`]. Results are identical
+    /// for every value; only wall-clock time changes.
+    pub threads: usize,
+    /// Use the incremental divergence-cone replay engine (the default).
+    /// Results are bit-for-bit identical either way; `false` runs the
+    /// exact full-replay baseline (the `--no-incremental` escape hatch).
+    pub incremental: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            due_slack: 2_000,
+            threads: 0,
+            incremental: true,
+        }
+    }
+}
+
+impl ReplayOptions {
+    /// Options with the given DUE slack and thread count (incremental
+    /// replay on, as everywhere by default).
+    pub fn new(due_slack: u64, threads: usize) -> Self {
+        ReplayOptions {
+            due_slack,
+            threads,
+            ..ReplayOptions::default()
+        }
+    }
+
+    /// Builder-style override of the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style toggle of the incremental replay engine.
+    pub fn with_incremental(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
+        self
+    }
+}
+
 /// Configuration of a DelayAVF campaign.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -59,6 +111,9 @@ pub struct CampaignConfig {
     /// to [`std::thread::available_parallelism`]. Results are identical
     /// for every value; only wall-clock time changes.
     pub threads: usize,
+    /// Use the incremental divergence-cone replay engine (the default);
+    /// see [`ReplayOptions::incremental`].
+    pub incremental: bool,
 }
 
 impl Default for CampaignConfig {
@@ -68,6 +123,7 @@ impl Default for CampaignConfig {
             compute_orace: false,
             due_slack: 2_000,
             threads: 0,
+            incremental: true,
         }
     }
 }
@@ -87,6 +143,26 @@ impl CampaignConfig {
         self.threads = threads;
         self
     }
+
+    /// Builder-style toggle of the incremental replay engine.
+    pub fn with_incremental(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
+        self
+    }
+}
+
+/// A worker's private injector, with the shard-invariant knobs applied.
+fn shard_injector<'g, E: Environment + Clone>(
+    circuit: &'g Circuit,
+    topo: &'g Topology,
+    timing: &'g TimingModel,
+    golden: &'g GoldenRun<E>,
+    due_slack: u64,
+    incremental: bool,
+) -> Injector<'g, E> {
+    let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+    injector.set_incremental(incremental);
+    injector
 }
 
 /// The sampled cycles on which injection is well-defined: cycle 0 has no
@@ -188,7 +264,14 @@ fn delay_sweep_shard<E: Environment + Clone>(
     config: &CampaignConfig,
     cycles: &[u64],
 ) -> (Vec<DelayAvfResult>, InjectorStats) {
-    let mut injector = Injector::new(circuit, topo, timing, golden, config.due_slack);
+    let mut injector = shard_injector(
+        circuit,
+        topo,
+        timing,
+        golden,
+        config.due_slack,
+        config.incremental,
+    );
     let mut rows = empty_rows(config);
     for (fi, &fraction) in config.delay_fractions.iter().enumerate() {
         let extra = fraction_to_picos(timing, fraction);
@@ -265,17 +348,16 @@ pub fn delay_avf_campaign_with_stats<E: Environment + Clone>(
 
 /// Runs a particle-strike campaign: a single bit flip in each of `dffs` at
 /// every sampled cycle, classic single-bit ACE analysis (Equation 1).
-/// `threads = 0` uses one worker per available core.
+/// `opts.threads = 0` uses one worker per available core.
 pub fn savf_campaign<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
     timing: &TimingModel,
     golden: &GoldenRun<E>,
     dffs: &[DffId],
-    due_slack: u64,
-    threads: usize,
+    opts: ReplayOptions,
 ) -> SavfResult {
-    savf_campaign_with_stats(circuit, topo, timing, golden, dffs, due_slack, threads).0
+    savf_campaign_with_stats(circuit, topo, timing, golden, dffs, opts).0
 }
 
 /// Like [`savf_campaign`], also returning the merged engine counters.
@@ -285,13 +367,19 @@ pub fn savf_campaign_with_stats<E: Environment + Clone>(
     timing: &TimingModel,
     golden: &GoldenRun<E>,
     dffs: &[DffId],
-    due_slack: u64,
-    threads: usize,
+    opts: ReplayOptions,
 ) -> (SavfResult, InjectorStats) {
     let cycles = valid_cycles(golden);
-    let threads = resolve_threads(threads, cycles.len());
+    let threads = resolve_threads(opts.threads, cycles.len());
     let shards = run_sharded(threads, &cycles, |shard| {
-        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut injector = shard_injector(
+            circuit,
+            topo,
+            timing,
+            golden,
+            opts.due_slack,
+            opts.incremental,
+        );
         let mut r = SavfResult::default();
         for &cycle in shard {
             for &dff in dffs {
@@ -316,8 +404,7 @@ pub fn savf_campaign_with_stats<E: Environment + Clone>(
 /// returning every injection's record (cycle, edge, dynamic set,
 /// visibility) for downstream analyses such as Razor protection planning
 /// ([`crate::razor`]). Records come back in (cycle, edge) sampling order
-/// regardless of `threads`.
-#[allow(clippy::too_many_arguments)]
+/// regardless of `opts.threads`.
 pub fn delay_avf_campaign_records<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
@@ -325,14 +412,20 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
     golden: &GoldenRun<E>,
     edges: &[EdgeId],
     fraction: f64,
-    due_slack: u64,
-    threads: usize,
+    opts: ReplayOptions,
 ) -> (DelayAvfResult, Vec<InjectionRecord>) {
     let cycles = valid_cycles(golden);
-    let threads = resolve_threads(threads, cycles.len());
+    let threads = resolve_threads(opts.threads, cycles.len());
     let extra = fraction_to_picos(timing, fraction);
     let shards = run_sharded(threads, &cycles, |shard| {
-        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut injector = shard_injector(
+            circuit,
+            topo,
+            timing,
+            golden,
+            opts.due_slack,
+            opts.incremental,
+        );
         let mut row = DelayAvfResult {
             delay_fraction: fraction,
             ..DelayAvfResult::default()
@@ -366,20 +459,26 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
 /// Per-bit sAVF: like [`savf_campaign`] but reporting each flip-flop's
 /// individual ACE fraction, so designers can locate a structure's
 /// vulnerability *hotspots* (the bits worth hardening first). Sharded over
-/// bits; the returned order follows `dffs` regardless of `threads`.
+/// bits; the returned order follows `dffs` regardless of `opts.threads`.
 pub fn savf_per_bit_campaign<E: Environment + Clone>(
     circuit: &Circuit,
     topo: &Topology,
     timing: &TimingModel,
     golden: &GoldenRun<E>,
     dffs: &[DffId],
-    due_slack: u64,
-    threads: usize,
+    opts: ReplayOptions,
 ) -> Vec<(DffId, SavfResult)> {
     let cycles = valid_cycles(golden);
-    let threads = resolve_threads(threads, dffs.len());
+    let threads = resolve_threads(opts.threads, dffs.len());
     let shards = run_sharded(threads, dffs, |shard| {
-        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut injector = shard_injector(
+            circuit,
+            topo,
+            timing,
+            golden,
+            opts.due_slack,
+            opts.incremental,
+        );
         shard
             .iter()
             .map(|&dff| {
@@ -417,13 +516,19 @@ pub fn spatial_double_strike_campaign<E: Environment + Clone>(
     timing: &TimingModel,
     golden: &GoldenRun<E>,
     dffs: &[DffId],
-    due_slack: u64,
-    threads: usize,
+    opts: ReplayOptions,
 ) -> SavfResult {
     let cycles = valid_cycles(golden);
-    let threads = resolve_threads(threads, cycles.len());
+    let threads = resolve_threads(opts.threads, cycles.len());
     let shards = run_sharded(threads, &cycles, |shard| {
-        let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
+        let mut injector = shard_injector(
+            circuit,
+            topo,
+            timing,
+            golden,
+            opts.due_slack,
+            opts.incremental,
+        );
         let mut r = SavfResult::default();
         for &cycle in shard {
             for pair in dffs.windows(2) {
@@ -480,6 +585,7 @@ mod tests {
             compute_orace: false,
             due_slack: 30,
             threads: 1,
+            incremental: true,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         assert_eq!(rows.len(), 3);
@@ -508,6 +614,7 @@ mod tests {
             compute_orace: true,
             due_slack: 30,
             threads: 1,
+            incremental: true,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         let r = &rows[0];
@@ -524,8 +631,22 @@ mod tests {
         let env = crate::testenv::ObservingEnv::new(5, 20);
         let golden = prepare_golden(&c, &topo, &env, 100, 4);
         let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
-        let agg = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
-        let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
+        let agg = savf_campaign(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(30, 1),
+        );
+        let per_bit = savf_per_bit_campaign(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(30, 1),
+        );
         assert_eq!(per_bit.len(), dffs.len());
         let hits: usize = per_bit.iter().map(|(_, r)| r.ace_hits).sum();
         let trials: usize = per_bit.iter().map(|(_, r)| r.injections).sum();
@@ -539,7 +660,14 @@ mod tests {
         let env = crate::testenv::ObservingEnv::new(5, 20);
         let golden = prepare_golden(&c, &topo, &env, 100, 4);
         let dffs: Vec<DffId> = c.dffs().map(|(d, _)| d).collect();
-        let r = savf_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
+        let r = savf_campaign(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(30, 1),
+        );
         assert_eq!(r.injections, dffs.len() * golden.sampled_cycles.len());
         // Flips in the final executed cycle are never observed by the
         // environment (their outputs are past the last observation) — the
@@ -571,16 +699,43 @@ mod tests {
             compute_orace: true,
             due_slack: 30,
             threads: 1,
+            incremental: true,
         };
         let (serial_rows, serial_stats) =
             delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &config);
-        let (serial_savf, serial_savf_stats) =
-            savf_campaign_with_stats(&c, &topo, &timing, &golden, &dffs, 30, 1);
-        let (serial_rec_row, serial_records) =
-            delay_avf_campaign_records(&c, &topo, &timing, &golden, &edges, 0.9, 30, 1);
-        let serial_per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
-        let serial_spatial =
-            spatial_double_strike_campaign(&c, &topo, &timing, &golden, &dffs, 30, 1);
+        let (serial_savf, serial_savf_stats) = savf_campaign_with_stats(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(30, 1),
+        );
+        let (serial_rec_row, serial_records) = delay_avf_campaign_records(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &edges,
+            0.9,
+            ReplayOptions::new(30, 1),
+        );
+        let serial_per_bit = savf_per_bit_campaign(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(30, 1),
+        );
+        let serial_spatial = spatial_double_strike_campaign(
+            &c,
+            &topo,
+            &timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(30, 1),
+        );
 
         for threads in [2, 4] {
             let cfg = config.clone().with_threads(threads);
@@ -589,8 +744,9 @@ mod tests {
             assert_eq!(rows, serial_rows, "sweep rows, {threads} threads");
             assert_eq!(stats, serial_stats, "sweep stats, {threads} threads");
 
+            let opts = ReplayOptions::new(30, threads);
             let (savf, savf_stats) =
-                savf_campaign_with_stats(&c, &topo, &timing, &golden, &dffs, 30, threads);
+                savf_campaign_with_stats(&c, &topo, &timing, &golden, &dffs, opts);
             assert_eq!(savf, serial_savf, "savf, {threads} threads");
             assert_eq!(
                 savf_stats, serial_savf_stats,
@@ -598,15 +754,14 @@ mod tests {
             );
 
             let (rec_row, records) =
-                delay_avf_campaign_records(&c, &topo, &timing, &golden, &edges, 0.9, 30, threads);
+                delay_avf_campaign_records(&c, &topo, &timing, &golden, &edges, 0.9, opts);
             assert_eq!(rec_row, serial_rec_row, "records row, {threads} threads");
             assert_eq!(records, serial_records, "records order, {threads} threads");
 
-            let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, 30, threads);
+            let per_bit = savf_per_bit_campaign(&c, &topo, &timing, &golden, &dffs, opts);
             assert_eq!(per_bit, serial_per_bit, "per-bit, {threads} threads");
 
-            let spatial =
-                spatial_double_strike_campaign(&c, &topo, &timing, &golden, &dffs, 30, threads);
+            let spatial = spatial_double_strike_campaign(&c, &topo, &timing, &golden, &dffs, opts);
             assert_eq!(spatial, serial_spatial, "spatial, {threads} threads");
         }
     }

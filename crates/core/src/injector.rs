@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, NetId, Topology};
-use delayavf_sim::{pack_bits, settle, CycleSim, Environment, EventSim, FaultSpec};
+use delayavf_sim::{pack_bits, settle, CycleSim, DiffSim, Environment, EventSim, FaultSpec};
 use delayavf_timing::{Picos, TimingModel};
 
 use crate::golden::GoldenRun;
@@ -92,15 +92,18 @@ pub struct Injector<'a, E: Environment + Clone> {
     golden: &'a GoldenRun<E>,
     event: EventSim<'a>,
     replay: CycleSim<'a>,
+    diff: DiffSim<'a>,
     due_slack: u64,
     early_exit: bool,
     toggle_filter: bool,
+    incremental: bool,
     cycle_data: Option<CycleData>,
     /// Fan-in sources (flip-flops, input nets) per net, for the toggle
     /// pre-filter.
     fanin_cache: HashMap<NetId, (Vec<DffId>, Vec<NetId>)>,
-    /// (boundary, flipped set) -> failure classification.
-    failure_cache: HashMap<(u64, Vec<DffId>), FailureClass>,
+    /// boundary -> flipped set -> failure classification. Two levels so a
+    /// lookup can borrow the flip set as a slice and hits allocate nothing.
+    failure_cache: HashMap<u64, HashMap<Vec<DffId>, FailureClass>>,
     /// For each input net: (port index, bit) to look values up in the trace.
     input_net_pos: HashMap<NetId, (usize, usize)>,
     /// Counters for reporting/debugging.
@@ -122,6 +125,24 @@ pub struct InjectorStats {
     pub replays: u64,
     /// Replay results served from the cache.
     pub replay_cache_hits: u64,
+    /// Cycles stepped across all replays (incremental and full alike); the
+    /// incremental engine is bit-for-bit exact, so this count is identical
+    /// in both modes and `gates_evaluated` can be compared against
+    /// `replay_cycles * num_gates`, the work a full replay would do.
+    pub replay_cycles: u64,
+    /// Faulty-cone gate evaluations performed by the incremental replay
+    /// engine. The divergence cone of a replay is fully determined by its
+    /// boundary and flips, so this counter is thread-count invariant like
+    /// the rest. Golden-side work is not counted: each trace cycle's golden
+    /// settle is computed once per injector and shared by every replay
+    /// crossing it, amortizing to one golden run. Zero when incremental
+    /// replay is disabled.
+    pub gates_evaluated: u64,
+    /// Replays served by the incremental divergence-cone engine.
+    pub incremental_replays: u64,
+    /// Incremental replays that ran past the end of the golden trace and
+    /// finished on the full simulator (no golden baseline to diff against).
+    pub full_replay_fallbacks: u64,
 }
 
 impl InjectorStats {
@@ -137,6 +158,10 @@ impl InjectorStats {
         self.event_sims += other.event_sims;
         self.replays += other.replays;
         self.replay_cache_hits += other.replay_cache_hits;
+        self.replay_cycles += other.replay_cycles;
+        self.gates_evaluated += other.gates_evaluated;
+        self.incremental_replays += other.incremental_replays;
+        self.full_replay_fallbacks += other.full_replay_fallbacks;
     }
 }
 
@@ -166,9 +191,11 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             golden,
             event: EventSim::new(circuit, topo, timing),
             replay: CycleSim::new(circuit, topo),
+            diff: DiffSim::new(circuit, topo),
             due_slack,
             early_exit: true,
             toggle_filter: true,
+            incremental: true,
             cycle_data: None,
             fanin_cache: HashMap::new(),
             failure_cache: HashMap::new(),
@@ -188,9 +215,22 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
     /// timing-agnostic replay. With early exit off every replay runs to the
     /// end of the program and visibility is decided purely by the final
     /// output comparison — the exact but slow baseline the early exit is
-    /// benchmarked against (it never changes results, only cost).
+    /// benchmarked against (it never changes results, only cost). In
+    /// incremental mode the convergence test is "divergence set empty" (plus
+    /// fingerprint and pending-output equality) instead of a full packed
+    /// state comparison — the same predicate, computed for free.
     pub fn set_early_exit(&mut self, enabled: bool) {
         self.early_exit = enabled;
+    }
+
+    /// Disables (or re-enables) the incremental divergence-cone replay
+    /// engine. Incremental replay is bit-for-bit identical to the full
+    /// cycle-by-cycle baseline — a fidelity property the differential and
+    /// property test suites check — it only avoids re-evaluating gates
+    /// outside the fan-out cone of the diverged state. Disable it to run the
+    /// exact full-replay baseline (the `--no-incremental` escape hatch).
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled;
     }
 
     /// Full two-step evaluation: is edge `edge` DelayACE in `cycle` under an
@@ -315,51 +355,120 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
     }
 
     /// Replays execution with `flips` applied at the start of `boundary`
-    /// and classifies program visibility. Results are cached.
+    /// and classifies program visibility. Results are cached; cache hits
+    /// borrow the flip set as a slice and allocate nothing.
     fn failure_with_flips(&mut self, boundary: u64, flips: Vec<DffId>) -> FailureClass {
-        if let Some(&hit) = self.failure_cache.get(&(boundary, flips.clone())) {
+        if let Some(&hit) = self
+            .failure_cache
+            .get(&boundary)
+            .and_then(|m| m.get(flips.as_slice()))
+        {
             self.stats.replay_cache_hits += 1;
             return hit;
         }
         self.stats.replays += 1;
-        let trace = &self.golden.trace;
-        let mut env = if let Some(cp) = self.golden.checkpoints.get(&boundary) {
-            self.replay.restore(cp.cycle, &cp.state, &cp.prev_outputs);
-            cp.env.clone()
+        let class = if self.incremental {
+            self.replay_incremental(boundary, &flips)
         } else {
-            let cp = self
-                .golden
-                .checkpoints
-                .get(&(boundary - 1))
-                .unwrap_or_else(|| {
-                    panic!("no checkpoint at or before boundary {boundary}; inject only at sampled cycles")
-                });
-            self.replay.restore(cp.cycle, &cp.state, &cp.prev_outputs);
-            let mut env = cp.env.clone();
-            self.replay.step(&mut env);
-            debug_assert_eq!(
-                pack_bits(self.replay.state()),
-                trace.state_at(boundary),
-                "replayed golden cycle reproduces the trace"
-            );
-            env
+            self.replay_full(boundary, &flips)
         };
-        for &d in &flips {
-            self.replay.flip_dff(d);
-        }
+        self.failure_cache
+            .entry(boundary)
+            .or_default()
+            .insert(flips, class);
+        class
+    }
 
-        let n = trace.num_cycles();
-        let limit = n + self.due_slack;
-        let class = loop {
+    /// Classification when the faulty run has halted on its own.
+    fn classify_halted(&self, env: &E) -> FailureClass {
+        if env.failed_abnormally() {
+            FailureClass::Due
+        } else if env.program_output() != self.golden.trace.program_output() {
+            FailureClass::Sdc
+        } else {
+            FailureClass::Masked
+        }
+    }
+
+    /// Classification when the cycle budget ran out: the golden run halted
+    /// but the faulty one has not — a DUE (hang). If the golden run itself
+    /// never halted, fall back to an output comparison at the budget
+    /// boundary.
+    fn classify_budget_exhausted(&self, env: &E) -> FailureClass {
+        if self.golden.trace.halted() {
+            FailureClass::Due
+        } else if env.program_output() != self.golden.trace.program_output() {
+            FailureClass::Sdc
+        } else {
+            FailureClass::Masked
+        }
+    }
+
+    /// Clones and advances the golden environment to `boundary` without
+    /// touching any simulator state (the incremental path): the trace
+    /// already certifies the circuit side of any skipped golden cycle, so
+    /// the environment can be stepped directly on the recorded output words.
+    fn resolve_env_incremental(&mut self, boundary: u64) -> E {
+        if let Some(cp) = self.golden.checkpoints.get(&boundary) {
+            return cp.env.clone();
+        }
+        let cp = self
+            .golden
+            .checkpoints
+            .get(&(boundary - 1))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no checkpoint at or before boundary {boundary}; inject only at sampled cycles"
+                )
+            });
+        let mut env = cp.env.clone();
+        let mut scratch = vec![0u64; self.circuit.input_ports().len()];
+        env.step(cp.cycle, &cp.prev_outputs, &mut scratch);
+        debug_assert_eq!(
+            scratch.as_slice(),
+            self.golden.trace.inputs_at(cp.cycle),
+            "advanced golden environment reproduces the recorded inputs"
+        );
+        env
+    }
+
+    /// Restores `self.replay` to the golden state at `boundary` and returns
+    /// the matching environment (the full-replay path).
+    fn resolve_env_full(&mut self, boundary: u64) -> E {
+        if let Some(cp) = self.golden.checkpoints.get(&boundary) {
+            self.replay.restore(cp.cycle, &cp.state, &cp.prev_outputs);
+            return cp.env.clone();
+        }
+        let cp = self
+            .golden
+            .checkpoints
+            .get(&(boundary - 1))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no checkpoint at or before boundary {boundary}; inject only at sampled cycles"
+                )
+            });
+        self.replay.restore(cp.cycle, &cp.state, &cp.prev_outputs);
+        let mut env = cp.env.clone();
+        self.replay.step(&mut env);
+        debug_assert_eq!(
+            pack_bits(self.replay.state()),
+            self.golden.trace.state_at(boundary),
+            "replayed golden cycle reproduces the trace"
+        );
+        env
+    }
+
+    /// The full cycle-by-cycle classification loop, starting from the
+    /// current state of `self.replay`. Used by the non-incremental baseline
+    /// and as the fallback once an incremental replay outlives the trace.
+    fn run_full_loop(&mut self, env: &mut E) -> FailureClass {
+        let trace = &self.golden.trace;
+        let limit = trace.num_cycles() + self.due_slack;
+        loop {
             let cyc = self.replay.cycle();
             if env.halted() {
-                break if env.failed_abnormally() {
-                    FailureClass::Due
-                } else if env.program_output() != trace.program_output() {
-                    FailureClass::Sdc
-                } else {
-                    FailureClass::Masked
-                };
+                break self.classify_halted(env);
             }
             if self.early_exit
                 && trace.converged_at(
@@ -372,20 +481,57 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
                 break FailureClass::Masked;
             }
             if cyc >= limit {
-                // The golden run halted but the faulty one has not: a DUE
-                // (hang). If the golden run itself never halted, fall back
-                // to an output comparison at the budget boundary.
-                break if trace.halted() {
-                    FailureClass::Due
-                } else if env.program_output() != trace.program_output() {
-                    FailureClass::Sdc
-                } else {
-                    FailureClass::Masked
-                };
+                break self.classify_budget_exhausted(env);
             }
-            self.replay.step(&mut env);
+            self.replay.step(env);
+            self.stats.replay_cycles += 1;
+        }
+    }
+
+    /// The exact full-replay baseline: restore, flip, simulate every cycle.
+    fn replay_full(&mut self, boundary: u64, flips: &[DffId]) -> FailureClass {
+        let mut env = self.resolve_env_full(boundary);
+        for &d in flips {
+            self.replay.flip_dff(d);
+        }
+        self.run_full_loop(&mut env)
+    }
+
+    /// Incremental divergence-cone replay: identical decision sequence to
+    /// [`Injector::run_full_loop`], but each cycle only re-evaluates the
+    /// fan-out cone of the state diverging from the golden trace. Once the
+    /// replay outlives the trace (no baseline to diff against) the
+    /// materialized state is handed to the full simulator.
+    fn replay_incremental(&mut self, boundary: u64, flips: &[DffId]) -> FailureClass {
+        self.stats.incremental_replays += 1;
+        let mut env = self.resolve_env_incremental(boundary);
+        let trace = &self.golden.trace;
+        self.diff.begin(boundary, flips, trace);
+        let n = trace.num_cycles();
+        let limit = n + self.due_slack;
+        let class = loop {
+            let cyc = self.diff.cycle();
+            if env.halted() {
+                break self.classify_halted(&env);
+            }
+            if self.early_exit && self.diff.converged(trace, env.fingerprint()) {
+                break FailureClass::Masked;
+            }
+            if cyc >= limit {
+                break self.classify_budget_exhausted(&env);
+            }
+            if cyc >= n {
+                self.stats.full_replay_fallbacks += 1;
+                self.stats.gates_evaluated += self.diff.gates_evaluated();
+                let state = self.diff.state_bits(trace);
+                let outputs = self.diff.outputs().to_vec();
+                self.replay.restore(cyc, &state, &outputs);
+                return self.run_full_loop(&mut env);
+            }
+            self.diff.step(&mut env, trace);
+            self.stats.replay_cycles += 1;
         };
-        self.failure_cache.insert((boundary, flips), class);
+        self.stats.gates_evaluated += self.diff.gates_evaluated();
         class
     }
 

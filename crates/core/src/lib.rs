@@ -54,7 +54,7 @@ mod testenv;
 pub use campaign::{
     delay_avf_campaign, delay_avf_campaign_records, delay_avf_campaign_with_stats, savf_campaign,
     savf_campaign_with_stats, savf_per_bit_campaign, spatial_double_strike_campaign, valid_cycles,
-    CampaignConfig,
+    CampaignConfig, ReplayOptions,
 };
 pub use golden::{prepare_golden, prepare_golden_percent, prepare_golden_seeded, GoldenRun};
 pub use injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};

@@ -57,6 +57,14 @@ pub struct Topology {
     gate_in_edges: Vec<[u32; 3]>,
     /// Per flip-flop: the edge feeding its D pin.
     dff_in_edge: Vec<u32>,
+    /// Per gate: its combinational level — 0 for gates fed only by
+    /// flip-flops, primary inputs and constants, otherwise one more than the
+    /// deepest gate-driven input. Powers the levelized divergence-cone
+    /// scheduling of the incremental replay engine.
+    gate_level: Vec<u32>,
+    /// Number of distinct levels (`max gate level + 1`, 0 for gateless
+    /// circuits).
+    num_levels: u32,
 }
 
 impl Topology {
@@ -88,13 +96,45 @@ impl Topology {
                 Consumer::OutputBit { .. } => {}
             }
         }
+        let mut gate_level = vec![0u32; c.num_gates()];
+        let mut num_levels = 0u32;
+        for &g in &eval_order {
+            let mut lvl = 0u32;
+            for &inp in c.gate(g).inputs() {
+                if let Driver::Gate(src) = c.net(inp).driver() {
+                    lvl = lvl.max(gate_level[src.index()] + 1);
+                }
+            }
+            gate_level[g.index()] = lvl;
+            num_levels = num_levels.max(lvl + 1);
+        }
         Topology {
             eval_order,
             edges,
             edge_start,
             gate_in_edges,
             dff_in_edge,
+            gate_level,
+            num_levels,
         }
+    }
+
+    /// The combinational level of `gate`: 0 when every input is driven by a
+    /// flip-flop, primary input or constant, otherwise one more than the
+    /// deepest gate-driven input.
+    ///
+    /// Levels give a schedule for cone-restricted re-evaluation: processing
+    /// dirty gates in increasing level order guarantees each gate is
+    /// evaluated at most once per cycle, after all of its dirty fan-in.
+    #[inline]
+    pub fn gate_level(&self, gate: GateId) -> u32 {
+        self.gate_level[gate.index()]
+    }
+
+    /// Number of distinct combinational levels (0 for a gateless circuit).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.num_levels as usize
     }
 
     /// The edges feeding each input pin of `gate`, in pin order.
@@ -362,6 +402,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gate_levels_are_consistent_with_dependencies() {
+        let (c, _) = loop_through_dff();
+        let t = Topology::new(&c);
+        // AND is fed by an input and a DFF (level 0); NOT is fed by AND.
+        for (gid, g) in c.gates() {
+            let mut expect = 0u32;
+            for &inp in g.inputs() {
+                if let Driver::Gate(src) = c.net(inp).driver() {
+                    expect = expect.max(t.gate_level(src) + 1);
+                }
+            }
+            assert_eq!(t.gate_level(gid), expect);
+            assert!((t.gate_level(gid) as usize) < t.num_levels());
+        }
+        assert_eq!(t.num_levels(), 2, "AND at level 0, NOT at level 1");
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   [`delayavf_timing::TimingModel`]. A small delay fault is injected as an
 //!   extra delay on one fanout edge; the values latched at the clock edge
 //!   (honoring setup time) determine the *dynamically reachable set*.
+//! * [`DiffSim`] — an **incremental** variant of the timing-agnostic replay
+//!   (concurrent fault simulation): it tracks only the divergence from a
+//!   recorded [`GoldenTrace`] and re-evaluates just the dirty fan-out cone
+//!   each cycle, which is what makes large GroupACE campaigns affordable.
 //!
 //! Circuits interact with the outside world through an [`Environment`]
 //! (memories, MMIO consoles, ...). The environment exchanges whole port
@@ -31,12 +35,14 @@
 #![warn(missing_docs)]
 
 mod cycle;
+mod diff;
 mod env;
 mod event;
 mod trace;
 mod vcd;
 
 pub use cycle::{settle, CycleSim, RunSummary, StopReason};
+pub use diff::DiffSim;
 pub use env::{ConstEnvironment, Environment};
 pub use event::{EventSim, FaultSpec};
 pub use trace::{pack_bits, Checkpoint, GoldenTrace};

@@ -1,0 +1,198 @@
+//! Property tests for the incremental divergence-cone replay engine on
+//! randomly generated circuits:
+//!
+//! 1. for random flips at a random boundary, [`DiffSim`] tracks a full
+//!    [`CycleSim`] replay bit-for-bit, cycle by cycle — including under an
+//!    output-sensitive environment, where divergence also enters through
+//!    the primary inputs,
+//! 2. under a closed environment the divergence set never escapes the
+//!    flipped bits' transitive fan-out cone, and once it empties it stays
+//!    empty.
+
+use std::collections::HashSet;
+
+use delayavf_netlist::{Circuit, CircuitBuilder, DffId, GateKind, NetId, Topology, Word};
+use delayavf_sim::{ConstEnvironment, CycleSim, DiffSim, Environment, GoldenTrace};
+use proptest::prelude::*;
+
+/// Specification of one random gate: kind index plus input selectors.
+type GateSpec = (u8, u16, u16, u16);
+
+fn random_circuit(n_inputs: usize, n_regs: usize, gates: &[GateSpec]) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let inputs = b.input_word("in", n_inputs);
+    let regs = b.reg_word("r", n_regs, 0);
+    let mut nets: Vec<NetId> = inputs.bits().to_vec();
+    nets.extend_from_slice(regs.q().bits());
+    for &(kind, i0, i1, i2) in gates {
+        let kinds = [
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+        ];
+        let k = kinds[usize::from(kind) % kinds.len()];
+        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
+        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
+        nets.push(b.gate(k, &ins));
+    }
+    // Feed registers from the most recently created nets.
+    let d: Word = (0..n_regs).map(|i| nets[nets.len() - 1 - i]).collect();
+    b.drive_word(&regs, &d);
+    b.output_word("o", &regs.q());
+    b.finish().expect("acyclic by construction")
+}
+
+/// A stateless but output-sensitive environment: the input word is a hash
+/// of the previous cycle's outputs, so faulty outputs feed divergence back
+/// in through the primary inputs.
+#[derive(Clone, Debug, Default)]
+struct FeedbackEnvironment;
+
+impl Environment for FeedbackEnvironment {
+    fn step(&mut self, cycle: u64, prev_outputs: &[u64], inputs: &mut [u64]) {
+        let mut acc = cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for (i, &o) in prev_outputs.iter().enumerate() {
+            acc ^= o.rotate_left(i as u32 + 1);
+        }
+        if let Some(slot) = inputs.first_mut() {
+            *slot = acc;
+        }
+    }
+}
+
+/// Flips selected by a mask bit per register, at least one.
+fn pick_flips(c: &Circuit, mask: u8) -> Vec<DffId> {
+    let mask = if mask == 0 { 1 } else { mask };
+    c.dffs()
+        .enumerate()
+        .filter(|(i, _)| (mask >> (i % 8)) & 1 == 1)
+        .map(|(_, (id, _))| id)
+        .collect()
+}
+
+/// The transitive (multi-cycle) fan-out cone of the flipped bits, as a set
+/// of flip-flops: the fixpoint of "DFFs reachable through combinational
+/// logic from a cone member's Q output".
+fn fanout_cone(c: &Circuit, topo: &Topology, flips: &[DffId]) -> HashSet<DffId> {
+    let mut cone: HashSet<DffId> = flips.iter().copied().collect();
+    let mut frontier: Vec<DffId> = flips.to_vec();
+    while let Some(d) = frontier.pop() {
+        for down in topo.downstream_dffs(c, c.dff(d).q()) {
+            if cone.insert(down) {
+                frontier.push(down);
+            }
+        }
+    }
+    cone
+}
+
+fn check_equivalence<E: Environment + Clone>(
+    c: &Circuit,
+    topo: &Topology,
+    trace: &GoldenTrace,
+    boundary: u64,
+    flips: &[DffId],
+    env: &E,
+) {
+    let mut full = CycleSim::new(c, topo);
+    full.restore(
+        boundary,
+        &trace.state_bits_at(boundary, c.num_dffs()),
+        trace.outputs_at(boundary.wrapping_sub(1)),
+    );
+    for &f in flips {
+        full.flip_dff(f);
+    }
+    let mut diff = DiffSim::new(c, topo);
+    diff.begin(boundary, flips, trace);
+    assert_eq!(
+        diff.state_bits(trace),
+        full.state(),
+        "state at the boundary"
+    );
+
+    let mut env_full = env.clone();
+    let mut env_diff = env.clone();
+    while diff.cycle() < trace.num_cycles() {
+        full.step(&mut env_full);
+        diff.step(&mut env_diff, trace);
+        assert_eq!(diff.cycle(), full.cycle());
+        assert_eq!(
+            diff.state_bits(trace),
+            full.state(),
+            "state at cycle {}",
+            diff.cycle()
+        );
+        assert_eq!(
+            diff.outputs(),
+            full.last_outputs(),
+            "outputs at cycle {}",
+            diff.cycle()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn diff_sim_equals_full_replay_under_output_feedback(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..60),
+        boundary_sel: u16,
+        flip_mask: u8,
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let cycles = 8u64;
+        let mut env = FeedbackEnvironment;
+        let trace = GoldenTrace::record(&c, &topo, &mut env, cycles, &[]).0;
+        let boundary = 1 + u64::from(boundary_sel) % (trace.num_cycles() - 1);
+        let flips = pick_flips(&c, flip_mask);
+        check_equivalence(&c, &topo, &trace, boundary, &flips, &FeedbackEnvironment);
+    }
+
+    #[test]
+    fn divergence_stays_inside_the_flip_fanout_cone(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..60),
+        in_val: u64,
+        boundary_sel: u16,
+        flip_mask: u8,
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let cycles = 8u64;
+        let mut env = ConstEnvironment::new(vec![in_val & 0xff]);
+        let trace = GoldenTrace::record(&c, &topo, &mut env.clone(), cycles, &[]).0;
+        let boundary = 1 + u64::from(boundary_sel) % (trace.num_cycles() - 1);
+        let flips = pick_flips(&c, flip_mask);
+        // The incremental engine is exact under the closed environment too.
+        check_equivalence(&c, &topo, &trace, boundary, &flips, &env);
+
+        let cone = fanout_cone(&c, &topo, &flips);
+        let mut diff = DiffSim::new(&c, &topo);
+        diff.begin(boundary, &flips, &trace);
+        let mut emptied = false;
+        while diff.cycle() < trace.num_cycles() {
+            diff.step(&mut env, &trace);
+            for &d in diff.divergence() {
+                prop_assert!(
+                    cone.contains(&d),
+                    "bit {d:?} diverged outside the fan-out cone of {flips:?}"
+                );
+            }
+            if emptied {
+                prop_assert!(
+                    diff.divergence().is_empty(),
+                    "a healed run re-diverged under a closed environment"
+                );
+            }
+            emptied |= diff.divergence().is_empty();
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release --example hotspots [structure] [kernel]`
 //! (defaults: `lsu`, `libstrstr`).
 
-use delayavf::{prepare_golden, savf_per_bit_campaign};
+use delayavf::{prepare_golden, savf_per_bit_campaign, ReplayOptions};
 use delayavf_netlist::Topology;
 use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
 use delayavf_timing::{TechLibrary, TimingModel};
@@ -47,8 +47,14 @@ fn main() {
     let golden = prepare_golden(&core.circuit, &topo, &env, workload.max_cycles, 20);
 
     eprintln!("striking {} bits of `{structure}` ...", s.dffs().len());
-    let mut per_bit =
-        savf_per_bit_campaign(&core.circuit, &topo, &timing, &golden, s.dffs(), 2_000, 0);
+    let mut per_bit = savf_per_bit_campaign(
+        &core.circuit,
+        &topo,
+        &timing,
+        &golden,
+        s.dffs(),
+        ReplayOptions::new(2_000, 0),
+    );
     per_bit.sort_by(|a, b| b.1.savf().total_cmp(&a.1.savf()));
 
     println!("\ntop vulnerability hotspots in `{structure}` under {kernel}:");

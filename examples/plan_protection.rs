@@ -13,7 +13,7 @@
 use std::collections::HashSet;
 
 use delayavf::razor::{detection_coverage, greedy_protection};
-use delayavf::{delay_avf_campaign_records, prepare_golden, sample_edges};
+use delayavf::{delay_avf_campaign_records, prepare_golden, sample_edges, ReplayOptions};
 use delayavf_netlist::Topology;
 use delayavf_rvcore::{build_core, Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
 use delayavf_timing::{TechLibrary, TimingModel};
@@ -58,8 +58,7 @@ fn main() {
             &golden,
             &edges,
             d_pct / 100.0,
-            2_000,
-            0,
+            ReplayOptions::new(2_000, 0),
         );
         visible_total += row.delay_ace_hits;
         records.extend(recs);

@@ -3,7 +3,7 @@
 
 use delayavf::{
     delay_avf_campaign, prepare_golden_seeded, sample_edges, savf_campaign,
-    spatial_double_strike_campaign, CampaignConfig,
+    spatial_double_strike_campaign, CampaignConfig, ReplayOptions,
 };
 use delayavf_netlist::Topology;
 use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
@@ -47,6 +47,7 @@ fn campaign_invariants_hold_on_the_real_core() {
         compute_orace: false,
         due_slack: 500,
         threads: 0,
+        incremental: true,
     };
     let rows = delay_avf_campaign(
         &s.core.circuit,
@@ -105,8 +106,7 @@ fn savf_on_the_lsu_is_bounded_and_deterministic() {
         &s.timing,
         &s.golden,
         &dffs,
-        500,
-        1,
+        ReplayOptions::new(500, 1),
     );
     assert_eq!(a.injections, dffs.len() * s.golden.sampled_cycles.len());
     assert!(a.savf() <= 1.0);
@@ -116,8 +116,7 @@ fn savf_on_the_lsu_is_bounded_and_deterministic() {
         &s.timing,
         &s.golden,
         &dffs,
-        500,
-        2,
+        ReplayOptions::new(500, 2),
     );
     assert_eq!(a, b, "two workers reproduce the serial result exactly");
 }
@@ -138,7 +137,14 @@ fn ecc_register_file_suppresses_single_strike_avf() {
     let golden = prepare_golden_seeded(&core.circuit, &topo, &env, w.max_cycles, 6, 2);
     let rf = core.circuit.structure("regfile").unwrap();
     let dffs: Vec<_> = rf.dffs().iter().copied().step_by(9).take(40).collect();
-    let r = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500, 0);
+    let r = savf_campaign(
+        &core.circuit,
+        &topo,
+        &timing,
+        &golden,
+        &dffs,
+        ReplayOptions::new(500, 0),
+    );
     assert_eq!(r.ace_hits, 0, "SEC ECC corrects every single-bit strike");
 
     // The unprotected register file is *not* immune.
@@ -152,7 +158,14 @@ fn ecc_register_file_suppresses_single_strike_avf() {
     let golden2 = prepare_golden_seeded(&core2.circuit, &topo2, &env2, w.max_cycles, 6, 2);
     let rf2 = core2.circuit.structure("regfile").unwrap();
     let dffs2: Vec<_> = rf2.dffs().to_vec();
-    let r2 = savf_campaign(&core2.circuit, &topo2, &timing2, &golden2, &dffs2, 500, 0);
+    let r2 = savf_campaign(
+        &core2.circuit,
+        &topo2,
+        &timing2,
+        &golden2,
+        &dffs2,
+        ReplayOptions::new(500, 0),
+    );
     assert!(
         r2.ace_hits > 0,
         "unprotected register file has non-zero sAVF ({r2})"
@@ -181,9 +194,10 @@ fn adjacent_double_strikes_defeat_ecc_where_single_strikes_cannot() {
     for reg in [10usize, 11, 12, 13, 14] {
         dffs.extend(core.handle.regfile.storage(reg));
     }
-    let single = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500, 0);
+    let opts = ReplayOptions::new(500, 0);
+    let single = savf_campaign(&core.circuit, &topo, &timing, &golden, &dffs, opts);
     let double =
-        spatial_double_strike_campaign(&core.circuit, &topo, &timing, &golden, &dffs, 500, 0);
+        spatial_double_strike_campaign(&core.circuit, &topo, &timing, &golden, &dffs, opts);
     assert_eq!(single.ace_hits, 0, "SEC corrects every single strike");
     assert!(
         double.ace_hits > 0,

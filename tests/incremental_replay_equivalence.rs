@@ -1,0 +1,187 @@
+//! The incremental divergence-cone replay engine's headline guarantee,
+//! checked on the real gate-level core: for every core variant and
+//! workload, campaigns run with the incremental engine return results —
+//! per-injection failure classes included — bit-for-bit identical to the
+//! exact full-replay baseline, at a fraction of the gate evaluations.
+
+use delayavf::{
+    delay_avf_campaign_records, savf_campaign_with_stats, savf_per_bit_campaign,
+    spatial_double_strike_campaign, valid_cycles, InjectorStats, ReplayOptions,
+};
+use delayavf_bench::{Harness, Opts, StructureSel};
+use delayavf_netlist::DffId;
+use delayavf_workloads::Kernel;
+
+/// The counters both engines share. The mode-specific counters
+/// (`gates_evaluated`, `incremental_replays`, `full_replay_fallbacks`) are
+/// deliberately excluded: they describe *how* the work was done, not *what*
+/// was computed.
+fn common_counters(s: &InjectorStats) -> [u64; 6] {
+    [
+        s.static_filtered,
+        s.toggle_filtered,
+        s.event_sims,
+        s.replays,
+        s.replay_cache_hits,
+        s.replay_cycles,
+    ]
+}
+
+#[test]
+fn every_core_variant_and_kernel_matches_the_full_replay_baseline() {
+    let mut h = Harness::build();
+    let opts = Opts::quick();
+    for sel in [
+        StructureSel::Plain("alu"),
+        StructureSel::Ecc("regfile"),
+        StructureSel::Fast("alu"),
+    ] {
+        for kernel in [Kernel::Libfibcall, Kernel::Libstrstr] {
+            let variant = h.variant_mut(sel);
+            let golden = variant.golden(kernel, &opts);
+            let edges = variant.edges(sel.name(), &opts);
+            let run = |incremental: bool| {
+                delay_avf_campaign_records(
+                    &variant.core.circuit,
+                    &variant.topo,
+                    &variant.timing,
+                    &golden,
+                    &edges,
+                    0.9,
+                    ReplayOptions::new(opts.due_slack, 1).with_incremental(incremental),
+                )
+            };
+            let (inc_row, inc_records) = run(true);
+            let (full_row, full_records) = run(false);
+            let label = format!("{} under {kernel}", sel.label());
+            assert_eq!(inc_row, full_row, "campaign row for {label}");
+            assert_eq!(
+                inc_records, full_records,
+                "per-injection outcomes (incl. FailureClass) for {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn savf_stats_are_mode_and_thread_invariant_where_they_must_be() {
+    let mut h = Harness::build();
+    let opts = Opts::quick();
+    let sel = StructureSel::Plain("alu");
+    let variant = h.variant_mut(sel);
+    let golden = variant.golden(Kernel::Libfibcall, &opts);
+    let dffs: Vec<DffId> = variant.dffs("lsu", &opts);
+
+    let run = |incremental: bool, threads: usize| {
+        savf_campaign_with_stats(
+            &variant.core.circuit,
+            &variant.topo,
+            &variant.timing,
+            &golden,
+            &dffs,
+            ReplayOptions::new(opts.due_slack, threads).with_incremental(incremental),
+        )
+    };
+    let (inc1, inc1_stats) = run(true, 1);
+    let (inc4, inc4_stats) = run(true, 4);
+    let (full1, full1_stats) = run(false, 1);
+    let (full4, full4_stats) = run(false, 4);
+
+    // Within a mode the merged counters are thread-count invariant in full.
+    assert_eq!(inc1, inc4, "incremental results, 1 vs 4 threads");
+    assert_eq!(
+        inc1_stats, inc4_stats,
+        "incremental counters, 1 vs 4 threads"
+    );
+    assert_eq!(full1, full4, "full-replay results, 1 vs 4 threads");
+    assert_eq!(
+        full1_stats, full4_stats,
+        "full-replay counters, 1 vs 4 threads"
+    );
+
+    // Across modes the results and the shared counters agree exactly.
+    assert_eq!(inc1, full1, "sAVF result, incremental vs full");
+    assert_eq!(
+        common_counters(&inc1_stats),
+        common_counters(&full1_stats),
+        "shared counters, incremental vs full"
+    );
+
+    // The mode-specific counters say which engine actually ran.
+    assert_eq!(full1_stats.gates_evaluated, 0);
+    assert_eq!(full1_stats.incremental_replays, 0);
+    assert_eq!(full1_stats.full_replay_fallbacks, 0);
+    assert_eq!(
+        inc1_stats.incremental_replays, inc1_stats.replays,
+        "every cache miss went through the incremental engine"
+    );
+    assert!(inc1_stats.replays > 0, "the campaign did real work");
+    // The whole point: far fewer gate evaluations than a full replay's
+    // every-gate-every-cycle schedule.
+    let full_work = inc1_stats.replay_cycles * variant.core.circuit.num_gates() as u64;
+    println!(
+        "incremental gate evaluations: {} of {} full-replay bound ({:.2}%)",
+        inc1_stats.gates_evaluated,
+        full_work,
+        100.0 * inc1_stats.gates_evaluated as f64 / full_work.max(1) as f64
+    );
+    assert!(
+        inc1_stats.gates_evaluated < full_work / 2,
+        "incremental work {} should be well under the full-replay bound {}",
+        inc1_stats.gates_evaluated,
+        full_work
+    );
+}
+
+#[test]
+fn per_bit_and_double_strike_campaigns_match_across_modes() {
+    let mut h = Harness::build();
+    let opts = Opts::quick();
+    let variant = h.variant_mut(StructureSel::Plain("alu"));
+    let golden = variant.golden(Kernel::Libstrstr, &opts);
+    assert!(!valid_cycles(&golden).is_empty());
+    let dffs: Vec<DffId> = variant.dffs("control", &opts);
+
+    for threads in [1, 4] {
+        let inc = ReplayOptions::new(opts.due_slack, threads);
+        let full = inc.with_incremental(false);
+        let per_bit_inc = savf_per_bit_campaign(
+            &variant.core.circuit,
+            &variant.topo,
+            &variant.timing,
+            &golden,
+            &dffs,
+            inc,
+        );
+        let per_bit_full = savf_per_bit_campaign(
+            &variant.core.circuit,
+            &variant.topo,
+            &variant.timing,
+            &golden,
+            &dffs,
+            full,
+        );
+        assert_eq!(per_bit_inc, per_bit_full, "per-bit sAVF, {threads} threads");
+
+        let spatial_inc = spatial_double_strike_campaign(
+            &variant.core.circuit,
+            &variant.topo,
+            &variant.timing,
+            &golden,
+            &dffs,
+            inc,
+        );
+        let spatial_full = spatial_double_strike_campaign(
+            &variant.core.circuit,
+            &variant.topo,
+            &variant.timing,
+            &golden,
+            &dffs,
+            full,
+        );
+        assert_eq!(
+            spatial_inc, spatial_full,
+            "double-strike sAVF, {threads} threads"
+        );
+    }
+}

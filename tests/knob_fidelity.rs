@@ -1,0 +1,92 @@
+//! The fidelity regression matrix: every combination of the engine's
+//! performance knobs — toggle pre-filter, convergence early-exit, and the
+//! incremental divergence-cone replay — produces the exact same
+//! per-injection outcomes. The knobs change only the cost of the answer,
+//! never the answer.
+
+use delayavf::{prepare_golden_seeded, sample_edges, InjectionOutcome, Injector};
+use delayavf_netlist::{EdgeId, Topology};
+use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_workloads::{Kernel, Scale};
+
+struct Setup {
+    core: Core,
+    topo: Topology,
+    timing: TimingModel,
+    golden: delayavf::GoldenRun<MemEnv>,
+    edges: Vec<EdgeId>,
+}
+
+fn setup() -> Setup {
+    let core = delayavf_rvcore::build_core(CoreConfig::default());
+    let topo = Topology::new(&core.circuit);
+    let timing = TimingModel::analyze(&core.circuit, &topo, &TechLibrary::nangate45_like());
+    let w = Kernel::Libfibcall.build(Scale::Tiny);
+    let p = w.assemble().expect("workload assembles");
+    let env = MemEnv::new(&core.circuit, DEFAULT_RAM_BYTES, &p);
+    let golden = prepare_golden_seeded(&core.circuit, &topo, &env, w.max_cycles, 5, 11);
+    assert!(golden.trace.halted(), "tiny workload halts");
+    let edges = sample_edges(&topo.structure_edges(&core.circuit, "alu").unwrap(), 40, 11);
+    Setup {
+        core,
+        topo,
+        timing,
+        golden,
+        edges,
+    }
+}
+
+fn run_matrix_point(
+    s: &Setup,
+    toggle_filter: bool,
+    early_exit: bool,
+    incremental: bool,
+) -> Vec<InjectionOutcome> {
+    let mut inj = Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
+    inj.set_toggle_filter(toggle_filter);
+    inj.set_early_exit(early_exit);
+    inj.set_incremental(incremental);
+    let extra = s.timing.clock_period() * 9 / 10;
+    let mut outcomes = Vec::new();
+    for &cycle in &s.golden.sampled_cycles {
+        if cycle + 1 >= s.golden.trace.num_cycles() {
+            continue;
+        }
+        for &e in &s.edges {
+            outcomes.push(inj.inject(cycle, e, extra));
+        }
+    }
+    outcomes
+}
+
+#[test]
+fn every_knob_combination_yields_identical_outcomes() {
+    let s = setup();
+    let reference = run_matrix_point(&s, true, true, true);
+    assert!(
+        reference.iter().any(|o| o.visible),
+        "the sample must contain program-visible faults for the matrix to mean anything"
+    );
+    assert!(
+        reference
+            .iter()
+            .any(|o| !o.dynamic_set.is_empty() && !o.visible),
+        "... and masked-after-reaching faults, which exercise the replay"
+    );
+    for toggle_filter in [true, false] {
+        for early_exit in [true, false] {
+            for incremental in [true, false] {
+                if (toggle_filter, early_exit, incremental) == (true, true, true) {
+                    continue;
+                }
+                let outcomes = run_matrix_point(&s, toggle_filter, early_exit, incremental);
+                assert_eq!(
+                    outcomes, reference,
+                    "outcomes changed with toggle_filter={toggle_filter} \
+                     early_exit={early_exit} incremental={incremental}"
+                );
+            }
+        }
+    }
+}

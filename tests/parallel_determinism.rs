@@ -6,7 +6,7 @@
 use delayavf::{
     delay_avf_campaign_records, delay_avf_campaign_with_stats, prepare_golden_seeded, sample_edges,
     savf_campaign_with_stats, savf_per_bit_campaign, spatial_double_strike_campaign,
-    CampaignConfig,
+    CampaignConfig, ReplayOptions,
 };
 use delayavf_netlist::{DffId, Topology};
 use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
@@ -61,7 +61,9 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         compute_orace: true,
         due_slack: 500,
         threads: 1,
+        incremental: true,
     };
+    let serial_opts = ReplayOptions::new(500, 1);
     let (serial_rows, serial_stats) = delay_avf_campaign_with_stats(
         &s.core.circuit,
         &s.topo,
@@ -77,8 +79,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         &s.timing,
         &s.golden,
         &dffs,
-        500,
-        1,
+        serial_opts,
     );
     let (serial_row, serial_records) = delay_avf_campaign_records(
         &s.core.circuit,
@@ -87,8 +88,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         &s.golden,
         &edges,
         0.9,
-        500,
-        1,
+        serial_opts,
     );
     let serial_per_bit = savf_per_bit_campaign(
         &s.core.circuit,
@@ -96,8 +96,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         &s.timing,
         &s.golden,
         &dffs,
-        500,
-        1,
+        serial_opts,
     );
     let serial_spatial = spatial_double_strike_campaign(
         &s.core.circuit,
@@ -105,12 +104,12 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         &s.timing,
         &s.golden,
         &dffs,
-        500,
-        1,
+        serial_opts,
     );
 
     for threads in [2, 4] {
         let cfg = config.clone().with_threads(threads);
+        let opts = ReplayOptions::new(500, threads);
         let (rows, stats) = delay_avf_campaign_with_stats(
             &s.core.circuit,
             &s.topo,
@@ -125,15 +124,8 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
             "injector counters with {threads} threads"
         );
 
-        let (savf, savf_stats) = savf_campaign_with_stats(
-            &s.core.circuit,
-            &s.topo,
-            &s.timing,
-            &s.golden,
-            &dffs,
-            500,
-            threads,
-        );
+        let (savf, savf_stats) =
+            savf_campaign_with_stats(&s.core.circuit, &s.topo, &s.timing, &s.golden, &dffs, opts);
         assert_eq!(savf, serial_savf, "sAVF with {threads} threads");
         assert_eq!(
             savf_stats, serial_savf_stats,
@@ -147,8 +139,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
             &s.golden,
             &edges,
             0.9,
-            500,
-            threads,
+            opts,
         );
         assert_eq!(row, serial_row, "records row with {threads} threads");
         assert_eq!(
@@ -156,15 +147,8 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
             "record order with {threads} threads"
         );
 
-        let per_bit = savf_per_bit_campaign(
-            &s.core.circuit,
-            &s.topo,
-            &s.timing,
-            &s.golden,
-            &dffs,
-            500,
-            threads,
-        );
+        let per_bit =
+            savf_per_bit_campaign(&s.core.circuit, &s.topo, &s.timing, &s.golden, &dffs, opts);
         assert_eq!(per_bit, serial_per_bit, "per-bit with {threads} threads");
 
         let spatial = spatial_double_strike_campaign(
@@ -173,8 +157,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
             &s.timing,
             &s.golden,
             &dffs,
-            500,
-            threads,
+            opts,
         );
         assert_eq!(spatial, serial_spatial, "spatial with {threads} threads");
     }

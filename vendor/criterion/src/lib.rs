@@ -33,11 +33,19 @@ pub enum BatchSize {
 /// Benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // `cargo bench -- --test` asks real criterion to run every bench
+        // once as a smoke test instead of collecting samples; honor the
+        // same flag so CI can exercise the bench targets cheaply.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
     }
 }
 
@@ -49,18 +57,24 @@ impl Criterion {
         self
     }
 
-    /// Times `f` and prints a one-line summary.
+    /// Times `f` and prints a one-line summary. In `--test` mode the
+    /// routine runs exactly once (the untimed warm-up pass) and only a
+    /// pass/fail line is printed.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if self.test_mode { 0 } else { self.sample_size },
             total: Duration::ZERO,
             min: Duration::MAX,
             iters: 0,
         };
         f(&mut b);
+        if self.test_mode {
+            println!("bench {id:<40} ... ok (smoke test)");
+            return self;
+        }
         let mean = if b.iters > 0 {
             b.total / b.iters as u32
         } else {
