@@ -224,10 +224,93 @@ fn bench_incremental_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_batch_ablation(c: &mut Criterion) {
+    // Ablation: the 64-lane bit-parallel batch replay vs the scalar
+    // incremental engine. `lanes = 1` disables batching entirely; results
+    // are identical, only the wall clock changes.
+    let f = fix();
+    let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
+    let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 6);
+    let cycle = golden.sampled_cycles[2];
+    let dffs: Vec<_> = f
+        .core
+        .circuit
+        .structure("regfile")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(64)
+        .collect();
+    assert_eq!(dffs.len(), 64, "one full batch of strike scenarios");
+    for (label, lanes) in [("lanes1", 1usize), ("lanes64", 64)] {
+        c.bench_function(&format!("savf_64_strikes_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    inj.set_lanes(lanes);
+                    inj
+                },
+                |mut inj| {
+                    inj.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
+                    for &d in &dffs {
+                        let _ = inj.bit_ace(cycle, d);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    emit_batch_snapshot(&f, &golden, &dffs);
+}
+
+/// Hand-timed lanes-1 vs lanes-64 snapshot, written to `BENCH_batch.json`
+/// at the workspace root so the perf trajectory of the batch engine is
+/// tracked in-tree (the vendored criterion stand-in does not persist
+/// measurements).
+fn emit_batch_snapshot(
+    f: &Fix,
+    golden: &delayavf::GoldenRun<MemEnv>,
+    dffs: &[delayavf_netlist::DffId],
+) {
+    use std::time::Instant;
+    let mut best = [f64::INFINITY; 2];
+    let mut util = 0.0;
+    for (slot, lanes) in [1usize, 64].into_iter().enumerate() {
+        for _rep in 0..3 {
+            let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, golden, 500);
+            inj.set_lanes(lanes);
+            let t = Instant::now();
+            for &cycle in &golden.sampled_cycles {
+                inj.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
+                for &d in dffs {
+                    let _ = inj.bit_ace(cycle, d);
+                }
+            }
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            best[slot] = best[slot].min(ms);
+            if lanes == 64 {
+                util = inj.stats.lane_utilization();
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"savf_64_strikes_over_{}_cycles\",\n  \"lanes1_ms\": {:.3},\n  \"lanes64_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"lane_utilization\": {:.3}\n}}\n",
+        golden.sampled_cycles.len(),
+        best[0],
+        best[1],
+        best[0] / best[1],
+        util
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(path, json).expect("write BENCH_batch.json");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_build_and_sta, bench_cycle_sim, bench_event_sim, bench_static_reach,
-        bench_injection, bench_early_exit_ablation, bench_incremental_ablation
+        bench_injection, bench_early_exit_ablation, bench_incremental_ablation,
+        bench_batch_ablation
 }
 criterion_main!(benches);

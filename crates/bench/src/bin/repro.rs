@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
 //!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
+//!       [--lanes N]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
@@ -41,6 +42,9 @@ options:
   (or -j N)       every N (default: one per available core)
   --no-incremental  use the exact full-replay baseline instead of the
                   incremental divergence-cone engine (identical results)
+  --lanes N       bit-parallel replay lanes per batch, 1-64 (default 64);
+                  AVF numbers are identical for every N, --lanes 1 is the
+                  exact scalar baseline
   --tiny          use tiny workloads (smoke test)
   --config FILE   run an artifact-style configuration file instead
                   (see configs/*.cfg; other options are ignored)
@@ -81,6 +85,10 @@ fn main() -> ExitCode {
             },
             "--threads" | "-j" => match num("--threads") {
                 Ok(v) => opts.threads = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--lanes" => match num("--lanes") {
+                Ok(v) => opts.lanes = v as usize,
                 Err(e) => return fail(&e),
             },
             "--tiny" => opts.scale = Scale::Tiny,

@@ -23,6 +23,7 @@
 //! orace = false                        # also compute OrDelayAVF
 //! threads = 0                          # campaign workers, 0 = one per core
 //! incremental = true                   # divergence-cone replay engine
+//! lanes = 64                           # bit-parallel replay lanes, 1-64
 //! ```
 
 use delayavf::{delay_avf_campaign, prepare_golden_percent, sample_edges, CampaignConfig};
@@ -61,6 +62,9 @@ pub struct ExperimentSpec {
     /// Use the incremental divergence-cone replay engine (`false` runs the
     /// exact full-replay baseline; results are identical either way).
     pub incremental: bool,
+    /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
+    /// for every value; `1` runs the exact scalar baseline.
+    pub lanes: usize,
 }
 
 impl Default for ExperimentSpec {
@@ -79,6 +83,7 @@ impl Default for ExperimentSpec {
             orace: false,
             threads: 0,
             incremental: true,
+            lanes: 64,
         }
     }
 }
@@ -165,6 +170,9 @@ impl ExperimentSpec {
                     spec.threads = value.parse().map_err(|e| bad(format!("threads: {e}")))?;
                 }
                 "incremental" => spec.incremental = parse_bool(value).map_err(bad)?,
+                "lanes" => {
+                    spec.lanes = value.parse().map_err(|e| bad(format!("lanes: {e}")))?;
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -215,6 +223,7 @@ impl ExperimentSpec {
             due_slack: self.due_slack,
             threads: self.threads,
             incremental: self.incremental,
+            lanes: self.lanes,
         };
         let rows = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config);
 
@@ -278,6 +287,7 @@ mod tests {
             orace = true
             threads = 3
             incremental = false
+            lanes = 16
             "#,
         )
         .unwrap();
@@ -292,6 +302,7 @@ mod tests {
         assert!(spec.orace);
         assert_eq!(spec.threads, 3);
         assert!(!spec.incremental);
+        assert_eq!(spec.lanes, 16);
     }
 
     #[test]

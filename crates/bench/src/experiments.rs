@@ -64,6 +64,7 @@ fn sweep(
         due_slack: opts.due_slack,
         threads: opts.threads,
         incremental: opts.incremental,
+        lanes: opts.lanes,
     };
     delay_avf_campaign(
         &variant.core.circuit,
@@ -580,6 +581,7 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
                 due_slack: seeded.due_slack,
                 threads: seeded.threads,
                 incremental: seeded.incremental,
+                lanes: seeded.lanes,
             },
         )[0];
         let (lo, hi) = r.delay_avf_interval();

@@ -32,6 +32,10 @@ pub struct Opts {
     /// Results are bit-for-bit identical either way; `false` runs the exact
     /// full-replay baseline (the `--no-incremental` escape hatch).
     pub incremental: bool,
+    /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
+    /// for every value; `1` runs the exact scalar baseline (the `--lanes 1`
+    /// escape hatch).
+    pub lanes: usize,
 }
 
 impl Default for Opts {
@@ -45,6 +49,7 @@ impl Default for Opts {
             due_slack: 2_000,
             threads: 0,
             incremental: true,
+            lanes: 64,
         }
     }
 }
@@ -55,6 +60,7 @@ impl Opts {
     pub fn replay_options(&self) -> delayavf::ReplayOptions {
         delayavf::ReplayOptions::new(self.due_slack, self.threads)
             .with_incremental(self.incremental)
+            .with_lanes(self.lanes)
     }
 }
 

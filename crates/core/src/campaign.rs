@@ -31,11 +31,26 @@
 //!
 //! Both conventions draw `c` from [`valid_cycles`], which keeps every
 //! boundary inside the golden trace.
+//!
+//! # Lane batching
+//!
+//! On top of sharding, every campaign groups the replays of one latch
+//! boundary into bit-parallel batches ([`Injector::prefill_failures`], up
+//! to [`ReplayOptions::lanes`] scenarios per pass over the netlist) before
+//! running its unchanged scalar loop against the warmed cache — so tally
+//! and record order are exactly the sequential engine's, and `lanes = 1`
+//! (which turns prefilling into a no-op) reproduces its reports
+//! byte-identically. Batching composes with sharding: cycle-sharded
+//! campaigns keep each boundary's batches inside one worker, so the batch
+//! counters in [`InjectorStats`] merge thread-invariantly. The per-bit
+//! campaign shards over *bits* instead; its batch shapes depend on the
+//! partition, which is harmless because it exposes no stats — its results
+//! are still bit-for-bit deterministic.
 
 use std::thread;
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
-use delayavf_sim::Environment;
+use delayavf_sim::{Environment, MAX_LANES};
 use delayavf_timing::{Picos, TimingModel};
 
 use crate::golden::GoldenRun;
@@ -59,6 +74,11 @@ pub struct ReplayOptions {
     /// Results are bit-for-bit identical either way; `false` runs the
     /// exact full-replay baseline (the `--no-incremental` escape hatch).
     pub incremental: bool,
+    /// Lane width for bit-parallel batch replays (default
+    /// [`delayavf_sim::MAX_LANES`]). Results are identical for every
+    /// width; `1` disables batching and reproduces the sequential
+    /// engine's reports byte-identically (the `--lanes 1` escape hatch).
+    pub lanes: usize,
 }
 
 impl Default for ReplayOptions {
@@ -67,6 +87,7 @@ impl Default for ReplayOptions {
             due_slack: 2_000,
             threads: 0,
             incremental: true,
+            lanes: MAX_LANES,
         }
     }
 }
@@ -93,6 +114,13 @@ impl ReplayOptions {
         self.incremental = enabled;
         self
     }
+
+    /// Builder-style override of the batch lane width (`1` = scalar
+    /// baseline, `0` = maximum width).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
 }
 
 /// Configuration of a DelayAVF campaign.
@@ -114,6 +142,9 @@ pub struct CampaignConfig {
     /// Use the incremental divergence-cone replay engine (the default);
     /// see [`ReplayOptions::incremental`].
     pub incremental: bool,
+    /// Lane width for bit-parallel batch replays; see
+    /// [`ReplayOptions::lanes`].
+    pub lanes: usize,
 }
 
 impl Default for CampaignConfig {
@@ -124,6 +155,7 @@ impl Default for CampaignConfig {
             due_slack: 2_000,
             threads: 0,
             incremental: true,
+            lanes: MAX_LANES,
         }
     }
 }
@@ -149,6 +181,13 @@ impl CampaignConfig {
         self.incremental = enabled;
         self
     }
+
+    /// Builder-style override of the batch lane width (`1` = scalar
+    /// baseline, `0` = maximum width).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
 }
 
 /// A worker's private injector, with the shard-invariant knobs applied.
@@ -159,9 +198,11 @@ fn shard_injector<'g, E: Environment + Clone>(
     golden: &'g GoldenRun<E>,
     due_slack: u64,
     incremental: bool,
+    lanes: usize,
 ) -> Injector<'g, E> {
     let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
     injector.set_incremental(incremental);
+    injector.set_lanes(lanes);
     injector
 }
 
@@ -271,14 +312,34 @@ fn delay_sweep_shard<E: Environment + Clone>(
         golden,
         config.due_slack,
         config.incremental,
+        config.lanes,
     );
     let mut rows = empty_rows(config);
     for (fi, &fraction) in config.delay_fractions.iter().enumerate() {
         let extra = fraction_to_picos(timing, fraction);
         let mut orace = OraceStats::default();
         for &cycle in cycles {
-            for &edge in edges {
-                let outcome = injector.inject(cycle, edge, extra);
+            // Phase 1 (timing-aware): every edge's dynamically reachable
+            // set for this cycle.
+            let parts: Vec<(usize, Vec<DffId>)> = edges
+                .iter()
+                .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
+                .collect();
+            // Phase 2: batch the whole boundary's replays — group sets and,
+            // for ORACE, the individual bits they contain.
+            injector.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
+            if config.compute_orace {
+                injector.prefill_failures(
+                    cycle + 1,
+                    parts
+                        .iter()
+                        .flat_map(|(_, set)| set.iter().map(|&d| vec![d])),
+                );
+            }
+            // Phase 3 (cache-served): identical tally order to the scalar
+            // engine's interleaved loop.
+            for (statically_reachable, dynamic_set) in parts {
+                let outcome = injector.classify_injection(cycle, statically_reachable, dynamic_set);
                 tally(&mut rows[fi], &outcome);
                 if config.compute_orace && !outcome.dynamic_set.is_empty() {
                     let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);
@@ -379,9 +440,11 @@ pub fn savf_campaign_with_stats<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.lanes,
         );
         let mut r = SavfResult::default();
         for &cycle in shard {
+            injector.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
             for &dff in dffs {
                 r.injections += 1;
                 if injector.bit_ace(cycle, dff) {
@@ -425,6 +488,7 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.lanes,
         );
         let mut row = DelayAvfResult {
             delay_fraction: fraction,
@@ -432,8 +496,15 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
         };
         let mut records = Vec::with_capacity(shard.len() * edges.len());
         for &cycle in shard {
-            for &edge in edges {
-                let outcome = injector.inject(cycle, edge, extra);
+            // Same two-phase structure as the sweep: collect the cycle's
+            // dynamic sets, batch their replays, then record in edge order.
+            let parts: Vec<(usize, Vec<DffId>)> = edges
+                .iter()
+                .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
+                .collect();
+            injector.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
+            for (&edge, (statically_reachable, dynamic_set)) in edges.iter().zip(parts) {
+                let outcome = injector.classify_injection(cycle, statically_reachable, dynamic_set);
                 tally(&mut row, &outcome);
                 records.push(InjectionRecord {
                     cycle,
@@ -478,7 +549,11 @@ pub fn savf_per_bit_campaign<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.lanes,
         );
+        for &cycle in &cycles {
+            injector.prefill_failures(cycle, shard.iter().map(|&d| vec![d]));
+        }
         shard
             .iter()
             .map(|&dff| {
@@ -528,9 +603,11 @@ pub fn spatial_double_strike_campaign<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.lanes,
         );
         let mut r = SavfResult::default();
         for &cycle in shard {
+            injector.prefill_failures(cycle, dffs.windows(2).map(|p| p.to_vec()));
             for pair in dffs.windows(2) {
                 r.injections += 1;
                 if injector.group_ace(cycle, pair) {
@@ -586,6 +663,7 @@ mod tests {
             due_slack: 30,
             threads: 1,
             incremental: true,
+            lanes: 64,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         assert_eq!(rows.len(), 3);
@@ -615,6 +693,7 @@ mod tests {
             due_slack: 30,
             threads: 1,
             incremental: true,
+            lanes: 64,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         let r = &rows[0];
@@ -700,6 +779,7 @@ mod tests {
             due_slack: 30,
             threads: 1,
             incremental: true,
+            lanes: 64,
         };
         let (serial_rows, serial_stats) =
             delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &config);

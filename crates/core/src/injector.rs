@@ -2,10 +2,12 @@
 //! state-element-error replay machinery used for GroupACE, per-bit ACE and
 //! particle-strike injections.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, NetId, Topology};
-use delayavf_sim::{pack_bits, settle, CycleSim, DiffSim, Environment, EventSim, FaultSpec};
+use delayavf_sim::{
+    pack_bits, settle, BatchSim, CycleSim, DiffSim, Environment, EventSim, FaultSpec, MAX_LANES,
+};
 use delayavf_timing::{Picos, TimingModel};
 
 use crate::golden::GoldenRun;
@@ -93,10 +95,16 @@ pub struct Injector<'a, E: Environment + Clone> {
     event: EventSim<'a>,
     replay: CycleSim<'a>,
     diff: DiffSim<'a>,
+    batch: BatchSim<'a>,
     due_slack: u64,
     early_exit: bool,
     toggle_filter: bool,
     incremental: bool,
+    /// Lane width for bit-parallel batch replays (1 = scalar only).
+    lanes: usize,
+    /// Zeroed input-word scratch for advancing the shared golden
+    /// environment along the recorded trace.
+    env_scratch: Vec<u64>,
     cycle_data: Option<CycleData>,
     /// Fan-in sources (flip-flops, input nets) per net, for the toggle
     /// pre-filter.
@@ -143,6 +151,21 @@ pub struct InjectorStats {
     /// Incremental replays that ran past the end of the golden trace and
     /// finished on the full simulator (no golden baseline to diff against).
     pub full_replay_fallbacks: u64,
+    /// Bit-parallel batch replays executed (each covers up to `lanes`
+    /// scenarios). Zero when `lanes <= 1`. Depends on the configured lane
+    /// width — fewer, fuller batches at higher widths — but not on the
+    /// thread count for cycle-sharded campaigns.
+    pub batched_replays: u64,
+    /// Scenario lanes actually occupied across all batch replays: the
+    /// number of distinct uncached scenarios retired through the batch
+    /// engine. Invariant across lane widths > 1 (deduplication and cache
+    /// checks happen before lane chunking) and across thread counts for
+    /// cycle-sharded campaigns.
+    pub lanes_occupied: u64,
+    /// Total lane slots offered across all batch replays
+    /// (`batched_replays * lanes`); the denominator of
+    /// [`InjectorStats::lane_utilization`].
+    pub lane_slots: u64,
 }
 
 impl InjectorStats {
@@ -162,7 +185,33 @@ impl InjectorStats {
         self.gates_evaluated += other.gates_evaluated;
         self.incremental_replays += other.incremental_replays;
         self.full_replay_fallbacks += other.full_replay_fallbacks;
+        self.batched_replays += other.batched_replays;
+        self.lanes_occupied += other.lanes_occupied;
+        self.lane_slots += other.lane_slots;
     }
+
+    /// Mean lane occupancy of the batch replays (`lanes_occupied /
+    /// lane_slots`), in `[0, 1]`. Zero when no batch ran.
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.lanes_occupied as f64 / self.lane_slots as f64
+        }
+    }
+}
+
+/// Iterates the set bit positions of a lane mask, lowest first.
+fn iter_lanes(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let lane = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(lane)
+        }
+    })
 }
 
 impl<'a, E: Environment + Clone> Injector<'a, E> {
@@ -192,10 +241,13 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             event: EventSim::new(circuit, topo, timing),
             replay: CycleSim::new(circuit, topo),
             diff: DiffSim::new(circuit, topo),
+            batch: BatchSim::new(circuit, topo),
             due_slack,
             early_exit: true,
             toggle_filter: true,
             incremental: true,
+            lanes: MAX_LANES,
+            env_scratch: vec![0; circuit.input_ports().len()],
             cycle_data: None,
             fanin_cache: HashMap::new(),
             failure_cache: HashMap::new(),
@@ -233,6 +285,20 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         self.incremental = enabled;
     }
 
+    /// Sets the lane width for bit-parallel batch replays. `1` disables
+    /// batching entirely (the exact scalar baseline, byte-identical reports);
+    /// `0` selects the maximum width. Values are clamped to
+    /// [`delayavf_sim::MAX_LANES`]. Batching never changes campaign results
+    /// — a fidelity property the differential test suites check — it only
+    /// lets up to `lanes` pending replays share each pass over the netlist.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes = if lanes == 0 {
+            MAX_LANES
+        } else {
+            lanes.min(MAX_LANES)
+        };
+    }
+
     /// Full two-step evaluation: is edge `edge` DelayACE in `cycle` under an
     /// extra delay of `extra` picoseconds?
     ///
@@ -249,6 +315,20 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
     /// 0, or is the final cycle.
     pub fn inject(&mut self, cycle: u64, edge: EdgeId, extra: Picos) -> InjectionOutcome {
         let (statically_reachable, dynamic_set) = self.dynamically_reachable(cycle, edge, extra);
+        self.classify_injection(cycle, statically_reachable, dynamic_set)
+    }
+
+    /// Step 2 packaged for campaigns that run step 1
+    /// ([`Injector::dynamically_reachable`]) separately — typically to
+    /// collect a whole cycle's dynamic sets first and batch their replays
+    /// with [`Injector::prefill_failures`]. `inject` is exactly step 1
+    /// followed by this.
+    pub fn classify_injection(
+        &mut self,
+        cycle: u64,
+        statically_reachable: usize,
+        dynamic_set: Vec<DffId>,
+    ) -> InjectionOutcome {
         if dynamic_set.is_empty() {
             return InjectionOutcome::masked(statically_reachable);
         }
@@ -505,20 +585,29 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
     fn replay_incremental(&mut self, boundary: u64, flips: &[DffId]) -> FailureClass {
         self.stats.incremental_replays += 1;
         let mut env = self.resolve_env_incremental(boundary);
+        self.diff.begin(boundary, flips, &self.golden.trace);
+        self.run_diff_loop(&mut env)
+    }
+
+    /// The incremental classification loop, starting from the current state
+    /// of `self.diff` (primed by `begin` or `begin_with_outputs`). Identical
+    /// decision sequence to [`Injector::run_full_loop`]; once the replay
+    /// outlives the trace the materialized state is handed to the full
+    /// simulator.
+    fn run_diff_loop(&mut self, env: &mut E) -> FailureClass {
         let trace = &self.golden.trace;
-        self.diff.begin(boundary, flips, trace);
         let n = trace.num_cycles();
         let limit = n + self.due_slack;
         let class = loop {
             let cyc = self.diff.cycle();
             if env.halted() {
-                break self.classify_halted(&env);
+                break self.classify_halted(env);
             }
             if self.early_exit && self.diff.converged(trace, env.fingerprint()) {
                 break FailureClass::Masked;
             }
             if cyc >= limit {
-                break self.classify_budget_exhausted(&env);
+                break self.classify_budget_exhausted(env);
             }
             if cyc >= n {
                 self.stats.full_replay_fallbacks += 1;
@@ -526,13 +615,191 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
                 let state = self.diff.state_bits(trace);
                 let outputs = self.diff.outputs().to_vec();
                 self.replay.restore(cyc, &state, &outputs);
-                return self.run_full_loop(&mut env);
+                return self.run_full_loop(env);
             }
-            self.diff.step(&mut env, trace);
+            self.diff.step(env, trace);
             self.stats.replay_cycles += 1;
         };
         self.stats.gates_evaluated += self.diff.gates_evaluated();
         class
+    }
+
+    /// Batch-replays every not-yet-cached flip set in `sets` at `boundary`
+    /// through the bit-parallel engine, filling the failure cache so later
+    /// scalar queries ([`Injector::group_failure`], [`Injector::bit_ace`],
+    /// ...) are hits. A no-op at `lanes <= 1` — campaigns call this
+    /// unconditionally and the scalar baseline stays byte-identical.
+    ///
+    /// Results are bit-for-bit identical to scalar replays: each lane's
+    /// decision sequence (halt, convergence early-exit, budget, end-of-trace
+    /// fallback) mirrors [`Injector::run_diff_loop`] exactly, and lanes
+    /// whose output ports diverge from the recorded words retire to the
+    /// scalar engine at the boundary where the divergence appeared (their
+    /// environments can no longer be assumed to follow the golden
+    /// trajectory).
+    pub fn prefill_failures<I>(&mut self, boundary: u64, sets: I)
+    where
+        I: IntoIterator<Item = Vec<DffId>>,
+    {
+        if self.lanes <= 1 {
+            return;
+        }
+        let mut pending: Vec<Vec<DffId>> = Vec::new();
+        let mut seen: HashSet<Vec<DffId>> = HashSet::new();
+        for set in sets {
+            let mut key = set;
+            key.sort_unstable();
+            key.dedup();
+            if key.is_empty() {
+                continue;
+            }
+            if self
+                .failure_cache
+                .get(&boundary)
+                .is_some_and(|m| m.contains_key(key.as_slice()))
+            {
+                continue;
+            }
+            if seen.insert(key.clone()) {
+                pending.push(key);
+            }
+        }
+        for chunk_start in (0..pending.len()).step_by(self.lanes) {
+            let chunk_end = (chunk_start + self.lanes).min(pending.len());
+            self.batch_replay(boundary, &pending[chunk_start..chunk_end]);
+        }
+    }
+
+    /// Replays one batch of up to `lanes` normalized, uncached flip sets and
+    /// caches their classifications.
+    fn batch_replay(&mut self, boundary: u64, chunk: &[Vec<DffId>]) {
+        let trace = &self.golden.trace;
+        let n = trace.num_cycles();
+        self.stats.batched_replays += 1;
+        self.stats.lanes_occupied += chunk.len() as u64;
+        self.stats.lane_slots += self.lanes as u64;
+        self.stats.replays += chunk.len() as u64;
+        self.batch.begin(boundary, chunk, trace);
+        let mut live: u64 = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut classes = vec![FailureClass::Masked; chunk.len()];
+        // One shared environment serves every lane: while a lane's outputs
+        // match the golden words its environment trajectory is identical to
+        // the recorded one (environments are deterministic in what they
+        // observe), so the clone is advanced lazily along the trace and
+        // cloned again per retiring lane.
+        let mut env = self.resolve_env_incremental(boundary);
+        let mut env_at = boundary;
+        while live != 0 {
+            let cyc = self.batch.cycle();
+            // Same decision order as the scalar loops. A golden-trajectory
+            // environment is halted at a boundary iff the recorded run
+            // halted and the boundary is the end of the trace.
+            if cyc >= n && trace.halted() {
+                self.advance_env(&mut env, &mut env_at, n);
+                let class = self.classify_halted(&env);
+                for lane in iter_lanes(live) {
+                    classes[lane] = class;
+                }
+                break;
+            }
+            if self.early_exit {
+                // Live lanes have golden outputs and fingerprints, so state
+                // reconvergence alone is the full convergence predicate.
+                live &= self.batch.divergence_mask();
+                if live == 0 {
+                    break;
+                }
+            }
+            if cyc >= n {
+                self.advance_env(&mut env, &mut env_at, n);
+                for lane in iter_lanes(live) {
+                    let flips = self.batch.lane_divergence(lane, trace);
+                    let outputs = self.batch.lane_outputs(lane, trace);
+                    classes[lane] = self.finish_lane(n, &flips, &outputs, env.clone());
+                }
+                break;
+            }
+            // Straggler handoff: a batch step evaluates every gate of the
+            // netlist regardless of occupancy, so once only a few lanes
+            // remain live (e.g. one DUE-bound scenario that never converges)
+            // the scalar engine's small divergence cones are cheaper. The
+            // handoff is exact: these lanes never out-diverged, so their
+            // pending outputs are the golden words and the shared
+            // golden-trajectory environment clone is theirs too.
+            if self.early_exit && (live.count_ones() as usize) * 4 <= chunk.len() {
+                self.advance_env(&mut env, &mut env_at, cyc);
+                for lane in iter_lanes(live) {
+                    let flips = self.batch.lane_divergence(lane, trace);
+                    let outputs = self.batch.lane_outputs(lane, trace);
+                    classes[lane] = self.finish_lane(cyc, &flips, &outputs, env.clone());
+                }
+                break;
+            }
+            let out_div = self.batch.step(trace) & live;
+            self.stats.replay_cycles += u64::from(live.count_ones());
+            if out_div != 0 {
+                self.advance_env(&mut env, &mut env_at, cyc + 1);
+                for lane in iter_lanes(out_div) {
+                    let flips = self.batch.lane_divergence(lane, trace);
+                    let outputs = self.batch.lane_outputs(lane, trace);
+                    classes[lane] = self.finish_lane(cyc + 1, &flips, &outputs, env.clone());
+                }
+                live &= !out_div;
+            }
+        }
+        let map = self.failure_cache.entry(boundary).or_default();
+        for (set, class) in chunk.iter().zip(classes) {
+            map.insert(set.clone(), class);
+        }
+    }
+
+    /// Advances the shared golden-trajectory environment from boundary
+    /// `*env_at` to `target`, feeding it the recorded output words.
+    fn advance_env(&mut self, env: &mut E, env_at: &mut u64, target: u64) {
+        let trace = &self.golden.trace;
+        while *env_at < target {
+            self.env_scratch.iter_mut().for_each(|w| *w = 0);
+            env.step(
+                *env_at,
+                trace.outputs_at(*env_at - 1),
+                &mut self.env_scratch,
+            );
+            debug_assert_eq!(
+                self.env_scratch.as_slice(),
+                trace.inputs_at(*env_at),
+                "golden-trajectory environment reproduces the recorded inputs"
+            );
+            *env_at += 1;
+        }
+    }
+
+    /// Finishes one lane retired from a batch: a scalar replay from
+    /// `boundary` with the lane's materialized divergence and pending output
+    /// words, against its own environment clone.
+    fn finish_lane(
+        &mut self,
+        boundary: u64,
+        flips: &[DffId],
+        outputs: &[u64],
+        mut env: E,
+    ) -> FailureClass {
+        let trace = &self.golden.trace;
+        if self.incremental {
+            self.diff
+                .begin_with_outputs(boundary, flips, outputs, trace);
+            self.run_diff_loop(&mut env)
+        } else {
+            let mut state = trace.state_bits_at(boundary, self.circuit.num_dffs());
+            for &d in flips {
+                state[d.index()] = !state[d.index()];
+            }
+            self.replay.restore(boundary, &state, outputs);
+            self.run_full_loop(&mut env)
+        }
     }
 
     /// True when at least one flip-flop or primary input in the fan-in cone

@@ -65,7 +65,7 @@ mod topo;
 mod word;
 
 pub use builder::{CircuitBuilder, Reg, RegWord};
-pub use circuit::{Circuit, Dff, Driver, Net};
+pub use circuit::{Circuit, Dff, Driver, Net, Port};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
 pub use ids::{DffId, EdgeId, GateId, NetId};

@@ -65,6 +65,8 @@ pub struct Topology {
     /// Number of distinct levels (`max gate level + 1`, 0 for gateless
     /// circuits).
     num_levels: u32,
+    /// Constant-driven nets and their values, in net-id order.
+    const_nets: Vec<(NetId, bool)>,
 }
 
 impl Topology {
@@ -108,6 +110,13 @@ impl Topology {
             gate_level[g.index()] = lvl;
             num_levels = num_levels.max(lvl + 1);
         }
+        let const_nets = c
+            .nets()
+            .filter_map(|(id, net)| match net.driver() {
+                Driver::Const(v) => Some((id, v)),
+                _ => None,
+            })
+            .collect();
         Topology {
             eval_order,
             edges,
@@ -116,6 +125,7 @@ impl Topology {
             dff_in_edge,
             gate_level,
             num_levels,
+            const_nets,
         }
     }
 
@@ -129,6 +139,29 @@ impl Topology {
     #[inline]
     pub fn gate_level(&self, gate: GateId) -> u32 {
         self.gate_level[gate.index()]
+    }
+
+    /// Constant-driven nets and their values, in net-id order.
+    ///
+    /// Every simulator needs the constant nets seeded before evaluating
+    /// gates; precomputing the list once here keeps the scalar, incremental
+    /// and batch engines from each re-scanning every net's driver per
+    /// settle. Most callers want [`Topology::seed_consts`].
+    #[inline]
+    pub fn const_nets(&self) -> &[(NetId, bool)] {
+        &self.const_nets
+    }
+
+    /// Writes the constant-net values into a full per-net value buffer,
+    /// leaving every other entry untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the circuit's net count.
+    pub fn seed_consts(&self, values: &mut [bool]) {
+        for &(net, v) in &self.const_nets {
+            values[net.index()] = v;
+        }
     }
 
     /// Number of distinct combinational levels (0 for a gateless circuit).

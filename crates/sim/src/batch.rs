@@ -1,0 +1,763 @@
+//! 64-lane bit-parallel replay (parallel-pattern single-fault propagation).
+//!
+//! A GroupACE / sAVF campaign replays thousands of near-identical fault
+//! scenarios through the same netlist against the same [`GoldenTrace`].
+//! [`BatchSim`] packs up to [`MAX_LANES`] such scenarios into the bit lanes
+//! of `u64` words — one word per net, one bit per lane — and evaluates the
+//! whole batch with bitwise ops over the 9-kind cell set.
+//!
+//! Each cycle is executed by one of two exact, interchangeable paths:
+//!
+//! * **dense** — a straight-line sweep of a flat opcode/operand table
+//!   compiled once from [`Topology::eval_order`], evaluating every gate
+//!   (branch-light, allocation-free); and
+//! * **sparse** — the word-wide analogue of [`crate::DiffSim`]: net words
+//!   are carried as lane-diffs against a per-trace-cycle golden settle
+//!   (computed once and shared by every batch crossing the cycle), and a
+//!   levelized worklist re-evaluates only gates reached by dirty nets.
+//!
+//! The path is chosen per cycle from the size of the diverged flip-flop
+//! seed: when only a few flip-flops differ across all lanes (the common
+//! case for persistent single-bit state corruptions) the sparse path costs
+//! the union of the lanes' divergence cones instead of the whole netlist.
+//!
+//! The key semantic restriction: **every lane shares the golden environment
+//! trajectory**. The [`crate::Environment`] contract is deterministic given
+//! the outputs it observes, so while a lane's output ports match the golden
+//! words its environment behaves exactly like the recorded run — the batch
+//! engine therefore broadcasts the *recorded* golden input words instead of
+//! stepping per-lane environments. [`BatchSim::step`] returns the mask of
+//! lanes whose output words diverged this cycle; those lanes must be retired
+//! from the batch (handed to a scalar engine seeded with their materialized
+//! state and pending outputs) because their environments may now diverge.
+//!
+//! Divergence against the golden run is detected with word-wide XOR against
+//! the packed per-cycle state of the trace, giving each lane an independent
+//! convergence early-exit via [`BatchSim::divergence_mask`].
+//!
+//! [`Topology::eval_order`]: delayavf_netlist::Topology::eval_order
+
+use delayavf_netlist::{Circuit, Consumer, DffId, GateId, GateKind, NetId, Topology};
+
+use crate::trace::GoldenTrace;
+
+/// The lane width of one [`BatchSim`] batch (bits of a `u64`).
+pub const MAX_LANES: usize = 64;
+
+/// A sparse cycle runs when `diverged flip-flops × this ≤ gates`: the
+/// worklist costs a small constant factor per visited gate, so it must beat
+/// the straight-line table by leaving most of the netlist untouched.
+const SPARSE_SEED_FACTOR: usize = 16;
+
+/// Broadcasts one golden bit across all lanes.
+#[inline(always)]
+fn broadcast(bit: bool) -> u64 {
+    if bit {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Reads bit `i` of a packed (LSB-first) word slice.
+#[inline(always)]
+fn packed_bit(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Evaluates one gate on lane-packed words. For `Mux2` the pin order is
+/// `[s, a, b]` (select first), matching [`GateKind::eval`]; unused operands
+/// of lower-arity kinds are ignored.
+#[inline(always)]
+fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
+    match kind {
+        GateKind::Buf => a,
+        GateKind::Not => !a,
+        GateKind::And2 => a & b,
+        GateKind::Or2 => a | b,
+        GateKind::Nand2 => !(a & b),
+        GateKind::Nor2 => !(a | b),
+        GateKind::Xor2 => a ^ b,
+        GateKind::Xnor2 => !(a ^ b),
+        // `b ^ (s & (b ^ c))` is the 3-op mux: s=0 -> b, s=1 -> c.
+        GateKind::Mux2 => b ^ (a & (b ^ c)),
+    }
+}
+
+/// One compiled gate evaluation: operand net slots and an output slot.
+///
+/// `b`/`c` are only read for arities 2/3. For `Mux2` the pin order is
+/// `[s, a, b]` (select first), matching [`GateKind::eval`].
+#[derive(Clone, Copy, Debug)]
+struct BatchOp {
+    kind: GateKind,
+    a: u32,
+    b: u32,
+    c: u32,
+    out: u32,
+}
+
+/// One primary-port bit: the net carrying it and its position in the port
+/// word.
+#[derive(Clone, Copy, Debug)]
+struct PortBit {
+    net: u32,
+    port: u16,
+    bit: u16,
+}
+
+/// A bit-parallel replay engine: up to [`MAX_LANES`] independent fault
+/// scenarios evaluated simultaneously against a shared [`GoldenTrace`].
+///
+/// Each lane is semantically a [`crate::CycleSim`] restored from the golden
+/// state at a boundary with that lane's flip set applied — as long as the
+/// lane's output ports keep matching the golden words. Lanes whose outputs
+/// diverge are reported by [`BatchSim::step`] and must be retired to a
+/// scalar engine; lanes whose state re-converges simply drop out of
+/// [`BatchSim::divergence_mask`].
+#[derive(Clone, Debug)]
+pub struct BatchSim<'c> {
+    circuit: &'c Circuit,
+    topo: &'c Topology,
+    /// Flat gate program in topological order (the dense path).
+    ops: Vec<BatchOp>,
+    /// Dense-path scratch: one word per net; constant nets are
+    /// broadcast-seeded once and never overwritten.
+    values: Vec<u64>,
+    /// One word per flip-flop: lanes whose bit differs from the golden
+    /// state at the current boundary. Zero for every index not listed in
+    /// `dirty_dffs`.
+    state_diff: Vec<u64>,
+    /// Indices of flip-flops with a non-zero `state_diff` word.
+    dirty_dffs: Vec<u32>,
+    /// Per flip-flop: its Q net slot.
+    q_nets: Vec<u32>,
+    /// Per flip-flop: its D net slot.
+    d_nets: Vec<u32>,
+    input_bits: Vec<PortBit>,
+    output_bits: Vec<PortBit>,
+    /// Sparse-path epoch-stamped net lane-diffs against the golden settle.
+    diff_val: Vec<u64>,
+    diff_epoch: Vec<u64>,
+    /// Epoch stamp marking gates already scheduled this cycle.
+    sched_epoch: Vec<u64>,
+    /// Dirty-gate worklist, bucketed by combinational level.
+    buckets: Vec<Vec<GateId>>,
+    /// Highest level with a scheduled gate this cycle (sweep bound).
+    max_sched_level: usize,
+    epoch: u64,
+    /// Diverged D-pin collection for the sparse latch: `(dff index, diff)`.
+    next_dirty: Vec<(u32, u64)>,
+    /// Per 64-cycle trace block: golden values of every net, one word per
+    /// net with bit `L` holding the value at cycle `64·block + L`. Each
+    /// block is settled once — bit-parallel, with lanes standing for
+    /// *cycles* — and shared by every batch crossing it (the sparse path's
+    /// clean fan-in source).
+    golden_blocks: Vec<Option<Box<[u64]>>>,
+    /// Lanes whose state differs from the golden state at `cycle`.
+    diverged: u64,
+    cycle: u64,
+    /// False until the first `step` after `begin` (pending outputs are then
+    /// still the golden words of the previous cycle).
+    stepped: bool,
+    /// True when the most recent `step` ran the dense path (selects the
+    /// output-word assembly source in `lane_outputs`).
+    dense_last: bool,
+}
+
+impl<'c> BatchSim<'c> {
+    /// Compiles the batch program for `circuit`.
+    pub fn new(circuit: &'c Circuit, topo: &'c Topology) -> Self {
+        let slot = |n: NetId| u32::try_from(n.index()).expect("net fits u32");
+        let ops = topo
+            .eval_order()
+            .iter()
+            .map(|&g| {
+                let gate = circuit.gate(g);
+                let ins = gate.inputs();
+                BatchOp {
+                    kind: gate.kind(),
+                    a: slot(ins[0]),
+                    b: ins.get(1).map_or(0, |&n| slot(n)),
+                    c: ins.get(2).map_or(0, |&n| slot(n)),
+                    out: slot(gate.output()),
+                }
+            })
+            .collect();
+        let mut values = vec![0u64; circuit.num_nets()];
+        for &(net, v) in topo.const_nets() {
+            values[net.index()] = broadcast(v);
+        }
+        let mut q_nets = Vec::with_capacity(circuit.num_dffs());
+        let mut d_nets = Vec::with_capacity(circuit.num_dffs());
+        for (_, dff) in circuit.dffs() {
+            q_nets.push(slot(dff.q()));
+            d_nets.push(slot(dff.d()));
+        }
+        let port_bits = |ports: &[delayavf_netlist::Port]| {
+            ports
+                .iter()
+                .enumerate()
+                .flat_map(|(pi, port)| {
+                    port.nets()
+                        .iter()
+                        .enumerate()
+                        .map(move |(bi, &net)| PortBit {
+                            net: u32::try_from(net.index()).expect("net fits u32"),
+                            port: u16::try_from(pi).expect("port fits u16"),
+                            bit: u16::try_from(bi).expect("bit fits u16"),
+                        })
+                })
+                .collect::<Vec<_>>()
+        };
+        let input_bits = port_bits(circuit.input_ports());
+        let output_bits = port_bits(circuit.output_ports());
+        BatchSim {
+            circuit,
+            topo,
+            ops,
+            values,
+            state_diff: vec![0; circuit.num_dffs()],
+            dirty_dffs: Vec::new(),
+            q_nets,
+            d_nets,
+            input_bits,
+            output_bits,
+            diff_val: vec![0; circuit.num_nets()],
+            diff_epoch: vec![0; circuit.num_nets()],
+            sched_epoch: vec![0; circuit.num_gates()],
+            buckets: vec![Vec::new(); topo.num_levels()],
+            max_sched_level: 0,
+            epoch: 0,
+            next_dirty: Vec::new(),
+            golden_blocks: Vec::new(),
+            diverged: 0,
+            cycle: 0,
+            stepped: false,
+            dense_last: false,
+        }
+    }
+
+    /// Loads a batch: lane `i` starts at `boundary` with `scenarios[i]`
+    /// inverted relative to the golden state. Lanes beyond `scenarios.len()`
+    /// carry the unmodified golden state (they track the reference and never
+    /// diverge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_LANES`] scenarios are given or `boundary`
+    /// is past the end of the trace.
+    pub fn begin(&mut self, boundary: u64, scenarios: &[Vec<DffId>], trace: &GoldenTrace) {
+        assert!(scenarios.len() <= MAX_LANES, "too many lanes in a batch");
+        assert!(
+            boundary <= trace.num_cycles(),
+            "replay boundary past the golden trace"
+        );
+        for &i in &self.dirty_dffs {
+            self.state_diff[i as usize] = 0;
+        }
+        self.dirty_dffs.clear();
+        for (lane, flips) in scenarios.iter().enumerate() {
+            for &d in flips {
+                let i = d.index();
+                if self.state_diff[i] == 0 {
+                    self.dirty_dffs
+                        .push(u32::try_from(i).expect("dff fits u32"));
+                }
+                // XOR, so a duplicate flip cancels — the scalar engines'
+                // `flip_dff` semantics.
+                self.state_diff[i] ^= 1u64 << lane;
+            }
+        }
+        let state_diff = &self.state_diff;
+        self.dirty_dffs.retain(|&i| state_diff[i as usize] != 0);
+        self.diverged = self
+            .dirty_dffs
+            .iter()
+            .fold(0, |m, &i| m | state_diff[i as usize]);
+        self.cycle = boundary;
+        self.stepped = false;
+        self.dense_last = false;
+    }
+
+    /// The current cycle number (the boundary all lanes sit at).
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Mask of lanes whose flip-flop state differs from the golden state at
+    /// the current boundary. A zero bit means the lane's state has
+    /// re-converged (its outputs never diverged, or [`BatchSim::step`] would
+    /// have reported it for retirement).
+    #[inline]
+    pub fn divergence_mask(&self) -> u64 {
+        self.diverged
+    }
+
+    /// Executes one clock cycle for every lane, broadcasting the recorded
+    /// golden input words. Returns the mask of lanes whose output-port words
+    /// differ from the golden words this cycle; those lanes must be retired
+    /// to a scalar engine (their environments may diverge from the recorded
+    /// trajectory from the next cycle on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace provides no baseline for this cycle
+    /// (`cycle >= trace.num_cycles()`).
+    pub fn step(&mut self, trace: &GoldenTrace) -> u64 {
+        assert!(
+            self.cycle < trace.num_cycles(),
+            "no golden baseline past the end of the trace"
+        );
+        self.stepped = true;
+        if self.dirty_dffs.len() * SPARSE_SEED_FACTOR <= self.ops.len() {
+            self.step_sparse(trace)
+        } else {
+            self.step_dense(trace)
+        }
+    }
+
+    /// The dense path: straight-line evaluation of every gate.
+    fn step_dense(&mut self, trace: &GoldenTrace) -> u64 {
+        self.dense_last = true;
+        let vals = &mut self.values;
+        // 1. Broadcast this cycle's recorded input words.
+        let golden_inputs = trace.inputs_at(self.cycle);
+        for pb in &self.input_bits {
+            let bit = (golden_inputs[usize::from(pb.port)] >> pb.bit) & 1 == 1;
+            vals[pb.net as usize] = broadcast(bit);
+        }
+        // 2. Drive the batched state (golden ^ diff) onto the Q nets.
+        let golden_state = trace.state_at(self.cycle);
+        for (i, &q) in self.q_nets.iter().enumerate() {
+            vals[q as usize] = broadcast(packed_bit(golden_state, i)) ^ self.state_diff[i];
+        }
+        // 3. Straight-line bitwise settle in topological order.
+        for op in &self.ops {
+            let va = vals[op.a as usize];
+            let out = match op.kind {
+                GateKind::Buf => va,
+                GateKind::Not => !va,
+                GateKind::And2 => va & vals[op.b as usize],
+                GateKind::Or2 => va | vals[op.b as usize],
+                GateKind::Nand2 => !(va & vals[op.b as usize]),
+                GateKind::Nor2 => !(va | vals[op.b as usize]),
+                GateKind::Xor2 => va ^ vals[op.b as usize],
+                GateKind::Xnor2 => !(va ^ vals[op.b as usize]),
+                // Pin order [s, a, b]: select in lane-parallel form
+                // (`b ^ (s & (b ^ c))` is the 3-op mux).
+                GateKind::Mux2 => {
+                    let vb = vals[op.b as usize];
+                    vb ^ (va & (vb ^ vals[op.c as usize]))
+                }
+            };
+            vals[op.out as usize] = out;
+        }
+        // 4. Word-wide XOR against the golden output words.
+        let golden_outs = trace.outputs_at(self.cycle);
+        let mut out_div = 0u64;
+        for pb in &self.output_bits {
+            let bit = (golden_outs[usize::from(pb.port)] >> pb.bit) & 1 == 1;
+            out_div |= vals[pb.net as usize] ^ broadcast(bit);
+        }
+        // 5. Latch into diff form against the next golden boundary.
+        let next_golden = trace.state_at(self.cycle + 1);
+        self.dirty_dffs.clear();
+        let mut diverged = 0u64;
+        for (i, &d) in self.d_nets.iter().enumerate() {
+            let diff = vals[d as usize] ^ broadcast(packed_bit(next_golden, i));
+            self.state_diff[i] = diff;
+            if diff != 0 {
+                self.dirty_dffs.push(i as u32);
+                diverged |= diff;
+            }
+        }
+        self.diverged = diverged;
+        self.cycle += 1;
+        out_div
+    }
+
+    /// The sparse path: seed the dirty-net set with the diverged flip-flop
+    /// Q nets and propagate through consumer gates in level order, reading
+    /// clean fan-in from the shared per-cycle golden settle. Gates outside
+    /// the union of the lanes' divergence cones are never touched.
+    fn step_sparse(&mut self, trace: &GoldenTrace) -> u64 {
+        self.dense_last = false;
+        self.epoch += 1;
+        self.max_sched_level = self.buckets.len();
+        let cycle = self.cycle;
+        // Fully converged batches ride the golden trace for free.
+        if self.dirty_dffs.is_empty() {
+            self.cycle += 1;
+            return 0;
+        }
+        // Seed: Q nets of diverged flip-flops carry their state diff. An
+        // output-registered bit out-diverges right here via its OutputBit
+        // consumer; inputs are golden by the shared-trajectory contract and
+        // never seed.
+        let mut out_div = 0u64;
+        let dirty = std::mem::take(&mut self.dirty_dffs);
+        for &i in &dirty {
+            let q = self.q_nets[i as usize];
+            out_div |= self.mark_dirty(NetId::from_index(q as usize), self.state_diff[i as usize]);
+        }
+        self.dirty_dffs = dirty;
+        // Levelized cone propagation, exactly as in `DiffSim::step` but on
+        // lane-packed diff words.
+        if self.max_sched_level < self.buckets.len() {
+            self.ensure_golden(trace);
+        }
+        let sh = (cycle % 64) as u32;
+        let mut level = 0;
+        while level <= self.max_sched_level && level < self.buckets.len() {
+            while let Some(g) = self.buckets[level].pop() {
+                let golden = self.golden_blocks[(cycle / 64) as usize]
+                    .as_deref()
+                    .expect("golden block settle ensured above");
+                let gate = self.circuit.gate(g);
+                let mut ins = [0u64; 3];
+                for (k, &inp) in gate.inputs().iter().enumerate() {
+                    let i = inp.index();
+                    let gw = broadcast((golden[i] >> sh) & 1 == 1);
+                    ins[k] = if self.diff_epoch[i] == self.epoch {
+                        gw ^ self.diff_val[i]
+                    } else {
+                        gw
+                    };
+                }
+                let out_w = eval_word(gate.kind(), ins[0], ins[1], ins[2]);
+                let out = gate.output();
+                let diff = out_w ^ broadcast((golden[out.index()] >> sh) & 1 == 1);
+                if diff != 0 {
+                    out_div |= self.mark_dirty(out, diff);
+                }
+            }
+            level += 1;
+        }
+        // Latch: only dirty D pins can differ from the next golden state.
+        for &i in &self.dirty_dffs {
+            self.state_diff[i as usize] = 0;
+        }
+        self.dirty_dffs.clear();
+        let mut diverged = 0u64;
+        for (i, diff) in self.next_dirty.drain(..) {
+            self.state_diff[i as usize] = diff;
+            self.dirty_dffs.push(i);
+            diverged |= diff;
+        }
+        self.diverged = diverged;
+        self.cycle += 1;
+        out_div
+    }
+
+    /// Marks `net` as carrying lane-diff `diff`, scheduling consumer gates
+    /// and collecting diverged D pins. Returns the lanes touching an output
+    /// bit through this net. Each net is marked at most once per cycle.
+    fn mark_dirty(&mut self, net: NetId, diff: u64) -> u64 {
+        let i = net.index();
+        debug_assert_ne!(self.diff_epoch[i], self.epoch, "net marked dirty twice");
+        self.diff_val[i] = diff;
+        self.diff_epoch[i] = self.epoch;
+        let mut out_div = 0u64;
+        for e in self.topo.fanouts(net) {
+            match e.consumer {
+                Consumer::GatePin { gate, .. } => {
+                    if self.sched_epoch[gate.index()] != self.epoch {
+                        self.sched_epoch[gate.index()] = self.epoch;
+                        let level = self.topo.gate_level(gate) as usize;
+                        if self.max_sched_level == self.buckets.len() {
+                            self.max_sched_level = level;
+                        } else {
+                            self.max_sched_level = self.max_sched_level.max(level);
+                        }
+                        self.buckets[level].push(gate);
+                    }
+                }
+                Consumer::DffD(d) => {
+                    self.next_dirty
+                        .push((u32::try_from(d.index()).expect("dff fits u32"), diff));
+                }
+                Consumer::OutputBit { .. } => out_div |= diff,
+            }
+        }
+        out_div
+    }
+
+    /// Ensures the golden net values for the 64-cycle block containing the
+    /// current cycle are cached. The whole block settles in *one*
+    /// bit-parallel sweep of the opcode table with the lanes standing for
+    /// consecutive trace cycles (each cycle's combinational settle is
+    /// independent given the recorded state and input words), so the
+    /// amortized cost per cycle is 1/64th of a scalar settle.
+    fn ensure_golden(&mut self, trace: &GoldenTrace) {
+        let block = (self.cycle / 64) as usize;
+        if self.golden_blocks.len() <= block {
+            self.golden_blocks.resize(block + 1, None);
+        }
+        if self.golden_blocks[block].is_some() {
+            return;
+        }
+        let base = self.cycle - self.cycle % 64;
+        let width = (trace.num_cycles() - base).min(64);
+        let mut vals = vec![0u64; self.circuit.num_nets()].into_boxed_slice();
+        for &(net, v) in self.topo.const_nets() {
+            vals[net.index()] = broadcast(v);
+        }
+        for l in 0..width {
+            let inputs = trace.inputs_at(base + l);
+            for pb in &self.input_bits {
+                vals[pb.net as usize] |= ((inputs[usize::from(pb.port)] >> pb.bit) & 1) << l;
+            }
+            let state = trace.state_at(base + l);
+            for (i, &q) in self.q_nets.iter().enumerate() {
+                vals[q as usize] |= u64::from(packed_bit(state, i)) << l;
+            }
+        }
+        for op in &self.ops {
+            let va = vals[op.a as usize];
+            let vb = vals[op.b as usize];
+            let vc = vals[op.c as usize];
+            vals[op.out as usize] = eval_word(op.kind, va, vb, vc);
+        }
+        self.golden_blocks[block] = Some(vals);
+    }
+
+    /// The flip-flops of `lane` whose value differs from the golden state at
+    /// the current boundary, sorted by id. Matches
+    /// [`crate::DiffSim::divergence`] for an equivalent scalar replay.
+    pub fn lane_divergence(&self, lane: usize, _trace: &GoldenTrace) -> Vec<DffId> {
+        assert!(lane < MAX_LANES, "lane out of range");
+        let mut flips: Vec<DffId> = self
+            .dirty_dffs
+            .iter()
+            .filter(|&&i| (self.state_diff[i as usize] >> lane) & 1 == 1)
+            .map(|&i| DffId::from_index(i as usize))
+            .collect();
+        flips.sort_unstable();
+        flips
+    }
+
+    /// The full flip-flop state of `lane` at the current boundary.
+    pub fn lane_state_bits(&self, lane: usize, trace: &GoldenTrace) -> Vec<bool> {
+        assert!(lane < MAX_LANES, "lane out of range");
+        let golden = trace.state_at(self.cycle);
+        (0..self.circuit.num_dffs())
+            .map(|i| packed_bit(golden, i) != ((self.state_diff[i] >> lane) & 1 == 1))
+            .collect()
+    }
+
+    /// The output-port words of `lane` pending for its environment's next
+    /// step: the words sampled at the end of the previous cycle (golden
+    /// words before the first step, all-zero at a reset boundary).
+    pub fn lane_outputs(&self, lane: usize, trace: &GoldenTrace) -> Vec<u64> {
+        assert!(lane < MAX_LANES, "lane out of range");
+        if !self.stepped {
+            return if self.cycle == 0 {
+                vec![0; self.circuit.output_ports().len()]
+            } else {
+                trace.outputs_at(self.cycle - 1).to_vec()
+            };
+        }
+        if self.dense_last {
+            let mut out = vec![0u64; self.circuit.output_ports().len()];
+            for pb in &self.output_bits {
+                if (self.values[pb.net as usize] >> lane) & 1 == 1 {
+                    out[usize::from(pb.port)] |= 1u64 << pb.bit;
+                }
+            }
+            return out;
+        }
+        // Sparse: the golden words of the just-executed cycle with the
+        // epoch-current dirty bits patched in.
+        let mut out = trace.outputs_at(self.cycle - 1).to_vec();
+        for pb in &self.output_bits {
+            let i = pb.net as usize;
+            if self.diff_epoch[i] == self.epoch && (self.diff_val[i] >> lane) & 1 == 1 {
+                out[usize::from(pb.port)] ^= 1u64 << pb.bit;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleSim;
+    use crate::env::ConstEnvironment;
+    use delayavf_netlist::CircuitBuilder;
+
+    /// A 4-bit counter (divergence persists), a 4-bit input-reload register
+    /// (divergence heals) and a mux-selected output exercising `Mux2`.
+    fn fixture() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let step = b.input_word("step", 4);
+        let count = b.reg_word("count", 4, 0);
+        let next = b.add(&count.q(), &step);
+        b.drive_word(&count, &next);
+        b.output_word("count", &count.q());
+        let reload = b.reg_word("reload", 4, 0);
+        b.drive_word(&reload, &step);
+        b.output_word("reload", &reload.q());
+        let sel = b.reg("sel", false);
+        let nsel = b.not(sel.q());
+        b.drive(sel, nsel);
+        let count_q = count.q();
+        let reload_q = reload.q();
+        let muxed: delayavf_netlist::Word = count_q
+            .bits()
+            .iter()
+            .zip(reload_q.bits())
+            .map(|(&a, &r)| b.mux(sel.q(), a, r))
+            .collect();
+        b.output_word("muxed", &muxed);
+        b.finish().unwrap()
+    }
+
+    fn golden(c: &Circuit, topo: &Topology, cycles: u64) -> GoldenTrace {
+        let mut env = ConstEnvironment::new(vec![3]);
+        GoldenTrace::record(c, topo, &mut env, cycles, &[]).0
+    }
+
+    /// A scalar reference lane: CycleSim restored at the boundary with the
+    /// flips applied, stepped in lockstep.
+    fn scalar_lane<'a>(
+        c: &'a Circuit,
+        topo: &'a Topology,
+        trace: &GoldenTrace,
+        boundary: u64,
+        flips: &[DffId],
+    ) -> CycleSim<'a> {
+        let mut sim = CycleSim::new(c, topo);
+        let prev = if boundary == 0 {
+            vec![0; c.output_ports().len()]
+        } else {
+            trace.outputs_at(boundary - 1).to_vec()
+        };
+        sim.restore(
+            boundary,
+            &trace.state_bits_at(boundary, c.num_dffs()),
+            &prev,
+        );
+        for &f in flips {
+            sim.flip_dff(f);
+        }
+        sim
+    }
+
+    /// Which step implementation a lockstep check drives.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Path {
+        Auto,
+        Dense,
+        Sparse,
+    }
+
+    /// Locksteps a batch against per-lane scalar replays on the chosen step
+    /// path (the paths are interchangeable per cycle, so forcing either one
+    /// for a whole run must still match the scalar engines exactly).
+    fn check_lockstep(scenarios: &[Vec<DffId>], path: Path) {
+        let c = fixture();
+        let topo = Topology::new(&c);
+        let trace = golden(&c, &topo, 10);
+        let boundary = 2u64;
+        let mut batch = BatchSim::new(&c, &topo);
+        batch.begin(boundary, scenarios, &trace);
+
+        let mut scalars: Vec<CycleSim> = scenarios
+            .iter()
+            .map(|fl| scalar_lane(&c, &topo, &trace, boundary, fl))
+            .collect();
+        let mut envs: Vec<ConstEnvironment> = scenarios
+            .iter()
+            .map(|_| ConstEnvironment::new(vec![3]))
+            .collect();
+
+        while batch.cycle() < trace.num_cycles() {
+            let golden_state = trace.state_at(batch.cycle());
+            for (lane, sim) in scalars.iter().enumerate() {
+                assert_eq!(
+                    batch.lane_state_bits(lane, &trace),
+                    sim.state(),
+                    "lane {lane}"
+                );
+                let scalar_div = sim
+                    .state()
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &b)| b != packed_bit(golden_state, i));
+                assert_eq!(
+                    batch.divergence_mask() >> lane & 1 == 1,
+                    scalar_div,
+                    "divergence mask lane {lane}"
+                );
+            }
+            batch.stepped = true;
+            let out_div = match path {
+                Path::Auto => batch.step(&trace),
+                Path::Dense => batch.step_dense(&trace),
+                Path::Sparse => batch.step_sparse(&trace),
+            };
+            for (lane, sim) in scalars.iter_mut().enumerate() {
+                sim.step(&mut envs[lane]);
+                assert_eq!(
+                    batch.lane_outputs(lane, &trace),
+                    sim.last_outputs(),
+                    "outputs lane {lane}"
+                );
+                let diverged = sim.last_outputs() != trace.outputs_at(batch.cycle() - 1);
+                assert_eq!(out_div >> lane & 1 == 1, diverged, "out_div lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_lane_matches_scalar_replay() {
+        let c = fixture();
+        let dffs: Vec<DffId> = c.dffs().map(|(id, _)| id).collect();
+        // A partial batch of 5 scenarios, including an empty flip set.
+        let scenarios: Vec<Vec<DffId>> = vec![
+            vec![dffs[0]],
+            vec![dffs[4]],
+            vec![dffs[0], dffs[5], dffs[8]],
+            vec![],
+            vec![dffs[8]],
+        ];
+        check_lockstep(&scenarios, Path::Auto);
+        check_lockstep(&scenarios, Path::Dense);
+        check_lockstep(&scenarios, Path::Sparse);
+    }
+
+    #[test]
+    fn unused_lanes_track_golden() {
+        let c = fixture();
+        let topo = Topology::new(&c);
+        let trace = golden(&c, &topo, 6);
+        let mut batch = BatchSim::new(&c, &topo);
+        batch.begin(1, &[], &trace);
+        assert_eq!(batch.divergence_mask(), 0);
+        while batch.cycle() < trace.num_cycles() {
+            assert_eq!(batch.step(&trace), 0, "golden lanes never out-diverge");
+            assert_eq!(batch.divergence_mask(), 0);
+        }
+    }
+
+    #[test]
+    fn lane_divergence_matches_flips_at_begin() {
+        let c = fixture();
+        let topo = Topology::new(&c);
+        let trace = golden(&c, &topo, 6);
+        let dffs: Vec<DffId> = c.dffs().map(|(id, _)| id).collect();
+        let mut flips = vec![dffs[5], dffs[0], dffs[2]];
+        let mut batch = BatchSim::new(&c, &topo);
+        batch.begin(3, &[flips.clone()], &trace);
+        flips.sort_unstable();
+        assert_eq!(batch.lane_divergence(0, &trace), flips);
+        assert_eq!(
+            batch.lane_outputs(0, &trace),
+            trace.outputs_at(2),
+            "pre-step outputs are golden"
+        );
+    }
+}

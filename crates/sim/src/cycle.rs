@@ -1,6 +1,6 @@
 //! The timing-agnostic cycle-accurate simulator.
 
-use delayavf_netlist::{Circuit, DffId, Driver, Topology};
+use delayavf_netlist::{Circuit, DffId, Topology};
 
 use crate::env::Environment;
 
@@ -71,11 +71,7 @@ pub fn settle(
         "input port count mismatch"
     );
     let mut values = vec![false; circuit.num_nets()];
-    for (id, net) in circuit.nets() {
-        if let Driver::Const(v) = net.driver() {
-            values[id.index()] = v;
-        }
-    }
+    topo.seed_consts(&mut values);
     settle_in_place(circuit, topo, state, input_ports, &mut values);
     values
 }
@@ -129,11 +125,7 @@ impl<'c> CycleSim<'c> {
     /// values, previous outputs all zero.
     pub fn new(circuit: &'c Circuit, topo: &'c Topology) -> Self {
         let mut values = vec![false; circuit.num_nets()];
-        for (id, net) in circuit.nets() {
-            if let Driver::Const(v) = net.driver() {
-                values[id.index()] = v;
-            }
-        }
+        topo.seed_consts(&mut values);
         CycleSim {
             circuit,
             topo,

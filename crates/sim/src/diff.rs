@@ -26,7 +26,7 @@
 //!
 //! [`Topology::gate_level`]: delayavf_netlist::Topology::gate_level
 
-use delayavf_netlist::{Circuit, Consumer, DffId, Driver, GateId, NetId, Topology};
+use delayavf_netlist::{Circuit, Consumer, DffId, GateId, NetId, Topology};
 
 /// Sets bit `i` of a packed (LSB-first) word slice.
 #[inline]
@@ -134,6 +134,26 @@ impl<'c> DiffSim<'c> {
             self.outputs.copy_from_slice(trace.outputs_at(boundary - 1));
         }
         self.gates_evaluated = 0;
+    }
+
+    /// Like [`DiffSim::begin`], but with explicit pending output words: a
+    /// faulty run's outputs for the cycle before `boundary` instead of the
+    /// golden words. Used by the batch engine to hand over a lane whose
+    /// output ports diverged mid-trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary > trace.num_cycles()` or `outputs` has the wrong
+    /// length.
+    pub fn begin_with_outputs(
+        &mut self,
+        boundary: u64,
+        flips: &[DffId],
+        outputs: &[u64],
+        trace: &GoldenTrace,
+    ) {
+        self.begin(boundary, flips, trace);
+        self.outputs.copy_from_slice(outputs);
     }
 
     /// The current cycle number.
@@ -332,11 +352,7 @@ impl<'c> DiffSim<'c> {
         }
         let circuit = self.circuit;
         let vals = &mut self.golden_scratch;
-        for (id, net) in circuit.nets() {
-            if let Driver::Const(v) = net.driver() {
-                vals[id.index()] = v;
-            }
-        }
+        self.topo.seed_consts(vals);
         let inputs = trace.inputs_at(self.cycle);
         for (pi, port) in circuit.input_ports().iter().enumerate() {
             for (bit, &net) in port.nets().iter().enumerate() {
@@ -369,7 +385,7 @@ mod tests {
     use crate::cycle::CycleSim;
     use crate::env::ConstEnvironment;
     use crate::trace::pack_bits;
-    use delayavf_netlist::CircuitBuilder;
+    use delayavf_netlist::{CircuitBuilder, Driver};
 
     /// A 4-bit counter incrementing by `step` each cycle (divergence
     /// persists) plus a 4-bit input-reload register (divergence heals).

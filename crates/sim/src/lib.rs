@@ -20,6 +20,12 @@
 //!   (concurrent fault simulation): it tracks only the divergence from a
 //!   recorded [`GoldenTrace`] and re-evaluates just the dirty fan-out cone
 //!   each cycle, which is what makes large GroupACE campaigns affordable.
+//! * [`BatchSim`] — a **bit-parallel** replay engine (parallel-pattern
+//!   single-fault propagation): up to [`MAX_LANES`] independent fault
+//!   scenarios packed into the bit lanes of `u64` net words, replayed
+//!   simultaneously against the shared golden trace with straight-line
+//!   bitwise gate evaluation. Lanes whose outputs diverge from the recorded
+//!   words retire to a scalar engine; the rest ride along for nearly free.
 //!
 //! Circuits interact with the outside world through an [`Environment`]
 //! (memories, MMIO consoles, ...). The environment exchanges whole port
@@ -34,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cycle;
 mod diff;
 mod env;
@@ -41,6 +48,7 @@ mod event;
 mod trace;
 mod vcd;
 
+pub use batch::{BatchSim, MAX_LANES};
 pub use cycle::{settle, CycleSim, RunSummary, StopReason};
 pub use diff::DiffSim;
 pub use env::{ConstEnvironment, Environment};

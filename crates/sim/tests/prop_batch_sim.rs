@@ -1,0 +1,208 @@
+//! Property tests for the bit-parallel batch replay engine on randomly
+//! generated circuits: every lane of a [`BatchSim`] batch — partial or
+//! completely full — matches an independent scalar [`CycleSim`] replay
+//! bit-for-bit, cycle by cycle, under the closed environment the batch
+//! engine assumes (primary inputs follow the recorded golden trace).
+//! Checked per lane and per cycle: flip-flop state, output-port words,
+//! the state-divergence mask, the output-divergence mask returned by
+//! [`BatchSim::step`], and the enumerated divergence set.
+
+use delayavf_netlist::{Circuit, CircuitBuilder, DffId, GateKind, NetId, Topology, Word};
+use delayavf_sim::{BatchSim, ConstEnvironment, CycleSim, GoldenTrace, MAX_LANES};
+use proptest::prelude::*;
+
+/// Specification of one random gate: kind index plus input selectors.
+type GateSpec = (u8, u16, u16, u16);
+
+fn random_circuit(n_inputs: usize, n_regs: usize, gates: &[GateSpec]) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let inputs = b.input_word("in", n_inputs);
+    let regs = b.reg_word("r", n_regs, 0);
+    let mut nets: Vec<NetId> = inputs.bits().to_vec();
+    nets.extend_from_slice(regs.q().bits());
+    for &(kind, i0, i1, i2) in gates {
+        let kinds = [
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+        ];
+        let k = kinds[usize::from(kind) % kinds.len()];
+        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
+        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
+        nets.push(b.gate(k, &ins));
+    }
+    // Feed registers from the most recently created nets.
+    let d: Word = (0..n_regs).map(|i| nets[nets.len() - 1 - i]).collect();
+    b.drive_word(&regs, &d);
+    b.output_word("o", &regs.q());
+    b.finish().expect("acyclic by construction")
+}
+
+/// Flips selected by a mask bit per register; `mask == 0` yields the empty
+/// set (a lane that rides along on the golden trajectory).
+fn pick_flips(c: &Circuit, mask: u8) -> Vec<DffId> {
+    c.dffs()
+        .enumerate()
+        .filter(|(i, _)| (mask >> (i % 8)) & 1 == 1)
+        .map(|(_, (id, _))| id)
+        .collect()
+}
+
+/// Drives `scenarios` through one batch and, in lockstep, through one
+/// scalar replay per lane, asserting bit-for-bit agreement every cycle.
+fn check_batch_against_scalars(
+    c: &Circuit,
+    topo: &Topology,
+    trace: &GoldenTrace,
+    boundary: u64,
+    scenarios: &[Vec<DffId>],
+    env: &ConstEnvironment,
+) -> Result<(), TestCaseError> {
+    let n = trace.num_cycles();
+    let mut batch = BatchSim::new(c, topo);
+    batch.begin(boundary, scenarios, trace);
+
+    let mut scalars: Vec<CycleSim> = scenarios
+        .iter()
+        .map(|flips| {
+            let mut s = CycleSim::new(c, topo);
+            s.restore(
+                boundary,
+                &trace.state_bits_at(boundary, c.num_dffs()),
+                trace.outputs_at(boundary - 1),
+            );
+            for &f in flips {
+                s.flip_dff(f);
+            }
+            s
+        })
+        .collect();
+
+    for (lane, s) in scalars.iter().enumerate() {
+        prop_assert_eq!(
+            batch.lane_state_bits(lane, trace),
+            s.state().to_vec(),
+            "boundary state, lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            (batch.divergence_mask() >> lane) & 1 == 1,
+            s.state() != &trace.state_bits_at(boundary, c.num_dffs())[..],
+            "boundary divergence bit, lane {}",
+            lane
+        );
+    }
+
+    let mut env = env.clone();
+    while batch.cycle() < n {
+        let out_div = batch.step(trace);
+        let cyc = batch.cycle();
+        let golden_state = trace.state_bits_at(cyc, c.num_dffs());
+        let golden_outputs = trace.outputs_at(cyc - 1);
+        for (lane, s) in scalars.iter_mut().enumerate() {
+            s.step(&mut env);
+            prop_assert_eq!(s.cycle(), cyc);
+            prop_assert_eq!(
+                batch.lane_state_bits(lane, trace),
+                s.state().to_vec(),
+                "state at cycle {}, lane {}",
+                cyc,
+                lane
+            );
+            prop_assert_eq!(
+                batch.lane_outputs(lane, trace),
+                s.last_outputs().to_vec(),
+                "outputs at cycle {}, lane {}",
+                cyc,
+                lane
+            );
+            prop_assert_eq!(
+                (out_div >> lane) & 1 == 1,
+                s.last_outputs() != golden_outputs,
+                "output-divergence bit at cycle {}, lane {}",
+                cyc,
+                lane
+            );
+            prop_assert_eq!(
+                (batch.divergence_mask() >> lane) & 1 == 1,
+                s.state() != &golden_state[..],
+                "state-divergence bit at cycle {}, lane {}",
+                cyc,
+                lane
+            );
+            let expect: Vec<DffId> = c
+                .dffs()
+                .enumerate()
+                .filter(|&(i, _)| s.state()[i] != golden_state[i])
+                .map(|(_, (id, _))| id)
+                .collect();
+            prop_assert_eq!(
+                batch.lane_divergence(lane, trace),
+                expect,
+                "divergence set at cycle {}, lane {}",
+                cyc,
+                lane
+            );
+        }
+        // Lanes beyond the batch ride the golden trajectory exactly.
+        if scenarios.len() < MAX_LANES {
+            prop_assert_eq!(out_div >> scenarios.len(), 0, "unused lanes out-diverged");
+            prop_assert_eq!(
+                batch.divergence_mask() >> scenarios.len(),
+                0,
+                "unused lanes state-diverged"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Partial batches: 1–7 lanes, so most of the word is unused.
+    #[test]
+    fn every_lane_of_a_partial_batch_matches_a_scalar_replay(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..60),
+        in_val: u64,
+        boundary_sel: u16,
+        masks in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let env = ConstEnvironment::new(vec![in_val & 0xff]);
+        let trace = GoldenTrace::record(&c, &topo, &mut env.clone(), 8, &[]).0;
+        let boundary = 1 + u64::from(boundary_sel) % (trace.num_cycles() - 1);
+        let scenarios: Vec<Vec<DffId>> = masks.iter().map(|&m| pick_flips(&c, m)).collect();
+        check_batch_against_scalars(&c, &topo, &trace, boundary, &scenarios, &env)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Completely full batches: all 64 lanes carry an independent scenario.
+    #[test]
+    fn every_lane_of_a_full_batch_matches_a_scalar_replay(
+        gates in prop::collection::vec(any::<GateSpec>(), 10..60),
+        in_val: u64,
+        boundary_sel: u16,
+        mask_seed: u8,
+    ) {
+        let c = random_circuit(8, 8, &gates);
+        let topo = Topology::new(&c);
+        let env = ConstEnvironment::new(vec![in_val & 0xff]);
+        let trace = GoldenTrace::record(&c, &topo, &mut env.clone(), 8, &[]).0;
+        let boundary = 1 + u64::from(boundary_sel) % (trace.num_cycles() - 1);
+        let scenarios: Vec<Vec<DffId>> = (0..MAX_LANES)
+            .map(|lane| pick_flips(&c, mask_seed.wrapping_add(lane as u8)))
+            .collect();
+        check_batch_against_scalars(&c, &topo, &trace, boundary, &scenarios, &env)?;
+    }
+}

@@ -112,10 +112,28 @@ fn savf_stats_are_mode_and_thread_invariant_where_they_must_be() {
     assert_eq!(full1_stats.incremental_replays, 0);
     assert_eq!(full1_stats.full_replay_fallbacks, 0);
     assert_eq!(
-        inc1_stats.incremental_replays, inc1_stats.replays,
-        "every cache miss went through the incremental engine"
+        inc1_stats.incremental_replays + inc1_stats.lanes_occupied,
+        inc1_stats.replays,
+        "every cache miss went through the incremental or the batch engine"
     );
     assert!(inc1_stats.replays > 0, "the campaign did real work");
+
+    // At lanes = 1 the batch engine stands down and the original invariant
+    // holds: every cache miss is an incremental scalar replay.
+    let (scalar, scalar_stats) = savf_campaign_with_stats(
+        &variant.core.circuit,
+        &variant.topo,
+        &variant.timing,
+        &golden,
+        &dffs,
+        ReplayOptions::new(opts.due_slack, 1).with_lanes(1),
+    );
+    assert_eq!(scalar, inc1, "sAVF result, lanes 1 vs 64");
+    assert_eq!(scalar_stats.batched_replays, 0);
+    assert_eq!(
+        scalar_stats.incremental_replays, scalar_stats.replays,
+        "every cache miss went through the incremental engine at lanes = 1"
+    );
     // The whole point: far fewer gate evaluations than a full replay's
     // every-gate-every-cycle schedule.
     let full_work = inc1_stats.replay_cycles * variant.core.circuit.num_gates() as u64;

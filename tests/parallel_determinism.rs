@@ -62,6 +62,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         due_slack: 500,
         threads: 1,
         incremental: true,
+        lanes: 64,
     };
     let serial_opts = ReplayOptions::new(500, 1);
     let (serial_rows, serial_stats) = delay_avf_campaign_with_stats(
@@ -160,5 +161,115 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
             opts,
         );
         assert_eq!(spatial, serial_spatial, "spatial with {threads} threads");
+    }
+}
+
+/// The bit-parallel batching layer's guarantee, on a threads × lanes grid:
+/// every lane width returns the same campaign rows, and at a fixed lane
+/// width every counter — including the new batch counters — is
+/// thread-count invariant.
+#[test]
+fn batch_counters_are_thread_invariant_at_every_lane_width() {
+    use std::collections::HashMap;
+
+    let s = setup();
+    // Decoder edges at fractions near the full clock period: these latch
+    // wrong values on this workload, so the sweep actually replays (and
+    // therefore batches); ALU faults are fully masked here.
+    let edges = sample_edges(
+        &s.topo.structure_edges(&s.core.circuit, "decoder").unwrap(),
+        30,
+        17,
+    );
+    let dffs: Vec<DffId> = s
+        .core
+        .circuit
+        .structure("lsu")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(12)
+        .collect();
+    let config = CampaignConfig {
+        delay_fractions: vec![0.9, 1.0],
+        compute_orace: true,
+        due_slack: 500,
+        threads: 1,
+        incremental: true,
+        lanes: 64,
+    };
+    let (base_rows, _) = delay_avf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+    );
+    let (base_savf, _) = savf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        ReplayOptions::new(500, 1),
+    );
+
+    let mut sweep_stats_by_lanes = HashMap::new();
+    let mut savf_stats_by_lanes = HashMap::new();
+    for lanes in [1usize, 2, 64] {
+        for threads in [1usize, 2, 4] {
+            let cfg = config.clone().with_threads(threads).with_lanes(lanes);
+            let (rows, stats) = delay_avf_campaign_with_stats(
+                &s.core.circuit,
+                &s.topo,
+                &s.timing,
+                &s.golden,
+                &edges,
+                &cfg,
+            );
+            assert_eq!(
+                rows, base_rows,
+                "sweep rows, lanes={lanes} threads={threads}"
+            );
+            let first = *sweep_stats_by_lanes.entry(lanes).or_insert(stats);
+            assert_eq!(
+                stats, first,
+                "sweep counters thread-invariant at lanes={lanes} (threads={threads})"
+            );
+
+            let opts = ReplayOptions::new(500, threads).with_lanes(lanes);
+            let (savf, savf_stats) = savf_campaign_with_stats(
+                &s.core.circuit,
+                &s.topo,
+                &s.timing,
+                &s.golden,
+                &dffs,
+                opts,
+            );
+            assert_eq!(savf, base_savf, "sAVF, lanes={lanes} threads={threads}");
+            let first = *savf_stats_by_lanes.entry(lanes).or_insert(savf_stats);
+            assert_eq!(
+                savf_stats, first,
+                "sAVF counters thread-invariant at lanes={lanes} (threads={threads})"
+            );
+        }
+    }
+
+    // lanes = 1 never batches; wide configurations do.
+    for stats_by_lanes in [&sweep_stats_by_lanes, &savf_stats_by_lanes] {
+        let scalar = &stats_by_lanes[&1];
+        assert_eq!(scalar.batched_replays, 0, "no batches at lanes = 1");
+        assert_eq!(scalar.lanes_occupied, 0, "no lanes at lanes = 1");
+        let wide = &stats_by_lanes[&64];
+        assert!(wide.batched_replays > 0, "wide config batches: {wide:?}");
+        assert!(wide.lanes_occupied > 0, "wide config occupies lanes");
+        // The number of distinct scenarios replayed through the batch engine
+        // does not depend on the lane width, only on the workload.
+        assert_eq!(
+            stats_by_lanes[&2].lanes_occupied, wide.lanes_occupied,
+            "scenario count is lane-width invariant"
+        );
     }
 }
