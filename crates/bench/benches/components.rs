@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use delayavf::{prepare_golden, Injector};
 use delayavf_netlist::{EdgeId, Topology};
 use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
-use delayavf_sim::{settle, CycleSim, EventSim, FaultSpec};
+use delayavf_sim::{settle, CycleSim, DeltaEventSim, EventSim, FaultSpec};
 use delayavf_timing::{TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
 
@@ -83,16 +83,55 @@ fn bench_event_sim(c: &mut Criterion) {
     let extra = f.timing.clock_period() / 2;
     c.bench_function("event_sim_faulty_cycle", |b| {
         b.iter(|| {
-            sim.latch_cycle(
+            let _ = sim.latch_cycle(
                 &prev_values,
                 &new_state,
                 &inputs,
                 Some(FaultSpec { edge, extra }),
-            )
+            );
         })
     });
     c.bench_function("event_sim_fault_free_cycle", |b| {
-        b.iter(|| sim.latch_cycle(&prev_values, &new_state, &inputs, None))
+        b.iter(|| {
+            let _ = sim.latch_cycle(&prev_values, &new_state, &inputs, None);
+        })
+    });
+    // The incremental engine on the same injection, with the cycle's golden
+    // waveform already cached (the steady state inside a campaign, where one
+    // build is shared by every edge injected at the cycle).
+    let mut delta = DeltaEventSim::new(&f.core.circuit, &f.topo, &f.timing);
+    let _ = delta.latch_cycle(
+        cycle,
+        &prev_values,
+        &new_state,
+        &inputs,
+        FaultSpec { edge, extra },
+    );
+    c.bench_function("delta_sim_faulty_cycle_warm", |b| {
+        b.iter(|| {
+            let _ = delta.latch_cycle(
+                cycle,
+                &prev_values,
+                &new_state,
+                &inputs,
+                FaultSpec { edge, extra },
+            );
+        })
+    });
+    // Cold: invalidate the cache each iteration by alternating cycles, so
+    // every injection pays for a fresh golden-waveform build.
+    c.bench_function("delta_sim_faulty_cycle_cold", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let _ = delta.latch_cycle(
+                u64::from(flip),
+                &prev_values,
+                &new_state,
+                &inputs,
+                FaultSpec { edge, extra },
+            );
+        })
     });
 }
 
@@ -116,6 +155,16 @@ fn bench_static_reach(c: &mut Criterion) {
             let e = edges[i % edges.len()];
             i += 1;
             f.timing.path_through_edge(&f.core.circuit, &f.topo, e)
+        })
+    });
+    // Ablation: the reference forward walk the sorted slack table replaces.
+    c.bench_function("statically_reachable_walk_per_edge", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let e = edges[i % edges.len()];
+            i += 1;
+            f.timing
+                .statically_reachable_walk(&f.core.circuit, &f.topo, e, extra)
         })
     });
 }
@@ -306,11 +355,95 @@ fn emit_batch_snapshot(
     std::fs::write(path, json).expect("write BENCH_batch.json");
 }
 
+fn bench_delta_timing_ablation(c: &mut Criterion) {
+    // Ablation: the incremental timing-aware engine (shared golden-waveform
+    // cache + fault-cone delta events) vs the full event simulator on a
+    // timing-step-bound workload: step 1 only, many edges per cycle, a delay
+    // large enough that nothing is statically filtered. Results are
+    // bit-for-bit identical; only the wall clock changes.
+    let f = fix();
+    let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
+    let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 6);
+    let cycle = golden.sampled_cycles[2];
+    let edges: Vec<EdgeId> = f
+        .topo
+        .structure_edges(&f.core.circuit, "alu")
+        .unwrap()
+        .into_iter()
+        .take(32)
+        .collect();
+    let extra = f.timing.clock_period() * 9 / 10;
+    for (label, delta) in [("delta", true), ("full_event", false)] {
+        c.bench_function(&format!("step1_32_alu_edges_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    inj.set_delta_timing(delta);
+                    inj
+                },
+                |mut inj| {
+                    for &e in &edges {
+                        let _ = inj.dynamically_reachable(cycle, e, extra);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    emit_timing_snapshot(&f, &golden, &edges, extra);
+}
+
+/// Hand-timed delta-on vs delta-off snapshot of the timing step over every
+/// sampled cycle, written to `BENCH_timing.json` at the workspace root so
+/// the perf trajectory of the incremental timing-aware engine is tracked
+/// in-tree (the vendored criterion stand-in does not persist measurements).
+fn emit_timing_snapshot(
+    f: &Fix,
+    golden: &delayavf::GoldenRun<MemEnv>,
+    edges: &[EdgeId],
+    extra: u64,
+) {
+    use std::time::Instant;
+    let mut best = [f64::INFINITY; 2];
+    let mut builds = 0u64;
+    for (slot, delta) in [true, false].into_iter().enumerate() {
+        for _rep in 0..3 {
+            let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, golden, 500);
+            inj.set_delta_timing(delta);
+            let t = Instant::now();
+            for &cycle in &golden.sampled_cycles {
+                if cycle < 1 || cycle + 1 >= golden.trace.num_cycles() {
+                    continue;
+                }
+                for &e in edges {
+                    let _ = inj.dynamically_reachable(cycle, e, extra);
+                }
+            }
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            best[slot] = best[slot].min(ms);
+            if delta {
+                builds = inj.stats.golden_waveform_builds;
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"step1_{}_alu_edges_over_{}_cycles\",\n  \"delta_ms\": {:.3},\n  \"full_event_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"golden_waveform_builds\": {}\n}}\n",
+        edges.len(),
+        golden.sampled_cycles.len(),
+        best[0],
+        best[1],
+        best[1] / best[0],
+        builds
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_timing.json");
+    std::fs::write(path, json).expect("write BENCH_timing.json");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_build_and_sta, bench_cycle_sim, bench_event_sim, bench_static_reach,
         bench_injection, bench_early_exit_ablation, bench_incremental_ablation,
-        bench_batch_ablation
+        bench_batch_ablation, bench_delta_timing_ablation
 }
 criterion_main!(benches);

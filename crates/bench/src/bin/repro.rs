@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
 //!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
-//!       [--lanes N]
+//!       [--no-delta-timing] [--lanes N]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
@@ -42,6 +42,9 @@ options:
   (or -j N)       every N (default: one per available core)
   --no-incremental  use the exact full-replay baseline instead of the
                   incremental divergence-cone engine (identical results)
+  --no-delta-timing  use the exact full event-simulation baseline instead
+                  of the incremental timing-aware engine (golden-waveform
+                  cache + fault-cone deltas; identical results)
   --lanes N       bit-parallel replay lanes per batch, 1-64 (default 64);
                   AVF numbers are identical for every N, --lanes 1 is the
                   exact scalar baseline
@@ -93,6 +96,7 @@ fn main() -> ExitCode {
             },
             "--tiny" => opts.scale = Scale::Tiny,
             "--no-incremental" => opts.incremental = false,
+            "--no-delta-timing" => opts.delta_timing = false,
             "--config" => {
                 let Some(path) = it.next() else {
                     return fail("--config needs a path");

@@ -23,6 +23,7 @@
 //! orace = false                        # also compute OrDelayAVF
 //! threads = 0                          # campaign workers, 0 = one per core
 //! incremental = true                   # divergence-cone replay engine
+//! delta_timing = true                  # incremental timing-aware engine
 //! lanes = 64                           # bit-parallel replay lanes, 1-64
 //! ```
 
@@ -62,6 +63,10 @@ pub struct ExperimentSpec {
     /// Use the incremental divergence-cone replay engine (`false` runs the
     /// exact full-replay baseline; results are identical either way).
     pub incremental: bool,
+    /// Use the incremental timing-aware engine for step 1 (`false` runs the
+    /// exact full event-simulation baseline; results are identical either
+    /// way).
+    pub delta_timing: bool,
     /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
     /// for every value; `1` runs the exact scalar baseline.
     pub lanes: usize,
@@ -83,6 +88,7 @@ impl Default for ExperimentSpec {
             orace: false,
             threads: 0,
             incremental: true,
+            delta_timing: true,
             lanes: 64,
         }
     }
@@ -170,6 +176,7 @@ impl ExperimentSpec {
                     spec.threads = value.parse().map_err(|e| bad(format!("threads: {e}")))?;
                 }
                 "incremental" => spec.incremental = parse_bool(value).map_err(bad)?,
+                "delta_timing" => spec.delta_timing = parse_bool(value).map_err(bad)?,
                 "lanes" => {
                     spec.lanes = value.parse().map_err(|e| bad(format!("lanes: {e}")))?;
                 }
@@ -223,6 +230,7 @@ impl ExperimentSpec {
             due_slack: self.due_slack,
             threads: self.threads,
             incremental: self.incremental,
+            delta_timing: self.delta_timing,
             lanes: self.lanes,
         };
         let rows = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config);
@@ -287,6 +295,7 @@ mod tests {
             orace = true
             threads = 3
             incremental = false
+            delta_timing = off
             lanes = 16
             "#,
         )
@@ -302,6 +311,7 @@ mod tests {
         assert!(spec.orace);
         assert_eq!(spec.threads, 3);
         assert!(!spec.incremental);
+        assert!(!spec.delta_timing);
         assert_eq!(spec.lanes, 16);
     }
 

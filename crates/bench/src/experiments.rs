@@ -64,6 +64,7 @@ fn sweep(
         due_slack: opts.due_slack,
         threads: opts.threads,
         incremental: opts.incremental,
+        delta_timing: opts.delta_timing,
         lanes: opts.lanes,
     };
     delay_avf_campaign(
@@ -581,6 +582,7 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
                 due_slack: seeded.due_slack,
                 threads: seeded.threads,
                 incremental: seeded.incremental,
+                delta_timing: seeded.delta_timing,
                 lanes: seeded.lanes,
             },
         )[0];

@@ -32,6 +32,11 @@ pub struct Opts {
     /// Results are bit-for-bit identical either way; `false` runs the exact
     /// full-replay baseline (the `--no-incremental` escape hatch).
     pub incremental: bool,
+    /// Use the incremental timing-aware engine for step 1 (the default).
+    /// Results are bit-for-bit identical either way; `false` runs the exact
+    /// full event-simulation baseline (the `--no-delta-timing` escape
+    /// hatch).
+    pub delta_timing: bool,
     /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
     /// for every value; `1` runs the exact scalar baseline (the `--lanes 1`
     /// escape hatch).
@@ -49,6 +54,7 @@ impl Default for Opts {
             due_slack: 2_000,
             threads: 0,
             incremental: true,
+            delta_timing: true,
             lanes: 64,
         }
     }
@@ -60,6 +66,7 @@ impl Opts {
     pub fn replay_options(&self) -> delayavf::ReplayOptions {
         delayavf::ReplayOptions::new(self.due_slack, self.threads)
             .with_incremental(self.incremental)
+            .with_delta_timing(self.delta_timing)
             .with_lanes(self.lanes)
     }
 }

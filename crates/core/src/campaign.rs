@@ -74,6 +74,12 @@ pub struct ReplayOptions {
     /// Results are bit-for-bit identical either way; `false` runs the
     /// exact full-replay baseline (the `--no-incremental` escape hatch).
     pub incremental: bool,
+    /// Use the incremental timing-aware engine — shared per-cycle
+    /// golden-waveform cache plus fault-cone delta event simulation — for
+    /// step 1 (the default). Results are bit-for-bit identical either way;
+    /// `false` runs the exact full event-simulation baseline (the
+    /// `--no-delta-timing` escape hatch).
+    pub delta_timing: bool,
     /// Lane width for bit-parallel batch replays (default
     /// [`delayavf_sim::MAX_LANES`]). Results are identical for every
     /// width; `1` disables batching and reproduces the sequential
@@ -87,6 +93,7 @@ impl Default for ReplayOptions {
             due_slack: 2_000,
             threads: 0,
             incremental: true,
+            delta_timing: true,
             lanes: MAX_LANES,
         }
     }
@@ -112,6 +119,12 @@ impl ReplayOptions {
     /// Builder-style toggle of the incremental replay engine.
     pub fn with_incremental(mut self, enabled: bool) -> Self {
         self.incremental = enabled;
+        self
+    }
+
+    /// Builder-style toggle of the incremental timing-aware engine.
+    pub fn with_delta_timing(mut self, enabled: bool) -> Self {
+        self.delta_timing = enabled;
         self
     }
 
@@ -142,6 +155,9 @@ pub struct CampaignConfig {
     /// Use the incremental divergence-cone replay engine (the default);
     /// see [`ReplayOptions::incremental`].
     pub incremental: bool,
+    /// Use the incremental timing-aware engine for step 1 (the default);
+    /// see [`ReplayOptions::delta_timing`].
+    pub delta_timing: bool,
     /// Lane width for bit-parallel batch replays; see
     /// [`ReplayOptions::lanes`].
     pub lanes: usize,
@@ -155,6 +171,7 @@ impl Default for CampaignConfig {
             due_slack: 2_000,
             threads: 0,
             incremental: true,
+            delta_timing: true,
             lanes: MAX_LANES,
         }
     }
@@ -182,6 +199,12 @@ impl CampaignConfig {
         self
     }
 
+    /// Builder-style toggle of the incremental timing-aware engine.
+    pub fn with_delta_timing(mut self, enabled: bool) -> Self {
+        self.delta_timing = enabled;
+        self
+    }
+
     /// Builder-style override of the batch lane width (`1` = scalar
     /// baseline, `0` = maximum width).
     pub fn with_lanes(mut self, lanes: usize) -> Self {
@@ -191,6 +214,7 @@ impl CampaignConfig {
 }
 
 /// A worker's private injector, with the shard-invariant knobs applied.
+#[allow(clippy::too_many_arguments)]
 fn shard_injector<'g, E: Environment + Clone>(
     circuit: &'g Circuit,
     topo: &'g Topology,
@@ -198,10 +222,12 @@ fn shard_injector<'g, E: Environment + Clone>(
     golden: &'g GoldenRun<E>,
     due_slack: u64,
     incremental: bool,
+    delta_timing: bool,
     lanes: usize,
 ) -> Injector<'g, E> {
     let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
     injector.set_incremental(incremental);
+    injector.set_delta_timing(delta_timing);
     injector.set_lanes(lanes);
     injector
 }
@@ -312,6 +338,7 @@ fn delay_sweep_shard<E: Environment + Clone>(
         golden,
         config.due_slack,
         config.incremental,
+        config.delta_timing,
         config.lanes,
     );
     let mut rows = empty_rows(config);
@@ -440,6 +467,7 @@ pub fn savf_campaign_with_stats<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.delta_timing,
             opts.lanes,
         );
         let mut r = SavfResult::default();
@@ -488,6 +516,7 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.delta_timing,
             opts.lanes,
         );
         let mut row = DelayAvfResult {
@@ -549,6 +578,7 @@ pub fn savf_per_bit_campaign<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.delta_timing,
             opts.lanes,
         );
         for &cycle in &cycles {
@@ -603,6 +633,7 @@ pub fn spatial_double_strike_campaign<E: Environment + Clone>(
             golden,
             opts.due_slack,
             opts.incremental,
+            opts.delta_timing,
             opts.lanes,
         );
         let mut r = SavfResult::default();
@@ -663,6 +694,7 @@ mod tests {
             due_slack: 30,
             threads: 1,
             incremental: true,
+            delta_timing: true,
             lanes: 64,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
@@ -693,6 +725,7 @@ mod tests {
             due_slack: 30,
             threads: 1,
             incremental: true,
+            delta_timing: true,
             lanes: 64,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
@@ -779,6 +812,7 @@ mod tests {
             due_slack: 30,
             threads: 1,
             incremental: true,
+            delta_timing: true,
             lanes: 64,
         };
         let (serial_rows, serial_stats) =

@@ -6,7 +6,8 @@ use std::collections::{HashMap, HashSet};
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, NetId, Topology};
 use delayavf_sim::{
-    pack_bits, settle, BatchSim, CycleSim, DiffSim, Environment, EventSim, FaultSpec, MAX_LANES,
+    pack_bits, settle, BatchSim, CycleSim, DeltaEventSim, DiffSim, Environment, EventSim,
+    FaultSpec, MAX_LANES,
 };
 use delayavf_timing::{Picos, TimingModel};
 
@@ -93,6 +94,7 @@ pub struct Injector<'a, E: Environment + Clone> {
     timing: &'a TimingModel,
     golden: &'a GoldenRun<E>,
     event: EventSim<'a>,
+    delta: DeltaEventSim<'a>,
     replay: CycleSim<'a>,
     diff: DiffSim<'a>,
     batch: BatchSim<'a>,
@@ -100,6 +102,9 @@ pub struct Injector<'a, E: Environment + Clone> {
     early_exit: bool,
     toggle_filter: bool,
     incremental: bool,
+    /// Whether step 1 runs on the incremental delta engine (golden-waveform
+    /// cache + fault-cone delta events) instead of the full event simulator.
+    delta_timing: bool,
     /// Lane width for bit-parallel batch replays (1 = scalar only).
     lanes: usize,
     /// Zeroed input-word scratch for advancing the shared golden
@@ -114,6 +119,12 @@ pub struct Injector<'a, E: Environment + Clone> {
     failure_cache: HashMap<u64, HashMap<Vec<DffId>, FailureClass>>,
     /// For each input net: (port index, bit) to look values up in the trace.
     input_net_pos: HashMap<NetId, (usize, usize)>,
+    /// Cycle-invariant static-reach memo: `(edge, extra)` -> statically
+    /// reachable count (0 means the injection is statically filtered). Both
+    /// `path_through_edge` and the slack-table query depend only on the edge
+    /// and the extra delay, so campaigns sweeping many cycles per edge pay
+    /// for each `(edge, extra)` pair once per worker.
+    static_reach_cache: HashMap<(EdgeId, Picos), usize>,
     /// Counters for reporting/debugging.
     pub stats: InjectorStats,
 }
@@ -166,6 +177,25 @@ pub struct InjectorStats {
     /// (`batched_replays * lanes`); the denominator of
     /// [`InjectorStats::lane_utilization`].
     pub lane_slots: u64,
+    /// Fault-free timed waveforms simulated and cached by the incremental
+    /// timing-aware engine — one per distinct trace cycle that reached the
+    /// event-simulation stage. Campaigns iterate cycle-outer/edge-inner and
+    /// the sharded engine partitions by whole cycles, so this count is
+    /// thread-count invariant. Zero when delta timing is disabled.
+    pub golden_waveform_builds: u64,
+    /// Merged waveform time-steps processed by the delta engine across all
+    /// gate re-evaluations in faulty cones. The divergence cone of an
+    /// injection is fully determined by the struck edge and the golden
+    /// waveforms, so this counter is thread-count invariant too.
+    pub delta_events: u64,
+    /// Gates whose recomputed faulty output waveform reconverged with the
+    /// cached golden waveform, pruning their entire downstream cone from the
+    /// delta simulation.
+    pub delta_early_exits: u64,
+    /// Timing-aware simulations that ran on the full event simulator because
+    /// delta timing was disabled (the `--no-delta-timing` escape hatch).
+    /// Zero when delta timing is enabled.
+    pub full_event_fallbacks: u64,
 }
 
 impl InjectorStats {
@@ -188,6 +218,10 @@ impl InjectorStats {
         self.batched_replays += other.batched_replays;
         self.lanes_occupied += other.lanes_occupied;
         self.lane_slots += other.lane_slots;
+        self.golden_waveform_builds += other.golden_waveform_builds;
+        self.delta_events += other.delta_events;
+        self.delta_early_exits += other.delta_early_exits;
+        self.full_event_fallbacks += other.full_event_fallbacks;
     }
 
     /// Mean lane occupancy of the batch replays (`lanes_occupied /
@@ -239,6 +273,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             timing,
             golden,
             event: EventSim::new(circuit, topo, timing),
+            delta: DeltaEventSim::new(circuit, topo, timing),
             replay: CycleSim::new(circuit, topo),
             diff: DiffSim::new(circuit, topo),
             batch: BatchSim::new(circuit, topo),
@@ -246,12 +281,14 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             early_exit: true,
             toggle_filter: true,
             incremental: true,
+            delta_timing: true,
             lanes: MAX_LANES,
             env_scratch: vec![0; circuit.input_ports().len()],
             cycle_data: None,
             fanin_cache: HashMap::new(),
             failure_cache: HashMap::new(),
             input_net_pos,
+            static_reach_cache: HashMap::new(),
             stats: InjectorStats::default(),
         }
     }
@@ -297,6 +334,18 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         } else {
             lanes.min(MAX_LANES)
         };
+    }
+
+    /// Disables (or re-enables) the incremental timing-aware engine
+    /// ([`DeltaEventSim`]): the shared per-cycle golden-waveform cache plus
+    /// fault-cone delta event simulation. Delta timing latches bit-identical
+    /// values to the full event simulator — a fidelity property the
+    /// differential and property test suites check — it only skips
+    /// re-simulating the fault-free bulk of each cycle's waveform. Disable
+    /// it to run the exact full-event baseline (the `--no-delta-timing`
+    /// escape hatch).
+    pub fn set_delta_timing(&mut self, enabled: bool) {
+        self.delta_timing = enabled;
     }
 
     /// Full two-step evaluation: is edge `edge` DelayACE in `cycle` under an
@@ -356,15 +405,24 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         );
 
         // Pre-filter 1: some path through the edge must exceed the clock.
-        let path = self.timing.path_through_edge(self.circuit, self.topo, edge);
-        if path + extra <= self.timing.clock_period() {
-            self.stats.static_filtered += 1;
-            return (0, Vec::new());
-        }
-        let static_set = self
-            .timing
-            .statically_reachable(self.circuit, self.topo, edge, extra);
-        if static_set.is_empty() {
+        // Both the path query and the static-reach set are cycle-invariant,
+        // so the combined answer is memoized per (edge, extra).
+        let static_count = match self.static_reach_cache.get(&(edge, extra)) {
+            Some(&n) => n,
+            None => {
+                let path = self.timing.path_through_edge(self.circuit, self.topo, edge);
+                let n = if path + extra <= self.timing.clock_period() {
+                    0
+                } else {
+                    self.timing
+                        .statically_reachable(self.circuit, self.topo, edge, extra)
+                        .len()
+                };
+                self.static_reach_cache.insert((edge, extra), n);
+                n
+            }
+        };
+        if static_count == 0 {
             self.stats.static_filtered += 1;
             return (0, Vec::new());
         }
@@ -373,27 +431,46 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         // toggles this cycle, no event ever crosses the edge.
         if self.toggle_filter && !self.edge_sources_toggle(cycle, edge) {
             self.stats.toggle_filtered += 1;
-            return (static_set.len(), Vec::new());
+            return (static_count, Vec::new());
         }
 
-        // Timing-aware simulation of the one faulty cycle.
+        // Timing-aware simulation of the one faulty cycle. The delta engine
+        // shares one cached golden waveform across every injection at this
+        // cycle and only propagates the fault's divergence cone; the full
+        // event simulator re-simulates the whole cycle and serves as the
+        // exact baseline (`--no-delta-timing`).
         self.ensure_cycle_data(cycle);
         let data = self.cycle_data.as_ref().expect("just ensured");
         let inputs = self.golden.trace.inputs_at(cycle);
-        let latched = self.event.latch_cycle(
-            &data.prev_values,
-            &data.new_state,
-            inputs,
-            Some(FaultSpec { edge, extra }),
-        );
         self.stats.event_sims += 1;
+        let latched: &[bool] = if self.delta_timing {
+            let (latched, outcome) = self.delta.latch_cycle(
+                cycle,
+                &data.prev_values,
+                &data.new_state,
+                inputs,
+                FaultSpec { edge, extra },
+            );
+            self.stats.golden_waveform_builds += u64::from(outcome.built_golden);
+            self.stats.delta_events += outcome.delta_events;
+            self.stats.delta_early_exits += outcome.reconverged;
+            latched
+        } else {
+            self.stats.full_event_fallbacks += 1;
+            self.event.latch_cycle(
+                &data.prev_values,
+                &data.new_state,
+                inputs,
+                Some(FaultSpec { edge, extra }),
+            )
+        };
         let dynamic: Vec<DffId> = latched
             .iter()
             .enumerate()
             .filter(|&(i, &v)| v != data.next_state[i])
             .map(|(i, _)| DffId::from_index(i))
             .collect();
-        (static_set.len(), dynamic)
+        (static_count, dynamic)
     }
 
     /// Step 2 (timing-agnostic): is a simultaneous error in `set` at the

@@ -48,6 +48,9 @@ pub struct EventSim<'a> {
     heap: BinaryHeap<Reverse<(Picos, u64, u32, bool)>>,
     seq: u64,
     input_bits: Vec<bool>,
+    /// Reusable buffer for the latched flip-flop values, so the hot path of
+    /// a fault campaign allocates nothing per injection.
+    latch_buf: Vec<bool>,
 }
 
 impl<'a> EventSim<'a> {
@@ -62,11 +65,14 @@ impl<'a> EventSim<'a> {
             heap: BinaryHeap::new(),
             seq: 0,
             input_bits: vec![false; circuit.num_nets()],
+            latch_buf: vec![false; circuit.num_dffs()],
         }
     }
 
     /// Simulates one cycle with full timing and returns the values latched
-    /// by every flip-flop (indexed by raw `DffId`).
+    /// by every flip-flop (indexed by raw `DffId`). The returned slice
+    /// borrows a scratch buffer reused across calls, so the hot path is
+    /// allocation-free; clone it if it must outlive the next call.
     ///
     /// * `prev_values` — settled net values of the previous cycle (from
     ///   [`crate::settle`] or [`crate::CycleSim::net_values`]); these are the
@@ -89,7 +95,7 @@ impl<'a> EventSim<'a> {
         new_state: &[bool],
         new_inputs: &[u64],
         fault: Option<FaultSpec>,
-    ) -> Vec<bool> {
+    ) -> &[bool] {
         assert_eq!(prev_values.len(), self.circuit.num_nets());
         assert_eq!(new_state.len(), self.circuit.num_dffs());
         let deadline = self
@@ -155,10 +161,10 @@ impl<'a> EventSim<'a> {
         self.heap.clear();
 
         // Latch: every flip-flop samples its D pin at the deadline.
-        self.circuit
-            .dffs()
-            .map(|(id, _)| self.pin_val[self.topo.dff_in_edge(id).index()])
-            .collect()
+        for (id, _) in self.circuit.dffs() {
+            self.latch_buf[id.index()] = self.pin_val[self.topo.dff_in_edge(id).index()];
+        }
+        &self.latch_buf
     }
 
     fn schedule_fanouts(
@@ -245,6 +251,7 @@ mod tests {
         let prev_values = settle(&f.c, &f.topo, &state, prev_inputs);
         let mut sim = EventSim::new(&f.c, &f.topo, &f.timing);
         sim.latch_cycle(&prev_values, &state, next_inputs, fault)
+            .to_vec()
     }
 
     #[test]

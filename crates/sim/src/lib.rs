@@ -26,6 +26,12 @@
 //!   simultaneously against the shared golden trace with straight-line
 //!   bitwise gate evaluation. Lanes whose outputs diverge from the recorded
 //!   words retire to a scalar engine; the rest ride along for nearly free.
+//! * [`DeltaEventSim`] — an **incremental** variant of the timing-aware
+//!   engine: each trace cycle's fault-free timed waveform is simulated once
+//!   and cached as per-net transition lists, and every faulty injection at
+//!   that cycle is evaluated as a delta seeded at the struck edge's sink,
+//!   propagating only where the faulty waveform diverges from golden and
+//!   pruning gates whose output waveform reconverges.
 //!
 //! Circuits interact with the outside world through an [`Environment`]
 //! (memories, MMIO consoles, ...). The environment exchanges whole port
@@ -42,6 +48,7 @@
 
 mod batch;
 mod cycle;
+mod delta;
 mod diff;
 mod env;
 mod event;
@@ -50,6 +57,7 @@ mod vcd;
 
 pub use batch::{BatchSim, MAX_LANES};
 pub use cycle::{settle, CycleSim, RunSummary, StopReason};
+pub use delta::{DeltaEventSim, DeltaOutcome};
 pub use diff::DiffSim;
 pub use env::{ConstEnvironment, Environment};
 pub use event::{EventSim, FaultSpec};

@@ -134,9 +134,9 @@ proptest! {
         let prev = settle(&c, &topo, &state, &[0]);
         let edge = EdgeId::from_index(usize::from(edge_sel) % topo.edges().len());
         let mut ev = EventSim::new(&c, &topo, &timing);
-        let clean = ev.latch_cycle(&prev, &state, &[new_in & 0xff], None);
+        let clean = ev.latch_cycle(&prev, &state, &[new_in & 0xff], None).to_vec();
         let faulty = ev.latch_cycle(&prev, &state, &[new_in & 0xff], Some(FaultSpec { edge, extra: 0 }));
-        prop_assert_eq!(clean, faulty);
+        prop_assert_eq!(&clean[..], faulty);
     }
 
     #[test]

@@ -3,11 +3,43 @@
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::OnceLock;
 
 use delayavf_netlist::{Circuit, Consumer, DffId, Driver, EdgeId, NetId, Topology};
 
 use crate::techlib::TechLibrary;
 use crate::Picos;
+
+/// Precomputed per-edge **downstream-slack table**: for every fanout edge,
+/// the length of the longest complete source-to-endpoint path through that
+/// edge ending at each downstream flip-flop (including the endpoint setup
+/// time), stored as a CSR of `(path_length, dff)` entries sorted by path
+/// length.
+///
+/// With the table in hand, the statically reachable set for `(edge, extra)`
+/// is a binary search: a flip-flop `f` is reachable iff its longest path
+/// through the edge plus `extra` exceeds the clock period, so the qualifying
+/// entries form a suffix of the edge's sorted slice. Path lengths are stored
+/// **absolute** (not as slack against a particular clock) so a guardbanded
+/// clone of the model ([`TimingModel::with_guardband`], which stretches only
+/// `clock_period`) can reuse the same table and stay exact.
+#[derive(Clone, Debug, Default)]
+struct SlackTable {
+    /// `offsets[e]..offsets[e + 1]` is edge `e`'s slice into `entries`.
+    offsets: Vec<u32>,
+    /// Per-edge `(longest path through edge ending at dff, dff)` pairs,
+    /// sorted ascending by path length (ties by flip-flop id).
+    entries: Vec<(Picos, DffId)>,
+}
+
+impl SlackTable {
+    #[inline]
+    fn edge_entries(&self, edge: EdgeId) -> &[(Picos, DffId)] {
+        let lo = self.offsets[edge.index()] as usize;
+        let hi = self.offsets[edge.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+}
 
 /// The result of static timing analysis: per-edge delays, arrival times,
 /// downstream max-path times, and the derived clock period.
@@ -32,6 +64,9 @@ pub struct TimingModel {
     topo_index: Vec<u32>,
     clock_period: Picos,
     setup: Picos,
+    /// Lazily built downstream-slack table (see [`SlackTable`]); shared by
+    /// guardbanded clones because it stores absolute path lengths.
+    slack: OnceLock<SlackTable>,
 }
 
 impl TimingModel {
@@ -111,6 +146,7 @@ impl TimingModel {
             topo_index,
             clock_period,
             setup,
+            slack: OnceLock::new(),
         }
     }
 
@@ -228,9 +264,103 @@ impl TimingModel {
     /// the clock period once an additional delay of `extra` is inserted at
     /// the edge.
     ///
-    /// Runs a longest-path relaxation over the fanout cone of the edge's
-    /// sink, so cost is proportional to the affected cone, not the circuit.
+    /// Answered from the precomputed downstream-slack table (built lazily on
+    /// first use, shared by guardbanded clones): a binary search locates the
+    /// suffix of the edge's path-sorted slice with `path + extra` beyond the
+    /// clock period, replacing the per-query graph walk of
+    /// [`TimingModel::statically_reachable_walk`], which is kept as the
+    /// reference oracle.
     pub fn statically_reachable(
+        &self,
+        c: &Circuit,
+        topo: &Topology,
+        edge: EdgeId,
+        extra: Picos,
+    ) -> Vec<DffId> {
+        let table = self.slack.get_or_init(|| self.build_slack_table(c, topo));
+        let s = table.edge_entries(edge);
+        let start = s.partition_point(|&(path, _)| path.saturating_add(extra) <= self.clock_period);
+        let mut reachable: Vec<DffId> = s[start..].iter().map(|&(_, f)| f).collect();
+        reachable.sort_unstable();
+        reachable
+    }
+
+    /// Builds the [`SlackTable`]: one backward dynamic-programming pass
+    /// computing, per net, the longest continuation from the net's origin to
+    /// each downstream flip-flop D pin (including setup), then expands it
+    /// into per-edge absolute path lengths. Cost is linear in the total
+    /// number of `(net, downstream flip-flop)` pairs — paid once, versus a
+    /// graph walk per `(cycle, edge, extra)` query.
+    fn build_slack_table(&self, c: &Circuit, topo: &Topology) -> SlackTable {
+        let n = c.num_nets();
+        // down[net]: (dff, longest continuation from net origin to the dff's
+        // D pin, including the net's own edge delay and endpoint setup).
+        let mut down: Vec<Vec<(DffId, Picos)>> = vec![Vec::new(); n];
+        let fill = |down: &[Vec<(DffId, Picos)>], net: NetId| -> Vec<(DffId, Picos)> {
+            let d = self.net_delay[net.index()];
+            let mut best: HashMap<DffId, Picos> = HashMap::new();
+            for e in topo.fanouts(net) {
+                match e.consumer {
+                    Consumer::DffD(f) => {
+                        let t = d + self.setup;
+                        best.entry(f).and_modify(|b| *b = (*b).max(t)).or_insert(t);
+                    }
+                    Consumer::GatePin { gate, .. } => {
+                        let out = c.gate(gate).output();
+                        for &(f, cont) in &down[out.index()] {
+                            let t = d + cont;
+                            best.entry(f).and_modify(|b| *b = (*b).max(t)).or_insert(t);
+                        }
+                    }
+                    // Primary outputs are not state elements; they never
+                    // enter the statically reachable set.
+                    Consumer::OutputBit { .. } => {}
+                }
+            }
+            let mut v: Vec<(DffId, Picos)> = best.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        // Gate outputs in reverse eval order (consumers before producers),
+        // then source nets (inputs, constants, flip-flop Q), whose fanout
+        // continuations are all gate outputs or direct endpoints.
+        for &g in topo.eval_order().iter().rev() {
+            let out = c.gate(g).output();
+            down[out.index()] = fill(&down, out);
+        }
+        for (id, net) in c.nets() {
+            if !matches!(net.driver(), Driver::Gate(_)) {
+                down[id.index()] = fill(&down, id);
+            }
+        }
+
+        let num_edges = topo.edges().len();
+        let mut offsets = Vec::with_capacity(num_edges + 1);
+        let mut entries: Vec<(Picos, DffId)> = Vec::new();
+        offsets.push(0u32);
+        for i in 0..num_edges {
+            let e = topo.edge(EdgeId::from_index(i));
+            let base = self.arrival[e.source.index()] + self.net_delay[e.source.index()];
+            let lo = entries.len();
+            match e.consumer {
+                Consumer::DffD(f) => entries.push((base + self.setup, f)),
+                Consumer::GatePin { gate, .. } => {
+                    let out = c.gate(gate).output();
+                    entries.extend(down[out.index()].iter().map(|&(f, cont)| (base + cont, f)));
+                }
+                Consumer::OutputBit { .. } => {}
+            }
+            entries[lo..].sort_unstable();
+            offsets.push(u32::try_from(entries.len()).expect("slack table fits u32"));
+        }
+        SlackTable { offsets, entries }
+    }
+
+    /// Reference implementation of [`TimingModel::statically_reachable`]:
+    /// a longest-path relaxation over the fanout cone of the edge's sink,
+    /// recomputed per query. Kept as the differential oracle for the
+    /// downstream-slack table; cost is proportional to the affected cone.
+    pub fn statically_reachable_walk(
         &self,
         c: &Circuit,
         topo: &Topology,
@@ -430,6 +560,34 @@ mod tests {
     fn negative_guardband_panics() {
         let (_, _, tm, _) = chain();
         let _ = tm.with_guardband(-5.0);
+    }
+
+    #[test]
+    fn slack_table_matches_the_walk_on_every_edge_and_extra() {
+        let (c, topo, tm, edges) = chain();
+        let extras: [Picos; 9] = [0, 1, 500, 999, 1000, 2999, 3000, 3001, 10_000];
+        for &e in &edges {
+            for extra in extras {
+                assert_eq!(
+                    tm.statically_reachable(&c, &topo, e, extra),
+                    tm.statically_reachable_walk(&c, &topo, e, extra),
+                    "edge {e:?} extra {extra}"
+                );
+            }
+        }
+        // A guardbanded clone shares the absolute-path table; the query
+        // compares against the stretched clock and must still match the
+        // walk exactly.
+        let relaxed = tm.with_guardband(37.0);
+        for &e in &edges {
+            for extra in extras {
+                assert_eq!(
+                    relaxed.statically_reachable(&c, &topo, e, extra),
+                    relaxed.statically_reachable_walk(&c, &topo, e, extra),
+                    "guardbanded edge {e:?} extra {extra}"
+                );
+            }
+        }
     }
 
     #[test]

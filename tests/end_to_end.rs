@@ -48,6 +48,7 @@ fn campaign_invariants_hold_on_the_real_core() {
         due_slack: 500,
         threads: 0,
         incremental: true,
+        delta_timing: true,
         lanes: 64,
     };
     let rows = delay_avf_campaign(

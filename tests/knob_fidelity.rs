@@ -1,6 +1,7 @@
 //! The fidelity regression matrix: every combination of the engine's
-//! performance knobs — toggle pre-filter, convergence early-exit, and the
-//! incremental divergence-cone replay — produces the exact same
+//! performance knobs — toggle pre-filter, convergence early-exit, the
+//! incremental divergence-cone replay, the batch lane width, and the
+//! incremental timing-aware (delta) engine — produces the exact same
 //! per-injection outcomes. The knobs change only the cost of the answer,
 //! never the answer.
 
@@ -37,16 +38,31 @@ fn setup() -> Setup {
     }
 }
 
-fn run_matrix_point(
-    s: &Setup,
+/// One knob assignment of the fidelity matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Knobs {
     toggle_filter: bool,
     early_exit: bool,
     incremental: bool,
-) -> Vec<InjectionOutcome> {
+    delta_timing: bool,
+    lanes: usize,
+}
+
+const REFERENCE: Knobs = Knobs {
+    toggle_filter: true,
+    early_exit: true,
+    incremental: true,
+    delta_timing: true,
+    lanes: 64,
+};
+
+fn run_matrix_point(s: &Setup, k: Knobs) -> Vec<InjectionOutcome> {
     let mut inj = Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
-    inj.set_toggle_filter(toggle_filter);
-    inj.set_early_exit(early_exit);
-    inj.set_incremental(incremental);
+    inj.set_toggle_filter(k.toggle_filter);
+    inj.set_early_exit(k.early_exit);
+    inj.set_incremental(k.incremental);
+    inj.set_delta_timing(k.delta_timing);
+    inj.set_lanes(k.lanes);
     let extra = s.timing.clock_period() * 9 / 10;
     let mut outcomes = Vec::new();
     for &cycle in &s.golden.sampled_cycles {
@@ -63,7 +79,7 @@ fn run_matrix_point(
 #[test]
 fn every_knob_combination_yields_identical_outcomes() {
     let s = setup();
-    let reference = run_matrix_point(&s, true, true, true);
+    let reference = run_matrix_point(&s, REFERENCE);
     assert!(
         reference.iter().any(|o| o.visible),
         "the sample must contain program-visible faults for the matrix to mean anything"
@@ -77,15 +93,22 @@ fn every_knob_combination_yields_identical_outcomes() {
     for toggle_filter in [true, false] {
         for early_exit in [true, false] {
             for incremental in [true, false] {
-                if (toggle_filter, early_exit, incremental) == (true, true, true) {
-                    continue;
+                for delta_timing in [true, false] {
+                    for lanes in [1, 64] {
+                        let k = Knobs {
+                            toggle_filter,
+                            early_exit,
+                            incremental,
+                            delta_timing,
+                            lanes,
+                        };
+                        if k == REFERENCE {
+                            continue;
+                        }
+                        let outcomes = run_matrix_point(&s, k);
+                        assert_eq!(outcomes, reference, "outcomes changed with {k:?}");
+                    }
                 }
-                let outcomes = run_matrix_point(&s, toggle_filter, early_exit, incremental);
-                assert_eq!(
-                    outcomes, reference,
-                    "outcomes changed with toggle_filter={toggle_filter} \
-                     early_exit={early_exit} incremental={incremental}"
-                );
             }
         }
     }

@@ -62,6 +62,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         due_slack: 500,
         threads: 1,
         incremental: true,
+        delta_timing: true,
         lanes: 64,
     };
     let serial_opts = ReplayOptions::new(500, 1);
@@ -74,6 +75,33 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         &config,
     );
     assert!(serial_stats.event_sims > 0, "the sweep did real work");
+    // Delta timing is the default: every timing-aware simulation ran on the
+    // incremental engine against a cached golden waveform, none fell back.
+    assert!(
+        serial_stats.golden_waveform_builds > 0,
+        "delta-on sweeps build golden waveforms: {serial_stats:?}"
+    );
+    assert_eq!(
+        serial_stats.full_event_fallbacks, 0,
+        "delta-on sweeps never fall back to the full event simulator"
+    );
+    // The full event simulator remains available as the exact baseline: the
+    // rows match byte-for-byte and the delta counters stay at zero.
+    let (off_rows, off_stats) = delay_avf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config.clone().with_delta_timing(false),
+    );
+    assert_eq!(off_rows, serial_rows, "delta timing never changes results");
+    assert_eq!(off_stats.golden_waveform_builds, 0, "delta off builds none");
+    assert_eq!(off_stats.delta_events, 0, "delta off processes no deltas");
+    assert_eq!(
+        off_stats.full_event_fallbacks, off_stats.event_sims,
+        "delta off runs every simulation on the full engine"
+    );
     let (serial_savf, serial_savf_stats) = savf_campaign_with_stats(
         &s.core.circuit,
         &s.topo,
@@ -197,6 +225,7 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
         due_slack: 500,
         threads: 1,
         incremental: true,
+        delta_timing: true,
         lanes: 64,
     };
     let (base_rows, _) = delay_avf_campaign_with_stats(
