@@ -3,16 +3,18 @@
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
 //!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
-//!       [--no-delta-timing] [--lanes N]
+//!       [--no-delta-timing] [--lanes N] [--checkpoint-dir DIR]
+//!       [--checkpoint-every N] [--resume] [--telemetry FILE]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use delayavf_bench::{experiments, ExperimentSpec, Harness, Opts};
+use delayavf_bench::{experiments, ExperimentSpec, Harness, Observability, Opts};
 use delayavf_workloads::Scale;
 
 const USAGE: &str = "usage: repro <experiment>... [options]
@@ -49,14 +51,24 @@ options:
                   AVF numbers are identical for every N, --lanes 1 is the
                   exact scalar baseline
   --tiny          use tiny workloads (smoke test)
+  --checkpoint-dir DIR  write crash-safe campaign checkpoints into DIR;
+                  an interrupted run restarted with --resume produces a
+                  byte-identical report
+  --checkpoint-every N  completed work units between checkpoint flushes
+                  (default 1)
+  --resume        resume campaigns from existing checkpoints (missing
+                  files start fresh; mismatched ones are a hard error)
+  --telemetry FILE  append structured JSONL progress events to FILE
   --config FILE   run an artifact-style configuration file instead
-                  (see configs/*.cfg; other options are ignored)
+                  (sampling options are taken from the file; the
+                  checkpoint/telemetry options above still apply)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut opts = Opts::default();
+    let mut config_file: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut num = |label: &str| -> Result<u64, String> {
@@ -97,17 +109,28 @@ fn main() -> ExitCode {
             "--tiny" => opts.scale = Scale::Tiny,
             "--no-incremental" => opts.incremental = false,
             "--no-delta-timing" => opts.delta_timing = false,
+            "--checkpoint-dir" => {
+                let Some(dir) = it.next() else {
+                    return fail("--checkpoint-dir needs a path");
+                };
+                opts.checkpoint_dir = Some(PathBuf::from(dir));
+            }
+            "--checkpoint-every" => match num("--checkpoint-every") {
+                Ok(v) => opts.checkpoint_every = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--resume" => opts.resume = true,
+            "--telemetry" => {
+                let Some(path) = it.next() else {
+                    return fail("--telemetry needs a path");
+                };
+                opts.telemetry = Some(PathBuf::from(path));
+            }
             "--config" => {
                 let Some(path) = it.next() else {
                     return fail("--config needs a path");
                 };
-                return match ExperimentSpec::load(path) {
-                    Ok(spec) => {
-                        println!("{}", spec.run());
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => fail(&e),
-                };
+                config_file = Some(path.clone());
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -118,6 +141,32 @@ fn main() -> ExitCode {
             }
             exp => wanted.push(exp.to_owned()),
         }
+    }
+    if let Some(path) = config_file {
+        let mut spec = match ExperimentSpec::load(&path) {
+            Ok(spec) => spec,
+            Err(e) => return fail(&e),
+        };
+        // The observability flags compose with a configuration file (so CI
+        // can interrupt and resume the artifact configs), overriding its
+        // keys when given on the command line.
+        if opts.checkpoint_dir.is_some() {
+            spec.checkpoint_dir = opts.checkpoint_dir.clone();
+            spec.checkpoint_every = opts.checkpoint_every;
+        }
+        if opts.resume {
+            spec.resume = true;
+        }
+        if opts.telemetry.is_some() {
+            spec.telemetry = opts.telemetry.clone();
+        }
+        return match spec.run() {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
     }
     if wanted.is_empty() {
         print!("{USAGE}");
@@ -146,6 +195,10 @@ fn main() -> ExitCode {
     eprintln!("building cores and timing models ...");
     let t0 = Instant::now();
     let mut h = Harness::build();
+    h.obs = match Observability::from_opts(&opts) {
+        Ok(obs) => obs,
+        Err(e) => return fail(&e),
+    };
     eprintln!("ready in {:?}\n", t0.elapsed());
 
     for id in &wanted {
@@ -165,7 +218,10 @@ fn main() -> ExitCode {
             "variance" => experiments::variance(&mut h, &opts),
             other => return fail(&format!("unknown experiment `{other}`")),
         };
-        println!("{exp}");
+        match exp {
+            Ok(exp) => println!("{exp}"),
+            Err(e) => return fail(&e),
+        }
         eprintln!("[{id} took {:?}]\n", t.elapsed());
     }
     ExitCode::SUCCESS

@@ -25,13 +25,21 @@
 //! incremental = true                   # divergence-cone replay engine
 //! delta_timing = true                  # incremental timing-aware engine
 //! lanes = 64                           # bit-parallel replay lanes, 1-64
+//! checkpoint_dir = ckpt                # crash-safe campaign checkpoints
+//! checkpoint_every = 1                 # work units between flushes
+//! resume = false                       # resume from an existing checkpoint
+//! telemetry = run.jsonl                # structured JSONL progress stream
 //! ```
 
-use delayavf::{delay_avf_campaign, prepare_golden_percent, sample_edges, CampaignConfig};
+use std::path::PathBuf;
+
+use delayavf::{prepare_golden_percent, sample_edges, CampaignConfig};
 use delayavf_netlist::Topology;
 use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
 use delayavf_timing::{TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
+
+use crate::harness::{run_delay_campaign, Observability};
 
 /// A parsed experiment configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +78,15 @@ pub struct ExperimentSpec {
     /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
     /// for every value; `1` runs the exact scalar baseline.
     pub lanes: usize,
+    /// Crash-safe campaign checkpoint directory (`None` disables).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Work units between checkpoint flushes.
+    pub checkpoint_every: usize,
+    /// Resume from an existing checkpoint (missing file = fresh start;
+    /// mismatched file = hard error).
+    pub resume: bool,
+    /// Structured JSONL telemetry file (`None` disables at zero cost).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for ExperimentSpec {
@@ -90,6 +107,10 @@ impl Default for ExperimentSpec {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            telemetry: None,
         }
     }
 }
@@ -180,6 +201,14 @@ impl ExperimentSpec {
                 "lanes" => {
                     spec.lanes = value.parse().map_err(|e| bad(format!("lanes: {e}")))?;
                 }
+                "checkpoint_dir" => spec.checkpoint_dir = Some(PathBuf::from(value)),
+                "checkpoint_every" => {
+                    spec.checkpoint_every = value
+                        .parse()
+                        .map_err(|e| bad(format!("checkpoint_every: {e}")))?;
+                }
+                "resume" => spec.resume = parse_bool(value).map_err(bad)?,
+                "telemetry" => spec.telemetry = Some(PathBuf::from(value)),
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -199,7 +228,11 @@ impl ExperimentSpec {
 
     /// Runs the configured experiment and renders a report (one row per
     /// delay fraction, with Wilson confidence bounds).
-    pub fn run(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Propagates observability setup failures and checkpoint mismatches.
+    pub fn run(&self) -> Result<String, String> {
         let core = build_core(CoreConfig {
             ecc_regfile: self.ecc,
             fast_adder: self.fast_adder,
@@ -233,7 +266,23 @@ impl ExperimentSpec {
             delta_timing: self.delta_timing,
             lanes: self.lanes,
         };
-        let rows = delay_avf_campaign(&core.circuit, &topo, &timing, &golden, &edges, &config);
+        let obs = Observability::create(
+            self.telemetry.as_deref(),
+            self.checkpoint_dir.as_deref(),
+            self.checkpoint_every,
+            self.resume,
+        )?;
+        let label = format!("cfg-{}-{}", self.structure, self.benchmark);
+        let (rows, _stats) = run_delay_campaign(
+            &obs,
+            &label,
+            &core.circuit,
+            &topo,
+            &timing,
+            &golden,
+            &edges,
+            &config,
+        )?;
 
         let mut table = Vec::new();
         for r in &rows {
@@ -255,7 +304,7 @@ impl ExperimentSpec {
         if self.orace {
             headers.push("OrDelayAVF");
         }
-        format!(
+        Ok(format!(
             "{} / {} (ecc={}, N sampled at {}%, {} edges, {} cycles sampled)\n{}",
             self.structure,
             self.benchmark,
@@ -264,7 +313,7 @@ impl ExperimentSpec {
             edges.len(),
             golden.sampled_cycles.len(),
             delayavf::render_table(&headers, &table)
-        )
+        ))
     }
 }
 
@@ -297,6 +346,10 @@ mod tests {
             incremental = false
             delta_timing = off
             lanes = 16
+            checkpoint_dir = ckpt
+            checkpoint_every = 3
+            resume = true
+            telemetry = run.jsonl
             "#,
         )
         .unwrap();
@@ -313,6 +366,10 @@ mod tests {
         assert!(!spec.incremental);
         assert!(!spec.delta_timing);
         assert_eq!(spec.lanes, 16);
+        assert_eq!(spec.checkpoint_dir, Some(PathBuf::from("ckpt")));
+        assert_eq!(spec.checkpoint_every, 3);
+        assert!(spec.resume);
+        assert_eq!(spec.telemetry, Some(PathBuf::from("run.jsonl")));
     }
 
     #[test]
@@ -353,7 +410,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let report = spec.run();
+        let report = spec.run().unwrap();
         assert!(report.contains("DelayAVF"), "{report}");
         assert!(report.contains("95% CI"));
     }

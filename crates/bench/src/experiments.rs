@@ -3,8 +3,7 @@
 use std::fmt::Write as _;
 
 use delayavf::{
-    delay_avf_campaign, geometric_mean_floored, render_table, savf_campaign, CampaignConfig,
-    DelayAvfResult, NormalizedSeries,
+    geometric_mean_floored, render_table, CampaignConfig, DelayAvfResult, NormalizedSeries,
 };
 use delayavf_netlist::StructureStats;
 use delayavf_rvcore::{MemEnv, DEFAULT_RAM_BYTES};
@@ -12,7 +11,7 @@ use delayavf_sim::CycleSim;
 use delayavf_timing::PathHistogram;
 use delayavf_workloads::Kernel;
 
-use crate::harness::{Harness, Opts, StructureSel};
+use crate::harness::{run_delay_campaign, run_savf_campaign, Harness, Opts, StructureSel};
 
 /// A finished experiment: identifier, headline and rendered report.
 #[derive(Clone, Debug)]
@@ -45,6 +44,28 @@ const PAPER_STRUCTS: [StructureSel; 6] = [
     StructureSel::Plain("prefetch"),
 ];
 
+/// Checkpoint/telemetry label of one campaign. Content-addressed by
+/// everything that varies between the repro experiments (structure, kernel,
+/// fraction sweep, ORACE), so experiments that re-run the *same* campaign
+/// (e.g. fig7 and multibit on the ALU) share one checkpoint file — the
+/// fingerprint inside the file guarantees that sharing is sound.
+fn campaign_label(
+    prefix: &str,
+    sel: StructureSel,
+    kernel: Kernel,
+    fractions: &[f64],
+    orace: bool,
+) -> String {
+    let mut label = format!("{prefix}-{}-{}", sel.label(), kernel);
+    for f in fractions {
+        let _ = write!(label, "-d{:.0}", 100.0 * f);
+    }
+    if orace {
+        label.push_str("-orace");
+    }
+    label
+}
+
 /// Runs (and caches inside the harness via the golden runs) a full DelayAVF
 /// sweep for one structure × kernel.
 fn sweep(
@@ -54,7 +75,9 @@ fn sweep(
     opts: &Opts,
     orace: bool,
     fractions: &[f64],
-) -> Vec<DelayAvfResult> {
+) -> Result<Vec<DelayAvfResult>, String> {
+    let obs = h.obs.clone();
+    let label = campaign_label("davf", sel, kernel, fractions, orace);
     let variant = h.variant_mut(sel);
     let golden = variant.golden(kernel, opts);
     let edges = variant.edges(sel.name(), opts);
@@ -67,19 +90,22 @@ fn sweep(
         delta_timing: opts.delta_timing,
         lanes: opts.lanes,
     };
-    delay_avf_campaign(
+    Ok(run_delay_campaign(
+        &obs,
+        &label,
         &variant.core.circuit,
         &variant.topo,
         &variant.timing,
         &golden,
         &edges,
         &config,
-    )
+    )?
+    .0)
 }
 
 /// **Table I** — sizes of the examined structures (the paper's "# injected
 /// wires (E)").
-pub fn table1(h: &mut Harness) -> Experiment {
+pub fn table1(h: &mut Harness) -> Result<Experiment, String> {
     // Paper's Ibex wire counts, for side-by-side shape comparison.
     let paper: [(&str, u64); 6] = [
         ("alu", 3668),
@@ -102,7 +128,7 @@ pub fn table1(h: &mut Harness) -> Experiment {
             paper_wires.to_string(),
         ]);
     }
-    Experiment {
+    Ok(Experiment {
         id: "table1",
         title: "statistics about the examined structures".into(),
         report: render_table(
@@ -115,11 +141,11 @@ pub fn table1(h: &mut Harness) -> Experiment {
             ],
             &rows,
         ),
-    }
+    })
 }
 
 /// **Table II** — executed cycles per benchmark on the gate-level core.
-pub fn table2(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn table2(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let paper: [u64; 5] = [1720, 3829, 1051, 2448, 8903];
     let mut rows = Vec::new();
     for (kernel, paper_cycles) in Kernel::ALL.into_iter().zip(paper) {
@@ -140,15 +166,15 @@ pub fn table2(h: &mut Harness, opts: &Opts) -> Experiment {
             paper_cycles.to_string(),
         ]);
     }
-    Experiment {
+    Ok(Experiment {
         id: "table2",
         title: "number of cycles executed per benchmark".into(),
         report: render_table(&["benchmark", "# cycles (N)", "paper (Ibex)"], &rows),
-    }
+    })
 }
 
 /// **Figure 6** — path length distributions per structure.
-pub fn fig6(h: &mut Harness) -> Experiment {
+pub fn fig6(h: &mut Harness) -> Result<Experiment, String> {
     let bins = 10;
     let mut report = String::new();
     let mut rows = Vec::new();
@@ -177,16 +203,16 @@ pub fn fig6(h: &mut Harness) -> Experiment {
         &["structure", "paths ≥50% clk", "≥75% clk", "≥90% clk"],
         &rows,
     );
-    Experiment {
+    Ok(Experiment {
         id: "fig6",
         title: "path length distributions for different structures".into(),
         report: format!("{summary}{report}"),
-    }
+    })
 }
 
 /// **Figure 7** — normalized geomean DelayAVF across benchmarks for the
 /// ALU, decoder and register file, as a function of the delay duration.
-pub fn fig7(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn fig7(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let structs = [
         StructureSel::Plain("alu"),
         StructureSel::Plain("decoder"),
@@ -200,7 +226,7 @@ pub fn fig7(h: &mut Harness, opts: &Opts) -> Experiment {
         let mut per_kernel: Vec<Vec<f64>> = Vec::new();
         let mut floor = 1e-9;
         for kernel in Kernel::ALL {
-            let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS);
+            let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS)?;
             floor = 0.5 / rows[0].injections.max(1) as f64;
             per_kernel.push(rows.iter().map(DelayAvfResult::delay_avf).collect());
         }
@@ -211,16 +237,16 @@ pub fn fig7(h: &mut Harness, opts: &Opts) -> Experiment {
             .collect();
         series.push(NormalizedSeries::new(sel.label(), geo));
     }
-    Experiment {
+    Ok(Experiment {
         id: "fig7",
         title: "normalized geomean DelayAVF across structures".into(),
         report: render_series_table(&series),
-    }
+    })
 }
 
 /// **Figure 8** — component breakdown (static reach, dynamic reach,
 /// GroupACE) for (ALU, libstrstr), (regfile, libstrstr), (ALU, md5).
-pub fn fig8(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn fig8(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let cases = [
         (StructureSel::Plain("alu"), Kernel::Libstrstr),
         (StructureSel::Plain("regfile"), Kernel::Libstrstr),
@@ -228,7 +254,7 @@ pub fn fig8(h: &mut Harness, opts: &Opts) -> Experiment {
     ];
     let mut report = String::new();
     for (sel, kernel) in cases {
-        let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS);
+        let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS)?;
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -246,34 +272,34 @@ pub fn fig8(h: &mut Harness, opts: &Opts) -> Experiment {
             &table,
         ));
     }
-    Experiment {
+    Ok(Experiment {
         id: "fig8",
         title: "DelayAVF components for selected structures and benchmarks".into(),
         report,
-    }
+    })
 }
 
 /// **Figure 9** — per-benchmark normalized DelayAVF of the ALU.
-pub fn fig9(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn fig9(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let sel = StructureSel::Plain("alu");
     let mut series = Vec::new();
     for kernel in Kernel::ALL {
-        let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS);
+        let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS)?;
         series.push(NormalizedSeries::new(
             kernel.name(),
             rows.iter().map(DelayAvfResult::delay_avf).collect(),
         ));
     }
-    Experiment {
+    Ok(Experiment {
         id: "fig9",
         title: "normalized DelayAVF of the ALU across benchmarks".into(),
         report: render_series_table(&series),
-    }
+    })
 }
 
 /// **Figure 10** — sAVF vs DelayAVF for the stateful structures (geomean
 /// across benchmarks, both normalized to their own maxima).
-pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn fig10(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let structs = [
         StructureSel::Plain("regfile"),
         StructureSel::Ecc("regfile"),
@@ -290,18 +316,23 @@ pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
         let mut savfs = Vec::new();
         let mut davfs = Vec::new();
         for kernel in Kernel::ALL {
-            let davf = sweep(h, sel, kernel, opts, false, &davf_fraction)[0].delay_avf();
+            let davf = sweep(h, sel, kernel, opts, false, &davf_fraction)?[0].delay_avf();
+            let obs = h.obs.clone();
+            let label = format!("savf-{}-{}", sel.label(), kernel);
             let variant = h.variant_mut(sel);
             let golden = variant.golden(kernel, opts);
             let dffs = variant.dffs(sel.name(), opts);
-            let savf = savf_campaign(
+            let savf = run_savf_campaign(
+                &obs,
+                &label,
                 &variant.core.circuit,
                 &variant.topo,
                 &variant.timing,
                 &golden,
                 &dffs,
                 opts.replay_options(),
-            )
+            )?
+            .0
             .savf();
             savfs.push(savf);
             davfs.push(davf);
@@ -325,7 +356,7 @@ pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
             ]
         })
         .collect();
-    Experiment {
+    Ok(Experiment {
         id: "fig10",
         title: "geomean sAVF vs DelayAVF for stateful structures".into(),
         report: render_table(
@@ -338,12 +369,12 @@ pub fn fig10(h: &mut Harness, opts: &Opts) -> Experiment {
             ],
             &rows,
         ),
-    }
+    })
 }
 
 /// **Table III** — ACE interference / compounding and the OrDelayAVF
 /// approximation error at d = 90%.
-pub fn table3(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn table3(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let structs = [
         StructureSel::Plain("alu"),
         StructureSel::Plain("decoder"),
@@ -356,7 +387,7 @@ pub fn table3(h: &mut Harness, opts: &Opts) -> Experiment {
         let mut compounding = Vec::new();
         let mut rel_change = Vec::new();
         for kernel in Kernel::ALL {
-            let r = &sweep(h, sel, kernel, opts, true, &[0.9])[0];
+            let r = &sweep(h, sel, kernel, opts, true, &[0.9])?[0];
             interference.push(r.interference_pct().unwrap_or(0.0));
             compounding.push(r.compounding_pct().unwrap_or(0.0));
             rel_change.push(r.or_relative_change_pct().unwrap_or(0.0));
@@ -380,7 +411,7 @@ pub fn table3(h: &mut Harness, opts: &Opts) -> Experiment {
             format!("{r_avg:.2}"),
         ]);
     }
-    Experiment {
+    Ok(Experiment {
         id: "table3",
         title: "ACE interference/compounding and DelayAVF→OrDelayAVF change (%) at d=90%".into(),
         report: render_table(
@@ -395,13 +426,13 @@ pub fn table3(h: &mut Harness, opts: &Opts) -> Experiment {
             ],
             &rows,
         ),
-    }
+    })
 }
 
 /// **Multi-bit statistics** — the prose result of §VI-B: the fraction of
 /// error-producing SDFs whose dynamically reachable set is multi-bit,
 /// aggregated over structures and benchmarks per delay duration.
-pub fn multibit(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn multibit(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let structs = [
         StructureSel::Plain("alu"),
         StructureSel::Plain("decoder"),
@@ -411,7 +442,7 @@ pub fn multibit(h: &mut Harness, opts: &Opts) -> Experiment {
     let mut dynamic = vec![0usize; DELAY_FRACTIONS.len()];
     for sel in structs {
         for kernel in Kernel::ALL {
-            let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS);
+            let rows = sweep(h, sel, kernel, opts, false, &DELAY_FRACTIONS)?;
             for (i, r) in rows.iter().enumerate() {
                 multi[i] += r.multi_bit_hits;
                 dynamic[i] += r.dynamic_hits;
@@ -435,21 +466,21 @@ pub fn multibit(h: &mut Harness, opts: &Opts) -> Experiment {
             ]
         })
         .collect();
-    Experiment {
+    Ok(Experiment {
         id: "multibit",
         title: "fraction of state-element errors that are multi-bit".into(),
         report: render_table(
             &["d", "error-producing SDFs", "multi-bit", "% multi-bit"],
             &rows,
         ),
-    }
+    })
 }
 
 /// **Guardband ablation** (extension) — DelayAVF of the ALU as the clock
 /// period is stretched beyond the critical path. Timing guardbands are the
 /// canonical circuit-level mitigation for small delay faults: extra slack
 /// absorbs a larger `d` before any path misses the latch deadline.
-pub fn guardband(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn guardband(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     use delayavf::Injector;
     let sel = StructureSel::Plain("alu");
     let kernel = Kernel::Libstrstr;
@@ -493,12 +524,12 @@ pub fn guardband(h: &mut Harness, opts: &Opts) -> Experiment {
             format!("{:.3}%", 100.0 * ace as f64 / injections.max(1) as f64),
         ]);
     }
-    Experiment {
+    Ok(Experiment {
         id: "guardband",
         title: "mitigation ablation: clock guardband vs DelayAVF (ALU, libstrstr, fixed 60%-of-clock SDF)"
             .into(),
         report: render_table(&["guardband", "clock (ps)", "dynamic reach", "DelayAVF"], &rows),
-    }
+    })
 }
 
 /// **Adder ablation** (extension) — how the ALU's DelayAVF profile shifts
@@ -506,7 +537,7 @@ pub fn guardband(h: &mut Harness, opts: &Opts) -> Experiment {
 /// parallel-prefix adder. The prefix adder flattens the path-length
 /// distribution (Fig. 6's lever), which moves static reachability and
 /// DelayAVF.
-pub fn fastadder(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn fastadder(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let kernel = Kernel::Md5;
     let fractions = [0.3, 0.6, 0.9];
     let mut report = String::new();
@@ -521,7 +552,7 @@ pub fn fastadder(h: &mut Harness, opts: &Opts) -> Experiment {
             let hist = PathHistogram::from_edges(&v.core.circuit, &v.topo, &v.timing, &edges, 10);
             (v.timing.clock_period(), hist.fraction_at_least(0.75))
         };
-        let sweep_rows = sweep(h, sel, kernel, opts, false, &fractions);
+        let sweep_rows = sweep(h, sel, kernel, opts, false, &fractions)?;
         let mut row = vec![
             sel.label(),
             clock.to_string(),
@@ -547,30 +578,37 @@ pub fn fastadder(h: &mut Harness, opts: &Opts) -> Experiment {
             &rows,
         )
     );
-    Experiment {
+    Ok(Experiment {
         id: "fastadder",
         title: "microarchitectural ablation: ripple-carry vs Kogge–Stone ALU adder (md5)".into(),
         report,
-    }
+    })
 }
 
 /// **Sampling variance** (extension) — the same (structure, benchmark, d)
 /// cell measured under several sampling seeds, with Wilson bounds. Shows
 /// how much of a statistically-sampled DelayAVF is noise at the configured
 /// density, the caveat any statistical fault-injection result must carry.
-pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
+pub fn variance(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
     let sel = StructureSel::Plain("alu");
     let kernel = Kernel::Bubblesort;
     let mut rows = Vec::new();
     for k in 0..3u64 {
         let seeded = Opts {
             seed: opts.seed + 1000 * k,
-            ..*opts
+            ..opts.clone()
         };
+        let obs = h.obs.clone();
+        // The seed changes the golden trace, so it must be part of the
+        // label — otherwise the three runs would collide on one checkpoint
+        // file and trip its fingerprint check.
+        let label = format!("davf-variance-{}-{}-s{}", sel.label(), kernel, seeded.seed);
         let variant = h.variant_mut(sel);
         let golden = variant.golden(kernel, &seeded);
         let edges = variant.edges(sel.name(), &seeded);
-        let r = &delay_avf_campaign(
+        let r = &run_delay_campaign(
+            &obs,
+            &label,
             &variant.core.circuit,
             &variant.topo,
             &variant.timing,
@@ -585,7 +623,8 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
                 delta_timing: seeded.delta_timing,
                 lanes: seeded.lanes,
             },
-        )[0];
+        )?
+        .0[0];
         let (lo, hi) = r.delay_avf_interval();
         rows.push(vec![
             seeded.seed.to_string(),
@@ -594,11 +633,11 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Experiment {
             format!("[{lo:.5}, {hi:.5}]"),
         ]);
     }
-    Experiment {
+    Ok(Experiment {
         id: "variance",
         title: "sampling variance of DelayAVF (ALU, bubblesort, d=80%, three seeds)".into(),
         report: render_table(&["seed", "injections", "DelayAVF", "95% CI"], &rows),
-    }
+    })
 }
 
 fn render_series_table(series: &[NormalizedSeries]) -> String {
@@ -640,12 +679,12 @@ mod tests {
     #[test]
     fn static_experiments_render() {
         let mut h = Harness::build();
-        let t1 = table1(&mut h);
+        let t1 = table1(&mut h).unwrap();
         assert_eq!(t1.report.lines().count(), 8, "header + rule + 6 rows");
         assert!(t1.report.contains("regfile (ECC)"));
         assert!(t1.to_string().contains("table1"));
 
-        let f6 = fig6(&mut h);
+        let f6 = fig6(&mut h).unwrap();
         assert!(f6.report.contains("alu"));
         assert!(f6.report.contains("of clock"));
     }
@@ -654,7 +693,7 @@ mod tests {
     fn table2_runs_the_tiny_suite() {
         let mut h = Harness::build();
         let opts = Opts::quick();
-        let t2 = table2(&mut h, &opts);
+        let t2 = table2(&mut h, &opts).unwrap();
         for kernel in Kernel::ALL {
             assert!(t2.report.contains(kernel.name()), "{}", kernel);
         }
@@ -664,11 +703,23 @@ mod tests {
     fn quick_campaign_experiment_is_consistent() {
         let mut h = Harness::build();
         let opts = Opts::quick();
-        let f8 = fig8(&mut h, &opts);
+        let f8 = fig8(&mut h, &opts).unwrap();
         assert!(f8.report.contains("[alu / libstrstr]"));
         assert!(f8.report.contains("GroupACE"));
         // Re-running with the same options is deterministic.
-        let again = fig8(&mut h, &opts);
+        let again = fig8(&mut h, &opts).unwrap();
         assert_eq!(f8.report, again.report);
+    }
+
+    #[test]
+    fn campaign_labels_are_content_addressed() {
+        let label = campaign_label(
+            "davf",
+            StructureSel::Ecc("regfile"),
+            Kernel::Md5,
+            &[0.3, 0.9],
+            true,
+        );
+        assert_eq!(label, "davf-regfile (ECC)-md5-d30-d90-orace");
     }
 }

@@ -1,16 +1,23 @@
 //! Shared harness: cores, timing models, golden runs and sampling options.
 
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use delayavf::{prepare_golden_seeded, sample_edges, GoldenRun};
-use delayavf_netlist::{DffId, EdgeId, Topology};
+use delayavf::{
+    delay_avf_campaign_observed, prepare_golden_seeded, sample_edges, savf_campaign_observed,
+    CampaignConfig, CheckpointSpec, DelayAvfResult, GoldenRun, InjectorStats, JsonlTelemetry,
+    ReplayOptions, RunContext, SavfResult, NULL_TELEMETRY,
+};
+use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
 use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::Environment;
 use delayavf_timing::{TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
 
 /// Sampling and scale options for an experiment run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Opts {
     /// Number of stratified-random injection cycles per benchmark.
     pub cycles: usize,
@@ -41,6 +48,19 @@ pub struct Opts {
     /// for every value; `1` runs the exact scalar baseline (the `--lanes 1`
     /// escape hatch).
     pub lanes: usize,
+    /// Directory for crash-safe campaign checkpoints (`--checkpoint-dir`).
+    /// `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Flush the checkpoint after every this many completed work units
+    /// (`--checkpoint-every`, default 1).
+    pub checkpoint_every: usize,
+    /// Resume from existing checkpoints instead of starting fresh
+    /// (`--resume`). Missing checkpoint files fall back to a fresh start;
+    /// mismatched ones are a hard error.
+    pub resume: bool,
+    /// Append structured JSONL telemetry to this file (`--telemetry`).
+    /// `None` disables the stream at zero cost.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -56,6 +76,10 @@ impl Default for Opts {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            telemetry: None,
         }
     }
 }
@@ -81,6 +105,195 @@ impl Opts {
             scale: Scale::Tiny,
             ..Opts::default()
         }
+    }
+}
+
+/// Runtime observability handle shared by every campaign of a run: one
+/// JSONL telemetry stream (so timestamps stay monotone across experiments)
+/// plus the checkpoint policy. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct Observability {
+    /// The shared telemetry sink, if `--telemetry` was given.
+    pub telemetry: Option<Arc<JsonlTelemetry<File>>>,
+    /// Checkpoint directory, if `--checkpoint-dir` was given.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Units between checkpoint flushes.
+    pub checkpoint_every: usize,
+    /// Resume from existing checkpoint files.
+    pub resume: bool,
+}
+
+impl std::fmt::Debug for Observability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observability")
+            .field("telemetry", &self.telemetry.is_some())
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume)
+            .finish()
+    }
+}
+
+impl Observability {
+    /// Builds the run-wide handle from the parsed options: opens (appends
+    /// to) the telemetry file and creates the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the telemetry file or checkpoint directory
+    /// cannot be created.
+    pub fn from_opts(opts: &Opts) -> Result<Self, String> {
+        Observability::create(
+            opts.telemetry.as_deref(),
+            opts.checkpoint_dir.as_deref(),
+            opts.checkpoint_every,
+            opts.resume,
+        )
+    }
+
+    /// Like [`Observability::from_opts`], from bare paths (used by the
+    /// configuration-file runner).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the telemetry file or checkpoint directory
+    /// cannot be created.
+    pub fn create(
+        telemetry: Option<&std::path::Path>,
+        checkpoint_dir: Option<&std::path::Path>,
+        checkpoint_every: usize,
+        resume: bool,
+    ) -> Result<Self, String> {
+        let telemetry = match telemetry {
+            Some(path) => {
+                let file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot open telemetry file `{}`: {e}", path.display()))?;
+                Some(Arc::new(JsonlTelemetry::new(file)))
+            }
+            None => None,
+        };
+        if let Some(dir) = checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir `{}`: {e}", dir.display()))?;
+        }
+        Ok(Observability {
+            telemetry,
+            checkpoint_dir: checkpoint_dir.map(Into::into),
+            checkpoint_every,
+            resume,
+        })
+    }
+
+    /// The checkpoint spec for a campaign label (`None` when checkpointing
+    /// is off). The label is slugged into a file name; distinct campaigns
+    /// use distinct labels, and the checkpoint fingerprint catches any
+    /// residual collision as a hard `checkpoint mismatch`.
+    pub fn spec(&self, label: &str) -> Option<CheckpointSpec> {
+        self.checkpoint_dir.as_ref().map(|dir| {
+            CheckpointSpec::new(
+                dir.join(format!("{}.ckpt", slug(label))),
+                self.checkpoint_every,
+                self.resume,
+            )
+        })
+    }
+}
+
+/// File-name slug: lowercase alphanumerics, everything else collapsed to
+/// single dashes.
+fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_owned()
+}
+
+/// Runs a DelayAVF sweep through the observed entry point, dispatching on
+/// whether telemetry is enabled (two monomorphizations — the disabled one
+/// is exactly the pre-observability code path).
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O and `checkpoint mismatch` errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_delay_campaign<E: Environment + Clone>(
+    obs: &Observability,
+    label: &str,
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+) -> Result<(Vec<DelayAvfResult>, InjectorStats), String> {
+    let spec = obs.spec(label);
+    match &obs.telemetry {
+        Some(sink) => delay_avf_campaign_observed(
+            circuit,
+            topo,
+            timing,
+            golden,
+            edges,
+            config,
+            &RunContext::new(sink.as_ref(), spec),
+        ),
+        None => delay_avf_campaign_observed(
+            circuit,
+            topo,
+            timing,
+            golden,
+            edges,
+            config,
+            &RunContext::new(&NULL_TELEMETRY, spec),
+        ),
+    }
+}
+
+/// Runs an sAVF strike campaign through the observed entry point; see
+/// [`run_delay_campaign`].
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O and `checkpoint mismatch` errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_savf_campaign<E: Environment + Clone>(
+    obs: &Observability,
+    label: &str,
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+) -> Result<(SavfResult, InjectorStats), String> {
+    let spec = obs.spec(label);
+    match &obs.telemetry {
+        Some(sink) => savf_campaign_observed(
+            circuit,
+            topo,
+            timing,
+            golden,
+            dffs,
+            opts,
+            &RunContext::new(sink.as_ref(), spec),
+        ),
+        None => savf_campaign_observed(
+            circuit,
+            topo,
+            timing,
+            golden,
+            dffs,
+            opts,
+            &RunContext::new(&NULL_TELEMETRY, spec),
+        ),
     }
 }
 
@@ -201,6 +414,9 @@ pub struct Harness {
     pub ecc: Variant,
     /// Core with the Kogge–Stone ALU adder.
     pub fast: Variant,
+    /// Run-wide observability (telemetry stream + checkpoint policy);
+    /// disabled by default.
+    pub obs: Observability,
 }
 
 impl Harness {
@@ -216,6 +432,7 @@ impl Harness {
                 fast_adder: true,
                 ..CoreConfig::default()
             }),
+            obs: Observability::default(),
         }
     }
 
@@ -232,6 +449,25 @@ impl Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn observability_specs_slug_labels() {
+        let obs = Observability {
+            checkpoint_dir: Some(PathBuf::from("/tmp/ckpt")),
+            checkpoint_every: 4,
+            resume: true,
+            ..Observability::default()
+        };
+        let spec = obs.spec("davf-regfile (ECC)-md5").expect("dir configured");
+        assert_eq!(
+            spec.path,
+            PathBuf::from("/tmp/ckpt/davf-regfile-ecc-md5.ckpt")
+        );
+        assert_eq!(spec.every, 4);
+        assert!(spec.resume);
+        assert!(Observability::default().spec("x").is_none());
+        assert_eq!(slug("--A  b!!"), "a-b");
+    }
 
     #[test]
     fn structure_selectors_label_and_name() {

@@ -20,4 +20,6 @@ pub use experiments::{
     fastadder, fig10, fig6, fig7, fig8, fig9, guardband, multibit, table1, table2, table3,
     variance, Experiment,
 };
-pub use harness::{Harness, Opts, StructureSel};
+pub use harness::{
+    run_delay_campaign, run_savf_campaign, Harness, Observability, Opts, StructureSel,
+};

@@ -47,16 +47,22 @@
 //! partition, which is harmless because it exposes no stats — its results
 //! are still bit-for-bit deterministic.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
 use delayavf_sim::{Environment, MAX_LANES};
 use delayavf_timing::{Picos, TimingModel};
 
+use crate::checkpoint::{CheckpointSpec, CheckpointStore, Fingerprint, Tokens};
 use crate::golden::GoldenRun;
 use crate::injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 use crate::razor::InjectionRecord;
 use crate::result::{DelayAvfResult, OraceStats, SavfResult};
+use crate::telemetry::{NullTelemetry, PhaseTotals, TelemetryEvent, TelemetrySink, NULL_TELEMETRY};
 
 /// Replay-engine options shared by the particle-strike campaign entry
 /// points (the DelayAVF sweeps carry the same knobs in
@@ -260,28 +266,622 @@ fn resolve_threads(requested: usize, items: usize) -> usize {
 
 /// Runs `work` over contiguous shards of `items` on scoped threads and
 /// returns the per-shard results **in shard order** (which is what makes
-/// order-sensitive merges — record concatenation — deterministic).
+/// order-sensitive merges — record concatenation — deterministic). The
+/// closure additionally receives its shard index, which the observability
+/// layer stamps into heartbeats.
 fn run_sharded<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
-    F: Fn(&[T]) -> R + Sync,
+    F: Fn(usize, &[T]) -> R + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
-        return vec![work(items)];
+        return vec![work(0, items)];
     }
     let shard_len = items.len().div_ceil(threads);
     thread::scope(|scope| {
         let work = &work;
         let handles: Vec<_> = items
             .chunks(shard_len)
-            .map(|shard| scope.spawn(move || work(shard)))
+            .enumerate()
+            .map(|(i, shard)| scope.spawn(move || work(i, shard)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("campaign worker panicked"))
             .collect()
     })
+}
+
+/// Observability context threaded through the `*_observed` campaign entry
+/// points: a telemetry sink plus an optional checkpoint spec. The plain
+/// entry points are thin wrappers over [`RunContext::disabled`], which
+/// monomorphizes every observability branch away.
+#[derive(Clone, Debug)]
+pub struct RunContext<'t, S: TelemetrySink = NullTelemetry> {
+    /// Where structured events go. Use [`crate::NULL_TELEMETRY`] (via
+    /// [`RunContext::disabled`]) for a zero-cost disabled stream.
+    pub telemetry: &'t S,
+    /// Periodic crash-safe checkpointing, if any.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl RunContext<'static, NullTelemetry> {
+    /// No telemetry, no checkpointing: campaigns run exactly the
+    /// pre-observability code paths.
+    pub fn disabled() -> Self {
+        RunContext {
+            telemetry: &NULL_TELEMETRY,
+            checkpoint: None,
+        }
+    }
+}
+
+impl Default for RunContext<'static, NullTelemetry> {
+    fn default() -> Self {
+        RunContext::disabled()
+    }
+}
+
+impl<'t, S: TelemetrySink> RunContext<'t, S> {
+    /// A context emitting to `telemetry`, optionally checkpointing.
+    pub fn new(telemetry: &'t S, checkpoint: Option<CheckpointSpec>) -> Self {
+        RunContext {
+            telemetry,
+            checkpoint,
+        }
+    }
+}
+
+/// Digest of everything that determines a campaign's *results*: the
+/// campaign kind, circuit size, clock period, the golden trace content at
+/// every unit cycle, the injected item list and the sweep parameters. Two
+/// campaigns with equal fingerprints produce identical reports, so resumed
+/// units can be trusted; anything else is a `checkpoint mismatch`.
+#[allow(clippy::too_many_arguments)]
+fn campaign_fingerprint<E: Environment + Clone>(
+    kind: &str,
+    circuit: &Circuit,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    cycles: &[u64],
+    items: &[usize],
+    fractions: &[f64],
+    due_slack: u64,
+    orace: bool,
+) -> u64 {
+    let mut f = Fingerprint::new();
+    f.write_bytes(kind.as_bytes());
+    f.write_usize(circuit.num_dffs());
+    f.write_u64(timing.clock_period());
+    let trace = &golden.trace;
+    f.write_u64(trace.num_cycles());
+    f.write_bool(trace.halted());
+    f.write_bytes(trace.program_output());
+    f.write_usize(cycles.len());
+    for &cy in cycles {
+        f.write_u64(cy);
+        for &word in trace.state_at(cy) {
+            f.write_u64(word);
+        }
+    }
+    f.write_usize(items.len());
+    for &i in items {
+        f.write_usize(i);
+    }
+    f.write_usize(fractions.len());
+    for &fr in fractions {
+        f.write_f64(fr);
+    }
+    f.write_u64(due_slack);
+    f.write_bool(orace);
+    f.finish()
+}
+
+/// Digest of the engine knobs that shape the *counters* without changing
+/// results: `lanes`, `incremental` and `delta_timing` all leave reports
+/// byte-identical but move work between counters, so a checkpoint written
+/// under one knob set cannot be merged under another without breaking the
+/// stats-identity guarantee. `threads` is deliberately absent — every
+/// counter is thread-count invariant, which is exactly what lets an
+/// interrupted 8-thread campaign resume on 2 threads.
+fn knob_hash(lanes: usize, incremental: bool, delta_timing: bool) -> u64 {
+    let mut f = Fingerprint::new();
+    f.write_usize(lanes);
+    f.write_bool(incremental);
+    f.write_bool(delta_timing);
+    f.finish()
+}
+
+/// The opened (or absent) checkpoint side of one observed campaign run.
+struct ObservedSetup {
+    store: Option<Mutex<CheckpointStore>>,
+    /// Snapshot of the resumed units, readable without locking the store.
+    resumed: BTreeMap<u64, String>,
+}
+
+fn open_store(
+    checkpoint: &Option<CheckpointSpec>,
+    kind: &str,
+    fingerprint: u64,
+    knobs: u64,
+) -> Result<ObservedSetup, String> {
+    match checkpoint {
+        None => Ok(ObservedSetup {
+            store: None,
+            resumed: BTreeMap::new(),
+        }),
+        Some(spec) => {
+            let store = CheckpointStore::open(spec, kind, fingerprint, knobs)?;
+            let resumed = store.resumed_units().clone();
+            Ok(ObservedSetup {
+                store: Some(Mutex::new(store)),
+                resumed,
+            })
+        }
+    }
+}
+
+/// Minimum spacing of intermediate heartbeats (a shard's first and last
+/// units always beat).
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Per-worker observability state: emits heartbeats/stats deltas, records
+/// completed units into the shared checkpoint store, and accumulates the
+/// shard's phase timers. All clock reads are gated on `S::ENABLED`, so a
+/// disabled sink never touches a clock.
+struct ShardObserver<'a, S: TelemetrySink> {
+    telemetry: &'a S,
+    store: Option<&'a Mutex<CheckpointStore>>,
+    shard: usize,
+    total: usize,
+    done: usize,
+    started: Option<Instant>,
+    last_beat: Option<Instant>,
+    pending_stats: InjectorStats,
+    phases: PhaseTotals,
+}
+
+impl<'a, S: TelemetrySink> ShardObserver<'a, S> {
+    fn new(
+        telemetry: &'a S,
+        store: Option<&'a Mutex<CheckpointStore>>,
+        shard: usize,
+        total: usize,
+    ) -> Self {
+        ShardObserver {
+            telemetry,
+            store,
+            shard,
+            total,
+            done: 0,
+            started: S::ENABLED.then(Instant::now),
+            last_beat: None,
+            pending_stats: InjectorStats::default(),
+            phases: PhaseTotals::default(),
+        }
+    }
+
+    /// Marks one unit complete: persists `payload` (fresh units only;
+    /// resumed units are already in the store) and emits heartbeat +
+    /// stats-delta events when due.
+    fn unit_done(
+        &mut self,
+        key: u64,
+        payload: Option<String>,
+        stats_delta: Option<&InjectorStats>,
+    ) -> Result<(), String> {
+        self.done += 1;
+        if let (Some(store), Some(payload)) = (self.store, payload) {
+            let mut store = store
+                .lock()
+                .map_err(|_| "checkpoint store poisoned".to_string())?;
+            let flushed = store.record(key, payload)?;
+            if S::ENABLED && flushed {
+                let completed_units = store.completed();
+                drop(store);
+                self.telemetry
+                    .emit(&TelemetryEvent::CheckpointFlush { completed_units });
+            }
+        }
+        if S::ENABLED {
+            if let Some(delta) = stats_delta {
+                self.pending_stats.merge(delta);
+            }
+            let now = Instant::now();
+            let due = self.done == 1
+                || self.done == self.total
+                || self
+                    .last_beat
+                    .is_none_or(|t| now.duration_since(t) >= HEARTBEAT_INTERVAL);
+            if due {
+                self.last_beat = Some(now);
+                let elapsed = self
+                    .started
+                    .map_or(0.0, |s| now.duration_since(s).as_secs_f64());
+                let units_per_sec = if elapsed > 0.0 {
+                    self.done as f64 / elapsed
+                } else {
+                    0.0
+                };
+                let eta_s = if units_per_sec > 0.0 {
+                    (self.total - self.done) as f64 / units_per_sec
+                } else {
+                    0.0
+                };
+                self.telemetry.emit(&TelemetryEvent::ShardHeartbeat {
+                    shard: self.shard,
+                    done: self.done,
+                    total: self.total,
+                    units_per_sec,
+                    eta_s,
+                });
+                if stats_delta.is_some() {
+                    self.telemetry.emit(&TelemetryEvent::StatsDelta {
+                        shard: self.shard,
+                        stats: self.pending_stats,
+                    });
+                    self.pending_stats = InjectorStats::default();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the shard's phase-timer totals (once, when the shard ends).
+    fn finish(self) {
+        if S::ENABLED {
+            self.telemetry.emit(&TelemetryEvent::PhaseTimers {
+                shard: self.shard,
+                phases: self.phases,
+            });
+        }
+    }
+}
+
+/// Runs `f`, adding its wall-clock microseconds to `acc` when `enabled`.
+/// The disabled branch is the bare call — no clock read at all.
+fn timed<T>(enabled: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    if enabled {
+        let t0 = Instant::now();
+        let r = f();
+        *acc += t0.elapsed().as_micros() as u64;
+        r
+    } else {
+        f()
+    }
+}
+
+/// Emits a `campaign_start`, runs `body`, emits the matching
+/// `campaign_end`, and performs the final checkpoint flush.
+fn observe_campaign<R, S: TelemetrySink>(
+    ctx: &RunContext<'_, S>,
+    setup: &ObservedSetup,
+    campaign: &str,
+    units: usize,
+    threads: usize,
+    body: impl FnOnce() -> Result<R, String>,
+) -> Result<R, String> {
+    let t0 = S::ENABLED.then(Instant::now);
+    if S::ENABLED {
+        ctx.telemetry.emit(&TelemetryEvent::CampaignStart {
+            campaign,
+            units,
+            threads,
+            resumed_units: setup.resumed.len(),
+        });
+    }
+    let result = body()?;
+    if let Some(store) = &setup.store {
+        store
+            .lock()
+            .map_err(|_| "checkpoint store poisoned".to_string())?
+            .flush()?;
+    }
+    if S::ENABLED {
+        let wall_ms = t0.map_or(0, |t| t.elapsed().as_millis() as u64);
+        ctx.telemetry.emit(&TelemetryEvent::CampaignEnd {
+            campaign,
+            units,
+            wall_ms,
+        });
+    }
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint unit-payload codecs. One line per completed unit; whitespace
+// tokens only (see the checkpoint module docs for the file format).
+// ---------------------------------------------------------------------------
+
+fn encode_class(class: FailureClass) -> char {
+    match class {
+        FailureClass::Masked => 'M',
+        FailureClass::Sdc => 'S',
+        FailureClass::Due => 'D',
+    }
+}
+
+fn decode_class(tok: char) -> Result<FailureClass, String> {
+    match tok {
+        'M' => Ok(FailureClass::Masked),
+        'S' => Ok(FailureClass::Sdc),
+        'D' => Ok(FailureClass::Due),
+        other => Err(format!(
+            "checkpoint parse error: bad failure class `{other}`"
+        )),
+    }
+}
+
+fn encode_stats(out: &mut String, s: &InjectorStats) {
+    let _ = write!(
+        out,
+        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        s.static_filtered,
+        s.toggle_filtered,
+        s.event_sims,
+        s.replays,
+        s.replay_cache_hits,
+        s.replay_cycles,
+        s.gates_evaluated,
+        s.incremental_replays,
+        s.full_replay_fallbacks,
+        s.batched_replays,
+        s.lanes_occupied,
+        s.lane_slots,
+        s.golden_waveform_builds,
+        s.delta_events,
+        s.delta_early_exits,
+        s.full_event_fallbacks
+    );
+}
+
+fn decode_stats(t: &mut Tokens<'_>) -> Result<InjectorStats, String> {
+    t.expect("stats")?;
+    Ok(InjectorStats {
+        static_filtered: t.next_u64("static_filtered")?,
+        toggle_filtered: t.next_u64("toggle_filtered")?,
+        event_sims: t.next_u64("event_sims")?,
+        replays: t.next_u64("replays")?,
+        replay_cache_hits: t.next_u64("replay_cache_hits")?,
+        replay_cycles: t.next_u64("replay_cycles")?,
+        gates_evaluated: t.next_u64("gates_evaluated")?,
+        incremental_replays: t.next_u64("incremental_replays")?,
+        full_replay_fallbacks: t.next_u64("full_replay_fallbacks")?,
+        batched_replays: t.next_u64("batched_replays")?,
+        lanes_occupied: t.next_u64("lanes_occupied")?,
+        lane_slots: t.next_u64("lane_slots")?,
+        golden_waveform_builds: t.next_u64("golden_waveform_builds")?,
+        delta_events: t.next_u64("delta_events")?,
+        delta_early_exits: t.next_u64("delta_early_exits")?,
+        full_event_fallbacks: t.next_u64("full_event_fallbacks")?,
+    })
+}
+
+fn encode_failures(out: &mut String, entries: &[(Vec<DffId>, FailureClass)]) {
+    let _ = write!(out, " fc {}", entries.len());
+    for (set, class) in entries {
+        let _ = write!(out, " {} {}", encode_class(*class), set.len());
+        for d in set {
+            let _ = write!(out, " {}", d.index());
+        }
+    }
+}
+
+fn decode_failures(t: &mut Tokens<'_>) -> Result<Vec<(Vec<DffId>, FailureClass)>, String> {
+    t.expect("fc")?;
+    let k = t.next_usize("failure-cache entry count")?;
+    let mut entries = Vec::with_capacity(k);
+    for _ in 0..k {
+        let class_tok = t.next_str("failure class")?;
+        let mut chars = class_tok.chars();
+        let class = decode_class(chars.next().unwrap_or(' '))?;
+        if chars.next().is_some() {
+            return Err(format!(
+                "checkpoint parse error: bad failure class `{class_tok}`"
+            ));
+        }
+        let len = t.next_usize("flip-set length")?;
+        let mut set = Vec::with_capacity(len);
+        for _ in 0..len {
+            set.push(DffId::from_index(t.next_usize("flip-set dff")?));
+        }
+        entries.push((set, class));
+    }
+    Ok(entries)
+}
+
+fn encode_delay_unit(
+    rows: &[DelayAvfResult],
+    stats: &InjectorStats,
+    failures: &[(Vec<DffId>, FailureClass)],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "rows {}", rows.len());
+    for r in rows {
+        let _ = write!(
+            out,
+            " {} {} {} {} {} {} {}",
+            r.injections,
+            r.static_hits,
+            r.dynamic_hits,
+            r.delay_ace_hits,
+            r.sdc_hits,
+            r.due_hits,
+            r.multi_bit_hits
+        );
+        if let Some(o) = &r.orace {
+            let _ = write!(out, " {} {} {}", o.or_hits, o.interference, o.compounding);
+        }
+    }
+    encode_stats(&mut out, stats);
+    encode_failures(&mut out, failures);
+    out
+}
+
+type DelayUnit = (
+    Vec<DelayAvfResult>,
+    InjectorStats,
+    Vec<(Vec<DffId>, FailureClass)>,
+);
+
+fn decode_delay_unit(payload: &str, config: &CampaignConfig) -> Result<DelayUnit, String> {
+    let mut t = Tokens::new(payload);
+    t.expect("rows")?;
+    let n = t.next_usize("row count")?;
+    if n != config.delay_fractions.len() {
+        return Err(format!(
+            "checkpoint parse error: {n} rows != {} configured fractions",
+            config.delay_fractions.len()
+        ));
+    }
+    let mut rows = empty_rows(config);
+    for row in &mut rows {
+        row.injections = t.next_usize("injections")?;
+        row.static_hits = t.next_usize("static_hits")?;
+        row.dynamic_hits = t.next_usize("dynamic_hits")?;
+        row.delay_ace_hits = t.next_usize("delay_ace_hits")?;
+        row.sdc_hits = t.next_usize("sdc_hits")?;
+        row.due_hits = t.next_usize("due_hits")?;
+        row.multi_bit_hits = t.next_usize("multi_bit_hits")?;
+        if let Some(o) = row.orace.as_mut() {
+            o.or_hits = t.next_usize("or_hits")?;
+            o.interference = t.next_usize("interference")?;
+            o.compounding = t.next_usize("compounding")?;
+        }
+    }
+    let stats = decode_stats(&mut t)?;
+    let failures = decode_failures(&mut t)?;
+    if !t.finished() {
+        return Err("checkpoint parse error: trailing payload tokens".into());
+    }
+    Ok((rows, stats, failures))
+}
+
+fn encode_savf_unit(
+    result: &SavfResult,
+    stats: &InjectorStats,
+    failures: &[(Vec<DffId>, FailureClass)],
+) -> String {
+    let mut out = format!("{} {}", result.injections, result.ace_hits);
+    encode_stats(&mut out, stats);
+    encode_failures(&mut out, failures);
+    out
+}
+
+type SavfUnit = (SavfResult, InjectorStats, Vec<(Vec<DffId>, FailureClass)>);
+
+fn decode_savf_unit(payload: &str) -> Result<SavfUnit, String> {
+    let mut t = Tokens::new(payload);
+    let result = SavfResult {
+        injections: t.next_usize("injections")?,
+        ace_hits: t.next_usize("ace_hits")?,
+    };
+    let stats = decode_stats(&mut t)?;
+    let failures = decode_failures(&mut t)?;
+    if !t.finished() {
+        return Err("checkpoint parse error: trailing payload tokens".into());
+    }
+    Ok((result, stats, failures))
+}
+
+fn encode_records_unit(
+    records: &[InjectionRecord],
+    failures: &[(Vec<DffId>, FailureClass)],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "rec {}", records.len());
+    for r in records {
+        let _ = write!(
+            out,
+            " {} {} {} {}",
+            r.edge.index(),
+            r.outcome.statically_reachable,
+            encode_class(r.outcome.class),
+            r.outcome.dynamic_set.len()
+        );
+        for d in &r.outcome.dynamic_set {
+            let _ = write!(out, " {}", d.index());
+        }
+    }
+    encode_failures(&mut out, failures);
+    out
+}
+
+type RecordsUnit = (Vec<InjectionRecord>, Vec<(Vec<DffId>, FailureClass)>);
+
+fn decode_records_unit(payload: &str, cycle: u64) -> Result<RecordsUnit, String> {
+    let mut t = Tokens::new(payload);
+    t.expect("rec")?;
+    let m = t.next_usize("record count")?;
+    let mut records = Vec::with_capacity(m);
+    for _ in 0..m {
+        let edge = EdgeId::from_index(t.next_usize("record edge")?);
+        let statically_reachable = t.next_usize("statically reachable count")?;
+        let class_tok = t.next_str("record class")?;
+        let class = decode_class(class_tok.chars().next().unwrap_or(' '))?;
+        let len = t.next_usize("dynamic-set length")?;
+        let mut dynamic_set = Vec::with_capacity(len);
+        for _ in 0..len {
+            dynamic_set.push(DffId::from_index(t.next_usize("dynamic-set dff")?));
+        }
+        records.push(InjectionRecord {
+            cycle,
+            edge,
+            outcome: InjectionOutcome {
+                statically_reachable,
+                dynamic_set,
+                visible: class.is_visible(),
+                class,
+            },
+        });
+    }
+    let failures = decode_failures(&mut t)?;
+    if !t.finished() {
+        return Err("checkpoint parse error: trailing payload tokens".into());
+    }
+    Ok((records, failures))
+}
+
+/// Per-bit payloads store each cycle's classification as one character,
+/// with a leading `.` so an empty cycle list still yields a token.
+fn encode_per_bit_unit<E: Environment + Clone>(
+    injector: &Injector<'_, E>,
+    dff: DffId,
+    cycles: &[u64],
+) -> String {
+    let mut out = String::from("cls .");
+    for &cycle in cycles {
+        let class = injector
+            .cached_failure(cycle, &[dff])
+            .expect("per-bit unit was just classified");
+        out.push(encode_class(class));
+    }
+    out
+}
+
+fn decode_per_bit_unit(payload: &str, cycles: &[u64]) -> Result<Vec<FailureClass>, String> {
+    let mut t = Tokens::new(payload);
+    t.expect("cls")?;
+    let tok = t.next_str("class string")?;
+    let body = tok
+        .strip_prefix('.')
+        .ok_or_else(|| format!("checkpoint parse error: bad class string `{tok}`"))?;
+    let classes: Vec<FailureClass> = body.chars().map(decode_class).collect::<Result<_, _>>()?;
+    if classes.len() != cycles.len() || !t.finished() {
+        return Err(format!(
+            "checkpoint parse error: {} classes != {} cycles",
+            classes.len(),
+            cycles.len()
+        ));
+    }
+    Ok(classes)
+}
+
+fn merge_rows(into: &mut [DelayAvfResult], from: &[DelayAvfResult]) {
+    for (row, part) in into.iter_mut().zip(from) {
+        row.merge(part);
+    }
 }
 
 /// Folds one injection outcome into a result row (shared by the sweep and
@@ -320,38 +920,40 @@ fn empty_rows(config: &CampaignConfig) -> Vec<DelayAvfResult> {
         .collect()
 }
 
-/// Worker body of [`delay_avf_campaign`]: the full sweep restricted to one
-/// shard of cycles, with a private injector.
-fn delay_sweep_shard<E: Environment + Clone>(
-    circuit: &Circuit,
-    topo: &Topology,
+/// One DelayAVF work unit: the full fraction sweep at a single trace
+/// cycle. Cycle-outer iteration makes every unit's contribution (row
+/// deltas, counter deltas, the failure-cache entries at boundary
+/// `cycle + 1`) independent of which other units ran — the invariant the
+/// checkpoint layer builds on — and lets all fractions share one golden
+/// waveform build and one cycle reconstruction.
+fn delay_sweep_unit<E: Environment + Clone>(
+    injector: &mut Injector<'_, E>,
     timing: &TimingModel,
-    golden: &GoldenRun<E>,
     edges: &[EdgeId],
     config: &CampaignConfig,
-    cycles: &[u64],
-) -> (Vec<DelayAvfResult>, InjectorStats) {
-    let mut injector = shard_injector(
-        circuit,
-        topo,
-        timing,
-        golden,
-        config.due_slack,
-        config.incremental,
-        config.delta_timing,
-        config.lanes,
-    );
+    cycle: u64,
+    time_phases: bool,
+    phases: &mut PhaseTotals,
+) -> Vec<DelayAvfResult> {
     let mut rows = empty_rows(config);
+    // Golden-settle phase: reconstruct the cycle context once for every
+    // fraction and edge injected here (touches no counters, so timing it
+    // separately cannot perturb the deterministic report path).
+    timed(time_phases, &mut phases.golden_settle_us, || {
+        injector.warm_cycle_data(cycle)
+    });
     for (fi, &fraction) in config.delay_fractions.iter().enumerate() {
         let extra = fraction_to_picos(timing, fraction);
-        let mut orace = OraceStats::default();
-        for &cycle in cycles {
-            // Phase 1 (timing-aware): every edge's dynamically reachable
-            // set for this cycle.
-            let parts: Vec<(usize, Vec<DffId>)> = edges
-                .iter()
-                .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
-                .collect();
+        // Phase 1 (timing-aware): every edge's dynamically reachable set
+        // for this cycle.
+        let parts: Vec<(usize, Vec<DffId>)> =
+            timed(time_phases, &mut phases.timing_step_us, || {
+                edges
+                    .iter()
+                    .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
+                    .collect()
+            });
+        timed(time_phases, &mut phases.replay_us, || {
             // Phase 2: batch the whole boundary's replays — group sets and,
             // for ORACE, the individual bits they contain.
             injector.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
@@ -370,23 +972,21 @@ fn delay_sweep_shard<E: Environment + Clone>(
                 tally(&mut rows[fi], &outcome);
                 if config.compute_orace && !outcome.dynamic_set.is_empty() {
                     let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);
+                    let o = rows[fi].orace.as_mut().expect("orace rows configured");
                     if or {
-                        orace.or_hits += 1;
+                        o.or_hits += 1;
                     }
                     if or && !outcome.visible {
-                        orace.interference += 1;
+                        o.interference += 1;
                     }
                     if !or && outcome.visible {
-                        orace.compounding += 1;
+                        o.compounding += 1;
                     }
                 }
             }
-        }
-        if config.compute_orace {
-            rows[fi].orace = Some(orace);
-        }
+        });
     }
-    (rows, injector.stats)
+    rows
 }
 
 /// Runs a DelayAVF sweep: every sampled cycle × every given edge × every
@@ -418,20 +1018,114 @@ pub fn delay_avf_campaign_with_stats<E: Environment + Clone>(
     edges: &[EdgeId],
     config: &CampaignConfig,
 ) -> (Vec<DelayAvfResult>, InjectorStats) {
+    delay_avf_campaign_observed(
+        circuit,
+        topo,
+        timing,
+        golden,
+        edges,
+        config,
+        &RunContext::disabled(),
+    )
+    .expect("campaign without checkpointing is infallible")
+}
+
+/// [`delay_avf_campaign_with_stats`] under a [`RunContext`]: emits the
+/// structured telemetry stream and, when a checkpoint is configured,
+/// periodically snapshots completed cycle units and/or resumes from a
+/// previous snapshot. Resumed runs produce byte-identical reports and
+/// identical merged stats to uninterrupted ones for any
+/// `threads × lanes × delta_timing` combination (the knob hash rejects
+/// resumes across `lanes`/`incremental`/`delta_timing` changes, which
+/// would silently break the *stats* identity; `threads` may change
+/// freely).
+///
+/// # Errors
+///
+/// Fails on checkpoint I/O errors and on resuming against a mismatched or
+/// corrupt checkpoint file (`checkpoint mismatch` / `checkpoint parse
+/// error`). Never fails when `ctx.checkpoint` is `None`.
+pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+    ctx: &RunContext<'_, S>,
+) -> Result<(Vec<DelayAvfResult>, InjectorStats), String> {
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(config.threads, cycles.len());
-    let shards = run_sharded(threads, &cycles, |shard| {
-        delay_sweep_shard(circuit, topo, timing, golden, edges, config, shard)
-    });
-    let mut rows = empty_rows(config);
-    let mut stats = InjectorStats::default();
-    for (shard_rows, shard_stats) in shards {
-        for (row, part) in rows.iter_mut().zip(&shard_rows) {
-            row.merge(part);
+    let items: Vec<usize> = edges.iter().map(|e| e.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "delay_sweep",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &config.delay_fractions,
+        config.due_slack,
+        config.compute_orace,
+    );
+    let knobs = knob_hash(config.lanes, config.incremental, config.delta_timing);
+    let setup = open_store(&ctx.checkpoint, "delay_sweep", fingerprint, knobs)?;
+    observe_campaign(ctx, &setup, "delay_sweep", cycles.len(), threads, || {
+        let store = setup.store.as_ref();
+        let resumed = &setup.resumed;
+        let shards = run_sharded(threads, &cycles, |shard_id, shard| {
+            let mut injector = shard_injector(
+                circuit,
+                topo,
+                timing,
+                golden,
+                config.due_slack,
+                config.incremental,
+                config.delta_timing,
+                config.lanes,
+            );
+            let mut rows = empty_rows(config);
+            let mut stats = InjectorStats::default();
+            let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+            for &cycle in shard {
+                if let Some(payload) = resumed.get(&cycle) {
+                    let (unit_rows, unit_stats, failures) = decode_delay_unit(payload, config)?;
+                    injector.preload_failures(cycle + 1, failures);
+                    merge_rows(&mut rows, &unit_rows);
+                    stats.merge(&unit_stats);
+                    obs.unit_done(cycle, None, Some(&unit_stats))?;
+                    continue;
+                }
+                let before = injector.stats;
+                let unit_rows = delay_sweep_unit(
+                    &mut injector,
+                    timing,
+                    edges,
+                    config,
+                    cycle,
+                    S::ENABLED,
+                    &mut obs.phases,
+                );
+                let delta = injector.stats.delta_since(&before);
+                let payload = store.is_some().then(|| {
+                    encode_delay_unit(&unit_rows, &delta, &injector.snapshot_failures(cycle + 1))
+                });
+                merge_rows(&mut rows, &unit_rows);
+                stats.merge(&delta);
+                obs.unit_done(cycle, payload, Some(&delta))?;
+            }
+            obs.finish();
+            Ok::<_, String>((rows, stats))
+        });
+        let mut rows = empty_rows(config);
+        let mut stats = InjectorStats::default();
+        for shard in shards {
+            let (shard_rows, shard_stats) = shard?;
+            merge_rows(&mut rows, &shard_rows);
+            stats.merge(&shard_stats);
         }
-        stats.merge(&shard_stats);
-    }
-    (rows, stats)
+        Ok((rows, stats))
+    })
 }
 
 /// Runs a particle-strike campaign: a single bit flip in each of `dffs` at
@@ -457,38 +1151,108 @@ pub fn savf_campaign_with_stats<E: Environment + Clone>(
     dffs: &[DffId],
     opts: ReplayOptions,
 ) -> (SavfResult, InjectorStats) {
+    savf_campaign_observed(
+        circuit,
+        topo,
+        timing,
+        golden,
+        dffs,
+        opts,
+        &RunContext::disabled(),
+    )
+    .expect("campaign without checkpointing is infallible")
+}
+
+/// [`savf_campaign_with_stats`] under a [`RunContext`]; see
+/// [`delay_avf_campaign_observed`] for the checkpoint/resume and telemetry
+/// semantics (work units are trace cycles here too, classified at
+/// boundary `cycle` per the strike-model convention).
+///
+/// # Errors
+///
+/// Same failure modes as [`delay_avf_campaign_observed`].
+pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<(SavfResult, InjectorStats), String> {
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, cycles.len());
-    let shards = run_sharded(threads, &cycles, |shard| {
-        let mut injector = shard_injector(
-            circuit,
-            topo,
-            timing,
-            golden,
-            opts.due_slack,
-            opts.incremental,
-            opts.delta_timing,
-            opts.lanes,
-        );
-        let mut r = SavfResult::default();
-        for &cycle in shard {
-            injector.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
-            for &dff in dffs {
-                r.injections += 1;
-                if injector.bit_ace(cycle, dff) {
-                    r.ace_hits += 1;
+    let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "savf",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let setup = open_store(&ctx.checkpoint, "savf", fingerprint, knobs)?;
+    observe_campaign(ctx, &setup, "savf", cycles.len(), threads, || {
+        let store = setup.store.as_ref();
+        let resumed = &setup.resumed;
+        let shards = run_sharded(threads, &cycles, |shard_id, shard| {
+            let mut injector = shard_injector(
+                circuit,
+                topo,
+                timing,
+                golden,
+                opts.due_slack,
+                opts.incremental,
+                opts.delta_timing,
+                opts.lanes,
+            );
+            let mut result = SavfResult::default();
+            let mut stats = InjectorStats::default();
+            let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+            for &cycle in shard {
+                if let Some(payload) = resumed.get(&cycle) {
+                    let (unit_result, unit_stats, failures) = decode_savf_unit(payload)?;
+                    injector.preload_failures(cycle, failures);
+                    result.merge(&unit_result);
+                    stats.merge(&unit_stats);
+                    obs.unit_done(cycle, None, Some(&unit_stats))?;
+                    continue;
                 }
+                let before = injector.stats;
+                let mut unit = SavfResult::default();
+                timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                    injector.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
+                    for &dff in dffs {
+                        unit.injections += 1;
+                        if injector.bit_ace(cycle, dff) {
+                            unit.ace_hits += 1;
+                        }
+                    }
+                });
+                let delta = injector.stats.delta_since(&before);
+                let payload = store
+                    .is_some()
+                    .then(|| encode_savf_unit(&unit, &delta, &injector.snapshot_failures(cycle)));
+                result.merge(&unit);
+                stats.merge(&delta);
+                obs.unit_done(cycle, payload, Some(&delta))?;
             }
+            obs.finish();
+            Ok::<_, String>((result, stats))
+        });
+        let mut result = SavfResult::default();
+        let mut stats = InjectorStats::default();
+        for shard in shards {
+            let (shard_result, shard_stats) = shard?;
+            result.merge(&shard_result);
+            stats.merge(&shard_stats);
         }
-        (r, injector.stats)
-    });
-    let mut result = SavfResult::default();
-    let mut stats = InjectorStats::default();
-    for (shard_result, shard_stats) in shards {
-        result.merge(&shard_result);
-        stats.merge(&shard_stats);
-    }
-    (result, stats)
+        Ok((result, stats))
+    })
 }
 
 /// Like [`delay_avf_campaign`] for a **single** delay fraction, but also
@@ -505,55 +1269,136 @@ pub fn delay_avf_campaign_records<E: Environment + Clone>(
     fraction: f64,
     opts: ReplayOptions,
 ) -> (DelayAvfResult, Vec<InjectionRecord>) {
+    delay_avf_campaign_records_observed(
+        circuit,
+        topo,
+        timing,
+        golden,
+        edges,
+        fraction,
+        opts,
+        &RunContext::disabled(),
+    )
+    .expect("campaign without checkpointing is infallible")
+}
+
+/// [`delay_avf_campaign_records`] under a [`RunContext`]; see
+/// [`delay_avf_campaign_observed`] for the checkpoint/resume and telemetry
+/// semantics. Resumed cycle units replay their serialized records (and the
+/// tallies re-derived from them) instead of re-simulating.
+///
+/// # Errors
+///
+/// Same failure modes as [`delay_avf_campaign_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    fraction: f64,
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<(DelayAvfResult, Vec<InjectionRecord>), String> {
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, cycles.len());
     let extra = fraction_to_picos(timing, fraction);
-    let shards = run_sharded(threads, &cycles, |shard| {
-        let mut injector = shard_injector(
-            circuit,
-            topo,
-            timing,
-            golden,
-            opts.due_slack,
-            opts.incremental,
-            opts.delta_timing,
-            opts.lanes,
-        );
+    let items: Vec<usize> = edges.iter().map(|e| e.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "delay_records",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[fraction],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let setup = open_store(&ctx.checkpoint, "delay_records", fingerprint, knobs)?;
+    observe_campaign(ctx, &setup, "delay_records", cycles.len(), threads, || {
+        let store = setup.store.as_ref();
+        let resumed = &setup.resumed;
+        let shards = run_sharded(threads, &cycles, |shard_id, shard| {
+            let mut injector = shard_injector(
+                circuit,
+                topo,
+                timing,
+                golden,
+                opts.due_slack,
+                opts.incremental,
+                opts.delta_timing,
+                opts.lanes,
+            );
+            let mut row = DelayAvfResult {
+                delay_fraction: fraction,
+                ..DelayAvfResult::default()
+            };
+            let mut records = Vec::with_capacity(shard.len() * edges.len());
+            let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+            for &cycle in shard {
+                if let Some(payload) = resumed.get(&cycle) {
+                    let (unit_records, failures) = decode_records_unit(payload, cycle)?;
+                    injector.preload_failures(cycle + 1, failures);
+                    for record in &unit_records {
+                        tally(&mut row, &record.outcome);
+                    }
+                    records.extend(unit_records);
+                    obs.unit_done(cycle, None, None)?;
+                    continue;
+                }
+                let unit_start = records.len();
+                // Same two-phase structure as the sweep: collect the
+                // cycle's dynamic sets, batch their replays, then record in
+                // edge order.
+                timed(S::ENABLED, &mut obs.phases.golden_settle_us, || {
+                    injector.warm_cycle_data(cycle)
+                });
+                let parts: Vec<(usize, Vec<DffId>)> =
+                    timed(S::ENABLED, &mut obs.phases.timing_step_us, || {
+                        edges
+                            .iter()
+                            .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
+                            .collect()
+                    });
+                timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                    injector.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
+                    for (&edge, (statically_reachable, dynamic_set)) in edges.iter().zip(parts) {
+                        let outcome =
+                            injector.classify_injection(cycle, statically_reachable, dynamic_set);
+                        tally(&mut row, &outcome);
+                        records.push(InjectionRecord {
+                            cycle,
+                            edge,
+                            outcome,
+                        });
+                    }
+                });
+                let payload = store.is_some().then(|| {
+                    encode_records_unit(
+                        &records[unit_start..],
+                        &injector.snapshot_failures(cycle + 1),
+                    )
+                });
+                obs.unit_done(cycle, payload, None)?;
+            }
+            obs.finish();
+            Ok::<_, String>((row, records))
+        });
         let mut row = DelayAvfResult {
             delay_fraction: fraction,
             ..DelayAvfResult::default()
         };
-        let mut records = Vec::with_capacity(shard.len() * edges.len());
-        for &cycle in shard {
-            // Same two-phase structure as the sweep: collect the cycle's
-            // dynamic sets, batch their replays, then record in edge order.
-            let parts: Vec<(usize, Vec<DffId>)> = edges
-                .iter()
-                .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
-                .collect();
-            injector.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
-            for (&edge, (statically_reachable, dynamic_set)) in edges.iter().zip(parts) {
-                let outcome = injector.classify_injection(cycle, statically_reachable, dynamic_set);
-                tally(&mut row, &outcome);
-                records.push(InjectionRecord {
-                    cycle,
-                    edge,
-                    outcome,
-                });
-            }
+        let mut records = Vec::new();
+        for shard in shards {
+            let (shard_row, shard_records) = shard?;
+            row.merge(&shard_row);
+            records.extend(shard_records);
         }
-        (row, records)
-    });
-    let mut row = DelayAvfResult {
-        delay_fraction: fraction,
-        ..DelayAvfResult::default()
-    };
-    let mut records = Vec::new();
-    for (shard_row, shard_records) in shards {
-        row.merge(&shard_row);
-        records.extend(shard_records);
-    }
-    (row, records)
+        Ok((row, records))
+    })
 }
 
 /// Per-bit sAVF: like [`savf_campaign`] but reporting each flip-flop's
@@ -568,37 +1413,110 @@ pub fn savf_per_bit_campaign<E: Environment + Clone>(
     dffs: &[DffId],
     opts: ReplayOptions,
 ) -> Vec<(DffId, SavfResult)> {
+    savf_per_bit_campaign_observed(
+        circuit,
+        topo,
+        timing,
+        golden,
+        dffs,
+        opts,
+        &RunContext::disabled(),
+    )
+    .expect("campaign without checkpointing is infallible")
+}
+
+/// [`savf_per_bit_campaign`] under a [`RunContext`]. Work units are
+/// *bits*: each unit stores its per-cycle classifications, which a resumed
+/// run preloads into the failure cache so the bit costs no replays. (The
+/// preload changes which scenarios the batch prefill still has to run —
+/// harmless, because per-bit results are batch-shape invariant and this
+/// campaign exposes no stats.)
+///
+/// # Errors
+///
+/// Same failure modes as [`delay_avf_campaign_observed`].
+pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<Vec<(DffId, SavfResult)>, String> {
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, dffs.len());
-    let shards = run_sharded(threads, dffs, |shard| {
-        let mut injector = shard_injector(
-            circuit,
-            topo,
-            timing,
-            golden,
-            opts.due_slack,
-            opts.incremental,
-            opts.delta_timing,
-            opts.lanes,
-        );
-        for &cycle in &cycles {
-            injector.prefill_failures(cycle, shard.iter().map(|&d| vec![d]));
-        }
-        shard
-            .iter()
-            .map(|&dff| {
-                let mut r = SavfResult::default();
-                for &cycle in &cycles {
-                    r.injections += 1;
-                    if injector.bit_ace(cycle, dff) {
-                        r.ace_hits += 1;
+    let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "savf_per_bit",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let setup = open_store(&ctx.checkpoint, "savf_per_bit", fingerprint, knobs)?;
+    observe_campaign(ctx, &setup, "savf_per_bit", dffs.len(), threads, || {
+        let store = setup.store.as_ref();
+        let resumed = &setup.resumed;
+        let shards = run_sharded(threads, dffs, |shard_id, shard| {
+            let mut injector = shard_injector(
+                circuit,
+                topo,
+                timing,
+                golden,
+                opts.due_slack,
+                opts.incremental,
+                opts.delta_timing,
+                opts.lanes,
+            );
+            let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+            // Preload every resumed bit's classifications first, so the
+            // batch prefill only replays what is genuinely unknown.
+            for &dff in shard.iter() {
+                if let Some(payload) = resumed.get(&(dff.index() as u64)) {
+                    let classes = decode_per_bit_unit(payload, &cycles)?;
+                    for (&cycle, class) in cycles.iter().zip(classes) {
+                        injector.preload_failures(cycle, [(vec![dff], class)]);
                     }
                 }
-                (dff, r)
-            })
-            .collect::<Vec<_>>()
-    });
-    shards.into_iter().flatten().collect()
+            }
+            timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                for &cycle in &cycles {
+                    injector.prefill_failures(cycle, shard.iter().map(|&d| vec![d]));
+                }
+            });
+            let mut out = Vec::with_capacity(shard.len());
+            for &dff in shard.iter() {
+                let key = dff.index() as u64;
+                let was_resumed = resumed.contains_key(&key);
+                let mut r = SavfResult::default();
+                timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                    for &cycle in &cycles {
+                        r.injections += 1;
+                        if injector.bit_ace(cycle, dff) {
+                            r.ace_hits += 1;
+                        }
+                    }
+                });
+                out.push((dff, r));
+                let payload = (store.is_some() && !was_resumed)
+                    .then(|| encode_per_bit_unit(&injector, dff, &cycles));
+                obs.unit_done(key, payload, None)?;
+            }
+            obs.finish();
+            Ok::<_, String>(out)
+        });
+        let mut out = Vec::with_capacity(dffs.len());
+        for shard in shards {
+            out.extend(shard?);
+        }
+        Ok(out)
+    })
 }
 
 /// Runs a **spatial double-bit** particle-strike campaign: simultaneous
@@ -623,36 +1541,105 @@ pub fn spatial_double_strike_campaign<E: Environment + Clone>(
     dffs: &[DffId],
     opts: ReplayOptions,
 ) -> SavfResult {
+    spatial_double_strike_campaign_observed(
+        circuit,
+        topo,
+        timing,
+        golden,
+        dffs,
+        opts,
+        &RunContext::disabled(),
+    )
+    .expect("campaign without checkpointing is infallible")
+}
+
+/// [`spatial_double_strike_campaign`] under a [`RunContext`]. Work units
+/// are cycles; a resumed unit preloads its boundary's pair
+/// classifications and replays the tally loop from the warmed cache.
+///
+/// # Errors
+///
+/// Same failure modes as [`delay_avf_campaign_observed`].
+pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<SavfResult, String> {
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, cycles.len());
-    let shards = run_sharded(threads, &cycles, |shard| {
-        let mut injector = shard_injector(
-            circuit,
-            topo,
-            timing,
-            golden,
-            opts.due_slack,
-            opts.incremental,
-            opts.delta_timing,
-            opts.lanes,
-        );
-        let mut r = SavfResult::default();
-        for &cycle in shard {
-            injector.prefill_failures(cycle, dffs.windows(2).map(|p| p.to_vec()));
-            for pair in dffs.windows(2) {
-                r.injections += 1;
-                if injector.group_ace(cycle, pair) {
-                    r.ace_hits += 1;
-                }
+    let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "spatial_double",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let setup = open_store(&ctx.checkpoint, "spatial_double", fingerprint, knobs)?;
+    observe_campaign(ctx, &setup, "spatial_double", cycles.len(), threads, || {
+        let store = setup.store.as_ref();
+        let resumed = &setup.resumed;
+        let shards = run_sharded(threads, &cycles, |shard_id, shard| {
+            let mut injector = shard_injector(
+                circuit,
+                topo,
+                timing,
+                golden,
+                opts.due_slack,
+                opts.incremental,
+                opts.delta_timing,
+                opts.lanes,
+            );
+            let mut result = SavfResult::default();
+            let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+            for &cycle in shard {
+                let was_resumed = if let Some(payload) = resumed.get(&cycle) {
+                    let mut t = Tokens::new(payload);
+                    let failures = decode_failures(&mut t)?;
+                    if !t.finished() {
+                        return Err("checkpoint parse error: trailing payload tokens".into());
+                    }
+                    injector.preload_failures(cycle, failures);
+                    true
+                } else {
+                    false
+                };
+                let mut unit = SavfResult::default();
+                timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                    injector.prefill_failures(cycle, dffs.windows(2).map(|p| p.to_vec()));
+                    for pair in dffs.windows(2) {
+                        unit.injections += 1;
+                        if injector.group_ace(cycle, pair) {
+                            unit.ace_hits += 1;
+                        }
+                    }
+                });
+                result.merge(&unit);
+                let payload = (store.is_some() && !was_resumed).then(|| {
+                    let mut out = String::new();
+                    encode_failures(&mut out, &injector.snapshot_failures(cycle));
+                    out.trim_start().to_owned()
+                });
+                obs.unit_done(cycle, payload, None)?;
             }
+            obs.finish();
+            Ok::<_, String>(result)
+        });
+        let mut result = SavfResult::default();
+        for shard in shards {
+            result.merge(&shard?);
         }
-        r
-    });
-    let mut result = SavfResult::default();
-    for shard_result in shards {
-        result.merge(&shard_result);
-    }
-    result
+        Ok(result)
+    })
 }
 
 fn fraction_to_picos(timing: &TimingModel, fraction: f64) -> Picos {

@@ -224,6 +224,31 @@ impl InjectorStats {
         self.full_event_fallbacks += other.full_event_fallbacks;
     }
 
+    /// The field-wise difference `self - baseline`. Counters only ever
+    /// grow, so a snapshot taken before a work unit subtracted from one
+    /// taken after yields exactly that unit's contribution — the quantity
+    /// the checkpoint and telemetry layers record.
+    pub fn delta_since(&self, baseline: &InjectorStats) -> InjectorStats {
+        InjectorStats {
+            static_filtered: self.static_filtered - baseline.static_filtered,
+            toggle_filtered: self.toggle_filtered - baseline.toggle_filtered,
+            event_sims: self.event_sims - baseline.event_sims,
+            replays: self.replays - baseline.replays,
+            replay_cache_hits: self.replay_cache_hits - baseline.replay_cache_hits,
+            replay_cycles: self.replay_cycles - baseline.replay_cycles,
+            gates_evaluated: self.gates_evaluated - baseline.gates_evaluated,
+            incremental_replays: self.incremental_replays - baseline.incremental_replays,
+            full_replay_fallbacks: self.full_replay_fallbacks - baseline.full_replay_fallbacks,
+            batched_replays: self.batched_replays - baseline.batched_replays,
+            lanes_occupied: self.lanes_occupied - baseline.lanes_occupied,
+            lane_slots: self.lane_slots - baseline.lane_slots,
+            golden_waveform_builds: self.golden_waveform_builds - baseline.golden_waveform_builds,
+            delta_events: self.delta_events - baseline.delta_events,
+            delta_early_exits: self.delta_early_exits - baseline.delta_early_exits,
+            full_event_fallbacks: self.full_event_fallbacks - baseline.full_event_fallbacks,
+        }
+    }
+
     /// Mean lane occupancy of the batch replays (`lanes_occupied /
     /// lane_slots`), in `[0, 1]`. Zero when no batch ran.
     pub fn lane_utilization(&self) -> f64 {
@@ -911,6 +936,56 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             }
         }
         false
+    }
+
+    /// Reconstructs (and caches) the golden per-cycle context shared by
+    /// every injection at `cycle`: the settled net values of `cycle - 1`
+    /// plus the state words around the boundary. Campaigns call this ahead
+    /// of their per-cycle edge loop so the golden-settle cost can be timed
+    /// as its own phase; injection entry points fall back to it lazily, so
+    /// skipping the warm-up never changes results. Touches no counters.
+    pub fn warm_cycle_data(&mut self, cycle: u64) {
+        self.ensure_cycle_data(cycle);
+    }
+
+    /// The classification cached for exactly `set` (normalized) at
+    /// `boundary`, if any. Read-only: no replay, no counter.
+    pub fn cached_failure(&self, boundary: u64, set: &[DffId]) -> Option<FailureClass> {
+        let mut key: Vec<DffId> = set.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.failure_cache
+            .get(&boundary)
+            .and_then(|m| m.get(key.as_slice()))
+            .copied()
+    }
+
+    /// Every cached classification at `boundary`, sorted by flip set — the
+    /// deterministic order checkpoint payloads are serialized in.
+    pub fn snapshot_failures(&self, boundary: u64) -> Vec<(Vec<DffId>, FailureClass)> {
+        let mut entries: Vec<(Vec<DffId>, FailureClass)> = self
+            .failure_cache
+            .get(&boundary)
+            .map(|m| m.iter().map(|(k, &v)| (k.clone(), v)).collect())
+            .unwrap_or_default();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Seeds the failure cache at `boundary` with classifications restored
+    /// from a checkpoint, so resumed units cost no replays. Entries must be
+    /// normalized (sorted, deduplicated) flip sets — which
+    /// [`Injector::snapshot_failures`] guarantees.
+    pub fn preload_failures(
+        &mut self,
+        boundary: u64,
+        entries: impl IntoIterator<Item = (Vec<DffId>, FailureClass)>,
+    ) {
+        let map = self.failure_cache.entry(boundary).or_default();
+        for (set, class) in entries {
+            debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "normalized flip set");
+            map.insert(set, class);
+        }
     }
 
     fn ensure_cycle_data(&mut self, cycle: u64) {

@@ -36,11 +36,19 @@
 //! * ORACE / **OrDelayAVF** (Definitions 5–6) with ACE-interference and
 //!   ACE-compounding accounting (Table III),
 //! * multi-bit error statistics and per-component breakdowns (Figure 8).
+//!
+//! Long campaigns additionally get crash-safety and observability: the
+//! [`checkpoint`] module snapshots completed work units atomically and
+//! resumes them into byte-identical reports, and the [`telemetry`] module
+//! streams structured JSONL progress events behind the
+//! zero-cost-when-disabled [`TelemetrySink`] trait. Both are wired through
+//! the `*_observed` campaign entry points via [`RunContext`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod checkpoint;
 pub mod fit;
 mod golden;
 mod injector;
@@ -48,14 +56,19 @@ pub mod razor;
 mod report;
 mod result;
 mod sampling;
+pub mod telemetry;
 #[cfg(test)]
 mod testenv;
 
 pub use campaign::{
-    delay_avf_campaign, delay_avf_campaign_records, delay_avf_campaign_with_stats, savf_campaign,
-    savf_campaign_with_stats, savf_per_bit_campaign, spatial_double_strike_campaign, valid_cycles,
-    CampaignConfig, ReplayOptions,
+    delay_avf_campaign, delay_avf_campaign_observed, delay_avf_campaign_records,
+    delay_avf_campaign_records_observed, delay_avf_campaign_with_stats, savf_campaign,
+    savf_campaign_observed, savf_campaign_with_stats, savf_per_bit_campaign,
+    savf_per_bit_campaign_observed, spatial_double_strike_campaign,
+    spatial_double_strike_campaign_observed, valid_cycles, CampaignConfig, ReplayOptions,
+    RunContext,
 };
+pub use checkpoint::{CheckpointSpec, CHECKPOINT_FORMAT_VERSION};
 pub use golden::{prepare_golden, prepare_golden_percent, prepare_golden_seeded, GoldenRun};
 pub use injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 pub use report::{
@@ -64,3 +77,7 @@ pub use report::{
 };
 pub use result::{DelayAvfResult, OraceStats, SavfResult};
 pub use sampling::{percent_to_count, sample_edges, spaced_cycles, stratified_cycles};
+pub use telemetry::{
+    parse_flat_object, validate_line, JsonValue, JsonlTelemetry, NullTelemetry, PhaseTotals,
+    TelemetryEvent, TelemetrySink, NULL_TELEMETRY, TELEMETRY_SCHEMA_VERSION,
+};

@@ -52,6 +52,7 @@ mod delta;
 mod diff;
 mod env;
 mod event;
+pub mod testutil;
 mod trace;
 mod vcd;
 

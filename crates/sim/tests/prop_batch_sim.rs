@@ -7,52 +7,10 @@
 //! the state-divergence mask, the output-divergence mask returned by
 //! [`BatchSim::step`], and the enumerated divergence set.
 
-use delayavf_netlist::{Circuit, CircuitBuilder, DffId, GateKind, NetId, Topology, Word};
+use delayavf_netlist::{Circuit, DffId, Topology};
+use delayavf_sim::testutil::{pick_flips, random_circuit, GateSpec};
 use delayavf_sim::{BatchSim, ConstEnvironment, CycleSim, GoldenTrace, MAX_LANES};
 use proptest::prelude::*;
-
-/// Specification of one random gate: kind index plus input selectors.
-type GateSpec = (u8, u16, u16, u16);
-
-fn random_circuit(n_inputs: usize, n_regs: usize, gates: &[GateSpec]) -> Circuit {
-    let mut b = CircuitBuilder::new();
-    let inputs = b.input_word("in", n_inputs);
-    let regs = b.reg_word("r", n_regs, 0);
-    let mut nets: Vec<NetId> = inputs.bits().to_vec();
-    nets.extend_from_slice(regs.q().bits());
-    for &(kind, i0, i1, i2) in gates {
-        let kinds = [
-            GateKind::Buf,
-            GateKind::Not,
-            GateKind::And2,
-            GateKind::Or2,
-            GateKind::Nand2,
-            GateKind::Nor2,
-            GateKind::Xor2,
-            GateKind::Xnor2,
-            GateKind::Mux2,
-        ];
-        let k = kinds[usize::from(kind) % kinds.len()];
-        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
-        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
-        nets.push(b.gate(k, &ins));
-    }
-    // Feed registers from the most recently created nets.
-    let d: Word = (0..n_regs).map(|i| nets[nets.len() - 1 - i]).collect();
-    b.drive_word(&regs, &d);
-    b.output_word("o", &regs.q());
-    b.finish().expect("acyclic by construction")
-}
-
-/// Flips selected by a mask bit per register; `mask == 0` yields the empty
-/// set (a lane that rides along on the golden trajectory).
-fn pick_flips(c: &Circuit, mask: u8) -> Vec<DffId> {
-    c.dffs()
-        .enumerate()
-        .filter(|(i, _)| (mask >> (i % 8)) & 1 == 1)
-        .map(|(_, (id, _))| id)
-        .collect()
-}
 
 /// Drives `scenarios` through one batch and, in lockstep, through one
 /// scalar replay per lane, asserting bit-for-bit agreement every cycle.

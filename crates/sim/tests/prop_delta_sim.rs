@@ -10,43 +10,11 @@
 //! 2. fault-free cycles (`extra = 0`): the delta run reconverges to the
 //!    cached golden waveform, which itself equals the full fault-free run.
 
-use delayavf_netlist::{Circuit, CircuitBuilder, EdgeId, GateKind, NetId, Topology, Word};
+use delayavf_netlist::{Circuit, EdgeId, Topology};
+use delayavf_sim::testutil::{random_circuit, GateSpec};
 use delayavf_sim::{settle, DeltaEventSim, EventSim, FaultSpec};
 use delayavf_timing::{TechLibrary, TimingModel};
 use proptest::prelude::*;
-
-/// Specification of one random gate: kind index plus input selectors.
-type GateSpec = (u8, u16, u16, u16);
-
-fn random_circuit(n_inputs: usize, n_regs: usize, gates: &[GateSpec]) -> Circuit {
-    let mut b = CircuitBuilder::new();
-    let inputs = b.input_word("in", n_inputs);
-    let regs = b.reg_word("r", n_regs, 0);
-    let mut nets: Vec<NetId> = inputs.bits().to_vec();
-    nets.extend_from_slice(regs.q().bits());
-    for &(kind, i0, i1, i2) in gates {
-        let kinds = [
-            GateKind::Buf,
-            GateKind::Not,
-            GateKind::And2,
-            GateKind::Or2,
-            GateKind::Nand2,
-            GateKind::Nor2,
-            GateKind::Xor2,
-            GateKind::Xnor2,
-            GateKind::Mux2,
-        ];
-        let k = kinds[usize::from(kind) % kinds.len()];
-        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
-        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
-        nets.push(b.gate(k, &ins));
-    }
-    // Feed registers from the most recently created nets.
-    let d: Word = (0..n_regs).map(|i| nets[nets.len() - 1 - i]).collect();
-    b.drive_word(&regs, &d);
-    b.output_word("o", &regs.q());
-    b.finish().expect("acyclic by construction")
-}
 
 /// One simulated cycle's worth of context: settled previous values, the
 /// state latched at the clock edge, and this cycle's input words.

@@ -11,42 +11,10 @@
 
 use std::collections::HashSet;
 
-use delayavf_netlist::{Circuit, CircuitBuilder, DffId, GateKind, NetId, Topology, Word};
+use delayavf_netlist::{Circuit, DffId, Topology};
+use delayavf_sim::testutil::{pick_flips_nonempty, random_circuit, GateSpec};
 use delayavf_sim::{ConstEnvironment, CycleSim, DiffSim, Environment, GoldenTrace};
 use proptest::prelude::*;
-
-/// Specification of one random gate: kind index plus input selectors.
-type GateSpec = (u8, u16, u16, u16);
-
-fn random_circuit(n_inputs: usize, n_regs: usize, gates: &[GateSpec]) -> Circuit {
-    let mut b = CircuitBuilder::new();
-    let inputs = b.input_word("in", n_inputs);
-    let regs = b.reg_word("r", n_regs, 0);
-    let mut nets: Vec<NetId> = inputs.bits().to_vec();
-    nets.extend_from_slice(regs.q().bits());
-    for &(kind, i0, i1, i2) in gates {
-        let kinds = [
-            GateKind::Buf,
-            GateKind::Not,
-            GateKind::And2,
-            GateKind::Or2,
-            GateKind::Nand2,
-            GateKind::Nor2,
-            GateKind::Xor2,
-            GateKind::Xnor2,
-            GateKind::Mux2,
-        ];
-        let k = kinds[usize::from(kind) % kinds.len()];
-        let pick = |sel: u16| nets[usize::from(sel) % nets.len()];
-        let ins: Vec<NetId> = [i0, i1, i2][..k.arity()].iter().map(|&s| pick(s)).collect();
-        nets.push(b.gate(k, &ins));
-    }
-    // Feed registers from the most recently created nets.
-    let d: Word = (0..n_regs).map(|i| nets[nets.len() - 1 - i]).collect();
-    b.drive_word(&regs, &d);
-    b.output_word("o", &regs.q());
-    b.finish().expect("acyclic by construction")
-}
 
 /// A stateless but output-sensitive environment: the input word is a hash
 /// of the previous cycle's outputs, so faulty outputs feed divergence back
@@ -64,16 +32,6 @@ impl Environment for FeedbackEnvironment {
             *slot = acc;
         }
     }
-}
-
-/// Flips selected by a mask bit per register, at least one.
-fn pick_flips(c: &Circuit, mask: u8) -> Vec<DffId> {
-    let mask = if mask == 0 { 1 } else { mask };
-    c.dffs()
-        .enumerate()
-        .filter(|(i, _)| (mask >> (i % 8)) & 1 == 1)
-        .map(|(_, (id, _))| id)
-        .collect()
 }
 
 /// The transitive (multi-cycle) fan-out cone of the flipped bits, as a set
@@ -153,7 +111,7 @@ proptest! {
         let mut env = FeedbackEnvironment;
         let trace = GoldenTrace::record(&c, &topo, &mut env, cycles, &[]).0;
         let boundary = 1 + u64::from(boundary_sel) % (trace.num_cycles() - 1);
-        let flips = pick_flips(&c, flip_mask);
+        let flips = pick_flips_nonempty(&c, flip_mask);
         check_equivalence(&c, &topo, &trace, boundary, &flips, &FeedbackEnvironment);
     }
 
@@ -170,7 +128,7 @@ proptest! {
         let mut env = ConstEnvironment::new(vec![in_val & 0xff]);
         let trace = GoldenTrace::record(&c, &topo, &mut env.clone(), cycles, &[]).0;
         let boundary = 1 + u64::from(boundary_sel) % (trace.num_cycles() - 1);
-        let flips = pick_flips(&c, flip_mask);
+        let flips = pick_flips_nonempty(&c, flip_mask);
         // The incremental engine is exact under the closed environment too.
         check_equivalence(&c, &topo, &trace, boundary, &flips, &env);
 
