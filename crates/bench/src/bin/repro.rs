@@ -3,8 +3,9 @@
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
 //!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
-//!       [--no-delta-timing] [--lanes N] [--checkpoint-dir DIR]
-//!       [--checkpoint-every N] [--resume] [--telemetry FILE]
+//!       [--no-delta-timing] [--lanes N] [--timing-lanes N]
+//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//!       [--telemetry FILE]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
@@ -15,6 +16,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use delayavf_bench::{experiments, ExperimentSpec, Harness, Observability, Opts};
+use delayavf_sim::{MAX_LANES, MAX_TIMING_LANES};
 use delayavf_workloads::Scale;
 
 const USAGE: &str = "usage: repro <experiment>... [options]
@@ -50,6 +52,9 @@ options:
   --lanes N       bit-parallel replay lanes per batch, 1-64 (default 64);
                   AVF numbers are identical for every N, --lanes 1 is the
                   exact scalar baseline
+  --timing-lanes N  lane-packed timing-aware replay lanes per batch, 1-256
+                  (default 64); AVF numbers are identical for every N,
+                  --timing-lanes 1 is the exact scalar baseline
   --tiny          use tiny workloads (smoke test)
   --checkpoint-dir DIR  write crash-safe campaign checkpoints into DIR;
                   an interrupted run restarted with --resume produces a
@@ -103,7 +108,19 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--lanes" => match num("--lanes") {
-                Ok(v) => opts.lanes = v as usize,
+                Ok(v) if (1..=MAX_LANES as u64).contains(&v) => opts.lanes = v as usize,
+                Ok(v) => return fail(&format!("--lanes must be in 1..={MAX_LANES}, got `{v}`")),
+                Err(e) => return fail(&e),
+            },
+            "--timing-lanes" => match num("--timing-lanes") {
+                Ok(v) if (1..=MAX_TIMING_LANES as u64).contains(&v) => {
+                    opts.timing_lanes = v as usize;
+                }
+                Ok(v) => {
+                    return fail(&format!(
+                        "--timing-lanes must be in 1..={MAX_TIMING_LANES}, got `{v}`"
+                    ));
+                }
                 Err(e) => return fail(&e),
             },
             "--tiny" => opts.scale = Scale::Tiny,

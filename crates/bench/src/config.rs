@@ -16,7 +16,7 @@
 //! fast_adder = false                   # Kogge-Stone ALU adder
 //! scale = paper                        # paper|tiny
 //! delay_range = 0.1:0.9:9              # lo:hi:steps, fractions of the clock
-//! percent_sampled_cycles_delay = 2.0   # temporal sampling rate
+//! percent_sampled_cycles_delay = 2.0   # temporal sampling rate, in (0, 100]
 //! edge_limit = 240                     # spatial sampling cap
 //! seed = 7
 //! due_slack = 2000
@@ -25,6 +25,7 @@
 //! incremental = true                   # divergence-cone replay engine
 //! delta_timing = true                  # incremental timing-aware engine
 //! lanes = 64                           # bit-parallel replay lanes, 1-64
+//! timing_lanes = 64                    # timing-aware replay lanes, 1-256
 //! checkpoint_dir = ckpt                # crash-safe campaign checkpoints
 //! checkpoint_every = 1                 # work units between flushes
 //! resume = false                       # resume from an existing checkpoint
@@ -36,6 +37,7 @@ use std::path::PathBuf;
 use delayavf::{prepare_golden_percent, sample_edges, CampaignConfig};
 use delayavf_netlist::Topology;
 use delayavf_rvcore::{build_core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
+use delayavf_sim::{MAX_LANES, MAX_TIMING_LANES};
 use delayavf_timing::{TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
 
@@ -78,6 +80,9 @@ pub struct ExperimentSpec {
     /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
     /// for every value; `1` runs the exact scalar baseline.
     pub lanes: usize,
+    /// Lane-packed timing-aware replay lanes per batch (1–256). AVF numbers
+    /// are identical for every value; `1` runs the exact scalar baseline.
+    pub timing_lanes: usize,
     /// Crash-safe campaign checkpoint directory (`None` disables).
     pub checkpoint_dir: Option<PathBuf>,
     /// Work units between checkpoint flushes.
@@ -107,6 +112,7 @@ impl Default for ExperimentSpec {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            timing_lanes: 64,
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
@@ -181,9 +187,11 @@ impl ExperimentSpec {
                 }
                 "delay_range" => spec.delay_fractions = parse_delay_range(value).map_err(bad)?,
                 "percent_sampled_cycles_delay" => {
-                    spec.percent_cycles = value
+                    let percent: f64 = value
                         .parse()
                         .map_err(|e| bad(format!("percent_sampled_cycles_delay: {e}")))?;
+                    spec.percent_cycles =
+                        validate_percent(percent).map_err(|e| bad(format!("{e} `{value}`")))?;
                 }
                 "edge_limit" => {
                     spec.edge_limit = value.parse().map_err(|e| bad(format!("edge_limit: {e}")))?;
@@ -199,7 +207,24 @@ impl ExperimentSpec {
                 "incremental" => spec.incremental = parse_bool(value).map_err(bad)?,
                 "delta_timing" => spec.delta_timing = parse_bool(value).map_err(bad)?,
                 "lanes" => {
-                    spec.lanes = value.parse().map_err(|e| bad(format!("lanes: {e}")))?;
+                    let lanes: usize = value.parse().map_err(|e| bad(format!("lanes: {e}")))?;
+                    if !(1..=MAX_LANES).contains(&lanes) {
+                        return Err(bad(format!(
+                            "lanes must be in 1..={MAX_LANES}, got `{value}`"
+                        )));
+                    }
+                    spec.lanes = lanes;
+                }
+                "timing_lanes" => {
+                    let lanes: usize = value
+                        .parse()
+                        .map_err(|e| bad(format!("timing_lanes: {e}")))?;
+                    if !(1..=MAX_TIMING_LANES).contains(&lanes) {
+                        return Err(bad(format!(
+                            "timing_lanes must be in 1..={MAX_TIMING_LANES}, got `{value}`"
+                        )));
+                    }
+                    spec.timing_lanes = lanes;
                 }
                 "checkpoint_dir" => spec.checkpoint_dir = Some(PathBuf::from(value)),
                 "checkpoint_every" => {
@@ -265,6 +290,7 @@ impl ExperimentSpec {
             incremental: self.incremental,
             delta_timing: self.delta_timing,
             lanes: self.lanes,
+            timing_lanes: self.timing_lanes,
         };
         let obs = Observability::create(
             self.telemetry.as_deref(),
@@ -317,6 +343,18 @@ impl ExperimentSpec {
     }
 }
 
+/// A temporal sampling rate must be a real percentage: finite, strictly
+/// positive and at most 100. [`delayavf::percent_to_count`] clamps its
+/// result to at least one cycle, so without this boundary check a negative
+/// or NaN rate would silently sample a single cycle instead of erroring.
+fn validate_percent(percent: f64) -> Result<f64, String> {
+    if percent.is_finite() && percent > 0.0 && percent <= 100.0 {
+        Ok(percent)
+    } else {
+        Err("percent_sampled_cycles_delay must be in (0, 100], got".to_owned())
+    }
+}
+
 fn parse_bool(v: &str) -> Result<bool, String> {
     match v {
         "true" | "on" | "1" => Ok(true),
@@ -346,6 +384,7 @@ mod tests {
             incremental = false
             delta_timing = off
             lanes = 16
+            timing_lanes = 128
             checkpoint_dir = ckpt
             checkpoint_every = 3
             resume = true
@@ -366,6 +405,7 @@ mod tests {
         assert!(!spec.incremental);
         assert!(!spec.delta_timing);
         assert_eq!(spec.lanes, 16);
+        assert_eq!(spec.timing_lanes, 128);
         assert_eq!(spec.checkpoint_dir, Some(PathBuf::from("ckpt")));
         assert_eq!(spec.checkpoint_every, 3);
         assert!(spec.resume);
@@ -389,6 +429,61 @@ mod tests {
         assert!(ExperimentSpec::parse("just a line\n")
             .unwrap_err()
             .contains("key = value"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_lane_widths() {
+        assert_eq!(
+            ExperimentSpec::parse("lanes = 0\n").unwrap_err(),
+            "line 1: lanes must be in 1..=64, got `0`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("lanes = 65\n").unwrap_err(),
+            "line 1: lanes must be in 1..=64, got `65`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("timing_lanes = 0\n").unwrap_err(),
+            "line 1: timing_lanes must be in 1..=256, got `0`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("timing_lanes = 257\n").unwrap_err(),
+            "line 1: timing_lanes must be in 1..=256, got `257`"
+        );
+        // The full valid ranges parse.
+        assert_eq!(ExperimentSpec::parse("lanes = 1\n").unwrap().lanes, 1);
+        assert_eq!(ExperimentSpec::parse("lanes = 64\n").unwrap().lanes, 64);
+        assert_eq!(
+            ExperimentSpec::parse("timing_lanes = 256\n")
+                .unwrap()
+                .timing_lanes,
+            256
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_sampling_percentages() {
+        assert_eq!(
+            ExperimentSpec::parse("percent_sampled_cycles_delay = -4.0\n").unwrap_err(),
+            "line 1: percent_sampled_cycles_delay must be in (0, 100], got `-4.0`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("percent_sampled_cycles_delay = 0\n").unwrap_err(),
+            "line 1: percent_sampled_cycles_delay must be in (0, 100], got `0`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("percent_sampled_cycles_delay = 100.5\n").unwrap_err(),
+            "line 1: percent_sampled_cycles_delay must be in (0, 100], got `100.5`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("percent_sampled_cycles_delay = NaN\n").unwrap_err(),
+            "line 1: percent_sampled_cycles_delay must be in (0, 100], got `NaN`"
+        );
+        assert_eq!(
+            ExperimentSpec::parse("percent_sampled_cycles_delay = inf\n").unwrap_err(),
+            "line 1: percent_sampled_cycles_delay must be in (0, 100], got `inf`"
+        );
+        let ok = ExperimentSpec::parse("percent_sampled_cycles_delay = 100\n").unwrap();
+        assert!((ok.percent_cycles - 100.0).abs() < 1e-12);
     }
 
     #[test]

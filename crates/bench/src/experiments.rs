@@ -89,6 +89,7 @@ fn sweep(
         incremental: opts.incremental,
         delta_timing: opts.delta_timing,
         lanes: opts.lanes,
+        timing_lanes: opts.timing_lanes,
     };
     Ok(run_delay_campaign(
         &obs,
@@ -622,6 +623,7 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
                 incremental: seeded.incremental,
                 delta_timing: seeded.delta_timing,
                 lanes: seeded.lanes,
+                timing_lanes: seeded.timing_lanes,
             },
         )?
         .0[0];

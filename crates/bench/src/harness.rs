@@ -48,6 +48,10 @@ pub struct Opts {
     /// for every value; `1` runs the exact scalar baseline (the `--lanes 1`
     /// escape hatch).
     pub lanes: usize,
+    /// Lane-packed timing-aware replay lanes per batch (1–256). AVF numbers
+    /// are identical for every value; `1` runs the exact scalar baseline
+    /// (the `--timing-lanes 1` escape hatch).
+    pub timing_lanes: usize,
     /// Directory for crash-safe campaign checkpoints (`--checkpoint-dir`).
     /// `None` disables checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
@@ -76,6 +80,7 @@ impl Default for Opts {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            timing_lanes: 64,
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
@@ -92,6 +97,7 @@ impl Opts {
             .with_incremental(self.incremental)
             .with_delta_timing(self.delta_timing)
             .with_lanes(self.lanes)
+            .with_timing_lanes(self.timing_lanes)
     }
 }
 

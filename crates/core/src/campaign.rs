@@ -91,6 +91,14 @@ pub struct ReplayOptions {
     /// width; `1` disables batching and reproduces the sequential
     /// engine's reports byte-identically (the `--lanes 1` escape hatch).
     pub lanes: usize,
+    /// Lane width for lane-packed timing-aware batch replays (default
+    /// [`delayavf_sim::MAX_LANES`]; up to
+    /// [`delayavf_sim::MAX_TIMING_LANES`], widths above 64 take the
+    /// 256-bit wide-word path). Results are identical for every width;
+    /// `1` disables timing batching and reproduces the scalar
+    /// [`delayavf_sim::DeltaEventSim`] engine's reports byte-identically
+    /// (the `--timing-lanes 1` escape hatch).
+    pub timing_lanes: usize,
 }
 
 impl Default for ReplayOptions {
@@ -101,6 +109,7 @@ impl Default for ReplayOptions {
             incremental: true,
             delta_timing: true,
             lanes: MAX_LANES,
+            timing_lanes: MAX_LANES,
         }
     }
 }
@@ -140,6 +149,13 @@ impl ReplayOptions {
         self.lanes = lanes;
         self
     }
+
+    /// Builder-style override of the timing batch lane width (`1` =
+    /// scalar baseline, `0` = maximum width).
+    pub fn with_timing_lanes(mut self, timing_lanes: usize) -> Self {
+        self.timing_lanes = timing_lanes;
+        self
+    }
 }
 
 /// Configuration of a DelayAVF campaign.
@@ -167,6 +183,9 @@ pub struct CampaignConfig {
     /// Lane width for bit-parallel batch replays; see
     /// [`ReplayOptions::lanes`].
     pub lanes: usize,
+    /// Lane width for lane-packed timing-aware batch replays; see
+    /// [`ReplayOptions::timing_lanes`].
+    pub timing_lanes: usize,
 }
 
 impl Default for CampaignConfig {
@@ -179,6 +198,7 @@ impl Default for CampaignConfig {
             incremental: true,
             delta_timing: true,
             lanes: MAX_LANES,
+            timing_lanes: MAX_LANES,
         }
     }
 }
@@ -217,6 +237,13 @@ impl CampaignConfig {
         self.lanes = lanes;
         self
     }
+
+    /// Builder-style override of the timing batch lane width (`1` =
+    /// scalar baseline, `0` = maximum width).
+    pub fn with_timing_lanes(mut self, timing_lanes: usize) -> Self {
+        self.timing_lanes = timing_lanes;
+        self
+    }
 }
 
 /// A worker's private injector, with the shard-invariant knobs applied.
@@ -230,11 +257,13 @@ fn shard_injector<'g, E: Environment + Clone>(
     incremental: bool,
     delta_timing: bool,
     lanes: usize,
+    timing_lanes: usize,
 ) -> Injector<'g, E> {
     let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
     injector.set_incremental(incremental);
     injector.set_delta_timing(delta_timing);
     injector.set_lanes(lanes);
+    injector.set_timing_lanes(timing_lanes);
     injector
 }
 
@@ -379,15 +408,16 @@ fn campaign_fingerprint<E: Environment + Clone>(
 }
 
 /// Digest of the engine knobs that shape the *counters* without changing
-/// results: `lanes`, `incremental` and `delta_timing` all leave reports
-/// byte-identical but move work between counters, so a checkpoint written
-/// under one knob set cannot be merged under another without breaking the
-/// stats-identity guarantee. `threads` is deliberately absent — every
-/// counter is thread-count invariant, which is exactly what lets an
-/// interrupted 8-thread campaign resume on 2 threads.
-fn knob_hash(lanes: usize, incremental: bool, delta_timing: bool) -> u64 {
+/// results: `lanes`, `timing_lanes`, `incremental` and `delta_timing` all
+/// leave reports byte-identical but move work between counters, so a
+/// checkpoint written under one knob set cannot be merged under another
+/// without breaking the stats-identity guarantee. `threads` is
+/// deliberately absent — every counter is thread-count invariant, which is
+/// exactly what lets an interrupted 8-thread campaign resume on 2 threads.
+fn knob_hash(lanes: usize, timing_lanes: usize, incremental: bool, delta_timing: bool) -> u64 {
     let mut f = Fingerprint::new();
     f.write_usize(lanes);
+    f.write_usize(timing_lanes);
     f.write_bool(incremental);
     f.write_bool(delta_timing);
     f.finish()
@@ -499,16 +529,7 @@ impl<'a, S: TelemetrySink> ShardObserver<'a, S> {
                 let elapsed = self
                     .started
                     .map_or(0.0, |s| now.duration_since(s).as_secs_f64());
-                let units_per_sec = if elapsed > 0.0 {
-                    self.done as f64 / elapsed
-                } else {
-                    0.0
-                };
-                let eta_s = if units_per_sec > 0.0 {
-                    (self.total - self.done) as f64 / units_per_sec
-                } else {
-                    0.0
-                };
+                let (units_per_sec, eta_s) = heartbeat_rates(self.done, self.total, elapsed);
                 self.telemetry.emit(&TelemetryEvent::ShardHeartbeat {
                     shard: self.shard,
                     done: self.done,
@@ -537,6 +558,27 @@ impl<'a, S: TelemetrySink> ShardObserver<'a, S> {
             });
         }
     }
+}
+
+/// Heartbeat rate math: `(units_per_sec, eta_s)` from the units completed,
+/// the shard total and the elapsed seconds. Degenerate inputs — zero
+/// elapsed time on an instantaneous first unit, or zero completed units —
+/// yield `0.0` rather than NaN/∞: the JSONL layer would render non-finite
+/// numbers as `0.000` anyway, but never producing them keeps `eta_s`
+/// honest at the source. The remaining-unit count saturates so a `done`
+/// overshoot can never panic the telemetry path.
+fn heartbeat_rates(done: usize, total: usize, elapsed: f64) -> (f64, f64) {
+    let units_per_sec = if elapsed > 0.0 {
+        done as f64 / elapsed
+    } else {
+        0.0
+    };
+    let eta_s = if units_per_sec > 0.0 {
+        total.saturating_sub(done) as f64 / units_per_sec
+    } else {
+        0.0
+    };
+    (units_per_sec, eta_s)
 }
 
 /// Runs `f`, adding its wall-clock microseconds to `acc` when `enabled`.
@@ -616,7 +658,7 @@ fn decode_class(tok: char) -> Result<FailureClass, String> {
 fn encode_stats(out: &mut String, s: &InjectorStats) {
     let _ = write!(
         out,
-        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.static_filtered,
         s.toggle_filtered,
         s.event_sims,
@@ -632,7 +674,10 @@ fn encode_stats(out: &mut String, s: &InjectorStats) {
         s.golden_waveform_builds,
         s.delta_events,
         s.delta_early_exits,
-        s.full_event_fallbacks
+        s.full_event_fallbacks,
+        s.batched_timing_replays,
+        s.timing_lanes_occupied,
+        s.timing_lane_slots
     );
 }
 
@@ -655,6 +700,9 @@ fn decode_stats(t: &mut Tokens<'_>) -> Result<InjectorStats, String> {
         delta_events: t.next_u64("delta_events")?,
         delta_early_exits: t.next_u64("delta_early_exits")?,
         full_event_fallbacks: t.next_u64("full_event_fallbacks")?,
+        batched_timing_replays: t.next_u64("batched_timing_replays")?,
+        timing_lanes_occupied: t.next_u64("timing_lanes_occupied")?,
+        timing_lane_slots: t.next_u64("timing_lane_slots")?,
     })
 }
 
@@ -946,12 +994,12 @@ fn delay_sweep_unit<E: Environment + Clone>(
         let extra = fraction_to_picos(timing, fraction);
         // Phase 1 (timing-aware): every edge's dynamically reachable set
         // for this cycle.
+        // Edges surviving the pre-filters share lane-packed batch
+        // replays (up to `timing_lanes` per pass over the fault cone).
+        let pairs: Vec<(EdgeId, Picos)> = edges.iter().map(|&edge| (edge, extra)).collect();
         let parts: Vec<(usize, Vec<DffId>)> =
             timed(time_phases, &mut phases.timing_step_us, || {
-                edges
-                    .iter()
-                    .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
-                    .collect()
+                injector.dynamically_reachable_batch(cycle, &pairs)
             });
         timed(time_phases, &mut phases.replay_us, || {
             // Phase 2: batch the whole boundary's replays — group sets and,
@@ -1068,7 +1116,12 @@ pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         config.due_slack,
         config.compute_orace,
     );
-    let knobs = knob_hash(config.lanes, config.incremental, config.delta_timing);
+    let knobs = knob_hash(
+        config.lanes,
+        config.timing_lanes,
+        config.incremental,
+        config.delta_timing,
+    );
     let setup = open_store(&ctx.checkpoint, "delay_sweep", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "delay_sweep", cycles.len(), threads, || {
         let store = setup.store.as_ref();
@@ -1083,6 +1136,7 @@ pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
                 config.incremental,
                 config.delta_timing,
                 config.lanes,
+                config.timing_lanes,
             );
             let mut rows = empty_rows(config);
             let mut stats = InjectorStats::default();
@@ -1194,7 +1248,12 @@ pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         opts.due_slack,
         false,
     );
-    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+    );
     let setup = open_store(&ctx.checkpoint, "savf", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "savf", cycles.len(), threads, || {
         let store = setup.store.as_ref();
@@ -1209,6 +1268,7 @@ pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
                 opts.incremental,
                 opts.delta_timing,
                 opts.lanes,
+                opts.timing_lanes,
             );
             let mut result = SavfResult::default();
             let mut stats = InjectorStats::default();
@@ -1316,7 +1376,12 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
         opts.due_slack,
         false,
     );
-    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+    );
     let setup = open_store(&ctx.checkpoint, "delay_records", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "delay_records", cycles.len(), threads, || {
         let store = setup.store.as_ref();
@@ -1331,6 +1396,7 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
                 opts.incremental,
                 opts.delta_timing,
                 opts.lanes,
+                opts.timing_lanes,
             );
             let mut row = DelayAvfResult {
                 delay_fraction: fraction,
@@ -1356,12 +1422,10 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
                 timed(S::ENABLED, &mut obs.phases.golden_settle_us, || {
                     injector.warm_cycle_data(cycle)
                 });
+                let pairs: Vec<(EdgeId, Picos)> = edges.iter().map(|&edge| (edge, extra)).collect();
                 let parts: Vec<(usize, Vec<DffId>)> =
                     timed(S::ENABLED, &mut obs.phases.timing_step_us, || {
-                        edges
-                            .iter()
-                            .map(|&edge| injector.dynamically_reachable(cycle, edge, extra))
-                            .collect()
+                        injector.dynamically_reachable_batch(cycle, &pairs)
                     });
                 timed(S::ENABLED, &mut obs.phases.replay_us, || {
                     injector.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
@@ -1458,7 +1522,12 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         opts.due_slack,
         false,
     );
-    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+    );
     let setup = open_store(&ctx.checkpoint, "savf_per_bit", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "savf_per_bit", dffs.len(), threads, || {
         let store = setup.store.as_ref();
@@ -1473,6 +1542,7 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
                 opts.incremental,
                 opts.delta_timing,
                 opts.lanes,
+                opts.timing_lanes,
             );
             let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
             // Preload every resumed bit's classifications first, so the
@@ -1583,7 +1653,12 @@ pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: Teleme
         opts.due_slack,
         false,
     );
-    let knobs = knob_hash(opts.lanes, opts.incremental, opts.delta_timing);
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+    );
     let setup = open_store(&ctx.checkpoint, "spatial_double", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "spatial_double", cycles.len(), threads, || {
         let store = setup.store.as_ref();
@@ -1598,6 +1673,7 @@ pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: Teleme
                 opts.incremental,
                 opts.delta_timing,
                 opts.lanes,
+                opts.timing_lanes,
             );
             let mut result = SavfResult::default();
             let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
@@ -1683,6 +1759,7 @@ mod tests {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            timing_lanes: 64,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         assert_eq!(rows.len(), 3);
@@ -1714,6 +1791,7 @@ mod tests {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            timing_lanes: 64,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         let r = &rows[0];
@@ -1801,6 +1879,7 @@ mod tests {
             incremental: true,
             delta_timing: true,
             lanes: 64,
+            timing_lanes: 64,
         };
         let (serial_rows, serial_stats) =
             delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &config);
@@ -1890,5 +1969,23 @@ mod tests {
         assert_eq!(resolve_threads(8, 2), 2);
         assert_eq!(resolve_threads(1, 0), 1);
         assert!(resolve_threads(0, 1_000_000) >= 1);
+    }
+
+    #[test]
+    fn heartbeat_rate_math_is_finite_on_degenerate_inputs() {
+        // Instantaneous first unit: no measurable elapsed time yet, so no
+        // rate and no ETA — never NaN or ∞.
+        assert_eq!(heartbeat_rates(1, 10, 0.0), (0.0, 0.0));
+        // Zero completed units at positive elapsed time: zero rate, and the
+        // eta guard keeps 10/0 from becoming ∞.
+        assert_eq!(heartbeat_rates(0, 10, 1.0), (0.0, 0.0));
+        // Steady state: 5 units in 2.5 s is 2 units/s, 5 remaining = 2.5 s.
+        let (ups, eta) = heartbeat_rates(5, 10, 2.5);
+        assert!((ups - 2.0).abs() < 1e-12);
+        assert!((eta - 2.5).abs() < 1e-12);
+        // A finished (or overshot) shard reports zero ETA instead of
+        // panicking on `total - done` underflow.
+        assert_eq!(heartbeat_rates(10, 10, 2.0).1, 0.0);
+        assert_eq!(heartbeat_rates(11, 10, 2.0).1, 0.0);
     }
 }

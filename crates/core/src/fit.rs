@@ -15,10 +15,13 @@ pub struct Fit(pub f64);
 
 impl fmt::Display for Fit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 != 0.0 && self.0.abs() < 0.01 {
-            write!(f, "{:.2e} FIT", self.0)
+        // Normalize the negative-zero bit pattern (e.g. a rate multiplied
+        // by -0.0 AVF) so it renders "0.000", not "-0.000".
+        let v = if self.0 == 0.0 { 0.0 } else { self.0 };
+        if v != 0.0 && v.abs() < 0.01 {
+            write!(f, "{v:.2e} FIT")
         } else {
-            write!(f, "{:.3} FIT", self.0)
+            write!(f, "{v:.3} FIT")
         }
     }
 }
@@ -82,6 +85,21 @@ mod tests {
         // Small rates render in scientific notation instead of rounding to 0.
         assert_eq!(Fit(4.0e-4).to_string(), "4.00e-4 FIT");
         assert_eq!(Fit(0.0).to_string(), "0.000 FIT");
+    }
+
+    #[test]
+    fn display_handles_signs_zeros_and_non_finite_rates() {
+        // Negative zero normalizes — no "-0.000 FIT" in reports.
+        assert_eq!(Fit(-0.0).to_string(), "0.000 FIT");
+        // The scientific-notation threshold is exclusive at 0.01.
+        assert_eq!(Fit(0.01).to_string(), "0.010 FIT");
+        assert_eq!(Fit(0.009).to_string(), "9.00e-3 FIT");
+        // Negative small magnitudes keep their sign in scientific notation.
+        assert_eq!(Fit(-4.0e-4).to_string(), "-4.00e-4 FIT");
+        // Non-finite rates (degenerate inputs) degrade readably rather
+        // than panicking; `structure_fit` asserts them away upstream.
+        assert_eq!(Fit(f64::NAN).to_string(), "NaN FIT");
+        assert_eq!(Fit(f64::INFINITY).to_string(), "inf FIT");
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::collections::{HashMap, HashSet};
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, NetId, Topology};
 use delayavf_sim::{
-    pack_bits, settle, BatchSim, CycleSim, DeltaEventSim, DiffSim, Environment, EventSim,
-    FaultSpec, MAX_LANES,
+    pack_bits, settle, BatchDeltaSim, BatchSim, CycleSim, DeltaEventSim, DiffSim, Environment,
+    EventSim, FaultSpec, MAX_LANES, MAX_TIMING_LANES,
 };
 use delayavf_timing::{Picos, TimingModel};
 
@@ -95,6 +95,7 @@ pub struct Injector<'a, E: Environment + Clone> {
     golden: &'a GoldenRun<E>,
     event: EventSim<'a>,
     delta: DeltaEventSim<'a>,
+    batch_delta: BatchDeltaSim<'a>,
     replay: CycleSim<'a>,
     diff: DiffSim<'a>,
     batch: BatchSim<'a>,
@@ -107,6 +108,9 @@ pub struct Injector<'a, E: Environment + Clone> {
     delta_timing: bool,
     /// Lane width for bit-parallel batch replays (1 = scalar only).
     lanes: usize,
+    /// Lane width for lane-packed timing-aware batch replays (1 = scalar
+    /// only).
+    timing_lanes: usize,
     /// Zeroed input-word scratch for advancing the shared golden
     /// environment along the recorded trace.
     env_scratch: Vec<u64>,
@@ -196,6 +200,22 @@ pub struct InjectorStats {
     /// delta timing was disabled (the `--no-delta-timing` escape hatch).
     /// Zero when delta timing is enabled.
     pub full_event_fallbacks: u64,
+    /// Lane-packed timing-aware batch replays executed (each covers up to
+    /// `timing_lanes` `(edge, extra)` scenarios at one trace cycle). Zero
+    /// when `timing_lanes <= 1` or delta timing is disabled. Depends on the
+    /// configured timing lane width — fewer, fuller batches at higher widths
+    /// — but not on the thread count for cycle-sharded campaigns.
+    pub batched_timing_replays: u64,
+    /// Scenario lanes actually occupied across all timing-aware batch
+    /// replays: the number of injections whose step-1 simulation rode a
+    /// packed batch. Invariant across timing lane widths > 1 (the static and
+    /// toggle pre-filters run before lane chunking) and across thread counts
+    /// for cycle-sharded campaigns.
+    pub timing_lanes_occupied: u64,
+    /// Total lane slots offered across all timing-aware batch replays
+    /// (`batched_timing_replays * timing_lanes`); the denominator of
+    /// [`InjectorStats::timing_lane_utilization`].
+    pub timing_lane_slots: u64,
 }
 
 impl InjectorStats {
@@ -222,6 +242,9 @@ impl InjectorStats {
         self.delta_events += other.delta_events;
         self.delta_early_exits += other.delta_early_exits;
         self.full_event_fallbacks += other.full_event_fallbacks;
+        self.batched_timing_replays += other.batched_timing_replays;
+        self.timing_lanes_occupied += other.timing_lanes_occupied;
+        self.timing_lane_slots += other.timing_lane_slots;
     }
 
     /// The field-wise difference `self - baseline`. Counters only ever
@@ -246,6 +269,9 @@ impl InjectorStats {
             delta_events: self.delta_events - baseline.delta_events,
             delta_early_exits: self.delta_early_exits - baseline.delta_early_exits,
             full_event_fallbacks: self.full_event_fallbacks - baseline.full_event_fallbacks,
+            batched_timing_replays: self.batched_timing_replays - baseline.batched_timing_replays,
+            timing_lanes_occupied: self.timing_lanes_occupied - baseline.timing_lanes_occupied,
+            timing_lane_slots: self.timing_lane_slots - baseline.timing_lane_slots,
         }
     }
 
@@ -256,6 +282,17 @@ impl InjectorStats {
             0.0
         } else {
             self.lanes_occupied as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// Mean lane occupancy of the timing-aware batch replays
+    /// (`timing_lanes_occupied / timing_lane_slots`), in `[0, 1]`. Zero when
+    /// no timing batch ran.
+    pub fn timing_lane_utilization(&self) -> f64 {
+        if self.timing_lane_slots == 0 {
+            0.0
+        } else {
+            self.timing_lanes_occupied as f64 / self.timing_lane_slots as f64
         }
     }
 }
@@ -299,6 +336,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             golden,
             event: EventSim::new(circuit, topo, timing),
             delta: DeltaEventSim::new(circuit, topo, timing),
+            batch_delta: BatchDeltaSim::new(circuit, topo, timing),
             replay: CycleSim::new(circuit, topo),
             diff: DiffSim::new(circuit, topo),
             batch: BatchSim::new(circuit, topo),
@@ -308,6 +346,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             incremental: true,
             delta_timing: true,
             lanes: MAX_LANES,
+            timing_lanes: MAX_LANES,
             env_scratch: vec![0; circuit.input_ports().len()],
             cycle_data: None,
             fanin_cache: HashMap::new(),
@@ -371,6 +410,21 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
     /// escape hatch).
     pub fn set_delta_timing(&mut self, enabled: bool) {
         self.delta_timing = enabled;
+    }
+
+    /// Sets the lane width for lane-packed timing-aware batch replays. `1`
+    /// disables timing batching entirely (the exact scalar [`DeltaEventSim`]
+    /// baseline, byte-identical reports); `0` selects the maximum width.
+    /// Values are clamped to [`delayavf_sim::MAX_TIMING_LANES`]. Timing
+    /// batching never changes campaign results — a fidelity property the
+    /// differential test suites check — it only lets up to `timing_lanes`
+    /// injections at one trace cycle share each pass over the fault cone.
+    pub fn set_timing_lanes(&mut self, timing_lanes: usize) {
+        self.timing_lanes = if timing_lanes == 0 {
+            MAX_TIMING_LANES
+        } else {
+            timing_lanes.min(MAX_TIMING_LANES)
+        };
     }
 
     /// Full two-step evaluation: is edge `edge` DelayACE in `cycle` under an
@@ -496,6 +550,149 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             .map(|(i, _)| DffId::from_index(i))
             .collect();
         (static_count, dynamic)
+    }
+
+    /// Step 1 for a whole cycle's worth of injections at once: the
+    /// statically reachable count and dynamically reachable set of every
+    /// `(edge, extra)` pair, in input order.
+    ///
+    /// Pairs surviving the static and toggle pre-filters are chunked into
+    /// groups of up to `timing_lanes` and each group is propagated together
+    /// by [`BatchDeltaSim`] over lane-packed transition words against the
+    /// one cached golden waveform. Lanes the batch engine cannot represent
+    /// retire to the scalar [`DeltaEventSim`]. With `timing_lanes <= 1` or
+    /// delta timing disabled this is exactly a loop over
+    /// [`Injector::dynamically_reachable`] — the byte-identical scalar
+    /// escape hatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Injector::dynamically_reachable`] does on unsampled,
+    /// zero, or final cycles.
+    pub fn dynamically_reachable_batch(
+        &mut self,
+        cycle: u64,
+        pairs: &[(EdgeId, Picos)],
+    ) -> Vec<(usize, Vec<DffId>)> {
+        if !self.delta_timing || self.timing_lanes <= 1 {
+            return pairs
+                .iter()
+                .map(|&(edge, extra)| self.dynamically_reachable(cycle, edge, extra))
+                .collect();
+        }
+        assert!(cycle >= 1, "cycle 0 has no preceding settled state");
+        assert!(
+            cycle < self.golden.trace.num_cycles(),
+            "cycle {cycle} has no successor in the golden trace"
+        );
+
+        // Run the cycle-invariant static memo and the per-cycle toggle
+        // filter exactly as the scalar path does; only survivors occupy
+        // batch lanes.
+        let mut results: Vec<(usize, Vec<DffId>)> = Vec::with_capacity(pairs.len());
+        let mut survivors: Vec<usize> = Vec::new();
+        for &(edge, extra) in pairs {
+            let static_count = match self.static_reach_cache.get(&(edge, extra)) {
+                Some(&n) => n,
+                None => {
+                    let path = self.timing.path_through_edge(self.circuit, self.topo, edge);
+                    let n = if path + extra <= self.timing.clock_period() {
+                        0
+                    } else {
+                        self.timing
+                            .statically_reachable(self.circuit, self.topo, edge, extra)
+                            .len()
+                    };
+                    self.static_reach_cache.insert((edge, extra), n);
+                    n
+                }
+            };
+            if static_count == 0 {
+                self.stats.static_filtered += 1;
+                results.push((0, Vec::new()));
+                continue;
+            }
+            if self.toggle_filter && !self.edge_sources_toggle(cycle, edge) {
+                self.stats.toggle_filtered += 1;
+                results.push((static_count, Vec::new()));
+                continue;
+            }
+            survivors.push(results.len());
+            results.push((static_count, Vec::new()));
+        }
+        if survivors.is_empty() {
+            return results;
+        }
+
+        self.ensure_cycle_data(cycle);
+        let inputs = self.golden.trace.inputs_at(cycle);
+        for chunk in survivors.chunks(self.timing_lanes) {
+            let faults: Vec<FaultSpec> = chunk
+                .iter()
+                .map(|&ri| {
+                    let (edge, extra) = pairs[ri];
+                    FaultSpec { edge, extra }
+                })
+                .collect();
+            let data = self.cycle_data.as_ref().expect("just ensured");
+            self.stats.event_sims += chunk.len() as u64;
+            self.stats.batched_timing_replays += 1;
+            self.stats.timing_lanes_occupied += chunk.len() as u64;
+            self.stats.timing_lane_slots += self.timing_lanes as u64;
+            let outcome = self.batch_delta.latch_batch(
+                cycle,
+                &data.prev_values,
+                &data.new_state,
+                inputs,
+                &faults,
+            );
+            self.stats.golden_waveform_builds += u64::from(outcome.built_golden);
+            self.stats.delta_events += outcome.delta_events;
+            self.stats.delta_early_exits += outcome.reconverged;
+            let mut sets = self
+                .batch_delta
+                .mismatch_sets(chunk.len(), &data.next_state);
+            for (lane, &ri) in chunk.iter().enumerate() {
+                if outcome.retired.contains(&lane) {
+                    // Unbatchable scenario: replay it on the scalar delta
+                    // engine, which shares the cached golden waveform.
+                    let (latched, o) = self.delta.latch_cycle(
+                        cycle,
+                        &data.prev_values,
+                        &data.new_state,
+                        inputs,
+                        faults[lane],
+                    );
+                    self.stats.golden_waveform_builds += u64::from(o.built_golden);
+                    self.stats.delta_events += o.delta_events;
+                    self.stats.delta_early_exits += o.reconverged;
+                    results[ri].1 = latched
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, &v)| v != data.next_state[i])
+                        .map(|(i, _)| DffId::from_index(i))
+                        .collect();
+                } else {
+                    results[ri].1 = std::mem::take(&mut sets[lane]);
+                }
+            }
+        }
+        results
+    }
+
+    /// Full two-step evaluation of a whole cycle's worth of injections:
+    /// step 1 via [`Injector::dynamically_reachable_batch`], then step 2
+    /// ([`Injector::classify_injection`]) per pair. Outcomes are returned in
+    /// input order; a loop over [`Injector::inject`] produces the same
+    /// values.
+    pub fn inject_batch(&mut self, cycle: u64, pairs: &[(EdgeId, Picos)]) -> Vec<InjectionOutcome> {
+        let parts = self.dynamically_reachable_batch(cycle, pairs);
+        parts
+            .into_iter()
+            .map(|(statically_reachable, dynamic_set)| {
+                self.classify_injection(cycle, statically_reachable, dynamic_set)
+            })
+            .collect()
     }
 
     /// Step 2 (timing-agnostic): is a simultaneous error in `set` at the

@@ -59,6 +59,12 @@ pub fn stratified_cycles(num_cycles: u64, count: usize, seed: u64) -> Vec<u64> {
 
 /// Derives the sample count from a sampling percentage, as the paper
 /// configures it (`percent_sampled_cycles_delay`).
+///
+/// The result is clamped to at least one cycle, which also absorbs
+/// degenerate rates (negative, zero, NaN) into a count of 1 — callers that
+/// accept user input must reject such rates *before* this conversion (the
+/// configuration layer enforces `0 < percent <= 100`), because a silent
+/// one-cycle sample is statistically meaningless, not conservative.
 pub fn percent_to_count(num_cycles: u64, percent: f64) -> usize {
     ((num_cycles as f64) * percent / 100.0).ceil().max(1.0) as usize
 }
@@ -102,6 +108,19 @@ mod tests {
         // 4% of 8903 cycles (matmult in Table II) ≈ 357 injection cycles.
         assert_eq!(percent_to_count(8903, 4.0), 357);
         assert_eq!(percent_to_count(10, 0.01), 1, "at least one cycle");
+    }
+
+    #[test]
+    fn percent_conversion_collapses_degenerate_rates_to_one() {
+        // Pinned behavior: the at-least-one clamp absorbs rates the config
+        // layer is responsible for rejecting. If this ever changes, the
+        // validation contract documented on `percent_to_count` moves too.
+        assert_eq!(percent_to_count(1000, -4.0), 1);
+        assert_eq!(percent_to_count(1000, 0.0), 1);
+        assert_eq!(percent_to_count(1000, f64::NAN), 1);
+        assert_eq!(percent_to_count(1000, f64::NEG_INFINITY), 1);
+        // Positive infinity saturates instead of wrapping.
+        assert_eq!(percent_to_count(1000, f64::INFINITY), usize::MAX);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::injector::InjectorStats;
 
 /// Version stamped into every emitted line as `"v"`; bumped whenever an
 /// event gains, loses or renames a field.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
 
 /// Per-shard wall-clock totals of the three phases of a DelayAVF work
 /// unit, in microseconds. Only accumulated when the sink is enabled.
@@ -265,8 +265,8 @@ impl<W: Write + Send> TelemetrySink for JsonlTelemetry<W> {
     }
 }
 
-/// The sixteen engine counters in their canonical (schema) order.
-fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 16] {
+/// The nineteen engine counters in their canonical (schema) order.
+fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 19] {
     [
         ("static_filtered", stats.static_filtered),
         ("toggle_filtered", stats.toggle_filtered),
@@ -284,6 +284,9 @@ fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 16] {
         ("delta_events", stats.delta_events),
         ("delta_early_exits", stats.delta_early_exits),
         ("full_event_fallbacks", stats.full_event_fallbacks),
+        ("batched_timing_replays", stats.batched_timing_replays),
+        ("timing_lanes_occupied", stats.timing_lanes_occupied),
+        ("timing_lane_slots", stats.timing_lane_slots),
     ]
 }
 
@@ -490,6 +493,9 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             "delta_events",
             "delta_early_exits",
             "full_event_fallbacks",
+            "batched_timing_replays",
+            "timing_lanes_occupied",
+            "timing_lane_slots",
         ],
         "checkpoint_flush" => &["completed_units"],
         "campaign_end" => {
@@ -597,14 +603,25 @@ mod tests {
         assert!(validate_line(r#"{"v":99,"t_ms":0,"event":"campaign_end"}"#)
             .unwrap_err()
             .contains("schema version"));
-        assert!(validate_line(r#"{"v":1,"t_ms":0,"event":"wat"}"#)
+        assert!(validate_line(r#"{"v":2,"t_ms":0,"event":"wat"}"#)
             .unwrap_err()
             .contains("unknown event"));
         assert!(
-            validate_line(r#"{"v":1,"t_ms":0,"event":"checkpoint_flush"}"#)
+            validate_line(r#"{"v":2,"t_ms":0,"event":"checkpoint_flush"}"#)
                 .unwrap_err()
                 .contains("completed_units")
         );
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_parseable_zero() {
+        // The emit path's last line of defense: even if a caller smuggles a
+        // NaN/∞ rate past its own guards, the line stays valid JSON.
+        assert_eq!(finite(f64::NAN), "0.000");
+        assert_eq!(finite(f64::INFINITY), "0.000");
+        assert_eq!(finite(f64::NEG_INFINITY), "0.000");
+        assert_eq!(finite(1.5), "1.500");
+        assert_eq!(finite(-0.25), "-0.250");
     }
 
     #[test]

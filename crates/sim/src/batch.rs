@@ -39,6 +39,7 @@
 
 use delayavf_netlist::{Circuit, Consumer, DffId, GateId, GateKind, NetId, Topology};
 
+use crate::pack::{broadcast, eval_word, packed_bit};
 use crate::trace::GoldenTrace;
 
 /// The lane width of one [`BatchSim`] batch (bits of a `u64`).
@@ -48,41 +49,6 @@ pub const MAX_LANES: usize = 64;
 /// worklist costs a small constant factor per visited gate, so it must beat
 /// the straight-line table by leaving most of the netlist untouched.
 const SPARSE_SEED_FACTOR: usize = 16;
-
-/// Broadcasts one golden bit across all lanes.
-#[inline(always)]
-fn broadcast(bit: bool) -> u64 {
-    if bit {
-        !0
-    } else {
-        0
-    }
-}
-
-/// Reads bit `i` of a packed (LSB-first) word slice.
-#[inline(always)]
-fn packed_bit(words: &[u64], i: usize) -> bool {
-    (words[i / 64] >> (i % 64)) & 1 == 1
-}
-
-/// Evaluates one gate on lane-packed words. For `Mux2` the pin order is
-/// `[s, a, b]` (select first), matching [`GateKind::eval`]; unused operands
-/// of lower-arity kinds are ignored.
-#[inline(always)]
-fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
-    match kind {
-        GateKind::Buf => a,
-        GateKind::Not => !a,
-        GateKind::And2 => a & b,
-        GateKind::Or2 => a | b,
-        GateKind::Nand2 => !(a & b),
-        GateKind::Nor2 => !(a | b),
-        GateKind::Xor2 => a ^ b,
-        GateKind::Xnor2 => !(a ^ b),
-        // `b ^ (s & (b ^ c))` is the 3-op mux: s=0 -> b, s=1 -> c.
-        GateKind::Mux2 => b ^ (a & (b ^ c)),
-    }
-}
 
 /// One compiled gate evaluation: operand net slots and an output slot.
 ///

@@ -13,7 +13,10 @@
 //!    alternating values, i.e. exactly the value-over-time step function of
 //!    each net — plus the fault-free latched flip-flop values. The cache
 //!    holds one cycle (campaigns sweep edge-inner / cycle-outer, so a single
-//!    slot gives perfect reuse, mirroring the injector's `CycleData`).
+//!    slot gives perfect reuse, mirroring the injector's `CycleData`). The
+//!    cache lives in [`GoldenWave`] so the lane-packed
+//!    [`BatchDeltaSim`](crate::BatchDeltaSim) shares the identical build
+//!    path.
 //! 2. **Delta simulation.** A faulty injection is evaluated as a difference
 //!    against the cached waveform, seeded at the struck edge's sink: the
 //!    struck gate's faulty output waveform is computed from its input pin
@@ -62,13 +65,13 @@ pub struct DeltaOutcome {
 /// A transition list: `(time, value)` with strictly increasing times and
 /// alternating values — the canonical encoding of a net's value over the
 /// cycle, starting from its settled previous-cycle value.
-type Wave = Vec<(Picos, bool)>;
+pub(crate) type Wave = Vec<(Picos, bool)>;
 
 /// Appends a transition, keeping the list canonical: a same-time push
 /// overwrites (zero-width glitches collapse), and a push restoring the
 /// current value is dropped.
 #[inline]
-fn push_tx(tx: &mut Wave, base: bool, t: Picos, v: bool) {
+pub(crate) fn push_tx(tx: &mut Wave, base: bool, t: Picos, v: bool) {
     if let Some(&(lt, _)) = tx.last() {
         if lt == t {
             let prev = if tx.len() >= 2 {
@@ -93,13 +96,184 @@ fn push_tx(tx: &mut Wave, base: bool, t: Picos, v: bool) {
 /// The value of a canonical transition list at time `at` (`None` = before
 /// the cycle starts, i.e. the base value).
 #[inline]
-fn value_at(tx: &[(Picos, bool)], base: bool, at: Option<Picos>) -> bool {
+pub(crate) fn value_at(tx: &[(Picos, bool)], base: bool, at: Option<Picos>) -> bool {
     let Some(at) = at else { return base };
     let idx = tx.partition_point(|&(t, _)| t <= at);
     if idx == 0 {
         base
     } else {
         tx[idx - 1].1
+    }
+}
+
+/// The cached fault-free timed waveform of one trace cycle: canonical
+/// per-net transition lists, the settled base values they start from, and
+/// the fault-free latched flip-flop values.
+///
+/// Shared by [`DeltaEventSim`] and [`BatchDeltaSim`](crate::BatchDeltaSim):
+/// both engines evaluate faulty injections as deltas against exactly this
+/// waveform, built by exactly this event loop (the same one as
+/// [`EventSim::latch_cycle`](crate::EventSim::latch_cycle) with no fault).
+#[derive(Clone, Debug)]
+pub(crate) struct GoldenWave {
+    /// Trace cycle the cache currently holds.
+    cached_cycle: Option<u64>,
+    /// Settled net values at the clock edge (the waveform base values).
+    pub(crate) base: Vec<bool>,
+    /// Canonical per-net golden transition lists for the cached cycle.
+    pub(crate) tx: Vec<Wave>,
+    /// Fault-free latched value per flip-flop for the cached cycle.
+    pub(crate) latch: Vec<bool>,
+    // Scratch for the golden event loop (mirrors `EventSim`).
+    net_val: Vec<bool>,
+    pin_val: Vec<bool>,
+    heap: BinaryHeap<Reverse<(Picos, u64, u32, bool)>>,
+    seq: u64,
+    input_bits: Vec<bool>,
+}
+
+impl GoldenWave {
+    /// Creates an empty cache sized for `circuit`.
+    pub(crate) fn new(circuit: &Circuit, topo: &Topology) -> Self {
+        GoldenWave {
+            cached_cycle: None,
+            base: vec![false; circuit.num_nets()],
+            tx: vec![Vec::new(); circuit.num_nets()],
+            latch: vec![false; circuit.num_dffs()],
+            net_val: vec![false; circuit.num_nets()],
+            pin_val: vec![false; topo.edges().len()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            input_bits: vec![false; circuit.num_nets()],
+        }
+    }
+
+    /// Ensures the cache holds `cycle`, rebuilding if the previous call
+    /// simulated a different trace cycle. Returns true on a rebuild.
+    /// Consecutive calls with the same cycle number must pass the same
+    /// `prev_values` / `new_state` / `new_inputs`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ensure(
+        &mut self,
+        circuit: &Circuit,
+        topo: &Topology,
+        timing: &TimingModel,
+        cycle: u64,
+        prev_values: &[bool],
+        new_state: &[bool],
+        new_inputs: &[u64],
+    ) -> bool {
+        if self.cached_cycle == Some(cycle) {
+            return false;
+        }
+        self.build(circuit, topo, timing, prev_values, new_state, new_inputs);
+        self.cached_cycle = Some(cycle);
+        true
+    }
+
+    /// Simulates the fault-free timed waveform of one cycle — the same event
+    /// loop as [`EventSim::latch_cycle`](crate::EventSim::latch_cycle) with
+    /// no fault — recording every net's canonical transition list and the
+    /// fault-free latched values.
+    fn build(
+        &mut self,
+        circuit: &Circuit,
+        topo: &Topology,
+        timing: &TimingModel,
+        prev_values: &[bool],
+        new_state: &[bool],
+        new_inputs: &[u64],
+    ) {
+        let deadline = timing.clock_period().saturating_sub(timing.setup());
+        for tx in &mut self.tx {
+            tx.clear();
+        }
+        self.base.copy_from_slice(prev_values);
+        self.net_val.copy_from_slice(prev_values);
+        for (i, e) in topo.edges().iter().enumerate() {
+            self.pin_val[i] = prev_values[e.source.index()];
+        }
+        self.heap.clear();
+        self.seq = 0;
+
+        // t = 0: the clock edge updates flip-flop outputs and the
+        // environment presents new inputs.
+        for (id, dff) in circuit.dffs() {
+            let q = dff.q();
+            let v = new_state[id.index()];
+            if self.net_val[q.index()] != v {
+                self.net_val[q.index()] = v;
+                push_tx(&mut self.tx[q.index()], prev_values[q.index()], 0, v);
+                self.schedule_fanouts(topo, timing, q, 0, v);
+            }
+        }
+        self.input_bits.copy_from_slice(prev_values);
+        write_input_nets(circuit, new_inputs, &mut self.input_bits);
+        for &net in circuit.input_nets() {
+            let v = self.input_bits[net.index()];
+            if self.net_val[net.index()] != v {
+                self.net_val[net.index()] = v;
+                push_tx(&mut self.tx[net.index()], prev_values[net.index()], 0, v);
+                self.schedule_fanouts(topo, timing, net, 0, v);
+            }
+        }
+
+        while let Some(&Reverse((t, _, edge_idx, value))) = self.heap.peek() {
+            if t > deadline {
+                break;
+            }
+            self.heap.pop();
+            let edge = topo.edge(EdgeId::from_index(edge_idx as usize));
+            let idx = edge_idx as usize;
+            if self.pin_val[idx] == value {
+                continue;
+            }
+            self.pin_val[idx] = value;
+            if let Consumer::GatePin { gate, .. } = edge.consumer {
+                let g = circuit.gate(gate);
+                let mut ins = [false; 3];
+                for (slot, e) in ins.iter_mut().zip(topo.gate_in_edges(gate)) {
+                    *slot = self.pin_val[e.index()];
+                }
+                let out = g.kind().eval(&ins[..g.kind().arity()]);
+                let out_net = g.output();
+                if self.net_val[out_net.index()] != out {
+                    self.net_val[out_net.index()] = out;
+                    push_tx(
+                        &mut self.tx[out_net.index()],
+                        prev_values[out_net.index()],
+                        t,
+                        out,
+                    );
+                    self.schedule_fanouts(topo, timing, out_net, t, out);
+                }
+            }
+        }
+        self.heap.clear();
+
+        for (id, _) in circuit.dffs() {
+            self.latch[id.index()] = self.pin_val[topo.dff_in_edge(id).index()];
+        }
+    }
+
+    fn schedule_fanouts(
+        &mut self,
+        topo: &Topology,
+        timing: &TimingModel,
+        net: NetId,
+        t: Picos,
+        value: bool,
+    ) {
+        let delay = timing.net_delay(net);
+        for eid in topo.fanout_ids(net) {
+            self.seq += 1;
+            self.heap.push(Reverse((
+                t + delay,
+                self.seq,
+                u32::try_from(eid.index()).expect("edge id fits u32"),
+                value,
+            )));
+        }
     }
 }
 
@@ -110,20 +284,8 @@ pub struct DeltaEventSim<'a> {
     circuit: &'a Circuit,
     topo: &'a Topology,
     timing: &'a TimingModel,
-    /// Trace cycle the golden-waveform cache currently holds.
-    cached_cycle: Option<u64>,
-    /// Settled net values at the clock edge (the waveform base values).
-    base: Vec<bool>,
-    /// Canonical per-net golden transition lists for the cached cycle.
-    gold_tx: Vec<Wave>,
-    /// Fault-free latched value per flip-flop for the cached cycle.
-    gold_latch: Vec<bool>,
-    // Scratch for the golden event loop (mirrors `EventSim`).
-    net_val: Vec<bool>,
-    pin_val: Vec<bool>,
-    heap: BinaryHeap<Reverse<(Picos, u64, u32, bool)>>,
-    seq: u64,
-    input_bits: Vec<bool>,
+    /// The shared golden-waveform cache (one trace cycle).
+    gold: GoldenWave,
     // Epoch-stamped delta scratch (O(1) reset per injection).
     fault_tx: Vec<Wave>,
     fault_epoch: Vec<u64>,
@@ -146,15 +308,7 @@ impl<'a> DeltaEventSim<'a> {
             circuit,
             topo,
             timing,
-            cached_cycle: None,
-            base: vec![false; circuit.num_nets()],
-            gold_tx: vec![Vec::new(); circuit.num_nets()],
-            gold_latch: vec![false; circuit.num_dffs()],
-            net_val: vec![false; circuit.num_nets()],
-            pin_val: vec![false; topo.edges().len()],
-            heap: BinaryHeap::new(),
-            seq: 0,
-            input_bits: vec![false; circuit.num_nets()],
+            gold: GoldenWave::new(circuit, topo),
             fault_tx: vec![Vec::new(); circuit.num_nets()],
             fault_epoch: vec![0; circuit.num_nets()],
             sched_epoch: vec![0; circuit.num_gates()],
@@ -188,18 +342,24 @@ impl<'a> DeltaEventSim<'a> {
     ) -> (&[bool], DeltaOutcome) {
         assert_eq!(prev_values.len(), self.circuit.num_nets());
         assert_eq!(new_state.len(), self.circuit.num_dffs());
-        let mut outcome = DeltaOutcome::default();
-        if self.cached_cycle != Some(cycle) {
-            self.build_golden(prev_values, new_state, new_inputs);
-            self.cached_cycle = Some(cycle);
-            outcome.built_golden = true;
-        }
+        let mut outcome = DeltaOutcome {
+            built_golden: self.gold.ensure(
+                self.circuit,
+                self.topo,
+                self.timing,
+                cycle,
+                prev_values,
+                new_state,
+                new_inputs,
+            ),
+            ..DeltaOutcome::default()
+        };
         let deadline = self
             .timing
             .clock_period()
             .saturating_sub(self.timing.setup());
 
-        self.latch_out.copy_from_slice(&self.gold_latch);
+        self.latch_out.copy_from_slice(&self.gold.latch);
         self.epoch += 1;
         self.max_sched_level = self.buckets.len();
 
@@ -216,7 +376,7 @@ impl<'a> DeltaEventSim<'a> {
                     .saturating_add(fault.extra);
                 let at = deadline.checked_sub(delay);
                 let src = struck.source.index();
-                self.latch_out[f.index()] = value_at(&self.gold_tx[src], self.base[src], at);
+                self.latch_out[f.index()] = value_at(&self.gold.tx[src], self.gold.base[src], at);
             }
             // Primary outputs are not latched state; nothing can diverge.
             Consumer::OutputBit { .. } => {}
@@ -259,7 +419,7 @@ impl<'a> DeltaEventSim<'a> {
             while let Some(g) = self.buckets[level].pop() {
                 outcome.delta_events += self.eval_gate_wave(g, fault, deadline);
                 let out = self.circuit.gate(g).output();
-                if self.wave == self.gold_tx[out.index()] {
+                if self.wave == self.gold.tx[out.index()] {
                     outcome.reconverged += 1;
                     continue;
                 }
@@ -294,12 +454,12 @@ impl<'a> DeltaEventSim<'a> {
             .zip(gate.inputs().iter())
             .enumerate()
         {
-            ins[slot] = self.base[src.index()];
+            ins[slot] = self.gold.base[src.index()];
             let extra = if eid == fault.edge { fault.extra } else { 0 };
             let tx: &[(Picos, bool)] = if self.fault_epoch[src.index()] == self.epoch {
                 &self.fault_tx[src.index()]
             } else {
-                &self.gold_tx[src.index()]
+                &self.gold.tx[src.index()]
             };
             streams[slot] = Some(Stream {
                 tx,
@@ -309,7 +469,7 @@ impl<'a> DeltaEventSim<'a> {
             });
         }
         let out = gate.output();
-        let mut out_val = self.base[out.index()];
+        let mut out_val = self.gold.base[out.index()];
         let base_out = out_val;
         self.wave.clear();
         let mut steps = 0u64;
@@ -356,108 +516,10 @@ impl<'a> DeltaEventSim<'a> {
             match e.consumer {
                 Consumer::GatePin { gate, .. } => self.schedule(gate),
                 Consumer::DffD(f) => {
-                    self.latch_out[f.index()] = value_at(&self.fault_tx[i], self.base[i], at);
+                    self.latch_out[f.index()] = value_at(&self.fault_tx[i], self.gold.base[i], at);
                 }
                 Consumer::OutputBit { .. } => {}
             }
-        }
-    }
-
-    /// Simulates the fault-free timed waveform of one cycle — the same event
-    /// loop as [`EventSim::latch_cycle`](crate::EventSim::latch_cycle) with
-    /// no fault — recording every net's canonical transition list and the
-    /// fault-free latched values.
-    fn build_golden(&mut self, prev_values: &[bool], new_state: &[bool], new_inputs: &[u64]) {
-        let deadline = self
-            .timing
-            .clock_period()
-            .saturating_sub(self.timing.setup());
-        for tx in &mut self.gold_tx {
-            tx.clear();
-        }
-        self.base.copy_from_slice(prev_values);
-        self.net_val.copy_from_slice(prev_values);
-        for (i, e) in self.topo.edges().iter().enumerate() {
-            self.pin_val[i] = prev_values[e.source.index()];
-        }
-        self.heap.clear();
-        self.seq = 0;
-
-        // t = 0: the clock edge updates flip-flop outputs and the
-        // environment presents new inputs.
-        for (id, dff) in self.circuit.dffs() {
-            let q = dff.q();
-            let v = new_state[id.index()];
-            if self.net_val[q.index()] != v {
-                self.net_val[q.index()] = v;
-                push_tx(&mut self.gold_tx[q.index()], prev_values[q.index()], 0, v);
-                self.schedule_fanouts(q, 0, v);
-            }
-        }
-        self.input_bits.copy_from_slice(prev_values);
-        write_input_nets(self.circuit, new_inputs, &mut self.input_bits);
-        for &net in self.circuit.input_nets() {
-            let v = self.input_bits[net.index()];
-            if self.net_val[net.index()] != v {
-                self.net_val[net.index()] = v;
-                push_tx(
-                    &mut self.gold_tx[net.index()],
-                    prev_values[net.index()],
-                    0,
-                    v,
-                );
-                self.schedule_fanouts(net, 0, v);
-            }
-        }
-
-        while let Some(&Reverse((t, _, edge_idx, value))) = self.heap.peek() {
-            if t > deadline {
-                break;
-            }
-            self.heap.pop();
-            let edge = self.topo.edge(EdgeId::from_index(edge_idx as usize));
-            let idx = edge_idx as usize;
-            if self.pin_val[idx] == value {
-                continue;
-            }
-            self.pin_val[idx] = value;
-            if let Consumer::GatePin { gate, .. } = edge.consumer {
-                let g = self.circuit.gate(gate);
-                let mut ins = [false; 3];
-                for (slot, e) in ins.iter_mut().zip(self.topo.gate_in_edges(gate)) {
-                    *slot = self.pin_val[e.index()];
-                }
-                let out = g.kind().eval(&ins[..g.kind().arity()]);
-                let out_net = g.output();
-                if self.net_val[out_net.index()] != out {
-                    self.net_val[out_net.index()] = out;
-                    push_tx(
-                        &mut self.gold_tx[out_net.index()],
-                        prev_values[out_net.index()],
-                        t,
-                        out,
-                    );
-                    self.schedule_fanouts(out_net, t, out);
-                }
-            }
-        }
-        self.heap.clear();
-
-        for (id, _) in self.circuit.dffs() {
-            self.gold_latch[id.index()] = self.pin_val[self.topo.dff_in_edge(id).index()];
-        }
-    }
-
-    fn schedule_fanouts(&mut self, net: NetId, t: Picos, value: bool) {
-        let delay = self.timing.net_delay(net);
-        for eid in self.topo.fanout_ids(net) {
-            self.seq += 1;
-            self.heap.push(Reverse((
-                t + delay,
-                self.seq,
-                u32::try_from(eid.index()).expect("edge id fits u32"),
-                value,
-            )));
         }
     }
 }

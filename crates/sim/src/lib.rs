@@ -32,6 +32,12 @@
 //!   that cycle is evaluated as a delta seeded at the struck edge's sink,
 //!   propagating only where the faulty waveform diverges from golden and
 //!   pruning gates whose output waveform reconverges.
+//! * [`BatchDeltaSim`] — the **lane-packed** timing-aware engine: up to
+//!   [`MAX_TIMING_LANES`] `(edge, extra)` scenarios at one trace cycle are
+//!   propagated together over packed word transition lists against the same
+//!   cached golden waveform, with a per-lane divergence frontier,
+//!   independent lane early-exit, and retirement of unbatchable lanes to
+//!   the scalar engine.
 //!
 //! Circuits interact with the outside world through an [`Environment`]
 //! (memories, MMIO consoles, ...). The environment exchanges whole port
@@ -47,16 +53,19 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod batch_delta;
 mod cycle;
 mod delta;
 mod diff;
 mod env;
 mod event;
+mod pack;
 pub mod testutil;
 mod trace;
 mod vcd;
 
 pub use batch::{BatchSim, MAX_LANES};
+pub use batch_delta::{BatchDeltaOutcome, BatchDeltaSim, MAX_TIMING_LANES};
 pub use cycle::{settle, CycleSim, RunSummary, StopReason};
 pub use delta::{DeltaEventSim, DeltaOutcome};
 pub use diff::DiffSim;

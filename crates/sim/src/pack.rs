@@ -1,0 +1,304 @@
+//! Lane-packing primitives shared by the bit-parallel engines.
+//!
+//! [`crate::BatchSim`] (timing-agnostic replay) and
+//! [`crate::BatchDeltaSim`] (timing-aware delta replay) both carry one bit
+//! per fault scenario — a *lane* — inside machine words and evaluate the
+//! 9-kind cell set with bitwise ops. This module holds the word-level
+//! helpers they share:
+//!
+//! * [`broadcast`] / [`packed_bit`] / [`eval_word`] — the `u64` primitives
+//!   the original 64-lane batch engine was built from;
+//! * [`LaneWord`] — the abstraction over lane-carrier words, implemented
+//!   for `u64` (64 lanes) and the 4×`u64` wide word [`W256`] (256 lanes),
+//!   so the timing-aware engine can widen past 64 lanes without a second
+//!   copy of the propagation code.
+//!
+//! Every operation is lane-independent: bit `L` of any result depends only
+//! on bit `L` of the operands, which is what makes a packed simulation an
+//! exact simultaneous run of all its lanes.
+
+use delayavf_netlist::GateKind;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Broadcasts one golden bit across all 64 lanes of a `u64`.
+#[inline(always)]
+pub(crate) fn broadcast(bit: bool) -> u64 {
+    if bit {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Reads bit `i` of a packed (LSB-first) word slice.
+#[inline(always)]
+pub(crate) fn packed_bit(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Evaluates one gate on lane-packed `u64` words. For `Mux2` the pin order
+/// is `[s, a, b]` (select first), matching [`GateKind::eval`]; unused
+/// operands of lower-arity kinds are ignored.
+#[inline(always)]
+pub(crate) fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
+    eval_lanes(kind, a, b, c)
+}
+
+/// Evaluates one gate on lane-packed words of any [`LaneWord`] width.
+/// Semantics match [`eval_word`] lane for lane.
+#[inline(always)]
+pub(crate) fn eval_lanes<W: LaneWord>(kind: GateKind, a: W, b: W, c: W) -> W {
+    match kind {
+        GateKind::Buf => a,
+        GateKind::Not => !a,
+        GateKind::And2 => a & b,
+        GateKind::Or2 => a | b,
+        GateKind::Nand2 => !(a & b),
+        GateKind::Nor2 => !(a | b),
+        GateKind::Xor2 => a ^ b,
+        GateKind::Xnor2 => !(a ^ b),
+        // `b ^ (s & (b ^ c))` is the 3-op mux: s=0 -> b, s=1 -> c.
+        GateKind::Mux2 => b ^ (a & (b ^ c)),
+    }
+}
+
+/// A lane-carrier word: one bit per packed fault scenario.
+///
+/// The contract every implementation upholds — and the packed engines rely
+/// on — is lane independence: for all operations, bit `L` of the result is
+/// the scalar operation applied to bit `L` of the operands.
+pub(crate) trait LaneWord:
+    Copy
+    + Eq
+    + std::fmt::Debug
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+{
+    /// Number of lanes this word carries.
+    const LANES: usize;
+    /// The all-zero word.
+    const ZERO: Self;
+    /// The all-one word (every lane set).
+    const ONES: Self;
+
+    /// Broadcasts one bit to every lane.
+    fn splat(bit: bool) -> Self;
+    /// The single-lane mask with only bit `lane` set.
+    fn lane_mask(lane: usize) -> Self;
+    /// Reads the bit of `lane`.
+    fn get(self, lane: usize) -> bool;
+    /// True when any lane is set.
+    fn any(self) -> bool;
+    /// Calls `f(lane)` for every set lane below `limit`, in ascending lane
+    /// order. Cost is proportional to the number of set lanes, not the
+    /// word width — the primitive behind word-parallel mismatch
+    /// extraction.
+    fn for_each_set(self, limit: usize, f: impl FnMut(usize));
+}
+
+impl LaneWord for u64 {
+    const LANES: usize = 64;
+    const ZERO: Self = 0;
+    const ONES: Self = !0;
+
+    #[inline(always)]
+    fn splat(bit: bool) -> Self {
+        broadcast(bit)
+    }
+
+    #[inline(always)]
+    fn lane_mask(lane: usize) -> Self {
+        debug_assert!(lane < 64);
+        1u64 << lane
+    }
+
+    #[inline(always)]
+    fn get(self, lane: usize) -> bool {
+        (self >> lane) & 1 == 1
+    }
+
+    #[inline(always)]
+    fn any(self) -> bool {
+        self != 0
+    }
+
+    #[inline(always)]
+    fn for_each_set(self, limit: usize, mut f: impl FnMut(usize)) {
+        let mut w = if limit >= 64 {
+            self
+        } else {
+            self & ((1u64 << limit) - 1)
+        };
+        while w != 0 {
+            let lane = w.trailing_zeros() as usize;
+            f(lane);
+            w &= w - 1;
+        }
+    }
+}
+
+/// A 256-lane wide word: 4×`u64`, lane `L` living in bit `L % 64` of limb
+/// `L / 64`. The timing-aware batch engine selects this carrier when a
+/// batch holds more than 64 scenarios (`timing_lanes > 64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct W256(pub [u64; 4]);
+
+impl BitAnd for W256 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, o: Self) -> Self {
+        W256([
+            self.0[0] & o.0[0],
+            self.0[1] & o.0[1],
+            self.0[2] & o.0[2],
+            self.0[3] & o.0[3],
+        ])
+    }
+}
+
+impl BitOr for W256 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, o: Self) -> Self {
+        W256([
+            self.0[0] | o.0[0],
+            self.0[1] | o.0[1],
+            self.0[2] | o.0[2],
+            self.0[3] | o.0[3],
+        ])
+    }
+}
+
+impl BitXor for W256 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, o: Self) -> Self {
+        W256([
+            self.0[0] ^ o.0[0],
+            self.0[1] ^ o.0[1],
+            self.0[2] ^ o.0[2],
+            self.0[3] ^ o.0[3],
+        ])
+    }
+}
+
+impl Not for W256 {
+    type Output = Self;
+    #[inline(always)]
+    fn not(self) -> Self {
+        W256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl LaneWord for W256 {
+    const LANES: usize = 256;
+    const ZERO: Self = W256([0; 4]);
+    const ONES: Self = W256([!0; 4]);
+
+    #[inline(always)]
+    fn splat(bit: bool) -> Self {
+        W256([broadcast(bit); 4])
+    }
+
+    #[inline(always)]
+    fn lane_mask(lane: usize) -> Self {
+        debug_assert!(lane < 256);
+        let mut limbs = [0u64; 4];
+        limbs[lane / 64] = 1u64 << (lane % 64);
+        W256(limbs)
+    }
+
+    #[inline(always)]
+    fn get(self, lane: usize) -> bool {
+        (self.0[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    #[inline(always)]
+    fn any(self) -> bool {
+        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) != 0
+    }
+
+    #[inline(always)]
+    fn for_each_set(self, limit: usize, mut f: impl FnMut(usize)) {
+        for (limb, &bits) in self.0.iter().enumerate() {
+            let base = limb * 64;
+            if base >= limit {
+                break;
+            }
+            bits.for_each_set(limit - base, |lane| f(base + lane));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_laneword<W: LaneWord>() {
+        assert!(!W::ZERO.any());
+        assert!(W::ONES.any());
+        assert_eq!(W::splat(false), W::ZERO);
+        assert_eq!(W::splat(true), W::ONES);
+        for lane in [0, 1, W::LANES / 2, W::LANES - 1] {
+            let m = W::lane_mask(lane);
+            assert!(m.any());
+            assert!(m.get(lane));
+            assert!(!(m ^ std::hint::black_box(m)).any());
+            assert!((!m).get((lane + 1) % W::LANES));
+            for other in [0, W::LANES - 1] {
+                if other != lane {
+                    assert!(!m.get(other), "lane {lane} mask leaks into {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_words_are_lane_independent_masks() {
+        check_laneword::<u64>();
+        check_laneword::<W256>();
+    }
+
+    fn check_for_each_set<W: LaneWord>() {
+        let lanes = [0, 1, W::LANES / 2, W::LANES - 1];
+        let mut w = W::ZERO;
+        for &l in &lanes {
+            w = w | W::lane_mask(l);
+        }
+        let mut seen = Vec::new();
+        w.for_each_set(W::LANES, |l| seen.push(l));
+        assert_eq!(seen, lanes, "ascending order, every set lane");
+        // The limit truncates without shifting lane numbering.
+        let mut seen = Vec::new();
+        w.for_each_set(W::LANES / 2, |l| seen.push(l));
+        assert_eq!(seen, [0, 1], "lanes at or past the limit are skipped");
+        let mut count = 0;
+        W::ONES.for_each_set(7, |_| count += 1);
+        assert_eq!(count, 7);
+        W::ZERO.for_each_set(W::LANES, |_| panic!("no set lanes"));
+    }
+
+    #[test]
+    fn set_lane_iteration_is_ordered_and_bounded() {
+        check_for_each_set::<u64>();
+        check_for_each_set::<W256>();
+    }
+
+    #[test]
+    fn wide_eval_matches_scalar_eval_per_lane() {
+        use delayavf_netlist::GateKind::*;
+        for kind in [Buf, Not, And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2] {
+            for bits in 0u32..8 {
+                let (a, b, c) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+                let want = kind.eval(&[a, b, c][..kind.arity()]);
+                let lane = 137; // an arbitrary lane in limb 2
+                let w = eval_lanes::<W256>(kind, W256::splat(a), W256::splat(b), W256::splat(c));
+                assert_eq!(w.get(lane), want, "{kind:?} on {bits:03b}");
+                let n = eval_word(kind, broadcast(a), broadcast(b), broadcast(c));
+                assert_eq!(n & 1 == 1, want, "{kind:?} narrow on {bits:03b}");
+            }
+        }
+    }
+}

@@ -6,6 +6,13 @@
 //! * **Timing pair** — [`EventSim`] vs [`DeltaEventSim`]: identical latched
 //!   state for random faults, including *zero-slack* extras that land the
 //!   struck path exactly on the latch deadline.
+//! * **Timing batch** — [`BatchDeltaSim`] vs the scalar timing engines:
+//!   every non-retired lane of a lane-packed batch latches exactly what
+//!   the scalar engines latch for that lane's fault, on both the `u64`
+//!   narrow path and the 256-lane wide-word path; retired lanes (same-pin
+//!   strikes with conflicting extras) carry golden values, retire only
+//!   when a genuine conflict precedes them, and replay exactly on the
+//!   scalar engine — the caller's fallback contract.
 //! * **Replay trio** — [`CycleSim`] vs [`DiffSim`] vs [`BatchSim`]: lockstep
 //!   state/output equivalence, cycle by cycle, for random flip scenarios
 //!   replayed from a random boundary of a recorded random trace.
@@ -19,7 +26,8 @@
 use delayavf_netlist::{DffId, EdgeId, Topology};
 use delayavf_sim::testutil::{pick_flips, random_circuit, GateSpec, SeqEnvironment};
 use delayavf_sim::{
-    settle, BatchSim, CycleSim, DeltaEventSim, DiffSim, EventSim, FaultSpec, GoldenTrace,
+    settle, BatchDeltaSim, BatchSim, CycleSim, DeltaEventSim, DiffSim, EventSim, FaultSpec,
+    GoldenTrace,
 };
 use delayavf_timing::{TechLibrary, TimingModel};
 use proptest::prelude::*;
@@ -73,6 +81,116 @@ proptest! {
                 let want_dyn: Vec<usize> =
                     (0..want.len()).filter(|&i| want[i] != golden[i]).collect();
                 prop_assert!(want_dyn.iter().all(|&i| i < c.num_dffs()));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Timing batch: every lane of a lane-packed [`BatchDeltaSim`] batch —
+    /// including zero-slack extras and deliberate same-pin conflicts —
+    /// either latches exactly what [`EventSim`] latches for that lane's
+    /// fault, or is retired with golden values and a genuine earlier
+    /// conflict on its edge, in which case the scalar fallback replay
+    /// ([`DeltaEventSim`]) still reproduces the full engine. Each case runs
+    /// the identical fault list through the narrow `u64` path and, tiled
+    /// past 64 lanes, through the 256-lane wide-word path.
+    #[test]
+    fn batch_delta_sim_matches_scalar_engines_lane_for_lane(
+        gates in prop::collection::vec(any::<GateSpec>(), 6..30),
+        prev_in: u64,
+        next_in: u64,
+        state_bits: u8,
+        edge_sels in prop::collection::vec(any::<u16>(), 1..5),
+    ) {
+        let c = random_circuit(6, 8, &gates);
+        let topo = Topology::new(&c);
+        let timing = TimingModel::analyze(&c, &topo, &TechLibrary::nangate45_like());
+        let state: Vec<bool> = (0..c.num_dffs())
+            .map(|i| (state_bits >> (i % 8)) & 1 == 1)
+            .collect();
+        let prev_values = settle(&c, &topo, &state, &[prev_in & 0x3f]);
+        let inputs = vec![next_in & 0x3f];
+        let clock = timing.clock_period();
+
+        // Edges × zero-slack-spanning extras, flattened into one fault
+        // list. Repeating each edge with several distinct extras makes
+        // same-pin conflicts — and therefore lane retirement — routine
+        // rather than exceptional in this suite.
+        let mut faults: Vec<FaultSpec> = Vec::new();
+        for &sel in &edge_sels {
+            let edge = EdgeId::from_index(usize::from(sel) % topo.edges().len());
+            let slack = clock.saturating_sub(timing.path_through_edge(&c, &topo, edge));
+            for extra in [0, slack.saturating_sub(1), slack, slack + 1, clock / 3, 2 * clock] {
+                faults.push(FaultSpec { edge, extra });
+            }
+        }
+
+        let mut full = EventSim::new(&c, &topo, &timing);
+        let mut delta = DeltaEventSim::new(&c, &topo, &timing);
+        let golden = full.latch_cycle(&prev_values, &state, &inputs, None).to_vec();
+        let wants: Vec<Vec<bool>> = faults
+            .iter()
+            .map(|&f| full.latch_cycle(&prev_values, &state, &inputs, Some(f)).to_vec())
+            .collect();
+
+        let mut batch = BatchDeltaSim::new(&c, &topo, &timing);
+        // Narrow u64 path, then the same faults tiled past 64 lanes onto
+        // the wide-word path; the second batch reuses the cached golden
+        // waveform (same trace cycle).
+        let wide_len = 65 + faults.len();
+        let wide_faults: Vec<FaultSpec> =
+            faults.iter().cycle().take(wide_len).copied().collect();
+        for (pass, fault_list) in [&faults, &wide_faults].into_iter().enumerate() {
+            let outcome = batch.latch_batch(0, &prev_values, &state, &inputs, fault_list);
+            prop_assert_eq!(
+                outcome.built_golden,
+                pass == 0,
+                "golden waveform is built once and cached, pass {}",
+                pass
+            );
+            for (lane, &fault) in fault_list.iter().enumerate() {
+                let want = &wants[lane % faults.len()];
+                if outcome.retired.contains(&lane) {
+                    // Soundness: a lane only retires behind a genuine
+                    // same-edge conflict with a different extra delay.
+                    prop_assert!(
+                        fault_list[..lane]
+                            .iter()
+                            .any(|f| f.edge == fault.edge && f.extra != fault.extra),
+                        "lane {} retired without a preceding conflict",
+                        lane
+                    );
+                    prop_assert_eq!(
+                        batch.lane_latched(lane),
+                        &golden[..],
+                        "retired lane {} carries golden values, pass {}",
+                        lane,
+                        pass
+                    );
+                    // The caller's contract: retired lanes replay on the
+                    // scalar engine, which shares the golden cache.
+                    let (scalar, _) =
+                        delta.latch_cycle(0, &prev_values, &state, &inputs, fault);
+                    prop_assert_eq!(
+                        scalar,
+                        &want[..],
+                        "scalar fallback for retired lane {}",
+                        lane
+                    );
+                } else {
+                    prop_assert_eq!(
+                        batch.lane_latched(lane),
+                        &want[..],
+                        "lane {} (edge {:?} extra {}), pass {}",
+                        lane,
+                        fault.edge,
+                        fault.extra,
+                        pass
+                    );
+                }
             }
         }
     }

@@ -127,6 +127,7 @@ fn resumed_reports_are_byte_identical_across_the_threads_by_lanes_grid() {
         incremental: true,
         delta_timing: true,
         lanes: 64,
+        timing_lanes: 64,
     };
 
     for (threads, lanes) in [(1usize, 64usize), (2, 1), (4, 64)] {
@@ -341,6 +342,7 @@ fn stale_or_foreign_checkpoints_are_rejected_not_merged() {
         incremental: true,
         delta_timing: true,
         lanes: 64,
+        timing_lanes: 64,
     };
     let path = dir.join("sweep.ckpt");
     delay_avf_campaign_observed(

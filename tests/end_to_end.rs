@@ -50,6 +50,7 @@ fn campaign_invariants_hold_on_the_real_core() {
         incremental: true,
         delta_timing: true,
         lanes: 64,
+        timing_lanes: 64,
     };
     let rows = delay_avf_campaign(
         &s.core.circuit,

@@ -1,14 +1,14 @@
 //! The fidelity regression matrix: every combination of the engine's
 //! performance knobs — toggle pre-filter, convergence early-exit, the
-//! incremental divergence-cone replay, the batch lane width, and the
-//! incremental timing-aware (delta) engine — produces the exact same
-//! per-injection outcomes. The knobs change only the cost of the answer,
-//! never the answer.
+//! incremental divergence-cone replay, the batch lane width, the
+//! incremental timing-aware (delta) engine, and the timing-aware batch
+//! lane width — produces the exact same per-injection outcomes. The knobs
+//! change only the cost of the answer, never the answer.
 
 use delayavf::{prepare_golden_seeded, sample_edges, InjectionOutcome, Injector};
 use delayavf_netlist::{EdgeId, Topology};
 use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
-use delayavf_timing::{TechLibrary, TimingModel};
+use delayavf_timing::{Picos, TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
 
 struct Setup {
@@ -46,6 +46,7 @@ struct Knobs {
     incremental: bool,
     delta_timing: bool,
     lanes: usize,
+    timing_lanes: usize,
 }
 
 const REFERENCE: Knobs = Knobs {
@@ -54,6 +55,7 @@ const REFERENCE: Knobs = Knobs {
     incremental: true,
     delta_timing: true,
     lanes: 64,
+    timing_lanes: 64,
 };
 
 fn run_matrix_point(s: &Setup, k: Knobs) -> Vec<InjectionOutcome> {
@@ -63,15 +65,20 @@ fn run_matrix_point(s: &Setup, k: Knobs) -> Vec<InjectionOutcome> {
     inj.set_incremental(k.incremental);
     inj.set_delta_timing(k.delta_timing);
     inj.set_lanes(k.lanes);
+    inj.set_timing_lanes(k.timing_lanes);
     let extra = s.timing.clock_period() * 9 / 10;
+    // Whole-cycle batches, as the delay sweep issues them: the
+    // timing-aware replays for all 40 edges share lane-packed batches
+    // (when timing_lanes > 1), so the timing_lanes axis is exercised by
+    // every matrix point. A scalar `inject` loop returns the same values
+    // — pinned by the dedicated axis test below.
+    let pairs: Vec<(EdgeId, Picos)> = s.edges.iter().map(|&e| (e, extra)).collect();
     let mut outcomes = Vec::new();
     for &cycle in &s.golden.sampled_cycles {
         if cycle + 1 >= s.golden.trace.num_cycles() {
             continue;
         }
-        for &e in &s.edges {
-            outcomes.push(inj.inject(cycle, e, extra));
-        }
+        outcomes.extend(inj.inject_batch(cycle, &pairs));
     }
     outcomes
 }
@@ -95,21 +102,77 @@ fn every_knob_combination_yields_identical_outcomes() {
             for incremental in [true, false] {
                 for delta_timing in [true, false] {
                     for lanes in [1, 64] {
-                        let k = Knobs {
-                            toggle_filter,
-                            early_exit,
-                            incremental,
-                            delta_timing,
-                            lanes,
-                        };
-                        if k == REFERENCE {
-                            continue;
+                        for timing_lanes in [1, 64] {
+                            let k = Knobs {
+                                toggle_filter,
+                                early_exit,
+                                incremental,
+                                delta_timing,
+                                lanes,
+                                timing_lanes,
+                            };
+                            if k == REFERENCE {
+                                continue;
+                            }
+                            let outcomes = run_matrix_point(&s, k);
+                            assert_eq!(outcomes, reference, "outcomes changed with {k:?}");
                         }
-                        let outcomes = run_matrix_point(&s, k);
-                        assert_eq!(outcomes, reference, "outcomes changed with {k:?}");
                     }
                 }
             }
+        }
+    }
+}
+
+/// The timing_lanes axis in isolation, against the other batching contract:
+/// a scalar [`Injector::inject`] loop, the batched entry point at
+/// `timing_lanes = 1` (the escape hatch), the default 64-lane `u64` path
+/// and the 256-lane wide-word path all return identical outcomes in
+/// identical order.
+#[test]
+fn timing_lane_width_never_changes_batched_outcomes() {
+    let s = setup();
+    let extra = s.timing.clock_period() * 9 / 10;
+    let pairs: Vec<(EdgeId, Picos)> = s.edges.iter().map(|&e| (e, extra)).collect();
+
+    let mut scalar = Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
+    let mut reference = Vec::new();
+    for &cycle in &s.golden.sampled_cycles {
+        if cycle + 1 >= s.golden.trace.num_cycles() {
+            continue;
+        }
+        for &(e, x) in &pairs {
+            reference.push(scalar.inject(cycle, e, x));
+        }
+    }
+
+    for timing_lanes in [1usize, 2, 64, 256] {
+        let mut inj = Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
+        inj.set_timing_lanes(timing_lanes);
+        let mut outcomes = Vec::new();
+        for &cycle in &s.golden.sampled_cycles {
+            if cycle + 1 >= s.golden.trace.num_cycles() {
+                continue;
+            }
+            outcomes.extend(inj.inject_batch(cycle, &pairs));
+        }
+        assert_eq!(
+            outcomes, reference,
+            "inject_batch at timing_lanes={timing_lanes} diverged from the scalar inject loop"
+        );
+        let stats = &inj.stats;
+        if timing_lanes == 1 {
+            assert_eq!(stats.batched_timing_replays, 0, "no batches at width 1");
+            assert_eq!(stats.timing_lanes_occupied, 0, "no lanes at width 1");
+        } else {
+            assert!(
+                stats.batched_timing_replays > 0,
+                "width {timing_lanes} batches: {stats:?}"
+            );
+            assert!(
+                stats.timing_lane_utilization() > 0.0,
+                "occupied lanes are accounted against offered slots"
+            );
         }
     }
 }

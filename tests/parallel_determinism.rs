@@ -64,6 +64,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         incremental: true,
         delta_timing: true,
         lanes: 64,
+        timing_lanes: 64,
     };
     let serial_opts = ReplayOptions::new(500, 1);
     let (serial_rows, serial_stats) = delay_avf_campaign_with_stats(
@@ -227,6 +228,7 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
         incremental: true,
         delta_timing: true,
         lanes: 64,
+        timing_lanes: 64,
     };
     let (base_rows, _) = delay_avf_campaign_with_stats(
         &s.core.circuit,
@@ -301,4 +303,107 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
             "scenario count is lane-width invariant"
         );
     }
+}
+
+/// The timing-aware batching layer's guarantee, on a threads × timing_lanes
+/// grid: every timing lane width (scalar, narrow u64, wide 256-lane) returns
+/// the same delay-sweep rows, and at a fixed width every counter — including
+/// the batched timing-replay counters — is thread-count invariant.
+#[test]
+fn timing_batch_counters_are_thread_invariant_at_every_lane_width() {
+    use std::collections::HashMap;
+
+    let s = setup();
+    let edges = sample_edges(
+        &s.topo.structure_edges(&s.core.circuit, "decoder").unwrap(),
+        30,
+        17,
+    );
+    let config = CampaignConfig {
+        delay_fractions: vec![0.9, 1.0],
+        compute_orace: true,
+        due_slack: 500,
+        threads: 1,
+        incremental: true,
+        delta_timing: true,
+        lanes: 64,
+        timing_lanes: 64,
+    };
+    let (base_rows, _) = delay_avf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+    );
+
+    let mut stats_by_width = HashMap::new();
+    for timing_lanes in [1usize, 2, 64, 256] {
+        for threads in [1usize, 2, 4] {
+            let cfg = config
+                .clone()
+                .with_threads(threads)
+                .with_timing_lanes(timing_lanes);
+            let (rows, stats) = delay_avf_campaign_with_stats(
+                &s.core.circuit,
+                &s.topo,
+                &s.timing,
+                &s.golden,
+                &edges,
+                &cfg,
+            );
+            assert_eq!(
+                rows, base_rows,
+                "sweep rows, timing_lanes={timing_lanes} threads={threads}"
+            );
+            let first = *stats_by_width.entry(timing_lanes).or_insert(stats);
+            assert_eq!(
+                stats, first,
+                "counters thread-invariant at timing_lanes={timing_lanes} (threads={threads})"
+            );
+        }
+    }
+
+    // timing_lanes = 1 routes every timing replay to the scalar delta
+    // engine; wider configurations batch.
+    let scalar = &stats_by_width[&1];
+    assert_eq!(
+        scalar.batched_timing_replays, 0,
+        "no timing batches at timing_lanes = 1"
+    );
+    assert_eq!(
+        scalar.timing_lanes_occupied, 0,
+        "no timing lanes at timing_lanes = 1"
+    );
+    let wide = &stats_by_width[&64];
+    assert!(
+        wide.batched_timing_replays > 0,
+        "wide config batches timing replays: {wide:?}"
+    );
+    assert!(
+        wide.timing_lanes_occupied > 0,
+        "wide config occupies timing lanes"
+    );
+    // The number of distinct timing scenarios replayed through the batch
+    // engine does not depend on the lane width, only on the workload.
+    assert_eq!(
+        stats_by_width[&2].timing_lanes_occupied, wide.timing_lanes_occupied,
+        "timing scenario count is lane-width invariant"
+    );
+    assert_eq!(
+        stats_by_width[&256].timing_lanes_occupied, wide.timing_lanes_occupied,
+        "the 256-lane word path replays the same scenarios"
+    );
+    // Wider words pack the same scenarios into fewer batches.
+    assert!(
+        stats_by_width[&256].batched_timing_replays <= stats_by_width[&2].batched_timing_replays,
+        "wider words never need more batches"
+    );
+    // Every scenario that the scalar engine replays timing-aware is
+    // accounted for: the total of event simulations is width-invariant.
+    assert_eq!(
+        scalar.event_sims, wide.event_sims,
+        "timing replay count is width-invariant"
+    );
 }

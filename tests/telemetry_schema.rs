@@ -93,6 +93,7 @@ fn campaign_telemetry_validates_and_never_changes_results() {
         incremental: true,
         delta_timing: true,
         lanes: 64,
+        timing_lanes: 64,
     };
 
     let want =
