@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment>... [--cycles N] [--edges N] [--dffs N] [--seed N]
 //!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
-//!       [--no-delta-timing] [--lanes N] [--timing-lanes N]
+//!       [--no-delta-timing] [--no-collapse] [--lanes N] [--timing-lanes N]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!       [--telemetry FILE]
 //!
@@ -49,6 +49,9 @@ options:
   --no-delta-timing  use the exact full event-simulation baseline instead
                   of the incremental timing-aware engine (golden-waveform
                   cache + fault-cone deltas; identical results)
+  --no-collapse   replay every injection site individually instead of
+                  collapsing equivalence classes and formally discharging
+                  provably masked/ACE flip groups (identical results)
   --lanes N       bit-parallel replay lanes per batch, 1-64 (default 64);
                   AVF numbers are identical for every N, --lanes 1 is the
                   exact scalar baseline
@@ -126,6 +129,7 @@ fn main() -> ExitCode {
             "--tiny" => opts.scale = Scale::Tiny,
             "--no-incremental" => opts.incremental = false,
             "--no-delta-timing" => opts.delta_timing = false,
+            "--no-collapse" => opts.collapse = false,
             "--checkpoint-dir" => {
                 let Some(dir) = it.next() else {
                     return fail("--checkpoint-dir needs a path");

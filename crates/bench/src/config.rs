@@ -24,6 +24,7 @@
 //! threads = 0                          # campaign workers, 0 = one per core
 //! incremental = true                   # divergence-cone replay engine
 //! delta_timing = true                  # incremental timing-aware engine
+//! collapse = true                      # equivalence-class replay collapsing
 //! lanes = 64                           # bit-parallel replay lanes, 1-64
 //! timing_lanes = 64                    # timing-aware replay lanes, 1-256
 //! checkpoint_dir = ckpt                # crash-safe campaign checkpoints
@@ -83,6 +84,11 @@ pub struct ExperimentSpec {
     /// Lane-packed timing-aware replay lanes per batch (1–256). AVF numbers
     /// are identical for every value; `1` runs the exact scalar baseline.
     pub timing_lanes: usize,
+    /// Collapse equivalent injection sites into one representative replay
+    /// and discharge provably masked/ACE classes without simulation
+    /// (`false` runs the exact per-edge baseline; results are identical
+    /// either way).
+    pub collapse: bool,
     /// Crash-safe campaign checkpoint directory (`None` disables).
     pub checkpoint_dir: Option<PathBuf>,
     /// Work units between checkpoint flushes.
@@ -113,6 +119,7 @@ impl Default for ExperimentSpec {
             delta_timing: true,
             lanes: 64,
             timing_lanes: 64,
+            collapse: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
@@ -206,6 +213,7 @@ impl ExperimentSpec {
                 }
                 "incremental" => spec.incremental = parse_bool(value).map_err(bad)?,
                 "delta_timing" => spec.delta_timing = parse_bool(value).map_err(bad)?,
+                "collapse" => spec.collapse = parse_bool(value).map_err(bad)?,
                 "lanes" => {
                     let lanes: usize = value.parse().map_err(|e| bad(format!("lanes: {e}")))?;
                     if !(1..=MAX_LANES).contains(&lanes) {
@@ -291,6 +299,7 @@ impl ExperimentSpec {
             delta_timing: self.delta_timing,
             lanes: self.lanes,
             timing_lanes: self.timing_lanes,
+            collapse: self.collapse,
         };
         let obs = Observability::create(
             self.telemetry.as_deref(),
@@ -383,6 +392,7 @@ mod tests {
             threads = 3
             incremental = false
             delta_timing = off
+            collapse = off
             lanes = 16
             timing_lanes = 128
             checkpoint_dir = ckpt
@@ -404,6 +414,7 @@ mod tests {
         assert_eq!(spec.threads, 3);
         assert!(!spec.incremental);
         assert!(!spec.delta_timing);
+        assert!(!spec.collapse);
         assert_eq!(spec.lanes, 16);
         assert_eq!(spec.timing_lanes, 128);
         assert_eq!(spec.checkpoint_dir, Some(PathBuf::from("ckpt")));

@@ -90,6 +90,7 @@ fn sweep(
         delta_timing: opts.delta_timing,
         lanes: opts.lanes,
         timing_lanes: opts.timing_lanes,
+        collapse: opts.collapse,
     };
     Ok(run_delay_campaign(
         &obs,
@@ -624,6 +625,7 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
                 delta_timing: seeded.delta_timing,
                 lanes: seeded.lanes,
                 timing_lanes: seeded.timing_lanes,
+                collapse: seeded.collapse,
             },
         )?
         .0[0];

@@ -52,6 +52,12 @@ pub struct Opts {
     /// are identical for every value; `1` runs the exact scalar baseline
     /// (the `--timing-lanes 1` escape hatch).
     pub timing_lanes: usize,
+    /// Use the pre-simulation collapsing layer — injection-site equivalence
+    /// classes, the quiet-source certificate and the semi-formal masking
+    /// discharge (the default). AVF numbers are bit-for-bit identical either
+    /// way; `false` runs the exact per-site baseline (the `--no-collapse`
+    /// escape hatch).
+    pub collapse: bool,
     /// Directory for crash-safe campaign checkpoints (`--checkpoint-dir`).
     /// `None` disables checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
@@ -81,6 +87,7 @@ impl Default for Opts {
             delta_timing: true,
             lanes: 64,
             timing_lanes: 64,
+            collapse: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
@@ -98,6 +105,7 @@ impl Opts {
             .with_delta_timing(self.delta_timing)
             .with_lanes(self.lanes)
             .with_timing_lanes(self.timing_lanes)
+            .with_collapse(self.collapse)
     }
 }
 

@@ -99,6 +99,12 @@ pub struct ReplayOptions {
     /// [`delayavf_sim::DeltaEventSim`] engine's reports byte-identically
     /// (the `--timing-lanes 1` escape hatch).
     pub timing_lanes: usize,
+    /// Use the pre-simulation collapsing layer — injection-site
+    /// equivalence classes, the quiet-source certificate and the
+    /// semi-formal masking discharge (the default). Results are
+    /// bit-for-bit identical either way; `false` runs the exact per-site
+    /// baseline (the `--no-collapse` escape hatch).
+    pub collapse: bool,
 }
 
 impl Default for ReplayOptions {
@@ -110,6 +116,7 @@ impl Default for ReplayOptions {
             delta_timing: true,
             lanes: MAX_LANES,
             timing_lanes: MAX_LANES,
+            collapse: true,
         }
     }
 }
@@ -156,6 +163,12 @@ impl ReplayOptions {
         self.timing_lanes = timing_lanes;
         self
     }
+
+    /// Builder-style toggle of the pre-simulation collapsing layer.
+    pub fn with_collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
+        self
+    }
 }
 
 /// Configuration of a DelayAVF campaign.
@@ -186,6 +199,9 @@ pub struct CampaignConfig {
     /// Lane width for lane-packed timing-aware batch replays; see
     /// [`ReplayOptions::timing_lanes`].
     pub timing_lanes: usize,
+    /// Use the pre-simulation collapsing layer; see
+    /// [`ReplayOptions::collapse`].
+    pub collapse: bool,
 }
 
 impl Default for CampaignConfig {
@@ -199,6 +215,7 @@ impl Default for CampaignConfig {
             delta_timing: true,
             lanes: MAX_LANES,
             timing_lanes: MAX_LANES,
+            collapse: true,
         }
     }
 }
@@ -244,6 +261,12 @@ impl CampaignConfig {
         self.timing_lanes = timing_lanes;
         self
     }
+
+    /// Builder-style toggle of the pre-simulation collapsing layer.
+    pub fn with_collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
+        self
+    }
 }
 
 /// A worker's private injector, with the shard-invariant knobs applied.
@@ -258,12 +281,14 @@ fn shard_injector<'g, E: Environment + Clone>(
     delta_timing: bool,
     lanes: usize,
     timing_lanes: usize,
+    collapse: bool,
 ) -> Injector<'g, E> {
     let mut injector = Injector::new(circuit, topo, timing, golden, due_slack);
     injector.set_incremental(incremental);
     injector.set_delta_timing(delta_timing);
     injector.set_lanes(lanes);
     injector.set_timing_lanes(timing_lanes);
+    injector.set_collapse(collapse);
     injector
 }
 
@@ -414,12 +439,19 @@ fn campaign_fingerprint<E: Environment + Clone>(
 /// without breaking the stats-identity guarantee. `threads` is
 /// deliberately absent — every counter is thread-count invariant, which is
 /// exactly what lets an interrupted 8-thread campaign resume on 2 threads.
-fn knob_hash(lanes: usize, timing_lanes: usize, incremental: bool, delta_timing: bool) -> u64 {
+fn knob_hash(
+    lanes: usize,
+    timing_lanes: usize,
+    incremental: bool,
+    delta_timing: bool,
+    collapse: bool,
+) -> u64 {
     let mut f = Fingerprint::new();
     f.write_usize(lanes);
     f.write_usize(timing_lanes);
     f.write_bool(incremental);
     f.write_bool(delta_timing);
+    f.write_bool(collapse);
     f.finish()
 }
 
@@ -658,7 +690,7 @@ fn decode_class(tok: char) -> Result<FailureClass, String> {
 fn encode_stats(out: &mut String, s: &InjectorStats) {
     let _ = write!(
         out,
-        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.static_filtered,
         s.toggle_filtered,
         s.event_sims,
@@ -677,7 +709,11 @@ fn encode_stats(out: &mut String, s: &InjectorStats) {
         s.full_event_fallbacks,
         s.batched_timing_replays,
         s.timing_lanes_occupied,
-        s.timing_lane_slots
+        s.timing_lane_slots,
+        s.collapsed_edges,
+        s.class_representatives,
+        s.formally_discharged_ace,
+        s.formally_discharged_unace
     );
 }
 
@@ -703,6 +739,10 @@ fn decode_stats(t: &mut Tokens<'_>) -> Result<InjectorStats, String> {
         batched_timing_replays: t.next_u64("batched_timing_replays")?,
         timing_lanes_occupied: t.next_u64("timing_lanes_occupied")?,
         timing_lane_slots: t.next_u64("timing_lane_slots")?,
+        collapsed_edges: t.next_u64("collapsed_edges")?,
+        class_representatives: t.next_u64("class_representatives")?,
+        formally_discharged_ace: t.next_u64("formally_discharged_ace")?,
+        formally_discharged_unace: t.next_u64("formally_discharged_unace")?,
     })
 }
 
@@ -1121,6 +1161,7 @@ pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         config.timing_lanes,
         config.incremental,
         config.delta_timing,
+        config.collapse,
     );
     let setup = open_store(&ctx.checkpoint, "delay_sweep", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "delay_sweep", cycles.len(), threads, || {
@@ -1137,6 +1178,7 @@ pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
                 config.delta_timing,
                 config.lanes,
                 config.timing_lanes,
+                config.collapse,
             );
             let mut rows = empty_rows(config);
             let mut stats = InjectorStats::default();
@@ -1253,6 +1295,7 @@ pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         opts.timing_lanes,
         opts.incremental,
         opts.delta_timing,
+        opts.collapse,
     );
     let setup = open_store(&ctx.checkpoint, "savf", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "savf", cycles.len(), threads, || {
@@ -1269,6 +1312,7 @@ pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
                 opts.delta_timing,
                 opts.lanes,
                 opts.timing_lanes,
+                opts.collapse,
             );
             let mut result = SavfResult::default();
             let mut stats = InjectorStats::default();
@@ -1381,6 +1425,7 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
         opts.timing_lanes,
         opts.incremental,
         opts.delta_timing,
+        opts.collapse,
     );
     let setup = open_store(&ctx.checkpoint, "delay_records", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "delay_records", cycles.len(), threads, || {
@@ -1397,6 +1442,7 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
                 opts.delta_timing,
                 opts.lanes,
                 opts.timing_lanes,
+                opts.collapse,
             );
             let mut row = DelayAvfResult {
                 delay_fraction: fraction,
@@ -1527,6 +1573,7 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         opts.timing_lanes,
         opts.incremental,
         opts.delta_timing,
+        opts.collapse,
     );
     let setup = open_store(&ctx.checkpoint, "savf_per_bit", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "savf_per_bit", dffs.len(), threads, || {
@@ -1543,6 +1590,7 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
                 opts.delta_timing,
                 opts.lanes,
                 opts.timing_lanes,
+                opts.collapse,
             );
             let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
             // Preload every resumed bit's classifications first, so the
@@ -1658,6 +1706,7 @@ pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: Teleme
         opts.timing_lanes,
         opts.incremental,
         opts.delta_timing,
+        opts.collapse,
     );
     let setup = open_store(&ctx.checkpoint, "spatial_double", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "spatial_double", cycles.len(), threads, || {
@@ -1674,6 +1723,7 @@ pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: Teleme
                 opts.delta_timing,
                 opts.lanes,
                 opts.timing_lanes,
+                opts.collapse,
             );
             let mut result = SavfResult::default();
             let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
@@ -1760,6 +1810,7 @@ mod tests {
             delta_timing: true,
             lanes: 64,
             timing_lanes: 64,
+            collapse: true,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         assert_eq!(rows.len(), 3);
@@ -1792,6 +1843,7 @@ mod tests {
             delta_timing: true,
             lanes: 64,
             timing_lanes: 64,
+            collapse: true,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         let r = &rows[0];
@@ -1880,6 +1932,7 @@ mod tests {
             delta_timing: true,
             lanes: 64,
             timing_lanes: 64,
+            collapse: true,
         };
         let (serial_rows, serial_stats) =
             delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &config);

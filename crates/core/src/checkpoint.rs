@@ -19,7 +19,7 @@
 //! A plain-text, line-oriented format (the workspace is offline; no serde):
 //!
 //! ```text
-//! delayavf-checkpoint v1 <kind>
+//! delayavf-checkpoint v2 <kind>
 //! fingerprint <hex16>
 //! knobs <hex16>
 //! unit <key> <payload tokens...>
@@ -49,7 +49,7 @@ use std::path::{Path, PathBuf};
 
 /// Checkpoint file format version; bumped on any layout change. A version
 /// mismatch on resume is rejected like any other stale checkpoint.
-pub const CHECKPOINT_FORMAT_VERSION: u64 = 1;
+pub const CHECKPOINT_FORMAT_VERSION: u64 = 2;
 
 const MAGIC: &str = "delayavf-checkpoint";
 
@@ -430,8 +430,8 @@ mod tests {
             "",
             "not a checkpoint\n",
             "delayavf-checkpoint v999 savf\nfingerprint 0\nknobs 0\n",
-            "delayavf-checkpoint v1 savf\nfingerprint zz\nknobs 0\n",
-            "delayavf-checkpoint v1 savf\nfingerprint 0000000000000007\nknobs 0000000000000009\nwat\n",
+            "delayavf-checkpoint v2 savf\nfingerprint zz\nknobs 0\n",
+            "delayavf-checkpoint v2 savf\nfingerprint 0000000000000007\nknobs 0000000000000009\nwat\n",
         ] {
             fs::write(&path, garbage).unwrap();
             let resume = CheckpointSpec::new(&path, 1, true);

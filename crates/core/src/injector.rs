@@ -11,7 +11,19 @@ use delayavf_sim::{
 };
 use delayavf_timing::{Picos, TimingModel};
 
+use crate::collapse::{propagate_flips, CollapsePlan};
 use crate::golden::GoldenRun;
+
+/// Cycle horizon of the semi-formal masking discharge: flip groups whose
+/// difference cone is still alive after this many exactly-propagated cycles
+/// fall back to a real replay. A constant, not a knob — the discharge never
+/// changes results, so there is nothing to trade off but time.
+const DISCHARGE_HORIZON: u64 = 64;
+
+/// Difference-cone size cap of the semi-formal masking discharge (deviating
+/// nets per propagated cycle); wider cones fall back to a real replay, where
+/// the incremental engine handles them better anyway.
+const DISCHARGE_CONE_CAP: usize = 4096;
 
 /// Program-level classification of a fault's effect (paper §II-A: a
 /// program-visible failure is either a silent data corruption or a detected
@@ -129,6 +141,28 @@ pub struct Injector<'a, E: Environment + Clone> {
     /// and the extra delay, so campaigns sweeping many cycles per edge pay
     /// for each `(edge, extra)` pair once per worker.
     static_reach_cache: HashMap<(EdgeId, Picos), usize>,
+    /// Whether the pre-simulation collapsing layer (equivalence classes,
+    /// quiet-source certificate, semi-formal masking discharge) is enabled.
+    collapse: bool,
+    /// The collapsing plan, built lazily on the first collapsed query so
+    /// `--no-collapse` campaigns never pay for it.
+    plan: Option<CollapsePlan>,
+    /// Dynamic sets computed for class representatives this cycle:
+    /// `(representative, extra)` -> dynamically reachable set. Cleared when
+    /// the injection cycle changes; every member query is served from here.
+    collapse_cache: HashMap<(EdgeId, Picos), Vec<DffId>>,
+    collapse_cycle: Option<u64>,
+    /// Per net: whether it transitions in the fault-free timed waveform of
+    /// `quiet_cycle` (the quiet-source certificate reads the complement).
+    quiet_changed: Vec<bool>,
+    quiet_cycle: Option<u64>,
+    /// Settled golden net values per trace cycle, shared by every
+    /// semi-formal discharge at `discharge_boundary`.
+    discharge_settle: HashMap<u64, Vec<bool>>,
+    discharge_boundary: Option<u64>,
+    /// Memoized [`Injector::golden_identical_class`] (outer `None` = not
+    /// yet computed, inner `None` = not establishable).
+    golden_class: Option<Option<FailureClass>>,
     /// Counters for reporting/debugging.
     pub stats: InjectorStats,
 }
@@ -216,6 +250,39 @@ pub struct InjectorStats {
     /// (`batched_timing_replays * timing_lanes`); the denominator of
     /// [`InjectorStats::timing_lane_utilization`].
     pub timing_lane_slots: u64,
+    /// Injections served without their own timing-aware simulation by the
+    /// collapsing layer: queries on a member edge redirected to its
+    /// equivalence-class representative, plus queries discharged by the
+    /// quiet-source certificate (the edge's source net has no transition in
+    /// the fault-free waveform of the cycle, so the faulty run is provably
+    /// identical). Collapse classes and quiescence are properties of the
+    /// plan and the golden trace alone, so the count is thread-count and
+    /// lane-width invariant for cycle-sharded campaigns. Zero when
+    /// collapsing is disabled.
+    pub collapsed_edges: u64,
+    /// Representative simulations actually run on behalf of an equivalence
+    /// class (one per distinct `(representative, extra)` pair per cycle),
+    /// plus fault-free golden waveform builds for the quiet-source
+    /// certificate (at most one per cycle). Thread-count and lane-width
+    /// invariant like [`InjectorStats::collapsed_edges`]. Zero when
+    /// collapsing is disabled.
+    pub class_representatives: u64,
+    /// Flip groups the semi-formal masking check classified as a
+    /// program-visible failure (SDC) without any replay: their exact
+    /// propagated difference cone provably corrupts an observed output word
+    /// of an environment with a faithful transcript. One count per distinct
+    /// `(boundary, flip set)` discharged, so the total is thread-count and
+    /// lane-width invariant for cycle-sharded campaigns. Zero when
+    /// collapsing is disabled.
+    pub formally_discharged_ace: u64,
+    /// Flip groups the semi-formal masking check classified as Masked
+    /// without any replay: the flipped bits can never reach a primary
+    /// output, or their exact propagated difference cone dies out (or runs
+    /// off the observable end of the trace) without touching one. Counted
+    /// per distinct `(boundary, flip set)` like
+    /// [`InjectorStats::formally_discharged_ace`]. Zero when collapsing is
+    /// disabled.
+    pub formally_discharged_unace: u64,
 }
 
 impl InjectorStats {
@@ -245,6 +312,10 @@ impl InjectorStats {
         self.batched_timing_replays += other.batched_timing_replays;
         self.timing_lanes_occupied += other.timing_lanes_occupied;
         self.timing_lane_slots += other.timing_lane_slots;
+        self.collapsed_edges += other.collapsed_edges;
+        self.class_representatives += other.class_representatives;
+        self.formally_discharged_ace += other.formally_discharged_ace;
+        self.formally_discharged_unace += other.formally_discharged_unace;
     }
 
     /// The field-wise difference `self - baseline`. Counters only ever
@@ -272,6 +343,12 @@ impl InjectorStats {
             batched_timing_replays: self.batched_timing_replays - baseline.batched_timing_replays,
             timing_lanes_occupied: self.timing_lanes_occupied - baseline.timing_lanes_occupied,
             timing_lane_slots: self.timing_lane_slots - baseline.timing_lane_slots,
+            collapsed_edges: self.collapsed_edges - baseline.collapsed_edges,
+            class_representatives: self.class_representatives - baseline.class_representatives,
+            formally_discharged_ace: self.formally_discharged_ace
+                - baseline.formally_discharged_ace,
+            formally_discharged_unace: self.formally_discharged_unace
+                - baseline.formally_discharged_unace,
         }
     }
 
@@ -353,6 +430,15 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             failure_cache: HashMap::new(),
             input_net_pos,
             static_reach_cache: HashMap::new(),
+            collapse: true,
+            plan: None,
+            collapse_cache: HashMap::new(),
+            collapse_cycle: None,
+            quiet_changed: Vec::new(),
+            quiet_cycle: None,
+            discharge_settle: HashMap::new(),
+            discharge_boundary: None,
+            golden_class: None,
             stats: InjectorStats::default(),
         }
     }
@@ -425,6 +511,19 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         } else {
             timing_lanes.min(MAX_TIMING_LANES)
         };
+    }
+
+    /// Disables (or re-enables) the pre-simulation collapsing layer: the
+    /// same-slack + structural-dominator equivalence classes over injection
+    /// sites, the quiet-source certificate, and the semi-formal masking
+    /// discharge of flip groups. Collapsing never changes results — a
+    /// fidelity property the differential and property test suites check —
+    /// it only serves provably identical injections from one representative
+    /// simulation and classifies provably masked (or provably corrupting)
+    /// flip groups without replay. Disable it to run the exact per-site
+    /// baseline (the `--no-collapse` escape hatch).
+    pub fn set_collapse(&mut self, enabled: bool) {
+        self.collapse = enabled;
     }
 
     /// Full two-step evaluation: is edge `edge` DelayACE in `cycle` under an
@@ -506,11 +605,53 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             return (0, Vec::new());
         }
 
+        // Collapsing layer: a member edge's fault is event-for-event
+        // identical to the same fault on its class representative, so the
+        // representative's dynamic set (computed once per cycle) is the
+        // answer. The member's own static filter just passed and the class
+        // criterion includes slack-table equality, so the representative's
+        // would pass identically.
+        if self.collapse {
+            self.refresh_collapse_cycle(cycle);
+            let rep = self.plan().representative(edge);
+            if rep != edge {
+                self.stats.collapsed_edges += 1;
+                return (static_count, self.collapse_rep_set(cycle, rep, extra));
+            }
+            if self.plan().is_representative(edge) {
+                return (static_count, self.collapse_rep_set(cycle, edge, extra));
+            }
+        }
+
+        let dynamic = self.timed_dynamic_set(cycle, edge, extra);
+        (static_count, dynamic)
+    }
+
+    /// The toggle pre-filter, quiet-source certificate and timing-aware
+    /// simulation of one injection that already passed the static filter
+    /// (and, when collapsing, was already resolved to a class
+    /// representative or a singleton).
+    fn timed_dynamic_set(&mut self, cycle: u64, edge: EdgeId, extra: Picos) -> Vec<DffId> {
         // Pre-filter 2 (§V-C): if no source feeding the faulted edge
         // toggles this cycle, no event ever crosses the edge.
         if self.toggle_filter && !self.edge_sources_toggle(cycle, edge) {
             self.stats.toggle_filtered += 1;
-            return (static_count, Vec::new());
+            return Vec::new();
+        }
+
+        // Quiet-source certificate: the fault only delays deliveries of the
+        // source net's transitions at the sink pin, so if the fault-free
+        // waveform has no transition on the source this cycle the faulty
+        // run is identical and the dynamic set is provably empty. Always
+        // judged on the full event simulator's waveform, independent of the
+        // delta-timing knob, so the certificate is knob-invariant.
+        if self.collapse {
+            self.ensure_quiet_changed(cycle);
+            let source = self.topo.edge(edge).source;
+            if !self.quiet_changed[source.index()] {
+                self.stats.collapsed_edges += 1;
+                return Vec::new();
+            }
         }
 
         // Timing-aware simulation of the one faulty cycle. The delta engine
@@ -543,13 +684,61 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
                 Some(FaultSpec { edge, extra }),
             )
         };
-        let dynamic: Vec<DffId> = latched
+        latched
             .iter()
             .enumerate()
             .filter(|&(i, &v)| v != data.next_state[i])
             .map(|(i, _)| DffId::from_index(i))
-            .collect();
-        (static_count, dynamic)
+            .collect()
+    }
+
+    /// The collapsing plan, built on first use.
+    fn plan(&mut self) -> &CollapsePlan {
+        if self.plan.is_none() {
+            self.plan = Some(CollapsePlan::build(self.circuit, self.topo, self.timing));
+        }
+        self.plan.as_ref().expect("just built")
+    }
+
+    /// Drops the representative-set cache when the injection cycle changes
+    /// (the sets are waveform-dependent, hence cycle-scoped).
+    fn refresh_collapse_cycle(&mut self, cycle: u64) {
+        if self.collapse_cycle != Some(cycle) {
+            self.collapse_cache.clear();
+            self.collapse_cycle = Some(cycle);
+        }
+    }
+
+    /// The dynamically reachable set of a class representative this cycle,
+    /// computed once per `(representative, extra)` and served to every
+    /// member of the class.
+    fn collapse_rep_set(&mut self, cycle: u64, rep: EdgeId, extra: Picos) -> Vec<DffId> {
+        if let Some(set) = self.collapse_cache.get(&(rep, extra)) {
+            return set.clone();
+        }
+        self.stats.class_representatives += 1;
+        let set = self.timed_dynamic_set(cycle, rep, extra);
+        self.collapse_cache.insert((rep, extra), set.clone());
+        set
+    }
+
+    /// Records which nets transition in the fault-free timed waveform of
+    /// `cycle` (for the quiet-source certificate), simulating it on the
+    /// full event simulator once per cycle.
+    fn ensure_quiet_changed(&mut self, cycle: u64) {
+        if self.quiet_cycle == Some(cycle) {
+            return;
+        }
+        self.ensure_cycle_data(cycle);
+        let data = self.cycle_data.as_ref().expect("just ensured");
+        let inputs = self.golden.trace.inputs_at(cycle);
+        self.stats.class_representatives += 1;
+        self.event
+            .latch_cycle(&data.prev_values, &data.new_state, inputs, None);
+        let changed = self.event.changed_nets();
+        self.quiet_changed.clear();
+        self.quiet_changed.extend_from_slice(changed);
+        self.quiet_cycle = Some(cycle);
     }
 
     /// Step 1 for a whole cycle's worth of injections at once: the
@@ -586,9 +775,14 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             "cycle {cycle} has no successor in the golden trace"
         );
 
-        // Run the cycle-invariant static memo and the per-cycle toggle
-        // filter exactly as the scalar path does; only survivors occupy
-        // batch lanes.
+        // Run the cycle-invariant static memo, the collapsing layer and
+        // the per-cycle toggle filter exactly as the scalar path does; only
+        // plain survivors occupy batch lanes (members and representatives
+        // are served through the scalar representative cache, so the
+        // per-class work is identical at every lane width).
+        if self.collapse {
+            self.refresh_collapse_cycle(cycle);
+        }
         let mut results: Vec<(usize, Vec<DffId>)> = Vec::with_capacity(pairs.len());
         let mut survivors: Vec<usize> = Vec::new();
         for &(edge, extra) in pairs {
@@ -612,10 +806,33 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
                 results.push((0, Vec::new()));
                 continue;
             }
+            if self.collapse {
+                let rep = self.plan().representative(edge);
+                if rep != edge {
+                    self.stats.collapsed_edges += 1;
+                    let set = self.collapse_rep_set(cycle, rep, extra);
+                    results.push((static_count, set));
+                    continue;
+                }
+                if self.plan().is_representative(edge) {
+                    let set = self.collapse_rep_set(cycle, edge, extra);
+                    results.push((static_count, set));
+                    continue;
+                }
+            }
             if self.toggle_filter && !self.edge_sources_toggle(cycle, edge) {
                 self.stats.toggle_filtered += 1;
                 results.push((static_count, Vec::new()));
                 continue;
+            }
+            if self.collapse {
+                self.ensure_quiet_changed(cycle);
+                let source = self.topo.edge(edge).source;
+                if !self.quiet_changed[source.index()] {
+                    self.stats.collapsed_edges += 1;
+                    results.push((static_count, Vec::new()));
+                    continue;
+                }
             }
             survivors.push(results.len());
             results.push((static_count, Vec::new()));
@@ -745,6 +962,15 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             self.stats.replay_cache_hits += 1;
             return hit;
         }
+        if self.collapse {
+            if let Some(class) = self.try_discharge(boundary, &flips) {
+                self.failure_cache
+                    .entry(boundary)
+                    .or_default()
+                    .insert(flips, class);
+                return class;
+            }
+        }
         self.stats.replays += 1;
         let class = if self.incremental {
             self.replay_incremental(boundary, &flips)
@@ -756,6 +982,140 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             .or_default()
             .insert(flips, class);
         class
+    }
+
+    /// The semi-formal masking check: tries to classify the flip group
+    /// without any replay, by exact zero-delay propagation of its
+    /// difference cone against per-cycle golden settles. Returns `None`
+    /// when no proof is found within the horizon/cone bounds — the caller
+    /// falls back to a real replay, so a `None` never changes results.
+    ///
+    /// Soundness hinges on the environment seeing the *golden* output words
+    /// for as long as the cone stays off the output nets (environments are
+    /// deterministic in what they observe), and on
+    /// [`Injector::golden_identical_class`] certifying that such a
+    /// golden-trajectory run classifies as Masked. An output-word deviation
+    /// is promoted to SDC only under the stronger
+    /// [`Environment::deterministic_transcript`] contract, where a
+    /// deviating observed word provably produces a deviating transcript.
+    fn try_discharge(&mut self, boundary: u64, flips: &[DffId]) -> Option<FailureClass> {
+        if !self.golden.trace.halted() {
+            return None;
+        }
+        if self.golden_identical_class()? != FailureClass::Masked {
+            return None;
+        }
+        // Rule 1: no flipped bit can ever (through any number of cycles of
+        // sequential propagation) influence a primary output, so the
+        // environment observes the golden trajectory forever.
+        let all_invisible = {
+            let plan = self.plan();
+            flips.iter().all(|&d| !plan.influences_output(d))
+        };
+        if all_invisible {
+            self.stats.formally_discharged_unace += 1;
+            return Some(FailureClass::Masked);
+        }
+        // Rule 2: bounded exact propagation. The environment's step for
+        // cycle `t` observes the outputs settled at `t - 1` and its last
+        // step is for cycle `n - 1`, so only output deviations in cycles
+        // `boundary ..= n - 2` are ever observable.
+        let n = self.golden.trace.num_cycles();
+        if boundary >= n.saturating_sub(1) {
+            self.stats.formally_discharged_unace += 1;
+            return Some(FailureClass::Masked);
+        }
+        let horizon = (n - 1).min(boundary + DISCHARGE_HORIZON);
+        let mut cur: Vec<DffId> = flips.to_vec();
+        let mut t = boundary;
+        while t < horizon {
+            self.ensure_discharge_settle(boundary, t);
+            let values = &self.discharge_settle[&t];
+            let plan = self.plan.as_ref().expect("built by rule 1");
+            let step = propagate_flips(
+                self.circuit,
+                self.topo,
+                plan,
+                values,
+                &cur,
+                DISCHARGE_CONE_CAP,
+            )?;
+            if step.output_deviation {
+                if self.env_deterministic() {
+                    self.stats.formally_discharged_ace += 1;
+                    return Some(FailureClass::Sdc);
+                }
+                return None;
+            }
+            if step.next_flips.is_empty() {
+                self.stats.formally_discharged_unace += 1;
+                return Some(FailureClass::Masked);
+            }
+            cur = step.next_flips;
+            t += 1;
+        }
+        if t >= n - 1 {
+            // The whole observable window was propagated with no output
+            // deviation: the environment saw the golden trajectory
+            // throughout, so the run classifies exactly as the certified
+            // golden-identical one.
+            self.stats.formally_discharged_unace += 1;
+            Some(FailureClass::Masked)
+        } else {
+            None
+        }
+    }
+
+    /// The classification a faulty run would receive if its environment
+    /// observed exactly the golden output words until the end of the trace:
+    /// advance the latest checkpoint's environment clone along the recorded
+    /// outputs and classify it as a halted run. `None` when no usable
+    /// checkpoint exists (a cycle-0 checkpoint cannot be advanced — the
+    /// trace has no outputs before cycle 0). Memoized per injector.
+    fn golden_identical_class(&mut self) -> Option<FailureClass> {
+        if let Some(class) = self.golden_class {
+            return class;
+        }
+        let golden = self.golden;
+        let computed = golden
+            .checkpoints
+            .iter()
+            .next_back()
+            .filter(|(_, cp)| cp.cycle >= 1)
+            .map(|(_, cp)| (cp.cycle, cp.env.clone()));
+        let computed = computed.map(|(mut env_at, mut env)| {
+            self.advance_env(&mut env, &mut env_at, golden.trace.num_cycles());
+            self.classify_halted(&env)
+        });
+        self.golden_class = Some(computed);
+        computed
+    }
+
+    /// Whether the golden environment opts into the strong
+    /// [`Environment::deterministic_transcript`] contract (required for SDC
+    /// discharges, not for Masked ones).
+    fn env_deterministic(&self) -> bool {
+        self.golden
+            .checkpoints
+            .values()
+            .next()
+            .is_some_and(|cp| cp.env.deterministic_transcript())
+    }
+
+    /// Settles (and caches) the golden net values of trace cycle `t` for
+    /// the semi-formal discharge; the cache is scoped to one boundary.
+    fn ensure_discharge_settle(&mut self, boundary: u64, t: u64) {
+        if self.discharge_boundary != Some(boundary) {
+            self.discharge_settle.clear();
+            self.discharge_boundary = Some(boundary);
+        }
+        if self.discharge_settle.contains_key(&t) {
+            return;
+        }
+        let trace = &self.golden.trace;
+        let state = trace.state_bits_at(t, self.circuit.num_dffs());
+        let values = settle(self.circuit, self.topo, &state, trace.inputs_at(t));
+        self.discharge_settle.insert(t, values);
     }
 
     /// Classification when the faulty run has halted on its own.
@@ -962,6 +1322,25 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             if seen.insert(key.clone()) {
                 pending.push(key);
             }
+        }
+        // Semi-formal discharges run before lane chunking, so discharged
+        // sets never occupy lanes — exactly the sets the scalar path
+        // (`lanes <= 1`) discharges one query at a time, which keeps every
+        // counter lane-width invariant.
+        if self.collapse {
+            let mut kept = Vec::with_capacity(pending.len());
+            for set in pending {
+                match self.try_discharge(boundary, &set) {
+                    Some(class) => {
+                        self.failure_cache
+                            .entry(boundary)
+                            .or_default()
+                            .insert(set, class);
+                    }
+                    None => kept.push(set),
+                }
+            }
+            pending = kept;
         }
         for chunk_start in (0..pending.len()).step_by(self.lanes) {
             let chunk_end = (chunk_start + self.lanes).min(pending.len());

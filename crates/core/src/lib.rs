@@ -49,6 +49,7 @@
 
 mod campaign;
 pub mod checkpoint;
+mod collapse;
 pub mod fit;
 mod golden;
 mod injector;
@@ -69,6 +70,7 @@ pub use campaign::{
     RunContext,
 };
 pub use checkpoint::{CheckpointSpec, CHECKPOINT_FORMAT_VERSION};
+pub use collapse::{propagate_flips, CollapsePlan, DischargeStep};
 pub use golden::{prepare_golden, prepare_golden_percent, prepare_golden_seeded, GoldenRun};
 pub use injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 pub use report::{

@@ -115,7 +115,20 @@ pub fn wilson_interval(hits: usize, trials: usize) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let center = (p + z2 / (2.0 * n)) / denom;
     let margin = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
-    ((center - margin).max(0.0), (center + margin).min(1.0))
+    // At the extremes the score bound is analytically exact (0 hits cannot
+    // raise the lower bound, all hits cannot lower the upper one), but
+    // `center - margin` evaluates to ±ε in floating point; pin the edge.
+    let lo = if hits == 0 {
+        0.0
+    } else {
+        (center - margin).max(0.0)
+    };
+    let hi = if hits >= trials {
+        1.0
+    } else {
+        (center + margin).min(1.0)
+    };
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -183,5 +196,65 @@ mod tests {
         // Interval is contained in [0, 1].
         let (lo, hi) = wilson_interval(100, 100);
         assert!(lo > 0.9 && hi > 0.9999);
+    }
+
+    #[test]
+    fn wilson_interval_boundary_inputs() {
+        // Zero trials: the interval is the whole unit interval, exactly.
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+
+        // A single trial barely constrains the proportion. The closed forms
+        // fall out of the score equation at p ∈ {0, 1}, n = 1:
+        // the far bound is z²/(1+z²), the near bound is pinned to the edge.
+        let z2 = 1.959_963_985f64 * 1.959_963_985;
+        let (lo, hi) = wilson_interval(0, 1);
+        assert_eq!(lo, 0.0, "a single miss cannot raise the lower bound");
+        assert!(
+            (hi - z2 / (1.0 + z2)).abs() < 1e-12,
+            "hi = z²/(1+z²), got {hi}"
+        );
+        let (lo, hi) = wilson_interval(1, 1);
+        assert!(
+            (lo - 1.0 / (1.0 + z2)).abs() < 1e-12,
+            "lo = 1/(1+z²), got {lo}"
+        );
+        assert_eq!(hi, 1.0, "a single hit cannot lower the upper bound");
+
+        // All-unACE (zero hits): the lower bound stays exactly 0 and the
+        // upper bound shrinks monotonically with more evidence.
+        let mut prev_hi = 1.0;
+        for trials in [1usize, 10, 100, 1000, 100_000] {
+            let (lo, hi) = wilson_interval(0, trials);
+            assert_eq!(lo, 0.0, "all-unACE lower bound at n={trials}");
+            assert!(hi < prev_hi, "upper bound tightens at n={trials}");
+            assert!(hi > 0.0, "but never reaches certainty");
+            prev_hi = hi;
+        }
+
+        // All-ACE (hits == trials) is the mirror image: upper bound exactly
+        // 1, lower bound growing toward it.
+        let mut prev_lo = 0.0;
+        for trials in [1usize, 10, 100, 1000, 100_000] {
+            let (lo, hi) = wilson_interval(trials, trials);
+            assert_eq!(hi, 1.0, "all-ACE upper bound at n={trials}");
+            assert!(lo > prev_lo, "lower bound tightens at n={trials}");
+            assert!(lo < 1.0, "but never reaches certainty");
+            prev_lo = lo;
+        }
+
+        // The two extremes are exact mirrors: (hits, trials) reflects to
+        // (trials - hits, trials) with the bounds swapped around 1/2.
+        for &(hits, trials) in &[(0usize, 7usize), (3, 7), (7, 7), (1, 1), (0, 1)] {
+            let (lo, hi) = wilson_interval(hits, trials);
+            let (mlo, mhi) = wilson_interval(trials - hits, trials);
+            assert!(
+                (lo - (1.0 - mhi)).abs() < 1e-12,
+                "mirror lo, {hits}/{trials}"
+            );
+            assert!(
+                (hi - (1.0 - mlo)).abs() < 1e-12,
+                "mirror hi, {hits}/{trials}"
+            );
+        }
     }
 }

@@ -124,6 +124,38 @@ mod tests {
     }
 
     #[test]
+    fn cycle_samplers_handle_degenerate_runs() {
+        // No injectable cycle exists below two cycles (cycle 0 has no
+        // previous settled cycle), and a zero-count request is empty.
+        for sampler in [
+            &(|n, c| spaced_cycles(n, c)) as &dyn Fn(u64, usize) -> Vec<u64>,
+            &|n, c| stratified_cycles(n, c, 7),
+        ] {
+            assert_eq!(sampler(0, 5), Vec::<u64>::new());
+            assert_eq!(sampler(1, 5), Vec::<u64>::new());
+            assert_eq!(sampler(100, 0), Vec::<u64>::new());
+            // A single-sample request returns exactly one in-range cycle.
+            let one = sampler(100, 1);
+            assert_eq!(one.len(), 1);
+            assert!((1..=99).contains(&one[0]));
+            // Exactly one injectable cycle exists in a two-cycle run.
+            assert_eq!(sampler(2, 5), vec![1]);
+        }
+    }
+
+    #[test]
+    fn stratified_cycles_stay_sorted_in_range_and_deterministic() {
+        let a = stratified_cycles(1000, 40, 9);
+        assert_eq!(a, stratified_cycles(1000, 40, 9), "seed-deterministic");
+        assert_eq!(a.len(), 40, "disjoint strata never collide");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(a.iter().all(|&c| (1..=999).contains(&c)), "in range");
+        // Oversampling clamps to the number of injectable cycles.
+        let all = stratified_cycles(10, 100, 3);
+        assert_eq!(all, (1..=9).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn edge_sampling_is_deterministic_and_bounded() {
         let edges: Vec<EdgeId> = (0..100).map(EdgeId::from_index).collect();
         let a = sample_edges(&edges, 10, 7);

@@ -36,7 +36,7 @@ use crate::injector::InjectorStats;
 
 /// Version stamped into every emitted line as `"v"`; bumped whenever an
 /// event gains, loses or renames a field.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 3;
 
 /// Per-shard wall-clock totals of the three phases of a DelayAVF work
 /// unit, in microseconds. Only accumulated when the sink is enabled.
@@ -265,8 +265,8 @@ impl<W: Write + Send> TelemetrySink for JsonlTelemetry<W> {
     }
 }
 
-/// The nineteen engine counters in their canonical (schema) order.
-fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 19] {
+/// The twenty-three engine counters in their canonical (schema) order.
+fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 23] {
     [
         ("static_filtered", stats.static_filtered),
         ("toggle_filtered", stats.toggle_filtered),
@@ -287,6 +287,10 @@ fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 19] {
         ("batched_timing_replays", stats.batched_timing_replays),
         ("timing_lanes_occupied", stats.timing_lanes_occupied),
         ("timing_lane_slots", stats.timing_lane_slots),
+        ("collapsed_edges", stats.collapsed_edges),
+        ("class_representatives", stats.class_representatives),
+        ("formally_discharged_ace", stats.formally_discharged_ace),
+        ("formally_discharged_unace", stats.formally_discharged_unace),
     ]
 }
 
@@ -496,6 +500,10 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             "batched_timing_replays",
             "timing_lanes_occupied",
             "timing_lane_slots",
+            "collapsed_edges",
+            "class_representatives",
+            "formally_discharged_ace",
+            "formally_discharged_unace",
         ],
         "checkpoint_flush" => &["completed_units"],
         "campaign_end" => {
@@ -603,11 +611,11 @@ mod tests {
         assert!(validate_line(r#"{"v":99,"t_ms":0,"event":"campaign_end"}"#)
             .unwrap_err()
             .contains("schema version"));
-        assert!(validate_line(r#"{"v":2,"t_ms":0,"event":"wat"}"#)
+        assert!(validate_line(r#"{"v":3,"t_ms":0,"event":"wat"}"#)
             .unwrap_err()
             .contains("unknown event"));
         assert!(
-            validate_line(r#"{"v":2,"t_ms":0,"event":"checkpoint_flush"}"#)
+            validate_line(r#"{"v":3,"t_ms":0,"event":"checkpoint_flush"}"#)
                 .unwrap_err()
                 .contains("completed_units")
         );

@@ -31,7 +31,7 @@ impl Environment for ObservingEnv {
     fn step(&mut self, _cycle: u64, prev_outputs: &[u64], inputs: &mut [u64]) {
         for &o in prev_outputs {
             self.fp = (self.fp ^ o).wrapping_mul(0x0000_0100_0000_01b3);
-            self.log.push(o as u8);
+            self.log.extend_from_slice(&o.to_le_bytes());
         }
         self.seen += 1;
         if let Some(slot) = inputs.first_mut() {
@@ -49,5 +49,12 @@ impl Environment for ObservingEnv {
 
     fn program_output(&self) -> Vec<u8> {
         self.log.clone()
+    }
+
+    // The log is a faithful full-width record of every observed word and
+    // halting is a pure cycle count, so the strong transcript contract
+    // holds and SDC discharges are exact for this environment.
+    fn deterministic_transcript(&self) -> bool {
+        true
     }
 }

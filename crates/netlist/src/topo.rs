@@ -311,6 +311,97 @@ impl Topology {
         iv.sort_unstable();
         (dv, iv)
     }
+
+    /// The immediate post-dominator of every net in the combinational
+    /// fan-out graph.
+    ///
+    /// The graph has one node per net plus a virtual EXIT node; each fanout
+    /// edge contributes a successor — the consuming gate's output net for a
+    /// [`Consumer::GatePin`] sink, EXIT for [`Consumer::DffD`] and
+    /// [`Consumer::OutputBit`] sinks (sequential elements end the
+    /// combinational cycle) — and a net with no fanout also flows to EXIT.
+    /// `result[n]` is the net every value change on `n` must pass through
+    /// before reaching any latch or output, or `None` when only the virtual
+    /// EXIT post-dominates `n` (its cone re-converges nowhere short of the
+    /// sequential boundary).
+    ///
+    /// Fault collapsing uses this: a delay fault on an edge whose sink cone
+    /// is funneled through a post-dominating net is observationally
+    /// equivalent to a fault delayed at that funnel, which is what licenses
+    /// replaying one representative per equivalence class.
+    ///
+    /// Computed with the Cooper–Harvey–Kennedy iterative-intersection scheme
+    /// on the reversed graph; the graph is a DAG (guaranteed by
+    /// [`crate::CircuitBuilder::finish`]), so one pass in reverse
+    /// topological order reaches the fixpoint.
+    pub fn post_dominators(&self, c: &Circuit) -> Vec<Option<NetId>> {
+        let n_nets = c.num_nets();
+        let exit = n_nets;
+        // A topological order of nets: source nets (inputs, flip-flop Qs,
+        // constants) first, then gate outputs in evaluation order. `ord`
+        // ranks every net by that order, EXIT above all.
+        let mut order: Vec<usize> = Vec::with_capacity(n_nets);
+        for (id, net) in c.nets() {
+            if !matches!(net.driver(), Driver::Gate(_)) {
+                order.push(id.index());
+            }
+        }
+        for &g in &self.eval_order {
+            order.push(c.gate(g).output().index());
+        }
+        debug_assert_eq!(order.len(), n_nets);
+        let mut ord = vec![0usize; n_nets + 1];
+        for (pos, &net) in order.iter().enumerate() {
+            ord[net] = pos;
+        }
+        ord[exit] = n_nets;
+
+        let mut ipdom = vec![usize::MAX; n_nets + 1];
+        ipdom[exit] = exit;
+        let intersect = |ipdom: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while ord[a] < ord[b] {
+                    a = ipdom[a];
+                }
+                while ord[b] < ord[a] {
+                    b = ipdom[b];
+                }
+            }
+            a
+        };
+        // Process sinks before sources: every successor's immediate
+        // post-dominator is final by the time a net is visited.
+        for &net in order.iter().rev() {
+            let mut new_ipdom = usize::MAX;
+            let mut successor = |s: usize, ipdom: &[usize]| {
+                debug_assert_ne!(ipdom[s], usize::MAX, "successors visited first");
+                new_ipdom = if new_ipdom == usize::MAX {
+                    s
+                } else {
+                    intersect(ipdom, new_ipdom, s)
+                };
+            };
+            let fanouts = self.fanouts(NetId::from_index(net));
+            if fanouts.is_empty() {
+                successor(exit, &ipdom);
+            }
+            for e in fanouts {
+                match e.consumer {
+                    Consumer::GatePin { gate, .. } => {
+                        successor(c.gate(gate).output().index(), &ipdom);
+                    }
+                    Consumer::DffD(_) | Consumer::OutputBit { .. } => successor(exit, &ipdom),
+                }
+            }
+            ipdom[net] = new_ipdom;
+        }
+        (0..n_nets)
+            .map(|n| {
+                let d = ipdom[n];
+                (d != exit).then(|| NetId::from_index(d))
+            })
+            .collect()
+    }
 }
 
 fn collect_edges(c: &Circuit) -> Vec<Edge> {
@@ -498,6 +589,60 @@ mod tests {
             assert_eq!(t.edge(e).consumer, Consumer::DffD(did));
             assert_eq!(t.edge(e).source, d.d());
         }
+    }
+
+    #[test]
+    fn post_dominators_follow_single_paths_and_stop_at_latches() {
+        let (c, x) = loop_through_dff();
+        let t = Topology::new(&c);
+        let pdom = t.post_dominators(&c);
+        // a feeds only the AND, so every change on a funnels through x.
+        let a = c.input_nets()[0];
+        assert_eq!(pdom[a.index()], Some(x));
+        // x feeds only the NOT, whose output y ends at the DFF D pin:
+        // y's sole successor is the sequential EXIT.
+        let y = c.dff(c.dffs().next().unwrap().0).d();
+        assert_eq!(pdom[x.index()], Some(y));
+        assert_eq!(pdom[y.index()], None);
+        // q fans out to both the AND and a primary output, so nothing
+        // short of EXIT post-dominates it.
+        let q = c.dffs().next().unwrap().1.q();
+        assert_eq!(pdom[q.index()], None);
+    }
+
+    #[test]
+    fn post_dominators_reconverge_across_a_diamond() {
+        // a splits into two NOTs whose outputs re-converge in an AND: the
+        // AND output post-dominates a even though no single path shows it.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let l = b.not(a);
+        let r = b.not(a);
+        let m = b.and(l, r);
+        b.output("o", m);
+        let c = b.finish().unwrap();
+        let t = Topology::new(&c);
+        let pdom = t.post_dominators(&c);
+        assert_eq!(pdom[a.index()], Some(m));
+        assert_eq!(pdom[l.index()], Some(m));
+        assert_eq!(pdom[r.index()], Some(m));
+        assert_eq!(pdom[m.index()], None, "m ends at the output port");
+    }
+
+    #[test]
+    fn post_dominators_handle_dangling_nets() {
+        // A gate output nobody consumes flows straight to EXIT.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let unused = b.not(a);
+        let used = b.not(a);
+        b.output("o", used);
+        let c = b.finish().unwrap();
+        let t = Topology::new(&c);
+        let pdom = t.post_dominators(&c);
+        assert_eq!(pdom[unused.index()], None);
+        // a reaches EXIT along both branches without re-converging.
+        assert_eq!(pdom[a.index()], None);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct EventSim<'a> {
     /// Reusable buffer for the latched flip-flop values, so the hot path of
     /// a fault campaign allocates nothing per injection.
     latch_buf: Vec<bool>,
+    /// Per-net activity flags for the most recent cycle: true iff the net's
+    /// origin value changed at least once (including the t = 0 clock-edge
+    /// updates). A net that stays quiet carries no transitions whose timing
+    /// a delay fault could alter.
+    changed: Vec<bool>,
 }
 
 impl<'a> EventSim<'a> {
@@ -66,7 +71,17 @@ impl<'a> EventSim<'a> {
             seq: 0,
             input_bits: vec![false; circuit.num_nets()],
             latch_buf: vec![false; circuit.num_dffs()],
+            changed: vec![false; circuit.num_nets()],
         }
+    }
+
+    /// Per-net activity flags from the most recent [`EventSim::latch_cycle`]
+    /// call: `changed_nets()[n]` is true iff net `n` changed value at least
+    /// once during that cycle (clock-edge updates at t = 0 included). A
+    /// quiet net has no transitions, so a transport-delay fault on any of
+    /// its fanout edges is vacuous for that cycle.
+    pub fn changed_nets(&self) -> &[bool] {
+        &self.changed
     }
 
     /// Simulates one cycle with full timing and returns the values latched
@@ -111,6 +126,7 @@ impl<'a> EventSim<'a> {
         }
         self.heap.clear();
         self.seq = 0;
+        self.changed.iter_mut().for_each(|c| *c = false);
 
         // At t = 0 the clock edge updates flip-flop outputs and the
         // environment presents new inputs.
@@ -119,6 +135,7 @@ impl<'a> EventSim<'a> {
             let v = new_state[id.index()];
             if self.net_val[q.index()] != v {
                 self.net_val[q.index()] = v;
+                self.changed[q.index()] = true;
                 self.schedule_fanouts(q, 0, v, fault);
             }
         }
@@ -128,6 +145,7 @@ impl<'a> EventSim<'a> {
             let v = self.input_bits[net.index()];
             if self.net_val[net.index()] != v {
                 self.net_val[net.index()] = v;
+                self.changed[net.index()] = true;
                 self.schedule_fanouts(net, 0, v, fault);
             }
         }
@@ -154,6 +172,7 @@ impl<'a> EventSim<'a> {
                 let out_net = g.output();
                 if self.net_val[out_net.index()] != out {
                     self.net_val[out_net.index()] = out;
+                    self.changed[out_net.index()] = true;
                     self.schedule_fanouts(out_net, t, out, fault);
                 }
             }
@@ -367,6 +386,24 @@ mod tests {
             }),
         );
         assert_eq!(latched, vec![false, false], "both registers err at once");
+    }
+
+    #[test]
+    fn changed_nets_tracks_exactly_the_active_cone() {
+        // Figure 2 with x toggling and y held: x, the AND output, and the
+        // register D-side activity show as changed; y stays quiet.
+        let (f, x) = figure2();
+        let state = f.c.initial_state();
+        let prev_values = settle(&f.c, &f.topo, &state, &[0, 1]);
+        let mut sim = EventSim::new(&f.c, &f.topo, &f.timing);
+        sim.latch_cycle(&prev_values, &state, &[1, 1], None);
+        let changed = sim.changed_nets();
+        assert!(changed[x.index()], "x toggles 0 -> 1");
+        let y = f.c.input_nets()[1];
+        assert!(!changed[y.index()], "y is held at 1");
+        // A fully quiet cycle marks nothing.
+        sim.latch_cycle(&prev_values, &state, &[0, 1], None);
+        assert!(sim.changed_nets().iter().all(|&c| !c));
     }
 
     #[test]

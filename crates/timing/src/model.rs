@@ -285,6 +285,26 @@ impl TimingModel {
         reachable
     }
 
+    /// The raw downstream-slack slice of `edge`: `(path_length, dff)` pairs
+    /// for every flip-flop reachable through the edge, sorted ascending by
+    /// the length of the longest complete source-to-endpoint path (ties by
+    /// flip-flop id), with endpoint setup included. Path lengths are
+    /// absolute, so two edges with identical slices behave identically under
+    /// **every** extra delay and every guardband — the "same-slack" half of
+    /// the fault-collapsing criterion compares exactly these slices.
+    ///
+    /// Builds the table lazily, like [`TimingModel::statically_reachable`].
+    pub fn edge_slack_entries(
+        &self,
+        c: &Circuit,
+        topo: &Topology,
+        edge: EdgeId,
+    ) -> &[(Picos, DffId)] {
+        self.slack
+            .get_or_init(|| self.build_slack_table(c, topo))
+            .edge_entries(edge)
+    }
+
     /// Builds the [`SlackTable`]: one backward dynamic-programming pass
     /// computing, per net, the longest continuation from the net's origin to
     /// each downstream flip-flop D pin (including setup), then expands it
@@ -360,6 +380,10 @@ impl TimingModel {
     /// a longest-path relaxation over the fanout cone of the edge's sink,
     /// recomputed per query. Kept as the differential oracle for the
     /// downstream-slack table; cost is proportional to the affected cone.
+    ///
+    /// Arithmetic saturates like the table query's does (`saturating_add`),
+    /// so extreme `extra` values pin to `Picos::MAX` instead of wrapping —
+    /// the two implementations agree across the whole input domain.
     pub fn statically_reachable_walk(
         &self,
         c: &Circuit,
@@ -368,7 +392,8 @@ impl TimingModel {
         extra: Picos,
     ) -> Vec<DffId> {
         let e = topo.edge(edge);
-        let pin_time = self.arrival[e.source.index()] + self.net_delay[e.source.index()] + extra;
+        let pin_time = (self.arrival[e.source.index()] + self.net_delay[e.source.index()])
+            .saturating_add(extra);
         let mut reachable = Vec::new();
         // Latest fault-affected arrival per net origin.
         let mut fault_time: HashMap<NetId, Picos> = HashMap::new();
@@ -381,7 +406,7 @@ impl TimingModel {
                      reachable: &mut Vec<DffId>| {
             match consumer {
                 Consumer::DffD(f) => {
-                    if time + self.setup > self.clock_period {
+                    if time.saturating_add(self.setup) > self.clock_period {
                         reachable.push(f);
                     }
                 }
@@ -413,7 +438,7 @@ impl TimingModel {
             &mut reachable,
         );
         while let Some((_, net)) = heap.pop() {
-            let depart = fault_time[&net] + self.net_delay[net.index()];
+            let depart = fault_time[&net].saturating_add(self.net_delay[net.index()]);
             for eo in topo.fanouts(net) {
                 visit(
                     eo.consumer,

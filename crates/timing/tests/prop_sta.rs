@@ -93,6 +93,46 @@ proptest! {
     }
 
     #[test]
+    fn walk_oracle_matches_the_csr_table_everywhere(
+        gates in prop::collection::vec(any::<GateSpec>(), 5..40),
+        extra_sel: u16,
+    ) {
+        // Direct differential test of the two statically-reachable
+        // implementations on every edge, probing the decision boundaries:
+        // the exact per-edge slack (zero-slack extras: slack and slack ± 1),
+        // the guardband edge (same probes against a stretched clock), and
+        // the saturation regime (extras near Picos::MAX, where the walk
+        // used to overflow while the table saturated).
+        let (c, topo, timing) = random_fixture(&gates);
+        let clock = timing.clock_period();
+        let relaxed = timing.with_guardband(25.0);
+        for i in 0..topo.edges().len() {
+            let e = EdgeId::from_index(i);
+            for tm in [&timing, &relaxed] {
+                let slack = tm.clock_period() - timing.path_through_edge(&c, &topo, e);
+                let mut extras = vec![
+                    0,
+                    slack.saturating_sub(1),
+                    slack,
+                    slack + 1,
+                    tm.clock_period(),
+                    tm.clock_period() + 1,
+                    u64::MAX - 1,
+                    u64::MAX,
+                ];
+                extras.push(u64::from(extra_sel) * clock / 4096);
+                for extra in extras {
+                    prop_assert_eq!(
+                        tm.statically_reachable(&c, &topo, e, extra),
+                        tm.statically_reachable_walk(&c, &topo, e, extra),
+                        "edge {} extra {} clock {}", e, extra, tm.clock_period()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn above_clock_delay_reaches_every_downstream_dff(
         gates in prop::collection::vec(any::<GateSpec>(), 5..40),
         edge_sel: u16,

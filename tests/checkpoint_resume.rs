@@ -128,6 +128,7 @@ fn resumed_reports_are_byte_identical_across_the_threads_by_lanes_grid() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
 
     for (threads, lanes) in [(1usize, 64usize), (2, 1), (4, 64)] {
@@ -343,6 +344,7 @@ fn stale_or_foreign_checkpoints_are_rejected_not_merged() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
     let path = dir.join("sweep.ckpt");
     delay_avf_campaign_observed(
@@ -393,6 +395,25 @@ fn stale_or_foreign_checkpoints_are_rejected_not_merged() {
         "knob drift not pinned: {err}"
     );
 
+    // The collapse knob also shapes the counters (collapsed_edges and the
+    // discharge counters are zero with collapse off), so a checkpoint
+    // written with collapse on must not resume with it off.
+    let other = config.clone().with_collapse(false);
+    let err = delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &other,
+        &ctx(&path, 1, true),
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("checkpoint mismatch"),
+        "collapse drift not pinned: {err}"
+    );
+
     // A sweep checkpoint resumed by the sAVF campaign → kind mismatch.
     let err = savf_campaign_observed(
         &s.core.circuit,
@@ -434,7 +455,7 @@ fn stale_or_foreign_checkpoints_are_rejected_not_merged() {
 
     // A torn file (no atomic rename ever produces one, but disks lie) is a
     // loud parse error, not a silent fresh start.
-    fs::write(&path, "delayavf-checkpoint v1 delay_sweep\nfingerpri").unwrap();
+    fs::write(&path, "delayavf-checkpoint v2 delay_sweep\nfingerpri").unwrap();
     let err = delay_avf_campaign_observed(
         &s.core.circuit,
         &s.topo,

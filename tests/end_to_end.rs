@@ -51,6 +51,7 @@ fn campaign_invariants_hold_on_the_real_core() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
     let rows = delay_avf_campaign(
         &s.core.circuit,
@@ -224,6 +225,10 @@ fn section_5c_prefilters_retain_fidelity() {
     let extra = s.timing.clock_period() * 9 / 10;
     let mut with = delayavf::Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
     let mut without = delayavf::Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
+    // Collapse off on both sides: its quiet-source certificate subsumes the
+    // toggle filter's savings, and this test isolates the toggle filter.
+    with.set_collapse(false);
+    without.set_collapse(false);
     without.set_toggle_filter(false);
     for &cycle in &s.golden.sampled_cycles {
         if cycle + 1 >= s.golden.trace.num_cycles() {

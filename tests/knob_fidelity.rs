@@ -1,9 +1,10 @@
 //! The fidelity regression matrix: every combination of the engine's
 //! performance knobs — toggle pre-filter, convergence early-exit, the
 //! incremental divergence-cone replay, the batch lane width, the
-//! incremental timing-aware (delta) engine, and the timing-aware batch
-//! lane width — produces the exact same per-injection outcomes. The knobs
-//! change only the cost of the answer, never the answer.
+//! incremental timing-aware (delta) engine, the timing-aware batch lane
+//! width, and the equivalence-class collapse — produces the exact same
+//! per-injection outcomes. The knobs change only the cost of the answer,
+//! never the answer.
 
 use delayavf::{prepare_golden_seeded, sample_edges, InjectionOutcome, Injector};
 use delayavf_netlist::{EdgeId, Topology};
@@ -45,6 +46,7 @@ struct Knobs {
     early_exit: bool,
     incremental: bool,
     delta_timing: bool,
+    collapse: bool,
     lanes: usize,
     timing_lanes: usize,
 }
@@ -54,6 +56,7 @@ const REFERENCE: Knobs = Knobs {
     early_exit: true,
     incremental: true,
     delta_timing: true,
+    collapse: true,
     lanes: 64,
     timing_lanes: 64,
 };
@@ -64,6 +67,7 @@ fn run_matrix_point(s: &Setup, k: Knobs) -> Vec<InjectionOutcome> {
     inj.set_early_exit(k.early_exit);
     inj.set_incremental(k.incremental);
     inj.set_delta_timing(k.delta_timing);
+    inj.set_collapse(k.collapse);
     inj.set_lanes(k.lanes);
     inj.set_timing_lanes(k.timing_lanes);
     let extra = s.timing.clock_period() * 9 / 10;
@@ -101,21 +105,24 @@ fn every_knob_combination_yields_identical_outcomes() {
         for early_exit in [true, false] {
             for incremental in [true, false] {
                 for delta_timing in [true, false] {
-                    for lanes in [1, 64] {
-                        for timing_lanes in [1, 64] {
-                            let k = Knobs {
-                                toggle_filter,
-                                early_exit,
-                                incremental,
-                                delta_timing,
-                                lanes,
-                                timing_lanes,
-                            };
-                            if k == REFERENCE {
-                                continue;
+                    for collapse in [true, false] {
+                        for lanes in [1, 64] {
+                            for timing_lanes in [1, 64] {
+                                let k = Knobs {
+                                    toggle_filter,
+                                    early_exit,
+                                    incremental,
+                                    delta_timing,
+                                    collapse,
+                                    lanes,
+                                    timing_lanes,
+                                };
+                                if k == REFERENCE {
+                                    continue;
+                                }
+                                let outcomes = run_matrix_point(&s, k);
+                                assert_eq!(outcomes, reference, "outcomes changed with {k:?}");
                             }
-                            let outcomes = run_matrix_point(&s, k);
-                            assert_eq!(outcomes, reference, "outcomes changed with {k:?}");
                         }
                     }
                 }

@@ -65,6 +65,7 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
     let serial_opts = ReplayOptions::new(500, 1);
     let (serial_rows, serial_stats) = delay_avf_campaign_with_stats(
@@ -229,6 +230,7 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
     let (base_rows, _) = delay_avf_campaign_with_stats(
         &s.core.circuit,
@@ -305,6 +307,115 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
     }
 }
 
+/// The equivalence-class collapse layer's guarantee, on a collapse ×
+/// threads × lanes grid: collapse on and off return identical delay-sweep
+/// rows at every thread count and lane width, and the four collapse
+/// counters — `collapsed_edges`, `class_representatives`,
+/// `formally_discharged_ace`, `formally_discharged_unace` — are invariant
+/// across both the thread count and the lane width (they count class
+/// structure and certificates, not batching), and exactly zero with
+/// collapse off.
+#[test]
+fn collapse_counters_are_thread_and_lane_invariant() {
+    use std::collections::HashMap;
+
+    let s = setup();
+    // Decoder edges: this structure has real collapse classes (buffer-like
+    // chains) on the core, so the member-redirect path is exercised.
+    let edges = sample_edges(
+        &s.topo.structure_edges(&s.core.circuit, "decoder").unwrap(),
+        30,
+        17,
+    );
+    let config = CampaignConfig {
+        delay_fractions: vec![0.9, 1.0],
+        compute_orace: true,
+        due_slack: 500,
+        threads: 1,
+        incremental: true,
+        delta_timing: true,
+        lanes: 64,
+        timing_lanes: 64,
+        collapse: true,
+    };
+    let (base_rows, base_stats) = delay_avf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+    );
+    assert!(
+        base_stats.collapsed_edges > 0,
+        "the collapse layer fires on decoder edges: {base_stats:?}"
+    );
+    assert!(
+        base_stats.class_representatives > 0,
+        "representatives were actually replayed: {base_stats:?}"
+    );
+    assert!(
+        base_stats.formally_discharged_ace + base_stats.formally_discharged_unace > 0,
+        "the semi-formal discharge fired on decoder flip groups: {base_stats:?}"
+    );
+
+    let mut stats_by_point = HashMap::new();
+    let mut collapse_counters = HashMap::new();
+    for collapse in [true, false] {
+        for threads in [1usize, 2, 4] {
+            for lanes in [1usize, 64] {
+                let cfg = config
+                    .clone()
+                    .with_collapse(collapse)
+                    .with_threads(threads)
+                    .with_lanes(lanes);
+                let (rows, stats) = delay_avf_campaign_with_stats(
+                    &s.core.circuit,
+                    &s.topo,
+                    &s.timing,
+                    &s.golden,
+                    &edges,
+                    &cfg,
+                );
+                assert_eq!(
+                    rows, base_rows,
+                    "sweep rows, collapse={collapse} threads={threads} lanes={lanes}"
+                );
+                // Full counter set is thread-invariant at a fixed
+                // (collapse, lanes) point ...
+                let first = *stats_by_point.entry((collapse, lanes)).or_insert(stats);
+                assert_eq!(
+                    stats, first,
+                    "counters thread-invariant at collapse={collapse} lanes={lanes} \
+                     (threads={threads})"
+                );
+                // ... and the collapse counters are additionally lane-width
+                // invariant: members and certificates are discharged before
+                // any batch is formed.
+                let quad = (
+                    stats.collapsed_edges,
+                    stats.class_representatives,
+                    stats.formally_discharged_ace,
+                    stats.formally_discharged_unace,
+                );
+                let first_quad = *collapse_counters.entry(collapse).or_insert(quad);
+                assert_eq!(
+                    quad, first_quad,
+                    "collapse counters lane/thread-invariant at collapse={collapse} \
+                     (threads={threads}, lanes={lanes})"
+                );
+                if !collapse {
+                    assert_eq!(
+                        quad,
+                        (0, 0, 0, 0),
+                        "collapse off runs the exact per-edge baseline"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The timing-aware batching layer's guarantee, on a threads × timing_lanes
 /// grid: every timing lane width (scalar, narrow u64, wide 256-lane) returns
 /// the same delay-sweep rows, and at a fixed width every counter — including
@@ -328,6 +439,7 @@ fn timing_batch_counters_are_thread_invariant_at_every_lane_width() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
     let (base_rows, _) = delay_avf_campaign_with_stats(
         &s.core.circuit,

@@ -94,6 +94,7 @@ fn campaign_telemetry_validates_and_never_changes_results() {
         delta_timing: true,
         lanes: 64,
         timing_lanes: 64,
+        collapse: true,
     };
 
     let want =
