@@ -273,10 +273,39 @@ fn bench_incremental_ablation(c: &mut Criterion) {
     }
 }
 
+/// The 512 spatial double-strike sets the wide-lane batch ablation runs:
+/// every pair drawn (in order) from the first 64 register-file bits. The
+/// pair cones overlap heavily — the shape where lane-packing pays, and the
+/// shape [`delayavf::spatial_double_strike_campaign`] issues.
+fn pair_strike_sets(f: &Fix) -> Vec<Vec<delayavf_netlist::DffId>> {
+    let dffs: Vec<_> = f
+        .core
+        .circuit
+        .structure("regfile")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(64)
+        .collect();
+    let mut sets = Vec::with_capacity(512);
+    'outer: for i in 0..dffs.len() {
+        for j in (i + 1)..dffs.len() {
+            sets.push(vec![dffs[i], dffs[j]]);
+            if sets.len() == 512 {
+                break 'outer;
+            }
+        }
+    }
+    sets
+}
+
 fn bench_batch_ablation(c: &mut Criterion) {
-    // Ablation: the 64-lane bit-parallel batch replay vs the scalar
-    // incremental engine. `lanes = 1` disables batching entirely; results
-    // are identical, only the wall clock changes.
+    // Ablation: the bit-parallel batch replay vs the scalar incremental
+    // engine, across the `u64`, 256- and 512-lane carriers. `lanes = 1`
+    // disables batching entirely; results are identical, only the wall
+    // clock changes. Collapse is off so the measurement isolates the
+    // replay engine rather than the semi-formal discharge.
     let f = fix();
     let env = MemEnv::new(&f.core.circuit, DEFAULT_RAM_BYTES, &f.program);
     let golden = prepare_golden(&f.core.circuit, &f.topo, &env, 100_000, 6);
@@ -291,13 +320,14 @@ fn bench_batch_ablation(c: &mut Criterion) {
         .copied()
         .take(64)
         .collect();
-    assert_eq!(dffs.len(), 64, "one full batch of strike scenarios");
+    assert_eq!(dffs.len(), 64, "one full u64 batch of strike scenarios");
     for (label, lanes) in [("lanes1", 1usize), ("lanes64", 64)] {
         c.bench_function(&format!("savf_64_strikes_{label}"), |b| {
             b.iter_batched(
                 || {
                     let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
                     inj.set_lanes(lanes);
+                    inj.set_collapse(false);
                     inj
                 },
                 |mut inj| {
@@ -310,25 +340,72 @@ fn bench_batch_ablation(c: &mut Criterion) {
             )
         });
     }
-    emit_batch_snapshot(&f, &golden, &dffs);
+    // The wide-carrier axis needs more scenarios per boundary than state
+    // bits: 512 spatial double strikes fill one 512-lane word.
+    let sets = pair_strike_sets(&f);
+    for (label, lanes) in [("lanes1", 1usize), ("lanes64", 64), ("lanes512", 512)] {
+        c.bench_function(&format!("savf_512_pair_strikes_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    inj.set_lanes(lanes);
+                    inj.set_collapse(false);
+                    inj
+                },
+                |mut inj| {
+                    inj.prefill_failures(cycle, sets.iter().cloned());
+                    for s in &sets {
+                        let _ = inj.group_ace(cycle, s);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    emit_batch_snapshot(&f, &golden, &dffs, &sets);
 }
 
-/// Hand-timed lanes-1 vs lanes-64 snapshot, written to `BENCH_batch.json`
+/// Hand-timed lane-width ablation snapshot, written to `BENCH_batch.json`
 /// at the workspace root so the perf trajectory of the batch engine is
 /// tracked in-tree (the vendored criterion stand-in does not persist
-/// measurements).
+/// measurements). The headline entry is the 512-pair-strike shape across
+/// the 1/64/256/512 lane axis; the original 64-single-strike shape stays
+/// as a secondary entry.
 fn emit_batch_snapshot(
     f: &Fix,
     golden: &delayavf::GoldenRun<MemEnv>,
     dffs: &[delayavf_netlist::DffId],
+    sets: &[Vec<delayavf_netlist::DffId>],
 ) {
     use std::time::Instant;
-    let mut best = [f64::INFINITY; 2];
+    let widths = [1usize, 64, 256, 512];
+    let mut best = [f64::INFINITY; 4];
     let mut util = 0.0;
+    for (slot, lanes) in widths.into_iter().enumerate() {
+        for _rep in 0..3 {
+            let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, golden, 500);
+            inj.set_lanes(lanes);
+            inj.set_collapse(false);
+            let t = Instant::now();
+            for &cycle in &golden.sampled_cycles {
+                inj.prefill_failures(cycle, sets.iter().cloned());
+                for s in sets {
+                    let _ = inj.group_ace(cycle, s);
+                }
+            }
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            best[slot] = best[slot].min(ms);
+            if lanes == 512 {
+                util = inj.stats.lane_utilization();
+            }
+        }
+    }
+    let mut single = [f64::INFINITY; 2];
     for (slot, lanes) in [1usize, 64].into_iter().enumerate() {
         for _rep in 0..3 {
             let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, golden, 500);
             inj.set_lanes(lanes);
+            inj.set_collapse(false);
             let t = Instant::now();
             for &cycle in &golden.sampled_cycles {
                 inj.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
@@ -337,19 +414,24 @@ fn emit_batch_snapshot(
                 }
             }
             let ms = t.elapsed().as_secs_f64() * 1e3;
-            best[slot] = best[slot].min(ms);
-            if lanes == 64 {
-                util = inj.stats.lane_utilization();
-            }
+            single[slot] = single[slot].min(ms);
         }
     }
     let json = format!(
-        "{{\n  \"bench\": \"savf_64_strikes_over_{}_cycles\",\n  \"lanes1_ms\": {:.3},\n  \"lanes64_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"lane_utilization\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"savf_512_pair_strikes_over_{}_cycles\",\n  \"lanes1_ms\": {:.3},\n  \"lanes64_ms\": {:.3},\n  \"lanes256_ms\": {:.3},\n  \"lanes512_ms\": {:.3},\n  \"speedup64\": {:.2},\n  \"speedup256\": {:.2},\n  \"speedup512\": {:.2},\n  \"speedup\": {:.2},\n  \"lane_utilization\": {:.3},\n  \"single_strike_lanes1_ms\": {:.3},\n  \"single_strike_lanes64_ms\": {:.3},\n  \"single_strike_speedup\": {:.2}\n}}\n",
         golden.sampled_cycles.len(),
         best[0],
         best[1],
+        best[2],
+        best[3],
         best[0] / best[1],
-        util
+        best[0] / best[2],
+        best[0] / best[3],
+        best[0] / best[3],
+        util,
+        single[0],
+        single[1],
+        single[0] / single[1],
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
     std::fs::write(path, json).expect("write BENCH_batch.json");
@@ -437,6 +519,33 @@ fn bench_timing_batch_ablation(c: &mut Criterion) {
                 },
             );
         }
+    }
+    // The wide-carrier axis: 512 distinct ALU edges in one batch call,
+    // carried by one 512-lane word (`timing_lanes512`) or eight u64 chunks
+    // (`timing_lanes64`).
+    let wide_pairs: Vec<(EdgeId, Picos)> = f
+        .topo
+        .structure_edges(&f.core.circuit, "alu")
+        .unwrap()
+        .into_iter()
+        .take(512)
+        .map(|e| (e, extra))
+        .collect();
+    for (label, timing_lanes) in [("timing_lanes64", 64usize), ("timing_lanes512", 512)] {
+        c.bench_function(&format!("step1_batch_512_alu_edges_{label}_warm"), |b| {
+            b.iter_batched(
+                || {
+                    let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, &golden, 500);
+                    inj.set_timing_lanes(timing_lanes);
+                    let _ = inj.dynamically_reachable_batch(cycle, &wide_pairs);
+                    inj
+                },
+                |mut inj| {
+                    let _ = inj.dynamically_reachable_batch(cycle, &wide_pairs);
+                },
+                BatchSize::SmallInput,
+            )
+        });
     }
 }
 
@@ -534,6 +643,59 @@ fn emit_timing_snapshot(
             warm[0],
             warm[1],
             warm[0] / warm[1]
+        ));
+    }
+    // Wide-carrier warm ablation: N distinct ALU edges per batch call at
+    // every timing-lane width that fits them. The scalar column replays
+    // the same N edges one at a time; the speedup key uses the full-width
+    // carrier (timing_lanes = N), the honest wide-word number.
+    for n in [256usize, 512] {
+        let spairs: Vec<(EdgeId, Picos)> = f
+            .topo
+            .structure_edges(&f.core.circuit, "alu")
+            .unwrap()
+            .into_iter()
+            .take(n)
+            .map(|e| (e, extra))
+            .collect();
+        assert_eq!(spairs.len(), n, "alu has at least {n} timed edges");
+        let mut scalar = f64::INFINITY;
+        {
+            let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, golden, 500);
+            for &(e, x) in &spairs {
+                let _ = inj.dynamically_reachable(cycle, e, x);
+            }
+            for _rep in 0..5 {
+                let t = Instant::now();
+                for &(e, x) in &spairs {
+                    let _ = inj.dynamically_reachable(cycle, e, x);
+                }
+                scalar = scalar.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        warm_json.push_str(&format!(",\n  \"warm_alu{n}_scalar_ms\": {scalar:.3}"));
+        let mut full_width = f64::INFINITY;
+        for tl in [64usize, 256, 512] {
+            if tl > n {
+                continue;
+            }
+            let mut batch = f64::INFINITY;
+            let mut inj = Injector::new(&f.core.circuit, &f.topo, &f.timing, golden, 500);
+            inj.set_timing_lanes(tl);
+            let _ = inj.dynamically_reachable_batch(cycle, &spairs);
+            for _rep in 0..5 {
+                let t = Instant::now();
+                let _ = inj.dynamically_reachable_batch(cycle, &spairs);
+                batch = batch.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            warm_json.push_str(&format!(",\n  \"warm_alu{n}_batch_tl{tl}_ms\": {batch:.3}"));
+            if tl == n {
+                full_width = batch;
+            }
+        }
+        warm_json.push_str(&format!(
+            ",\n  \"warm_alu{n}_batch_speedup\": {:.2}",
+            scalar / full_width
         ));
     }
     let json = format!(

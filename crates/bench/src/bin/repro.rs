@@ -52,12 +52,13 @@ options:
   --no-collapse   replay every injection site individually instead of
                   collapsing equivalence classes and formally discharging
                   provably masked/ACE flip groups (identical results)
-  --lanes N       bit-parallel replay lanes per batch, 1-64 (default 64);
+  --lanes N       bit-parallel replay lanes per batch, 1-512 (default
+                  512; widths above 64 ride the 256/512-bit carriers);
                   AVF numbers are identical for every N, --lanes 1 is the
                   exact scalar baseline
-  --timing-lanes N  lane-packed timing-aware replay lanes per batch, 1-256
-                  (default 64); AVF numbers are identical for every N,
-                  --timing-lanes 1 is the exact scalar baseline
+  --timing-lanes N  lane-packed timing-aware replay lanes per batch,
+                  1-512 (default 512); AVF numbers are identical for
+                  every N, --timing-lanes 1 is the exact scalar baseline
   --tiny          use tiny workloads (smoke test)
   --checkpoint-dir DIR  write crash-safe campaign checkpoints into DIR;
                   an interrupted run restarted with --resume produces a

@@ -25,8 +25,8 @@
 //! incremental = true                   # divergence-cone replay engine
 //! delta_timing = true                  # incremental timing-aware engine
 //! collapse = true                      # equivalence-class replay collapsing
-//! lanes = 64                           # bit-parallel replay lanes, 1-64
-//! timing_lanes = 64                    # timing-aware replay lanes, 1-256
+//! lanes = 512                          # bit-parallel replay lanes, 1-512
+//! timing_lanes = 512                   # timing-aware replay lanes, 1-512
 //! checkpoint_dir = ckpt                # crash-safe campaign checkpoints
 //! checkpoint_every = 1                 # work units between flushes
 //! resume = false                       # resume from an existing checkpoint
@@ -78,11 +78,13 @@ pub struct ExperimentSpec {
     /// exact full event-simulation baseline; results are identical either
     /// way).
     pub delta_timing: bool,
-    /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
-    /// for every value; `1` runs the exact scalar baseline.
+    /// Bit-parallel replay lanes per batch (1–512; widths above 64 ride
+    /// the 256/512-bit wide-word carriers). AVF numbers are identical for
+    /// every value; `1` runs the exact scalar baseline.
     pub lanes: usize,
-    /// Lane-packed timing-aware replay lanes per batch (1–256). AVF numbers
-    /// are identical for every value; `1` runs the exact scalar baseline.
+    /// Lane-packed timing-aware replay lanes per batch (1–512; widths
+    /// above 64 ride the 256/512-bit wide-word carriers). AVF numbers are
+    /// identical for every value; `1` runs the exact scalar baseline.
     pub timing_lanes: usize,
     /// Collapse equivalent injection sites into one representative replay
     /// and discharge provably masked/ACE classes without simulation
@@ -117,8 +119,8 @@ impl Default for ExperimentSpec {
             threads: 0,
             incremental: true,
             delta_timing: true,
-            lanes: 64,
-            timing_lanes: 64,
+            lanes: MAX_LANES,
+            timing_lanes: MAX_TIMING_LANES,
             collapse: true,
             checkpoint_dir: None,
             checkpoint_every: 1,
@@ -446,28 +448,28 @@ mod tests {
     fn rejects_out_of_range_lane_widths() {
         assert_eq!(
             ExperimentSpec::parse("lanes = 0\n").unwrap_err(),
-            "line 1: lanes must be in 1..=64, got `0`"
+            "line 1: lanes must be in 1..=512, got `0`"
         );
         assert_eq!(
-            ExperimentSpec::parse("lanes = 65\n").unwrap_err(),
-            "line 1: lanes must be in 1..=64, got `65`"
+            ExperimentSpec::parse("lanes = 513\n").unwrap_err(),
+            "line 1: lanes must be in 1..=512, got `513`"
         );
         assert_eq!(
             ExperimentSpec::parse("timing_lanes = 0\n").unwrap_err(),
-            "line 1: timing_lanes must be in 1..=256, got `0`"
+            "line 1: timing_lanes must be in 1..=512, got `0`"
         );
         assert_eq!(
-            ExperimentSpec::parse("timing_lanes = 257\n").unwrap_err(),
-            "line 1: timing_lanes must be in 1..=256, got `257`"
+            ExperimentSpec::parse("timing_lanes = 513\n").unwrap_err(),
+            "line 1: timing_lanes must be in 1..=512, got `513`"
         );
         // The full valid ranges parse.
         assert_eq!(ExperimentSpec::parse("lanes = 1\n").unwrap().lanes, 1);
-        assert_eq!(ExperimentSpec::parse("lanes = 64\n").unwrap().lanes, 64);
+        assert_eq!(ExperimentSpec::parse("lanes = 512\n").unwrap().lanes, 512);
         assert_eq!(
-            ExperimentSpec::parse("timing_lanes = 256\n")
+            ExperimentSpec::parse("timing_lanes = 512\n")
                 .unwrap()
                 .timing_lanes,
-            256
+            512
         );
     }
 

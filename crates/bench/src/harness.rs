@@ -12,7 +12,7 @@ use delayavf::{
 };
 use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
 use delayavf_rvcore::{Core, CoreConfig, MemEnv, DEFAULT_RAM_BYTES};
-use delayavf_sim::Environment;
+use delayavf_sim::{Environment, MAX_LANES, MAX_TIMING_LANES};
 use delayavf_timing::{TechLibrary, TimingModel};
 use delayavf_workloads::{Kernel, Scale};
 
@@ -44,13 +44,15 @@ pub struct Opts {
     /// full event-simulation baseline (the `--no-delta-timing` escape
     /// hatch).
     pub delta_timing: bool,
-    /// Bit-parallel replay lanes per batch (1–64). AVF numbers are identical
-    /// for every value; `1` runs the exact scalar baseline (the `--lanes 1`
+    /// Bit-parallel replay lanes per batch (1–512; widths above 64 ride
+    /// the 256/512-bit wide-word carriers). AVF numbers are identical for
+    /// every value; `1` runs the exact scalar baseline (the `--lanes 1`
     /// escape hatch).
     pub lanes: usize,
-    /// Lane-packed timing-aware replay lanes per batch (1–256). AVF numbers
-    /// are identical for every value; `1` runs the exact scalar baseline
-    /// (the `--timing-lanes 1` escape hatch).
+    /// Lane-packed timing-aware replay lanes per batch (1–512; widths
+    /// above 64 ride the 256/512-bit wide-word carriers). AVF numbers are
+    /// identical for every value; `1` runs the exact scalar baseline (the
+    /// `--timing-lanes 1` escape hatch).
     pub timing_lanes: usize,
     /// Use the pre-simulation collapsing layer — injection-site equivalence
     /// classes, the quiet-source certificate and the semi-formal masking
@@ -85,8 +87,8 @@ impl Default for Opts {
             threads: 0,
             incremental: true,
             delta_timing: true,
-            lanes: 64,
-            timing_lanes: 64,
+            lanes: MAX_LANES,
+            timing_lanes: MAX_TIMING_LANES,
             collapse: true,
             checkpoint_dir: None,
             checkpoint_every: 1,

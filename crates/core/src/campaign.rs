@@ -54,7 +54,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use delayavf_netlist::{Circuit, DffId, EdgeId, Topology};
-use delayavf_sim::{Environment, MAX_LANES};
+use delayavf_sim::{Environment, MAX_LANES, MAX_TIMING_LANES};
 use delayavf_timing::{Picos, TimingModel};
 
 use crate::checkpoint::{CheckpointSpec, CheckpointStore, Fingerprint, Tokens};
@@ -92,12 +92,11 @@ pub struct ReplayOptions {
     /// engine's reports byte-identically (the `--lanes 1` escape hatch).
     pub lanes: usize,
     /// Lane width for lane-packed timing-aware batch replays (default
-    /// [`delayavf_sim::MAX_LANES`]; up to
-    /// [`delayavf_sim::MAX_TIMING_LANES`], widths above 64 take the
-    /// 256-bit wide-word path). Results are identical for every width;
-    /// `1` disables timing batching and reproduces the scalar
-    /// [`delayavf_sim::DeltaEventSim`] engine's reports byte-identically
-    /// (the `--timing-lanes 1` escape hatch).
+    /// [`delayavf_sim::MAX_TIMING_LANES`]; widths above 64 take the
+    /// 256-bit wide-word path and widths above 256 the 512-bit one).
+    /// Results are identical for every width; `1` disables timing batching
+    /// and reproduces the scalar [`delayavf_sim::DeltaEventSim`] engine's
+    /// reports byte-identically (the `--timing-lanes 1` escape hatch).
     pub timing_lanes: usize,
     /// Use the pre-simulation collapsing layer — injection-site
     /// equivalence classes, the quiet-source certificate and the
@@ -115,7 +114,7 @@ impl Default for ReplayOptions {
             incremental: true,
             delta_timing: true,
             lanes: MAX_LANES,
-            timing_lanes: MAX_LANES,
+            timing_lanes: MAX_TIMING_LANES,
             collapse: true,
         }
     }
@@ -214,7 +213,7 @@ impl Default for CampaignConfig {
             incremental: true,
             delta_timing: true,
             lanes: MAX_LANES,
-            timing_lanes: MAX_LANES,
+            timing_lanes: MAX_TIMING_LANES,
             collapse: true,
         }
     }
@@ -1030,17 +1029,29 @@ fn delay_sweep_unit<E: Environment + Clone>(
     timed(time_phases, &mut phases.golden_settle_us, || {
         injector.warm_cycle_data(cycle)
     });
-    for (fi, &fraction) in config.delay_fractions.iter().enumerate() {
-        let extra = fraction_to_picos(timing, fraction);
-        // Phase 1 (timing-aware): every edge's dynamically reachable set
-        // for this cycle.
-        // Edges surviving the pre-filters share lane-packed batch
-        // replays (up to `timing_lanes` per pass over the fault cone).
-        let pairs: Vec<(EdgeId, Picos)> = edges.iter().map(|&edge| (edge, extra)).collect();
-        let parts: Vec<(usize, Vec<DffId>)> =
-            timed(time_phases, &mut phases.timing_step_us, || {
-                injector.dynamically_reachable_batch(cycle, &pairs)
-            });
+    if edges.is_empty() {
+        return rows;
+    }
+    // Phase 1 (timing-aware): one lane-packing pass over the whole cycle.
+    // Every fraction's (edge, extra) pairs are handed to the batch carver
+    // together, fraction-major, so the per-pair filter decisions and the
+    // scalar fallback run in exactly the per-fraction loop's order while
+    // survivors from *different* fractions share lanes whenever their
+    // edges don't conflict (the carver keeps same-edge/different-extra
+    // pairs apart, which the packed engine would retire anyway).
+    let pairs: Vec<(EdgeId, Picos)> = config
+        .delay_fractions
+        .iter()
+        .flat_map(|&fraction| {
+            let extra = fraction_to_picos(timing, fraction);
+            edges.iter().map(move |&edge| (edge, extra))
+        })
+        .collect();
+    let mut parts: Vec<(usize, Vec<DffId>)> =
+        timed(time_phases, &mut phases.timing_step_us, || {
+            injector.dynamically_reachable_batch(cycle, &pairs)
+        });
+    for (fi, parts) in parts.chunks_mut(edges.len()).enumerate() {
         timed(time_phases, &mut phases.replay_us, || {
             // Phase 2: batch the whole boundary's replays — group sets and,
             // for ORACE, the individual bits they contain.
@@ -1055,8 +1066,12 @@ fn delay_sweep_unit<E: Environment + Clone>(
             }
             // Phase 3 (cache-served): identical tally order to the scalar
             // engine's interleaved loop.
-            for (statically_reachable, dynamic_set) in parts {
-                let outcome = injector.classify_injection(cycle, statically_reachable, dynamic_set);
+            for (statically_reachable, dynamic_set) in parts.iter_mut() {
+                let outcome = injector.classify_injection(
+                    cycle,
+                    *statically_reachable,
+                    std::mem::take(dynamic_set),
+                );
                 tally(&mut rows[fi], &outcome);
                 if config.compute_orace && !outcome.dynamic_set.is_empty() {
                     let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);

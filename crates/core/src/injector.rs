@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet};
 use delayavf_netlist::{Circuit, DffId, EdgeId, NetId, Topology};
 use delayavf_sim::{
     pack_bits, settle, BatchDeltaSim, BatchSim, CycleSim, DeltaEventSim, DiffSim, Environment,
-    EventSim, FaultSpec, MAX_LANES, MAX_TIMING_LANES,
+    EventSim, FaultSpec, LaneMask, LaneWord, MAX_LANES, MAX_TIMING_LANES,
 };
 use delayavf_timing::{Picos, TimingModel};
 
@@ -211,9 +211,11 @@ pub struct InjectorStats {
     /// checks happen before lane chunking) and across thread counts for
     /// cycle-sharded campaigns.
     pub lanes_occupied: u64,
-    /// Total lane slots offered across all batch replays
-    /// (`batched_replays * lanes`); the denominator of
-    /// [`InjectorStats::lane_utilization`].
+    /// Total lane slots *scheduled* across all batch replays (the sum of
+    /// chunk sizes, not `batched_replays * lanes` — a partially-filled
+    /// final chunk contributes only the slots it actually carries); the
+    /// denominator of [`InjectorStats::lane_utilization`]. Invariant across
+    /// lane widths > 1 and thread counts, like `lanes_occupied`.
     pub lane_slots: u64,
     /// Fault-free timed waveforms simulated and cached by the incremental
     /// timing-aware engine — one per distinct trace cycle that reached the
@@ -246,9 +248,12 @@ pub struct InjectorStats {
     /// toggle pre-filters run before lane chunking) and across thread counts
     /// for cycle-sharded campaigns.
     pub timing_lanes_occupied: u64,
-    /// Total lane slots offered across all timing-aware batch replays
-    /// (`batched_timing_replays * timing_lanes`); the denominator of
-    /// [`InjectorStats::timing_lane_utilization`].
+    /// Total lane slots *scheduled* across all timing-aware batch replays
+    /// (the sum of chunk sizes, not `batched_timing_replays *
+    /// timing_lanes` — a partially-filled final chunk contributes only the
+    /// slots it actually carries); the denominator of
+    /// [`InjectorStats::timing_lane_utilization`]. Invariant across timing
+    /// lane widths > 1 and thread counts, like `timing_lanes_occupied`.
     pub timing_lane_slots: u64,
     /// Injections served without their own timing-aware simulation by the
     /// collapsing layer: queries on a member edge redirected to its
@@ -353,7 +358,11 @@ impl InjectorStats {
     }
 
     /// Mean lane occupancy of the batch replays (`lanes_occupied /
-    /// lane_slots`), in `[0, 1]`. Zero when no batch ran.
+    /// lane_slots`), in `[0, 1]`. Zero when no batch ran. Slots are counted
+    /// as *scheduled* (chunk sizes), so a workload smaller than the
+    /// configured width no longer reads as waste: sub-1.0 values can only
+    /// come from genuinely unscheduled lanes, not from the final partial
+    /// chunk.
     pub fn lane_utilization(&self) -> f64 {
         if self.lane_slots == 0 {
             0.0
@@ -364,7 +373,9 @@ impl InjectorStats {
 
     /// Mean lane occupancy of the timing-aware batch replays
     /// (`timing_lanes_occupied / timing_lane_slots`), in `[0, 1]`. Zero when
-    /// no timing batch ran.
+    /// no timing batch ran. Slots are counted as *scheduled* (chunk sizes),
+    /// so a sweep smaller than the configured width — e.g. 32 edges at
+    /// `timing_lanes = 64` — reads 1.0 instead of 0.5.
     pub fn timing_lane_utilization(&self) -> f64 {
         if self.timing_lane_slots == 0 {
             0.0
@@ -375,15 +386,20 @@ impl InjectorStats {
 }
 
 /// Iterates the set bit positions of a lane mask, lowest first.
-fn iter_lanes(mut mask: u64) -> impl Iterator<Item = usize> {
-    std::iter::from_fn(move || {
-        if mask == 0 {
-            None
-        } else {
-            let lane = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            Some(lane)
+fn iter_lanes(mask: LaneMask) -> impl Iterator<Item = usize> {
+    let mut words = mask.0;
+    let mut wi = 0usize;
+    std::iter::from_fn(move || loop {
+        if wi >= words.len() {
+            return None;
         }
+        if words[wi] == 0 {
+            wi += 1;
+            continue;
+        }
+        let bit = words[wi].trailing_zeros() as usize;
+        words[wi] &= words[wi] - 1;
+        return Some(wi * 64 + bit);
     })
 }
 
@@ -423,7 +439,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             incremental: true,
             delta_timing: true,
             lanes: MAX_LANES,
-            timing_lanes: MAX_LANES,
+            timing_lanes: MAX_TIMING_LANES,
             env_scratch: vec![0; circuit.input_ports().len()],
             cycle_data: None,
             fanin_cache: HashMap::new(),
@@ -843,7 +859,32 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
 
         self.ensure_cycle_data(cycle);
         let inputs = self.golden.trace.inputs_at(cycle);
-        for chunk in survivors.chunks(self.timing_lanes) {
+        // Carve lanes so no chunk carries the same edge at two *different*
+        // extra delays — such pairs would be retired by the packed engine
+        // and replayed scalar anyway, so routing them to separate chunks up
+        // front keeps every lane on the fast path. Deterministic first-fit
+        // in survivor order; results are written back through `ri`, so the
+        // output order never depends on the carving.
+        let mut chunks: Vec<Vec<usize>> = Vec::new();
+        let mut chunk_extras: Vec<HashMap<EdgeId, Picos>> = Vec::new();
+        for &ri in &survivors {
+            let (edge, extra) = pairs[ri];
+            let slot = (0..chunks.len()).find(|&ci| {
+                chunks[ci].len() < self.timing_lanes
+                    && chunk_extras[ci].get(&edge).is_none_or(|&e| e == extra)
+            });
+            match slot {
+                Some(ci) => {
+                    chunks[ci].push(ri);
+                    chunk_extras[ci].insert(edge, extra);
+                }
+                None => {
+                    chunks.push(vec![ri]);
+                    chunk_extras.push(HashMap::from([(edge, extra)]));
+                }
+            }
+        }
+        for chunk in &chunks {
             let faults: Vec<FaultSpec> = chunk
                 .iter()
                 .map(|&ri| {
@@ -855,7 +896,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             self.stats.event_sims += chunk.len() as u64;
             self.stats.batched_timing_replays += 1;
             self.stats.timing_lanes_occupied += chunk.len() as u64;
-            self.stats.timing_lane_slots += self.timing_lanes as u64;
+            self.stats.timing_lane_slots += chunk.len() as u64;
             let outcome = self.batch_delta.latch_batch(
                 cycle,
                 &data.prev_values,
@@ -1355,14 +1396,10 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         let n = trace.num_cycles();
         self.stats.batched_replays += 1;
         self.stats.lanes_occupied += chunk.len() as u64;
-        self.stats.lane_slots += self.lanes as u64;
+        self.stats.lane_slots += chunk.len() as u64;
         self.stats.replays += chunk.len() as u64;
         self.batch.begin(boundary, chunk, trace);
-        let mut live: u64 = if chunk.len() == 64 {
-            !0
-        } else {
-            (1u64 << chunk.len()) - 1
-        };
+        let mut live = LaneMask::prefix(chunk.len());
         let mut classes = vec![FailureClass::Masked; chunk.len()];
         // One shared environment serves every lane: while a lane's outputs
         // match the golden words its environment trajectory is identical to
@@ -1371,7 +1408,7 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
         // cloned again per retiring lane.
         let mut env = self.resolve_env_incremental(boundary);
         let mut env_at = boundary;
-        while live != 0 {
+        while live.any() {
             let cyc = self.batch.cycle();
             // Same decision order as the scalar loops. A golden-trajectory
             // environment is halted at a boundary iff the recorded run
@@ -1387,8 +1424,8 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             if self.early_exit {
                 // Live lanes have golden outputs and fingerprints, so state
                 // reconvergence alone is the full convergence predicate.
-                live &= self.batch.divergence_mask();
-                if live == 0 {
+                live = live & self.batch.divergence_mask();
+                if !live.any() {
                     break;
                 }
             }
@@ -1419,14 +1456,14 @@ impl<'a, E: Environment + Clone> Injector<'a, E> {
             }
             let out_div = self.batch.step(trace) & live;
             self.stats.replay_cycles += u64::from(live.count_ones());
-            if out_div != 0 {
+            if out_div.any() {
                 self.advance_env(&mut env, &mut env_at, cyc + 1);
                 for lane in iter_lanes(out_div) {
                     let flips = self.batch.lane_divergence(lane, trace);
                     let outputs = self.batch.lane_outputs(lane, trace);
                     classes[lane] = self.finish_lane(cyc + 1, &flips, &outputs, env.clone());
                 }
-                live &= !out_div;
+                live = live & !out_div;
             }
         }
         let map = self.failure_cache.entry(boundary).or_default();

@@ -85,6 +85,31 @@ impl GateKind {
         }
     }
 
+    /// Evaluates the boolean function over a fixed input triple, as the
+    /// [`crate::EvalPlan`] stores one: pins beyond this kind's
+    /// [`GateKind::arity`] are ignored, so lower-arity kinds may pass any
+    /// value (the plan repeats pin 0) without changing the result.
+    #[inline]
+    pub fn eval3(self, a: bool, b: bool, c: bool) -> bool {
+        match self {
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And2 => a & b,
+            GateKind::Or2 => a | b,
+            GateKind::Nand2 => !(a & b),
+            GateKind::Nor2 => !(a | b),
+            GateKind::Xor2 => a ^ b,
+            GateKind::Xnor2 => !(a ^ b),
+            GateKind::Mux2 => {
+                if a {
+                    c
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
     /// Short standard-cell-style name (e.g. `NAND2`).
     pub fn cell_name(self) -> &'static str {
         match self {

@@ -60,6 +60,7 @@ mod error;
 pub mod export;
 mod gate;
 mod ids;
+mod plan;
 mod stats;
 mod topo;
 mod word;
@@ -69,6 +70,7 @@ pub use circuit::{Circuit, Dff, Driver, Net, Port};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
 pub use ids::{DffId, EdgeId, GateId, NetId};
+pub use plan::EvalPlan;
 pub use stats::{CircuitStats, StructureStats};
 pub use topo::{Consumer, Edge, Topology};
 pub use word::Word;

@@ -11,6 +11,7 @@ use std::collections::{HashSet, VecDeque};
 use crate::circuit::{Circuit, Driver};
 use crate::error::NetlistError;
 use crate::ids::{DffId, EdgeId, GateId, NetId};
+use crate::plan::EvalPlan;
 
 /// A sink consuming a net's value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -67,6 +68,8 @@ pub struct Topology {
     num_levels: u32,
     /// Constant-driven nets and their values, in net-id order.
     const_nets: Vec<(NetId, bool)>,
+    /// The struct-of-arrays gate program every simulator evaluates through.
+    plan: EvalPlan,
 }
 
 impl Topology {
@@ -117,6 +120,7 @@ impl Topology {
                 _ => None,
             })
             .collect();
+        let plan = EvalPlan::new(c, &eval_order, &gate_level, num_levels);
         Topology {
             eval_order,
             edges,
@@ -126,7 +130,16 @@ impl Topology {
             gate_level,
             num_levels,
             const_nets,
+            plan,
         }
+    }
+
+    /// The struct-of-arrays [`EvalPlan`] compiled for this circuit: the
+    /// packed, levelized gate program the dense simulator sweeps walk
+    /// instead of per-gate [`crate::Gate`] records.
+    #[inline]
+    pub fn plan(&self) -> &EvalPlan {
+        &self.plan
     }
 
     /// The combinational level of `gate`: 0 when every input is driven by a

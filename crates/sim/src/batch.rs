@@ -1,16 +1,20 @@
-//! 64-lane bit-parallel replay (parallel-pattern single-fault propagation).
+//! Wide-lane bit-parallel replay (parallel-pattern single-fault
+//! propagation).
 //!
 //! A GroupACE / sAVF campaign replays thousands of near-identical fault
 //! scenarios through the same netlist against the same [`GoldenTrace`].
 //! [`BatchSim`] packs up to [`MAX_LANES`] such scenarios into the bit lanes
-//! of `u64` words — one word per net, one bit per lane — and evaluates the
-//! whole batch with bitwise ops over the 9-kind cell set.
+//! of lane-carrier words — one word per net, one bit per lane — and
+//! evaluates the whole batch with bitwise ops over the 9-kind cell set.
+//! The carrier is chosen per batch from the scenario count: `u64` up to 64
+//! lanes, [`crate::W256`] up to 256, [`crate::W512`] up to 512, all running
+//! the same generic engine, so small batches never pay for unused width.
 //!
 //! Each cycle is executed by one of two exact, interchangeable paths:
 //!
-//! * **dense** — a straight-line sweep of a flat opcode/operand table
-//!   compiled once from [`Topology::eval_order`], evaluating every gate
-//!   (branch-light, allocation-free); and
+//! * **dense** — a straight-line sweep of the [`EvalPlan`]'s packed
+//!   opcode/operand arrays, evaluating every gate (branch-light,
+//!   allocation-free, no per-gate struct loads); and
 //! * **sparse** — the word-wide analogue of [`crate::DiffSim`]: net words
 //!   are carried as lane-diffs against a per-trace-cycle golden settle
 //!   (computed once and shared by every batch crossing the cycle), and a
@@ -33,35 +37,30 @@
 //!
 //! Divergence against the golden run is detected with word-wide XOR against
 //! the packed per-cycle state of the trace, giving each lane an independent
-//! convergence early-exit via [`BatchSim::divergence_mask`].
+//! convergence early-exit via [`BatchSim::divergence_mask`]. All masks
+//! cross the public API as [`LaneMask`] (512 bits) regardless of the
+//! carrier running the batch.
 //!
-//! [`Topology::eval_order`]: delayavf_netlist::Topology::eval_order
+//! [`EvalPlan`]: delayavf_netlist::EvalPlan
 
-use delayavf_netlist::{Circuit, Consumer, DffId, GateId, GateKind, NetId, Topology};
+use delayavf_netlist::{Circuit, Consumer, DffId, EvalPlan, GateId, NetId, Topology};
 
-use crate::pack::{broadcast, eval_word, packed_bit};
+use crate::pack::{broadcast, eval_lanes, eval_word, packed_bit, LaneWord, W256, W512};
 use crate::trace::GoldenTrace;
 
-/// The lane width of one [`BatchSim`] batch (bits of a `u64`).
-pub const MAX_LANES: usize = 64;
+/// Maximum number of scenarios in one [`BatchSim`] batch (the lane count
+/// of the widest carrier, [`crate::W512`]).
+pub const MAX_LANES: usize = 512;
+
+/// The lane mask type crossing the [`BatchSim`] public API: one bit per
+/// possible lane, independent of the carrier width running the batch
+/// (narrower carriers report their lanes in the low bits).
+pub type LaneMask = W512;
 
 /// A sparse cycle runs when `diverged flip-flops × this ≤ gates`: the
 /// worklist costs a small constant factor per visited gate, so it must beat
 /// the straight-line table by leaving most of the netlist untouched.
 const SPARSE_SEED_FACTOR: usize = 16;
-
-/// One compiled gate evaluation: operand net slots and an output slot.
-///
-/// `b`/`c` are only read for arities 2/3. For `Mux2` the pin order is
-/// `[s, a, b]` (select first), matching [`GateKind::eval`].
-#[derive(Clone, Copy, Debug)]
-struct BatchOp {
-    kind: GateKind,
-    a: u32,
-    b: u32,
-    c: u32,
-    out: u32,
-}
 
 /// One primary-port bit: the net carrying it and its position in the port
 /// word.
@@ -70,6 +69,310 @@ struct PortBit {
     net: u32,
     port: u16,
     bit: u16,
+}
+
+/// Widens a carrier-width mask into the public [`LaneMask`]. Costs one
+/// iteration per set lane.
+fn widen<W: LaneWord>(w: W) -> LaneMask {
+    let mut m = LaneMask::ZERO;
+    w.for_each_set(W::LANES, |l| m = m | LaneMask::lane_mask(l));
+    m
+}
+
+/// Which carrier runs the currently loaded batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tier {
+    /// `u64`, up to 64 lanes.
+    Narrow,
+    /// [`W256`], 65–256 lanes.
+    Wide4,
+    /// [`W512`], 257–512 lanes.
+    Wide8,
+}
+
+/// Dispatches a wrapper-method body to the active carrier's core (mutably).
+/// Expands the body once per tier, so it is generic over the core's lane
+/// word.
+macro_rules! with_core {
+    ($self:ident, $core:ident => $body:expr) => {
+        match $self.tier {
+            Tier::Narrow => {
+                let $core = &mut $self.narrow;
+                $body
+            }
+            Tier::Wide4 => {
+                let $core = &mut **$self.wide4.as_mut().expect("W256 core allocated by begin");
+                $body
+            }
+            Tier::Wide8 => {
+                let $core = &mut **$self.wide8.as_mut().expect("W512 core allocated by begin");
+                $body
+            }
+        }
+    };
+}
+
+/// Read-only variant of [`with_core!`].
+macro_rules! with_core_ref {
+    ($self:ident, $core:ident => $body:expr) => {
+        match $self.tier {
+            Tier::Narrow => {
+                let $core = &$self.narrow;
+                $body
+            }
+            Tier::Wide4 => {
+                let $core = &**$self.wide4.as_ref().expect("W256 core allocated by begin");
+                $body
+            }
+            Tier::Wide8 => {
+                let $core = &**$self.wide8.as_ref().expect("W512 core allocated by begin");
+                $body
+            }
+        }
+    };
+}
+
+/// The width-specific half of the engine: every per-net / per-lane buffer,
+/// plus the scheduling scratch of the sparse path. One core exists per
+/// carrier width actually used; the golden-block cache and the port tables
+/// are shared by all of them through [`BatchSim`].
+#[derive(Clone, Debug)]
+struct Core<W: LaneWord> {
+    /// Dense-path scratch: one word per net; constant nets are
+    /// broadcast-seeded once and never overwritten.
+    values: Vec<W>,
+    /// One word per flip-flop: lanes whose bit differs from the golden
+    /// state at the current boundary. Zero for every index not listed in
+    /// `dirty_dffs`.
+    state_diff: Vec<W>,
+    /// Indices of flip-flops with a non-zero `state_diff` word.
+    dirty_dffs: Vec<u32>,
+    /// Sparse-path epoch-stamped net lane-diffs against the golden settle.
+    diff_val: Vec<W>,
+    diff_epoch: Vec<u64>,
+    /// Epoch stamp marking gates already scheduled this cycle.
+    sched_epoch: Vec<u64>,
+    /// Dirty-gate worklist, bucketed by combinational level.
+    buckets: Vec<Vec<GateId>>,
+    /// Highest level with a scheduled gate this cycle (sweep bound).
+    max_sched_level: usize,
+    epoch: u64,
+    /// Diverged D-pin collection for the sparse latch: `(dff index, diff)`.
+    next_dirty: Vec<(u32, W)>,
+    /// Lanes whose state differs from the golden state at the boundary.
+    diverged: W,
+}
+
+impl<W: LaneWord> Core<W> {
+    fn new(circuit: &Circuit, topo: &Topology) -> Self {
+        let mut values = vec![W::ZERO; circuit.num_nets()];
+        for &(net, v) in topo.const_nets() {
+            values[net.index()] = W::splat(v);
+        }
+        Core {
+            values,
+            state_diff: vec![W::ZERO; circuit.num_dffs()],
+            dirty_dffs: Vec::new(),
+            diff_val: vec![W::ZERO; circuit.num_nets()],
+            diff_epoch: vec![0; circuit.num_nets()],
+            sched_epoch: vec![0; circuit.num_gates()],
+            buckets: vec![Vec::new(); topo.num_levels()],
+            max_sched_level: 0,
+            epoch: 0,
+            next_dirty: Vec::new(),
+            diverged: W::ZERO,
+        }
+    }
+
+    /// Loads the batched flip sets (XOR packing, so duplicate flips cancel
+    /// — the scalar engines' `flip_dff` semantics).
+    fn begin(&mut self, scenarios: &[Vec<DffId>]) {
+        for &i in &self.dirty_dffs {
+            self.state_diff[i as usize] = W::ZERO;
+        }
+        self.dirty_dffs.clear();
+        for (lane, flips) in scenarios.iter().enumerate() {
+            for &d in flips {
+                let i = d.index();
+                if !self.state_diff[i].any() {
+                    self.dirty_dffs
+                        .push(u32::try_from(i).expect("dff fits u32"));
+                }
+                self.state_diff[i] = self.state_diff[i] ^ W::lane_mask(lane);
+            }
+        }
+        let state_diff = &self.state_diff;
+        self.dirty_dffs.retain(|&i| state_diff[i as usize].any());
+        self.diverged = self
+            .dirty_dffs
+            .iter()
+            .fold(W::ZERO, |m, &i| m | state_diff[i as usize]);
+    }
+
+    /// The dense path: straight-line evaluation of every plan op.
+    fn step_dense(
+        &mut self,
+        plan: &EvalPlan,
+        input_bits: &[PortBit],
+        output_bits: &[PortBit],
+        trace: &GoldenTrace,
+        cycle: u64,
+    ) -> W {
+        let vals = &mut self.values;
+        // 1. Broadcast this cycle's recorded input words.
+        let golden_inputs = trace.inputs_at(cycle);
+        for pb in input_bits {
+            let bit = (golden_inputs[usize::from(pb.port)] >> pb.bit) & 1 == 1;
+            vals[pb.net as usize] = W::splat(bit);
+        }
+        // 2. Drive the batched state (golden ^ diff) onto the Q nets.
+        let golden_state = trace.state_at(cycle);
+        for (i, &q) in plan.dff_q().iter().enumerate() {
+            vals[q as usize] = W::splat(packed_bit(golden_state, i)) ^ self.state_diff[i];
+        }
+        // 3. Straight-line bitwise settle over the plan's packed arrays.
+        for ((&kind, &[a, b, c]), &out) in plan.kinds().iter().zip(plan.ins()).zip(plan.outs()) {
+            vals[out as usize] =
+                eval_lanes(kind, vals[a as usize], vals[b as usize], vals[c as usize]);
+        }
+        // 4. Word-wide XOR against the golden output words.
+        let golden_outs = trace.outputs_at(cycle);
+        let mut out_div = W::ZERO;
+        for pb in output_bits {
+            let bit = (golden_outs[usize::from(pb.port)] >> pb.bit) & 1 == 1;
+            out_div = out_div | (vals[pb.net as usize] ^ W::splat(bit));
+        }
+        // 5. Latch into diff form against the next golden boundary.
+        let next_golden = trace.state_at(cycle + 1);
+        self.dirty_dffs.clear();
+        let mut diverged = W::ZERO;
+        for (i, &d) in plan.dff_d().iter().enumerate() {
+            let diff = vals[d as usize] ^ W::splat(packed_bit(next_golden, i));
+            self.state_diff[i] = diff;
+            if diff.any() {
+                self.dirty_dffs.push(i as u32);
+                diverged = diverged | diff;
+            }
+        }
+        self.diverged = diverged;
+        out_div
+    }
+
+    /// The sparse path: seed the dirty-net set with the diverged flip-flop
+    /// Q nets and propagate through consumer gates in level order, reading
+    /// clean fan-in from the shared per-cycle golden settle. Gates outside
+    /// the union of the lanes' divergence cones are never touched.
+    ///
+    /// `golden` is the 64-cycle golden block containing `cycle` (required
+    /// unless the batch is fully converged), `sh` the cycle's bit position
+    /// within it.
+    fn step_sparse(
+        &mut self,
+        plan: &EvalPlan,
+        topo: &Topology,
+        golden: Option<&[u64]>,
+        cycle: u64,
+    ) -> W {
+        self.epoch += 1;
+        self.max_sched_level = self.buckets.len();
+        // Fully converged batches ride the golden trace for free.
+        if self.dirty_dffs.is_empty() {
+            return W::ZERO;
+        }
+        let golden = golden.expect("golden block settled for a dirty sparse step");
+        let sh = (cycle % 64) as u32;
+        // Seed: Q nets of diverged flip-flops carry their state diff. An
+        // output-registered bit out-diverges right here via its OutputBit
+        // consumer; inputs are golden by the shared-trajectory contract and
+        // never seed.
+        let mut out_div = W::ZERO;
+        let dirty = std::mem::take(&mut self.dirty_dffs);
+        for &i in &dirty {
+            let q = plan.dff_q()[i as usize];
+            out_div = out_div
+                | self.mark_dirty(
+                    topo,
+                    NetId::from_index(q as usize),
+                    self.state_diff[i as usize],
+                );
+        }
+        self.dirty_dffs = dirty;
+        // Levelized cone propagation, exactly as in `DiffSim::step` but on
+        // lane-packed diff words.
+        let mut level = 0;
+        while level <= self.max_sched_level && level < self.buckets.len() {
+            while let Some(g) = self.buckets[level].pop() {
+                let (kind, ins, out) = plan.op(plan.op_of_gate(g));
+                let read = |slot: u32, diff_epoch: &[u64], diff_val: &[W]| {
+                    let i = slot as usize;
+                    let gw = W::splat((golden[i] >> sh) & 1 == 1);
+                    if diff_epoch[i] == self.epoch {
+                        gw ^ diff_val[i]
+                    } else {
+                        gw
+                    }
+                };
+                let out_w = eval_lanes(
+                    kind,
+                    read(ins[0], &self.diff_epoch, &self.diff_val),
+                    read(ins[1], &self.diff_epoch, &self.diff_val),
+                    read(ins[2], &self.diff_epoch, &self.diff_val),
+                );
+                let diff = out_w ^ W::splat((golden[out as usize] >> sh) & 1 == 1);
+                if diff.any() {
+                    out_div =
+                        out_div | self.mark_dirty(topo, NetId::from_index(out as usize), diff);
+                }
+            }
+            level += 1;
+        }
+        // Latch: only dirty D pins can differ from the next golden state.
+        for &i in &self.dirty_dffs {
+            self.state_diff[i as usize] = W::ZERO;
+        }
+        self.dirty_dffs.clear();
+        let mut diverged = W::ZERO;
+        for (i, diff) in self.next_dirty.drain(..) {
+            self.state_diff[i as usize] = diff;
+            self.dirty_dffs.push(i);
+            diverged = diverged | diff;
+        }
+        self.diverged = diverged;
+        out_div
+    }
+
+    /// Marks `net` as carrying lane-diff `diff`, scheduling consumer gates
+    /// and collecting diverged D pins. Returns the lanes touching an output
+    /// bit through this net. Each net is marked at most once per cycle.
+    fn mark_dirty(&mut self, topo: &Topology, net: NetId, diff: W) -> W {
+        let i = net.index();
+        debug_assert_ne!(self.diff_epoch[i], self.epoch, "net marked dirty twice");
+        self.diff_val[i] = diff;
+        self.diff_epoch[i] = self.epoch;
+        let mut out_div = W::ZERO;
+        for e in topo.fanouts(net) {
+            match e.consumer {
+                Consumer::GatePin { gate, .. } => {
+                    if self.sched_epoch[gate.index()] != self.epoch {
+                        self.sched_epoch[gate.index()] = self.epoch;
+                        let level = topo.gate_level(gate) as usize;
+                        if self.max_sched_level == self.buckets.len() {
+                            self.max_sched_level = level;
+                        } else {
+                            self.max_sched_level = self.max_sched_level.max(level);
+                        }
+                        self.buckets[level].push(gate);
+                    }
+                }
+                Consumer::DffD(d) => {
+                    self.next_dirty
+                        .push((u32::try_from(d.index()).expect("dff fits u32"), diff));
+                }
+                Consumer::OutputBit { .. } => out_div = out_div | diff,
+            }
+        }
+        out_div
+    }
 }
 
 /// A bit-parallel replay engine: up to [`MAX_LANES`] independent fault
@@ -81,47 +384,27 @@ struct PortBit {
 /// diverge are reported by [`BatchSim::step`] and must be retired to a
 /// scalar engine; lanes whose state re-converges simply drop out of
 /// [`BatchSim::divergence_mask`].
+///
+/// Internally one generic engine runs on the narrowest carrier that fits
+/// the batch (`u64`, [`W256`] or [`W512`]); the per-64-cycle golden settle
+/// cache (whose lanes stand for *trace cycles*, not scenarios) is shared
+/// across carriers.
 #[derive(Clone, Debug)]
 pub struct BatchSim<'c> {
     circuit: &'c Circuit,
     topo: &'c Topology,
-    /// Flat gate program in topological order (the dense path).
-    ops: Vec<BatchOp>,
-    /// Dense-path scratch: one word per net; constant nets are
-    /// broadcast-seeded once and never overwritten.
-    values: Vec<u64>,
-    /// One word per flip-flop: lanes whose bit differs from the golden
-    /// state at the current boundary. Zero for every index not listed in
-    /// `dirty_dffs`.
-    state_diff: Vec<u64>,
-    /// Indices of flip-flops with a non-zero `state_diff` word.
-    dirty_dffs: Vec<u32>,
-    /// Per flip-flop: its Q net slot.
-    q_nets: Vec<u32>,
-    /// Per flip-flop: its D net slot.
-    d_nets: Vec<u32>,
     input_bits: Vec<PortBit>,
     output_bits: Vec<PortBit>,
-    /// Sparse-path epoch-stamped net lane-diffs against the golden settle.
-    diff_val: Vec<u64>,
-    diff_epoch: Vec<u64>,
-    /// Epoch stamp marking gates already scheduled this cycle.
-    sched_epoch: Vec<u64>,
-    /// Dirty-gate worklist, bucketed by combinational level.
-    buckets: Vec<Vec<GateId>>,
-    /// Highest level with a scheduled gate this cycle (sweep bound).
-    max_sched_level: usize,
-    epoch: u64,
-    /// Diverged D-pin collection for the sparse latch: `(dff index, diff)`.
-    next_dirty: Vec<(u32, u64)>,
     /// Per 64-cycle trace block: golden values of every net, one word per
     /// net with bit `L` holding the value at cycle `64·block + L`. Each
     /// block is settled once — bit-parallel, with lanes standing for
     /// *cycles* — and shared by every batch crossing it (the sparse path's
     /// clean fan-in source).
     golden_blocks: Vec<Option<Box<[u64]>>>,
-    /// Lanes whose state differs from the golden state at `cycle`.
-    diverged: u64,
+    narrow: Core<u64>,
+    wide4: Option<Box<Core<W256>>>,
+    wide8: Option<Box<Core<W512>>>,
+    tier: Tier,
     cycle: u64,
     /// False until the first `step` after `begin` (pending outputs are then
     /// still the golden words of the previous cycle).
@@ -132,34 +415,10 @@ pub struct BatchSim<'c> {
 }
 
 impl<'c> BatchSim<'c> {
-    /// Compiles the batch program for `circuit`.
+    /// Creates a batch engine for `circuit`, evaluating through the
+    /// topology's [`EvalPlan`]. Wide-carrier state is allocated lazily on
+    /// the first batch that needs it.
     pub fn new(circuit: &'c Circuit, topo: &'c Topology) -> Self {
-        let slot = |n: NetId| u32::try_from(n.index()).expect("net fits u32");
-        let ops = topo
-            .eval_order()
-            .iter()
-            .map(|&g| {
-                let gate = circuit.gate(g);
-                let ins = gate.inputs();
-                BatchOp {
-                    kind: gate.kind(),
-                    a: slot(ins[0]),
-                    b: ins.get(1).map_or(0, |&n| slot(n)),
-                    c: ins.get(2).map_or(0, |&n| slot(n)),
-                    out: slot(gate.output()),
-                }
-            })
-            .collect();
-        let mut values = vec![0u64; circuit.num_nets()];
-        for &(net, v) in topo.const_nets() {
-            values[net.index()] = broadcast(v);
-        }
-        let mut q_nets = Vec::with_capacity(circuit.num_dffs());
-        let mut d_nets = Vec::with_capacity(circuit.num_dffs());
-        for (_, dff) in circuit.dffs() {
-            q_nets.push(slot(dff.q()));
-            d_nets.push(slot(dff.d()));
-        }
         let port_bits = |ports: &[delayavf_netlist::Port]| {
             ports
                 .iter()
@@ -176,28 +435,16 @@ impl<'c> BatchSim<'c> {
                 })
                 .collect::<Vec<_>>()
         };
-        let input_bits = port_bits(circuit.input_ports());
-        let output_bits = port_bits(circuit.output_ports());
         BatchSim {
             circuit,
             topo,
-            ops,
-            values,
-            state_diff: vec![0; circuit.num_dffs()],
-            dirty_dffs: Vec::new(),
-            q_nets,
-            d_nets,
-            input_bits,
-            output_bits,
-            diff_val: vec![0; circuit.num_nets()],
-            diff_epoch: vec![0; circuit.num_nets()],
-            sched_epoch: vec![0; circuit.num_gates()],
-            buckets: vec![Vec::new(); topo.num_levels()],
-            max_sched_level: 0,
-            epoch: 0,
-            next_dirty: Vec::new(),
+            input_bits: port_bits(circuit.input_ports()),
+            output_bits: port_bits(circuit.output_ports()),
             golden_blocks: Vec::new(),
-            diverged: 0,
+            narrow: Core::new(circuit, topo),
+            wide4: None,
+            wide8: None,
+            tier: Tier::Narrow,
             cycle: 0,
             stepped: false,
             dense_last: false,
@@ -207,7 +454,8 @@ impl<'c> BatchSim<'c> {
     /// Loads a batch: lane `i` starts at `boundary` with `scenarios[i]`
     /// inverted relative to the golden state. Lanes beyond `scenarios.len()`
     /// carry the unmodified golden state (they track the reference and never
-    /// diverge).
+    /// diverge). The narrowest carrier that fits the batch is selected:
+    /// `u64` up to 64 scenarios, [`W256`] up to 256, [`W512`] beyond.
     ///
     /// # Panics
     ///
@@ -219,28 +467,27 @@ impl<'c> BatchSim<'c> {
             boundary <= trace.num_cycles(),
             "replay boundary past the golden trace"
         );
-        for &i in &self.dirty_dffs {
-            self.state_diff[i as usize] = 0;
-        }
-        self.dirty_dffs.clear();
-        for (lane, flips) in scenarios.iter().enumerate() {
-            for &d in flips {
-                let i = d.index();
-                if self.state_diff[i] == 0 {
-                    self.dirty_dffs
-                        .push(u32::try_from(i).expect("dff fits u32"));
+        self.tier = if scenarios.len() <= 64 {
+            Tier::Narrow
+        } else if scenarios.len() <= 256 {
+            Tier::Wide4
+        } else {
+            Tier::Wide8
+        };
+        match self.tier {
+            Tier::Narrow => {}
+            Tier::Wide4 => {
+                if self.wide4.is_none() {
+                    self.wide4 = Some(Box::new(Core::new(self.circuit, self.topo)));
                 }
-                // XOR, so a duplicate flip cancels — the scalar engines'
-                // `flip_dff` semantics.
-                self.state_diff[i] ^= 1u64 << lane;
+            }
+            Tier::Wide8 => {
+                if self.wide8.is_none() {
+                    self.wide8 = Some(Box::new(Core::new(self.circuit, self.topo)));
+                }
             }
         }
-        let state_diff = &self.state_diff;
-        self.dirty_dffs.retain(|&i| state_diff[i as usize] != 0);
-        self.diverged = self
-            .dirty_dffs
-            .iter()
-            .fold(0, |m, &i| m | state_diff[i as usize]);
+        with_core!(self, core => core.begin(scenarios));
         self.cycle = boundary;
         self.stepped = false;
         self.dense_last = false;
@@ -257,8 +504,8 @@ impl<'c> BatchSim<'c> {
     /// re-converged (its outputs never diverged, or [`BatchSim::step`] would
     /// have reported it for retirement).
     #[inline]
-    pub fn divergence_mask(&self) -> u64 {
-        self.diverged
+    pub fn divergence_mask(&self) -> LaneMask {
+        with_core_ref!(self, core => widen(core.diverged))
     }
 
     /// Executes one clock cycle for every lane, broadcasting the recorded
@@ -271,191 +518,69 @@ impl<'c> BatchSim<'c> {
     ///
     /// Panics if the trace provides no baseline for this cycle
     /// (`cycle >= trace.num_cycles()`).
-    pub fn step(&mut self, trace: &GoldenTrace) -> u64 {
+    pub fn step(&mut self, trace: &GoldenTrace) -> LaneMask {
         assert!(
             self.cycle < trace.num_cycles(),
             "no golden baseline past the end of the trace"
         );
         self.stepped = true;
-        if self.dirty_dffs.len() * SPARSE_SEED_FACTOR <= self.ops.len() {
+        let gates = self.topo.plan().len();
+        let sparse = with_core!(self, core => core.dirty_dffs.len() * SPARSE_SEED_FACTOR <= gates);
+        if sparse {
             self.step_sparse(trace)
         } else {
             self.step_dense(trace)
         }
     }
 
-    /// The dense path: straight-line evaluation of every gate.
-    fn step_dense(&mut self, trace: &GoldenTrace) -> u64 {
+    /// Runs the dense path for one cycle (the paths are interchangeable per
+    /// cycle; `step` picks automatically).
+    fn step_dense(&mut self, trace: &GoldenTrace) -> LaneMask {
         self.dense_last = true;
-        let vals = &mut self.values;
-        // 1. Broadcast this cycle's recorded input words.
-        let golden_inputs = trace.inputs_at(self.cycle);
-        for pb in &self.input_bits {
-            let bit = (golden_inputs[usize::from(pb.port)] >> pb.bit) & 1 == 1;
-            vals[pb.net as usize] = broadcast(bit);
-        }
-        // 2. Drive the batched state (golden ^ diff) onto the Q nets.
-        let golden_state = trace.state_at(self.cycle);
-        for (i, &q) in self.q_nets.iter().enumerate() {
-            vals[q as usize] = broadcast(packed_bit(golden_state, i)) ^ self.state_diff[i];
-        }
-        // 3. Straight-line bitwise settle in topological order.
-        for op in &self.ops {
-            let va = vals[op.a as usize];
-            let out = match op.kind {
-                GateKind::Buf => va,
-                GateKind::Not => !va,
-                GateKind::And2 => va & vals[op.b as usize],
-                GateKind::Or2 => va | vals[op.b as usize],
-                GateKind::Nand2 => !(va & vals[op.b as usize]),
-                GateKind::Nor2 => !(va | vals[op.b as usize]),
-                GateKind::Xor2 => va ^ vals[op.b as usize],
-                GateKind::Xnor2 => !(va ^ vals[op.b as usize]),
-                // Pin order [s, a, b]: select in lane-parallel form
-                // (`b ^ (s & (b ^ c))` is the 3-op mux).
-                GateKind::Mux2 => {
-                    let vb = vals[op.b as usize];
-                    vb ^ (va & (vb ^ vals[op.c as usize]))
-                }
-            };
-            vals[op.out as usize] = out;
-        }
-        // 4. Word-wide XOR against the golden output words.
-        let golden_outs = trace.outputs_at(self.cycle);
-        let mut out_div = 0u64;
-        for pb in &self.output_bits {
-            let bit = (golden_outs[usize::from(pb.port)] >> pb.bit) & 1 == 1;
-            out_div |= vals[pb.net as usize] ^ broadcast(bit);
-        }
-        // 5. Latch into diff form against the next golden boundary.
-        let next_golden = trace.state_at(self.cycle + 1);
-        self.dirty_dffs.clear();
-        let mut diverged = 0u64;
-        for (i, &d) in self.d_nets.iter().enumerate() {
-            let diff = vals[d as usize] ^ broadcast(packed_bit(next_golden, i));
-            self.state_diff[i] = diff;
-            if diff != 0 {
-                self.dirty_dffs.push(i as u32);
-                diverged |= diff;
-            }
-        }
-        self.diverged = diverged;
+        let cycle = self.cycle;
+        let plan = self.topo.plan();
+        let out = with_core!(self, core => widen(core.step_dense(
+            plan,
+            &self.input_bits,
+            &self.output_bits,
+            trace,
+            cycle,
+        )));
         self.cycle += 1;
-        out_div
+        out
     }
 
-    /// The sparse path: seed the dirty-net set with the diverged flip-flop
-    /// Q nets and propagate through consumer gates in level order, reading
-    /// clean fan-in from the shared per-cycle golden settle. Gates outside
-    /// the union of the lanes' divergence cones are never touched.
-    fn step_sparse(&mut self, trace: &GoldenTrace) -> u64 {
+    /// Runs the sparse path for one cycle.
+    fn step_sparse(&mut self, trace: &GoldenTrace) -> LaneMask {
         self.dense_last = false;
-        self.epoch += 1;
-        self.max_sched_level = self.buckets.len();
         let cycle = self.cycle;
-        // Fully converged batches ride the golden trace for free.
-        if self.dirty_dffs.is_empty() {
-            self.cycle += 1;
-            return 0;
-        }
-        // Seed: Q nets of diverged flip-flops carry their state diff. An
-        // output-registered bit out-diverges right here via its OutputBit
-        // consumer; inputs are golden by the shared-trajectory contract and
-        // never seed.
-        let mut out_div = 0u64;
-        let dirty = std::mem::take(&mut self.dirty_dffs);
-        for &i in &dirty {
-            let q = self.q_nets[i as usize];
-            out_div |= self.mark_dirty(NetId::from_index(q as usize), self.state_diff[i as usize]);
-        }
-        self.dirty_dffs = dirty;
-        // Levelized cone propagation, exactly as in `DiffSim::step` but on
-        // lane-packed diff words.
-        if self.max_sched_level < self.buckets.len() {
+        let plan = self.topo.plan();
+        let dirty = with_core!(self, core => !core.dirty_dffs.is_empty());
+        if dirty {
             self.ensure_golden(trace);
         }
-        let sh = (cycle % 64) as u32;
-        let mut level = 0;
-        while level <= self.max_sched_level && level < self.buckets.len() {
-            while let Some(g) = self.buckets[level].pop() {
-                let golden = self.golden_blocks[(cycle / 64) as usize]
-                    .as_deref()
-                    .expect("golden block settle ensured above");
-                let gate = self.circuit.gate(g);
-                let mut ins = [0u64; 3];
-                for (k, &inp) in gate.inputs().iter().enumerate() {
-                    let i = inp.index();
-                    let gw = broadcast((golden[i] >> sh) & 1 == 1);
-                    ins[k] = if self.diff_epoch[i] == self.epoch {
-                        gw ^ self.diff_val[i]
-                    } else {
-                        gw
-                    };
-                }
-                let out_w = eval_word(gate.kind(), ins[0], ins[1], ins[2]);
-                let out = gate.output();
-                let diff = out_w ^ broadcast((golden[out.index()] >> sh) & 1 == 1);
-                if diff != 0 {
-                    out_div |= self.mark_dirty(out, diff);
-                }
-            }
-            level += 1;
-        }
-        // Latch: only dirty D pins can differ from the next golden state.
-        for &i in &self.dirty_dffs {
-            self.state_diff[i as usize] = 0;
-        }
-        self.dirty_dffs.clear();
-        let mut diverged = 0u64;
-        for (i, diff) in self.next_dirty.drain(..) {
-            self.state_diff[i as usize] = diff;
-            self.dirty_dffs.push(i);
-            diverged |= diff;
-        }
-        self.diverged = diverged;
+        let golden = self
+            .golden_blocks
+            .get((cycle / 64) as usize)
+            .and_then(|b| b.as_deref());
+        let topo = self.topo;
+        let out = with_core!(self, core => widen(core.step_sparse(
+            plan,
+            topo,
+            golden,
+            cycle,
+        )));
         self.cycle += 1;
-        out_div
-    }
-
-    /// Marks `net` as carrying lane-diff `diff`, scheduling consumer gates
-    /// and collecting diverged D pins. Returns the lanes touching an output
-    /// bit through this net. Each net is marked at most once per cycle.
-    fn mark_dirty(&mut self, net: NetId, diff: u64) -> u64 {
-        let i = net.index();
-        debug_assert_ne!(self.diff_epoch[i], self.epoch, "net marked dirty twice");
-        self.diff_val[i] = diff;
-        self.diff_epoch[i] = self.epoch;
-        let mut out_div = 0u64;
-        for e in self.topo.fanouts(net) {
-            match e.consumer {
-                Consumer::GatePin { gate, .. } => {
-                    if self.sched_epoch[gate.index()] != self.epoch {
-                        self.sched_epoch[gate.index()] = self.epoch;
-                        let level = self.topo.gate_level(gate) as usize;
-                        if self.max_sched_level == self.buckets.len() {
-                            self.max_sched_level = level;
-                        } else {
-                            self.max_sched_level = self.max_sched_level.max(level);
-                        }
-                        self.buckets[level].push(gate);
-                    }
-                }
-                Consumer::DffD(d) => {
-                    self.next_dirty
-                        .push((u32::try_from(d.index()).expect("dff fits u32"), diff));
-                }
-                Consumer::OutputBit { .. } => out_div |= diff,
-            }
-        }
-        out_div
+        out
     }
 
     /// Ensures the golden net values for the 64-cycle block containing the
     /// current cycle are cached. The whole block settles in *one*
-    /// bit-parallel sweep of the opcode table with the lanes standing for
+    /// bit-parallel sweep of the plan with the lanes standing for
     /// consecutive trace cycles (each cycle's combinational settle is
     /// independent given the recorded state and input words), so the
-    /// amortized cost per cycle is 1/64th of a scalar settle.
+    /// amortized cost per cycle is 1/64th of a scalar settle. The cache is
+    /// `u64`-packed and shared by every carrier width.
     fn ensure_golden(&mut self, trace: &GoldenTrace) {
         let block = (self.cycle / 64) as usize;
         if self.golden_blocks.len() <= block {
@@ -464,6 +589,7 @@ impl<'c> BatchSim<'c> {
         if self.golden_blocks[block].is_some() {
             return;
         }
+        let plan = self.topo.plan();
         let base = self.cycle - self.cycle % 64;
         let width = (trace.num_cycles() - base).min(64);
         let mut vals = vec![0u64; self.circuit.num_nets()].into_boxed_slice();
@@ -476,15 +602,13 @@ impl<'c> BatchSim<'c> {
                 vals[pb.net as usize] |= ((inputs[usize::from(pb.port)] >> pb.bit) & 1) << l;
             }
             let state = trace.state_at(base + l);
-            for (i, &q) in self.q_nets.iter().enumerate() {
+            for (i, &q) in plan.dff_q().iter().enumerate() {
                 vals[q as usize] |= u64::from(packed_bit(state, i)) << l;
             }
         }
-        for op in &self.ops {
-            let va = vals[op.a as usize];
-            let vb = vals[op.b as usize];
-            let vc = vals[op.c as usize];
-            vals[op.out as usize] = eval_word(op.kind, va, vb, vc);
+        for ((&kind, &[a, b, c]), &out) in plan.kinds().iter().zip(plan.ins()).zip(plan.outs()) {
+            vals[out as usize] =
+                eval_word(kind, vals[a as usize], vals[b as usize], vals[c as usize]);
         }
         self.golden_blocks[block] = Some(vals);
     }
@@ -494,12 +618,12 @@ impl<'c> BatchSim<'c> {
     /// [`crate::DiffSim::divergence`] for an equivalent scalar replay.
     pub fn lane_divergence(&self, lane: usize, _trace: &GoldenTrace) -> Vec<DffId> {
         assert!(lane < MAX_LANES, "lane out of range");
-        let mut flips: Vec<DffId> = self
+        let mut flips: Vec<DffId> = with_core_ref!(self, core => core
             .dirty_dffs
             .iter()
-            .filter(|&&i| (self.state_diff[i as usize] >> lane) & 1 == 1)
+            .filter(|&&i| core.state_diff[i as usize].get(lane))
             .map(|&i| DffId::from_index(i as usize))
-            .collect();
+            .collect());
         flips.sort_unstable();
         flips
     }
@@ -508,9 +632,10 @@ impl<'c> BatchSim<'c> {
     pub fn lane_state_bits(&self, lane: usize, trace: &GoldenTrace) -> Vec<bool> {
         assert!(lane < MAX_LANES, "lane out of range");
         let golden = trace.state_at(self.cycle);
-        (0..self.circuit.num_dffs())
-            .map(|i| packed_bit(golden, i) != ((self.state_diff[i] >> lane) & 1 == 1))
-            .collect()
+        let num_dffs = self.circuit.num_dffs();
+        with_core_ref!(self, core => (0..num_dffs)
+            .map(|i| packed_bit(golden, i) != core.state_diff[i].get(lane))
+            .collect())
     }
 
     /// The output-port words of `lane` pending for its environment's next
@@ -527,22 +652,28 @@ impl<'c> BatchSim<'c> {
         }
         if self.dense_last {
             let mut out = vec![0u64; self.circuit.output_ports().len()];
-            for pb in &self.output_bits {
-                if (self.values[pb.net as usize] >> lane) & 1 == 1 {
-                    out[usize::from(pb.port)] |= 1u64 << pb.bit;
+            let output_bits = &self.output_bits;
+            with_core_ref!(self, core => {
+                for pb in output_bits {
+                    if core.values[pb.net as usize].get(lane) {
+                        out[usize::from(pb.port)] |= 1u64 << pb.bit;
+                    }
                 }
-            }
+            });
             return out;
         }
         // Sparse: the golden words of the just-executed cycle with the
         // epoch-current dirty bits patched in.
         let mut out = trace.outputs_at(self.cycle - 1).to_vec();
-        for pb in &self.output_bits {
-            let i = pb.net as usize;
-            if self.diff_epoch[i] == self.epoch && (self.diff_val[i] >> lane) & 1 == 1 {
-                out[usize::from(pb.port)] ^= 1u64 << pb.bit;
+        let output_bits = &self.output_bits;
+        with_core_ref!(self, core => {
+            for pb in output_bits {
+                let i = pb.net as usize;
+                if core.diff_epoch[i] == core.epoch && core.diff_val[i].get(lane) {
+                    out[usize::from(pb.port)] ^= 1u64 << pb.bit;
+                }
             }
-        }
+        });
         out
     }
 }
@@ -654,7 +785,7 @@ mod tests {
                     .enumerate()
                     .any(|(i, &b)| b != packed_bit(golden_state, i));
                 assert_eq!(
-                    batch.divergence_mask() >> lane & 1 == 1,
+                    batch.divergence_mask().get(lane),
                     scalar_div,
                     "divergence mask lane {lane}"
                 );
@@ -673,7 +804,7 @@ mod tests {
                     "outputs lane {lane}"
                 );
                 let diverged = sim.last_outputs() != trace.outputs_at(batch.cycle() - 1);
-                assert_eq!(out_div >> lane & 1 == 1, diverged, "out_div lane {lane}");
+                assert_eq!(out_div.get(lane), diverged, "out_div lane {lane}");
             }
         }
     }
@@ -695,6 +826,59 @@ mod tests {
         check_lockstep(&scenarios, Path::Sparse);
     }
 
+    /// A deterministic spread of flip sets over `n` lanes, cycling through
+    /// the fixture's flip-flops so neighbouring lanes differ.
+    fn spread_scenarios(c: &Circuit, n: usize) -> Vec<Vec<DffId>> {
+        let dffs: Vec<DffId> = c.dffs().map(|(id, _)| id).collect();
+        (0..n)
+            .map(|lane| match lane % 4 {
+                0 => vec![dffs[lane % dffs.len()]],
+                1 => vec![dffs[lane % dffs.len()], dffs[(lane + 3) % dffs.len()]],
+                2 => vec![],
+                _ => vec![dffs[(lane + 5) % dffs.len()]],
+            })
+            .collect()
+    }
+
+    /// 65+ scenarios select the 256-lane carrier; every lane must still
+    /// match its scalar replay on both paths.
+    #[test]
+    fn wide256_batches_match_scalar_replay() {
+        let c = fixture();
+        let scenarios = spread_scenarios(&c, 70);
+        check_lockstep(&scenarios, Path::Auto);
+        check_lockstep(&scenarios, Path::Dense);
+        check_lockstep(&scenarios, Path::Sparse);
+    }
+
+    /// 257+ scenarios select the 512-lane carrier.
+    #[test]
+    fn wide512_batches_match_scalar_replay() {
+        let c = fixture();
+        let scenarios = spread_scenarios(&c, 300);
+        check_lockstep(&scenarios, Path::Auto);
+        check_lockstep(&scenarios, Path::Sparse);
+    }
+
+    #[test]
+    fn carrier_tier_tracks_batch_size() {
+        let c = fixture();
+        let topo = Topology::new(&c);
+        let trace = golden(&c, &topo, 6);
+        let mut batch = BatchSim::new(&c, &topo);
+        batch.begin(1, &spread_scenarios(&c, 3), &trace);
+        assert_eq!(batch.tier, Tier::Narrow);
+        assert!(batch.wide4.is_none() && batch.wide8.is_none(), "lazy wides");
+        batch.begin(1, &spread_scenarios(&c, 64), &trace);
+        assert_eq!(batch.tier, Tier::Narrow, "64 still fits u64");
+        batch.begin(1, &spread_scenarios(&c, 65), &trace);
+        assert_eq!(batch.tier, Tier::Wide4);
+        batch.begin(1, &spread_scenarios(&c, 257), &trace);
+        assert_eq!(batch.tier, Tier::Wide8);
+        batch.begin(1, &spread_scenarios(&c, 2), &trace);
+        assert_eq!(batch.tier, Tier::Narrow, "narrow batches re-narrow");
+    }
+
     #[test]
     fn unused_lanes_track_golden() {
         let c = fixture();
@@ -702,10 +886,10 @@ mod tests {
         let trace = golden(&c, &topo, 6);
         let mut batch = BatchSim::new(&c, &topo);
         batch.begin(1, &[], &trace);
-        assert_eq!(batch.divergence_mask(), 0);
+        assert!(!batch.divergence_mask().any());
         while batch.cycle() < trace.num_cycles() {
-            assert_eq!(batch.step(&trace), 0, "golden lanes never out-diverge");
-            assert_eq!(batch.divergence_mask(), 0);
+            assert!(!batch.step(&trace).any(), "golden lanes never out-diverge");
+            assert!(!batch.divergence_mask().any());
         }
     }
 

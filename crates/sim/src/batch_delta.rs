@@ -46,19 +46,22 @@
 //! retirement never triggers there; it is exercised by the cross-engine
 //! fuzz suite.
 //!
-//! Batches of at most 64 lanes ride plain `u64` words; wider batches (up
-//! to [`MAX_TIMING_LANES`]) switch to a 4×`u64` wide-word path selected by
-//! the campaign-level `timing_lanes` knob.
+//! Batches of at most 64 lanes ride plain `u64` words; wider batches step
+//! up to a 4×`u64` ([`W256`]) or 8×`u64` ([`W512`]) carrier (up to
+//! [`MAX_TIMING_LANES`]) selected per batch from the campaign-level
+//! `timing_lanes` knob. Gate evaluation walks the netlist's levelized
+//! struct-of-arrays [`EvalPlan`](delayavf_netlist::EvalPlan) so the hot
+//! loop reads packed opcode/operand tables instead of per-gate structs.
 
 use delayavf_netlist::{Circuit, Consumer, DffId, GateId, NetId, Topology};
 use delayavf_timing::{Picos, TimingModel};
 
 use crate::delta::{value_at, GoldenWave};
 use crate::event::FaultSpec;
-use crate::pack::{eval_lanes, LaneWord, W256};
+use crate::pack::{eval_lanes, LaneWord, W256, W512};
 
-/// The widest timing batch: 256 scenarios on the 4×`u64` wide-word path.
-pub const MAX_TIMING_LANES: usize = 256;
+/// The widest timing batch: 512 scenarios on the 8×`u64` wide-word path.
+pub const MAX_TIMING_LANES: usize = 512;
 
 /// Work, cache and retirement accounting for one
 /// [`BatchDeltaSim::latch_batch`] call.
@@ -158,7 +161,7 @@ impl<W: LaneWord> Stream<'_, W> {
 
 /// The width-generic propagation core: all per-net scratch for one lane
 /// width. [`BatchDeltaSim`] instantiates it at `u64` and (lazily, only when
-/// a batch exceeds 64 lanes) at [`W256`].
+/// a batch needs them) at [`W256`] and [`W512`].
 #[derive(Clone, Debug)]
 struct WaveCore<W: LaneWord> {
     /// Epoch-stamped packed faulty waveforms of diverged nets.
@@ -176,8 +179,15 @@ struct WaveCore<W: LaneWord> {
     max_sched_level: usize,
     /// Scratch for the packed gate output waveform under evaluation.
     wave: WWave<W>,
-    /// Lane-packed latched value per flip-flop.
+    /// Lane-packed latched value per flip-flop — valid only where
+    /// `latch_epoch` matches the current epoch; every other flip-flop
+    /// latches `latch_base` on all lanes. Lazily materializing the words
+    /// keeps the per-batch latch cost proportional to the union cone's
+    /// fed flip-flops, not to the whole state vector.
     latch_out: Vec<W>,
+    latch_epoch: Vec<u64>,
+    /// Golden latched value per flip-flop for the current batch.
+    latch_base: Vec<bool>,
 }
 
 impl<W: LaneWord> WaveCore<W> {
@@ -194,7 +204,20 @@ impl<W: LaneWord> WaveCore<W> {
             max_sched_level: 0,
             wave: Vec::new(),
             latch_out: vec![W::ZERO; circuit.num_dffs()],
+            latch_epoch: vec![0; circuit.num_dffs()],
+            latch_base: vec![false; circuit.num_dffs()],
         }
+    }
+
+    /// Lane-packed latched word of flip-flop `fi`, materialized from the
+    /// golden base on first touch in this batch.
+    #[inline]
+    fn latch_word(&mut self, fi: usize) -> &mut W {
+        if self.latch_epoch[fi] != self.epoch {
+            self.latch_epoch[fi] = self.epoch;
+            self.latch_out[fi] = W::splat(self.latch_base[fi]);
+        }
+        &mut self.latch_out[fi]
     }
 
     #[inline]
@@ -213,7 +236,6 @@ impl<W: LaneWord> WaveCore<W> {
 
     fn latch_batch(
         &mut self,
-        circuit: &Circuit,
         topo: &Topology,
         timing: &TimingModel,
         gold: &GoldenWave,
@@ -224,9 +246,7 @@ impl<W: LaneWord> WaveCore<W> {
         self.epoch += 1;
         self.max_sched_level = self.buckets.len();
         let deadline = timing.clock_period().saturating_sub(timing.setup());
-        for (out, &g) in self.latch_out.iter_mut().zip(gold.latch.iter()) {
-            *out = W::splat(g);
-        }
+        self.latch_base.copy_from_slice(&gold.latch);
 
         // Seed every lane at its struck edge's sink (a lane's own fault
         // edge source is upstream of its cone, hence golden for that lane).
@@ -243,7 +263,8 @@ impl<W: LaneWord> WaveCore<W> {
                     let src = struck.source.index();
                     let v = W::splat(value_at(&gold.tx[src], gold.base[src], at));
                     let fi = f.index();
-                    self.latch_out[fi] = (self.latch_out[fi] & !lm) | (v & lm);
+                    let w = self.latch_word(fi);
+                    *w = (*w & !lm) | (v & lm);
                     // Record the strike so a later divergence of the source
                     // net (for other lanes) never overwrites this lane's
                     // extra-shifted sample.
@@ -277,18 +298,18 @@ impl<W: LaneWord> WaveCore<W> {
         }
 
         // Levelized union-cone propagation, mirroring the scalar sweep.
+        let plan = topo.plan();
         let mut level = 0;
         while level <= self.max_sched_level && level < self.buckets.len() {
             while let Some(g) = self.buckets[level].pop() {
-                outcome.delta_events +=
-                    self.eval_gate_wave(circuit, topo, timing, gold, g, deadline);
-                let out = circuit.gate(g).output();
-                let div = self.wave_divergence(&gold.tx[out.index()], gold.base[out.index()]);
+                outcome.delta_events += self.eval_gate_wave(topo, timing, gold, g, deadline);
+                let out = plan.op(plan.op_of_gate(g)).2 as usize;
+                let div = self.wave_divergence(&gold.tx[out], gold.base[out]);
                 if !div.any() {
                     outcome.reconverged += 1;
                     continue;
                 }
-                self.mark_diverged(topo, timing, gold, out, deadline);
+                self.mark_diverged(topo, timing, gold, NetId::from_index(out), deadline);
             }
             level += 1;
         }
@@ -299,22 +320,25 @@ impl<W: LaneWord> WaveCore<W> {
     /// lane at each step. Returns the number of time-steps processed.
     fn eval_gate_wave(
         &mut self,
-        circuit: &Circuit,
         topo: &Topology,
         timing: &TimingModel,
         gold: &GoldenWave,
         g: GateId,
         deadline: Picos,
     ) -> u64 {
-        let gate = circuit.gate(g);
-        let kind = gate.kind();
+        let plan = topo.plan();
+        let (kind, ins, out) = plan.op(plan.op_of_gate(g));
         let mut pins = [W::ZERO; 3];
         // Up to two streams per pin: the common stream plus (for struck
         // pins) the extra-shifted golden special stream.
         let mut streams: [Option<Stream<'_, W>>; 6] = [None, None, None, None, None, None];
         let mut n = 0;
-        for (slot, (eid, &src)) in topo.gate_in_edges(g).zip(gate.inputs().iter()).enumerate() {
-            let si = src.index();
+        for (slot, (eid, &src)) in topo
+            .gate_in_edges(g)
+            .zip(ins.iter().take(kind.arity()))
+            .enumerate()
+        {
+            let si = src as usize;
             pins[slot] = W::splat(gold.base[si]);
             let ei = eid.index();
             let smask = if self.strike_epoch[ei] == self.epoch {
@@ -322,7 +346,7 @@ impl<W: LaneWord> WaveCore<W> {
             } else {
                 W::ZERO
             };
-            let delay = timing.net_delay(src);
+            let delay = timing.net_delay(NetId::from_index(si));
             let common_tx = if self.fault_epoch[si] == self.epoch {
                 Tx::Packed(&self.fault_tx[si][..])
             } else {
@@ -347,15 +371,14 @@ impl<W: LaneWord> WaveCore<W> {
                 n += 1;
             }
         }
-        let out = gate.output();
-        let base_out = W::splat(gold.base[out.index()]);
+        let base_out = W::splat(gold.base[out as usize]);
         let mut out_val = base_out;
         self.wave.clear();
         let mut steps = 0u64;
         loop {
             // Earliest pending stream event, deadline-capped.
             let mut t_min: Option<Picos> = None;
-            for s in streams.iter().flatten() {
+            for s in streams[..n].iter().flatten() {
                 if let Some(t) = s.peek_t() {
                     let at = t.saturating_add(s.shift);
                     if at <= deadline && t_min.is_none_or(|m| at < m) {
@@ -364,7 +387,7 @@ impl<W: LaneWord> WaveCore<W> {
                 }
             }
             let Some(t) = t_min else { break };
-            for s in streams.iter_mut().flatten() {
+            for s in streams[..n].iter_mut().flatten() {
                 while let Some(st) = s.peek_t() {
                     if st.saturating_add(s.shift) > t {
                         break;
@@ -445,12 +468,66 @@ impl<W: LaneWord> WaveCore<W> {
                     }
                     let v = value_at_w(&self.fault_tx[i], W::splat(gold.base[i]), at);
                     let fi = f.index();
-                    self.latch_out[fi] = (self.latch_out[fi] & !mask) | (v & mask);
+                    let w = self.latch_word(fi);
+                    *w = (*w & !mask) | (v & mask);
                 }
                 Consumer::OutputBit { .. } => {}
             }
         }
     }
+}
+
+/// Which carrier width the most recent batch ran on (selects the
+/// lane-accessor source).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TimingTier {
+    /// `u64`: up to 64 lanes.
+    Narrow,
+    /// [`W256`]: 65..=256 lanes.
+    Wide4,
+    /// [`W512`]: 257..=[`MAX_TIMING_LANES`] lanes.
+    Wide8,
+}
+
+/// Dispatches `$body` to the wave core selected by the current tier,
+/// binding it mutably as `$core`.
+macro_rules! with_wave {
+    ($self:expr, $core:ident => $body:expr) => {
+        match $self.tier {
+            TimingTier::Narrow => {
+                let $core = &mut $self.narrow;
+                $body
+            }
+            TimingTier::Wide4 => {
+                let $core = $self.wide4.as_mut().expect("wide4 core allocated").as_mut();
+                $body
+            }
+            TimingTier::Wide8 => {
+                let $core = $self.wide8.as_mut().expect("wide8 core allocated").as_mut();
+                $body
+            }
+        }
+    };
+}
+
+/// Shared-borrow counterpart of [`with_wave!`].
+macro_rules! with_wave_ref {
+    ($self:expr, $core:ident => $body:expr) => {
+        match $self.tier {
+            TimingTier::Narrow => {
+                let $core = &$self.narrow;
+                $body
+            }
+            TimingTier::Wide4 => {
+                let $core = $self.wide4.as_ref().expect("wide4 core allocated").as_ref();
+                $body
+            }
+            TimingTier::Wide8 => {
+                let $core = $self.wide8.as_ref().expect("wide8 core allocated").as_ref();
+                $body
+            }
+        }
+    };
 }
 
 /// Lane-packed incremental timing-aware simulator: evaluates up to
@@ -467,10 +544,12 @@ pub struct BatchDeltaSim<'a> {
     narrow: WaveCore<u64>,
     /// The 256-lane wide-word core, allocated on the first batch wider
     /// than 64 lanes.
-    wide: Option<Box<WaveCore<W256>>>,
-    /// True when the most recent batch ran on the wide core (selects the
-    /// lane-accessor source).
-    wide_last: bool,
+    wide4: Option<Box<WaveCore<W256>>>,
+    /// The 512-lane wide-word core, allocated on the first batch wider
+    /// than 256 lanes.
+    wide8: Option<Box<WaveCore<W512>>>,
+    /// The carrier width the most recent batch ran on.
+    tier: TimingTier,
 }
 
 impl<'a> BatchDeltaSim<'a> {
@@ -482,8 +561,9 @@ impl<'a> BatchDeltaSim<'a> {
             timing,
             gold: GoldenWave::new(circuit, topo),
             narrow: WaveCore::new(circuit, topo),
-            wide: None,
-            wide_last: false,
+            wide4: None,
+            wide8: None,
+            tier: TimingTier::Narrow,
         }
     }
 
@@ -498,7 +578,8 @@ impl<'a> BatchDeltaSim<'a> {
     /// engine: consecutive calls with the same cycle number reuse the
     /// cached waveform and must pass the same `prev_values` / `new_state` /
     /// `new_inputs`. Batches of at most 64 lanes run on `u64` words; wider
-    /// batches switch to the 4×`u64` wide-word path.
+    /// batches switch to the 4×`u64` ([`W256`]) or 8×`u64` ([`W512`])
+    /// wide-word path, whichever is the narrowest fit.
     ///
     /// # Panics
     ///
@@ -530,30 +611,26 @@ impl<'a> BatchDeltaSim<'a> {
             ),
             ..BatchDeltaOutcome::default()
         };
-        if faults.len() <= <u64 as LaneWord>::LANES {
-            self.wide_last = false;
-            self.narrow.latch_batch(
-                self.circuit,
-                self.topo,
-                self.timing,
-                &self.gold,
-                faults,
-                &mut outcome,
-            );
+        self.tier = if faults.len() <= <u64 as LaneWord>::LANES {
+            TimingTier::Narrow
+        } else if faults.len() <= W256::LANES {
+            if self.wide4.is_none() {
+                self.wide4 = Some(Box::new(WaveCore::new(self.circuit, self.topo)));
+            }
+            TimingTier::Wide4
         } else {
-            self.wide_last = true;
-            let wide = self
-                .wide
-                .get_or_insert_with(|| Box::new(WaveCore::new(self.circuit, self.topo)));
-            wide.latch_batch(
-                self.circuit,
-                self.topo,
-                self.timing,
-                &self.gold,
-                faults,
-                &mut outcome,
-            );
-        }
+            if self.wide8.is_none() {
+                self.wide8 = Some(Box::new(WaveCore::new(self.circuit, self.topo)));
+            }
+            TimingTier::Wide8
+        };
+        with_wave!(self, core => core.latch_batch(
+            self.topo,
+            self.timing,
+            &self.gold,
+            faults,
+            &mut outcome,
+        ));
         outcome
     }
 
@@ -561,11 +638,11 @@ impl<'a> BatchDeltaSim<'a> {
     /// batch.
     #[inline]
     fn latched_bit(&self, dff: usize, lane: usize) -> bool {
-        if self.wide_last {
-            self.wide.as_ref().expect("wide core ran").latch_out[dff].get(lane)
+        with_wave_ref!(self, core => if core.latch_epoch[dff] == core.epoch {
+            core.latch_out[dff].get(lane)
         } else {
-            self.narrow.latch_out[dff].get(lane)
-        }
+            core.latch_base[dff]
+        })
     }
 
     /// The flip-flops whose latched value on `lane` differs from `expect`
@@ -588,25 +665,29 @@ impl<'a> BatchDeltaSim<'a> {
     /// are mostly masked and mismatch sets are small.
     pub fn mismatch_sets(&self, lanes: usize, expect: &[bool]) -> Vec<Vec<DffId>> {
         assert_eq!(expect.len(), self.circuit.num_dffs());
-        fn extract<W: LaneWord>(latch_out: &[W], lanes: usize, expect: &[bool]) -> Vec<Vec<DffId>> {
+        fn extract<W: LaneWord>(
+            core: &WaveCore<W>,
+            lanes: usize,
+            expect: &[bool],
+        ) -> Vec<Vec<DffId>> {
             let mut out = vec![Vec::new(); lanes];
             for (i, &e) in expect.iter().enumerate() {
-                let diff = latch_out[i] ^ W::splat(e);
-                if diff.any() {
-                    diff.for_each_set(lanes, |lane| out[lane].push(DffId::from_index(i)));
+                if core.latch_epoch[i] == core.epoch {
+                    let diff = core.latch_out[i] ^ W::splat(e);
+                    if diff.any() {
+                        diff.for_each_set(lanes, |lane| out[lane].push(DffId::from_index(i)));
+                    }
+                } else if core.latch_base[i] != e {
+                    // Untouched by the union cone: every lane latched the
+                    // golden base, so either no lane mismatches or all do.
+                    for set in &mut out {
+                        set.push(DffId::from_index(i));
+                    }
                 }
             }
             out
         }
-        if self.wide_last {
-            extract(
-                &self.wide.as_ref().expect("wide core ran").latch_out,
-                lanes,
-                expect,
-            )
-        } else {
-            extract(&self.narrow.latch_out, lanes, expect)
-        }
+        with_wave_ref!(self, core => extract(core, lanes, expect))
     }
 
     /// The full latched flip-flop vector of `lane` after the most recent
@@ -726,11 +807,45 @@ mod tests {
         let mut batch = BatchDeltaSim::new(&c, &topo, &timing);
         let outcome = batch.latch_batch(5, &prev_values, &state, &inputs, &faults);
         assert!(outcome.retired.is_empty());
-        assert!(batch.wide_last, "a 100-lane batch takes the wide path");
+        assert_eq!(
+            batch.tier,
+            TimingTier::Wide4,
+            "a 100-lane batch takes the 256-lane path"
+        );
         let mut full = EventSim::new(&c, &topo, &timing);
         for (lane, &fault) in faults.iter().enumerate() {
             let want = full.latch_cycle(&prev_values, &state, &inputs, Some(fault));
             assert_eq!(batch.lane_latched(lane), want, "wide lane {lane}");
+        }
+    }
+
+    #[test]
+    fn widest_batches_run_the_512_lane_path() {
+        let (c, topo, timing) = figure2();
+        let state = c.initial_state();
+        let prev_values = settle(&c, &topo, &state, &[0, 1]);
+        let inputs = [1u64, 1];
+        let clock = timing.clock_period();
+        let n_edges = topo.edges().len();
+        let faults: Vec<FaultSpec> = (0..300)
+            .map(|i| FaultSpec {
+                edge: EdgeId::from_index(i % n_edges),
+                extra: clock,
+            })
+            .collect();
+        let mut batch = BatchDeltaSim::new(&c, &topo, &timing);
+        let outcome = batch.latch_batch(5, &prev_values, &state, &inputs, &faults);
+        assert!(outcome.retired.is_empty());
+        assert_eq!(
+            batch.tier,
+            TimingTier::Wide8,
+            "a 300-lane batch takes the 512-lane path"
+        );
+        assert!(batch.wide4.is_none(), "the 256-lane core stays unallocated");
+        let mut full = EventSim::new(&c, &topo, &timing);
+        for (lane, &fault) in faults.iter().enumerate() {
+            let want = full.latch_cycle(&prev_values, &state, &inputs, Some(fault));
+            assert_eq!(batch.lane_latched(lane), want, "widest lane {lane}");
         }
     }
 

@@ -85,12 +85,15 @@ fn settle_in_place(
     values: &mut [bool],
 ) {
     write_input_nets(circuit, input_ports, values);
-    for (id, dff) in circuit.dffs() {
-        values[dff.q().index()] = state[id.index()];
+    let plan = topo.plan();
+    for (&q, &s) in plan.dff_q().iter().zip(state) {
+        values[q as usize] = s;
     }
-    for &g in topo.eval_order() {
-        let gate = circuit.gate(g);
-        values[gate.output().index()] = gate.eval_in(values);
+    // The dense settle is a straight-line walk over the plan's packed
+    // arrays — no per-gate struct loads.
+    for ((&kind, &[a, b, c]), &out) in plan.kinds().iter().zip(plan.ins()).zip(plan.outs()) {
+        values[out as usize] =
+            kind.eval3(values[a as usize], values[b as usize], values[c as usize]);
     }
 }
 
@@ -209,8 +212,8 @@ impl<'c> CycleSim<'c> {
             &mut self.values,
         );
         sample_output_ports(self.circuit, &self.values, &mut self.prev_outputs);
-        for (id, dff) in self.circuit.dffs() {
-            self.state[id.index()] = self.values[dff.d().index()];
+        for (slot, &d) in self.state.iter_mut().zip(self.topo.plan().dff_d()) {
+            *slot = self.values[d as usize];
         }
         self.cycle += 1;
     }

@@ -265,26 +265,26 @@ impl<'c> DiffSim<'c> {
         if self.max_sched_level < self.buckets.len() {
             self.ensure_golden(trace);
         }
+        let plan = self.topo.plan();
         let mut level = 0;
         while level <= self.max_sched_level && level < self.buckets.len() {
             while let Some(g) = self.buckets[level].pop() {
                 let golden = self.golden_nets[cycle as usize]
                     .as_deref()
                     .expect("golden settle ensured above");
-                let gate = circuit.gate(g);
-                let mut ins = [false; 3];
-                for (k, &inp) in gate.inputs().iter().enumerate() {
-                    ins[k] = if self.faulty_epoch[inp.index()] == self.epoch {
-                        self.faulty_val[inp.index()]
-                    } else {
-                        packed_bit(golden, inp.index())
-                    };
-                }
+                let (kind, ins, out) = plan.op(plan.op_of_gate(g));
                 self.gates_evaluated += 1;
-                let out_val = gate.kind().eval(&ins[..gate.kind().arity()]);
-                let out = gate.output();
-                if out_val != packed_bit(golden, out.index()) {
-                    self.mark_dirty(out, out_val, trace);
+                let read = |slot: u32| {
+                    let i = slot as usize;
+                    if self.faulty_epoch[i] == self.epoch {
+                        self.faulty_val[i]
+                    } else {
+                        packed_bit(golden, i)
+                    }
+                };
+                let out_val = kind.eval3(read(ins[0]), read(ins[1]), read(ins[2]));
+                if out_val != packed_bit(golden, out as usize) {
+                    self.mark_dirty(NetId::from_index(out as usize), out_val, trace);
                 }
             }
             level += 1;
@@ -360,16 +360,12 @@ impl<'c> DiffSim<'c> {
             }
         }
         let state = trace.state_at(self.cycle);
-        for (id, dff) in circuit.dffs() {
-            vals[dff.q().index()] = packed_bit(state, id.index());
+        let plan = self.topo.plan();
+        for (i, &q) in plan.dff_q().iter().enumerate() {
+            vals[q as usize] = packed_bit(state, i);
         }
-        for &g in self.topo.eval_order() {
-            let gate = circuit.gate(g);
-            let mut ins = [false; 3];
-            for (k, &inp) in gate.inputs().iter().enumerate() {
-                ins[k] = vals[inp.index()];
-            }
-            vals[gate.output().index()] = gate.kind().eval(&ins[..gate.kind().arity()]);
+        for ((&kind, &[a, b, c]), &out) in plan.kinds().iter().zip(plan.ins()).zip(plan.outs()) {
+            vals[out as usize] = kind.eval3(vals[a as usize], vals[b as usize], vals[c as usize]);
         }
         let mut packed = vec![0u64; circuit.num_nets().div_ceil(64)].into_boxed_slice();
         for (i, &v) in vals.iter().enumerate() {

@@ -64,12 +64,13 @@ pub mod testutil;
 mod trace;
 mod vcd;
 
-pub use batch::{BatchSim, MAX_LANES};
+pub use batch::{BatchSim, LaneMask, MAX_LANES};
 pub use batch_delta::{BatchDeltaOutcome, BatchDeltaSim, MAX_TIMING_LANES};
 pub use cycle::{settle, CycleSim, RunSummary, StopReason};
 pub use delta::{DeltaEventSim, DeltaOutcome};
 pub use diff::DiffSim;
 pub use env::{ConstEnvironment, Environment};
 pub use event::{EventSim, FaultSpec};
+pub use pack::{eval_lanes, LaneWord, Wide, W256, W512};
 pub use trace::{pack_bits, Checkpoint, GoldenTrace};
 pub use vcd::VcdWriter;

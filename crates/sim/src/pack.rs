@@ -9,9 +9,15 @@
 //! * [`broadcast`] / [`packed_bit`] / [`eval_word`] — the `u64` primitives
 //!   the original 64-lane batch engine was built from;
 //! * [`LaneWord`] — the abstraction over lane-carrier words, implemented
-//!   for `u64` (64 lanes) and the 4×`u64` wide word [`W256`] (256 lanes),
-//!   so the timing-aware engine can widen past 64 lanes without a second
-//!   copy of the propagation code.
+//!   for `u64` (64 lanes) and the wide words [`W256`] (4×`u64`, 256 lanes)
+//!   and [`W512`] (8×`u64`, 512 lanes), so both batch engines widen past
+//!   64 lanes without a second copy of the propagation code.
+//!
+//! The wide carriers are deliberately plain arrays of `u64` with
+//! word-parallel loops rather than `std::simd` or target intrinsics: the
+//! fixed-count limb loops vectorize on any release build, the crate keeps
+//! `#![forbid(unsafe_code)]`, and the code compiles on the stable
+//! toolchain with no feature gates or target dispatch (see DESIGN.md).
 //!
 //! Every operation is lane-independent: bit `L` of any result depends only
 //! on bit `L` of the operands, which is what makes a packed simulation an
@@ -45,9 +51,10 @@ pub(crate) fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
 }
 
 /// Evaluates one gate on lane-packed words of any [`LaneWord`] width.
-/// Semantics match [`eval_word`] lane for lane.
+/// Semantics match [`GateKind::eval`] lane for lane; unused operands of
+/// lower-arity kinds are ignored.
 #[inline(always)]
-pub(crate) fn eval_lanes<W: LaneWord>(kind: GateKind, a: W, b: W, c: W) -> W {
+pub fn eval_lanes<W: LaneWord>(kind: GateKind, a: W, b: W, c: W) -> W {
     match kind {
         GateKind::Buf => a,
         GateKind::Not => !a,
@@ -67,7 +74,7 @@ pub(crate) fn eval_lanes<W: LaneWord>(kind: GateKind, a: W, b: W, c: W) -> W {
 /// The contract every implementation upholds — and the packed engines rely
 /// on — is lane independence: for all operations, bit `L` of the result is
 /// the scalar operation applied to bit `L` of the operands.
-pub(crate) trait LaneWord:
+pub trait LaneWord:
     Copy
     + Eq
     + std::fmt::Debug
@@ -87,10 +94,16 @@ pub(crate) trait LaneWord:
     fn splat(bit: bool) -> Self;
     /// The single-lane mask with only bit `lane` set.
     fn lane_mask(lane: usize) -> Self;
+    /// The mask with the first `n` lanes set (`n` clamped to
+    /// [`LaneWord::LANES`]) — the carve shape of a partially-filled final
+    /// batch.
+    fn prefix(n: usize) -> Self;
     /// Reads the bit of `lane`.
     fn get(self, lane: usize) -> bool;
     /// True when any lane is set.
     fn any(self) -> bool;
+    /// Number of set lanes (popcount).
+    fn count_ones(self) -> u32;
     /// Calls `f(lane)` for every set lane below `limit`, in ascending lane
     /// order. Cost is proportional to the number of set lanes, not the
     /// word width — the primitive behind word-parallel mismatch
@@ -115,6 +128,15 @@ impl LaneWord for u64 {
     }
 
     #[inline(always)]
+    fn prefix(n: usize) -> Self {
+        if n >= 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    #[inline(always)]
     fn get(self, lane: usize) -> bool {
         (self >> lane) & 1 == 1
     }
@@ -125,12 +147,13 @@ impl LaneWord for u64 {
     }
 
     #[inline(always)]
+    fn count_ones(self) -> u32 {
+        u64::count_ones(self)
+    }
+
+    #[inline(always)]
     fn for_each_set(self, limit: usize, mut f: impl FnMut(usize)) {
-        let mut w = if limit >= 64 {
-            self
-        } else {
-            self & ((1u64 << limit) - 1)
-        };
+        let mut w = self & Self::prefix(limit);
         while w != 0 {
             let lane = w.trailing_zeros() as usize;
             f(lane);
@@ -139,75 +162,99 @@ impl LaneWord for u64 {
     }
 }
 
-/// A 256-lane wide word: 4×`u64`, lane `L` living in bit `L % 64` of limb
-/// `L / 64`. The timing-aware batch engine selects this carrier when a
-/// batch holds more than 64 scenarios (`timing_lanes > 64`).
+/// A wide lane-carrier word of `N`×64 lanes: lane `L` lives in bit
+/// `L % 64` of limb `L / 64`.
+///
+/// The limb count is a const generic so the 256- and 512-lane carriers
+/// share one implementation; the fixed-trip-count loops compile to
+/// straight-line vector code without intrinsics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct W256(pub [u64; 4]);
+pub struct Wide<const N: usize>(pub [u64; N]);
 
-impl BitAnd for W256 {
+/// A 256-lane wide word (4×`u64`). The batch engines select this carrier
+/// for batches of 65–256 scenarios.
+pub type W256 = Wide<4>;
+
+/// A 512-lane wide word (8×`u64`). The batch engines select this carrier
+/// for batches of 257–512 scenarios.
+pub type W512 = Wide<8>;
+
+impl<const N: usize> BitAnd for Wide<N> {
     type Output = Self;
     #[inline(always)]
     fn bitand(self, o: Self) -> Self {
-        W256([
-            self.0[0] & o.0[0],
-            self.0[1] & o.0[1],
-            self.0[2] & o.0[2],
-            self.0[3] & o.0[3],
-        ])
+        let mut r = self.0;
+        for (limb, &w) in r.iter_mut().zip(o.0.iter()) {
+            *limb &= w;
+        }
+        Wide(r)
     }
 }
 
-impl BitOr for W256 {
+impl<const N: usize> BitOr for Wide<N> {
     type Output = Self;
     #[inline(always)]
     fn bitor(self, o: Self) -> Self {
-        W256([
-            self.0[0] | o.0[0],
-            self.0[1] | o.0[1],
-            self.0[2] | o.0[2],
-            self.0[3] | o.0[3],
-        ])
+        let mut r = self.0;
+        for (limb, &w) in r.iter_mut().zip(o.0.iter()) {
+            *limb |= w;
+        }
+        Wide(r)
     }
 }
 
-impl BitXor for W256 {
+impl<const N: usize> BitXor for Wide<N> {
     type Output = Self;
     #[inline(always)]
     fn bitxor(self, o: Self) -> Self {
-        W256([
-            self.0[0] ^ o.0[0],
-            self.0[1] ^ o.0[1],
-            self.0[2] ^ o.0[2],
-            self.0[3] ^ o.0[3],
-        ])
+        let mut r = self.0;
+        for (limb, &w) in r.iter_mut().zip(o.0.iter()) {
+            *limb ^= w;
+        }
+        Wide(r)
     }
 }
 
-impl Not for W256 {
+impl<const N: usize> Not for Wide<N> {
     type Output = Self;
     #[inline(always)]
     fn not(self) -> Self {
-        W256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+        let mut r = self.0;
+        for limb in &mut r {
+            *limb = !*limb;
+        }
+        Wide(r)
     }
 }
 
-impl LaneWord for W256 {
-    const LANES: usize = 256;
-    const ZERO: Self = W256([0; 4]);
-    const ONES: Self = W256([!0; 4]);
+impl<const N: usize> LaneWord for Wide<N> {
+    const LANES: usize = N * 64;
+    const ZERO: Self = Wide([0; N]);
+    const ONES: Self = Wide([!0; N]);
 
     #[inline(always)]
     fn splat(bit: bool) -> Self {
-        W256([broadcast(bit); 4])
+        Wide([broadcast(bit); N])
     }
 
     #[inline(always)]
     fn lane_mask(lane: usize) -> Self {
-        debug_assert!(lane < 256);
-        let mut limbs = [0u64; 4];
+        debug_assert!(lane < Self::LANES);
+        let mut limbs = [0u64; N];
         limbs[lane / 64] = 1u64 << (lane % 64);
-        W256(limbs)
+        Wide(limbs)
+    }
+
+    #[inline(always)]
+    fn prefix(n: usize) -> Self {
+        let mut limbs = [0u64; N];
+        for (limb, slot) in limbs.iter_mut().enumerate() {
+            let base = limb * 64;
+            if n > base {
+                *slot = u64::prefix(n - base);
+            }
+        }
+        Wide(limbs)
     }
 
     #[inline(always)]
@@ -217,7 +264,20 @@ impl LaneWord for W256 {
 
     #[inline(always)]
     fn any(self) -> bool {
-        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) != 0
+        let mut acc = 0u64;
+        for limb in self.0 {
+            acc |= limb;
+        }
+        acc != 0
+    }
+
+    #[inline(always)]
+    fn count_ones(self) -> u32 {
+        let mut n = 0u32;
+        for limb in self.0 {
+            n += limb.count_ones();
+        }
+        n
     }
 
     #[inline(always)]
@@ -241,10 +301,13 @@ mod tests {
         assert!(W::ONES.any());
         assert_eq!(W::splat(false), W::ZERO);
         assert_eq!(W::splat(true), W::ONES);
+        assert_eq!(W::ZERO.count_ones(), 0);
+        assert_eq!(W::ONES.count_ones() as usize, W::LANES);
         for lane in [0, 1, W::LANES / 2, W::LANES - 1] {
             let m = W::lane_mask(lane);
             assert!(m.any());
             assert!(m.get(lane));
+            assert_eq!(m.count_ones(), 1);
             assert!(!(m ^ std::hint::black_box(m)).any());
             assert!((!m).get((lane + 1) % W::LANES));
             for other in [0, W::LANES - 1] {
@@ -253,12 +316,24 @@ mod tests {
                 }
             }
         }
+        for n in [0, 1, 63, 64, 65, W::LANES / 2, W::LANES - 1, W::LANES] {
+            let p = W::prefix(n);
+            assert_eq!(p.count_ones() as usize, n.min(W::LANES), "prefix({n})");
+            if n > 0 && n <= W::LANES {
+                assert!(p.get(n - 1));
+            }
+            if n < W::LANES {
+                assert!(!p.get(n), "prefix({n}) leaks past its length");
+            }
+        }
+        assert_eq!(W::prefix(W::LANES + 7), W::ONES, "prefix clamps");
     }
 
     #[test]
     fn lane_words_are_lane_independent_masks() {
         check_laneword::<u64>();
         check_laneword::<W256>();
+        check_laneword::<W512>();
     }
 
     fn check_for_each_set<W: LaneWord>() {
@@ -284,6 +359,7 @@ mod tests {
     fn set_lane_iteration_is_ordered_and_bounded() {
         check_for_each_set::<u64>();
         check_for_each_set::<W256>();
+        check_for_each_set::<W512>();
     }
 
     #[test]
@@ -296,6 +372,9 @@ mod tests {
                 let lane = 137; // an arbitrary lane in limb 2
                 let w = eval_lanes::<W256>(kind, W256::splat(a), W256::splat(b), W256::splat(c));
                 assert_eq!(w.get(lane), want, "{kind:?} on {bits:03b}");
+                let wide = 431; // an arbitrary lane in limb 6
+                let v = eval_lanes::<W512>(kind, W512::splat(a), W512::splat(b), W512::splat(c));
+                assert_eq!(v.get(wide), want, "{kind:?} 512-wide on {bits:03b}");
                 let n = eval_word(kind, broadcast(a), broadcast(b), broadcast(c));
                 assert_eq!(n & 1 == 1, want, "{kind:?} narrow on {bits:03b}");
             }

@@ -9,7 +9,9 @@
 
 use delayavf_netlist::{Circuit, DffId, Topology};
 use delayavf_sim::testutil::{pick_flips, random_circuit, GateSpec};
-use delayavf_sim::{BatchSim, ConstEnvironment, CycleSim, GoldenTrace, MAX_LANES};
+use delayavf_sim::{
+    BatchSim, ConstEnvironment, CycleSim, GoldenTrace, LaneMask, LaneWord, MAX_LANES,
+};
 use proptest::prelude::*;
 
 /// Drives `scenarios` through one batch and, in lockstep, through one
@@ -50,7 +52,7 @@ fn check_batch_against_scalars(
             lane
         );
         prop_assert_eq!(
-            (batch.divergence_mask() >> lane) & 1 == 1,
+            batch.divergence_mask().get(lane),
             s.state() != &trace.state_bits_at(boundary, c.num_dffs())[..],
             "boundary divergence bit, lane {}",
             lane
@@ -81,14 +83,14 @@ fn check_batch_against_scalars(
                 lane
             );
             prop_assert_eq!(
-                (out_div >> lane) & 1 == 1,
+                out_div.get(lane),
                 s.last_outputs() != golden_outputs,
                 "output-divergence bit at cycle {}, lane {}",
                 cyc,
                 lane
             );
             prop_assert_eq!(
-                (batch.divergence_mask() >> lane) & 1 == 1,
+                batch.divergence_mask().get(lane),
                 s.state() != &golden_state[..],
                 "state-divergence bit at cycle {}, lane {}",
                 cyc,
@@ -110,10 +112,10 @@ fn check_batch_against_scalars(
         }
         // Lanes beyond the batch ride the golden trajectory exactly.
         if scenarios.len() < MAX_LANES {
-            prop_assert_eq!(out_div >> scenarios.len(), 0, "unused lanes out-diverged");
-            prop_assert_eq!(
-                batch.divergence_mask() >> scenarios.len(),
-                0,
+            let used = LaneMask::prefix(scenarios.len());
+            prop_assert!(!(out_div & !used).any(), "unused lanes out-diverged");
+            prop_assert!(
+                !(batch.divergence_mask() & !used).any(),
                 "unused lanes state-diverged"
             );
         }

@@ -8,8 +8,8 @@
 //!   struck path exactly on the latch deadline.
 //! * **Timing batch** — [`BatchDeltaSim`] vs the scalar timing engines:
 //!   every non-retired lane of a lane-packed batch latches exactly what
-//!   the scalar engines latch for that lane's fault, on both the `u64`
-//!   narrow path and the 256-lane wide-word path; retired lanes (same-pin
+//!   the scalar engines latch for that lane's fault, on the `u64` narrow
+//!   path and the 256- and 512-lane wide-word paths; retired lanes (same-pin
 //!   strikes with conflicting extras) carry golden values, retire only
 //!   when a genuine conflict precedes them, and replay exactly on the
 //!   scalar engine — the caller's fallback contract.
@@ -96,7 +96,8 @@ proptest! {
     /// conflict on its edge, in which case the scalar fallback replay
     /// ([`DeltaEventSim`]) still reproduces the full engine. Each case runs
     /// the identical fault list through the narrow `u64` path and, tiled
-    /// past 64 lanes, through the 256-lane wide-word path.
+    /// past 64 and past 256 lanes, through the 256- and 512-lane wide-word
+    /// paths.
     #[test]
     fn batch_delta_sim_matches_scalar_engines_lane_for_lane(
         gates in prop::collection::vec(any::<GateSpec>(), 6..30),
@@ -138,12 +139,19 @@ proptest! {
 
         let mut batch = BatchDeltaSim::new(&c, &topo, &timing);
         // Narrow u64 path, then the same faults tiled past 64 lanes onto
-        // the wide-word path; the second batch reuses the cached golden
-        // waveform (same trace cycle).
+        // the 256-lane carrier, then past 256 lanes onto the 512-lane
+        // carrier; the later batches reuse the cached golden waveform
+        // (same trace cycle).
         let wide_len = 65 + faults.len();
         let wide_faults: Vec<FaultSpec> =
             faults.iter().cycle().take(wide_len).copied().collect();
-        for (pass, fault_list) in [&faults, &wide_faults].into_iter().enumerate() {
+        let wider_len = 257 + faults.len();
+        let wider_faults: Vec<FaultSpec> =
+            faults.iter().cycle().take(wider_len).copied().collect();
+        for (pass, fault_list) in [&faults, &wide_faults, &wider_faults]
+            .into_iter()
+            .enumerate()
+        {
             let outcome = batch.latch_batch(0, &prev_values, &state, &inputs, fault_list);
             prop_assert_eq!(
                 outcome.built_golden,

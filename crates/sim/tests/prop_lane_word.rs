@@ -1,0 +1,143 @@
+//! Property tests for the wide lane carriers: `W256` and `W512` must
+//! behave, lane by lane, exactly like the scalar `u64` reference — for the
+//! bitwise algebra, the mask helpers, and packed gate evaluation
+//! (`eval_lanes`). This is the lane-independence contract every batch
+//! engine builds on: bit `L` of any result depends only on bit `L` of the
+//! operands, regardless of carrier width.
+
+use delayavf_netlist::GateKind;
+use delayavf_sim::{eval_lanes, LaneWord, W256, W512};
+use proptest::prelude::*;
+
+/// Packs a per-lane bool vector (length `W::LANES`) into a carrier word.
+fn pack<W: LaneWord>(bits: &[bool]) -> W {
+    assert_eq!(bits.len(), W::LANES);
+    bits.iter().enumerate().fold(
+        W::ZERO,
+        |acc, (lane, &b)| {
+            if b {
+                acc | W::lane_mask(lane)
+            } else {
+                acc
+            }
+        },
+    )
+}
+
+/// Checks every `LaneWord` operation on one operand triple against the
+/// per-lane scalar reference.
+fn check_against_scalar<W: LaneWord>(
+    a: &[bool],
+    b: &[bool],
+    c: &[bool],
+    kind: GateKind,
+    limit: usize,
+) -> Result<(), TestCaseError> {
+    let (wa, wb, wc) = (pack::<W>(a), pack::<W>(b), pack::<W>(c));
+    // Packing round-trips through `get`.
+    for (lane, &bit) in a.iter().enumerate() {
+        prop_assert_eq!(wa.get(lane), bit, "get round-trip, lane {}", lane);
+    }
+    // The bitwise algebra is lane-wise.
+    for lane in 0..W::LANES {
+        prop_assert_eq!((wa & wb).get(lane), a[lane] & b[lane]);
+        prop_assert_eq!((wa | wb).get(lane), a[lane] | b[lane]);
+        prop_assert_eq!((wa ^ wb).get(lane), a[lane] ^ b[lane]);
+        prop_assert_eq!((!wa).get(lane), !a[lane]);
+    }
+    // Aggregates match the scalar fold.
+    prop_assert_eq!(wa.any(), a.iter().any(|&x| x));
+    prop_assert_eq!(
+        wa.count_ones() as usize,
+        a.iter().filter(|&&x| x).count(),
+        "count_ones"
+    );
+    // Constants and single-lane masks.
+    for lane in 0..W::LANES {
+        prop_assert!(!W::ZERO.get(lane));
+        prop_assert!(W::ONES.get(lane));
+        prop_assert_eq!(W::splat(true).get(lane), true);
+        prop_assert_eq!(W::splat(false).get(lane), false);
+    }
+    let probe = limit.min(W::LANES.saturating_sub(1));
+    for lane in 0..W::LANES {
+        prop_assert_eq!(W::lane_mask(probe).get(lane), lane == probe);
+    }
+    // `prefix(n)` selects exactly the first n lanes (clamping past LANES).
+    for n in [0, 1, limit.min(W::LANES), W::LANES, W::LANES + 7] {
+        let p = W::prefix(n);
+        for lane in 0..W::LANES {
+            prop_assert_eq!(p.get(lane), lane < n.min(W::LANES), "prefix({})", n);
+        }
+    }
+    // `for_each_set` visits exactly the set lanes below the limit, in
+    // ascending order.
+    let mut visited = Vec::new();
+    wa.for_each_set(limit, |lane| visited.push(lane));
+    let expect: Vec<usize> = (0..limit.min(W::LANES)).filter(|&i| a[i]).collect();
+    prop_assert_eq!(visited, expect, "for_each_set limit {}", limit);
+    // Packed gate evaluation is the scalar gate per lane.
+    let out = eval_lanes(kind, wa, wb, wc);
+    for lane in 0..W::LANES {
+        prop_assert_eq!(
+            out.get(lane),
+            kind.eval3(a[lane], b[lane], c[lane]),
+            "eval_lanes({:?}), lane {}",
+            kind,
+            lane
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn w256_matches_the_u64_reference_lane_by_lane(
+        a in prop::collection::vec(any::<bool>(), 256..257),
+        b in prop::collection::vec(any::<bool>(), 256..257),
+        c in prop::collection::vec(any::<bool>(), 256..257),
+        kind_idx in 0..GateKind::ALL.len(),
+        limit in 0usize..257,
+    ) {
+        let kind = GateKind::ALL[kind_idx];
+        check_against_scalar::<W256>(&a, &b, &c, kind, limit)?;
+        // The u64 reference itself satisfies the same contract on the
+        // first 64 lanes — pinning the reference the wide words mirror.
+        check_against_scalar::<u64>(&a[..64], &b[..64], &c[..64], kind, limit.min(64))?;
+    }
+
+    #[test]
+    fn w512_matches_the_u64_reference_lane_by_lane(
+        a in prop::collection::vec(any::<bool>(), 512..513),
+        b in prop::collection::vec(any::<bool>(), 512..513),
+        c in prop::collection::vec(any::<bool>(), 512..513),
+        kind_idx in 0..GateKind::ALL.len(),
+        limit in 0usize..513,
+    ) {
+        let kind = GateKind::ALL[kind_idx];
+        check_against_scalar::<W512>(&a, &b, &c, kind, limit)?;
+    }
+
+    /// Wide-word ops restricted to the low 64 lanes agree with the same
+    /// ops run natively on `u64` — the cross-width lockstep property.
+    #[test]
+    fn wide_low_lanes_agree_with_native_u64(
+        a in prop::collection::vec(any::<bool>(), 512..513),
+        b in prop::collection::vec(any::<bool>(), 512..513),
+        kind_idx in 0..GateKind::ALL.len(),
+    ) {
+        let kind = GateKind::ALL[kind_idx];
+        let (na, nb) = (pack::<u64>(&a[..64]), pack::<u64>(&b[..64]));
+        let (w4a, w4b) = (pack::<W256>(&a[..256]), pack::<W256>(&b[..256]));
+        let (w8a, w8b) = (pack::<W512>(&a), pack::<W512>(&b));
+        let narrow = eval_lanes(kind, na, nb, na ^ nb);
+        let wide4 = eval_lanes(kind, w4a, w4b, w4a ^ w4b);
+        let wide8 = eval_lanes(kind, w8a, w8b, w8a ^ w8b);
+        for lane in 0..64 {
+            prop_assert_eq!(narrow.get(lane), wide4.get(lane), "u64 vs W256, lane {}", lane);
+            prop_assert_eq!(narrow.get(lane), wide8.get(lane), "u64 vs W512, lane {}", lane);
+        }
+    }
+}

@@ -133,8 +133,8 @@ fn every_knob_combination_yields_identical_outcomes() {
 
 /// The timing_lanes axis in isolation, against the other batching contract:
 /// a scalar [`Injector::inject`] loop, the batched entry point at
-/// `timing_lanes = 1` (the escape hatch), the default 64-lane `u64` path
-/// and the 256-lane wide-word path all return identical outcomes in
+/// `timing_lanes = 1` (the escape hatch), the 64-lane `u64` path and the
+/// 256- and 512-lane wide-word paths all return identical outcomes in
 /// identical order.
 #[test]
 fn timing_lane_width_never_changes_batched_outcomes() {
@@ -153,7 +153,7 @@ fn timing_lane_width_never_changes_batched_outcomes() {
         }
     }
 
-    for timing_lanes in [1usize, 2, 64, 256] {
+    for timing_lanes in [1usize, 2, 64, 256, 512] {
         let mut inj = Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
         inj.set_timing_lanes(timing_lanes);
         let mut outcomes = Vec::new();
@@ -176,10 +176,66 @@ fn timing_lane_width_never_changes_batched_outcomes() {
                 stats.batched_timing_replays > 0,
                 "width {timing_lanes} batches: {stats:?}"
             );
-            assert!(
-                stats.timing_lane_utilization() > 0.0,
-                "occupied lanes are accounted against offered slots"
+            assert_eq!(
+                stats.timing_lane_utilization(),
+                1.0,
+                "slots count scheduled lanes, so every scheduled lane is occupied"
             );
+        }
+    }
+}
+
+/// The lanes axis in isolation: the bit-parallel replay engine at widths
+/// 1 (the scalar escape hatch), 2, the 64-lane `u64` path and the 256- and
+/// 512-lane wide-word paths all return identical outcomes in identical
+/// order, with lane accounting that always reads fully utilized.
+#[test]
+fn replay_lane_width_never_changes_batched_outcomes() {
+    let s = setup();
+    let extra = s.timing.clock_period() * 9 / 10;
+    let pairs: Vec<(EdgeId, Picos)> = s.edges.iter().map(|&e| (e, extra)).collect();
+
+    let mut reference = None;
+    for lanes in [1usize, 2, 64, 256, 512] {
+        let mut inj = Injector::new(&s.core.circuit, &s.topo, &s.timing, &s.golden, 500);
+        inj.set_lanes(lanes);
+        let mut outcomes = Vec::new();
+        for &cycle in &s.golden.sampled_cycles {
+            if cycle + 1 >= s.golden.trace.num_cycles() {
+                continue;
+            }
+            // Mirror the campaign driver: run step 1 for the whole cycle,
+            // batch the replays through `prefill_failures` (the entry point
+            // the lanes knob gates), then classify each injection.
+            let parts = inj.dynamically_reachable_batch(cycle, &pairs);
+            inj.prefill_failures(cycle + 1, parts.iter().map(|(_, set)| set.clone()));
+            outcomes.extend(
+                parts
+                    .into_iter()
+                    .map(|(reached, set)| inj.classify_injection(cycle, reached, set)),
+            );
+        }
+        let stats = &inj.stats;
+        if lanes == 1 {
+            assert_eq!(stats.batched_replays, 0, "no batches at width 1");
+            assert_eq!(stats.lanes_occupied, 0, "no lanes at width 1");
+        } else {
+            assert!(
+                stats.batched_replays > 0,
+                "width {lanes} batches: {stats:?}"
+            );
+            assert_eq!(
+                stats.lane_utilization(),
+                1.0,
+                "slots count scheduled lanes, so every scheduled lane is occupied"
+            );
+        }
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(r) => assert_eq!(
+                &outcomes, r,
+                "inject_batch at lanes={lanes} diverged from the scalar baseline"
+            ),
         }
     }
 }

@@ -251,7 +251,7 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
 
     let mut sweep_stats_by_lanes = HashMap::new();
     let mut savf_stats_by_lanes = HashMap::new();
-    for lanes in [1usize, 2, 64] {
+    for lanes in [1usize, 2, 64, 256] {
         for threads in [1usize, 2, 4] {
             let cfg = config.clone().with_threads(threads).with_lanes(lanes);
             let (rows, stats) = delay_avf_campaign_with_stats(
@@ -304,6 +304,23 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
             stats_by_lanes[&2].lanes_occupied, wide.lanes_occupied,
             "scenario count is lane-width invariant"
         );
+        assert_eq!(
+            stats_by_lanes[&256].lanes_occupied, wide.lanes_occupied,
+            "the 256-lane word path replays the same scenarios"
+        );
+        // Lane slots count scheduled lanes, not allocated carrier width:
+        // whenever batches ran at all, utilization is exactly 1.0 — a
+        // partially-filled final chunk contributes only the slots it
+        // actually carries.
+        for (&lanes, stats) in stats_by_lanes {
+            if lanes > 1 {
+                assert_eq!(
+                    stats.lane_utilization(),
+                    1.0,
+                    "lane accounting at lanes={lanes}: {stats:?}"
+                );
+            }
+        }
     }
 }
 
@@ -417,9 +434,10 @@ fn collapse_counters_are_thread_and_lane_invariant() {
 }
 
 /// The timing-aware batching layer's guarantee, on a threads × timing_lanes
-/// grid: every timing lane width (scalar, narrow u64, wide 256-lane) returns
-/// the same delay-sweep rows, and at a fixed width every counter — including
-/// the batched timing-replay counters — is thread-count invariant.
+/// grid: every timing lane width (scalar, narrow u64, the 256- and 512-lane
+/// wide words) returns the same delay-sweep rows, and at a fixed width every
+/// counter — including the batched timing-replay counters — is thread-count
+/// invariant.
 #[test]
 fn timing_batch_counters_are_thread_invariant_at_every_lane_width() {
     use std::collections::HashMap;
@@ -451,7 +469,7 @@ fn timing_batch_counters_are_thread_invariant_at_every_lane_width() {
     );
 
     let mut stats_by_width = HashMap::new();
-    for timing_lanes in [1usize, 2, 64, 256] {
+    for timing_lanes in [1usize, 2, 64, 256, 512] {
         for threads in [1usize, 2, 4] {
             let cfg = config
                 .clone()
@@ -507,11 +525,31 @@ fn timing_batch_counters_are_thread_invariant_at_every_lane_width() {
         stats_by_width[&256].timing_lanes_occupied, wide.timing_lanes_occupied,
         "the 256-lane word path replays the same scenarios"
     );
+    assert_eq!(
+        stats_by_width[&512].timing_lanes_occupied, wide.timing_lanes_occupied,
+        "the 512-lane word path replays the same scenarios"
+    );
     // Wider words pack the same scenarios into fewer batches.
     assert!(
         stats_by_width[&256].batched_timing_replays <= stats_by_width[&2].batched_timing_replays,
         "wider words never need more batches"
     );
+    assert!(
+        stats_by_width[&512].batched_timing_replays <= stats_by_width[&256].batched_timing_replays,
+        "512-lane words never need more batches than 256-lane words"
+    );
+    // Timing lane slots count scheduled lanes, not allocated carrier width:
+    // the 32-edge warm-ALU shape that used to read 0.5 at timing_lanes = 64
+    // now reads exactly 1.0, and so does every other width that batches.
+    for (&width, stats) in &stats_by_width {
+        if width > 1 {
+            assert_eq!(
+                stats.timing_lane_utilization(),
+                1.0,
+                "timing lane accounting at timing_lanes={width}: {stats:?}"
+            );
+        }
+    }
     // Every scenario that the scalar engine replays timing-aware is
     // accounted for: the total of event simulations is width-invariant.
     assert_eq!(
