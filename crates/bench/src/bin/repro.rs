@@ -5,7 +5,7 @@
 //!       [--tiny] [--due-slack N] [--threads N] [--no-incremental]
 //!       [--no-delta-timing] [--no-collapse] [--lanes N] [--timing-lanes N]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-//!       [--telemetry FILE]
+//!       [--telemetry FILE] [--ci-target X] [--strata N]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 multibit
 //!              guardband fastadder variance all (or --config <file>)
@@ -68,6 +68,12 @@ options:
   --resume        resume campaigns from existing checkpoints (missing
                   files start fresh; mismatched ones are a hard error)
   --telemetry FILE  append structured JSONL progress events to FILE
+  --ci-target X   adaptive stratified sampling: stop refining a stratum
+                  once its 95% CI half-width is at most X (in (0, 0.5));
+                  off by default, and leaving it off reproduces the
+                  exhaustive reports byte-for-byte
+  --strata N      stratification buckets per axis for --ci-target,
+                  1-16 (default 4)
   --config FILE   run an artifact-style configuration file instead
                   (sampling options are taken from the file; the
                   checkpoint/telemetry options above still apply)
@@ -142,6 +148,26 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--resume" => opts.resume = true,
+            "--ci-target" => {
+                let Some(raw) = it.next() else {
+                    return fail("--ci-target needs a value");
+                };
+                let target: f64 = match raw.parse() {
+                    Ok(v) => v,
+                    Err(e) => return fail(&format!("--ci-target: {e}")),
+                };
+                match delayavf_bench::validate_ci_target(target) {
+                    Ok(v) => opts.ci_target = Some(v),
+                    Err(e) => return fail(&e),
+                }
+            }
+            "--strata" => match num("--strata") {
+                Ok(v) => match delayavf_bench::validate_strata(v as usize) {
+                    Ok(v) => opts.strata = v,
+                    Err(e) => return fail(&e),
+                },
+                Err(e) => return fail(&e),
+            },
             "--telemetry" => {
                 let Some(path) = it.next() else {
                     return fail("--telemetry needs a path");
@@ -181,6 +207,10 @@ fn main() -> ExitCode {
         }
         if opts.telemetry.is_some() {
             spec.telemetry = opts.telemetry.clone();
+        }
+        if opts.ci_target.is_some() {
+            spec.ci_target = opts.ci_target;
+            spec.strata = opts.strata;
         }
         return match spec.run() {
             Ok(report) => {

@@ -31,6 +31,8 @@
 //! checkpoint_every = 1                 # work units between flushes
 //! resume = false                       # resume from an existing checkpoint
 //! telemetry = run.jsonl                # structured JSONL progress stream
+//! ci_target = 0.02                     # adaptive sampling: target CI half-width
+//! strata = 4                           # stratification buckets per axis
 //! ```
 
 use std::path::PathBuf;
@@ -100,6 +102,12 @@ pub struct ExperimentSpec {
     pub resume: bool,
     /// Structured JSONL telemetry file (`None` disables at zero cost).
     pub telemetry: Option<PathBuf>,
+    /// Adaptive stratified sampling: target 95% CI half-width (`None`
+    /// runs the exhaustive uniform campaign, byte-identical to before the
+    /// knob existed).
+    pub ci_target: Option<f64>,
+    /// Stratification buckets per axis under `ci_target`.
+    pub strata: usize,
 }
 
 impl Default for ExperimentSpec {
@@ -126,6 +134,8 @@ impl Default for ExperimentSpec {
             checkpoint_every: 1,
             resume: false,
             telemetry: None,
+            ci_target: None,
+            strata: delayavf::DEFAULT_STRATA,
         }
     }
 }
@@ -244,6 +254,14 @@ impl ExperimentSpec {
                 }
                 "resume" => spec.resume = parse_bool(value).map_err(bad)?,
                 "telemetry" => spec.telemetry = Some(PathBuf::from(value)),
+                "ci_target" => {
+                    let target: f64 = value.parse().map_err(|e| bad(format!("ci_target: {e}")))?;
+                    spec.ci_target = Some(delayavf::validate_ci_target(target).map_err(bad)?);
+                }
+                "strata" => {
+                    let strata: usize = value.parse().map_err(|e| bad(format!("strata: {e}")))?;
+                    spec.strata = delayavf::validate_strata(strata).map_err(bad)?;
+                }
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
@@ -302,6 +320,9 @@ impl ExperimentSpec {
             lanes: self.lanes,
             timing_lanes: self.timing_lanes,
             collapse: self.collapse,
+            ci_target: self.ci_target,
+            strata: self.strata,
+            sample_seed: self.seed,
         };
         let obs = Observability::create(
             self.telemetry.as_deref(),
@@ -310,7 +331,7 @@ impl ExperimentSpec {
             self.resume,
         )?;
         let label = format!("cfg-{}-{}", self.structure, self.benchmark);
-        let (rows, _stats) = run_delay_campaign(
+        let (rows, stats) = run_delay_campaign(
             &obs,
             &label,
             &core.circuit,
@@ -335,13 +356,21 @@ impl ExperimentSpec {
             if self.orace {
                 row.push(format!("{:.5}", r.or_delay_avf().unwrap_or(0.0)));
             }
+            if let Some(est) = r.adaptive {
+                row.push(format!("{:.5} [{:.5}, {:.5}]", est.point, est.lo, est.hi));
+                row.push(format!("{}/{}", est.sampled, est.population));
+            }
             table.push(row);
         }
         let mut headers = vec!["d", "static", "dynamic", "DelayAVF", "95% CI", "SDC/DUE"];
         if self.orace {
             headers.push("OrDelayAVF");
         }
-        Ok(format!(
+        if self.ci_target.is_some() {
+            headers.push("adaptive (95% CI)");
+            headers.push("sites");
+        }
+        let mut report = format!(
             "{} / {} (ecc={}, N sampled at {}%, {} edges, {} cycles sampled)\n{}",
             self.structure,
             self.benchmark,
@@ -350,7 +379,14 @@ impl ExperimentSpec {
             edges.len(),
             golden.sampled_cycles.len(),
             delayavf::render_table(&headers, &table)
-        ))
+        );
+        if let Some(target) = self.ci_target {
+            report.push_str(&format!(
+                "\nadaptive: ci_target={target}, {} strata active, {} retired early, {} replays saved\n",
+                stats.strata_active, stats.strata_retired_early, stats.adaptive_replays_saved
+            ));
+        }
+        Ok(report)
     }
 }
 

@@ -91,6 +91,9 @@ fn sweep(
         lanes: opts.lanes,
         timing_lanes: opts.timing_lanes,
         collapse: opts.collapse,
+        ci_target: opts.ci_target,
+        strata: opts.strata,
+        sample_seed: opts.seed,
     };
     Ok(run_delay_campaign(
         &obs,
@@ -626,6 +629,9 @@ pub fn variance(h: &mut Harness, opts: &Opts) -> Result<Experiment, String> {
                 lanes: seeded.lanes,
                 timing_lanes: seeded.timing_lanes,
                 collapse: seeded.collapse,
+                ci_target: seeded.ci_target,
+                strata: seeded.strata,
+                sample_seed: seeded.seed,
             },
         )?
         .0[0];

@@ -73,6 +73,13 @@ pub struct Opts {
     /// Append structured JSONL telemetry to this file (`--telemetry`).
     /// `None` disables the stream at zero cost.
     pub telemetry: Option<PathBuf>,
+    /// Adaptive stratified sampling: target 95% CI half-width
+    /// (`--ci-target`). `None` (the default) runs the exhaustive uniform
+    /// campaigns and reproduces their reports byte-for-byte.
+    pub ci_target: Option<f64>,
+    /// Stratification buckets per axis under `--ci-target`
+    /// (`--strata`, default 4).
+    pub strata: usize,
 }
 
 impl Default for Opts {
@@ -94,6 +101,8 @@ impl Default for Opts {
             checkpoint_every: 1,
             resume: false,
             telemetry: None,
+            ci_target: None,
+            strata: delayavf::DEFAULT_STRATA,
         }
     }
 }
@@ -108,6 +117,9 @@ impl Opts {
             .with_lanes(self.lanes)
             .with_timing_lanes(self.timing_lanes)
             .with_collapse(self.collapse)
+            .with_ci_target(self.ci_target)
+            .with_strata(self.strata)
+            .with_sample_seed(self.seed)
     }
 }
 

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod harness;
 
 pub use config::ExperimentSpec;
+pub use delayavf::{validate_ci_target, validate_strata};
 pub use experiments::{
     fastadder, fig10, fig6, fig7, fig8, fig9, guardband, multibit, table1, table2, table3,
     variance, Experiment,

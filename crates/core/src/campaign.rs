@@ -61,13 +61,14 @@ use crate::checkpoint::{CheckpointSpec, CheckpointStore, Fingerprint, Tokens};
 use crate::golden::GoldenRun;
 use crate::injector::{FailureClass, InjectionOutcome, Injector, InjectorStats};
 use crate::razor::InjectionRecord;
-use crate::result::{DelayAvfResult, OraceStats, SavfResult};
+use crate::result::{AdaptiveEstimate, DelayAvfResult, OraceStats, SavfResult};
+use crate::sampling::{bucket_axis, validate_ci_target, validate_strata, AdaptivePlan};
 use crate::telemetry::{NullTelemetry, PhaseTotals, TelemetryEvent, TelemetrySink, NULL_TELEMETRY};
 
 /// Replay-engine options shared by the particle-strike campaign entry
 /// points (the DelayAVF sweeps carry the same knobs in
 /// [`CampaignConfig`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReplayOptions {
     /// Extra cycles past the golden program length before a non-halting
     /// faulty run is declared a DUE.
@@ -104,6 +105,20 @@ pub struct ReplayOptions {
     /// bit-for-bit identical either way; `false` runs the exact per-site
     /// baseline (the `--no-collapse` escape hatch).
     pub collapse: bool,
+    /// Target Wilson half-width for adaptive stratified sampling. `None`
+    /// (the default) runs the legacy uniform path byte-identically;
+    /// `Some(t)` stratifies the injection sites, allocates replay budget
+    /// Neyman-style and retires each stratum once its interval half-width
+    /// is at most `t`. Must pass
+    /// [`crate::sampling::validate_ci_target`].
+    pub ci_target: Option<f64>,
+    /// Buckets per stratification axis for adaptive sampling (strata count
+    /// is the product of the two axes, so `strata²`). Ignored unless
+    /// `ci_target` is set. Must pass [`crate::sampling::validate_strata`].
+    pub strata: usize,
+    /// Seed of the adaptive plan's per-stratum visit-order shuffle.
+    /// Ignored unless `ci_target` is set.
+    pub sample_seed: u64,
 }
 
 impl Default for ReplayOptions {
@@ -116,6 +131,9 @@ impl Default for ReplayOptions {
             lanes: MAX_LANES,
             timing_lanes: MAX_TIMING_LANES,
             collapse: true,
+            ci_target: None,
+            strata: crate::sampling::DEFAULT_STRATA,
+            sample_seed: 7,
         }
     }
 }
@@ -168,6 +186,25 @@ impl ReplayOptions {
         self.collapse = enabled;
         self
     }
+
+    /// Builder-style override of the adaptive-sampling CI target
+    /// (`None` = uniform legacy path).
+    pub fn with_ci_target(mut self, ci_target: Option<f64>) -> Self {
+        self.ci_target = ci_target;
+        self
+    }
+
+    /// Builder-style override of the per-axis stratification bucket count.
+    pub fn with_strata(mut self, strata: usize) -> Self {
+        self.strata = strata;
+        self
+    }
+
+    /// Builder-style override of the adaptive visit-order seed.
+    pub fn with_sample_seed(mut self, sample_seed: u64) -> Self {
+        self.sample_seed = sample_seed;
+        self
+    }
 }
 
 /// Configuration of a DelayAVF campaign.
@@ -201,6 +238,12 @@ pub struct CampaignConfig {
     /// Use the pre-simulation collapsing layer; see
     /// [`ReplayOptions::collapse`].
     pub collapse: bool,
+    /// Adaptive-sampling CI target; see [`ReplayOptions::ci_target`].
+    pub ci_target: Option<f64>,
+    /// Buckets per stratification axis; see [`ReplayOptions::strata`].
+    pub strata: usize,
+    /// Adaptive visit-order seed; see [`ReplayOptions::sample_seed`].
+    pub sample_seed: u64,
 }
 
 impl Default for CampaignConfig {
@@ -215,6 +258,9 @@ impl Default for CampaignConfig {
             lanes: MAX_LANES,
             timing_lanes: MAX_TIMING_LANES,
             collapse: true,
+            ci_target: None,
+            strata: crate::sampling::DEFAULT_STRATA,
+            sample_seed: 7,
         }
     }
 }
@@ -264,6 +310,25 @@ impl CampaignConfig {
     /// Builder-style toggle of the pre-simulation collapsing layer.
     pub fn with_collapse(mut self, enabled: bool) -> Self {
         self.collapse = enabled;
+        self
+    }
+
+    /// Builder-style override of the adaptive-sampling CI target
+    /// (`None` = uniform legacy path).
+    pub fn with_ci_target(mut self, ci_target: Option<f64>) -> Self {
+        self.ci_target = ci_target;
+        self
+    }
+
+    /// Builder-style override of the per-axis stratification bucket count.
+    pub fn with_strata(mut self, strata: usize) -> Self {
+        self.strata = strata;
+        self
+    }
+
+    /// Builder-style override of the adaptive visit-order seed.
+    pub fn with_sample_seed(mut self, sample_seed: u64) -> Self {
+        self.sample_seed = sample_seed;
         self
     }
 }
@@ -438,12 +503,23 @@ fn campaign_fingerprint<E: Environment + Clone>(
 /// without breaking the stats-identity guarantee. `threads` is
 /// deliberately absent — every counter is thread-count invariant, which is
 /// exactly what lets an interrupted 8-thread campaign resume on 2 threads.
+///
+/// The adaptive sampling policy (`ci_target`, `strata`, `sample_seed`)
+/// hashes in only when adaptive sampling is **on**: the policy then
+/// decides *which sites were simulated*, so resuming across a policy
+/// drift must be rejected. With adaptive sampling off the trio is inert
+/// and deliberately excluded — changing an unused `strata` default must
+/// not invalidate a uniform run's checkpoint.
+#[allow(clippy::too_many_arguments)]
 fn knob_hash(
     lanes: usize,
     timing_lanes: usize,
     incremental: bool,
     delta_timing: bool,
     collapse: bool,
+    ci_target: Option<f64>,
+    strata: usize,
+    sample_seed: u64,
 ) -> u64 {
     let mut f = Fingerprint::new();
     f.write_usize(lanes);
@@ -451,6 +527,15 @@ fn knob_hash(
     f.write_bool(incremental);
     f.write_bool(delta_timing);
     f.write_bool(collapse);
+    match ci_target {
+        None => f.write_bool(false),
+        Some(target) => {
+            f.write_bool(true);
+            f.write_f64(target);
+            f.write_usize(strata);
+            f.write_u64(sample_seed);
+        }
+    }
     f.finish()
 }
 
@@ -689,7 +774,7 @@ fn decode_class(tok: char) -> Result<FailureClass, String> {
 fn encode_stats(out: &mut String, s: &InjectorStats) {
     let _ = write!(
         out,
-        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        " stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.static_filtered,
         s.toggle_filtered,
         s.event_sims,
@@ -712,7 +797,10 @@ fn encode_stats(out: &mut String, s: &InjectorStats) {
         s.collapsed_edges,
         s.class_representatives,
         s.formally_discharged_ace,
-        s.formally_discharged_unace
+        s.formally_discharged_unace,
+        s.strata_active,
+        s.strata_retired_early,
+        s.adaptive_replays_saved
     );
 }
 
@@ -742,6 +830,9 @@ fn decode_stats(t: &mut Tokens<'_>) -> Result<InjectorStats, String> {
         class_representatives: t.next_u64("class_representatives")?,
         formally_discharged_ace: t.next_u64("formally_discharged_ace")?,
         formally_discharged_unace: t.next_u64("formally_discharged_unace")?,
+        strata_active: t.next_u64("strata_active")?,
+        strata_retired_early: t.next_u64("strata_retired_early")?,
+        adaptive_replays_saved: t.next_u64("adaptive_replays_saved")?,
     })
 }
 
@@ -778,12 +869,7 @@ fn decode_failures(t: &mut Tokens<'_>) -> Result<Vec<(Vec<DffId>, FailureClass)>
     Ok(entries)
 }
 
-fn encode_delay_unit(
-    rows: &[DelayAvfResult],
-    stats: &InjectorStats,
-    failures: &[(Vec<DffId>, FailureClass)],
-) -> String {
-    let mut out = String::new();
+fn encode_rows(out: &mut String, rows: &[DelayAvfResult]) {
     let _ = write!(out, "rows {}", rows.len());
     for r in rows {
         let _ = write!(
@@ -801,19 +887,9 @@ fn encode_delay_unit(
             let _ = write!(out, " {} {} {}", o.or_hits, o.interference, o.compounding);
         }
     }
-    encode_stats(&mut out, stats);
-    encode_failures(&mut out, failures);
-    out
 }
 
-type DelayUnit = (
-    Vec<DelayAvfResult>,
-    InjectorStats,
-    Vec<(Vec<DffId>, FailureClass)>,
-);
-
-fn decode_delay_unit(payload: &str, config: &CampaignConfig) -> Result<DelayUnit, String> {
-    let mut t = Tokens::new(payload);
+fn decode_rows(t: &mut Tokens<'_>, config: &CampaignConfig) -> Result<Vec<DelayAvfResult>, String> {
     t.expect("rows")?;
     let n = t.next_usize("row count")?;
     if n != config.delay_fractions.len() {
@@ -837,12 +913,99 @@ fn decode_delay_unit(payload: &str, config: &CampaignConfig) -> Result<DelayUnit
             o.compounding = t.next_usize("compounding")?;
         }
     }
+    Ok(rows)
+}
+
+fn encode_delay_unit(
+    rows: &[DelayAvfResult],
+    stats: &InjectorStats,
+    failures: &[(Vec<DffId>, FailureClass)],
+) -> String {
+    let mut out = String::new();
+    encode_rows(&mut out, rows);
+    encode_stats(&mut out, stats);
+    encode_failures(&mut out, failures);
+    out
+}
+
+type DelayUnit = (
+    Vec<DelayAvfResult>,
+    InjectorStats,
+    Vec<(Vec<DffId>, FailureClass)>,
+);
+
+fn decode_delay_unit(payload: &str, config: &CampaignConfig) -> Result<DelayUnit, String> {
+    let mut t = Tokens::new(payload);
+    let rows = decode_rows(&mut t, config)?;
     let stats = decode_stats(&mut t)?;
     let failures = decode_failures(&mut t)?;
     if !t.finished() {
         return Err("checkpoint parse error: trailing payload tokens".into());
     }
     Ok((rows, stats, failures))
+}
+
+/// Adaptive sweep units additionally persist the per-site visibility
+/// flags (fraction-major over the unit's selected edges, `1` = visible)
+/// the plan's stratum tallies are rebuilt from on resume.
+fn encode_adaptive_sweep_unit(
+    rows: &[DelayAvfResult],
+    vis: &[bool],
+    stats: &InjectorStats,
+    failures: &[(Vec<DffId>, FailureClass)],
+) -> String {
+    let mut out = String::new();
+    encode_rows(&mut out, rows);
+    out.push_str(" vis .");
+    out.extend(vis.iter().map(|&v| if v { '1' } else { '0' }));
+    encode_stats(&mut out, stats);
+    encode_failures(&mut out, failures);
+    out
+}
+
+type AdaptiveSweepUnit = (
+    Vec<DelayAvfResult>,
+    Vec<bool>,
+    InjectorStats,
+    Vec<(Vec<DffId>, FailureClass)>,
+);
+
+fn decode_adaptive_sweep_unit(
+    payload: &str,
+    config: &CampaignConfig,
+    expected_sites: usize,
+) -> Result<AdaptiveSweepUnit, String> {
+    let mut t = Tokens::new(payload);
+    let rows = decode_rows(&mut t, config)?;
+    t.expect("vis")?;
+    let tok = t.next_str("visibility string")?;
+    let body = tok
+        .strip_prefix('.')
+        .ok_or_else(|| format!("checkpoint parse error: bad visibility string `{tok}`"))?;
+    let vis: Vec<bool> = body
+        .chars()
+        .map(|c| match c {
+            '1' => Ok(true),
+            '0' => Ok(false),
+            other => Err(format!(
+                "checkpoint parse error: bad visibility flag `{other}`"
+            )),
+        })
+        .collect::<Result<_, _>>()?;
+    if vis.len() != expected_sites * config.delay_fractions.len() {
+        return Err(format!(
+            "checkpoint parse error: {} visibility flags != {} sites × {} fractions",
+            vis.len(),
+            expected_sites,
+            config.delay_fractions.len()
+        ));
+    }
+    let stats = decode_stats(&mut t)?;
+    let failures = decode_failures(&mut t)?;
+    if !t.finished() {
+        return Err("checkpoint parse error: trailing payload tokens".into());
+    }
+    Ok((rows, vis, stats, failures))
 }
 
 fn encode_savf_unit(
@@ -947,7 +1110,7 @@ fn encode_per_bit_unit<E: Environment + Clone>(
     out
 }
 
-fn decode_per_bit_unit(payload: &str, cycles: &[u64]) -> Result<Vec<FailureClass>, String> {
+fn decode_per_bit_unit(payload: &str, expected: usize) -> Result<Vec<FailureClass>, String> {
     let mut t = Tokens::new(payload);
     t.expect("cls")?;
     let tok = t.next_str("class string")?;
@@ -955,14 +1118,31 @@ fn decode_per_bit_unit(payload: &str, cycles: &[u64]) -> Result<Vec<FailureClass
         .strip_prefix('.')
         .ok_or_else(|| format!("checkpoint parse error: bad class string `{tok}`"))?;
     let classes: Vec<FailureClass> = body.chars().map(decode_class).collect::<Result<_, _>>()?;
-    if classes.len() != cycles.len() || !t.finished() {
+    if classes.len() != expected || !t.finished() {
         return Err(format!(
-            "checkpoint parse error: {} classes != {} cycles",
+            "checkpoint parse error: {} classes != {expected} expected",
             classes.len(),
-            cycles.len()
         ));
     }
     Ok(classes)
+}
+
+/// Per-cycle payloads of the *adaptive* per-bit campaign: one class per
+/// flip-flop of the structure at a single cycle (the transpose of the
+/// legacy per-bit unit).
+fn encode_per_bit_cycle_unit<E: Environment + Clone>(
+    injector: &Injector<'_, E>,
+    dffs: &[DffId],
+    cycle: u64,
+) -> String {
+    let mut out = String::from("cls .");
+    for &dff in dffs {
+        let class = injector
+            .cached_failure(cycle, &[dff])
+            .expect("per-bit cycle unit was just classified");
+        out.push(encode_class(class));
+    }
+    out
 }
 
 fn merge_rows(into: &mut [DelayAvfResult], from: &[DelayAvfResult]) {
@@ -1022,6 +1202,24 @@ fn delay_sweep_unit<E: Environment + Clone>(
     time_phases: bool,
     phases: &mut PhaseTotals,
 ) -> Vec<DelayAvfResult> {
+    delay_sweep_unit_vis(injector, timing, edges, config, cycle, time_phases, phases).0
+}
+
+/// [`delay_sweep_unit`] additionally returning each injection's
+/// program-visibility flag in tally order (fraction-major, edge-minor) —
+/// the per-site signal the adaptive sampler's stratum tallies consume.
+/// The shared body keeps the two paths' accounting identical by
+/// construction.
+fn delay_sweep_unit_vis<E: Environment + Clone>(
+    injector: &mut Injector<'_, E>,
+    timing: &TimingModel,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+    cycle: u64,
+    time_phases: bool,
+    phases: &mut PhaseTotals,
+) -> (Vec<DelayAvfResult>, Vec<bool>) {
+    let mut vis = Vec::with_capacity(config.delay_fractions.len() * edges.len());
     let mut rows = empty_rows(config);
     // Golden-settle phase: reconstruct the cycle context once for every
     // fraction and edge injected here (touches no counters, so timing it
@@ -1030,7 +1228,7 @@ fn delay_sweep_unit<E: Environment + Clone>(
         injector.warm_cycle_data(cycle)
     });
     if edges.is_empty() {
-        return rows;
+        return (rows, vis);
     }
     // Phase 1 (timing-aware): one lane-packing pass over the whole cycle.
     // Every fraction's (edge, extra) pairs are handed to the batch carver
@@ -1072,6 +1270,7 @@ fn delay_sweep_unit<E: Environment + Clone>(
                     *statically_reachable,
                     std::mem::take(dynamic_set),
                 );
+                vis.push(outcome.visible);
                 tally(&mut rows[fi], &outcome);
                 if config.compute_orace && !outcome.dynamic_set.is_empty() {
                     let or = injector.or_ace(cycle + 1, &outcome.dynamic_set);
@@ -1089,7 +1288,7 @@ fn delay_sweep_unit<E: Environment + Clone>(
             }
         });
     }
-    rows
+    (rows, vis)
 }
 
 /// Runs a DelayAVF sweep: every sampled cycle × every given edge × every
@@ -1157,6 +1356,9 @@ pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
     config: &CampaignConfig,
     ctx: &RunContext<'_, S>,
 ) -> Result<(Vec<DelayAvfResult>, InjectorStats), String> {
+    if config.ci_target.is_some() {
+        return delay_avf_campaign_adaptive(circuit, topo, timing, golden, edges, config, ctx);
+    }
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(config.threads, cycles.len());
     let items: Vec<usize> = edges.iter().map(|e| e.index()).collect();
@@ -1177,6 +1379,9 @@ pub fn delay_avf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         config.incremental,
         config.delta_timing,
         config.collapse,
+        config.ci_target,
+        config.strata,
+        config.sample_seed,
     );
     let setup = open_store(&ctx.checkpoint, "delay_sweep", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "delay_sweep", cycles.len(), threads, || {
@@ -1291,6 +1496,9 @@ pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
     opts: ReplayOptions,
     ctx: &RunContext<'_, S>,
 ) -> Result<(SavfResult, InjectorStats), String> {
+    if opts.ci_target.is_some() {
+        return savf_campaign_adaptive(circuit, topo, timing, golden, dffs, opts, ctx);
+    }
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, cycles.len());
     let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
@@ -1311,6 +1519,9 @@ pub fn savf_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         opts.incremental,
         opts.delta_timing,
         opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
     );
     let setup = open_store(&ctx.checkpoint, "savf", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "savf", cycles.len(), threads, || {
@@ -1420,6 +1631,11 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
     opts: ReplayOptions,
     ctx: &RunContext<'_, S>,
 ) -> Result<(DelayAvfResult, Vec<InjectionRecord>), String> {
+    if opts.ci_target.is_some() {
+        return delay_avf_campaign_records_adaptive(
+            circuit, topo, timing, golden, edges, fraction, opts, ctx,
+        );
+    }
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, cycles.len());
     let extra = fraction_to_picos(timing, fraction);
@@ -1441,6 +1657,9 @@ pub fn delay_avf_campaign_records_observed<E: Environment + Clone, S: TelemetryS
         opts.incremental,
         opts.delta_timing,
         opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
     );
     let setup = open_store(&ctx.checkpoint, "delay_records", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "delay_records", cycles.len(), threads, || {
@@ -1569,6 +1788,9 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
     opts: ReplayOptions,
     ctx: &RunContext<'_, S>,
 ) -> Result<Vec<(DffId, SavfResult)>, String> {
+    if opts.ci_target.is_some() {
+        return savf_per_bit_campaign_adaptive(circuit, topo, timing, golden, dffs, opts, ctx);
+    }
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, dffs.len());
     let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
@@ -1589,6 +1811,9 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
         opts.incremental,
         opts.delta_timing,
         opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
     );
     let setup = open_store(&ctx.checkpoint, "savf_per_bit", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "savf_per_bit", dffs.len(), threads, || {
@@ -1612,7 +1837,7 @@ pub fn savf_per_bit_campaign_observed<E: Environment + Clone, S: TelemetrySink>(
             // batch prefill only replays what is genuinely unknown.
             for &dff in shard.iter() {
                 if let Some(payload) = resumed.get(&(dff.index() as u64)) {
-                    let classes = decode_per_bit_unit(payload, &cycles)?;
+                    let classes = decode_per_bit_unit(payload, cycles.len())?;
                     for (&cycle, class) in cycles.iter().zip(classes) {
                         injector.preload_failures(cycle, [(vec![dff], class)]);
                     }
@@ -1702,6 +1927,11 @@ pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: Teleme
     opts: ReplayOptions,
     ctx: &RunContext<'_, S>,
 ) -> Result<SavfResult, String> {
+    if opts.ci_target.is_some() {
+        return spatial_double_strike_campaign_adaptive(
+            circuit, topo, timing, golden, dffs, opts, ctx,
+        );
+    }
     let cycles = valid_cycles(golden);
     let threads = resolve_threads(opts.threads, cycles.len());
     let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
@@ -1722,6 +1952,9 @@ pub fn spatial_double_strike_campaign_observed<E: Environment + Clone, S: Teleme
         opts.incremental,
         opts.delta_timing,
         opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
     );
     let setup = open_store(&ctx.checkpoint, "spatial_double", fingerprint, knobs)?;
     observe_campaign(ctx, &setup, "spatial_double", cycles.len(), threads, || {
@@ -1787,6 +2020,838 @@ fn fraction_to_picos(timing: &TimingModel, fraction: f64) -> Picos {
     (timing.clock_period() as f64 * fraction).round() as Picos
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive stratified sampling (`ci_target` set). Injection sites are
+// stratified by cheap static signals — edge static slack and per-cycle
+// toggle activity — the replay budget is allocated Neyman-style from the
+// running per-stratum tallies, and a stratum retires as soon as every
+// estimand's composed Wilson interval is inside the target half-width.
+// The uniform paths above are untouched: `ci_target: None` (the default)
+// never reaches this section, so legacy reports stay byte-identical.
+// ---------------------------------------------------------------------------
+
+/// Validates the adaptive knob pair, normalizing `ci_target` out of its
+/// `Option` (callers only branch here when it is set).
+fn checked_adaptive(ci_target: Option<f64>, strata: usize) -> Result<(f64, usize), String> {
+    let target = validate_ci_target(ci_target.expect("adaptive path requires ci_target"))?;
+    let buckets = validate_strata(strata)?;
+    Ok((target, buckets))
+}
+
+/// Number of flip-flop bits that toggled entering `cycle`: the XOR
+/// popcount between the packed golden states at `cycle - 1` and `cycle`.
+/// High-activity cycles propagate more transitions and are where delay
+/// faults tend to land, so toggle count is one stratification axis.
+fn toggle_activity<E: Environment + Clone>(golden: &GoldenRun<E>, cycle: u64) -> u64 {
+    let prev = golden.trace.state_at(cycle - 1);
+    let cur = golden.trace.state_at(cycle);
+    prev.iter()
+        .zip(cur)
+        .map(|(&a, &b)| u64::from((a ^ b).count_ones()))
+        .sum()
+}
+
+/// Static slack of `edge`: clock period minus the longest complete path
+/// through it (setup included). Tight edges are the likeliest DelayACE
+/// candidates, so slack is the second stratification axis for the sweep.
+fn edge_static_slack(
+    timing: &TimingModel,
+    circuit: &Circuit,
+    topo: &Topology,
+    edge: EdgeId,
+) -> u64 {
+    let longest = timing
+        .edge_slack_entries(circuit, topo, edge)
+        .last()
+        .map_or(0, |&(path, _)| path);
+    timing.clock_period().saturating_sub(longest)
+}
+
+/// Stratum labels for cycle-only sites (the particle-strike campaigns):
+/// toggle-activity bucket crossed with a trace-phase bucket, so bursty
+/// program phases cannot hide inside one homogeneous-looking stratum.
+fn cycle_strata<E: Environment + Clone>(
+    golden: &GoldenRun<E>,
+    cycles: &[u64],
+    buckets: usize,
+) -> Vec<usize> {
+    let toggles: Vec<u64> = cycles
+        .iter()
+        .map(|&cycle| toggle_activity(golden, cycle))
+        .collect();
+    let tb = bucket_axis(&toggles, buckets);
+    (0..cycles.len())
+        .map(|i| tb[i] * buckets + (i * buckets) / cycles.len().max(1))
+        .collect()
+}
+
+/// Packs a sweep checkpoint key: adaptive rounds may revisit a cycle with
+/// a different edge subset, so the unit key embeds the round number.
+fn round_key(round: u64, cycle: u64) -> u64 {
+    debug_assert!(cycle < (1 << 44), "trace cycle overflows the round key");
+    (round << 44) | cycle
+}
+
+/// Adaptive counterpart of [`delay_avf_campaign_observed`]: sites are
+/// (cycle, edge) pairs stratified by edge static slack × cycle toggle
+/// activity, and each round's selected sites are grouped per cycle so the
+/// batched unit body (and its caches) still see one latch boundary at a
+/// time. Work units are (round, cycle) groups.
+fn delay_avf_campaign_adaptive<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    config: &CampaignConfig,
+    ctx: &RunContext<'_, S>,
+) -> Result<(Vec<DelayAvfResult>, InjectorStats), String> {
+    let (ci_target, buckets) = checked_adaptive(config.ci_target, config.strata)?;
+    let cycles = valid_cycles(golden);
+    let nf = config.delay_fractions.len();
+    let toggles: Vec<u64> = cycles
+        .iter()
+        .map(|&cycle| toggle_activity(golden, cycle))
+        .collect();
+    let slacks: Vec<u64> = edges
+        .iter()
+        .map(|&edge| edge_static_slack(timing, circuit, topo, edge))
+        .collect();
+    let tb = bucket_axis(&toggles, buckets);
+    let sb = bucket_axis(&slacks, buckets);
+    let site_stratum: Vec<usize> = (0..cycles.len() * edges.len())
+        .map(|site| sb[site % edges.len().max(1)] * buckets + tb[site / edges.len().max(1)])
+        .collect();
+    let mut plan = AdaptivePlan::new(
+        site_stratum,
+        buckets * buckets,
+        nf,
+        ci_target,
+        config.sample_seed,
+    );
+    let population = plan.population();
+    let items: Vec<usize> = edges.iter().map(|e| e.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "delay_sweep_adaptive",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &config.delay_fractions,
+        config.due_slack,
+        config.compute_orace,
+    );
+    let knobs = knob_hash(
+        config.lanes,
+        config.timing_lanes,
+        config.incremental,
+        config.delta_timing,
+        config.collapse,
+        config.ci_target,
+        config.strata,
+        config.sample_seed,
+    );
+    let setup = open_store(&ctx.checkpoint, "delay_sweep_adaptive", fingerprint, knobs)?;
+    let threads = resolve_threads(config.threads, cycles.len());
+    observe_campaign(
+        ctx,
+        &setup,
+        "delay_sweep_adaptive",
+        population,
+        threads,
+        || {
+            let store = setup.store.as_ref();
+            let resumed = &setup.resumed;
+            let mut rows = empty_rows(config);
+            let mut stats = InjectorStats::default();
+            let mut round: u64 = 0;
+            loop {
+                let sites = plan.next_round();
+                if sites.is_empty() {
+                    break;
+                }
+                // Group the round's sites per cycle: the unit body batches one
+                // latch boundary, and grouping keeps per-unit work independent
+                // of how sites landed across strata.
+                let mut by_cycle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for site in sites {
+                    by_cycle
+                        .entry(site / edges.len().max(1))
+                        .or_default()
+                        .push(site % edges.len().max(1));
+                }
+                let groups: Vec<(usize, Vec<usize>)> = by_cycle.into_iter().collect();
+                let round_threads = resolve_threads(config.threads, groups.len());
+                let shards = run_sharded(round_threads, &groups, |shard_id, shard| {
+                    let mut injector = shard_injector(
+                        circuit,
+                        topo,
+                        timing,
+                        golden,
+                        config.due_slack,
+                        config.incremental,
+                        config.delta_timing,
+                        config.lanes,
+                        config.timing_lanes,
+                        config.collapse,
+                    );
+                    let mut rows = empty_rows(config);
+                    let mut stats = InjectorStats::default();
+                    let mut visibility: Vec<Vec<bool>> = Vec::with_capacity(shard.len());
+                    let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+                    for (cyclepos, edge_positions) in shard {
+                        let cycle = cycles[*cyclepos];
+                        let key = round_key(round, cycle);
+                        if let Some(payload) = resumed.get(&key) {
+                            let (unit_rows, vis, unit_stats, failures) =
+                                decode_adaptive_sweep_unit(payload, config, edge_positions.len())?;
+                            injector.preload_failures(cycle + 1, failures);
+                            merge_rows(&mut rows, &unit_rows);
+                            stats.merge(&unit_stats);
+                            visibility.push(vis);
+                            obs.unit_done(key, None, Some(&unit_stats))?;
+                            continue;
+                        }
+                        let selected: Vec<EdgeId> =
+                            edge_positions.iter().map(|&ei| edges[ei]).collect();
+                        let before = injector.stats;
+                        let (unit_rows, vis) = delay_sweep_unit_vis(
+                            &mut injector,
+                            timing,
+                            &selected,
+                            config,
+                            cycle,
+                            S::ENABLED,
+                            &mut obs.phases,
+                        );
+                        let delta = injector.stats.delta_since(&before);
+                        let payload = store.is_some().then(|| {
+                            encode_adaptive_sweep_unit(
+                                &unit_rows,
+                                &vis,
+                                &delta,
+                                &injector.snapshot_failures(cycle + 1),
+                            )
+                        });
+                        merge_rows(&mut rows, &unit_rows);
+                        stats.merge(&delta);
+                        visibility.push(vis);
+                        obs.unit_done(key, payload, Some(&delta))?;
+                    }
+                    obs.finish();
+                    Ok::<_, String>((rows, stats, visibility))
+                });
+                // Shards chunk `groups` contiguously and push one visibility
+                // vector per group, so the concatenation re-aligns with
+                // `groups` — the plan tallies stay thread-count invariant.
+                let mut all_vis: Vec<Vec<bool>> = Vec::with_capacity(groups.len());
+                for shard in shards {
+                    let (shard_rows, shard_stats, shard_vis) = shard?;
+                    merge_rows(&mut rows, &shard_rows);
+                    stats.merge(&shard_stats);
+                    all_vis.extend(shard_vis);
+                }
+                let trials = vec![1u64; nf];
+                for ((cyclepos, edge_positions), vis) in groups.iter().zip(&all_vis) {
+                    let width = edge_positions.len();
+                    for (j, &ei) in edge_positions.iter().enumerate() {
+                        let site = cyclepos * edges.len() + ei;
+                        let hits: Vec<u64> =
+                            (0..nf).map(|fi| u64::from(vis[fi * width + j])).collect();
+                        plan.record(site, &hits, &trials);
+                    }
+                }
+                plan.finish_round();
+                round += 1;
+            }
+            stats.strata_active = plan.strata_active() as u64;
+            stats.strata_retired_early = plan.strata_retired_early() as u64;
+            stats.adaptive_replays_saved = ((population - plan.sampled_sites()) * nf) as u64;
+            for (fi, row) in rows.iter_mut().enumerate() {
+                let est = plan.estimate(fi);
+                row.adaptive = Some(AdaptiveEstimate {
+                    point: est.point,
+                    lo: est.lo,
+                    hi: est.hi,
+                    population,
+                    sampled: plan.sampled_sites(),
+                });
+            }
+            Ok((rows, stats))
+        },
+    )
+}
+
+/// Adaptive counterpart of [`savf_campaign_observed`]: sites are trace
+/// cycles stratified by toggle activity × trace phase; each sampled cycle
+/// runs the full per-bit strike unit, so the estimand is the same ACE
+/// fraction the uniform campaign reports.
+fn savf_campaign_adaptive<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<(SavfResult, InjectorStats), String> {
+    let (ci_target, buckets) = checked_adaptive(opts.ci_target, opts.strata)?;
+    let cycles = valid_cycles(golden);
+    let mut plan = AdaptivePlan::new(
+        cycle_strata(golden, &cycles, buckets),
+        buckets * buckets,
+        1,
+        ci_target,
+        opts.sample_seed,
+    );
+    let population = plan.population();
+    let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "savf_adaptive",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+        opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
+    );
+    let setup = open_store(&ctx.checkpoint, "savf_adaptive", fingerprint, knobs)?;
+    let threads = resolve_threads(opts.threads, cycles.len());
+    observe_campaign(ctx, &setup, "savf_adaptive", population, threads, || {
+        let store = setup.store.as_ref();
+        let resumed = &setup.resumed;
+        let mut result = SavfResult::default();
+        let mut stats = InjectorStats::default();
+        loop {
+            let sites = plan.next_round();
+            if sites.is_empty() {
+                break;
+            }
+            let round_threads = resolve_threads(opts.threads, sites.len());
+            let shards = run_sharded(round_threads, &sites, |shard_id, shard| {
+                let mut injector = shard_injector(
+                    circuit,
+                    topo,
+                    timing,
+                    golden,
+                    opts.due_slack,
+                    opts.incremental,
+                    opts.delta_timing,
+                    opts.lanes,
+                    opts.timing_lanes,
+                    opts.collapse,
+                );
+                let mut units: Vec<SavfResult> = Vec::with_capacity(shard.len());
+                let mut stats = InjectorStats::default();
+                let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+                for &site in shard {
+                    let cycle = cycles[site];
+                    if let Some(payload) = resumed.get(&cycle) {
+                        let (unit, unit_stats, failures) = decode_savf_unit(payload)?;
+                        injector.preload_failures(cycle, failures);
+                        units.push(unit);
+                        stats.merge(&unit_stats);
+                        obs.unit_done(cycle, None, Some(&unit_stats))?;
+                        continue;
+                    }
+                    let before = injector.stats;
+                    let mut unit = SavfResult::default();
+                    timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                        injector.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
+                        for &dff in dffs {
+                            unit.injections += 1;
+                            if injector.bit_ace(cycle, dff) {
+                                unit.ace_hits += 1;
+                            }
+                        }
+                    });
+                    let delta = injector.stats.delta_since(&before);
+                    let payload = store.is_some().then(|| {
+                        encode_savf_unit(&unit, &delta, &injector.snapshot_failures(cycle))
+                    });
+                    units.push(unit);
+                    stats.merge(&delta);
+                    obs.unit_done(cycle, payload, Some(&delta))?;
+                }
+                obs.finish();
+                Ok::<_, String>((units, stats))
+            });
+            let mut units: Vec<SavfResult> = Vec::with_capacity(sites.len());
+            for shard in shards {
+                let (shard_units, shard_stats) = shard?;
+                units.extend(shard_units);
+                stats.merge(&shard_stats);
+            }
+            for (&site, unit) in sites.iter().zip(&units) {
+                result.merge(unit);
+                plan.record(site, &[unit.ace_hits as u64], &[unit.injections as u64]);
+            }
+            plan.finish_round();
+        }
+        stats.strata_active = plan.strata_active() as u64;
+        stats.strata_retired_early = plan.strata_retired_early() as u64;
+        stats.adaptive_replays_saved = ((population - plan.sampled_sites()) * dffs.len()) as u64;
+        Ok((result, stats))
+    })
+}
+
+/// Adaptive counterpart of [`delay_avf_campaign_records_observed`]. The
+/// returned row carries the stratified estimate; records cover the sampled
+/// cycles only, in (round, cycle, edge) order.
+#[allow(clippy::too_many_arguments)]
+fn delay_avf_campaign_records_adaptive<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    edges: &[EdgeId],
+    fraction: f64,
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<(DelayAvfResult, Vec<InjectionRecord>), String> {
+    let (ci_target, buckets) = checked_adaptive(opts.ci_target, opts.strata)?;
+    let cycles = valid_cycles(golden);
+    let extra = fraction_to_picos(timing, fraction);
+    let mut plan = AdaptivePlan::new(
+        cycle_strata(golden, &cycles, buckets),
+        buckets * buckets,
+        1,
+        ci_target,
+        opts.sample_seed,
+    );
+    let population = plan.population();
+    let items: Vec<usize> = edges.iter().map(|e| e.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "delay_records_adaptive",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[fraction],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+        opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
+    );
+    let setup = open_store(
+        &ctx.checkpoint,
+        "delay_records_adaptive",
+        fingerprint,
+        knobs,
+    )?;
+    let threads = resolve_threads(opts.threads, cycles.len());
+    observe_campaign(
+        ctx,
+        &setup,
+        "delay_records_adaptive",
+        population,
+        threads,
+        || {
+            let store = setup.store.as_ref();
+            let resumed = &setup.resumed;
+            let mut row = DelayAvfResult {
+                delay_fraction: fraction,
+                ..DelayAvfResult::default()
+            };
+            let mut records: Vec<InjectionRecord> = Vec::new();
+            loop {
+                let sites = plan.next_round();
+                if sites.is_empty() {
+                    break;
+                }
+                let round_threads = resolve_threads(opts.threads, sites.len());
+                let shards = run_sharded(round_threads, &sites, |shard_id, shard| {
+                    let mut injector = shard_injector(
+                        circuit,
+                        topo,
+                        timing,
+                        golden,
+                        opts.due_slack,
+                        opts.incremental,
+                        opts.delta_timing,
+                        opts.lanes,
+                        opts.timing_lanes,
+                        opts.collapse,
+                    );
+                    let mut row = DelayAvfResult {
+                        delay_fraction: fraction,
+                        ..DelayAvfResult::default()
+                    };
+                    let mut records = Vec::with_capacity(shard.len() * edges.len());
+                    let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+                    for &site in shard {
+                        let cycle = cycles[site];
+                        if let Some(payload) = resumed.get(&cycle) {
+                            let (unit_records, failures) = decode_records_unit(payload, cycle)?;
+                            injector.preload_failures(cycle + 1, failures);
+                            for record in &unit_records {
+                                tally(&mut row, &record.outcome);
+                            }
+                            records.extend(unit_records);
+                            obs.unit_done(cycle, None, None)?;
+                            continue;
+                        }
+                        let unit_start = records.len();
+                        timed(S::ENABLED, &mut obs.phases.golden_settle_us, || {
+                            injector.warm_cycle_data(cycle)
+                        });
+                        let pairs: Vec<(EdgeId, Picos)> =
+                            edges.iter().map(|&edge| (edge, extra)).collect();
+                        let parts: Vec<(usize, Vec<DffId>)> =
+                            timed(S::ENABLED, &mut obs.phases.timing_step_us, || {
+                                injector.dynamically_reachable_batch(cycle, &pairs)
+                            });
+                        timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                            injector.prefill_failures(
+                                cycle + 1,
+                                parts.iter().map(|(_, set)| set.clone()),
+                            );
+                            for (&edge, (statically_reachable, dynamic_set)) in
+                                edges.iter().zip(parts)
+                            {
+                                let outcome = injector.classify_injection(
+                                    cycle,
+                                    statically_reachable,
+                                    dynamic_set,
+                                );
+                                tally(&mut row, &outcome);
+                                records.push(InjectionRecord {
+                                    cycle,
+                                    edge,
+                                    outcome,
+                                });
+                            }
+                        });
+                        let payload = store.is_some().then(|| {
+                            encode_records_unit(
+                                &records[unit_start..],
+                                &injector.snapshot_failures(cycle + 1),
+                            )
+                        });
+                        obs.unit_done(cycle, payload, None)?;
+                    }
+                    obs.finish();
+                    Ok::<_, String>((row, records))
+                });
+                let mut round_records: Vec<InjectionRecord> = Vec::new();
+                for shard in shards {
+                    let (shard_row, shard_records) = shard?;
+                    row.merge(&shard_row);
+                    round_records.extend(shard_records);
+                }
+                // Records arrive per cycle in `sites` order (shards chunk the
+                // round contiguously), `edges.len()` apiece — re-derive each
+                // site's visible count for the plan tallies.
+                for (i, &site) in sites.iter().enumerate() {
+                    let unit = &round_records[i * edges.len()..(i + 1) * edges.len()];
+                    let hits = unit.iter().filter(|r| r.outcome.visible).count() as u64;
+                    plan.record(site, &[hits], &[edges.len() as u64]);
+                }
+                records.extend(round_records);
+                plan.finish_round();
+            }
+            row.adaptive = {
+                let est = plan.estimate(0);
+                Some(AdaptiveEstimate {
+                    point: est.point,
+                    lo: est.lo,
+                    hi: est.hi,
+                    population,
+                    sampled: plan.sampled_sites(),
+                })
+            };
+            Ok((row, records))
+        },
+    )
+}
+
+/// Adaptive counterpart of [`savf_per_bit_campaign_observed`]. Work units
+/// are *cycles* here (the uniform campaign shards over bits): every bit is
+/// an estimand, and a cycle retires only when all bits' intervals are
+/// tight, so hotspot bits keep drawing budget.
+fn savf_per_bit_campaign_adaptive<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<Vec<(DffId, SavfResult)>, String> {
+    let (ci_target, buckets) = checked_adaptive(opts.ci_target, opts.strata)?;
+    let cycles = valid_cycles(golden);
+    let mut plan = AdaptivePlan::new(
+        cycle_strata(golden, &cycles, buckets),
+        buckets * buckets,
+        dffs.len().max(1),
+        ci_target,
+        opts.sample_seed,
+    );
+    let population = plan.population();
+    let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "savf_per_bit_adaptive",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+        opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
+    );
+    let setup = open_store(&ctx.checkpoint, "savf_per_bit_adaptive", fingerprint, knobs)?;
+    let threads = resolve_threads(opts.threads, cycles.len());
+    observe_campaign(
+        ctx,
+        &setup,
+        "savf_per_bit_adaptive",
+        population,
+        threads,
+        || {
+            let store = setup.store.as_ref();
+            let resumed = &setup.resumed;
+            let mut out: Vec<(DffId, SavfResult)> =
+                dffs.iter().map(|&d| (d, SavfResult::default())).collect();
+            loop {
+                let sites = plan.next_round();
+                if sites.is_empty() {
+                    break;
+                }
+                let round_threads = resolve_threads(opts.threads, sites.len());
+                let shards = run_sharded(round_threads, &sites, |shard_id, shard| {
+                    let mut injector = shard_injector(
+                        circuit,
+                        topo,
+                        timing,
+                        golden,
+                        opts.due_slack,
+                        opts.incremental,
+                        opts.delta_timing,
+                        opts.lanes,
+                        opts.timing_lanes,
+                        opts.collapse,
+                    );
+                    let mut flags: Vec<Vec<bool>> = Vec::with_capacity(shard.len());
+                    let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+                    for &site in shard {
+                        let cycle = cycles[site];
+                        if let Some(payload) = resumed.get(&cycle) {
+                            let classes = decode_per_bit_unit(payload, dffs.len())?;
+                            let unit: Vec<bool> = classes.iter().map(|c| c.is_visible()).collect();
+                            for (&dff, &class) in dffs.iter().zip(&classes) {
+                                injector.preload_failures(cycle, [(vec![dff], class)]);
+                            }
+                            flags.push(unit);
+                            obs.unit_done(cycle, None, None)?;
+                            continue;
+                        }
+                        let mut unit = Vec::with_capacity(dffs.len());
+                        timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                            injector.prefill_failures(cycle, dffs.iter().map(|&d| vec![d]));
+                            for &dff in dffs {
+                                unit.push(injector.bit_ace(cycle, dff));
+                            }
+                        });
+                        let payload = store
+                            .is_some()
+                            .then(|| encode_per_bit_cycle_unit(&injector, dffs, cycle));
+                        flags.push(unit);
+                        obs.unit_done(cycle, payload, None)?;
+                    }
+                    obs.finish();
+                    Ok::<_, String>(flags)
+                });
+                let mut flags: Vec<Vec<bool>> = Vec::with_capacity(sites.len());
+                for shard in shards {
+                    flags.extend(shard?);
+                }
+                let trials = vec![1u64; dffs.len().max(1)];
+                for (&site, unit) in sites.iter().zip(&flags) {
+                    let hits: Vec<u64> = unit.iter().map(|&v| u64::from(v)).collect();
+                    for ((_, r), &ace) in out.iter_mut().zip(unit) {
+                        r.injections += 1;
+                        if ace {
+                            r.ace_hits += 1;
+                        }
+                    }
+                    if dffs.is_empty() {
+                        plan.record(site, &[0], &[0]);
+                    } else {
+                        plan.record(site, &hits, &trials);
+                    }
+                }
+                plan.finish_round();
+            }
+            Ok(out)
+        },
+    )
+}
+
+/// Adaptive counterpart of [`spatial_double_strike_campaign_observed`]:
+/// cycle sites, one estimand (the pairwise ACE fraction).
+fn spatial_double_strike_campaign_adaptive<E: Environment + Clone, S: TelemetrySink>(
+    circuit: &Circuit,
+    topo: &Topology,
+    timing: &TimingModel,
+    golden: &GoldenRun<E>,
+    dffs: &[DffId],
+    opts: ReplayOptions,
+    ctx: &RunContext<'_, S>,
+) -> Result<SavfResult, String> {
+    let (ci_target, buckets) = checked_adaptive(opts.ci_target, opts.strata)?;
+    let cycles = valid_cycles(golden);
+    let mut plan = AdaptivePlan::new(
+        cycle_strata(golden, &cycles, buckets),
+        buckets * buckets,
+        1,
+        ci_target,
+        opts.sample_seed,
+    );
+    let population = plan.population();
+    let items: Vec<usize> = dffs.iter().map(|d| d.index()).collect();
+    let fingerprint = campaign_fingerprint(
+        "spatial_double_adaptive",
+        circuit,
+        timing,
+        golden,
+        &cycles,
+        &items,
+        &[],
+        opts.due_slack,
+        false,
+    );
+    let knobs = knob_hash(
+        opts.lanes,
+        opts.timing_lanes,
+        opts.incremental,
+        opts.delta_timing,
+        opts.collapse,
+        opts.ci_target,
+        opts.strata,
+        opts.sample_seed,
+    );
+    let setup = open_store(
+        &ctx.checkpoint,
+        "spatial_double_adaptive",
+        fingerprint,
+        knobs,
+    )?;
+    let threads = resolve_threads(opts.threads, cycles.len());
+    observe_campaign(
+        ctx,
+        &setup,
+        "spatial_double_adaptive",
+        population,
+        threads,
+        || {
+            let store = setup.store.as_ref();
+            let resumed = &setup.resumed;
+            let mut result = SavfResult::default();
+            loop {
+                let sites = plan.next_round();
+                if sites.is_empty() {
+                    break;
+                }
+                let round_threads = resolve_threads(opts.threads, sites.len());
+                let shards = run_sharded(round_threads, &sites, |shard_id, shard| {
+                    let mut injector = shard_injector(
+                        circuit,
+                        topo,
+                        timing,
+                        golden,
+                        opts.due_slack,
+                        opts.incremental,
+                        opts.delta_timing,
+                        opts.lanes,
+                        opts.timing_lanes,
+                        opts.collapse,
+                    );
+                    let mut units: Vec<SavfResult> = Vec::with_capacity(shard.len());
+                    let mut obs = ShardObserver::new(ctx.telemetry, store, shard_id, shard.len());
+                    for &site in shard {
+                        let cycle = cycles[site];
+                        let was_resumed = if let Some(payload) = resumed.get(&cycle) {
+                            let mut t = Tokens::new(payload);
+                            let failures = decode_failures(&mut t)?;
+                            if !t.finished() {
+                                return Err(
+                                    "checkpoint parse error: trailing payload tokens".into()
+                                );
+                            }
+                            injector.preload_failures(cycle, failures);
+                            true
+                        } else {
+                            false
+                        };
+                        let mut unit = SavfResult::default();
+                        timed(S::ENABLED, &mut obs.phases.replay_us, || {
+                            injector.prefill_failures(cycle, dffs.windows(2).map(|p| p.to_vec()));
+                            for pair in dffs.windows(2) {
+                                unit.injections += 1;
+                                if injector.group_ace(cycle, pair) {
+                                    unit.ace_hits += 1;
+                                }
+                            }
+                        });
+                        let payload = (store.is_some() && !was_resumed).then(|| {
+                            let mut out = String::new();
+                            encode_failures(&mut out, &injector.snapshot_failures(cycle));
+                            out.trim_start().to_owned()
+                        });
+                        units.push(unit);
+                        obs.unit_done(cycle, payload, None)?;
+                    }
+                    obs.finish();
+                    Ok::<_, String>(units)
+                });
+                let mut units: Vec<SavfResult> = Vec::with_capacity(sites.len());
+                for shard in shards {
+                    units.extend(shard?);
+                }
+                for (&site, unit) in sites.iter().zip(&units) {
+                    result.merge(unit);
+                    plan.record(site, &[unit.ace_hits as u64], &[unit.injections as u64]);
+                }
+                plan.finish_round();
+            }
+            Ok(result)
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1826,6 +2891,9 @@ mod tests {
             lanes: 64,
             timing_lanes: 64,
             collapse: true,
+            ci_target: None,
+            strata: 4,
+            sample_seed: 7,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         assert_eq!(rows.len(), 3);
@@ -1859,6 +2927,9 @@ mod tests {
             lanes: 64,
             timing_lanes: 64,
             collapse: true,
+            ci_target: None,
+            strata: 4,
+            sample_seed: 7,
         };
         let rows = delay_avf_campaign(&c, &topo, &timing, &golden, &edges, &config);
         let r = &rows[0];
@@ -1948,6 +3019,9 @@ mod tests {
             lanes: 64,
             timing_lanes: 64,
             collapse: true,
+            ci_target: None,
+            strata: 4,
+            sample_seed: 7,
         };
         let (serial_rows, serial_stats) =
             delay_avf_campaign_with_stats(&c, &topo, &timing, &golden, &edges, &config);

@@ -288,6 +288,21 @@ pub struct InjectorStats {
     /// [`InjectorStats::formally_discharged_ace`]. Zero when collapsing is
     /// disabled.
     pub formally_discharged_unace: u64,
+    /// Strata with at least one injection site in the adaptive sampling
+    /// plan. Stratification is a pure function of the golden trace and the
+    /// static timing table, so the count is thread-count and lane-width
+    /// invariant. Zero when adaptive sampling is off.
+    pub strata_active: u64,
+    /// Strata the adaptive plan retired before exhausting their sites
+    /// because every estimand's Wilson interval was already within the
+    /// target half-width. Retirement decisions are pure functions of the
+    /// merged round tallies, so the count is thread-count and lane-width
+    /// invariant. Zero when adaptive sampling is off.
+    pub strata_retired_early: u64,
+    /// Injections the adaptive plan never ran: the unsampled site count
+    /// times the per-site injection multiplier. Zero when adaptive
+    /// sampling is off (the uniform path visits every site).
+    pub adaptive_replays_saved: u64,
 }
 
 impl InjectorStats {
@@ -321,6 +336,9 @@ impl InjectorStats {
         self.class_representatives += other.class_representatives;
         self.formally_discharged_ace += other.formally_discharged_ace;
         self.formally_discharged_unace += other.formally_discharged_unace;
+        self.strata_active += other.strata_active;
+        self.strata_retired_early += other.strata_retired_early;
+        self.adaptive_replays_saved += other.adaptive_replays_saved;
     }
 
     /// The field-wise difference `self - baseline`. Counters only ever
@@ -354,6 +372,9 @@ impl InjectorStats {
                 - baseline.formally_discharged_ace,
             formally_discharged_unace: self.formally_discharged_unace
                 - baseline.formally_discharged_unace,
+            strata_active: self.strata_active - baseline.strata_active,
+            strata_retired_early: self.strata_retired_early - baseline.strata_retired_early,
+            adaptive_replays_saved: self.adaptive_replays_saved - baseline.adaptive_replays_saved,
         }
     }
 

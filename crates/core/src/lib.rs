@@ -77,8 +77,12 @@ pub use report::{
     format_fraction_row, geometric_mean, geometric_mean_floored, render_table, wilson_interval,
     NormalizedSeries,
 };
-pub use result::{DelayAvfResult, OraceStats, SavfResult};
-pub use sampling::{percent_to_count, sample_edges, spaced_cycles, stratified_cycles};
+pub use result::{AdaptiveEstimate, DelayAvfResult, OraceStats, SavfResult};
+pub use sampling::{
+    bucket_axis, compose_intervals, neyman_allocation, percent_to_count, sample_edges,
+    spaced_cycles, stratified_cycles, validate_ci_target, validate_strata, AdaptivePlan,
+    StratifiedEstimate, DEFAULT_STRATA, MAX_STRATA,
+};
 pub use telemetry::{
     parse_flat_object, validate_line, JsonValue, JsonlTelemetry, NullTelemetry, PhaseTotals,
     TelemetryEvent, TelemetrySink, NULL_TELEMETRY, TELEMETRY_SCHEMA_VERSION,

@@ -26,6 +26,31 @@ impl OraceStats {
     }
 }
 
+/// The stratified estimate an adaptive-sampling sweep attaches to its
+/// result row: the Neyman-weighted DelayAVF point with its composed
+/// per-stratum Wilson interval, plus the sampling spend that produced it.
+/// `None` on the uniform (exhaustive-over-the-sample) path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveEstimate {
+    /// Stratum-weighted point estimate (Σ W_h · p̂_h).
+    pub point: f64,
+    /// Lower end of the composed 95% interval.
+    pub lo: f64,
+    /// Upper end of the composed 95% interval.
+    pub hi: f64,
+    /// Total injection sites in the stratified population.
+    pub population: usize,
+    /// Sites actually simulated before every stratum retired.
+    pub sampled: usize,
+}
+
+impl AdaptiveEstimate {
+    /// Achieved half-width of the composed interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
 /// One row of a DelayAVF sweep: all counters for a (structure, benchmark,
 /// delay duration) cell.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -52,6 +77,10 @@ pub struct DelayAvfResult {
     pub multi_bit_hits: usize,
     /// ORACE statistics, when the campaign computed them.
     pub orace: Option<OraceStats>,
+    /// The stratified estimate, when the adaptive sampler produced this
+    /// row. Attached once, after the shard merge — shard-local rows carry
+    /// `None`.
+    pub adaptive: Option<AdaptiveEstimate>,
 }
 
 impl DelayAvfResult {
@@ -72,6 +101,10 @@ impl DelayAvfResult {
             (None, None) => {}
             _ => panic!("cannot merge DelayAvfResult rows with mismatched ORACE presence"),
         }
+        debug_assert!(
+            self.adaptive.is_none() && other.adaptive.is_none(),
+            "adaptive estimates are attached after the shard merge"
+        );
     }
 
     /// DelayAVF (Equation 3): DelayACE hits over injections.
@@ -220,6 +253,7 @@ mod tests {
                 interference: 8,
                 compounding: 3,
             }),
+            adaptive: None,
         };
         assert!((r.delay_avf() - 0.2).abs() < 1e-12);
         assert!((r.or_delay_avf().unwrap() - 0.25).abs() < 1e-12);
@@ -263,6 +297,7 @@ mod tests {
                 interference: 1,
                 compounding: 0,
             }),
+            adaptive: None,
         };
         let b = DelayAvfResult {
             delay_fraction: 0.5,
@@ -278,6 +313,7 @@ mod tests {
                 interference: 0,
                 compounding: 1,
             }),
+            adaptive: None,
         };
         a.merge(&b);
         assert_eq!(a.injections, 17);

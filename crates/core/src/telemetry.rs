@@ -36,7 +36,7 @@ use crate::injector::InjectorStats;
 
 /// Version stamped into every emitted line as `"v"`; bumped whenever an
 /// event gains, loses or renames a field.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 3;
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 4;
 
 /// Per-shard wall-clock totals of the three phases of a DelayAVF work
 /// unit, in microseconds. Only accumulated when the sink is enabled.
@@ -265,8 +265,8 @@ impl<W: Write + Send> TelemetrySink for JsonlTelemetry<W> {
     }
 }
 
-/// The twenty-three engine counters in their canonical (schema) order.
-fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 23] {
+/// The twenty-six engine counters in their canonical (schema) order.
+fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 26] {
     [
         ("static_filtered", stats.static_filtered),
         ("toggle_filtered", stats.toggle_filtered),
@@ -291,6 +291,9 @@ fn stats_fields(stats: &InjectorStats) -> [(&'static str, u64); 23] {
         ("class_representatives", stats.class_representatives),
         ("formally_discharged_ace", stats.formally_discharged_ace),
         ("formally_discharged_unace", stats.formally_discharged_unace),
+        ("strata_active", stats.strata_active),
+        ("strata_retired_early", stats.strata_retired_early),
+        ("adaptive_replays_saved", stats.adaptive_replays_saved),
     ]
 }
 
@@ -504,6 +507,9 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             "class_representatives",
             "formally_discharged_ace",
             "formally_discharged_unace",
+            "strata_active",
+            "strata_retired_early",
+            "adaptive_replays_saved",
         ],
         "checkpoint_flush" => &["completed_units"],
         "campaign_end" => {
@@ -611,11 +617,11 @@ mod tests {
         assert!(validate_line(r#"{"v":99,"t_ms":0,"event":"campaign_end"}"#)
             .unwrap_err()
             .contains("schema version"));
-        assert!(validate_line(r#"{"v":3,"t_ms":0,"event":"wat"}"#)
+        assert!(validate_line(r#"{"v":4,"t_ms":0,"event":"wat"}"#)
             .unwrap_err()
             .contains("unknown event"));
         assert!(
-            validate_line(r#"{"v":3,"t_ms":0,"event":"checkpoint_flush"}"#)
+            validate_line(r#"{"v":4,"t_ms":0,"event":"checkpoint_flush"}"#)
                 .unwrap_err()
                 .contains("completed_units")
         );

@@ -129,6 +129,9 @@ fn resumed_reports_are_byte_identical_across_the_threads_by_lanes_grid() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
 
     for (threads, lanes) in [(1usize, 64usize), (2, 1), (4, 64)] {
@@ -312,6 +315,229 @@ fn resumed_reports_are_byte_identical_across_the_threads_by_lanes_grid() {
     fs::remove_dir_all(dir).unwrap();
 }
 
+/// The adaptive campaigns (`ci_target` set) run the same checkpoint
+/// protocol under their own kinds (`delay_sweep_adaptive`, …): a run
+/// killed at a checkpoint boundary and resumed is byte-identical to the
+/// uninterrupted one — the plan's round sequence is a pure function of
+/// the knobs, so stored tallies steer the later rounds exactly as the
+/// live ones did. Any drift in the sampling-policy knobs (`ci_target`,
+/// `strata`, `sample_seed`), or crossing between the uniform and
+/// adaptive kinds, is a pinned `checkpoint mismatch`.
+#[test]
+fn adaptive_checkpoints_resume_byte_identical_and_reject_knob_drift() {
+    let s = setup();
+    let dir = tmpdir();
+    let edges = sample_edges(
+        &s.topo.structure_edges(&s.core.circuit, "decoder").unwrap(),
+        24,
+        17,
+    );
+    let dffs: Vec<DffId> = s
+        .core
+        .circuit
+        .structure("lsu")
+        .unwrap()
+        .dffs()
+        .iter()
+        .copied()
+        .take(10)
+        .collect();
+    let config = CampaignConfig {
+        delay_fractions: vec![0.9, 1.0],
+        compute_orace: false,
+        due_slack: 500,
+        threads: 2,
+        incremental: true,
+        delta_timing: true,
+        lanes: 64,
+        timing_lanes: 64,
+        collapse: true,
+        ci_target: Some(0.15),
+        strata: 4,
+        sample_seed: 7,
+    };
+
+    // ---- Kill-and-resume on the adaptive sweep -------------------------
+    let want = delay_avf_campaign_with_stats(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+    );
+    let path = dir.join("adaptive-sweep.ckpt");
+    let fresh = delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+        &ctx(&path, 3, false),
+    )
+    .unwrap();
+    assert_eq!(fresh, want, "checkpointing changed the adaptive sweep");
+    truncate_units(&path, 2);
+    let resumed = delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+        &ctx(&path, 3, true),
+    )
+    .unwrap();
+    assert_eq!(resumed, want, "resumed adaptive sweep differs");
+    // Thread count stays outside the identity on the adaptive path too.
+    let resumed = delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config.clone().with_threads(4),
+        &ctx(&path, 3, true),
+    )
+    .unwrap();
+    assert_eq!(resumed, want, "cross-thread adaptive resume differs");
+
+    // ---- Sampling-policy drift is identity drift -----------------------
+    for (label, other) in [
+        (
+            "ci_target",
+            CampaignConfig {
+                ci_target: Some(0.1),
+                ..config.clone()
+            },
+        ),
+        (
+            "strata",
+            CampaignConfig {
+                strata: 8,
+                ..config.clone()
+            },
+        ),
+        (
+            "sample_seed",
+            CampaignConfig {
+                sample_seed: 8,
+                ..config.clone()
+            },
+        ),
+    ] {
+        let err = delay_avf_campaign_observed(
+            &s.core.circuit,
+            &s.topo,
+            &s.timing,
+            &s.golden,
+            &edges,
+            &other,
+            &ctx(&path, 3, true),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("checkpoint mismatch"),
+            "{label} drift not pinned: {err}"
+        );
+    }
+
+    // Turning adaptive sampling off entirely changes the campaign kind.
+    let uniform = CampaignConfig {
+        ci_target: None,
+        ..config.clone()
+    };
+    let err = delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &uniform,
+        &ctx(&path, 3, true),
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("checkpoint mismatch"),
+        "adaptive-to-uniform drift not pinned: {err}"
+    );
+
+    // ...and a uniform checkpoint must not resume adaptively either.
+    let upath = dir.join("uniform-sweep.ckpt");
+    delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &uniform,
+        &ctx(&upath, 3, false),
+    )
+    .unwrap();
+    let err = delay_avf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &edges,
+        &config,
+        &ctx(&upath, 3, true),
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("checkpoint mismatch"),
+        "uniform-to-adaptive drift not pinned: {err}"
+    );
+
+    // ---- The adaptive sAVF driver shares the protocol ------------------
+    let opts = ReplayOptions::new(500, 2)
+        .with_ci_target(Some(0.15))
+        .with_strata(4)
+        .with_sample_seed(7);
+    let want =
+        savf_campaign_with_stats(&s.core.circuit, &s.topo, &s.timing, &s.golden, &dffs, opts);
+    let path = dir.join("adaptive-savf.ckpt");
+    let fresh = savf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        opts,
+        &ctx(&path, 5, false),
+    )
+    .unwrap();
+    assert_eq!(fresh, want, "checkpointing changed adaptive sAVF");
+    truncate_units(&path, 3);
+    let resumed = savf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        opts,
+        &ctx(&path, 5, true),
+    )
+    .unwrap();
+    assert_eq!(resumed, want, "resumed adaptive sAVF differs");
+    let err = savf_campaign_observed(
+        &s.core.circuit,
+        &s.topo,
+        &s.timing,
+        &s.golden,
+        &dffs,
+        opts.with_ci_target(Some(0.1)),
+        &ctx(&path, 5, true),
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("checkpoint mismatch"),
+        "sAVF ci_target drift not pinned: {err}"
+    );
+    fs::remove_dir_all(dir).unwrap();
+}
+
 /// A checkpoint written under one campaign identity must never be merged
 /// into another: different inputs (fingerprint), different engine knobs,
 /// and a different campaign kind are all pinned `checkpoint mismatch`
@@ -345,6 +571,9 @@ fn stale_or_foreign_checkpoints_are_rejected_not_merged() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
     let path = dir.join("sweep.ckpt");
     delay_avf_campaign_observed(

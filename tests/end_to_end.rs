@@ -52,6 +52,9 @@ fn campaign_invariants_hold_on_the_real_core() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
     let rows = delay_avf_campaign(
         &s.core.circuit,

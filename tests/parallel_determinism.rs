@@ -66,6 +66,9 @@ fn all_campaigns_are_thread_count_invariant_on_the_real_core() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
     let serial_opts = ReplayOptions::new(500, 1);
     let (serial_rows, serial_stats) = delay_avf_campaign_with_stats(
@@ -231,6 +234,9 @@ fn batch_counters_are_thread_invariant_at_every_lane_width() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
     let (base_rows, _) = delay_avf_campaign_with_stats(
         &s.core.circuit,
@@ -354,6 +360,9 @@ fn collapse_counters_are_thread_and_lane_invariant() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
     let (base_rows, base_stats) = delay_avf_campaign_with_stats(
         &s.core.circuit,
@@ -458,6 +467,9 @@ fn timing_batch_counters_are_thread_invariant_at_every_lane_width() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
     let (base_rows, _) = delay_avf_campaign_with_stats(
         &s.core.circuit,

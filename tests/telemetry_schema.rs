@@ -95,6 +95,9 @@ fn campaign_telemetry_validates_and_never_changes_results() {
         lanes: 64,
         timing_lanes: 64,
         collapse: true,
+        ci_target: None,
+        strata: 4,
+        sample_seed: 7,
     };
 
     let want =
